@@ -1,0 +1,96 @@
+"""E10 (extension) — bitwidth analysis over the MPI-ICFG.
+
+§1 lists bitwidth analysis among the nonseparable clients; this harness
+quantifies the precision the communication edges buy: total bits needed
+for the integer state of a pipeline program under the MPI-ICFG vs the
+global-buffer ICFG (where everything received is 32 bits wide).
+"""
+
+import pytest
+
+from repro.analyses import MpiModel, bitwidth_analysis
+from repro.cfg import build_icfg
+from repro.ir import parse_program
+from repro.mpi import build_mpi_icfg
+
+from .conftest import write_artifact
+
+# A token-passing pipeline: small counters and flags travel between
+# ranks; only their true ranges are ever shipped.
+SOURCE = """\
+program pipeline;
+proc relay(int v, int tag) {
+  int rank;
+  rank = mpi_comm_rank();
+  if (rank > 0) {
+    call mpi_recv(v, rank - 1, tag, comm_world);
+  }
+  if (rank < mpi_comm_size() - 1) {
+    call mpi_send(v, rank + 1, tag, comm_world);
+  }
+}
+proc main(int seed, int out) {
+  int phase; int color; int hops; int budget;
+  phase = mod(seed, 4);
+  color = mod(seed, 2);
+  hops = 0;
+  budget = 200;
+  call relay(phase, 1);
+  call relay(color, 2);
+  call relay(budget, 3);
+  hops = phase + color;
+  out = hops + budget;
+}
+"""
+
+
+def total_width(model, clone_level):
+    prog = parse_program(SOURCE)
+    if model is MpiModel.COMM_EDGES:
+        icfg, _ = build_mpi_icfg(prog, "main", clone_level=clone_level)
+    else:
+        icfg = build_icfg(prog, "main", clone_level=clone_level)
+    result = bitwidth_analysis(icfg, model)
+    exit_id = icfg.entry_exit("main")[1]
+    env = result.in_fact(exit_id)
+    tracked = ("phase", "color", "hops", "budget")
+    return {name: env[f"main::{name}"] for name in tracked}
+
+
+def test_bitwidth_precision(benchmark, results_dir):
+    comm = benchmark(lambda: total_width(MpiModel.COMM_EDGES, 1))
+    base = total_width(MpiModel.GLOBAL_BUFFER, 1)
+
+    lines = [
+        f"{'var':8s} {'MPI-ICFG range':>26s} {'bits':>5s} "
+        f"{'ICFG range':>26s} {'bits':>5s}"
+    ]
+    for name in comm:
+        lines.append(
+            f"{name:8s} {str(comm[name]):>26s} {comm[name].width:>5d} "
+            f"{str(base[name]):>26s} {base[name].width:>5d}"
+        )
+    total_comm = sum(v.width for v in comm.values())
+    total_base = sum(v.width for v in base.values())
+    lines.append(f"total bits: MPI-ICFG {total_comm}, ICFG {total_base}")
+    write_artifact(results_dir, "bitwidth.txt", "\n".join(lines))
+
+    # The phase/color counters keep their tight ranges through the
+    # relay; the global-buffer model widens everything received.
+    assert comm["phase"].width == 2
+    assert comm["color"].width == 1
+    assert base["phase"].width == 32
+    assert base["color"].width == 32
+    assert total_comm < total_base / 2
+
+
+def test_clone_level_effect_on_widths(benchmark):
+    """Without cloning, the shared relay merges the three payload
+    ranges (and their tags go to ⊥, cross-matching everything)."""
+    merged = total_width(MpiModel.COMM_EDGES, 0)
+    split = benchmark(lambda: total_width(MpiModel.COMM_EDGES, 1))
+    assert split["color"].width <= merged["color"].width
+    assert split["phase"].width <= merged["phase"].width
+    # At clone level 0 all relayed values share one range hull.
+    assert merged["color"].hi >= 200  # budget leaked into color's range
+    assert split["color"].hi == 1

@@ -1,0 +1,62 @@
+"""E5 — §4.1 partial context sensitivity: precision vs clone level.
+
+For each wrapped benchmark, sweep clone levels 0..stated+1 and verify
+that precision (active bytes) improves monotonically and that the
+Table 1 clone level is the *lowest* level reaching best precision —
+the paper's selection rule.
+"""
+
+import pytest
+
+from repro.analyses import MpiModel, activity_analysis
+from repro.cfg import build_call_graph
+from repro.mpi import build_mpi_icfg
+from repro.programs import benchmark as get_spec
+
+from .conftest import write_artifact
+
+SWEPT = ["LU-1", "LU-2", "MG-1", "MG-2", "Sw-3"]
+
+
+def bytes_at_level(spec, prog, level):
+    icfg, _ = build_mpi_icfg(prog, spec.root, clone_level=level)
+    return activity_analysis(
+        icfg, spec.independents, spec.dependents, MpiModel.COMM_EDGES
+    ).active_bytes
+
+
+@pytest.mark.parametrize("name", SWEPT)
+def test_clone_level_sweep(benchmark, name, results_dir):
+    spec = get_spec(name)
+    prog = spec.program()
+    levels = list(range(spec.clone_level + 2))
+    series = [bytes_at_level(spec, prog, lv) for lv in levels]
+
+    # Timed at the stated level.
+    benchmark.pedantic(
+        bytes_at_level, args=(spec, prog, spec.clone_level), rounds=1, iterations=1
+    )
+
+    lines = [f"{name}: stated clone level {spec.clone_level}"]
+    for lv, b in zip(levels, series):
+        lines.append(f"  level {lv}: active bytes {b:,}")
+    write_artifact(results_dir, f"clone_levels_{name}.txt", "\n".join(lines))
+
+    # Monotone non-increasing precision curve.
+    for a, b in zip(series, series[1:]):
+        assert b <= a
+    # The stated level is the lowest with best precision.
+    best = series[spec.clone_level]
+    assert series[spec.clone_level + 1] == best
+    if spec.clone_level > 0:
+        assert series[spec.clone_level - 1] > best
+
+
+def test_wrapper_depth_inspection():
+    """The paper: "the necessary level of cloning could be determined
+    by inspecting the call graph to determine the wrapper depth" — the
+    stated levels never exceed that inspection's answer."""
+    for name in SWEPT:
+        spec = get_spec(name)
+        cg = build_call_graph(spec.program())
+        assert spec.clone_level <= cg.wrapper_depth()

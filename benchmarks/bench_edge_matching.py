@@ -1,0 +1,79 @@
+"""E6 — §4.1 communication-edge matching ablation.
+
+Compares communication-edge counts and activity precision under:
+
+* full connectivity (no constant matching — the conservative fallback),
+* tag/communicator/root constant matching (the paper's configuration),
+* constant matching plus the opt-in Shires-style rank heuristics
+  (mentioned by the paper, not used in its experiments).
+"""
+
+import pytest
+
+from repro.analyses import MpiModel, activity_analysis
+from repro.cfg import build_icfg
+from repro.mpi import MatchOptions, add_communication_edges, match_communication
+from repro.programs import benchmark as get_spec
+
+from .conftest import write_artifact
+
+CONFIGS = {
+    "full-connectivity": MatchOptions(use_constants=False, match_counts=False),
+    "constants": MatchOptions(use_constants=True),
+    "constants+rank": MatchOptions(use_constants=True, rank_heuristics=True),
+}
+
+BENCHES = ["SOR", "LU-1", "MG-1", "Sw-3"]
+
+
+def edges_for(spec, options):
+    icfg = build_icfg(spec.program(), spec.root, clone_level=spec.clone_level)
+    return match_communication(icfg, options).edge_count
+
+
+@pytest.mark.parametrize("name", BENCHES)
+def test_edge_counts(benchmark, name, results_dir):
+    spec = get_spec(name)
+    counts = {
+        label: edges_for(spec, options) for label, options in CONFIGS.items()
+    }
+    benchmark.pedantic(
+        edges_for, args=(spec, CONFIGS["constants"]), rounds=1, iterations=1
+    )
+    lines = [f"{name}: communication edges per matching configuration"]
+    for label, count in counts.items():
+        lines.append(f"  {label:18s}: {count}")
+    write_artifact(results_dir, f"edge_matching_{name}.txt", "\n".join(lines))
+
+    # Constant matching strictly reduces edges on every wrapped
+    # benchmark; heuristics never add any.
+    assert counts["constants"] < counts["full-connectivity"]
+    assert counts["constants+rank"] <= counts["constants"]
+
+
+@pytest.mark.parametrize("name", ["LU-1", "Sw-3"])
+def test_matching_precision_effect(name):
+    """Full connectivity degrades activity precision (the paper: better
+    precision "as long as there is less than full connectivity")."""
+    spec = get_spec(name)
+    prog = spec.program()
+
+    def active_bytes(options):
+        icfg = build_icfg(prog, spec.root, clone_level=spec.clone_level)
+        add_communication_edges(icfg, options)
+        return activity_analysis(
+            icfg, spec.independents, spec.dependents, MpiModel.COMM_EDGES
+        ).active_bytes
+
+    matched = active_bytes(CONFIGS["constants"])
+    full = active_bytes(CONFIGS["full-connectivity"])
+    assert matched < full
+
+
+def test_pruning_statistics():
+    spec = get_spec("LU-2")
+    icfg = build_icfg(spec.program(), spec.root, clone_level=spec.clone_level)
+    result = match_communication(icfg, CONFIGS["constants"])
+    assert result.candidates > result.edge_count
+    assert result.pruned_by_constants > 0
+    assert result.pruned_by_rank == 0  # heuristics off by default

@@ -1,0 +1,97 @@
+"""E8 — §4.2/§4.3 solver engineering: round-robin vs worklist, and
+scaling of the framework with program size."""
+
+import pytest
+
+from repro.analyses import MpiModel, activity_analysis, vary_analysis
+from repro.ir import parse_program
+from repro.mpi import build_mpi_icfg
+from repro.programs import benchmark as get_spec
+
+from .conftest import write_artifact
+
+
+@pytest.fixture(scope="module")
+def lu_icfg():
+    spec = get_spec("LU-2")
+    icfg, _ = build_mpi_icfg(spec.program(), spec.root, clone_level=spec.clone_level)
+    return spec, icfg
+
+
+@pytest.mark.parametrize("strategy", ["roundrobin", "worklist"])
+def test_solver_strategy_timing(benchmark, lu_icfg, strategy):
+    spec, icfg = lu_icfg
+    result = benchmark(
+        lambda: activity_analysis(
+            icfg,
+            spec.independents,
+            spec.dependents,
+            MpiModel.COMM_EDGES,
+            strategy=strategy,
+        )
+    )
+    assert result.active_bytes == spec.paper.mpi_active_bytes
+
+
+def test_strategies_reach_identical_fixed_points(lu_icfg, results_dir):
+    spec, icfg = lu_icfg
+    rr = vary_analysis(icfg, spec.independents, MpiModel.COMM_EDGES, "roundrobin")
+    wl = vary_analysis(icfg, spec.independents, MpiModel.COMM_EDGES, "worklist")
+    for nid in icfg.graph.nodes:
+        assert rr.out_fact(nid) == wl.out_fact(nid)
+    write_artifact(
+        results_dir,
+        "solver_strategies.txt",
+        f"LU-2 Vary: roundrobin passes={rr.iterations} "
+        f"(visits={rr.visits}), worklist visits={wl.visits}\n"
+        f"graph nodes={len(icfg.graph)}\n",
+    )
+    # The worklist visits fewer node evaluations than full sweeps do.
+    assert wl.visits <= rr.visits
+
+
+def _chain_program(n_procs: int) -> str:
+    """Synthetic program with a chain of n wrapper layers (scaling)."""
+    parts = ["program scale;"]
+    parts.append(
+        "proc layer0(real v, int tag) {\n"
+        "  call mpi_send(v, 1, tag, comm_world);\n"
+        "  call mpi_recv(v, 0, tag, comm_world);\n"
+        "}"
+    )
+    for i in range(1, n_procs):
+        parts.append(
+            f"proc layer{i}(real v, int tag) {{\n"
+            f"  call layer{i - 1}(v, tag);\n"
+            f"  v = v * 1.0001;\n"
+            f"}}"
+        )
+    parts.append(
+        "proc main(real x, real out) {\n"
+        f"  call layer{n_procs - 1}(x, 5);\n"
+        f"  call layer{n_procs - 1}(out, 6);\n"
+        "  out = out + x;\n"
+        "}"
+    )
+    return "\n".join(parts)
+
+
+@pytest.mark.parametrize("depth", [4, 16, 64])
+def test_scaling_with_wrapper_depth(benchmark, depth):
+    prog = parse_program(_chain_program(depth))
+    icfg, _ = build_mpi_icfg(prog, "main", clone_level=0)
+    result = benchmark(
+        lambda: vary_analysis(icfg, ["x"], MpiModel.COMM_EDGES, strategy="worklist")
+    )
+    assert result.visits > 0
+
+
+@pytest.mark.parametrize("level", [0, 2, 8])
+def test_scaling_with_clone_level(benchmark, level):
+    prog = parse_program(_chain_program(10))
+    icfg, _ = build_mpi_icfg(prog, "main", clone_level=level)
+    benchmark.pedantic(
+        lambda: vary_analysis(icfg, ["x"], MpiModel.COMM_EDGES),
+        rounds=2,
+        iterations=1,
+    )

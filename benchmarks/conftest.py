@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark harnesses.
+
+Each harness writes its rendered table/figure to
+``benchmarks/results/`` so the reproduction artifacts survive the run
+(pytest captures stdout by default).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_artifact(results_dir: pathlib.Path, name: str, text: str) -> None:
+    path = results_dir / name
+    path.write_text(text)
+    print(f"\n[artifact] {path}\n{text}")

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""End-to-end AD pipeline: analyze -> differentiate -> execute -> verify.
+
+The downstream use case the paper motivates: activity analysis decides
+which variables get derivative (shadow) storage; the forward-tangent
+transform mirrors the computation *and its MPI communication* on the
+shadows; the SPMD interpreter validates the derivative against finite
+differences.
+
+Run:  python examples/ad_pipeline.py
+"""
+
+from repro import (
+    MpiModel,
+    RunConfig,
+    activity_analysis,
+    build_mpi_cfg,
+    differentiate,
+    parse_program,
+    print_program,
+    run_spmd,
+    validate_program,
+)
+from repro.ad import shadow_name
+
+SOURCE = """\
+program heat_probe;
+proc main(real kappa, real probe) {
+  real u[16];
+  real hval;
+  int i; int t; int rank;
+  rank = mpi_comm_rank();
+  for i = 0 to 15 {
+    u[i] = sin(0.3 * float(i));
+  }
+  for t = 1 to 4 {
+    // halo exchange of one boundary value per step
+    if (rank == 0) {
+      call mpi_send(u[15], 1, t, comm_world);
+    } else {
+      call mpi_recv(hval, 0, t, comm_world);
+      u[0] = 0.5 * (u[0] + hval);
+    }
+    for i = 1 to 14 {
+      u[i] = u[i] + kappa * (u[i - 1] - 2.0 * u[i] + u[i + 1]);
+    }
+  }
+  probe = u[7];
+}
+"""
+
+
+def main() -> None:
+    program = parse_program(SOURCE)
+    validate_program(program)
+
+    # 1. Which variables carry derivative information from kappa to probe?
+    icfg, _ = build_mpi_cfg(program, "main")
+    activity = activity_analysis(icfg, ["kappa"], ["probe"], MpiModel.COMM_EDGES)
+    print("Active symbols:",
+          sorted(f"{s or '<g>'}::{n}" for s, n in activity.active_symbols))
+    print(f"Shadow storage per direction: {activity.active_bytes} bytes")
+
+    # 2. Generate the tangent program (only active symbols get shadows;
+    #    the halo exchange of derivative-carrying data is mirrored).
+    deriv = differentiate(program, activity.active_symbols, icfg=icfg)
+    tangent_sends = print_program(deriv.program).count("mpi_send")
+    print(f"Tangent program has {tangent_sends} sends (primal had 1): "
+          "the derivative of the halo value travels too.")
+
+    # 3. Run primal and tangent on two ranks; verify with central
+    #    finite differences.
+    k0, h = 0.2, 1e-6
+
+    def probe_at(k: float) -> float:
+        res = run_spmd(program, RunConfig(nprocs=2), inputs={"kappa": k})
+        return res.value(1, "probe")
+
+    fd = (probe_at(k0 + h) - probe_at(k0 - h)) / (2 * h)
+    tangent = run_spmd(
+        deriv.program,
+        RunConfig(nprocs=2),
+        inputs={"kappa": k0, shadow_name("kappa"): 1.0},
+    ).value(1, shadow_name("probe"))
+
+    print(f"\nd(probe)/d(kappa) at kappa={k0}:")
+    print(f"  forward-mode AD     : {tangent:.10f}")
+    print(f"  finite differences  : {fd:.10f}")
+    assert abs(tangent - fd) < 1e-5, "derivative mismatch!"
+    print("  agreement within 1e-5  ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,206 @@
+#!/usr/bin/env python3
+"""Writing your own nonseparable analysis against the framework.
+
+The paper's §4.3: a data-flow framework only needs the meet and
+transfer operations, the caller/callee mappings, and — for the
+MPI-ICFG — a communication transfer function plus a meet for the
+communication values.  This example implements *sign analysis* for
+real scalars from scratch in ~120 lines and runs it over an MPI-CFG:
+the sign of a received variable is the join of the signs of every
+matched sender's payload.
+
+Run:  python examples/custom_analysis.py
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro import MpiModel, build_mpi_cfg, parse_program
+from repro.cfg.node import AssignNode, Edge, EdgeKind, MpiNode, Node
+from repro.dataflow import DataFlowProblem, Direction, solve
+from repro.ir.ast_nodes import BinOp, Expr, IntLit, RealLit, UnOp, VarRef
+from repro.ir.mpi_ops import ArgRole, MpiKind
+
+# The sign lattice: subsets of {-, 0, +}; join is set union.
+NEG, ZERO, POS = "-", "0", "+"
+TOP: frozenset = frozenset()  # unreached
+ANY = frozenset({NEG, ZERO, POS})
+
+#: Fact: qualified name -> sign set (absent = unreached).
+SignEnv = dict
+
+
+def _sign_of_literal(v: float) -> frozenset:
+    if v > 0:
+        return frozenset({POS})
+    if v < 0:
+        return frozenset({NEG})
+    return frozenset({ZERO})
+
+
+_ADD_TABLE = {
+    (NEG, NEG): {NEG}, (NEG, ZERO): {NEG}, (NEG, POS): {NEG, ZERO, POS},
+    (ZERO, NEG): {NEG}, (ZERO, ZERO): {ZERO}, (ZERO, POS): {POS},
+    (POS, NEG): {NEG, ZERO, POS}, (POS, ZERO): {POS}, (POS, POS): {POS},
+}
+_MUL_TABLE = {
+    (NEG, NEG): {POS}, (NEG, ZERO): {ZERO}, (NEG, POS): {NEG},
+    (ZERO, NEG): {ZERO}, (ZERO, ZERO): {ZERO}, (ZERO, POS): {ZERO},
+    (POS, NEG): {NEG}, (POS, ZERO): {ZERO}, (POS, POS): {POS},
+}
+
+
+def _combine(table, a: frozenset, b: frozenset) -> frozenset:
+    out: set = set()
+    for sa in a:
+        for sb in b:
+            out |= table[(sa, sb)]
+    return frozenset(out)
+
+
+class SignProblem(DataFlowProblem[SignEnv, frozenset]):
+    """Forward sign analysis with sign sets crossing comm edges."""
+
+    direction = Direction.FORWARD
+    name = "signs"
+
+    def __init__(self, icfg):
+        self.icfg = icfg
+        self.symtab = icfg.symtab
+
+    # The classic pieces: ---------------------------------------------------
+
+    def top(self) -> SignEnv:
+        return {}
+
+    def boundary(self) -> SignEnv:
+        env: SignEnv = {}
+        for sym in self.symtab.procs[self.icfg.root].param_list:
+            if sym.type.is_real and not sym.type.is_array:
+                env[sym.qname] = ANY  # inputs: unknown sign
+        return env
+
+    def meet(self, a: SignEnv, b: SignEnv) -> SignEnv:
+        out = dict(a)
+        for k, v in b.items():
+            out[k] = out.get(k, TOP) | v
+        return out
+
+    def eval_sign(self, e: Expr, env: SignEnv, proc: str) -> frozenset:
+        if isinstance(e, RealLit):
+            return _sign_of_literal(e.value)
+        if isinstance(e, IntLit):
+            return _sign_of_literal(float(e.value))
+        if isinstance(e, VarRef):
+            sym = self.symtab.try_lookup(proc, e.name)
+            if sym is None or not sym.type.is_real or sym.type.is_array:
+                return ANY
+            return env.get(sym.qname, ANY)
+        if isinstance(e, UnOp) and e.op == "-":
+            inner = self.eval_sign(e.operand, env, proc)
+            flip = {NEG: POS, POS: NEG, ZERO: ZERO}
+            return frozenset(flip[s] for s in inner)
+        if isinstance(e, BinOp) and e.op in ("+", "*"):
+            a = self.eval_sign(e.left, env, proc)
+            b = self.eval_sign(e.right, env, proc)
+            if not a or not b:
+                return TOP
+            return _combine(_ADD_TABLE if e.op == "+" else _MUL_TABLE, a, b)
+        return ANY
+
+    def transfer(self, node: Node, fact: SignEnv, comm: Optional[frozenset]) -> SignEnv:
+        if isinstance(node, AssignNode) and isinstance(node.target, VarRef):
+            sym = self.symtab.try_lookup(node.proc, node.target.name)
+            if sym is not None and sym.type.is_real and not sym.type.is_array:
+                out = dict(fact)
+                out[sym.qname] = self.eval_sign(node.value, fact, node.proc)
+                return out
+        if isinstance(node, MpiNode) and node.mpi_kind is MpiKind.RECV:
+            pos = node.op.position(ArgRole.DATA_OUT)
+            arg = node.arg_at(pos)
+            if isinstance(arg, VarRef):
+                sym = self.symtab.try_lookup(node.proc, arg.name)
+                if sym is not None and sym.type.is_real and not sym.type.is_array:
+                    out = dict(fact)
+                    # The received sign is exactly the senders' join.
+                    out[sym.qname] = comm if comm else ANY
+                    return out
+        return fact
+
+    def edge_fact(self, edge: Edge, fact: SignEnv) -> SignEnv:
+        if edge.kind is EdgeKind.FLOW:
+            return fact
+        return fact  # single-procedure example: no renaming needed
+
+    # ...and the paper's addition: -------------------------------------------
+
+    def has_comm(self) -> bool:
+        return True
+
+    def comm_value(self, node: Node, before: SignEnv) -> frozenset:
+        assert isinstance(node, MpiNode)
+        pos = node.op.position(ArgRole.DATA_IN)
+        if pos is None:
+            pos = node.op.position(ArgRole.DATA_INOUT)
+        if pos is None:
+            return ANY
+        return self.eval_sign(node.arg_at(pos), before, node.proc)
+
+    def comm_meet(self, values: Sequence[frozenset]) -> frozenset:
+        out: frozenset = TOP
+        for v in values:
+            out = out | v
+        return out
+
+
+SOURCE = """\
+program signs_demo;
+proc main(real x) {
+  real pos_payload; real neg_payload;
+  real got_pos; real got_neg;
+  int rank;
+  rank = mpi_comm_rank();
+  // x's sign is unknown, but x * 0.0 is zero and zero + 2.5 positive:
+  pos_payload = x * 0.0 + 2.5;
+  neg_payload = -pos_payload;
+  if (rank == 0) {
+    call mpi_send(pos_payload, 1, 1, comm_world);
+    call mpi_send(neg_payload, 1, 2, comm_world);
+  } else {
+    call mpi_recv(got_pos, 0, 1, comm_world);
+    call mpi_recv(got_neg, 0, 2, comm_world);
+  }
+}
+"""
+
+
+def main() -> None:
+    program = parse_program(SOURCE)
+    icfg, match = build_mpi_cfg(program, "main")
+    print(f"Communication edges: {match.edge_count} (tag-matched pairs)")
+
+    result = solve(
+        icfg.graph, *icfg.entry_exit("main"), SignProblem(icfg)
+    )
+    exit_env = result.in_fact(icfg.entry_exit("main")[1])
+
+    def show(name):
+        signs = exit_env.get(f"main::{name}", frozenset())
+        pretty = "{" + ", ".join(sorted(signs)) + "}"
+        print(f"  sign({name}) = {pretty}")
+
+    print("\nSigns at exit (x is an unknown input):")
+    for name in ("pos_payload", "neg_payload", "got_pos", "got_neg"):
+        show(name)
+
+    assert exit_env["main::got_pos"] == frozenset({POS})
+    assert exit_env["main::got_neg"] == frozenset({NEG})
+    print("\nThe receives inherit exactly their matched senders' signs —")
+    print("a custom nonseparable analysis in ~120 lines (§4.3's claim).")
+
+    _ = MpiModel  # imported for symmetry with other examples
+
+
+if __name__ == "__main__":
+    main()

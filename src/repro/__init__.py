@@ -1,0 +1,111 @@
+"""repro — data-flow analysis for MPI programs.
+
+A self-contained reproduction of *"Data-Flow Analysis for MPI
+Programs"* (Strout, Kreaseck, Hovland; ICPP 2006): the MPI-CFG /
+MPI-ICFG program representations, a data-flow framework whose
+information crosses communication edges through per-analysis
+communication transfer functions, the client analyses the paper builds
+on it (reaching constants, activity analysis, slicing, trust/taint),
+the paper's baselines, an SPMD interpreter, and an activity-driven
+forward-mode AD transform.
+
+Typical use::
+
+    from repro import (
+        parse_program, build_mpi_icfg, activity_analysis, MpiModel,
+    )
+
+    prog = parse_program(source_text)
+    icfg, match = build_mpi_icfg(prog, root="sweep", clone_level=2)
+    result = activity_analysis(icfg, ["w"], ["flux"], MpiModel.COMM_EDGES)
+    print(result.active_bytes, result.deriv_bytes)
+"""
+
+from .ad import ADError, DerivativeProgram, differentiate
+from .analyses import (
+    ActivityResult,
+    MpiModel,
+    activity_analysis,
+    bitwidth_analysis,
+    forward_slice,
+    liveness_analysis,
+    reaching_constants,
+    reaching_defs_analysis,
+    taint_analysis,
+    useful_analysis,
+    vary_analysis,
+)
+from .analyses.slicing import backward_slice
+from .transforms import fold_constants
+from .baselines import build_two_copy, icfg_activity, two_copy_activity
+from .cfg import ICFG, build_call_graph, build_icfg, to_dot
+from .dataflow import DataFlowProblem, DataflowResult, Direction, solve
+from .experiments import render_table1, run_benchmark, run_figure4, run_table1
+from .ir import (
+    ParseError,
+    Program,
+    ValidationError,
+    parse_program,
+    print_program,
+    validate_program,
+)
+from .mpi import MatchOptions, build_mpi_cfg, build_mpi_icfg
+from .programs import BENCHMARKS, benchmark
+from .runtime import RunConfig, run_spmd
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # frontend
+    "parse_program",
+    "print_program",
+    "validate_program",
+    "Program",
+    "ParseError",
+    "ValidationError",
+    # graphs
+    "build_icfg",
+    "build_call_graph",
+    "build_mpi_icfg",
+    "build_mpi_cfg",
+    "MatchOptions",
+    "ICFG",
+    "to_dot",
+    # framework
+    "DataFlowProblem",
+    "DataflowResult",
+    "Direction",
+    "solve",
+    # analyses
+    "MpiModel",
+    "reaching_constants",
+    "vary_analysis",
+    "useful_analysis",
+    "activity_analysis",
+    "ActivityResult",
+    "forward_slice",
+    "backward_slice",
+    "bitwidth_analysis",
+    "fold_constants",
+    "taint_analysis",
+    "liveness_analysis",
+    "reaching_defs_analysis",
+    # baselines
+    "icfg_activity",
+    "build_two_copy",
+    "two_copy_activity",
+    # runtime & AD
+    "run_spmd",
+    "RunConfig",
+    "differentiate",
+    "DerivativeProgram",
+    "ADError",
+    # experiments
+    "BENCHMARKS",
+    "benchmark",
+    "run_table1",
+    "run_benchmark",
+    "render_table1",
+    "run_figure4",
+]

@@ -1,0 +1,11 @@
+"""Forward-mode automatic differentiation driven by activity analysis."""
+
+from .forward import (
+    ADError,
+    DerivativeProgram,
+    TAG_SHIFT,
+    differentiate,
+    shadow_name,
+)
+
+__all__ = ["ADError", "DerivativeProgram", "differentiate", "shadow_name", "TAG_SHIFT"]

@@ -1,0 +1,540 @@
+"""Forward-tangent-mode automatic differentiation of SPL programs.
+
+This is the downstream consumer the paper's activity analysis exists
+for: the transform allocates derivative (shadow) storage *only for
+active symbols*, mechanically applies the chain rule to assignments,
+and mirrors MPI communication of active buffers (derivatives of sent
+data are themselves sent, on a shifted tag; ``sum`` reductions are
+linear and reduce their tangents).
+
+The derivative program computes one directional derivative: seed the
+shadows of the independents (e.g. ``d_x = 1``) and read the shadows of
+the dependents.  Storage per direction equals the active bytes of the
+activity analysis — which is exactly why the MPI-ICFG's sharper
+activity sets translate into the memory savings of Table 1/Figure 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, Optional
+
+from ..ir.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Block,
+    BoolLit,
+    CallStmt,
+    Expr,
+    For,
+    If,
+    IntLit,
+    IntrinsicCall,
+    Param,
+    Procedure,
+    Program,
+    RealLit,
+    Return,
+    Stmt,
+    UnOp,
+    VarDecl,
+    VarRef,
+    While,
+)
+from ..ir.mpi_ops import ArgRole, MPI_OPS, MpiKind
+from ..ir.symtab import SymbolTable
+from ..ir.types import ArrayType, Type
+from ..ir.validate import validate_program
+
+__all__ = ["ADError", "DerivativeProgram", "differentiate", "shadow_name", "TAG_SHIFT"]
+
+#: Added to message tags of derivative sends/receives so tangents never
+#: collide with primal messages.
+TAG_SHIFT = 1_000_000
+
+
+class ADError(ValueError):
+    """The transform cannot differentiate a construct it encountered."""
+
+
+def shadow_name(name: str) -> str:
+    return "d_" + name
+
+
+@dataclass
+class DerivativeProgram:
+    """The transformed program plus storage accounting."""
+
+    program: Program
+    #: (scope, name) keys that received shadows.
+    shadowed: frozenset[tuple[str, str]]
+    #: Bytes of shadow storage per derivative direction.
+    shadow_bytes: int
+
+
+# ---------------------------------------------------------------------------
+# Derivative expressions.
+# ---------------------------------------------------------------------------
+
+_ZERO = RealLit(0.0)
+
+
+def _is_zero(e: Expr) -> bool:
+    return (isinstance(e, RealLit) and e.value == 0.0) or (
+        isinstance(e, IntLit) and e.value == 0
+    )
+
+
+def _add(a: Expr, b: Expr) -> Expr:
+    if _is_zero(a):
+        return b
+    if _is_zero(b):
+        return a
+    return BinOp("+", a, b)
+
+
+def _sub(a: Expr, b: Expr) -> Expr:
+    if _is_zero(b):
+        return a
+    if _is_zero(a):
+        return UnOp("-", b)
+    return BinOp("-", a, b)
+
+
+def _mul(a: Expr, b: Expr) -> Expr:
+    if _is_zero(a) or _is_zero(b):
+        return _ZERO
+    if isinstance(a, RealLit) and a.value == 1.0:
+        return b
+    if isinstance(b, RealLit) and b.value == 1.0:
+        return a
+    return BinOp("*", a, b)
+
+
+def _div(a: Expr, b: Expr) -> Expr:
+    if _is_zero(a):
+        return _ZERO
+    return BinOp("/", a, b)
+
+
+class _Differ:
+    """Per-procedure derivative-expression builder."""
+
+    def __init__(self, ad: "_Transform", proc: str):
+        self.ad = ad
+        self.proc = proc
+
+    def d(self, e: Expr) -> Expr:
+        """The tangent of ``e`` (an expression over primals + shadows)."""
+        if isinstance(e, (IntLit, RealLit, BoolLit)):
+            return _ZERO
+        if isinstance(e, VarRef):
+            if self.ad.is_active(self.proc, e.name):
+                return VarRef(shadow_name(e.name))
+            return _ZERO
+        if isinstance(e, ArrayRef):
+            if self.ad.is_active(self.proc, e.name):
+                return ArrayRef(shadow_name(e.name), e.indices)
+            return _ZERO
+        if isinstance(e, UnOp):
+            if e.op == "-":
+                inner = self.d(e.operand)
+                return _ZERO if _is_zero(inner) else UnOp("-", inner)
+            return _ZERO  # `not` has no derivative
+        if isinstance(e, BinOp):
+            return self._d_binop(e)
+        if isinstance(e, IntrinsicCall):
+            return self._d_intrinsic(e)
+        raise ADError(f"cannot differentiate expression {e!r}")
+
+    def _d_binop(self, e: BinOp) -> Expr:
+        if e.op in ("==", "!=", "<", "<=", ">", ">=", "and", "or"):
+            return _ZERO
+        du = self.d(e.left)
+        dv = self.d(e.right)
+        u, v = e.left, e.right
+        if e.op == "+":
+            return _add(du, dv)
+        if e.op == "-":
+            return _sub(du, dv)
+        if e.op == "*":
+            return _add(_mul(du, v), _mul(u, dv))
+        if e.op == "/":
+            # d(u/v) = du/v - (u * dv) / v^2
+            return _sub(_div(du, v), _div(_mul(u, dv), _mul(v, v)))
+        if e.op == "**":
+            if not _is_zero(dv):
+                # General u**v: u**v * (dv*log(u) + v*du/u).
+                return _mul(
+                    BinOp("**", u, v),
+                    _add(
+                        _mul(dv, IntrinsicCall("log", (u,))),
+                        _div(_mul(v, du), u),
+                    ),
+                )
+            if _is_zero(du):
+                return _ZERO
+            # Constant exponent: c * u**(c-1) * du.
+            return _mul(_mul(v, BinOp("**", u, BinOp("-", v, IntLit(1)))), du)
+        raise ADError(f"cannot differentiate operator {e.op!r}")
+
+    def _d_intrinsic(self, e: IntrinsicCall) -> Expr:
+        name = e.name
+        if name in ("mpi_comm_rank", "mpi_comm_size", "mod", "floor", "ceil", "int", "float"):
+            return _ZERO
+        if name in ("min", "max"):
+            # Piecewise: pick the branch's tangent with a comparison.
+            raise ADError(
+                "min/max in an active expression needs statement-level "
+                "handling; rewrite the source with an explicit if"
+            )
+        (u,) = e.args
+        du = self.d(u)
+        if _is_zero(du):
+            return _ZERO
+        if name == "sin":
+            return _mul(IntrinsicCall("cos", (u,)), du)
+        if name == "cos":
+            return UnOp("-", _mul(IntrinsicCall("sin", (u,)), du))
+        if name == "tan":
+            c = IntrinsicCall("cos", (u,))
+            return _div(du, _mul(c, c))
+        if name == "exp":
+            return _mul(IntrinsicCall("exp", (u,)), du)
+        if name == "log":
+            return _div(du, u)
+        if name == "sqrt":
+            return _div(du, _mul(RealLit(2.0), IntrinsicCall("sqrt", (u,))))
+        if name == "abs":
+            # du * u/|u|; undefined at 0, as usual for AD tools.
+            return _mul(du, _div(u, IntrinsicCall("abs", (u,))))
+        raise ADError(f"cannot differentiate intrinsic {name!r}")
+
+
+# ---------------------------------------------------------------------------
+# Program transform.
+# ---------------------------------------------------------------------------
+
+
+class _Transform:
+    def __init__(
+        self,
+        program: Program,
+        active: AbstractSet[tuple[str, str]],
+        symtab: Optional[SymbolTable] = None,
+        icfg=None,
+    ):
+        self.program = program
+        self.symtab = symtab if symtab is not None else validate_program(program)
+        self.active = frozenset(active)
+        #: id(CallStmt) of MPI sites whose communication must be
+        #: mirrored — sites where *either* endpoint of a matched pair
+        #: carries active data.  ``None`` = no matching information:
+        #: fall back to "mirror iff the local buffers are active".
+        self.mirror_sites: Optional[frozenset[int]] = None
+        #: Zero-dummy declarations to prepend, per procedure.
+        self._dummies: dict[str, dict[str, VarDecl]] = {}
+        self._inout_counter = 0
+        if icfg is not None:
+            self.mirror_sites = self._compute_mirror_sites(icfg)
+        for scope, name in self.active:
+            sym = (
+                self.symtab.globals.get(name)
+                if scope == ""
+                else self.symtab.procs[scope].own(name)
+            )
+            if sym is None:
+                raise ADError(f"active symbol ({scope!r}, {name!r}) not declared")
+            if not sym.type.is_real:
+                raise ADError(f"active symbol {name!r} is not real-typed")
+            if scope == "":
+                clash = self.symtab.globals.get(shadow_name(name))
+            else:
+                clash = self.symtab.try_lookup(scope, shadow_name(name))
+            if clash is not None:
+                raise ADError(f"shadow name {shadow_name(name)!r} already in use")
+
+    def is_active(self, proc: str, name: str) -> bool:
+        sym = self.symtab.try_lookup(proc, name)
+        if sym is None:
+            return False
+        return sym.origin_key in self.active
+
+    def _compute_mirror_sites(self, icfg) -> frozenset[int]:
+        """MPI call sites whose tangent communication must exist.
+
+        A site is mirrored when its own data buffers or any matched
+        peer's data buffers are active: an active receive needs every
+        matched sender to ship a tangent (zero dummies when the local
+        payload is inactive), or the tangent receive would deadlock.
+        """
+        from ..analyses.mpi_model import data_buffers
+
+        def site_active(node) -> bool:
+            bufs = data_buffers(node, icfg.symtab)
+            for buf in (bufs.sent, bufs.received):
+                if buf is None or not buf.is_real:
+                    continue
+                sym = icfg.symtab.symbol_of_qname(buf.qname)
+                if sym.origin_key in self.active:
+                    return True
+            return False
+
+        nodes = {n.id: n for n in icfg.mpi_nodes()}
+        activity = {nid: site_active(n) for nid, n in nodes.items()}
+        mirrored: set[int] = set()
+        for nid, node in nodes.items():
+            peers = icfg.graph.comm_succs(nid) + icfg.graph.comm_preds(nid)
+            if activity[nid] or any(activity.get(p, False) for p in peers):
+                mirrored.add(id(node.stmt))
+        return frozenset(mirrored)
+
+    def _zero_dummy(self, proc: str, payload_type, role: str) -> Expr:
+        """An lvalue reference to a shadow dummy of the payload's shape.
+
+        ``role`` separates outgoing zeros (``"zero"`` — never written,
+        so they really carry zero tangents) from incoming sinks
+        (``"sink"`` — dirtied by discarded tangents).  Declared once per
+        (procedure, role, shape); SPL locals start zeroed at runtime.
+        """
+        shape = (
+            "x".join(str(d) for d in payload_type.shape)
+            if isinstance(payload_type, ArrayType)
+            else "s"
+        )
+        name = f"d_{role}_{shape}"
+        per_proc = self._dummies.setdefault(proc, {})
+        if name not in per_proc:
+            per_proc[name] = VarDecl(name, payload_type, None)
+        return VarRef(name)
+
+    # -- statements -------------------------------------------------------
+
+    def run(self) -> Program:
+        new_globals = []
+        for g in self.program.globals:
+            new_globals.append(g)
+            if ("", g.name) in self.active:
+                new_globals.append(VarDecl(shadow_name(g.name), g.type, None))
+        new_procs = [self._transform_proc(p) for p in self.program.procedures]
+        return Program(self.program.name + "_tangent", tuple(new_globals), tuple(new_procs))
+
+    def _transform_proc(self, proc: Procedure) -> Procedure:
+        params: list[Param] = []
+        for p in proc.params:
+            params.append(p)
+            if self.is_active(proc.name, p.name):
+                params.append(Param(shadow_name(p.name), p.type))
+        differ = _Differ(self, proc.name)
+        body = self._transform_block(proc.body, proc.name, differ)
+        dummies = tuple(self._dummies.get(proc.name, {}).values())
+        if dummies:
+            body = Block(dummies + body.body, loc=body.loc)
+        return Procedure(proc.name, tuple(params), body)
+
+    def _transform_block(self, block: Block, proc: str, differ: _Differ) -> Block:
+        out: list[Stmt] = []
+        for s in block.body:
+            out.extend(self._transform_stmt(s, proc, differ))
+        return Block(tuple(out), loc=block.loc)
+
+    def _transform_stmt(self, s: Stmt, proc: str, differ: _Differ) -> list[Stmt]:
+        if isinstance(s, VarDecl):
+            out: list[Stmt] = []
+            if self.is_active(proc, s.name):
+                out.append(VarDecl(shadow_name(s.name), s.type, None))
+                if s.init is not None:
+                    out.append(
+                        Assign(VarRef(shadow_name(s.name)), differ.d(s.init))
+                    )
+            out.append(s)
+            return out
+        if isinstance(s, Assign):
+            name = s.target.name
+            if not self.is_active(proc, name):
+                return [s]
+            d_target: Expr
+            if isinstance(s.target, ArrayRef):
+                d_target = ArrayRef(shadow_name(name), s.target.indices)
+            else:
+                d_target = VarRef(shadow_name(name))
+            # The tangent assignment precedes the primal so it reads the
+            # pre-assignment values (chain rule at the old point).
+            return [Assign(d_target, differ.d(s.value), loc=s.loc), s]  # type: ignore[list-item]
+        if isinstance(s, Block):
+            return [self._transform_block(s, proc, differ)]
+        if isinstance(s, If):
+            return [
+                If(
+                    s.cond,
+                    self._transform_block(s.then, proc, differ),
+                    self._transform_block(s.els, proc, differ) if s.els else None,
+                    loc=s.loc,
+                )
+            ]
+        if isinstance(s, While):
+            return [While(s.cond, self._transform_block(s.body, proc, differ), loc=s.loc)]
+        if isinstance(s, For):
+            return [
+                For(
+                    s.var,
+                    s.lo,
+                    s.hi,
+                    s.step,
+                    self._transform_block(s.body, proc, differ),
+                    loc=s.loc,
+                )
+            ]
+        if isinstance(s, CallStmt):
+            if s.name in MPI_OPS:
+                return self._transform_mpi(s, proc, differ)
+            return [self._transform_call(s, proc, differ)]
+        if isinstance(s, Return):
+            return [s]
+        raise ADError(f"cannot transform {s!r}")
+
+    def _transform_call(self, s: CallStmt, proc: str, differ: _Differ) -> CallStmt:
+        callee = self.program.proc(s.name)
+        new_args: list[Expr] = []
+        for formal, actual in zip(callee.params, s.args):
+            new_args.append(actual)
+            if not self.is_active(callee.name, formal.name):
+                continue
+            if isinstance(actual, VarRef) and self.is_active(proc, actual.name):
+                new_args.append(VarRef(shadow_name(actual.name)))
+            elif isinstance(actual, ArrayRef) and self.is_active(proc, actual.name):
+                new_args.append(ArrayRef(shadow_name(actual.name), actual.indices))
+            else:
+                # Inactive actual feeding an active formal (a wrapper
+                # shared between active and inactive traffic).  The
+                # actual's variable is inactive, so by the activity
+                # guarantee its tangent values can never reach the
+                # dependents' tangents — a scratch dummy of the formal's
+                # shape is sound for both the read and the write-back
+                # direction.  Only a *genuinely active expression*
+                # actual (nonzero tangent with no home to write back
+                # to) is rejected.
+                d = differ.d(actual)
+                if not _is_zero(d):
+                    raise ADError(
+                        f"call to {s.name}: active expression argument "
+                        f"for parameter {formal.name!r} is not supported; "
+                        "pass a variable"
+                    )
+                new_args.append(self._zero_dummy(proc, formal.type, "arg"))
+        return CallStmt(s.name, tuple(new_args), loc=s.loc)
+
+    def _payload_type(self, proc: str, arg: Expr):
+        if isinstance(arg, ArrayRef):
+            sym = self.symtab.try_lookup(proc, arg.name)
+            return sym.type.elem if sym and isinstance(sym.type, ArrayType) else None
+        if isinstance(arg, VarRef):
+            sym = self.symtab.try_lookup(proc, arg.name)
+            return sym.type if sym else None
+        return None
+
+    def _transform_mpi(self, s: CallStmt, proc: str, differ: _Differ) -> list[Stmt]:
+        op = MPI_OPS[s.name]
+        locally_active = any(
+            isinstance(s.args[pos], (VarRef, ArrayRef))
+            and self.is_active(proc, s.args[pos].name)
+            for pos in op.data_positions
+        )
+        if self.mirror_sites is not None:
+            mirror = id(s) in self.mirror_sites
+        else:
+            mirror = locally_active
+        if not mirror:
+            return [s]
+        if op.kind in (MpiKind.REDUCE, MpiKind.ALLREDUCE):
+            op_pos = op.position(ArgRole.REDOP)
+            op_name = s.args[op_pos].name
+            if op_name != "sum":
+                raise ADError(
+                    f"{s.name} with op={op_name!r} on active data is nonlinear; "
+                    "only sum reductions are differentiated"
+                )
+        # Mirror the operation on the shadows, shifting any tag.
+        # Inactive buffers at a mirrored site get zero dummies (their
+        # tangents are identically zero / discarded) so every matched
+        # peer still finds its counterpart.
+        d_args: list[Expr] = []
+        for spec, arg in zip(op.args, s.args):
+            if spec.role in (ArgRole.DATA_IN, ArgRole.DATA_OUT, ArgRole.DATA_INOUT):
+                if isinstance(arg, (VarRef, ArrayRef)) and self.is_active(proc, arg.name):
+                    if isinstance(arg, ArrayRef):
+                        d_args.append(ArrayRef(shadow_name(arg.name), arg.indices))
+                    else:
+                        d_args.append(VarRef(shadow_name(arg.name)))
+                    continue
+                payload_type = self._payload_type(proc, arg)
+                if payload_type is None or not payload_type.is_real:
+                    raise ADError(
+                        f"{s.name}: cannot mirror non-real buffer {arg!r}"
+                    )
+                if spec.role is ArgRole.DATA_INOUT:
+                    # A broadcast buffer is sent at the root and written
+                    # elsewhere: give each site its own dummy so a
+                    # dirtied sink can never be re-broadcast as a zero.
+                    self._inout_counter += 1
+                    role = f"bc{self._inout_counter}"
+                else:
+                    role = "zero" if spec.role is ArgRole.DATA_IN else "sink"
+                d_args.append(self._zero_dummy(proc, payload_type, role))
+            elif spec.role is ArgRole.TAG:
+                d_args.append(BinOp("+", arg, IntLit(TAG_SHIFT)))
+            else:
+                d_args.append(arg)
+        d_call = CallStmt(s.name, tuple(d_args), loc=s.loc)
+        # Tangent communication first (mirrors "derivative before
+        # primal"); order is irrelevant for matching since tags differ.
+        return [d_call, s]
+
+
+def differentiate(
+    program: Program,
+    active_symbols: AbstractSet[tuple[str, str]],
+    symtab: Optional[SymbolTable] = None,
+    icfg=None,
+) -> DerivativeProgram:
+    """Produce the tangent-mode derivative of ``program``.
+
+    ``active_symbols`` is a set of ``(scope, name)`` origin keys —
+    typically :attr:`repro.analyses.ActivityResult.active_symbols`.
+    Shadows are named ``d_<name>``; seed the independents' shadows and
+    read the dependents' shadows after running the result (e.g. with
+    :func:`repro.runtime.run_spmd`).
+
+    Pass the MPI-ICFG the activity analysis ran on as ``icfg`` so the
+    transform can see communication matching: when one endpoint of a
+    matched pair is active and the other is not, the inactive side's
+    tangent operation must still exist (with zero payloads / discarded
+    results), or the active side's tangent receive would deadlock.
+    Without ``icfg`` the transform mirrors a site iff its own buffers
+    are active — sufficient when activity is consistent across pairs.
+    """
+    transform = _Transform(program, active_symbols, symtab, icfg=icfg)
+    result = transform.run()
+    validate_program(result)  # the transform must produce a legal program
+    shadow_bytes = 0
+    st = transform.symtab
+    root = icfg.root if icfg is not None else None
+    for scope, name in transform.active:
+        sym = st.globals[name] if scope == "" else st.procs[scope].own(name)
+        assert sym is not None
+        # Shadow *parameters* alias their caller's shadow storage — only
+        # the context routine's own parameters (whose caller is outside
+        # the analyzed region) count, matching the activity accounting.
+        if sym.kind == "param" and root is not None and scope != root:
+            continue
+        shadow_bytes += sym.type.sizeof()
+    return DerivativeProgram(
+        program=result,
+        shadowed=transform.active,
+        shadow_bytes=shadow_bytes,
+    )
+
+
+def _unused_type_ref(t: Type) -> Type:
+    return t

@@ -1,0 +1,59 @@
+"""Client analyses of the MPI-aware data-flow framework."""
+
+from .activity import ActivityResult, activity_analysis
+from .bitwidth import (
+    BitwidthProblem,
+    FULL,
+    Interval,
+    bits_needed,
+    bitwidth_analysis,
+)
+from .consteval import apply_binop, apply_intrinsic, apply_unop, eval_const
+from .controldep import control_dependence, postdominators
+from .defuse import diff_use_qnames, expr_var_names, use_qnames
+from .liveness import LivenessProblem, liveness_analysis
+from .mpi_model import MPI_BUFFER_QNAME, BufferRef, MpiModel, data_buffers
+from .reaching_constants import ReachingConstantsProblem, reaching_constants
+from .reaching_defs import ENTRY_DEF, ReachingDefsProblem, reaching_defs_analysis
+from .slicing import SliceResult, forward_slice
+from .taint import TaintProblem, taint_analysis
+from .useful import UsefulProblem, useful_analysis
+from .vary import VaryProblem, vary_analysis
+
+__all__ = [
+    "MpiModel",
+    "MPI_BUFFER_QNAME",
+    "BufferRef",
+    "data_buffers",
+    "eval_const",
+    "apply_binop",
+    "apply_unop",
+    "apply_intrinsic",
+    "expr_var_names",
+    "use_qnames",
+    "diff_use_qnames",
+    "ReachingConstantsProblem",
+    "reaching_constants",
+    "VaryProblem",
+    "vary_analysis",
+    "UsefulProblem",
+    "useful_analysis",
+    "ActivityResult",
+    "activity_analysis",
+    "TaintProblem",
+    "taint_analysis",
+    "SliceResult",
+    "forward_slice",
+    "LivenessProblem",
+    "liveness_analysis",
+    "ReachingDefsProblem",
+    "reaching_defs_analysis",
+    "ENTRY_DEF",
+    "postdominators",
+    "control_dependence",
+    "Interval",
+    "FULL",
+    "bits_needed",
+    "BitwidthProblem",
+    "bitwidth_analysis",
+]

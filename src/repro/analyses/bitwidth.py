@@ -1,0 +1,414 @@
+"""Bitwidth (integer range) analysis over the MPI-(I)CFG.
+
+The paper's §1 lists bitwidth analysis (Stephenson, Babb, Amarasinghe,
+PLDI 2000) among the nonseparable analyses that benefit from modelling
+communication: the width needed for a received variable is determined
+by the ranges of the *sent* values.  This module formulates it in the
+framework:
+
+* facts map integer-typed qualified names to ranges ``[lo, hi]`` from a
+  widening-stabilized interval lattice (absent = ⊤ "unreached");
+* the communication transfer function forwards the *sent payload's
+  range*; a receive meets the ranges from all incoming communication
+  edges;
+* ``width(v)`` at a point is the number of bits needed to represent
+  every value in v's range (two's complement for negatives).
+
+Under the global-buffer/naive models every received integer is
+unbounded (32 bits); over the MPI-ICFG a counter that only ever ships
+small constants stays narrow — the same precision story as activity
+analysis, for a silicon-compilation client.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..cfg.icfg import ICFG
+from ..cfg.node import AssignNode, Edge, EdgeKind, MpiNode, Node
+from ..dataflow.framework import DataFlowProblem, DataflowResult, Direction
+from ..dataflow.interproc import InterprocMaps
+from ..dataflow.solver import solve
+from ..ir.ast_nodes import (
+    ArrayRef,
+    BinOp,
+    BoolLit,
+    Expr,
+    IntLit,
+    IntrinsicCall,
+    RealLit,
+    UnOp,
+    VarRef,
+)
+from ..ir.mpi_ops import ArgRole, COMM_WORLD_NAME, COMM_WORLD_VALUE, MpiKind
+from ..ir.symtab import is_global_qname
+from ..ir.types import ArrayType, IntType
+from .mpi_model import MPI_BUFFER_QNAME, MpiModel, data_buffers
+
+__all__ = ["Interval", "FULL", "BitwidthProblem", "bitwidth_analysis", "bits_needed"]
+
+#: Modelled machine-integer bounds (Fortran INTEGER*4).
+INT_MIN = -(2**31)
+INT_MAX = 2**31 - 1
+
+#: Widening thresholds: ranges jump to the nearest threshold instead of
+#: creeping one loop iteration at a time.
+_THRESHOLDS = [0, 1, 2, 15, 255, 65_535, INT_MAX]
+_LOW_THRESHOLDS = [0, -1, -2, -16, -256, -65_536, INT_MIN]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed integer interval; the lattice element for one variable."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"empty interval [{self.lo}, {self.hi}]")
+
+    def hull(self, other: "Interval") -> "Interval":
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def widen_against(self, previous: "Interval") -> "Interval":
+        """Threshold widening: unstable bounds jump to the next
+        threshold so loops converge in a bounded number of passes."""
+        lo, hi = self.lo, self.hi
+        if lo < previous.lo:
+            lo = max(
+                (t for t in _LOW_THRESHOLDS if t <= lo), default=INT_MIN
+            )
+        if hi > previous.hi:
+            hi = min((t for t in _THRESHOLDS if t >= hi), default=INT_MAX)
+        return Interval(lo, hi)
+
+    def clamp(self) -> "Interval":
+        return Interval(max(self.lo, INT_MIN), min(self.hi, INT_MAX))
+
+    @property
+    def width(self) -> int:
+        return bits_needed(self.lo, self.hi)
+
+    def __str__(self) -> str:
+        return f"[{self.lo}, {self.hi}]"
+
+
+FULL = Interval(INT_MIN, INT_MAX)
+
+
+def bits_needed(lo: int, hi: int) -> int:
+    """Bits to represent every integer in [lo, hi].
+
+    Non-negative ranges use unsigned width (0 needs 1 bit); ranges with
+    negatives use two's complement.
+    """
+    if lo >= 0:
+        return max(1, hi.bit_length())
+    # Two's complement: n bits cover [-2^(n-1), 2^(n-1) - 1].
+    n_lo = (-lo - 1).bit_length() + 1
+    n_hi = hi.bit_length() + 1 if hi > 0 else 1
+    return max(n_lo, n_hi)
+
+
+#: Environments: qname -> Interval; absent = ⊤ (unreached).
+WidthEnv = dict
+
+
+def _env_meet(a: WidthEnv, b: WidthEnv) -> WidthEnv:
+    if not a:
+        return dict(b)
+    if not b:
+        return dict(a)
+    out = dict(a)
+    for k, v in b.items():
+        cur = out.get(k)
+        out[k] = v if cur is None else cur.hull(v)
+    return out
+
+
+def _const(v: int) -> Interval:
+    return Interval(v, v)
+
+
+class BitwidthProblem(DataFlowProblem[WidthEnv, Optional[Interval]]):
+    """Forward interval analysis for integer scalars over an (MPI-)ICFG."""
+
+    direction = Direction.FORWARD
+    name = "bitwidth"
+
+    def __init__(self, icfg: ICFG, mpi_model: MpiModel = MpiModel.COMM_EDGES):
+        self.icfg = icfg
+        self.symtab = icfg.symtab
+        self.mpi_model = mpi_model
+        self.maps = InterprocMaps(icfg)
+        #: Per-(node, variable) widening memo: the last interval emitted
+        #: for a strong update.  Input facts only grow during solving,
+        #: so emissions grow too; widening them against their own
+        #: history caps the number of growth steps (termination) while
+        #: keeping strong updates exact on straight-line code.
+        self._memo: dict[tuple[int, str], Interval] = {}
+        self._int_locals: dict[str, tuple[str, ...]] = {}
+        for instance in icfg.procs:
+            ps = self.symtab.procs[instance]
+            self._int_locals[instance] = tuple(
+                s.qname for s in ps.locals.values() if isinstance(s.type, IntType)
+            )
+
+    # -- lattice ------------------------------------------------------------
+
+    def top(self) -> WidthEnv:
+        return {}
+
+    def boundary(self) -> WidthEnv:
+        env: WidthEnv = {}
+        root = self.icfg.root
+        for sym in list(self.symtab.globals.values()) + list(
+            self.symtab.procs[root]
+        ):
+            if isinstance(sym.type, IntType):
+                env[sym.qname] = FULL
+        if self.mpi_model.uses_global_buffer:
+            env[MPI_BUFFER_QNAME] = FULL
+        return env
+
+    def meet(self, a: WidthEnv, b: WidthEnv) -> WidthEnv:
+        return _env_meet(a, b)
+
+    def eq(self, a: WidthEnv, b: WidthEnv) -> bool:
+        return a == b
+
+    # -- abstract expression evaluation -------------------------------------
+
+    def eval_range(self, e: Expr, env: WidthEnv, proc: str) -> Optional[Interval]:
+        """Interval of an int-typed expression; None = not an integer
+        value (real/bool) or unknown-by-construction."""
+        if isinstance(e, IntLit):
+            return _const(e.value)
+        if isinstance(e, (RealLit, BoolLit)):
+            return None
+        if isinstance(e, VarRef):
+            if e.name == COMM_WORLD_NAME:
+                return _const(COMM_WORLD_VALUE)
+            sym = self.symtab.try_lookup(proc, e.name)
+            if sym is None or not isinstance(sym.type, IntType):
+                return None
+            # Absent = not yet reached during iteration (every variable
+            # in scope is seeded at its boundary/CALL edge): stay
+            # optimistic and let the fixpoint fill it in.
+            return env.get(sym.qname)
+        if isinstance(e, ArrayRef):
+            sym = self.symtab.try_lookup(proc, e.name)
+            if sym is not None and sym.type.base == IntType():
+                return FULL  # integer arrays are untracked
+            return None
+        if isinstance(e, UnOp):
+            if e.op == "-":
+                r = self.eval_range(e.operand, env, proc)
+                if r is None:
+                    return None
+                return Interval(-r.hi, -r.lo).clamp()
+            return None
+        if isinstance(e, BinOp):
+            return self._eval_binop(e, env, proc)
+        if isinstance(e, IntrinsicCall):
+            return self._eval_intrinsic(e, env, proc)
+        return None
+
+    def _eval_binop(self, e: BinOp, env: WidthEnv, proc: str) -> Optional[Interval]:
+        if e.op == "**":
+            return FULL  # int ** int: representable but unbounded
+        if e.op not in ("+", "-", "*"):
+            return None  # '/' and comparisons produce non-integers
+        a = self.eval_range(e.left, env, proc)
+        b = self.eval_range(e.right, env, proc)
+        if a is None or b is None:
+            return None
+        try:
+            if e.op == "+":
+                return Interval(a.lo + b.lo, a.hi + b.hi).clamp()
+            if e.op == "-":
+                return Interval(a.lo - b.hi, a.hi - b.lo).clamp()
+            corners = [
+                a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi,
+            ]
+            return Interval(min(corners), max(corners)).clamp()
+        except OverflowError:  # pragma: no cover - clamp() prevents this
+            return FULL
+
+    def _eval_intrinsic(
+        self, e: IntrinsicCall, env: WidthEnv, proc: str
+    ) -> Optional[Interval]:
+        if e.name == "mpi_comm_rank":
+            # Rank ∈ [0, nprocs-1]; nprocs unknown, so [0, INT_MAX].
+            return Interval(0, INT_MAX)
+        if e.name == "mpi_comm_size":
+            return Interval(1, INT_MAX)
+        if e.name == "mod":
+            divisor = self.eval_range(e.args[1], env, proc)
+            if divisor is not None and divisor.lo > 0:
+                return Interval(0, divisor.hi - 1)
+            return FULL
+        if e.name in ("floor", "ceil", "int"):
+            return FULL  # real-sourced: unbounded without real ranges
+        if e.name in ("min", "max"):
+            a = self.eval_range(e.args[0], env, proc)
+            b = self.eval_range(e.args[1], env, proc)
+            if a is None or b is None:
+                return None
+            if e.name == "min":
+                return Interval(min(a.lo, b.lo), min(a.hi, b.hi))
+            return Interval(max(a.lo, b.lo), max(a.hi, b.hi))
+        return None
+
+    # -- transfer -------------------------------------------------------------
+
+    def transfer(
+        self, node: Node, fact: WidthEnv, comm: Optional[Optional[Interval]]
+    ) -> WidthEnv:
+        if isinstance(node, AssignNode):
+            return self._transfer_assign(node, fact)
+        if isinstance(node, MpiNode):
+            return self._transfer_mpi(node, fact, comm)
+        return fact
+
+    def _set(
+        self, node: Node, fact: WidthEnv, qname: str, value: Interval
+    ) -> WidthEnv:
+        key = (node.id, qname)
+        previous = self._memo.get(key)
+        if previous is not None and value != previous:
+            grew = value.lo < previous.lo or value.hi > previous.hi
+            value = value.hull(previous)
+            if grew:
+                value = value.widen_against(previous)
+        self._memo[key] = value
+        new = dict(fact)
+        new[qname] = value
+        return new
+
+    def _transfer_assign(self, node: AssignNode, fact: WidthEnv) -> WidthEnv:
+        target = node.target
+        if not isinstance(target, VarRef):
+            return fact
+        sym = self.symtab.try_lookup(node.proc, target.name)
+        if sym is None or not isinstance(sym.type, IntType):
+            return fact
+        value = self.eval_range(node.value, fact, node.proc)
+        if value is None:
+            # An operand is still unreached; keep the target untouched
+            # until the fixpoint delivers the operand's range.
+            return fact
+        return self._set(node, fact, sym.qname, value)
+
+    def _transfer_mpi(
+        self, node: MpiNode, fact: WidthEnv, comm: Optional[Optional[Interval]]
+    ) -> WidthEnv:
+        bufs = data_buffers(node, self.symtab)
+        recv = bufs.received
+        if recv is None or not recv.strong:
+            return fact
+        sym = self.symtab.symbol_of_qname(recv.qname)
+        if not isinstance(sym.type, IntType):
+            return fact
+        kind = node.mpi_kind
+        model = self.mpi_model
+        if model is MpiModel.COMM_EDGES:
+            if kind is MpiKind.RECV:
+                if comm is None:
+                    return fact  # senders unreached (or none matched)
+                return self._set(node, fact, recv.qname, comm)
+            if kind is MpiKind.BCAST:
+                own = fact.get(recv.qname)
+                if own is None and comm is None:
+                    return fact
+                value = own.hull(comm) if (own and comm) else (own or comm)
+                return self._set(node, fact, recv.qname, value)
+            if kind.writes_result:
+                # Reductions/gathers of integers: combine conservatively.
+                return self._set(node, fact, recv.qname, FULL)
+            return fact
+        if model is MpiModel.IGNORE or model.uses_global_buffer:
+            # Opaque receive / global-buffer: unbounded.
+            return self._set(node, fact, recv.qname, FULL)
+        return fact
+
+    # -- interprocedural edges --------------------------------------------------
+
+    def edge_fact(self, edge: Edge, fact: WidthEnv) -> WidthEnv:
+        if edge.kind is EdgeKind.FLOW:
+            return fact
+        site = self.maps.site_for_edge(edge)
+        if edge.kind is EdgeKind.CALL:
+            out = {q: v for q, v in fact.items() if is_global_qname(q)}
+            for b in site.bindings:
+                if not isinstance(b.formal_type, IntType):
+                    continue
+                value = self.eval_range(b.actual, fact, site.caller)
+                out[b.formal_qname] = value or FULL
+            for lq in self._int_locals[site.callee_instance]:
+                out[lq] = FULL  # uninitialized memory
+            return out
+        if edge.kind is EdgeKind.RETURN:
+            out = {q: v for q, v in fact.items() if is_global_qname(q)}
+            for b in site.bindings:
+                if (
+                    isinstance(b.formal_type, IntType)
+                    and b.actual_qname is not None
+                    and isinstance(b.actual, VarRef)
+                ):
+                    sym = self.symtab.symbol_of_qname(b.actual_qname)
+                    if isinstance(sym.type, IntType):
+                        out[b.actual_qname] = fact.get(b.formal_qname, FULL)
+            return out
+        if edge.kind is EdgeKind.CALL_TO_RETURN:
+            prefix = site.caller + "::"
+            return {
+                q: v
+                for q, v in fact.items()
+                if q.startswith(prefix) and q not in site.aliased
+            }
+        return fact
+
+    # -- communication --------------------------------------------------------
+
+    def has_comm(self) -> bool:
+        return self.mpi_model.uses_comm_edges
+
+    def comm_value(self, node: Node, before: WidthEnv) -> Optional[Interval]:
+        assert isinstance(node, MpiNode)
+        pos = node.op.position(ArgRole.DATA_IN)
+        if pos is None:
+            pos = node.op.position(ArgRole.DATA_INOUT)
+        if pos is None:
+            return None
+        return self.eval_range(node.arg_at(pos), before, node.proc)
+
+    def comm_meet(
+        self, values: Sequence[Optional[Interval]]
+    ) -> Optional[Interval]:
+        # None entries are senders whose payload range is still
+        # unreached (or non-integer payloads, which shape matching
+        # keeps away from integer receives): skip them and let the
+        # fixpoint revisit.
+        result: Optional[Interval] = None
+        for v in values:
+            if v is None:
+                continue
+            result = v if result is None else result.hull(v)
+        return result
+
+
+def bitwidth_analysis(
+    icfg: ICFG,
+    mpi_model: MpiModel = MpiModel.COMM_EDGES,
+    strategy: str = "roundrobin",
+) -> DataflowResult:
+    """Solve integer ranges; query widths via ``Interval.width``."""
+    problem = BitwidthProblem(icfg, mpi_model)
+    entry, exit_ = icfg.entry_exit(icfg.root)
+    return solve(icfg.graph, entry, exit_, problem, strategy=strategy)
+
+
+_ = ArrayType  # referenced in docstrings/tests

@@ -1,0 +1,165 @@
+"""Abstract evaluation of SPL expressions over constant environments.
+
+Used by reaching constants (transfer functions), by the MPI matcher
+(tag/communicator/root evaluation), and by the interprocedural CALL
+edge mapping (actual-argument evaluation).
+
+Evaluation follows the paper's three-level lattice: an expression is
+⊤ only if every reachable operand is still ⊤; it is a constant when
+all operands are constants; otherwise ⊥.  ``mpi_comm_rank()`` and
+``mpi_comm_size()`` evaluate to ⊥ — the rank *differs across the SPMD
+processes*, which is exactly why branches on rank must be treated as
+both-ways-possible.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..dataflow.lattice import BOTTOM, TOP, ConstEnv, ConstValue, const, env_get
+from ..ir.ast_nodes import (
+    ArrayRef,
+    BinOp,
+    BoolLit,
+    Expr,
+    IntLit,
+    IntrinsicCall,
+    RealLit,
+    UnOp,
+    VarRef,
+)
+from ..ir.mpi_ops import COMM_WORLD_NAME, COMM_WORLD_VALUE
+from ..ir.symtab import SymbolTable
+from ..ir.types import ArrayType
+
+__all__ = ["eval_const", "apply_binop", "apply_unop", "apply_intrinsic"]
+
+
+def eval_const(e: Expr, env: ConstEnv, symtab: SymbolTable, proc: str) -> ConstValue:
+    """Abstract value of ``e`` in ``env`` (names resolved in ``proc``)."""
+    if isinstance(e, IntLit):
+        return const(e.value)
+    if isinstance(e, RealLit):
+        return const(e.value)
+    if isinstance(e, BoolLit):
+        return const(e.value)
+    if isinstance(e, VarRef):
+        if e.name == COMM_WORLD_NAME:
+            return const(COMM_WORLD_VALUE)
+        sym = symtab.try_lookup(proc, e.name)
+        if sym is None:
+            return BOTTOM
+        if isinstance(sym.type, ArrayType):
+            return BOTTOM  # arrays are not tracked by reaching constants
+        return env_get(env, sym.qname)
+    if isinstance(e, ArrayRef):
+        return BOTTOM
+    if isinstance(e, UnOp):
+        return apply_unop(e.op, eval_const(e.operand, env, symtab, proc))
+    if isinstance(e, BinOp):
+        left = eval_const(e.left, env, symtab, proc)
+        right = eval_const(e.right, env, symtab, proc)
+        return apply_binop(e.op, left, right)
+    if isinstance(e, IntrinsicCall):
+        if e.name in ("mpi_comm_rank", "mpi_comm_size"):
+            return BOTTOM  # varies per SPMD process / launch configuration
+        args = [eval_const(a, env, symtab, proc) for a in e.args]
+        return apply_intrinsic(e.name, args)
+    return BOTTOM
+
+
+def _lift2(a: ConstValue, b: ConstValue) -> ConstValue | None:
+    """Shared strictness for binary combinations; None means "compute"."""
+    if a.is_bottom or b.is_bottom:
+        return BOTTOM
+    if a.is_top or b.is_top:
+        return TOP
+    return None
+
+
+def apply_binop(op: str, a: ConstValue, b: ConstValue) -> ConstValue:
+    early = _lift2(a, b)
+    if early is not None:
+        return early
+    x, y = a.value, b.value
+    try:
+        if op == "+":
+            return const(x + y)
+        if op == "-":
+            return const(x - y)
+        if op == "*":
+            return const(x * y)
+        if op == "/":
+            return BOTTOM if y == 0 else const(x / y)
+        if op == "**":
+            return const(x**y)
+        if op == "==":
+            return const(x == y)
+        if op == "!=":
+            return const(x != y)
+        if op == "<":
+            return const(x < y)
+        if op == "<=":
+            return const(x <= y)
+        if op == ">":
+            return const(x > y)
+        if op == ">=":
+            return const(x >= y)
+        if op == "and":
+            return const(bool(x) and bool(y))
+        if op == "or":
+            return const(bool(x) or bool(y))
+    except (ArithmeticError, TypeError, ValueError):
+        return BOTTOM
+    return BOTTOM
+
+
+def apply_unop(op: str, a: ConstValue) -> ConstValue:
+    if a.is_bottom:
+        return BOTTOM
+    if a.is_top:
+        return TOP
+    try:
+        if op == "-":
+            return const(-a.value)
+        if op == "not":
+            return const(not a.value)
+    except TypeError:
+        return BOTTOM
+    return BOTTOM
+
+
+_MATH = {
+    "sin": math.sin,
+    "cos": math.cos,
+    "tan": math.tan,
+    "exp": math.exp,
+    "log": math.log,
+    "sqrt": math.sqrt,
+    "abs": abs,
+    "floor": math.floor,
+    "ceil": math.ceil,
+    "int": int,
+    "float": float,
+}
+
+
+def apply_intrinsic(name: str, args: list[ConstValue]) -> ConstValue:
+    if any(a.is_bottom for a in args):
+        return BOTTOM
+    if any(a.is_top for a in args):
+        return TOP
+    values = [a.value for a in args]
+    try:
+        if name == "min":
+            return const(min(values))
+        if name == "max":
+            return const(max(values))
+        if name == "mod":
+            return BOTTOM if values[1] == 0 else const(values[0] % values[1])
+        fn = _MATH.get(name)
+        if fn is not None:
+            return const(fn(*values))
+    except (ArithmeticError, TypeError, ValueError):
+        return BOTTOM
+    return BOTTOM

@@ -1,0 +1,67 @@
+"""Postdominators and control dependence (slicing extension).
+
+Classic Ferrante–Ottenstein–Warren control dependence: ``x`` is control
+dependent on branch ``a`` iff ``x`` postdominates some successor of
+``a`` but does not strictly postdominate ``a``.  Postdominator sets are
+computed by the standard iterative set algorithm over the non-COMM
+edges, sinking at the context routine's EXIT node.
+"""
+
+from __future__ import annotations
+
+from ..cfg.icfg import ICFG
+from ..cfg.node import EdgeKind
+
+__all__ = ["postdominators", "control_dependence"]
+
+
+def postdominators(icfg: ICFG) -> dict[int, frozenset[int]]:
+    """Postdominator sets over flow/call/return edges.
+
+    Nodes from which the root EXIT is unreachable (infinite loops)
+    keep the full universe — the conventional conservative answer.
+    """
+    graph = icfg.graph
+    _, root_exit = icfg.entry_exit(icfg.root)
+    universe = frozenset(graph.nodes)
+    pd: dict[int, frozenset[int]] = {n: universe for n in graph.nodes}
+    pd[root_exit] = frozenset({root_exit})
+    order = list(reversed(graph.reverse_postorder(icfg.entry_exit(icfg.root)[0])))
+    changed = True
+    while changed:
+        changed = False
+        for n in order:
+            if n == root_exit:
+                continue
+            succs = [
+                e.dst for e in graph.out_edges(n) if e.kind is not EdgeKind.COMM
+            ]
+            if not succs:
+                continue
+            new = frozenset.intersection(*(pd[s] for s in succs)) | {n}
+            if new != pd[n]:
+                pd[n] = new
+                changed = True
+    return pd
+
+
+def control_dependence(icfg: ICFG) -> dict[int, frozenset[int]]:
+    """Map each branching node to the nodes control dependent on it."""
+    graph = icfg.graph
+    pd = postdominators(icfg)
+    cd: dict[int, set[int]] = {}
+    for a in graph.nodes:
+        succs = [
+            e.dst for e in graph.out_edges(a) if e.kind is not EdgeKind.COMM
+        ]
+        if len(succs) < 2:
+            continue
+        deps: set[int] = set()
+        for b in succs:
+            for x in pd[b]:
+                if x == a or x not in pd[a]:
+                    deps.add(x)
+        deps.discard(a)
+        if deps:
+            cd[a] = deps
+    return {a: frozenset(v) for a, v in cd.items()}

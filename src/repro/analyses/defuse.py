@@ -1,0 +1,113 @@
+"""Definition/use extraction from SPL expressions and CFG nodes.
+
+Two flavours of "use" matter to the analyses:
+
+* **all uses** — every variable read anywhere in an expression,
+  including array subscripts (liveness, taint, slicing);
+* **differentiable uses** — variables whose *value* (not just control
+  or indexing) flows into the result through differentiable operations.
+  This is the notion activity analysis needs: the paper notes that "the
+  variable(s) being defined in a statement do not depend on any of the
+  variables used to index such arrays", and nondifferentiable
+  intrinsics sever derivative flow.
+"""
+
+from __future__ import annotations
+
+from ..ir.ast_nodes import (
+    ArrayRef,
+    BinOp,
+    Expr,
+    IntrinsicCall,
+    UnOp,
+    VarRef,
+)
+from ..ir.intrinsics import INTRINSICS
+from ..ir.mpi_ops import COMM_WORLD_NAME, REDUCE_OPS
+from ..ir.symtab import SymbolTable
+
+__all__ = ["expr_var_names", "use_qnames", "diff_use_qnames", "lvalue_qname"]
+
+#: Differentiable arithmetic operators.
+_DIFF_BINOPS = frozenset({"+", "-", "*", "/", "**"})
+
+
+def expr_var_names(e: Expr) -> set[str]:
+    """Bare names of every variable read in ``e`` (subscripts included)."""
+    names: set[str] = set()
+    _collect_names(e, names)
+    names.discard(COMM_WORLD_NAME)
+    return names
+
+
+def _collect_names(e: Expr, out: set[str]) -> None:
+    if isinstance(e, VarRef):
+        out.add(e.name)
+    elif isinstance(e, ArrayRef):
+        out.add(e.name)
+        for i in e.indices:
+            _collect_names(i, out)
+    elif isinstance(e, BinOp):
+        _collect_names(e.left, out)
+        _collect_names(e.right, out)
+    elif isinstance(e, UnOp):
+        _collect_names(e.operand, out)
+    elif isinstance(e, IntrinsicCall):
+        for a in e.args:
+            _collect_names(a, out)
+
+
+def use_qnames(e: Expr, symtab: SymbolTable, proc: str) -> frozenset[str]:
+    """Qualified names of all variables read in ``e`` within ``proc``."""
+    out = set()
+    for name in expr_var_names(e):
+        sym = symtab.try_lookup(proc, name)
+        if sym is not None:
+            out.add(sym.qname)
+    return frozenset(out)
+
+
+def diff_use_qnames(e: Expr, symtab: SymbolTable, proc: str) -> frozenset[str]:
+    """Qualified names of real-typed variables used *differentiably*.
+
+    Array subscripts, boolean/comparison operands, arguments of
+    nondifferentiable intrinsics, and non-real variables contribute
+    nothing.
+    """
+    names: set[str] = set()
+    _collect_diff(e, names)
+    out = set()
+    for name in names:
+        if name == COMM_WORLD_NAME or name in REDUCE_OPS:
+            continue
+        sym = symtab.try_lookup(proc, name)
+        if sym is not None and sym.type.is_real:
+            out.add(sym.qname)
+    return frozenset(out)
+
+
+def _collect_diff(e: Expr, out: set[str]) -> None:
+    if isinstance(e, VarRef):
+        out.add(e.name)
+    elif isinstance(e, ArrayRef):
+        # The array's value flows through; its subscripts do not.
+        out.add(e.name)
+    elif isinstance(e, BinOp):
+        if e.op in _DIFF_BINOPS:
+            _collect_diff(e.left, out)
+            _collect_diff(e.right, out)
+        # Comparisons and boolean connectives produce bool: no
+        # derivative flows through them.
+    elif isinstance(e, UnOp):
+        if e.op == "-":
+            _collect_diff(e.operand, out)
+    elif isinstance(e, IntrinsicCall):
+        info = INTRINSICS.get(e.name)
+        if info is not None and info.differentiable:
+            for a in e.args:
+                _collect_diff(a, out)
+
+
+def lvalue_qname(target, symtab: SymbolTable, proc: str) -> str:
+    """Qualified name of an assignment target (VarRef or ArrayRef)."""
+    return symtab.qname(proc, target.name)

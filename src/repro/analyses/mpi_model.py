@@ -1,0 +1,121 @@
+"""MPI semantics models pluggable into each nonseparable analysis.
+
+The paper evaluates two treatments of MPI calls and discusses two more
+(§2); all four are available so the baseline benchmarks can compare
+them directly:
+
+* :attr:`MpiModel.COMM_EDGES` — the paper's contribution: data-flow
+  information crosses communication edges via the communication
+  transfer function (requires a graph with COMM edges, i.e. an MPI-CFG
+  or MPI-ICFG).
+* :attr:`MpiModel.GLOBAL_BUFFER` — the paper's conservative ICFG
+  baseline: sends/receives write to / read from one global variable
+  which is declared both independent and dependent; updates are *weak*
+  so every sent variable that varies becomes active and every received
+  variable that is useful becomes active.
+* :attr:`MpiModel.ODYSSEE` — the Odyssée/Tapenade model: communication
+  is an ordinary strong assignment through a global variable.  Correct
+  for straight-line communication but "may fail if a branch on rank
+  occurs prior to communication and outside of any loops" (§6).
+* :attr:`MpiModel.IGNORE` — the naive model: MPI calls are opaque; a
+  receive kills its buffer.  §2 shows this yields an *empty* active set
+  on Figure 1 — incorrect results, included as the negative control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from ..cfg.node import MpiNode
+from ..ir.ast_nodes import ArrayRef, VarRef
+from ..ir.mpi_ops import ArgRole
+from ..ir.symtab import SymbolTable
+
+__all__ = ["MpiModel", "MPI_BUFFER_QNAME", "BufferRef", "data_buffers", "reduce_op_name"]
+
+
+class MpiModel(Enum):
+    COMM_EDGES = "comm-edges"
+    GLOBAL_BUFFER = "global-buffer"
+    ODYSSEE = "odyssee"
+    IGNORE = "ignore"
+
+    @property
+    def uses_comm_edges(self) -> bool:
+        return self is MpiModel.COMM_EDGES
+
+    @property
+    def uses_global_buffer(self) -> bool:
+        return self in (MpiModel.GLOBAL_BUFFER, MpiModel.ODYSSEE)
+
+
+#: Qualified name of the synthetic global modelling communication in the
+#: GLOBAL_BUFFER / ODYSSEE models.  The leading ``::`` makes it a global
+#: for the interprocedural edge mappings automatically.
+MPI_BUFFER_QNAME = "::__mpi_buffer"
+
+
+@dataclass(frozen=True)
+class BufferRef:
+    """One data argument of an MPI node, resolved to a qualified name.
+
+    ``strong`` is True when the operation overwrites the whole variable
+    (bare variable reference), False for an array-element reference
+    where only one element is written (weak update).
+    """
+
+    qname: str
+    is_real: bool
+    strong: bool
+
+
+def _resolve(node: MpiNode, position: int, symtab: SymbolTable) -> Optional[BufferRef]:
+    arg = node.arg_at(position)
+    if not isinstance(arg, (VarRef, ArrayRef)):
+        return None
+    sym = symtab.try_lookup(node.proc, arg.name)
+    if sym is None:
+        return None
+    return BufferRef(
+        qname=sym.qname,
+        is_real=sym.type.is_real,
+        strong=isinstance(arg, VarRef),
+    )
+
+
+@dataclass(frozen=True)
+class DataBuffers:
+    """Send-side and receive-side buffers of one MPI node.
+
+    For BCAST the single inout buffer appears on both sides.
+    """
+
+    sent: Optional[BufferRef]
+    received: Optional[BufferRef]
+
+
+def data_buffers(node: MpiNode, symtab: SymbolTable) -> DataBuffers:
+    op = node.op
+    sent = received = None
+    pos_in = op.position(ArgRole.DATA_IN)
+    pos_out = op.position(ArgRole.DATA_OUT)
+    pos_inout = op.position(ArgRole.DATA_INOUT)
+    if pos_in is not None:
+        sent = _resolve(node, pos_in, symtab)
+    if pos_out is not None:
+        received = _resolve(node, pos_out, symtab)
+    if pos_inout is not None:
+        buf = _resolve(node, pos_inout, symtab)
+        sent = received = buf
+    return DataBuffers(sent=sent, received=received)
+
+
+def reduce_op_name(node: MpiNode) -> Optional[str]:
+    """The reduction operator name ("sum"/"prod"/"min"/"max"), if any."""
+    pos = node.op.position(ArgRole.REDOP)
+    if pos is None:
+        return None
+    arg = node.arg_at(pos)
+    return arg.name if isinstance(arg, VarRef) else None

@@ -1,0 +1,280 @@
+"""Reaching constants — the paper's canonical nonseparable analysis (§3).
+
+Facts are constant environments mapping qualified scalar names to
+lattice values (absent = ⊤).  Over communication edges the analysis
+propagates the lattice value of the *sent* variable evaluated in the
+send node's IN set::
+
+    commOUT(n) = f_comm(IN(n)) = { c_x | <x, c_x> ∈ IN(n) }
+
+and a receive's transfer assigns the meet over all incoming
+communication edges to the received variable::
+
+    OUT(n) = (IN(n) - {<y, c_y>}) ∪ {<y, ⊓_{q ∈ commpred(n)} f_comm(IN(q))>}
+
+Broadcast buffers meet the values from every matched broadcast;
+reductions produce a constant only when the operator is idempotent
+(min/max) over a single shared constant — or the absorbing cases
+``sum`` of all zeros / ``prod`` of all ones.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..cfg.icfg import ICFG
+from ..cfg.node import AssignNode, Edge, EdgeKind, MpiNode, Node
+from ..dataflow.framework import DataFlowProblem, DataflowResult, Direction
+from ..dataflow.interproc import InterprocMaps
+from ..dataflow.lattice import (
+    BOTTOM,
+    ConstEnv,
+    ConstValue,
+    const,
+    const_meet,
+    env_get,
+    env_meet,
+    env_set,
+)
+from ..dataflow.solver import solve
+from ..ir.ast_nodes import VarRef
+from ..ir.mpi_ops import ArgRole, MpiKind
+from ..ir.symtab import is_global_qname
+from ..ir.types import ArrayType
+from .consteval import eval_const
+from .mpi_model import MPI_BUFFER_QNAME, MpiModel, data_buffers, reduce_op_name
+
+__all__ = ["ReachingConstantsProblem", "reaching_constants"]
+
+
+class ReachingConstantsProblem(DataFlowProblem[ConstEnv, ConstValue]):
+    """Forward interprocedural reaching constants over an (MPI-)ICFG."""
+
+    direction = Direction.FORWARD
+    name = "reaching-constants"
+
+    def __init__(self, icfg: ICFG, mpi_model: MpiModel = MpiModel.COMM_EDGES):
+        self.icfg = icfg
+        self.symtab = icfg.symtab
+        self.mpi_model = mpi_model
+        self.maps = InterprocMaps(icfg)
+        #: scalar locals per callee instance, precomputed for CALL edges.
+        self._scalar_locals: dict[str, tuple[str, ...]] = {}
+        for instance in icfg.procs:
+            ps = self.symtab.procs[instance]
+            self._scalar_locals[instance] = tuple(
+                s.qname
+                for s in ps.locals.values()
+                if not isinstance(s.type, ArrayType)
+            )
+
+    # -- lattice ---------------------------------------------------------
+
+    def top(self) -> ConstEnv:
+        return {}
+
+    def boundary(self) -> ConstEnv:
+        """Entry of the context routine: every visible scalar is ⊥.
+
+        Inputs (parameters, globals) hold unknown runtime values and
+        Fortran locals hold arbitrary memory, so nothing is constant.
+        """
+        env: ConstEnv = {}
+        root = self.icfg.root
+        for sym in self.symtab.globals.values():
+            if not isinstance(sym.type, ArrayType):
+                env[sym.qname] = BOTTOM
+        for sym in self.symtab.procs[root]:
+            if not isinstance(sym.type, ArrayType):
+                env[sym.qname] = BOTTOM
+        if self.mpi_model.uses_global_buffer:
+            env[MPI_BUFFER_QNAME] = BOTTOM
+        return env
+
+    def meet(self, a: ConstEnv, b: ConstEnv) -> ConstEnv:
+        return env_meet(a, b)
+
+    # -- transfer ----------------------------------------------------------
+
+    def transfer(self, node: Node, fact: ConstEnv, comm: Optional[ConstValue]) -> ConstEnv:
+        if isinstance(node, AssignNode):
+            return self._transfer_assign(node, fact)
+        if isinstance(node, MpiNode):
+            return self._transfer_mpi(node, fact, comm)
+        return fact
+
+    def _transfer_assign(self, node: AssignNode, fact: ConstEnv) -> ConstEnv:
+        target = node.target
+        if not isinstance(target, VarRef):
+            return fact  # array-element store: arrays are untracked
+        sym = self.symtab.try_lookup(node.proc, target.name)
+        if sym is None or isinstance(sym.type, ArrayType):
+            return fact  # whole-array fill: untracked
+        value = eval_const(node.value, fact, self.symtab, node.proc)
+        return env_set(fact, sym.qname, value)
+
+    def _transfer_mpi(
+        self, node: MpiNode, fact: ConstEnv, comm: Optional[ConstValue]
+    ) -> ConstEnv:
+        model = self.mpi_model
+        if model is MpiModel.COMM_EDGES:
+            return self._mpi_comm_edges(node, fact, comm)
+        if model is MpiModel.IGNORE:
+            return self._mpi_ignore(node, fact)
+        return self._mpi_global_buffer(node, fact, weak=model is MpiModel.GLOBAL_BUFFER)
+
+    def _sent_value(self, node: MpiNode, fact: ConstEnv) -> ConstValue:
+        """Lattice value of the sent payload evaluated in ``fact``."""
+        pos = node.op.position(ArgRole.DATA_IN)
+        if pos is None:
+            pos = node.op.position(ArgRole.DATA_INOUT)
+        if pos is None:
+            return BOTTOM
+        return eval_const(node.arg_at(pos), fact, self.symtab, node.proc)
+
+    def _set_scalar_buffer(
+        self, node: MpiNode, fact: ConstEnv, received_side: bool, value: ConstValue
+    ) -> ConstEnv:
+        bufs = data_buffers(node, self.symtab)
+        buf = bufs.received if received_side else bufs.sent
+        if buf is None:
+            return fact
+        sym = self.symtab.symbol_of_qname(buf.qname)
+        if isinstance(sym.type, ArrayType):
+            return fact  # arrays untracked
+        if not buf.strong:
+            return fact
+        return env_set(fact, buf.qname, value)
+
+    def _mpi_comm_edges(
+        self, node: MpiNode, fact: ConstEnv, comm: Optional[ConstValue]
+    ) -> ConstEnv:
+        kind = node.mpi_kind
+        if kind is MpiKind.SEND or kind is MpiKind.SYNC:
+            return fact
+        if kind is MpiKind.RECV:
+            value = comm if comm is not None else BOTTOM
+            return self._set_scalar_buffer(node, fact, True, value)
+        if kind is MpiKind.BCAST:
+            own = self._sent_value(node, fact)
+            value = const_meet(own, comm) if comm is not None else own
+            return self._set_scalar_buffer(node, fact, True, value)
+        if kind in (MpiKind.REDUCE, MpiKind.ALLREDUCE):
+            own = self._sent_value(node, fact)
+            contributions = const_meet(own, comm) if comm is not None else own
+            value = _reduce_result(reduce_op_name(node), contributions)
+            return self._set_scalar_buffer(node, fact, True, value)
+        if kind in (MpiKind.GATHER, MpiKind.SCATTER):
+            # Result buffers are (slices of) arrays; scalar receive
+            # buffers get an unknown slice of the contributed data.
+            return self._set_scalar_buffer(node, fact, True, BOTTOM)
+        return fact
+
+    def _mpi_ignore(self, node: MpiNode, fact: ConstEnv) -> ConstEnv:
+        # Opaque library call: anything it may write becomes ⊥.
+        if node.mpi_kind is MpiKind.BCAST or node.mpi_kind.writes_result:
+            return self._set_scalar_buffer(node, fact, True, BOTTOM)
+        return fact
+
+    def _mpi_global_buffer(self, node: MpiNode, fact: ConstEnv, weak: bool) -> ConstEnv:
+        kind = node.mpi_kind
+        if kind is MpiKind.SYNC:
+            return fact
+        out = fact
+        if kind is not MpiKind.RECV:  # everything else contributes data
+            sent = self._sent_value(node, out)
+            if weak:
+                sent = const_meet(env_get(out, MPI_BUFFER_QNAME), sent)
+            out = env_set(out, MPI_BUFFER_QNAME, sent)
+        if kind in (MpiKind.RECV, MpiKind.BCAST):
+            out = self._set_scalar_buffer(
+                node, out, True, env_get(out, MPI_BUFFER_QNAME)
+            )
+        elif kind.writes_result:
+            out = self._set_scalar_buffer(node, out, True, BOTTOM)
+        return out
+
+    # -- interprocedural edges ----------------------------------------------
+
+    def edge_fact(self, edge: Edge, fact: ConstEnv) -> ConstEnv:
+        if edge.kind is EdgeKind.FLOW:
+            return fact
+        site = self.maps.site_for_edge(edge)
+        if edge.kind is EdgeKind.CALL:
+            out: ConstEnv = {q: v for q, v in fact.items() if is_global_qname(q)}
+            for b in site.bindings:
+                if b.is_array:
+                    continue
+                out[b.formal_qname] = eval_const(
+                    b.actual, fact, self.symtab, site.caller
+                )
+            for lq in self._scalar_locals[site.callee_instance]:
+                out[lq] = BOTTOM  # uninitialized memory on procedure entry
+            return out
+        if edge.kind is EdgeKind.RETURN:
+            out = {q: v for q, v in fact.items() if is_global_qname(q)}
+            for b in site.bindings:
+                if b.is_array or b.actual_qname is None:
+                    continue
+                if isinstance(b.actual, VarRef):
+                    sym = self.symtab.symbol_of_qname(b.actual_qname)
+                    if not isinstance(sym.type, ArrayType):
+                        out[b.actual_qname] = env_get(fact, b.formal_qname)
+            return out
+        if edge.kind is EdgeKind.CALL_TO_RETURN:
+            prefix = site.caller + "::"
+            return {
+                q: v
+                for q, v in fact.items()
+                if q.startswith(prefix) and q not in site.aliased
+            }
+        return fact
+
+    # -- communication ------------------------------------------------------
+
+    def has_comm(self) -> bool:
+        return self.mpi_model.uses_comm_edges
+
+    def comm_value(self, node: Node, before: ConstEnv) -> ConstValue:
+        assert isinstance(node, MpiNode)
+        return self._sent_value(node, before)
+
+    def comm_meet(self, values: Sequence[ConstValue]) -> ConstValue:
+        result = values[0]
+        for v in values[1:]:
+            result = const_meet(result, v)
+        return result
+
+
+def _reduce_result(op: Optional[str], contributions: ConstValue) -> ConstValue:
+    """Value of a reduction given the meet of all contributions.
+
+    ``min``/``max`` of one shared constant is that constant; ``sum`` of
+    all zeros is 0 and ``prod`` of all ones is 1 regardless of the
+    process count; everything else is ⊥.
+    """
+    if not contributions.is_const:
+        return BOTTOM
+    if op in ("min", "max"):
+        return contributions
+    if op == "sum" and contributions.value == 0:
+        return const(0)
+    if op == "prod" and contributions.value == 1:
+        return const(1)
+    return BOTTOM
+
+
+def reaching_constants(
+    icfg: ICFG,
+    mpi_model: MpiModel = MpiModel.COMM_EDGES,
+    strategy: str = "roundrobin",
+) -> DataflowResult:
+    """Solve reaching constants over ``icfg``.
+
+    With ``MpiModel.COMM_EDGES`` the graph should already carry COMM
+    edges (see :func:`repro.mpi.build_mpi_icfg`); with the other models
+    any plain ICFG works.
+    """
+    problem = ReachingConstantsProblem(icfg, mpi_model)
+    entry, exit_ = icfg.entry_exit(icfg.root)
+    return solve(icfg.graph, entry, exit_, problem, strategy=strategy)

@@ -1,0 +1,361 @@
+"""Forward static slicing over the MPI-(I)CFG (§1's motivating example).
+
+The forward slice of a definition contains every statement whose
+computation is influenced by the defined value.  Without communication
+edges, a slice of ``x = 0`` in the paper's Figure 1 finds only the
+sender-side statements {1, 5, 6, 7}; with the MPI-ICFG it correctly
+adds the receive, the use of the received value, and the reduction:
+{1, 5, 6, 7, 9, 10, 12}.
+
+Implementation: run the influence analysis seeded at the criterion
+node's definition, then collect the nodes that *read* an influenced
+value (or receive influenced data over a communication edge).
+Implicit control dependence is available as an opt-in extension
+(``include_control=True``) using postdominator-based control
+dependence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..cfg.icfg import ICFG
+from ..cfg.node import AssignNode, BranchNode, CallNode, MpiNode, Node
+from ..dataflow.framework import DataflowResult
+from ..ir.ast_nodes import VarRef
+from ..ir.mpi_ops import ArgRole, MpiKind
+from .controldep import control_dependence
+from .defuse import use_qnames
+from .mpi_model import MPI_BUFFER_QNAME, MpiModel, data_buffers
+from .taint import TaintProblem, taint_analysis
+
+__all__ = ["SliceResult", "forward_slice", "backward_slice"]
+
+
+@dataclass
+class SliceResult:
+    criterion: int
+    node_ids: frozenset[int]
+    influence: DataflowResult
+
+    def lines(self, icfg: ICFG) -> list[int]:
+        """Source lines of the sliced statements (sorted, deduplicated)."""
+        out = {
+            icfg.graph.node(nid).loc.line
+            for nid in self.node_ids
+            if icfg.graph.node(nid).loc.line
+        }
+        return sorted(out)
+
+
+def _node_reads_influenced(
+    icfg: ICFG, node: Node, influence: DataflowResult, problem_model: MpiModel
+) -> bool:
+    """Does this node's computation consume an influenced value?"""
+    symtab = icfg.symtab
+    fact_in = influence.in_fact(node.id)
+    if isinstance(node, AssignNode):
+        return bool(use_qnames(node.value, symtab, node.proc) & fact_in)
+    if isinstance(node, BranchNode):
+        return bool(use_qnames(node.cond, symtab, node.proc) & fact_in)
+    if isinstance(node, CallNode):
+        return any(
+            use_qnames(a, symtab, node.proc) & fact_in for a in node.args
+        )
+    if isinstance(node, MpiNode):
+        if node.mpi_kind is MpiKind.SYNC:
+            return False
+        # Reads its outgoing payload...
+        pos = node.op.position(ArgRole.DATA_IN)
+        if pos is None:
+            pos = node.op.position(ArgRole.DATA_INOUT)
+        if pos is not None:
+            arg = node.arg_at(pos)
+            if use_qnames(arg, symtab, node.proc) & fact_in:
+                return True
+        # ...or receives influenced data over the communication model.
+        bufs = data_buffers(node, symtab)
+        if bufs.received is not None:
+            return _receives_influenced(icfg, node, influence, problem_model)
+        return False
+    return False
+
+
+def _receives_influenced(
+    icfg: ICFG, node: MpiNode, influence: DataflowResult, model: MpiModel
+) -> bool:
+    """True when the node's received data is influenced (not merely the
+    buffer's old value)."""
+    symtab = icfg.symtab
+    if model is MpiModel.COMM_EDGES:
+        problem = TaintProblem(icfg, mpi_model=model)
+        for q in icfg.graph.comm_preds(node.id):
+            src = icfg.graph.node(q)
+            if problem.comm_value(src, influence.in_fact(q)):
+                return True
+        # Collectives also feed themselves (own contribution).
+        if node.mpi_kind in (MpiKind.BCAST, MpiKind.REDUCE, MpiKind.ALLREDUCE):
+            bufs = data_buffers(node, symtab)
+            if bufs.sent is not None and bufs.sent.qname in influence.in_fact(node.id):
+                return True
+        return False
+    if model.uses_global_buffer:
+        return MPI_BUFFER_QNAME in influence.in_fact(node.id)
+    return False
+
+
+def forward_slice(
+    icfg: ICFG,
+    criterion: int,
+    mpi_model: MpiModel = MpiModel.COMM_EDGES,
+    include_control: bool = False,
+    strategy: str = "roundrobin",
+) -> SliceResult:
+    """Forward slice from the definition at node ``criterion``.
+
+    ``criterion`` must be an assignment or receiving MPI node.  With
+    ``include_control=True``, statements control-dependent on influenced
+    branches are added transitively.
+    """
+    node = icfg.graph.node(criterion)
+    seed_q: Optional[str] = None
+    if isinstance(node, AssignNode):
+        seed_q = icfg.symtab.qname(node.proc, node.target.name)
+    elif isinstance(node, MpiNode):
+        bufs = data_buffers(node, icfg.symtab)
+        if bufs.received is not None:
+            seed_q = bufs.received.qname
+    if seed_q is None:
+        raise ValueError(f"criterion node {node} defines no variable")
+
+    influence = taint_analysis(
+        icfg,
+        node_seeds={criterion: seed_q},
+        mpi_model=mpi_model,
+        strategy=strategy,
+    )
+
+    members: set[int] = {criterion}
+    for nid, n in icfg.graph.nodes.items():
+        if nid == criterion:
+            continue
+        if _node_reads_influenced(icfg, n, influence, mpi_model):
+            members.add(nid)
+
+    if include_control:
+        cd = control_dependence(icfg)
+        changed = True
+        while changed:
+            changed = False
+            influenced_branches = {
+                nid
+                for nid in members
+                if isinstance(icfg.graph.node(nid), BranchNode)
+            }
+            for branch in influenced_branches:
+                for dep in cd.get(branch, ()):
+                    if dep not in members:
+                        members.add(dep)
+                        changed = True
+
+    return SliceResult(
+        criterion=criterion,
+        node_ids=frozenset(members),
+        influence=influence,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Backward slicing.
+# ---------------------------------------------------------------------------
+
+
+def backward_slice(
+    icfg: ICFG,
+    criterion: int,
+    mpi_model: MpiModel = MpiModel.COMM_EDGES,
+    include_control: bool = False,
+    strategy: str = "roundrobin",
+) -> SliceResult:
+    """Backward slice: statements whose values may reach ``criterion``.
+
+    The criterion may be any node that *uses* variables (assignment,
+    branch, call, MPI operation); the seed is its use set.
+    """
+    from typing import Optional as _Opt, Sequence as _Seq
+
+    from ..dataflow.framework import DataFlowProblem, Direction
+    from ..dataflow.solver import solve
+    from ..ir.mpi_ops import ArgRole as _AR
+
+    symtab = icfg.symtab
+    node = icfg.graph.node(criterion)
+    seeds = _node_uses(icfg, node)
+    if not seeds:
+        raise ValueError(f"criterion node {node} uses no variables")
+
+    class Need(DataFlowProblem[frozenset, bool]):
+        direction = Direction.BACKWARD
+        name = "backward-slice-need"
+
+        def __init__(self):
+            from ..dataflow.interproc import InterprocMaps
+
+            self.maps = InterprocMaps(icfg)
+
+        def top(self):
+            return frozenset()
+
+        def boundary(self):
+            return frozenset()
+
+        def meet(self, a, b):
+            return a | b
+
+        def transfer(self, n: Node, fact, comm: Optional[bool]):
+            out = fact
+            if n.id == criterion:
+                out = out | seeds
+            if isinstance(n, AssignNode):
+                sym = symtab.try_lookup(n.proc, n.target.name)
+                if sym is None or sym.qname not in out:
+                    return out
+                uses = use_qnames(n.value, symtab, n.proc)
+                if not isinstance(n.target, VarRef):
+                    for idx in n.target.indices:
+                        uses = uses | use_qnames(idx, symtab, n.proc)
+                    return out | uses  # weak kill
+                return (out - {sym.qname}) | uses
+            if isinstance(n, MpiNode):
+                return self._mpi(n, out, comm)
+            return out
+
+        def _mpi(self, n: MpiNode, fact, comm: Optional[bool]):
+            kind = n.mpi_kind
+            if kind is MpiKind.SYNC:
+                return fact
+            bufs = data_buffers(n, symtab)
+            recv, sent = bufs.received, bufs.sent
+            needed = bool(comm)  # some matched receive needs our payload
+            out = fact
+            if kind is MpiKind.RECV:
+                if recv is not None and recv.strong:
+                    out = out - {recv.qname}
+                return out
+            if kind is MpiKind.BCAST:
+                assert sent is not None
+                if needed:
+                    out = out | {sent.qname}
+                return out  # weak: the root's value survives via `fact`
+            # Reduce-like: the result combines every rank's payload.
+            result_needed = needed or (recv is not None and recv.qname in out)
+            if recv is not None and recv.strong:
+                out = out - {recv.qname}
+            if sent is not None and result_needed:
+                out = out | {sent.qname}
+            return out
+
+        def edge_fact(self, edge, fact):
+            from ..cfg.node import EdgeKind
+            from ..ir.symtab import is_global_qname
+
+            if edge.kind is EdgeKind.FLOW:
+                return fact
+            site = self.maps.site_for_edge(edge)
+            if edge.kind is EdgeKind.CALL:
+                out = {q for q in fact if is_global_qname(q)}
+                for b in site.bindings:
+                    if b.formal_qname in fact:
+                        out |= use_qnames(b.actual, symtab, site.caller)
+                return frozenset(out)
+            if edge.kind is EdgeKind.RETURN:
+                out = {q for q in fact if is_global_qname(q)}
+                for b in site.bindings:
+                    if b.actual_qname is not None and b.actual_qname in fact:
+                        out.add(b.formal_qname)
+                return frozenset(out)
+            if edge.kind is EdgeKind.CALL_TO_RETURN:
+                return self.maps.locals_surviving_call(fact, site)
+            return fact
+
+        def has_comm(self):
+            return mpi_model.uses_comm_edges
+
+        def comm_value(self, n: Node, before) -> bool:
+            assert isinstance(n, MpiNode)
+            bufs = data_buffers(n, symtab)
+            return bufs.received is not None and bufs.received.qname in before
+
+        def comm_meet(self, values: _Seq[bool]) -> bool:
+            return any(values)
+
+    entry, exit_ = icfg.entry_exit(icfg.root)
+    need = solve(icfg.graph, entry, exit_, Need(), strategy=strategy)
+
+    problem = Need()
+    members: set[int] = {criterion}
+    for nid, n in icfg.graph.nodes.items():
+        if nid == criterion:
+            continue
+        defined = _node_defs(icfg, n)
+        # The program-order OUT of a backward analysis is `before`.
+        if defined and defined & need.out_fact(nid):
+            members.add(nid)
+            continue
+        # A send transmits a needed value without defining anything:
+        # include it when any matched receive's buffer is needed.
+        if isinstance(n, MpiNode) and mpi_model.uses_comm_edges:
+            bufs = data_buffers(n, symtab)
+            if bufs.sent is not None and any(
+                problem.comm_value(icfg.graph.node(r), need.out_fact(r))
+                for r in icfg.graph.comm_succs(nid)
+            ):
+                members.add(nid)
+
+    if include_control:
+        cd = control_dependence(icfg)
+        for branch, controlled in cd.items():
+            if controlled & members and branch not in members:
+                members.add(branch)
+
+    return SliceResult(
+        criterion=criterion, node_ids=frozenset(members), influence=need
+    )
+
+
+def _node_uses(icfg: ICFG, node: Node) -> frozenset[str]:
+    symtab = icfg.symtab
+    if isinstance(node, AssignNode):
+        uses = use_qnames(node.value, symtab, node.proc)
+        if not isinstance(node.target, VarRef):
+            for idx in node.target.indices:
+                uses = uses | use_qnames(idx, symtab, node.proc)
+        return uses
+    if isinstance(node, BranchNode):
+        return use_qnames(node.cond, symtab, node.proc)
+    if isinstance(node, CallNode):
+        out: set[str] = set()
+        for a in node.args:
+            out |= use_qnames(a, symtab, node.proc)
+        return frozenset(out)
+    if isinstance(node, MpiNode):
+        out = set()
+        for spec, arg in zip(node.op.args, node.args):
+            if spec.role.value in ("data_out", "redop"):
+                continue
+            out |= use_qnames(arg, symtab, node.proc)
+        return frozenset(out)
+    return frozenset()
+
+
+def _node_defs(icfg: ICFG, node: Node) -> frozenset[str]:
+    symtab = icfg.symtab
+    if isinstance(node, AssignNode):
+        sym = symtab.try_lookup(node.proc, node.target.name)
+        return frozenset({sym.qname}) if sym else frozenset()
+    if isinstance(node, MpiNode):
+        bufs = data_buffers(node, symtab)
+        if bufs.received is not None:
+            return frozenset({bufs.received.qname})
+    return frozenset()

@@ -1,0 +1,47 @@
+"""Baseline treatments of MPI communication (§2 of the paper).
+
+Three of the four baselines are MPI semantics *models* plugged directly
+into the analyses (see :class:`repro.analyses.MpiModel`):
+
+* ``MpiModel.IGNORE`` — naive, no communication modelling (incorrect);
+* ``MpiModel.ODYSSEE`` — strong global-variable assignment model;
+* ``MpiModel.GLOBAL_BUFFER`` — the paper's conservative ICFG baseline
+  (global buffer declared independent and dependent, weak updates).
+
+The fourth — the two-copy CFG approach — needs its own graph
+construction and lives in :mod:`repro.baselines.two_copy`.
+
+:func:`icfg_activity` is a convenience running the paper's Table 1
+"ICFG" configuration (global-buffer model over a plain ICFG).
+"""
+
+from typing import Sequence
+
+from ..analyses.activity import ActivityResult, activity_analysis
+from ..analyses.mpi_model import MpiModel
+from ..cfg.icfg import build_icfg
+from ..ir.ast_nodes import Program
+from .two_copy import TwoCopyGraph, build_two_copy, strip_copy_suffix, two_copy_activity
+
+__all__ = [
+    "icfg_activity",
+    "TwoCopyGraph",
+    "build_two_copy",
+    "two_copy_activity",
+    "strip_copy_suffix",
+]
+
+
+def icfg_activity(
+    program: Program,
+    root: str,
+    independents: Sequence[str],
+    dependents: Sequence[str],
+    clone_level: int = 0,
+    strategy: str = "roundrobin",
+) -> ActivityResult:
+    """Table 1's "ICFG" rows: activity with the global-buffer assumption."""
+    icfg = build_icfg(program, root, clone_level=clone_level)
+    return activity_analysis(
+        icfg, independents, dependents, MpiModel.GLOBAL_BUFFER, strategy=strategy
+    )

@@ -1,0 +1,187 @@
+"""The two-copy CFG baseline (§2).
+
+"An improvement on this approach is to analyze using only two copies of
+the control-flow graph ... If the communication edges go between the
+two control-flow graphs, then the semantics of disjoint memory spaces
+is properly modeled" — the Krishnamurthy–Yelick-style approach the
+paper compares against.  The paper claims the single-copy MPI-ICFG
+yields *equivalent precision*; ``benchmarks/bench_baselines.py``
+verifies that claim empirically.
+
+Construction: the program is duplicated into two process namespaces
+(``__p0`` / ``__p1``), each copy gets its own ICFG inside one shared
+flow graph, and communication edges are added only *between* the
+copies.  Activity analysis then runs with boundary facts at both
+copies' entry/exit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..analyses.activity import ActivityResult
+from ..analyses.mpi_model import MPI_BUFFER_QNAME, MpiModel
+from ..analyses.useful import UsefulProblem
+from ..analyses.vary import VaryProblem
+from ..cfg.graph import FlowGraph
+from ..cfg.icfg import ICFG, build_icfg
+from ..cfg.node import EdgeKind, IdAllocator
+from ..dataflow.solver import solve
+from ..ir.ast_nodes import Program
+from ..ir.rewrite import rename_program
+from ..ir.validate import validate_program
+from ..mpi.matching import MatchOptions, match_communication
+
+__all__ = ["TwoCopyGraph", "build_two_copy", "two_copy_activity", "strip_copy_suffix"]
+
+_SUFFIXES = ("__p0", "__p1")
+
+
+@dataclass
+class TwoCopyGraph:
+    """Two process copies of a program sharing one flow graph."""
+
+    merged: ICFG  # union view (procs of both copies), root = copy 0's root
+    copies: tuple[ICFG, ICFG]
+    comm_edge_count: int
+
+    @property
+    def entries(self) -> list[int]:
+        return [c.entry_exit(c.root)[0] for c in self.copies]
+
+    @property
+    def exits(self) -> list[int]:
+        return [c.entry_exit(c.root)[1] for c in self.copies]
+
+
+def strip_copy_suffix(name: str) -> str:
+    for suffix in _SUFFIXES:
+        if suffix in name:
+            return name.replace(suffix, "")
+    return name
+
+
+def build_two_copy(
+    program: Program,
+    root: str,
+    clone_level: int = 0,
+    options: MatchOptions | None = None,
+) -> TwoCopyGraph:
+    """Build the two-copy graph with cross-copy communication edges."""
+    copies_src = [rename_program(program, s) for s in _SUFFIXES]
+    merged_prog = Program(
+        program.name + "_twocopy",
+        copies_src[0].globals + copies_src[1].globals,
+        copies_src[0].procedures + copies_src[1].procedures,
+    )
+    symtab = validate_program(merged_prog)
+    graph = FlowGraph()
+    ids = IdAllocator()
+    icfgs = tuple(
+        build_icfg(
+            merged_prog,
+            root + s,
+            clone_level=clone_level,
+            symtab=symtab,
+            graph=graph,
+            ids=ids,
+        )
+        for s in _SUFFIXES
+    )
+    merged = ICFG(
+        program=merged_prog,
+        symtab=symtab,
+        graph=graph,
+        root=icfgs[0].root,
+        clone_level=clone_level,
+        procs={**icfgs[0].procs, **icfgs[1].procs},
+    )
+    # Match over the union, then keep only cross-copy pairs: each copy
+    # is one process with its own address space, and messages travel
+    # between processes.
+    result = match_communication(merged, options)
+    copy0_procs = set(icfgs[0].procs)
+    count = 0
+    for pair in result.pairs:
+        src_copy0 = graph.node(pair.src).proc in copy0_procs
+        dst_copy0 = graph.node(pair.dst).proc in copy0_procs
+        if src_copy0 != dst_copy0:
+            graph.add_edge(pair.src, pair.dst, EdgeKind.COMM, label=pair.reason)
+            count += 1
+    return TwoCopyGraph(merged=merged, copies=icfgs, comm_edge_count=count)
+
+
+def two_copy_activity(
+    two: TwoCopyGraph,
+    independents: Sequence[str],
+    dependents: Sequence[str],
+    strategy: str = "roundrobin",
+) -> ActivityResult:
+    """Activity analysis over the two-copy graph.
+
+    ``independents``/``dependents`` are bare names in the original
+    root's scope; they are seeded in *both* copies.  The returned
+    result's ``active_symbols`` keys have the copy suffix stripped, so
+    they compare directly against a single-copy
+    :func:`~repro.analyses.activity.activity_analysis` run.
+    """
+    merged = two.merged
+    symtab = merged.symtab
+
+    def qualify_both(names: Sequence[str]) -> list[str]:
+        out = []
+        for copy, suffix in zip(two.copies, _SUFFIXES):
+            for name in names:
+                # Globals were renamed per copy; parameters were not.
+                sym = symtab.try_lookup(copy.root, name)
+                if sym is None:
+                    sym = symtab.lookup(copy.root, name + suffix)
+                out.append(sym.qname)
+        return out
+
+    indep_q = qualify_both(independents)
+    dep_q = qualify_both(dependents)
+
+    vary_p = VaryProblem(merged, indep_q, MpiModel.COMM_EDGES)
+    useful_p = UsefulProblem(merged, dep_q, MpiModel.COMM_EDGES)
+    vary = solve(merged.graph, two.entries, two.exits, vary_p, strategy=strategy)
+    useful = solve(merged.graph, two.entries, two.exits, useful_p, strategy=strategy)
+
+    active: set[str] = set()
+    for nid in merged.graph.nodes:
+        active |= vary.in_fact(nid) & useful.in_fact(nid)
+        active |= vary.out_fact(nid) & useful.out_fact(nid)
+    active.discard(MPI_BUFFER_QNAME)
+
+    roots = {c.root for c in two.copies}
+    symbols: set[tuple[str, str]] = set()
+    by_key: dict[tuple[str, str], int] = {}
+    for q in active:
+        sym = symtab.symbol_of_qname(q)
+        scope, name = sym.origin_key
+        key = (strip_copy_suffix(scope), strip_copy_suffix(name))
+        symbols.add(key)
+        if sym.kind == "param" and sym.origin_proc not in roots:
+            continue  # aliases caller storage (see activity_analysis)
+        by_key[key] = sym.type.sizeof()
+
+    num_indeps = sum(
+        symtab.symbol_of_qname(q).type.element_count() for q in indep_q
+    ) // 2  # both copies carry the same independents
+
+    return ActivityResult(
+        icfg=merged,
+        mpi_model=MpiModel.COMM_EDGES,
+        independents=tuple(independents),
+        dependents=tuple(dependents),
+        active_qnames=frozenset(active),
+        active_symbols=frozenset(symbols),
+        active_bytes=sum(by_key.values()),
+        num_independents=num_indeps,
+        vary=vary,
+        useful=useful,
+    )
+
+
+_ = Optional

@@ -1,0 +1,34 @@
+"""Control-flow graphs: per-procedure CFG, call graph, ICFG, cloning."""
+
+from .callgraph import CallGraph, build_call_graph
+from .cfg import CallSite, CFGBuilder, ProcCFG, build_proc_cfg
+from .dot import to_dot
+from .graph import FlowGraph
+from .icfg import ICFG, build_icfg
+from .node import (
+    AssignNode,
+    BranchNode,
+    CallNode,
+    Edge,
+    EdgeKind,
+    EntryNode,
+    ExitNode,
+    IdAllocator,
+    MpiNode,
+    Node,
+    NodeKind,
+    NoopNode,
+    ReturnSiteNode,
+)
+from .stats import GraphStats, compute_stats, dfs_back_edges, is_reducible
+
+__all__ = [
+    "Node", "NodeKind", "Edge", "EdgeKind", "IdAllocator",
+    "EntryNode", "ExitNode", "AssignNode", "BranchNode", "CallNode",
+    "ReturnSiteNode", "MpiNode", "NoopNode",
+    "FlowGraph", "CFGBuilder", "ProcCFG", "CallSite", "build_proc_cfg",
+    "CallGraph", "build_call_graph",
+    "ICFG", "build_icfg",
+    "to_dot",
+    "GraphStats", "compute_stats", "is_reducible", "dfs_back_edges",
+]

@@ -1,0 +1,255 @@
+"""Per-procedure control-flow graph construction.
+
+:class:`CFGBuilder` lowers one procedure body to statement-level nodes
+inside a shared :class:`~repro.cfg.graph.FlowGraph` (the ICFG builder
+reuses it with a common id allocator).  Loops are lowered in the usual
+way — ``for`` becomes init / header-branch / body / increment with a
+back edge; user calls become ``CallNode``/``ReturnSiteNode`` pairs
+joined by a provisional fall-through edge that the ICFG builder
+replaces with call/return/call-to-return edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.ast_nodes import (
+    Assign,
+    BinOp,
+    Block,
+    CallStmt,
+    Expr,
+    For,
+    If,
+    IntLit,
+    Procedure,
+    Return,
+    Stmt,
+    UnOp,
+    VarDecl,
+    VarRef,
+    While,
+)
+from ..ir.mpi_ops import MPI_OPS
+from .graph import FlowGraph
+from .node import (
+    AssignNode,
+    BranchNode,
+    CallNode,
+    EntryNode,
+    ExitNode,
+    IdAllocator,
+    MpiNode,
+    Node,
+    ReturnSiteNode,
+)
+
+__all__ = ["CallSite", "ProcCFG", "CFGBuilder", "build_proc_cfg"]
+
+#: (source node id, edge label) pairs waiting to be wired to the next node.
+_Frontier = list[tuple[int, str]]
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One user-procedure call site inside a CFG."""
+
+    call_id: int
+    return_id: int
+    caller: str  # caller *instance* name
+    callee: str  # original callee name
+    args: tuple[Expr, ...]
+
+
+@dataclass
+class ProcCFG:
+    """The CFG of one procedure instance within a shared graph."""
+
+    instance: str  # instance name (clone name for clones)
+    origin: str  # declared procedure name
+    entry: int
+    exit: int
+    node_ids: list[int] = field(default_factory=list)
+    call_sites: list[CallSite] = field(default_factory=list)
+    mpi_node_ids: list[int] = field(default_factory=list)
+
+
+class CFGBuilder:
+    """Lowers a procedure AST into ``graph`` under ``instance`` name."""
+
+    def __init__(self, graph: FlowGraph, ids: IdAllocator, instance: str):
+        self.graph = graph
+        self.ids = ids
+        self.instance = instance
+        self.node_ids: list[int] = []
+        self.call_sites: list[CallSite] = []
+        self.mpi_node_ids: list[int] = []
+        self._exit_id: int = -1
+
+    # -- node helpers ------------------------------------------------------
+
+    def _add(self, node: Node) -> int:
+        self.graph.add_node(node)
+        self.node_ids.append(node.id)
+        return node.id
+
+    def _wire(self, frontier: _Frontier, dst: int) -> None:
+        for src, label in frontier:
+            self.graph.add_edge(src, dst, label=label)
+
+    # -- public entry -----------------------------------------------------
+
+    def build(self, proc: Procedure) -> ProcCFG:
+        entry = self._add(EntryNode(self.ids.next(), self.instance, proc.loc))
+        exit_node = ExitNode(self.ids.next(), self.instance, proc.loc)
+        self._exit_id = self._add(exit_node)
+        frontier = self._lower_stmt(proc.body, [(entry, "")])
+        self._wire(frontier, self._exit_id)
+        return ProcCFG(
+            instance=self.instance,
+            origin=proc.name,
+            entry=entry,
+            exit=self._exit_id,
+            node_ids=self.node_ids,
+            call_sites=self.call_sites,
+            mpi_node_ids=self.mpi_node_ids,
+        )
+
+    # -- statement lowering ----------------------------------------------
+
+    def _lower_stmt(self, s: Stmt, frontier: _Frontier) -> _Frontier:
+        if isinstance(s, Block):
+            for inner in s.body:
+                frontier = self._lower_stmt(inner, frontier)
+                if not frontier:  # unreachable after return
+                    break
+            return frontier
+        if isinstance(s, VarDecl):
+            if s.init is None:
+                return frontier  # pure declaration: no runtime effect
+            nid = self._add(
+                AssignNode(
+                    self.ids.next(),
+                    self.instance,
+                    s.loc,
+                    target=VarRef(s.name, loc=s.loc),
+                    value=s.init,
+                )
+            )
+            self._wire(frontier, nid)
+            return [(nid, "")]
+        if isinstance(s, Assign):
+            nid = self._add(
+                AssignNode(
+                    self.ids.next(), self.instance, s.loc, target=s.target, value=s.value
+                )
+            )
+            self._wire(frontier, nid)
+            return [(nid, "")]
+        if isinstance(s, If):
+            return self._lower_if(s, frontier)
+        if isinstance(s, While):
+            return self._lower_while(s, frontier)
+        if isinstance(s, For):
+            return self._lower_for(s, frontier)
+        if isinstance(s, CallStmt):
+            return self._lower_call(s, frontier)
+        if isinstance(s, Return):
+            self._wire(frontier, self._exit_id)
+            return []
+        raise TypeError(f"cannot lower statement {s!r}")
+
+    def _lower_if(self, s: If, frontier: _Frontier) -> _Frontier:
+        branch = self._add(
+            BranchNode(self.ids.next(), self.instance, s.loc, cond=s.cond)
+        )
+        self._wire(frontier, branch)
+        then_out = self._lower_stmt(s.then, [(branch, "true")])
+        if s.els is not None:
+            else_out = self._lower_stmt(s.els, [(branch, "false")])
+        else:
+            else_out = [(branch, "false")]
+        return then_out + else_out
+
+    def _lower_while(self, s: While, frontier: _Frontier) -> _Frontier:
+        branch = self._add(
+            BranchNode(self.ids.next(), self.instance, s.loc, cond=s.cond)
+        )
+        self._wire(frontier, branch)
+        body_out = self._lower_stmt(s.body, [(branch, "true")])
+        self._wire(body_out, branch)  # back edge
+        return [(branch, "false")]
+
+    def _lower_for(self, s: For, frontier: _Frontier) -> _Frontier:
+        loop_var = VarRef(s.var, loc=s.loc)
+        init = self._add(
+            AssignNode(self.ids.next(), self.instance, s.loc, target=loop_var, value=s.lo)
+        )
+        self._wire(frontier, init)
+        cond = BinOp(self._for_cmp(s.step), loop_var, s.hi, loc=s.loc)
+        branch = self._add(BranchNode(self.ids.next(), self.instance, s.loc, cond=cond))
+        self.graph.add_edge(init, branch)
+        body_out = self._lower_stmt(s.body, [(branch, "true")])
+        step = s.step if s.step is not None else IntLit(1, loc=s.loc)
+        incr = self._add(
+            AssignNode(
+                self.ids.next(),
+                self.instance,
+                s.loc,
+                target=loop_var,
+                value=BinOp("+", loop_var, step, loc=s.loc),
+            )
+        )
+        self._wire(body_out, incr)
+        self.graph.add_edge(incr, branch)  # back edge
+        return [(branch, "false")]
+
+    @staticmethod
+    def _for_cmp(step: Expr | None) -> str:
+        """Loop-continue comparison; ``>=`` for a negative literal step."""
+        if isinstance(step, IntLit) and step.value < 0:
+            return ">="
+        if (
+            isinstance(step, UnOp)
+            and step.op == "-"
+            and isinstance(step.operand, IntLit)
+        ):
+            return ">="
+        return "<="
+
+    def _lower_call(self, s: CallStmt, frontier: _Frontier) -> _Frontier:
+        if s.name in MPI_OPS:
+            nid = self._add(
+                MpiNode(
+                    self.ids.next(), self.instance, s.loc, op=MPI_OPS[s.name], stmt=s
+                )
+            )
+            self.mpi_node_ids.append(nid)
+            self._wire(frontier, nid)
+            return [(nid, "")]
+        call = CallNode(self.ids.next(), self.instance, s.loc, stmt=s)
+        call_id = self._add(call)
+        ret = ReturnSiteNode(self.ids.next(), self.instance, s.loc, call_node=call_id)
+        ret_id = self._add(ret)
+        call.return_site = ret_id
+        self._wire(frontier, call_id)
+        # Provisional fall-through; the ICFG builder replaces it with
+        # CALL / RETURN / CALL_TO_RETURN edges once the callee is linked.
+        self.graph.add_edge(call_id, ret_id, label="fallthrough")
+        self.call_sites.append(
+            CallSite(call_id, ret_id, self.instance, s.name, s.args)
+        )
+        return [(ret_id, "")]
+
+
+def build_proc_cfg(
+    proc: Procedure,
+    graph: FlowGraph | None = None,
+    ids: IdAllocator | None = None,
+    instance: str | None = None,
+) -> tuple[FlowGraph, ProcCFG]:
+    """Build a standalone CFG for one procedure (testing convenience)."""
+    graph = graph if graph is not None else FlowGraph()
+    ids = ids if ids is not None else IdAllocator()
+    builder = CFGBuilder(graph, ids, instance or proc.name)
+    return graph, builder.build(proc)

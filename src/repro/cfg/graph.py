@@ -1,0 +1,191 @@
+"""Graph container shared by CFG, ICFG, MPI-CFG and MPI-ICFG.
+
+A :class:`FlowGraph` stores nodes by id with edge adjacency split by
+direction.  Communication edges (``EdgeKind.COMM``) live in the same
+structure but are excluded from control-flow traversals
+(:meth:`flow_succs`, :meth:`reverse_postorder`, ...) — the data-flow
+solver treats them specially, exactly as the paper's framework does.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable, Iterator, Optional
+
+from .node import Edge, EdgeKind, Node
+
+__all__ = ["FlowGraph"]
+
+
+class FlowGraph:
+    """Mutable directed multigraph of CFG nodes."""
+
+    def __init__(self) -> None:
+        self.nodes: dict[int, Node] = {}
+        self._succs: dict[int, list[Edge]] = {}
+        self._preds: dict[int, list[Edge]] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add_node(self, node: Node) -> Node:
+        if node.id in self.nodes:
+            raise ValueError(f"duplicate node id {node.id}")
+        self.nodes[node.id] = node
+        self._succs[node.id] = []
+        self._preds[node.id] = []
+        return node
+
+    def add_edge(
+        self,
+        src: int,
+        dst: int,
+        kind: EdgeKind = EdgeKind.FLOW,
+        label: str = "",
+    ) -> Edge:
+        if src not in self.nodes or dst not in self.nodes:
+            raise KeyError(f"edge endpoints must exist: {src} -> {dst}")
+        edge = Edge(src, dst, kind, label)
+        if edge in self._succs[src]:
+            return edge  # idempotent
+        self._succs[src].append(edge)
+        self._preds[dst].append(edge)
+        return edge
+
+    def remove_edge(self, edge: Edge) -> None:
+        self._succs[edge.src].remove(edge)
+        self._preds[edge.dst].remove(edge)
+
+    # -- queries -----------------------------------------------------------
+
+    def node(self, node_id: int) -> Node:
+        return self.nodes[node_id]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self.nodes
+
+    def out_edges(self, node_id: int) -> list[Edge]:
+        return list(self._succs[node_id])
+
+    def in_edges(self, node_id: int) -> list[Edge]:
+        return list(self._preds[node_id])
+
+    def edges(self) -> Iterator[Edge]:
+        for edges in self._succs.values():
+            yield from edges
+
+    def edges_of_kind(self, kind: EdgeKind) -> Iterator[Edge]:
+        return (e for e in self.edges() if e.kind is kind)
+
+    @property
+    def comm_edges(self) -> list[Edge]:
+        return list(self.edges_of_kind(EdgeKind.COMM))
+
+    def flow_out(self, node_id: int) -> list[Edge]:
+        """Out-edges excluding communication edges."""
+        return [e for e in self._succs[node_id] if e.kind is not EdgeKind.COMM]
+
+    def flow_in(self, node_id: int) -> list[Edge]:
+        return [e for e in self._preds[node_id] if e.kind is not EdgeKind.COMM]
+
+    def flow_succs(self, node_id: int) -> list[int]:
+        return [e.dst for e in self.flow_out(node_id)]
+
+    def flow_preds(self, node_id: int) -> list[int]:
+        return [e.src for e in self.flow_in(node_id)]
+
+    def comm_succs(self, node_id: int) -> list[int]:
+        return [e.dst for e in self._succs[node_id] if e.kind is EdgeKind.COMM]
+
+    def comm_preds(self, node_id: int) -> list[int]:
+        return [e.src for e in self._preds[node_id] if e.kind is EdgeKind.COMM]
+
+    def nodes_where(self, predicate: Callable[[Node], bool]) -> list[Node]:
+        return [n for n in self.nodes.values() if predicate(n)]
+
+    # -- traversal -----------------------------------------------------
+
+    def reachable_from(
+        self, roots: Iterable[int], include_comm: bool = False
+    ) -> set[int]:
+        """Node ids reachable from ``roots`` along (flow) edges."""
+        seen: set[int] = set()
+        work = deque(roots)
+        while work:
+            nid = work.popleft()
+            if nid in seen:
+                continue
+            seen.add(nid)
+            edges = self._succs[nid]
+            for e in edges:
+                if not include_comm and e.kind is EdgeKind.COMM:
+                    continue
+                if e.dst not in seen:
+                    work.append(e.dst)
+        return seen
+
+    def reverse_postorder(self, root: int | Iterable[int]) -> list[int]:
+        """Reverse postorder over flow edges from one or more roots.
+
+        Nodes unreachable from the roots (e.g. procedures only reachable
+        through communication edges) are appended afterwards in id
+        order so round-robin sweeps still visit everything.
+        """
+        roots = [root] if isinstance(root, int) else list(root)
+        order: list[int] = []
+        seen: set[int] = set()
+        for r in roots:
+            for nid in reversed(self._postorder(r, seen)):
+                order.append(nid)
+        rest = sorted(nid for nid in self.nodes if nid not in seen)
+        return order + rest
+
+    def _postorder(self, root: int, visited: Optional[set[int]] = None) -> list[int]:
+        result: list[int] = []
+        visited = visited if visited is not None else set()
+        # Iterative DFS: (node, iterator over successors).
+        stack: list[tuple[int, Iterator[int]]] = []
+        if root in self.nodes and root not in visited:
+            visited.add(root)
+            stack.append((root, iter(self.flow_succs(root))))
+        while stack:
+            nid, it = stack[-1]
+            advanced = False
+            for succ in it:
+                if succ not in visited:
+                    visited.add(succ)
+                    stack.append((succ, iter(self.flow_succs(succ))))
+                    advanced = True
+                    break
+            if not advanced:
+                result.append(nid)
+                stack.pop()
+        return result
+
+    # -- integrity ------------------------------------------------------
+
+    def check_consistency(self) -> None:
+        """Assert adjacency structures mirror each other (test helper)."""
+        fwd = {(e.src, e.dst, e.kind, e.label) for e in self.edges()}
+        bwd = {
+            (e.src, e.dst, e.kind, e.label)
+            for edges in self._preds.values()
+            for e in edges
+        }
+        if fwd != bwd:
+            raise AssertionError("succ/pred adjacency out of sync")
+        for e in self.edges():
+            if e.src not in self.nodes or e.dst not in self.nodes:
+                raise AssertionError(f"dangling edge {e}")
+
+    def dump(self) -> str:
+        """Multi-line text rendering (debugging aid)."""
+        lines = []
+        for nid in sorted(self.nodes):
+            node = self.nodes[nid]
+            lines.append(str(node))
+            for e in self._succs[nid]:
+                lines.append(f"    {e}")
+        return "\n".join(lines)

@@ -1,0 +1,264 @@
+"""Control-flow graph nodes and edges.
+
+A CFG has one node per executable statement (the paper's Figure 1
+granularity), plus synthetic ENTRY/EXIT nodes per procedure.  MPI
+operations get dedicated :class:`MpiNode` objects — one per call site,
+which *is* the paper's "clone level zero" treatment of the MPI stubs.
+
+Edges carry an :class:`EdgeKind`:
+
+* ``FLOW`` — ordinary intraprocedural control flow (label ``"true"`` /
+  ``"false"`` on branch out-edges);
+* ``CALL`` / ``RETURN`` / ``CALL_TO_RETURN`` — interprocedural edges
+  added by the ICFG builder;
+* ``COMM`` — communication edges of the MPI-CFG / MPI-ICFG.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from ..ir.ast_nodes import CallStmt, Expr, LValue, SourceLoc
+from ..ir.mpi_ops import MpiKind, MpiOp
+from ..ir.printer import print_expr
+
+__all__ = [
+    "NodeKind",
+    "EdgeKind",
+    "Edge",
+    "Node",
+    "EntryNode",
+    "ExitNode",
+    "AssignNode",
+    "BranchNode",
+    "CallNode",
+    "ReturnSiteNode",
+    "MpiNode",
+    "NoopNode",
+    "IdAllocator",
+]
+
+
+class NodeKind(Enum):
+    ENTRY = "entry"
+    EXIT = "exit"
+    ASSIGN = "assign"
+    BRANCH = "branch"
+    CALL = "call"
+    RETURN_SITE = "return_site"
+    MPI = "mpi"
+    NOOP = "noop"
+
+
+class EdgeKind(Enum):
+    FLOW = "flow"
+    CALL = "call"
+    RETURN = "return"
+    CALL_TO_RETURN = "call_to_return"
+    COMM = "comm"
+
+
+@dataclass(frozen=True)
+class Edge:
+    """Directed edge between node ids."""
+
+    src: int
+    dst: int
+    kind: EdgeKind = EdgeKind.FLOW
+    label: str = ""
+
+    def __str__(self) -> str:
+        tag = self.kind.value if self.kind is not EdgeKind.FLOW else (self.label or "")
+        return f"{self.src} -> {self.dst}" + (f" [{tag}]" if tag else "")
+
+
+class IdAllocator:
+    """Monotone node-id source, shared across all CFGs of one ICFG."""
+
+    def __init__(self) -> None:
+        self._counter = itertools.count()
+
+    def next(self) -> int:
+        return next(self._counter)
+
+
+@dataclass
+class Node:
+    """Base CFG node.  ``proc`` is the owning procedure *instance* name
+    (a clone name such as ``"daxpy$2"`` for cloned wrappers)."""
+
+    id: int
+    proc: str
+    loc: SourceLoc = field(default_factory=SourceLoc)
+
+    kind: NodeKind = field(init=False, default=NodeKind.NOOP)
+
+    def label(self) -> str:
+        """Human-readable label for DOT dumps and error messages."""
+        return self.kind.value
+
+    def __hash__(self) -> int:
+        return self.id
+
+    def __str__(self) -> str:
+        return f"[{self.id}] {self.proc}: {self.label()}"
+
+
+@dataclass
+class EntryNode(Node):
+    def __post_init__(self) -> None:
+        self.kind = NodeKind.ENTRY
+
+    def label(self) -> str:
+        return f"entry {self.proc}"
+
+    __hash__ = Node.__hash__
+
+
+@dataclass
+class ExitNode(Node):
+    def __post_init__(self) -> None:
+        self.kind = NodeKind.EXIT
+
+    def label(self) -> str:
+        return f"exit {self.proc}"
+
+    __hash__ = Node.__hash__
+
+
+@dataclass
+class AssignNode(Node):
+    """``target = value`` (also covers declarations with initializers
+    and the synthetic init/increment assignments of ``for`` loops)."""
+
+    target: LValue = None  # type: ignore[assignment]
+    value: Expr = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.kind = NodeKind.ASSIGN
+        if self.target is None or self.value is None:
+            raise ValueError("AssignNode requires target and value")
+
+    def label(self) -> str:
+        return f"{print_expr(self.target)} = {print_expr(self.value)}"
+
+    __hash__ = Node.__hash__
+
+
+@dataclass
+class BranchNode(Node):
+    """Conditional with ``true`` / ``false`` out-edges."""
+
+    cond: Expr = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.kind = NodeKind.BRANCH
+        if self.cond is None:
+            raise ValueError("BranchNode requires a condition")
+
+    def label(self) -> str:
+        return f"if {print_expr(self.cond)}"
+
+    __hash__ = Node.__hash__
+
+
+@dataclass
+class CallNode(Node):
+    """Call site of a *user* procedure (MPI ops become :class:`MpiNode`).
+
+    ``callee`` is the original procedure name; ``callee_instance`` is
+    filled by the ICFG builder and names the (possibly cloned) instance
+    this site is linked to.  ``return_site`` is the paired node id.
+    """
+
+    stmt: CallStmt = None  # type: ignore[assignment]
+    return_site: int = -1
+    callee_instance: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        self.kind = NodeKind.CALL
+        if self.stmt is None:
+            raise ValueError("CallNode requires the call statement")
+
+    @property
+    def callee(self) -> str:
+        return self.stmt.name
+
+    @property
+    def args(self) -> tuple[Expr, ...]:
+        return self.stmt.args
+
+    def label(self) -> str:
+        args = ", ".join(print_expr(a) for a in self.args)
+        inst = f" -> {self.callee_instance}" if self.callee_instance else ""
+        return f"call {self.callee}({args}){inst}"
+
+    __hash__ = Node.__hash__
+
+
+@dataclass
+class ReturnSiteNode(Node):
+    """The point immediately after a call returns."""
+
+    call_node: int = -1
+
+    def __post_init__(self) -> None:
+        self.kind = NodeKind.RETURN_SITE
+
+    def label(self) -> str:
+        return f"after call [{self.call_node}]"
+
+    __hash__ = Node.__hash__
+
+
+@dataclass
+class MpiNode(Node):
+    """One MPI operation call site.
+
+    The MPI matcher later records the set of matched peer node ids in
+    :attr:`comm_peers` (this is purely informational; the authoritative
+    communication structure is the graph's COMM edges).
+    """
+
+    op: MpiOp = None  # type: ignore[assignment]
+    stmt: CallStmt = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.kind = NodeKind.MPI
+        if self.op is None or self.stmt is None:
+            raise ValueError("MpiNode requires op and stmt")
+
+    @property
+    def mpi_kind(self) -> MpiKind:
+        return self.op.kind
+
+    @property
+    def args(self) -> tuple[Expr, ...]:
+        return self.stmt.args
+
+    def arg_at(self, position: int) -> Expr:
+        return self.stmt.args[position]
+
+    def label(self) -> str:
+        args = ", ".join(print_expr(a) for a in self.args)
+        return f"{self.op.name}({args})"
+
+    __hash__ = Node.__hash__
+
+
+@dataclass
+class NoopNode(Node):
+    """Structural no-op (join points, empty branches)."""
+
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        self.kind = NodeKind.NOOP
+
+    def label(self) -> str:
+        return self.note or "noop"
+
+    __hash__ = Node.__hash__

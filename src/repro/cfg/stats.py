@@ -1,0 +1,133 @@
+"""Graph statistics: sizes, depth estimates, irreducibility (§4.2).
+
+The paper bounds worst-case convergence by ``depth × #variables`` and
+notes that the MPI-ICFG is generally *irreducible* because of its
+communication edges, making exact depth NP-complete.  We provide the
+standard DFS-based depth estimate (the maximum number of retreating
+edges on any acyclic path is approximated by the count along a DFS
+spanning tree), plus an irreducibility check via T1/T2 interval
+collapsing — both used by the convergence benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .graph import FlowGraph
+from .node import EdgeKind
+
+__all__ = ["GraphStats", "compute_stats", "is_reducible", "dfs_back_edges"]
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    nodes: int
+    flow_edges: int
+    call_edges: int
+    return_edges: int
+    comm_edges: int
+    back_edges: int
+    reducible: bool
+
+    @property
+    def total_edges(self) -> int:
+        return (
+            self.flow_edges + self.call_edges + self.return_edges + self.comm_edges
+        )
+
+
+def dfs_back_edges(
+    graph: FlowGraph, root: int, include_comm: bool = False
+) -> set[tuple[int, int]]:
+    """Retreating edges w.r.t. a DFS spanning tree from ``root``."""
+    color: dict[int, int] = {}  # 0 in progress, 1 done
+    back: set[tuple[int, int]] = set()
+
+    def succs(nid: int) -> list[int]:
+        out = []
+        for e in graph.out_edges(nid):
+            if e.kind is EdgeKind.COMM and not include_comm:
+                continue
+            out.append(e.dst)
+        return out
+
+    stack: list[tuple[int, list[int], int]] = []
+    if root in graph:
+        color[root] = 0
+        stack.append((root, succs(root), 0))
+    while stack:
+        nid, children, idx = stack.pop()
+        while idx < len(children):
+            child = children[idx]
+            idx += 1
+            state = color.get(child)
+            if state is None:
+                stack.append((nid, children, idx))
+                color[child] = 0
+                stack.append((child, succs(child), 0))
+                break
+            if state == 0:
+                back.add((nid, child))
+        else:
+            color[nid] = 1
+    return back
+
+
+def is_reducible(graph: FlowGraph, root: int, include_comm: bool = False) -> bool:
+    """T1/T2 interval-collapsing reducibility test.
+
+    Repeatedly remove self-loops (T1) and merge single-predecessor nodes
+    into their predecessor (T2); the graph is reducible iff it collapses
+    to a single node.  Nodes unreachable from ``root`` are ignored.
+    """
+    reachable = graph.reachable_from([root], include_comm=include_comm)
+    succs: dict[int, set[int]] = {n: set() for n in reachable}
+    preds: dict[int, set[int]] = {n: set() for n in reachable}
+    for e in graph.edges():
+        if e.kind is EdgeKind.COMM and not include_comm:
+            continue
+        if e.src in reachable and e.dst in reachable:
+            succs[e.src].add(e.dst)
+            preds[e.dst].add(e.src)
+
+    changed = True
+    while changed and len(succs) > 1:
+        changed = False
+        for n in list(succs):
+            if n not in succs:
+                continue
+            # T1: remove self loop.
+            if n in succs[n]:
+                succs[n].discard(n)
+                preds[n].discard(n)
+                changed = True
+            # T2: merge a node with a unique predecessor into it.
+            ps = preds[n] - {n}
+            if n != root and len(ps) == 1:
+                (p,) = ps
+                for s in succs[n]:
+                    if s != n:
+                        succs[p].add(s)
+                        preds[s].discard(n)
+                        preds[s].add(p)
+                succs[p].discard(n)
+                del succs[n]
+                del preds[n]
+                changed = True
+    return len(succs) == 1
+
+
+def compute_stats(graph: FlowGraph, root: int) -> GraphStats:
+    counts = {kind: 0 for kind in EdgeKind}
+    for e in graph.edges():
+        counts[e.kind] += 1
+    back = dfs_back_edges(graph, root, include_comm=True)
+    return GraphStats(
+        nodes=len(graph),
+        flow_edges=counts[EdgeKind.FLOW],
+        call_edges=counts[EdgeKind.CALL],
+        return_edges=counts[EdgeKind.RETURN] + counts[EdgeKind.CALL_TO_RETURN],
+        comm_edges=counts[EdgeKind.COMM],
+        back_edges=len(back),
+        reducible=is_reducible(graph, root, include_comm=True),
+    )

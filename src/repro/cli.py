@@ -1,0 +1,323 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Subcommands:
+
+* ``check``     — parse and validate an SPL file; print a summary
+* ``dot``       — emit Graphviz DOT of the (MPI-)ICFG
+* ``constants`` — reaching constants at each MPI operation
+* ``activity``  — activity analysis (active symbols, bytes, DerivBytes)
+* ``bitwidth``  — integer ranges/widths at the context routine's exit
+* ``slice``     — forward/backward slice from a source line
+* ``fold``      — constant-folded program text
+* ``run``       — execute on simulated SPMD ranks
+* ``table1``    — reproduce the paper's evaluation
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Optional, Sequence
+
+from .analyses import (
+    MpiModel,
+    activity_analysis,
+    bitwidth_analysis,
+    forward_slice,
+    reaching_constants,
+)
+from .analyses.slicing import backward_slice
+from .cfg import build_icfg, to_dot
+from .cfg.node import AssignNode
+from .ir import parse_program, print_program, validate_program
+from .mpi import build_mpi_icfg
+from .runtime import RunConfig, run_spmd
+from .transforms import eliminate_dead_stores, fold_constants
+
+__all__ = ["main", "build_parser"]
+
+
+def _model(name: str) -> MpiModel:
+    return MpiModel(name)
+
+
+def _load(path: str):
+    source = pathlib.Path(path).read_text()
+    program = parse_program(source)
+    symtab = validate_program(program)
+    return program, symtab
+
+
+def _graph_for(program, args):
+    if args.model == "comm-edges":
+        icfg, _ = build_mpi_icfg(program, args.root, clone_level=args.clone_level)
+    else:
+        icfg = build_icfg(program, args.root, clone_level=args.clone_level)
+    return icfg
+
+
+def _add_common(p: argparse.ArgumentParser, model_default="comm-edges") -> None:
+    p.add_argument("file", help="SPL source file")
+    p.add_argument("--root", default="main", help="context routine (default: main)")
+    p.add_argument(
+        "--clone-level",
+        type=int,
+        default=0,
+        help="partial context sensitivity level (default: 0)",
+    )
+    p.add_argument(
+        "--model",
+        choices=[m.value for m in MpiModel],
+        default=model_default,
+        help="MPI communication model (default: %(default)s)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Data-flow analysis for MPI programs (ICPP 2006 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("check", help="parse and validate an SPL file")
+    p.add_argument("file")
+
+    p = sub.add_parser("dot", help="emit Graphviz DOT of the (MPI-)ICFG")
+    _add_common(p)
+
+    p = sub.add_parser("constants", help="reaching constants at MPI operations")
+    _add_common(p)
+
+    p = sub.add_parser("activity", help="activity analysis")
+    _add_common(p)
+    p.add_argument("--independent", action="append", required=True, dest="independents")
+    p.add_argument("--dependent", action="append", required=True, dest="dependents")
+
+    p = sub.add_parser("bitwidth", help="integer ranges at the routine exit")
+    _add_common(p)
+
+    p = sub.add_parser("slice", help="slice from the statement at a source line")
+    _add_common(p)
+    p.add_argument("--line", type=int, required=True)
+    p.add_argument("--backward", action="store_true")
+    p.add_argument("--control", action="store_true", help="include control deps")
+
+    p = sub.add_parser("fold", help="print the constant-folded program")
+    _add_common(p)
+
+    p = sub.add_parser("dce", help="print the program with dead stores removed")
+    _add_common(p)
+    p.add_argument(
+        "--live-out",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="observable output at the context routine's exit (repeatable)",
+    )
+
+    p = sub.add_parser("run", help="execute on simulated SPMD ranks")
+    p.add_argument("file")
+    p.add_argument("--nprocs", type=int, default=2)
+    p.add_argument("--entry", default="main")
+    p.add_argument(
+        "--input",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="seed an entry parameter or global (repeatable)",
+    )
+
+    p = sub.add_parser("table1", help="reproduce the paper's Table 1 / Figure 4")
+    p.add_argument("names", nargs="*", help="benchmark subset (default: all)")
+
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Subcommand implementations.
+# ---------------------------------------------------------------------------
+
+
+def _cmd_check(args) -> int:
+    program, symtab = _load(args.file)
+    n_globals = len(symtab.globals)
+    print(f"program {program.name!r}: OK")
+    print(f"  procedures : {', '.join(program.proc_names)}")
+    print(f"  globals    : {n_globals}")
+    from .cfg import build_call_graph
+
+    cg = build_call_graph(program)
+    depth = cg.wrapper_depth()
+    if depth:
+        print(f"  MPI wrapper depth: {depth} (suggested max clone level)")
+    return 0
+
+
+def _cmd_dot(args) -> int:
+    program, _ = _load(args.file)
+    icfg = _graph_for(program, args)
+    sys.stdout.write(to_dot(icfg.graph, title=f"{program.name}:{args.root}"))
+    return 0
+
+
+def _cmd_constants(args) -> int:
+    program, _ = _load(args.file)
+    icfg = _graph_for(program, args)
+    result = reaching_constants(icfg, _model(args.model))
+    for node in icfg.mpi_nodes():
+        print(f"{node.proc}: {node.label()}  (line {node.loc.line})")
+        env = result.out_fact(node.id)
+        for qname in sorted(env):
+            print(f"    {qname} = {env[qname]}")
+    return 0
+
+
+def _cmd_activity(args) -> int:
+    program, _ = _load(args.file)
+    icfg = _graph_for(program, args)
+    result = activity_analysis(
+        icfg, args.independents, args.dependents, _model(args.model)
+    )
+    print(f"model        : {args.model}")
+    print(f"independents : {', '.join(args.independents)} "
+          f"({result.num_independents} scalar elements)")
+    print(f"dependents   : {', '.join(args.dependents)}")
+    print(f"active bytes : {result.active_bytes:,}")
+    print(f"deriv bytes  : {result.deriv_bytes:,}")
+    print(f"iterations   : {result.iterations}")
+    print("active symbols:")
+    for scope, name in sorted(result.active_symbols):
+        print(f"  {scope or '<global>'}::{name}")
+    return 0
+
+
+def _cmd_bitwidth(args) -> int:
+    program, _ = _load(args.file)
+    icfg = _graph_for(program, args)
+    result = bitwidth_analysis(icfg, _model(args.model))
+    exit_id = icfg.entry_exit(args.root)[1]
+    env = result.in_fact(exit_id)
+    for qname in sorted(env):
+        interval = env[qname]
+        print(f"{qname:30s} {str(interval):>28s}  {interval.width:2d} bits")
+    return 0
+
+
+def _cmd_slice(args) -> int:
+    program, _ = _load(args.file)
+    icfg = _graph_for(program, args)
+    candidates = [
+        n.id for n in icfg.graph.nodes.values() if n.loc.line == args.line
+    ]
+    crit = next(
+        (
+            nid
+            for nid in candidates
+            if isinstance(icfg.graph.node(nid), AssignNode)
+        ),
+        candidates[0] if candidates else None,
+    )
+    if crit is None:
+        print(f"error: no statement at line {args.line}", file=sys.stderr)
+        return 1
+    slicer = backward_slice if args.backward else forward_slice
+    result = slicer(
+        icfg, crit, _model(args.model), include_control=args.control
+    )
+    direction = "backward" if args.backward else "forward"
+    print(f"{direction} slice of line {args.line} "
+          f"({icfg.graph.node(crit).label()}):")
+    for line in result.lines(icfg):
+        print(f"  line {line}")
+    return 0
+
+
+def _cmd_fold(args) -> int:
+    program, _ = _load(args.file)
+    result = fold_constants(
+        program, args.root, _model(args.model), clone_level=args.clone_level
+    )
+    sys.stdout.write(print_program(result.program))
+    print(
+        f"// {result.substitutions} substitutions, {result.folds} folds, "
+        f"{result.branches_flattened} branches flattened",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_dce(args) -> int:
+    program, _ = _load(args.file)
+    result = eliminate_dead_stores(
+        program, args.root, args.live_out, clone_level=args.clone_level
+    )
+    sys.stdout.write(print_program(result.program))
+    print(f"// {result.removed} dead store(s) removed", file=sys.stderr)
+    return 0
+
+
+def _cmd_run(args) -> int:
+    program, symtab = _load(args.file)
+    inputs = {}
+    for item in args.input:
+        name, _, value = item.partition("=")
+        if not value:
+            print(f"error: --input needs NAME=VALUE, got {item!r}", file=sys.stderr)
+            return 1
+        inputs[name] = float(value) if "." in value or "e" in value else int(value)
+    result = run_spmd(
+        program,
+        RunConfig(nprocs=args.nprocs, entry=args.entry),
+        inputs=inputs,
+    )
+    for rank in result.ranks:
+        scalars = {
+            k: v for k, v in sorted(rank.values.items()) if not hasattr(v, "shape")
+        }
+        print(f"rank {rank.rank}: "
+              + ", ".join(f"{k}={v}" for k, v in scalars.items()))
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    from .experiments import bars_from_rows, render_figure4, render_table1, run_table1
+
+    names = args.names or None
+    rows = run_table1(names)
+    print(render_table1(rows))
+    print()
+    print(render_figure4(bars_from_rows(rows)))
+    return 0
+
+
+_COMMANDS = {
+    "check": _cmd_check,
+    "dot": _cmd_dot,
+    "constants": _cmd_constants,
+    "activity": _cmd_activity,
+    "bitwidth": _cmd_bitwidth,
+    "slice": _cmd_slice,
+    "fold": _cmd_fold,
+    "dce": _cmd_dce,
+    "run": _cmd_run,
+    "table1": _cmd_table1,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except (ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

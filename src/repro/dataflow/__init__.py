@@ -1,0 +1,45 @@
+"""The MPI-aware data-flow analysis framework (§3–§4)."""
+
+from .framework import DataFlowProblem, DataflowResult, Direction
+from .interproc import InterprocMaps, ParamBinding, SiteInfo
+from .lattice import (
+    BOTTOM,
+    TOP,
+    ConstEnv,
+    ConstValue,
+    SetFact,
+    bool_or_meet,
+    const,
+    const_leq,
+    const_meet,
+    env_get,
+    env_meet,
+    env_set,
+    set_meet,
+)
+from .solver import MAX_PASSES, SolverError, solve
+
+__all__ = [
+    "Direction",
+    "DataFlowProblem",
+    "DataflowResult",
+    "solve",
+    "SolverError",
+    "MAX_PASSES",
+    "InterprocMaps",
+    "SiteInfo",
+    "ParamBinding",
+    "ConstValue",
+    "TOP",
+    "BOTTOM",
+    "const",
+    "const_meet",
+    "const_leq",
+    "ConstEnv",
+    "env_get",
+    "env_set",
+    "env_meet",
+    "SetFact",
+    "set_meet",
+    "bool_or_meet",
+]

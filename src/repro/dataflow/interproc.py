@@ -1,0 +1,148 @@
+"""Caller↔callee fact mapping across ICFG edges.
+
+Data-flow over an ICFG "requires a specification of how information is
+mapped from the caller to the callee, and vice versa" (§4.3).  This
+module precomputes, per call site, the binding structures those
+mappings need:
+
+* formal parameter qualified names paired with actual argument
+  expressions (SPL parameters are by-reference);
+* which actuals are *lvalues* (bare variables / array elements) and
+  therefore writable by the callee — these are "aliased" across the
+  call and must not flow over the CALL_TO_RETURN edge;
+* the callee's local scalar names (constants analyses initialize them
+  to ⊥: Fortran locals hold arbitrary memory on entry).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..cfg.icfg import ICFG
+from ..cfg.node import Edge, EdgeKind
+from ..ir.ast_nodes import ArrayRef, Expr, VarRef
+from ..ir.mpi_ops import COMM_WORLD_NAME
+from ..ir.symtab import is_global_qname
+from ..ir.types import ArrayType, Type
+
+__all__ = ["ParamBinding", "SiteInfo", "InterprocMaps"]
+
+
+@dataclass(frozen=True)
+class ParamBinding:
+    """One formal/actual pair at a call site."""
+
+    formal_qname: str
+    formal_type: Type
+    actual: Expr
+    #: Qualified name of the actual when it is an lvalue (bare variable
+    #: or array element) — i.e. when the callee can write back through
+    #: the reference.  ``None`` for expression actuals.
+    actual_qname: Optional[str]
+
+    @property
+    def is_array(self) -> bool:
+        return isinstance(self.formal_type, ArrayType)
+
+
+@dataclass(frozen=True)
+class SiteInfo:
+    call_id: int
+    return_id: int
+    caller: str
+    callee_instance: str
+    bindings: tuple[ParamBinding, ...]
+    #: Caller qnames *strongly* aliased by the call: whole variables
+    #: passed by reference, whose post-call state is fully determined by
+    #: the callee (they must not survive the CALL_TO_RETURN edge).
+    #: Array-*element* actuals are weak — the rest of the array is
+    #: untouched — so they are deliberately NOT in this set and do
+    #: survive the CALL_TO_RETURN edge.
+    aliased: frozenset[str]
+    #: Local (non-parameter) qnames of the callee instance.
+    callee_locals: frozenset[str]
+    #: Parameter qnames of the callee instance.
+    callee_params: frozenset[str]
+
+
+class InterprocMaps:
+    """Per-ICFG lookup from interprocedural edges to binding info."""
+
+    def __init__(self, icfg: ICFG):
+        self.icfg = icfg
+        self.symtab = icfg.symtab
+        self._by_call: dict[int, SiteInfo] = {}
+        self._by_return: dict[int, SiteInfo] = {}
+        for site in icfg.all_call_sites():
+            call_node = icfg.graph.node(site.call_id)
+            instance = getattr(call_node, "callee_instance", None)
+            if instance is None:
+                continue  # unlinked (should not happen post-build)
+            info = self._build_site(site, instance)
+            self._by_call[site.call_id] = info
+            self._by_return[site.return_id] = info
+
+    # -- construction ------------------------------------------------------
+
+    def _build_site(self, site, instance: str) -> SiteInfo:
+        icfg = self.icfg
+        formals = icfg.formals_of(instance)
+        bindings = []
+        aliased: set[str] = set()
+        for formal, actual in zip(formals, site.args):
+            formal_q = self.symtab.qname(instance, formal.name)
+            actual_q: Optional[str] = None
+            if isinstance(actual, (VarRef, ArrayRef)):
+                if actual.name != COMM_WORLD_NAME:
+                    actual_q = self.symtab.qname(site.caller, actual.name)
+                    if isinstance(actual, VarRef):
+                        aliased.add(actual_q)
+            bindings.append(
+                ParamBinding(formal_q, formal.type, actual, actual_q)
+            )
+        ps = self.symtab.procs[instance]
+        callee_locals = frozenset(s.qname for s in ps.locals.values())
+        callee_params = frozenset(s.qname for s in ps.params.values())
+        return SiteInfo(
+            call_id=site.call_id,
+            return_id=site.return_id,
+            caller=site.caller,
+            callee_instance=instance,
+            bindings=tuple(bindings),
+            aliased=frozenset(aliased),
+            callee_locals=callee_locals,
+            callee_params=callee_params,
+        )
+
+    # -- edge lookup ------------------------------------------------------
+
+    def site_for_edge(self, edge: Edge) -> SiteInfo:
+        """Binding info of the call site an interprocedural edge belongs to."""
+        if edge.kind is EdgeKind.CALL:
+            return self._by_call[edge.src]
+        if edge.kind is EdgeKind.CALL_TO_RETURN:
+            return self._by_call[edge.src]
+        if edge.kind is EdgeKind.RETURN:
+            return self._by_return[edge.dst]
+        raise ValueError(f"not an interprocedural edge: {edge}")
+
+    def site_for_call(self, call_id: int) -> SiteInfo:
+        return self._by_call[call_id]
+
+    # -- generic scope filters ----------------------------------------------
+
+    @staticmethod
+    def globals_of(qnames: frozenset[str]) -> frozenset[str]:
+        return frozenset(q for q in qnames if is_global_qname(q))
+
+    @staticmethod
+    def locals_surviving_call(qnames: frozenset[str], site: SiteInfo) -> frozenset[str]:
+        """Caller facts allowed across the CALL_TO_RETURN edge: names in
+        the caller's own scope that the callee cannot reach."""
+        prefix = site.caller + "::"
+        return frozenset(
+            q
+            for q in qnames
+            if q.startswith(prefix) and q not in site.aliased
+        )

@@ -1,0 +1,167 @@
+"""Lattice value domains used by the analyses.
+
+* :class:`ConstValue` — the three-level constant lattice of the paper's
+  §3 (⊤ "no information", concrete constant, ⊥ "not constant"), with
+  its meet ⊓;
+* boolean "any sender varies" values propagated over communication
+  edges by Vary/Useful (meet = OR, as one true sender suffices);
+* plain ``frozenset`` facts for the set-based analyses (meet = union).
+
+All operations are pure; hypothesis tests check the lattice laws
+(idempotence, commutativity, associativity, ⊤/⊥ identities).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Optional, Union
+
+__all__ = [
+    "ConstValue",
+    "TOP",
+    "BOTTOM",
+    "const",
+    "const_meet",
+    "const_leq",
+    "ConstEnv",
+    "env_meet",
+    "env_get",
+    "env_set",
+    "SetFact",
+    "set_meet",
+    "bool_or_meet",
+]
+
+_Scalar = Union[int, float, bool]
+
+
+@dataclass(frozen=True)
+class ConstValue:
+    """One element of the constant lattice.
+
+    ``tag`` is ``"top"``, ``"const"`` or ``"bot"``; ``value`` is the
+    constant payload for ``"const"``.  Use the module helpers
+    (:data:`TOP`, :data:`BOTTOM`, :func:`const`) rather than the
+    constructor.
+    """
+
+    tag: str
+    value: Optional[_Scalar] = None
+
+    def __post_init__(self) -> None:
+        if self.tag not in ("top", "const", "bot"):
+            raise ValueError(f"bad ConstValue tag {self.tag!r}")
+        if (self.tag == "const") != (self.value is not None):
+            raise ValueError("payload exactly when tag == 'const'")
+
+    @property
+    def is_top(self) -> bool:
+        return self.tag == "top"
+
+    @property
+    def is_bottom(self) -> bool:
+        return self.tag == "bot"
+
+    @property
+    def is_const(self) -> bool:
+        return self.tag == "const"
+
+    def __str__(self) -> str:
+        if self.tag == "top":
+            return "⊤"
+        if self.tag == "bot":
+            return "⊥"
+        return repr(self.value)
+
+
+TOP = ConstValue("top")
+BOTTOM = ConstValue("bot")
+
+
+def const(value: _Scalar) -> ConstValue:
+    """Wrap a Python scalar as a lattice constant.
+
+    Distinct Python types that compare equal (``1 == 1.0 == True``)
+    are normalized so the lattice meet does not depend on spelling.
+    """
+    if isinstance(value, bool):
+        return ConstValue("const", value)
+    if isinstance(value, float) and value.is_integer():
+        # Keep ints and whole floats distinct? No: SPL's `/` always
+        # produces real, but e.g. 2 and 2.0 behave identically in every
+        # context the analyses evaluate (tags, roots, arithmetic), so
+        # normalize whole floats to int for stable comparisons.
+        return ConstValue("const", int(value))
+    return ConstValue("const", value)
+
+
+def const_meet(a: ConstValue, b: ConstValue) -> ConstValue:
+    """The paper's meet: ⊤ is identity, equal constants survive,
+    anything else is ⊥."""
+    if a.is_top:
+        return b
+    if b.is_top:
+        return a
+    if a.is_bottom or b.is_bottom:
+        return BOTTOM
+    if a.value == b.value and isinstance(a.value, bool) == isinstance(b.value, bool):
+        return a
+    return BOTTOM
+
+
+def const_leq(a: ConstValue, b: ConstValue) -> bool:
+    """Partial order: ⊥ ≤ c ≤ ⊤ (a ≤ b iff meet(a, b) == a)."""
+    return const_meet(a, b) == a
+
+
+# ---------------------------------------------------------------------------
+# Constant environments: qualified name -> ConstValue.
+# ---------------------------------------------------------------------------
+
+#: Environments are plain dicts treated as immutable; absent keys mean ⊤
+#: ("no information yet" — the variable is out of scope or unreached).
+ConstEnv = dict
+
+
+def env_get(env: ConstEnv, qname: str) -> ConstValue:
+    return env.get(qname, TOP)
+
+
+def env_set(env: ConstEnv, qname: str, value: ConstValue) -> ConstEnv:
+    """Functional update returning a new environment."""
+    new = dict(env)
+    if value.is_top:
+        new.pop(qname, None)
+    else:
+        new[qname] = value
+    return new
+
+
+def env_meet(a: ConstEnv, b: ConstEnv) -> ConstEnv:
+    """Pointwise meet; absent keys are ⊤ so they adopt the other side."""
+    if not a:
+        return dict(b)
+    if not b:
+        return dict(a)
+    out = dict(a)
+    for k, v in b.items():
+        cur = out.get(k)
+        out[k] = v if cur is None else const_meet(cur, v)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Set facts (Vary / Useful / liveness / taint): meet is union.
+# ---------------------------------------------------------------------------
+
+SetFact = FrozenSet[str]
+
+
+def set_meet(a: SetFact, b: SetFact) -> SetFact:
+    return a | b
+
+
+def bool_or_meet(values: Iterable[bool]) -> bool:
+    """Meet for boolean communication values: true wins (any matching
+    sender whose payload varies makes the received variable vary)."""
+    return any(values)

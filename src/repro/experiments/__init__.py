@@ -1,0 +1,15 @@
+"""Experiment harnesses reproducing the paper's tables and figures."""
+
+from .figure4 import Figure4Bar, bars_from_rows, render_figure4, run_figure4
+from .table1 import Table1Row, render_table1, run_benchmark, run_table1
+
+__all__ = [
+    "Table1Row",
+    "run_benchmark",
+    "run_table1",
+    "render_table1",
+    "Figure4Bar",
+    "bars_from_rows",
+    "run_figure4",
+    "render_figure4",
+]

@@ -1,0 +1,68 @@
+"""Experiment E2: reproduce Figure 4 (megabytes saved per benchmark).
+
+Figure 4 plots, per benchmark, the storage saved by MPI-ICFG activity
+analysis over ICFG analysis — once for the active set itself and once
+for the derivative code (``DerivBytes``).  Derived directly from the
+Table 1 runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from .table1 import Table1Row, run_table1
+
+__all__ = ["Figure4Bar", "run_figure4", "render_figure4"]
+
+
+@dataclass(frozen=True)
+class Figure4Bar:
+    name: str
+    active_mb_saved: float
+    deriv_mb_saved: float
+    paper_active_mb_saved: Optional[float]
+    paper_deriv_mb_saved: Optional[float]
+
+
+def bars_from_rows(rows: list[Table1Row]) -> list[Figure4Bar]:
+    bars = []
+    for row in rows:
+        paper = row.spec.paper
+        bars.append(
+            Figure4Bar(
+                name=row.name,
+                active_mb_saved=row.saved_active_bytes / 1e6,
+                deriv_mb_saved=row.saved_deriv_bytes / 1e6,
+                paper_active_mb_saved=(
+                    paper.saved_active_bytes / 1e6 if paper else None
+                ),
+                paper_deriv_mb_saved=(
+                    paper.saved_deriv_bytes / 1e6 if paper else None
+                ),
+            )
+        )
+    return bars
+
+
+def run_figure4(
+    names: Optional[Iterable[str]] = None, strategy: str = "roundrobin"
+) -> list[Figure4Bar]:
+    return bars_from_rows(run_table1(names, strategy=strategy))
+
+
+def render_figure4(bars: list[Figure4Bar]) -> str:
+    """ASCII rendering of the two Figure 4 series (log-ish bar scale)."""
+    header = (
+        f"{'Bench':8s} {'Active MB saved':>16s} {'Deriv MB saved':>16s} "
+        f"{'paper Active':>14s} {'paper Deriv':>13s}"
+    )
+    lines = [header, "-" * len(header)]
+    for b in bars:
+        pa = f"{b.paper_active_mb_saved:,.2f}" if b.paper_active_mb_saved is not None else "-"
+        pd = f"{b.paper_deriv_mb_saved:,.2f}" if b.paper_deriv_mb_saved is not None else "-"
+        lines.append(
+            f"{b.name:8s} {b.active_mb_saved:>16,.2f} {b.deriv_mb_saved:>16,.2f} "
+            f"{pa:>14s} {pd:>13s}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,114 @@
+"""Experiment E1: reproduce Table 1 (ICFG vs MPI-ICFG activity analysis).
+
+For each of the 13 benchmark configurations, run activity analysis
+
+* over the plain ICFG with the paper's global-buffer assumption
+  (``MpiModel.GLOBAL_BUFFER``), and
+* over the MPI-ICFG with communication-edge propagation
+  (``MpiModel.COMM_EDGES``),
+
+at the row's clone level, and report iterations, active bytes,
+``DerivBytes = #indeps × ActiveBytes``, and the percentage decrease.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..analyses.activity import ActivityResult, activity_analysis
+from ..analyses.mpi_model import MpiModel
+from ..cfg.icfg import build_icfg
+from ..mpi.mpiicfg import build_mpi_icfg
+from ..programs.registry import BENCHMARKS, BenchmarkSpec
+
+__all__ = ["Table1Row", "run_benchmark", "run_table1", "render_table1"]
+
+
+@dataclass
+class Table1Row:
+    spec: BenchmarkSpec
+    icfg: ActivityResult
+    mpi: ActivityResult
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def pct_decrease(self) -> float:
+        if self.icfg.active_bytes == 0:
+            return 0.0
+        saved = self.icfg.active_bytes - self.mpi.active_bytes
+        return 100.0 * saved / self.icfg.active_bytes
+
+    @property
+    def saved_active_bytes(self) -> int:
+        return self.icfg.active_bytes - self.mpi.active_bytes
+
+    @property
+    def saved_deriv_bytes(self) -> int:
+        return self.icfg.deriv_bytes - self.mpi.deriv_bytes
+
+
+def run_benchmark(
+    spec: BenchmarkSpec, strategy: str = "roundrobin"
+) -> Table1Row:
+    """Run the ICFG and MPI-ICFG activity analyses for one row."""
+    program = spec.program()
+
+    icfg_graph = build_icfg(program, spec.root, clone_level=spec.clone_level)
+    icfg_result = activity_analysis(
+        icfg_graph,
+        spec.independents,
+        spec.dependents,
+        MpiModel.GLOBAL_BUFFER,
+        strategy=strategy,
+    )
+
+    mpi_graph, _ = build_mpi_icfg(program, spec.root, clone_level=spec.clone_level)
+    mpi_result = activity_analysis(
+        mpi_graph,
+        spec.independents,
+        spec.dependents,
+        MpiModel.COMM_EDGES,
+        strategy=strategy,
+    )
+    return Table1Row(spec=spec, icfg=icfg_result, mpi=mpi_result)
+
+
+def run_table1(
+    names: Optional[Iterable[str]] = None, strategy: str = "roundrobin"
+) -> list[Table1Row]:
+    selected = list(names) if names is not None else list(BENCHMARKS)
+    return [run_benchmark(BENCHMARKS[name], strategy=strategy) for name in selected]
+
+
+def render_table1(rows: list[Table1Row], with_paper: bool = True) -> str:
+    """Text rendering in the layout of the paper's Table 1."""
+    header = (
+        f"{'Bench':8s} {'Clone':5s} {'IND':12s} {'DEP':14s} {'Analysis':9s} "
+        f"{'Iter':>4s} {'ActiveBytes':>13s} {'#Ind':>5s} {'DerivBytes':>14s} "
+        f"{'%Decr':>7s}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        spec = row.spec
+        ind = ",".join(spec.independents)
+        dep = ",".join(spec.dependents)
+        for label, res in (("ICFG", row.icfg), ("MPI-ICFG", row.mpi)):
+            pct = "" if label == "ICFG" else f"{row.pct_decrease:6.2f}%"
+            lines.append(
+                f"{spec.name:8s} {spec.clone_level:<5d} {ind:12s} {dep:14s} "
+                f"{label:9s} {res.iterations:>4d} {res.active_bytes:>13,d} "
+                f"{res.num_independents:>5d} {res.deriv_bytes:>14,d} {pct:>7s}"
+            )
+        if with_paper and spec.paper is not None:
+            p = spec.paper
+            lines.append(
+                f"{'':8s} {'':5s} {'':12s} {'':14s} {'paper':9s} "
+                f"{p.icfg_iters:>2d}/{p.mpi_iters:<2d} "
+                f"{p.icfg_active_bytes:>6,d}/{p.mpi_active_bytes:<,d} "
+                f"{p.num_indeps:>5d} {p.pct_decrease:>13.2f}%"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,101 @@
+"""SPL frontend: language, AST, parsing, validation.
+
+SPL is a small SPMD language with Fortran semantics (by-reference
+parameters, static arrays, program globals) and first-class MPI
+operations, sufficient to express the structure of the paper's
+benchmarks.  Typical use::
+
+    from repro.ir import parse_program, validate_program
+
+    prog = parse_program(source_text)
+    symtab = validate_program(prog)
+"""
+
+from .ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Block,
+    BoolLit,
+    CallStmt,
+    Expr,
+    For,
+    If,
+    IntLit,
+    IntrinsicCall,
+    LValue,
+    Node,
+    Param,
+    Procedure,
+    Program,
+    RealLit,
+    Return,
+    SourceLoc,
+    Stmt,
+    UnOp,
+    VarDecl,
+    VarRef,
+    While,
+    walk_exprs,
+    walk_stmts,
+)
+from .intrinsics import INTRINSICS, Intrinsic, intrinsic, is_intrinsic
+from .lexer import LexError, Token, tokenize
+from .mpi_ops import (
+    COMM_WORLD_NAME,
+    COMM_WORLD_VALUE,
+    MPI_OPS,
+    ArgRole,
+    MpiKind,
+    MpiOp,
+    REDUCE_OPS,
+    is_mpi_op,
+    mpi_op,
+)
+from .parser import ParseError, parse_expr, parse_program
+from .printer import print_expr, print_program, print_stmt
+from .symtab import (
+    GLOBAL_SCOPE,
+    ProcSymbols,
+    Symbol,
+    SymbolTable,
+    is_global_qname,
+    qualify,
+    split_qname,
+)
+from .types import (
+    BOOL,
+    INT,
+    REAL,
+    ArrayType,
+    BoolType,
+    IntType,
+    RealType,
+    ScalarType,
+    Type,
+    array_of,
+)
+from .validate import TypeChecker, ValidationError, validate_program
+
+__all__ = [
+    # types
+    "Type", "ScalarType", "IntType", "RealType", "BoolType", "ArrayType",
+    "INT", "REAL", "BOOL", "array_of",
+    # ast
+    "Node", "SourceLoc", "Expr", "IntLit", "RealLit", "BoolLit", "VarRef",
+    "ArrayRef", "BinOp", "UnOp", "IntrinsicCall", "LValue", "Stmt",
+    "VarDecl", "Assign", "Block", "If", "While", "For", "CallStmt",
+    "Return", "Param", "Procedure", "Program", "walk_exprs", "walk_stmts",
+    # lexer / parser / printer
+    "Token", "LexError", "tokenize", "ParseError", "parse_program",
+    "parse_expr", "print_program", "print_stmt", "print_expr",
+    # intrinsics & MPI ops
+    "Intrinsic", "INTRINSICS", "is_intrinsic", "intrinsic",
+    "MpiKind", "ArgRole", "MpiOp", "MPI_OPS", "is_mpi_op", "mpi_op",
+    "REDUCE_OPS", "COMM_WORLD_NAME", "COMM_WORLD_VALUE",
+    # symbols
+    "GLOBAL_SCOPE", "qualify", "split_qname", "is_global_qname", "Symbol",
+    "ProcSymbols", "SymbolTable",
+    # validation
+    "ValidationError", "validate_program", "TypeChecker",
+]

@@ -1,0 +1,331 @@
+"""Abstract syntax tree for SPL programs.
+
+The AST is the interface between the frontend (:mod:`repro.ir.parser`,
+:mod:`repro.ir.builder`) and the control-flow graph construction in
+:mod:`repro.cfg`.  Nodes are plain dataclasses; they compare structurally
+(ignoring source locations) which the parser/printer round-trip property
+tests rely on.
+
+Statements
+----------
+``VarDecl, Assign, If, While, For, CallStmt, Return, Block``
+
+MPI operations appear as :class:`CallStmt` with one of the reserved
+``mpi_*`` names (see :mod:`repro.mpi.calls`); ``mpi_comm_rank()`` /
+``mpi_comm_size()`` are intrinsic *expressions* (:class:`IntrinsicCall`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Union
+
+from .types import Type
+
+__all__ = [
+    "SourceLoc",
+    "Node",
+    "Expr",
+    "IntLit",
+    "RealLit",
+    "BoolLit",
+    "VarRef",
+    "ArrayRef",
+    "BinOp",
+    "UnOp",
+    "IntrinsicCall",
+    "LValue",
+    "Stmt",
+    "VarDecl",
+    "Assign",
+    "If",
+    "While",
+    "For",
+    "CallStmt",
+    "Return",
+    "Block",
+    "Param",
+    "Procedure",
+    "Program",
+    "walk_exprs",
+    "walk_stmts",
+]
+
+
+@dataclass(frozen=True)
+class SourceLoc:
+    """Line/column of a token in SPL source (1-based)."""
+
+    line: int = 0
+    col: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.col}"
+
+
+class Node:
+    """Marker base class for all AST nodes."""
+
+    __slots__ = ()
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expr(Node):
+    pass
+
+
+@dataclass(frozen=True)
+class IntLit(Expr):
+    value: int
+    loc: SourceLoc = field(default=SourceLoc(), compare=False)
+
+
+@dataclass(frozen=True)
+class RealLit(Expr):
+    value: float
+    loc: SourceLoc = field(default=SourceLoc(), compare=False)
+
+
+@dataclass(frozen=True)
+class BoolLit(Expr):
+    value: bool
+    loc: SourceLoc = field(default=SourceLoc(), compare=False)
+
+
+@dataclass(frozen=True)
+class VarRef(Expr):
+    """Reference to a scalar variable or to a whole array."""
+
+    name: str
+    loc: SourceLoc = field(default=SourceLoc(), compare=False)
+
+
+@dataclass(frozen=True)
+class ArrayRef(Expr):
+    """Indexed reference ``a[i, j]``."""
+
+    name: str
+    indices: tuple[Expr, ...]
+    loc: SourceLoc = field(default=SourceLoc(), compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.indices:
+            raise ValueError("ArrayRef requires at least one index")
+
+
+#: Binary operators.  Comparison/boolean operators yield ``bool``.
+BINOPS = ("+", "-", "*", "/", "**", "==", "!=", "<", "<=", ">", ">=", "and", "or")
+UNOPS = ("-", "not")
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+    loc: SourceLoc = field(default=SourceLoc(), compare=False)
+
+    def __post_init__(self) -> None:
+        if self.op not in BINOPS:
+            raise ValueError(f"unknown binary operator {self.op!r}")
+
+
+@dataclass(frozen=True)
+class UnOp(Expr):
+    op: str
+    operand: Expr
+    loc: SourceLoc = field(default=SourceLoc(), compare=False)
+
+    def __post_init__(self) -> None:
+        if self.op not in UNOPS:
+            raise ValueError(f"unknown unary operator {self.op!r}")
+
+
+@dataclass(frozen=True)
+class IntrinsicCall(Expr):
+    """Call to a builtin function inside an expression.
+
+    Math intrinsics (``sin``, ``exp``, ...) plus the MPI environment
+    queries ``mpi_comm_rank`` / ``mpi_comm_size``.  User procedures are
+    subroutines (Fortran style) and may only appear in :class:`CallStmt`.
+    """
+
+    name: str
+    args: tuple[Expr, ...]
+    loc: SourceLoc = field(default=SourceLoc(), compare=False)
+
+
+LValue = Union[VarRef, ArrayRef]
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Stmt(Node):
+    pass
+
+
+@dataclass(frozen=True)
+class VarDecl(Stmt):
+    """Local (or, at program scope, global) variable declaration.
+
+    ``init`` is an optional initializing expression; the CFG builder
+    lowers it to an assignment node.
+    """
+
+    name: str
+    type: Type
+    init: Optional[Expr] = None
+    loc: SourceLoc = field(default=SourceLoc(), compare=False)
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    target: LValue
+    value: Expr
+    loc: SourceLoc = field(default=SourceLoc(), compare=False)
+
+
+@dataclass(frozen=True)
+class Block(Stmt):
+    body: tuple[Stmt, ...]
+    loc: SourceLoc = field(default=SourceLoc(), compare=False)
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    cond: Expr
+    then: Block
+    els: Optional[Block] = None
+    loc: SourceLoc = field(default=SourceLoc(), compare=False)
+
+
+@dataclass(frozen=True)
+class While(Stmt):
+    cond: Expr
+    body: Block
+    loc: SourceLoc = field(default=SourceLoc(), compare=False)
+
+
+@dataclass(frozen=True)
+class For(Stmt):
+    """Counted loop ``for i = lo to hi [step s] { ... }`` (Fortran DO)."""
+
+    var: str
+    lo: Expr
+    hi: Expr
+    step: Optional[Expr]
+    body: Block
+    loc: SourceLoc = field(default=SourceLoc(), compare=False)
+
+
+@dataclass(frozen=True)
+class CallStmt(Stmt):
+    """``call name(args)`` — user subroutine or reserved ``mpi_*`` op."""
+
+    name: str
+    args: tuple[Expr, ...]
+    loc: SourceLoc = field(default=SourceLoc(), compare=False)
+
+
+@dataclass(frozen=True)
+class Return(Stmt):
+    loc: SourceLoc = field(default=SourceLoc(), compare=False)
+
+
+# ---------------------------------------------------------------------------
+# Procedures and programs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Param(Node):
+    """Formal parameter.  All parameters are passed by reference."""
+
+    name: str
+    type: Type
+    loc: SourceLoc = field(default=SourceLoc(), compare=False)
+
+
+@dataclass(frozen=True)
+class Procedure(Node):
+    name: str
+    params: tuple[Param, ...]
+    body: Block
+    loc: SourceLoc = field(default=SourceLoc(), compare=False)
+
+    def local_decls(self) -> Iterator[VarDecl]:
+        """All :class:`VarDecl` statements anywhere in the body."""
+        for stmt in walk_stmts(self.body):
+            if isinstance(stmt, VarDecl):
+                yield stmt
+
+
+@dataclass(frozen=True)
+class Program(Node):
+    """A whole SPL program: globals (COMMON-style) plus procedures.
+
+    ``procedures`` preserves declaration order; lookup by name via
+    :meth:`proc`.
+    """
+
+    name: str
+    globals: tuple[VarDecl, ...]
+    procedures: tuple[Procedure, ...]
+    loc: SourceLoc = field(default=SourceLoc(), compare=False)
+
+    def proc(self, name: str) -> Procedure:
+        for p in self.procedures:
+            if p.name == name:
+                return p
+        raise KeyError(f"no procedure named {name!r} in program {self.name!r}")
+
+    def has_proc(self, name: str) -> bool:
+        return any(p.name == name for p in self.procedures)
+
+    @property
+    def proc_names(self) -> tuple[str, ...]:
+        return tuple(p.name for p in self.procedures)
+
+
+# ---------------------------------------------------------------------------
+# Traversal helpers
+# ---------------------------------------------------------------------------
+
+
+def walk_exprs(e: Expr) -> Iterator[Expr]:
+    """Yield ``e`` and every sub-expression, preorder."""
+    yield e
+    if isinstance(e, BinOp):
+        yield from walk_exprs(e.left)
+        yield from walk_exprs(e.right)
+    elif isinstance(e, UnOp):
+        yield from walk_exprs(e.operand)
+    elif isinstance(e, IntrinsicCall):
+        for a in e.args:
+            yield from walk_exprs(a)
+    elif isinstance(e, ArrayRef):
+        for i in e.indices:
+            yield from walk_exprs(i)
+
+
+def walk_stmts(s: Stmt) -> Iterator[Stmt]:
+    """Yield ``s`` and every nested statement, preorder."""
+    yield s
+    if isinstance(s, Block):
+        for inner in s.body:
+            yield from walk_stmts(inner)
+    elif isinstance(s, If):
+        yield from walk_stmts(s.then)
+        if s.els is not None:
+            yield from walk_stmts(s.els)
+    elif isinstance(s, (While, For)):
+        yield from walk_stmts(s.body)

@@ -1,0 +1,246 @@
+"""Programmatic AST construction helpers.
+
+Tests and the random-program generator build ASTs directly rather than
+through source text.  The helpers here remove dataclass boilerplate::
+
+    from repro.ir import builder as b
+
+    prog = b.program(
+        "demo",
+        b.proc(
+            "main",
+            [],
+            b.decl("x", REAL, b.lit(0.0)),
+            b.assign("x", b.add(b.var("x"), b.lit(1.0))),
+            b.call("mpi_send", b.var("x"), b.lit(1), b.lit(9), b.comm_world()),
+        ),
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from .ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Block,
+    BoolLit,
+    CallStmt,
+    Expr,
+    For,
+    If,
+    IntLit,
+    IntrinsicCall,
+    LValue,
+    Param,
+    Procedure,
+    Program,
+    RealLit,
+    Return,
+    Stmt,
+    UnOp,
+    VarDecl,
+    VarRef,
+    While,
+)
+from .mpi_ops import COMM_WORLD_NAME
+from .types import Type
+
+__all__ = [
+    "program",
+    "proc",
+    "param",
+    "global_decl",
+    "decl",
+    "block",
+    "assign",
+    "if_",
+    "while_",
+    "for_",
+    "call",
+    "ret",
+    "lit",
+    "var",
+    "aref",
+    "binop",
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "eq",
+    "ne",
+    "lt",
+    "le",
+    "gt",
+    "ge",
+    "neg",
+    "fn",
+    "rank",
+    "comm_world",
+    "as_expr",
+]
+
+ExprLike = Union[Expr, int, float, bool, str]
+
+
+def as_expr(value: ExprLike) -> Expr:
+    """Coerce Python literals / variable-name strings to expressions."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):
+        return BoolLit(value)
+    if isinstance(value, int):
+        return IntLit(value)
+    if isinstance(value, float):
+        return RealLit(value)
+    if isinstance(value, str):
+        return VarRef(value)
+    raise TypeError(f"cannot coerce {value!r} to an SPL expression")
+
+
+def lit(value: Union[int, float, bool]) -> Expr:
+    return as_expr(value)
+
+
+def var(name: str) -> VarRef:
+    return VarRef(name)
+
+
+def aref(name: str, *indices: ExprLike) -> ArrayRef:
+    return ArrayRef(name, tuple(as_expr(i) for i in indices))
+
+
+def binop(op: str, left: ExprLike, right: ExprLike) -> BinOp:
+    return BinOp(op, as_expr(left), as_expr(right))
+
+
+def add(left: ExprLike, right: ExprLike) -> BinOp:
+    return binop("+", left, right)
+
+
+def sub(left: ExprLike, right: ExprLike) -> BinOp:
+    return binop("-", left, right)
+
+
+def mul(left: ExprLike, right: ExprLike) -> BinOp:
+    return binop("*", left, right)
+
+
+def div(left: ExprLike, right: ExprLike) -> BinOp:
+    return binop("/", left, right)
+
+
+def eq(left: ExprLike, right: ExprLike) -> BinOp:
+    return binop("==", left, right)
+
+
+def ne(left: ExprLike, right: ExprLike) -> BinOp:
+    return binop("!=", left, right)
+
+
+def lt(left: ExprLike, right: ExprLike) -> BinOp:
+    return binop("<", left, right)
+
+
+def le(left: ExprLike, right: ExprLike) -> BinOp:
+    return binop("<=", left, right)
+
+
+def gt(left: ExprLike, right: ExprLike) -> BinOp:
+    return binop(">", left, right)
+
+
+def ge(left: ExprLike, right: ExprLike) -> BinOp:
+    return binop(">=", left, right)
+
+
+def neg(operand: ExprLike) -> UnOp:
+    return UnOp("-", as_expr(operand))
+
+
+def fn(name: str, *args: ExprLike) -> IntrinsicCall:
+    """Intrinsic call expression, e.g. ``fn("sin", var("x"))``."""
+    return IntrinsicCall(name, tuple(as_expr(a) for a in args))
+
+
+def rank() -> IntrinsicCall:
+    return IntrinsicCall("mpi_comm_rank", ())
+
+
+def comm_world() -> VarRef:
+    return VarRef(COMM_WORLD_NAME)
+
+
+def block(*stmts: Stmt) -> Block:
+    return Block(tuple(stmts))
+
+
+def decl(name: str, ty: Type, init: Optional[ExprLike] = None) -> VarDecl:
+    return VarDecl(name, ty, as_expr(init) if init is not None else None)
+
+
+def global_decl(name: str, ty: Type) -> VarDecl:
+    return VarDecl(name, ty, None)
+
+
+def assign(target: Union[str, LValue], value: ExprLike) -> Assign:
+    tgt = VarRef(target) if isinstance(target, str) else target
+    return Assign(tgt, as_expr(value))
+
+
+def if_(
+    cond: ExprLike,
+    then: Sequence[Stmt],
+    els: Optional[Sequence[Stmt]] = None,
+) -> If:
+    return If(
+        as_expr(cond),
+        Block(tuple(then)),
+        Block(tuple(els)) if els is not None else None,
+    )
+
+
+def while_(cond: ExprLike, body: Sequence[Stmt]) -> While:
+    return While(as_expr(cond), Block(tuple(body)))
+
+
+def for_(
+    varname: str,
+    lo: ExprLike,
+    hi: ExprLike,
+    body: Sequence[Stmt],
+    step: Optional[ExprLike] = None,
+) -> For:
+    return For(
+        varname,
+        as_expr(lo),
+        as_expr(hi),
+        as_expr(step) if step is not None else None,
+        Block(tuple(body)),
+    )
+
+
+def call(name: str, *args: ExprLike) -> CallStmt:
+    return CallStmt(name, tuple(as_expr(a) for a in args))
+
+
+def ret() -> Return:
+    return Return()
+
+
+def param(name: str, ty: Type) -> Param:
+    return Param(name, ty)
+
+
+def proc(name: str, params: Sequence[Param], *body: Stmt) -> Procedure:
+    return Procedure(name, tuple(params), Block(tuple(body)))
+
+
+def program(
+    name: str,
+    *procs: Procedure,
+    globals: Sequence[VarDecl] = (),
+) -> Program:
+    return Program(name, tuple(globals), tuple(procs))

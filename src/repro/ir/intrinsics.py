@@ -1,0 +1,81 @@
+"""Intrinsic (builtin) expression functions available in SPL.
+
+Each intrinsic records its arity, result type behaviour, and — crucial
+for activity analysis — whether the result *differentiably* depends on
+each argument.  Nondifferentiable intrinsics (``mod``, ``floor``,
+``int``...) kill Vary propagation: their derivative is zero almost
+everywhere, matching how AD tools treat them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .types import BOOL, INT, REAL, ScalarType
+
+__all__ = ["Intrinsic", "INTRINSICS", "is_intrinsic", "intrinsic"]
+
+
+@dataclass(frozen=True)
+class Intrinsic:
+    """Description of one builtin expression function.
+
+    ``result`` of ``None`` means "same scalar type as the first
+    argument" (used by ``abs``/``min``/``max`` which work on int or
+    real).  ``differentiable`` marks whether the output carries
+    derivative information from its (real) inputs.
+    """
+
+    name: str
+    arity: int
+    result: ScalarType | None
+    differentiable: bool
+
+    def result_type(self, arg_types: tuple[ScalarType, ...]) -> ScalarType:
+        if self.result is not None:
+            return self.result
+        return arg_types[0] if arg_types else REAL
+
+
+_DEFS = [
+    # Differentiable math (real -> real).
+    Intrinsic("sin", 1, REAL, True),
+    Intrinsic("cos", 1, REAL, True),
+    Intrinsic("tan", 1, REAL, True),
+    Intrinsic("exp", 1, REAL, True),
+    Intrinsic("log", 1, REAL, True),
+    Intrinsic("sqrt", 1, REAL, True),
+    # Piecewise differentiable; AD tools propagate derivatives through
+    # these, so activity analysis must too.
+    Intrinsic("abs", 1, None, True),
+    Intrinsic("min", 2, None, True),
+    Intrinsic("max", 2, None, True),
+    # Nondifferentiable / integer-valued.
+    Intrinsic("mod", 2, INT, False),
+    Intrinsic("floor", 1, INT, False),
+    Intrinsic("ceil", 1, INT, False),
+    Intrinsic("int", 1, INT, False),
+    # int -> real conversion is linear, hence differentiable, but its
+    # argument is an int (derivative zero), so the flag is moot; mark
+    # False to match AD-tool convention that type casts sever activity.
+    Intrinsic("float", 1, REAL, False),
+    # MPI environment queries (SPMD rank / communicator size).  These
+    # are the source of rank-dependent control flow in SPMD programs.
+    Intrinsic("mpi_comm_rank", 0, INT, False),
+    Intrinsic("mpi_comm_size", 0, INT, False),
+]
+
+INTRINSICS: dict[str, Intrinsic] = {d.name: d for d in _DEFS}
+
+_ = BOOL  # imported for callers that build comparison result types
+
+
+def is_intrinsic(name: str) -> bool:
+    return name in INTRINSICS
+
+
+def intrinsic(name: str) -> Intrinsic:
+    try:
+        return INTRINSICS[name]
+    except KeyError:
+        raise KeyError(f"unknown intrinsic {name!r}") from None

@@ -1,0 +1,183 @@
+"""Hand-written lexer for SPL source text.
+
+Produces a flat list of :class:`Token`; the parser consumes them with
+one-token lookahead.  Comments run ``//`` to end of line or ``/* ... */``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .ast_nodes import SourceLoc
+
+__all__ = ["Token", "LexError", "tokenize", "KEYWORDS"]
+
+
+KEYWORDS = frozenset(
+    {
+        "program",
+        "global",
+        "proc",
+        "call",
+        "if",
+        "else",
+        "while",
+        "for",
+        "to",
+        "step",
+        "return",
+        "int",
+        "real",
+        "bool",
+        "true",
+        "false",
+        "and",
+        "or",
+        "not",
+    }
+)
+
+#: Multi-character operators, longest first so maximal munch works.
+_OPERATORS = (
+    "**",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "+",
+    "-",
+    "*",
+    "/",
+    "<",
+    ">",
+    "=",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+    ",",
+    ";",
+)
+
+
+class LexError(ValueError):
+    """Raised on malformed SPL source."""
+
+    def __init__(self, message: str, loc: SourceLoc):
+        super().__init__(f"{loc}: {message}")
+        self.loc = loc
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``kind`` is one of ``IDENT``, ``INT``, ``REAL``, ``KW`` (keyword),
+    ``OP`` (operator/punctuation), or ``EOF``; ``text`` is the lexeme.
+    """
+
+    kind: str
+    text: str
+    loc: SourceLoc
+
+    def __repr__(self) -> str:  # compact for parser error messages
+        return f"{self.kind}({self.text!r})@{self.loc}"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convert SPL source text into a token list ending with an EOF token."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def loc() -> SourceLoc:
+        return SourceLoc(line, col)
+
+    def advance(count: int) -> None:
+        nonlocal i, line, col
+        for _ in range(count):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = source[i]
+
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                advance(1)
+            continue
+
+        if source.startswith("/*", i):
+            start = loc()
+            advance(2)
+            while i < n and not source.startswith("*/", i):
+                advance(1)
+            if i >= n:
+                raise LexError("unterminated block comment", start)
+            advance(2)
+            continue
+
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            start = loc()
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                c = source[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    # Don't swallow '..' or a dot not followed by digit/exp.
+                    seen_dot = True
+                    j += 1
+                elif c in "eE" and not seen_exp and j > i:
+                    # Exponent must be followed by optional sign and digit.
+                    k = j + 1
+                    if k < n and source[k] in "+-":
+                        k += 1
+                    if k < n and source[k].isdigit():
+                        seen_exp = True
+                        j = k
+                    else:
+                        break
+                else:
+                    break
+            text = source[i:j]
+            kind = "REAL" if (seen_dot or seen_exp) else "INT"
+            tokens.append(Token(kind, text, start))
+            advance(j - i)
+            continue
+
+        if ch.isalpha() or ch == "_":
+            start = loc()
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = "KW" if text in KEYWORDS else "IDENT"
+            tokens.append(Token(kind, text, start))
+            advance(j - i)
+            continue
+
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("OP", op, loc()))
+                advance(len(op))
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", loc())
+
+    tokens.append(Token("EOF", "", loc()))
+    return tokens

@@ -1,0 +1,226 @@
+"""Signatures of the MPI operations recognized in SPL programs.
+
+SPL spells MPI operations as ``call mpi_*(...)`` statements.  This
+module is the single source of truth for their names, argument roles,
+and communication kinds; the CFG builder uses it to create dedicated
+MPI nodes, the validator to check call sites, and the matcher to find
+tag/communicator/root arguments.
+
+The operation set mirrors what the paper's MPI-ICFG handles:
+point-to-point ``send``/``isend`` and ``recv``/``irecv``, and the
+collectives ``bcast``, ``reduce`` and ``allreduce`` ("communication
+edges ... among all calls to broadcast, and among all calls to
+reduce").  ``barrier`` and ``wait`` carry no data and get plain nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = [
+    "MpiKind",
+    "ArgRole",
+    "ArgSpec",
+    "MpiOp",
+    "MPI_OPS",
+    "is_mpi_op",
+    "mpi_op",
+    "REDUCE_OPS",
+    "COMM_WORLD_NAME",
+    "COMM_WORLD_VALUE",
+]
+
+
+class MpiKind(Enum):
+    """Communication behaviour of an MPI operation."""
+
+    SEND = "send"  # one-sided data out (send / isend)
+    RECV = "recv"  # one-sided data in (recv / irecv)
+    BCAST = "bcast"  # data out at root, data in elsewhere
+    REDUCE = "reduce"  # data in from all, data out at root
+    ALLREDUCE = "allreduce"  # data in from all, data out everywhere
+    GATHER = "gather"  # data in from all, concatenated at root
+    SCATTER = "scatter"  # root's data partitioned to everyone
+    SYNC = "sync"  # no data movement (barrier, wait)
+
+    @property
+    def collective(self) -> bool:
+        return self in (
+            MpiKind.BCAST,
+            MpiKind.REDUCE,
+            MpiKind.ALLREDUCE,
+            MpiKind.GATHER,
+            MpiKind.SCATTER,
+        )
+
+    @property
+    def reads_payload_everywhere(self) -> bool:
+        """Every participating rank contributes data (reduce-like)."""
+        return self in (MpiKind.REDUCE, MpiKind.ALLREDUCE, MpiKind.GATHER)
+
+    @property
+    def writes_result(self) -> bool:
+        return self in (
+            MpiKind.RECV,
+            MpiKind.REDUCE,
+            MpiKind.ALLREDUCE,
+            MpiKind.GATHER,
+            MpiKind.SCATTER,
+        )
+
+
+class ArgRole(Enum):
+    DATA_IN = "data_in"  # buffer read (sent / contributed)
+    DATA_OUT = "data_out"  # buffer written (received / result)
+    DATA_INOUT = "data_inout"  # bcast buffer: read at root, written elsewhere
+    DEST = "dest"
+    SRC = "src"
+    TAG = "tag"
+    ROOT = "root"
+    COMM = "comm"
+    REDOP = "redop"
+
+
+@dataclass(frozen=True)
+class ArgSpec:
+    role: ArgRole
+    name: str  # for error messages
+
+
+@dataclass(frozen=True)
+class MpiOp:
+    name: str
+    kind: MpiKind
+    args: tuple[ArgSpec, ...]
+    #: True for isend/irecv; the analyses treat them like their blocking
+    #: counterparts (the paper adds communication edges between
+    #: send/isend and receive/ireceive pairs alike).
+    nonblocking: bool = False
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    def positions(self, role: ArgRole) -> tuple[int, ...]:
+        return tuple(i for i, a in enumerate(self.args) if a.role == role)
+
+    def position(self, role: ArgRole) -> int | None:
+        p = self.positions(role)
+        return p[0] if p else None
+
+    @property
+    def data_positions(self) -> tuple[int, ...]:
+        return tuple(
+            i
+            for i, a in enumerate(self.args)
+            if a.role in (ArgRole.DATA_IN, ArgRole.DATA_OUT, ArgRole.DATA_INOUT)
+        )
+
+
+def _op(name: str, kind: MpiKind, *specs: tuple[ArgRole, str], nb: bool = False) -> MpiOp:
+    return MpiOp(name, kind, tuple(ArgSpec(r, n) for r, n in specs), nonblocking=nb)
+
+
+_OPS = [
+    _op(
+        "mpi_send",
+        MpiKind.SEND,
+        (ArgRole.DATA_IN, "buf"),
+        (ArgRole.DEST, "dest"),
+        (ArgRole.TAG, "tag"),
+        (ArgRole.COMM, "comm"),
+    ),
+    _op(
+        "mpi_isend",
+        MpiKind.SEND,
+        (ArgRole.DATA_IN, "buf"),
+        (ArgRole.DEST, "dest"),
+        (ArgRole.TAG, "tag"),
+        (ArgRole.COMM, "comm"),
+        nb=True,
+    ),
+    _op(
+        "mpi_recv",
+        MpiKind.RECV,
+        (ArgRole.DATA_OUT, "buf"),
+        (ArgRole.SRC, "src"),
+        (ArgRole.TAG, "tag"),
+        (ArgRole.COMM, "comm"),
+    ),
+    _op(
+        "mpi_irecv",
+        MpiKind.RECV,
+        (ArgRole.DATA_OUT, "buf"),
+        (ArgRole.SRC, "src"),
+        (ArgRole.TAG, "tag"),
+        (ArgRole.COMM, "comm"),
+        nb=True,
+    ),
+    _op(
+        "mpi_bcast",
+        MpiKind.BCAST,
+        (ArgRole.DATA_INOUT, "buf"),
+        (ArgRole.ROOT, "root"),
+        (ArgRole.COMM, "comm"),
+    ),
+    _op(
+        "mpi_reduce",
+        MpiKind.REDUCE,
+        (ArgRole.DATA_IN, "sendbuf"),
+        (ArgRole.DATA_OUT, "recvbuf"),
+        (ArgRole.REDOP, "op"),
+        (ArgRole.ROOT, "root"),
+        (ArgRole.COMM, "comm"),
+    ),
+    _op(
+        "mpi_allreduce",
+        MpiKind.ALLREDUCE,
+        (ArgRole.DATA_IN, "sendbuf"),
+        (ArgRole.DATA_OUT, "recvbuf"),
+        (ArgRole.REDOP, "op"),
+        (ArgRole.COMM, "comm"),
+    ),
+    _op(
+        "mpi_gather",
+        MpiKind.GATHER,
+        (ArgRole.DATA_IN, "sendbuf"),
+        (ArgRole.DATA_OUT, "recvbuf"),
+        (ArgRole.ROOT, "root"),
+        (ArgRole.COMM, "comm"),
+    ),
+    _op(
+        "mpi_scatter",
+        MpiKind.SCATTER,
+        (ArgRole.DATA_IN, "sendbuf"),
+        (ArgRole.DATA_OUT, "recvbuf"),
+        (ArgRole.ROOT, "root"),
+        (ArgRole.COMM, "comm"),
+    ),
+    _op("mpi_barrier", MpiKind.SYNC, (ArgRole.COMM, "comm")),
+    _op("mpi_wait", MpiKind.SYNC),
+]
+
+MPI_OPS: dict[str, MpiOp] = {o.name: o for o in _OPS}
+
+#: Reduction operator names accepted as the ``op`` argument (spelled as
+#: bare identifiers at call sites, e.g. ``call mpi_reduce(z, f, sum, 0,
+#: comm_world)``).
+REDUCE_OPS = frozenset({"sum", "prod", "min", "max"})
+
+#: Predefined communicator constant: the bare identifier ``comm_world``
+#: evaluates to integer 0 everywhere (the validator and reaching
+#: constants both treat it as a literal).
+COMM_WORLD_NAME = "comm_world"
+COMM_WORLD_VALUE = 0
+
+
+def is_mpi_op(name: str) -> bool:
+    return name in MPI_OPS
+
+
+def mpi_op(name: str) -> MpiOp:
+    try:
+        return MPI_OPS[name]
+    except KeyError:
+        raise KeyError(f"unknown MPI operation {name!r}") from None

@@ -1,0 +1,434 @@
+"""Recursive-descent parser for SPL.
+
+Grammar (EBNF; ``{}`` repetition, ``[]`` optional)::
+
+    program    = "program" IDENT ";" { globaldecl | procdecl }
+    globaldecl = "global" type IDENT [ dims ] ";"
+    procdecl   = "proc" IDENT "(" [ param { "," param } ] ")" block
+    param      = type IDENT [ dims ]
+    dims       = "[" INT { "," INT } "]"
+    block      = "{" { stmt } "}"
+    stmt       = vardecl ";" | assign ";" | callstmt ";" | "return" ";"
+               | ifstmt | whilestmt | forstmt | block
+    vardecl    = type IDENT [ dims ] [ "=" expr ]
+    assign     = lvalue "=" expr
+    callstmt   = "call" IDENT "(" [ expr { "," expr } ] ")"
+    ifstmt     = "if" "(" expr ")" block [ "else" ( block | ifstmt ) ]
+    whilestmt  = "while" "(" expr ")" block
+    forstmt    = "for" IDENT "=" expr "to" expr [ "step" expr ] block
+    lvalue     = IDENT [ "[" expr { "," expr } "]" ]
+
+Expressions use conventional precedence (``or`` < ``and`` < ``not`` <
+comparisons < ``+ -`` < ``* /`` < unary ``-`` < ``**``).  Identifier
+calls inside expressions are intrinsic calls (math builtins and
+``mpi_comm_rank`` / ``mpi_comm_size``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Block,
+    BoolLit,
+    CallStmt,
+    Expr,
+    For,
+    If,
+    IntLit,
+    IntrinsicCall,
+    LValue,
+    Param,
+    Procedure,
+    Program,
+    RealLit,
+    Return,
+    Stmt,
+    UnOp,
+    VarDecl,
+    VarRef,
+    While,
+)
+from .lexer import LexError, Token, tokenize
+from .types import ArrayType, BOOL, INT, REAL, ScalarType, Type
+
+__all__ = ["ParseError", "parse_program", "parse_expr"]
+
+
+class ParseError(ValueError):
+    """Raised on syntactically invalid SPL source."""
+
+    def __init__(self, message: str, token: Token):
+        super().__init__(f"{token.loc}: {message} (got {token!r})")
+        self.token = token
+
+
+_SCALAR_TYPES: dict[str, ScalarType] = {"int": INT, "real": REAL, "bool": BOOL}
+
+_COMPARISONS = ("==", "!=", "<", "<=", ">", ">=")
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def at(self, kind: str, text: Optional[str] = None) -> bool:
+        t = self.cur
+        return t.kind == kind and (text is None or t.text == text)
+
+    def at_kw(self, word: str) -> bool:
+        return self.at("KW", word)
+
+    def at_op(self, op: str) -> bool:
+        return self.at("OP", op)
+
+    def advance(self) -> Token:
+        t = self.cur
+        if t.kind != "EOF":
+            self.pos += 1
+        return t
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        if not self.at(kind, text):
+            want = text if text is not None else kind
+            raise ParseError(f"expected {want!r}", self.cur)
+        return self.advance()
+
+    def expect_op(self, op: str) -> Token:
+        return self.expect("OP", op)
+
+    def expect_kw(self, word: str) -> Token:
+        return self.expect("KW", word)
+
+    # -- program structure ---------------------------------------------
+
+    def parse_program(self) -> Program:
+        loc = self.cur.loc
+        self.expect_kw("program")
+        name = self.expect("IDENT").text
+        self.expect_op(";")
+        globals_: list[VarDecl] = []
+        procs: list[Procedure] = []
+        while not self.at("EOF"):
+            if self.at_kw("global"):
+                globals_.append(self.parse_global())
+            elif self.at_kw("proc"):
+                procs.append(self.parse_proc())
+            else:
+                raise ParseError("expected 'global' or 'proc'", self.cur)
+        return Program(name, tuple(globals_), tuple(procs), loc=loc)
+
+    def parse_global(self) -> VarDecl:
+        loc = self.cur.loc
+        self.expect_kw("global")
+        ty = self.parse_type()
+        name = self.expect("IDENT").text
+        ty = self.maybe_dims(ty)
+        self.expect_op(";")
+        return VarDecl(name, ty, None, loc=loc)
+
+    def parse_type(self) -> ScalarType:
+        t = self.cur
+        if t.kind == "KW" and t.text in _SCALAR_TYPES:
+            self.advance()
+            return _SCALAR_TYPES[t.text]
+        raise ParseError("expected a type (int/real/bool)", t)
+
+    def maybe_dims(self, elem: ScalarType) -> Type:
+        if not self.at_op("["):
+            return elem
+        self.advance()
+        dims = [int(self.expect("INT").text)]
+        while self.at_op(","):
+            self.advance()
+            dims.append(int(self.expect("INT").text))
+        self.expect_op("]")
+        return ArrayType(elem, tuple(dims))
+
+    def parse_proc(self) -> Procedure:
+        loc = self.cur.loc
+        self.expect_kw("proc")
+        name = self.expect("IDENT").text
+        self.expect_op("(")
+        params: list[Param] = []
+        if not self.at_op(")"):
+            params.append(self.parse_param())
+            while self.at_op(","):
+                self.advance()
+                params.append(self.parse_param())
+        self.expect_op(")")
+        body = self.parse_block()
+        return Procedure(name, tuple(params), body, loc=loc)
+
+    def parse_param(self) -> Param:
+        loc = self.cur.loc
+        ty = self.parse_type()
+        name = self.expect("IDENT").text
+        return Param(name, self.maybe_dims(ty), loc=loc)
+
+    # -- statements ------------------------------------------------------
+
+    def parse_block(self) -> Block:
+        loc = self.cur.loc
+        self.expect_op("{")
+        body: list[Stmt] = []
+        while not self.at_op("}"):
+            body.append(self.parse_stmt())
+        self.expect_op("}")
+        return Block(tuple(body), loc=loc)
+
+    def parse_stmt(self) -> Stmt:
+        t = self.cur
+        if t.kind == "KW" and t.text in _SCALAR_TYPES:
+            s = self.parse_vardecl()
+            self.expect_op(";")
+            return s
+        if self.at_kw("call"):
+            s = self.parse_call()
+            self.expect_op(";")
+            return s
+        if self.at_kw("return"):
+            loc = self.advance().loc
+            self.expect_op(";")
+            return Return(loc=loc)
+        if self.at_kw("if"):
+            return self.parse_if()
+        if self.at_kw("while"):
+            return self.parse_while()
+        if self.at_kw("for"):
+            return self.parse_for()
+        if self.at_op("{"):
+            return self.parse_block()
+        if t.kind == "IDENT":
+            s = self.parse_assign()
+            self.expect_op(";")
+            return s
+        raise ParseError("expected a statement", t)
+
+    def parse_vardecl(self) -> VarDecl:
+        loc = self.cur.loc
+        ty = self.parse_type()
+        name = self.expect("IDENT").text
+        full = self.maybe_dims(ty)
+        init = None
+        if self.at_op("="):
+            self.advance()
+            init = self.parse_expr()
+        return VarDecl(name, full, init, loc=loc)
+
+    def parse_call(self) -> CallStmt:
+        loc = self.cur.loc
+        self.expect_kw("call")
+        name = self.expect("IDENT").text
+        self.expect_op("(")
+        args: list[Expr] = []
+        if not self.at_op(")"):
+            args.append(self.parse_expr())
+            while self.at_op(","):
+                self.advance()
+                args.append(self.parse_expr())
+        self.expect_op(")")
+        return CallStmt(name, tuple(args), loc=loc)
+
+    def parse_if(self) -> If:
+        loc = self.cur.loc
+        self.expect_kw("if")
+        self.expect_op("(")
+        cond = self.parse_expr()
+        self.expect_op(")")
+        then = self.parse_block()
+        els: Optional[Block] = None
+        if self.at_kw("else"):
+            self.advance()
+            if self.at_kw("if"):
+                nested = self.parse_if()
+                els = Block((nested,), loc=nested.loc)
+            else:
+                els = self.parse_block()
+        return If(cond, then, els, loc=loc)
+
+    def parse_while(self) -> While:
+        loc = self.cur.loc
+        self.expect_kw("while")
+        self.expect_op("(")
+        cond = self.parse_expr()
+        self.expect_op(")")
+        return While(cond, self.parse_block(), loc=loc)
+
+    def parse_for(self) -> For:
+        loc = self.cur.loc
+        self.expect_kw("for")
+        var = self.expect("IDENT").text
+        self.expect_op("=")
+        lo = self.parse_expr()
+        self.expect_kw("to")
+        hi = self.parse_expr()
+        step: Optional[Expr] = None
+        if self.at_kw("step"):
+            self.advance()
+            step = self.parse_expr()
+        return For(var, lo, hi, step, self.parse_block(), loc=loc)
+
+    def parse_assign(self) -> Assign:
+        loc = self.cur.loc
+        target = self.parse_lvalue()
+        self.expect_op("=")
+        value = self.parse_expr()
+        return Assign(target, value, loc=loc)
+
+    def parse_lvalue(self) -> LValue:
+        t = self.expect("IDENT")
+        if self.at_op("["):
+            self.advance()
+            indices = [self.parse_expr()]
+            while self.at_op(","):
+                self.advance()
+                indices.append(self.parse_expr())
+            self.expect_op("]")
+            return ArrayRef(t.text, tuple(indices), loc=t.loc)
+        return VarRef(t.text, loc=t.loc)
+
+    # -- expressions ----------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> Expr:
+        left = self.parse_and()
+        while self.at_kw("or"):
+            loc = self.advance().loc
+            left = BinOp("or", left, self.parse_and(), loc=loc)
+        return left
+
+    def parse_and(self) -> Expr:
+        left = self.parse_not()
+        while self.at_kw("and"):
+            loc = self.advance().loc
+            left = BinOp("and", left, self.parse_not(), loc=loc)
+        return left
+
+    def parse_not(self) -> Expr:
+        if self.at_kw("not"):
+            loc = self.advance().loc
+            return UnOp("not", self.parse_not(), loc=loc)
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Expr:
+        left = self.parse_additive()
+        if self.cur.kind == "OP" and self.cur.text in _COMPARISONS:
+            op = self.advance()
+            return BinOp(op.text, left, self.parse_additive(), loc=op.loc)
+        return left
+
+    def parse_additive(self) -> Expr:
+        left = self.parse_multiplicative()
+        while self.cur.kind == "OP" and self.cur.text in ("+", "-"):
+            op = self.advance()
+            left = BinOp(op.text, left, self.parse_multiplicative(), loc=op.loc)
+        return left
+
+    def parse_multiplicative(self) -> Expr:
+        left = self.parse_unary()
+        while self.cur.kind == "OP" and self.cur.text in ("*", "/"):
+            op = self.advance()
+            left = BinOp(op.text, left, self.parse_unary(), loc=op.loc)
+        return left
+
+    def parse_unary(self) -> Expr:
+        if self.at_op("-"):
+            loc = self.advance().loc
+            return UnOp("-", self.parse_unary(), loc=loc)
+        return self.parse_power()
+
+    def parse_power(self) -> Expr:
+        base = self.parse_primary()
+        if self.at_op("**"):
+            loc = self.advance().loc
+            # Right associative: a ** b ** c == a ** (b ** c).
+            return BinOp("**", base, self.parse_unary(), loc=loc)
+        return base
+
+    def parse_primary(self) -> Expr:
+        t = self.cur
+        if t.kind == "INT":
+            self.advance()
+            return IntLit(int(t.text), loc=t.loc)
+        if t.kind == "REAL":
+            self.advance()
+            return RealLit(float(t.text), loc=t.loc)
+        if self.at_kw("true"):
+            self.advance()
+            return BoolLit(True, loc=t.loc)
+        if self.at_kw("false"):
+            self.advance()
+            return BoolLit(False, loc=t.loc)
+        if self.at_op("("):
+            self.advance()
+            inner = self.parse_expr()
+            self.expect_op(")")
+            return inner
+        if self.at_kw("int") and self.tokens[self.pos + 1].text == "(":
+            # `int(expr)` conversion: the type keyword doubles as the
+            # truncation intrinsic in expression position.
+            self.advance()
+            self.expect_op("(")
+            arg = self.parse_expr()
+            self.expect_op(")")
+            return IntrinsicCall("int", (arg,), loc=t.loc)
+        if t.kind == "IDENT":
+            self.advance()
+            if self.at_op("("):
+                self.advance()
+                args: list[Expr] = []
+                if not self.at_op(")"):
+                    args.append(self.parse_expr())
+                    while self.at_op(","):
+                        self.advance()
+                        args.append(self.parse_expr())
+                self.expect_op(")")
+                return IntrinsicCall(t.text, tuple(args), loc=t.loc)
+            if self.at_op("["):
+                self.advance()
+                indices = [self.parse_expr()]
+                while self.at_op(","):
+                    self.advance()
+                    indices.append(self.parse_expr())
+                self.expect_op("]")
+                return ArrayRef(t.text, tuple(indices), loc=t.loc)
+            return VarRef(t.text, loc=t.loc)
+        raise ParseError("expected an expression", t)
+
+
+def parse_program(source: str) -> Program:
+    """Parse SPL source text into a :class:`~repro.ir.ast_nodes.Program`.
+
+    Raises :class:`ParseError` or :class:`~repro.ir.lexer.LexError` on
+    malformed input.  Semantic checks (declared-before-use, arity, ...)
+    are in :mod:`repro.ir.validate`.
+    """
+    parser = _Parser(tokenize(source))
+    prog = parser.parse_program()
+    parser.expect("EOF")
+    return prog
+
+
+def parse_expr(source: str) -> Expr:
+    """Parse a single SPL expression (testing convenience)."""
+    parser = _Parser(tokenize(source))
+    e = parser.parse_expr()
+    parser.expect("EOF")
+    return e
+
+
+# Re-export so callers can catch frontend errors from one module.
+_ = LexError

@@ -1,0 +1,160 @@
+"""Pretty-printer (unparser) for SPL ASTs.
+
+``parse_program(print_program(ast))`` reproduces a structurally equal
+AST — a property the hypothesis round-trip tests enforce.  Output is
+fully parenthesized only where precedence requires it.
+"""
+
+from __future__ import annotations
+
+from .ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Block,
+    BoolLit,
+    CallStmt,
+    Expr,
+    For,
+    If,
+    IntLit,
+    IntrinsicCall,
+    Procedure,
+    Program,
+    RealLit,
+    Return,
+    Stmt,
+    UnOp,
+    VarDecl,
+    VarRef,
+    While,
+)
+from .types import ArrayType, Type
+
+__all__ = ["print_program", "print_stmt", "print_expr", "print_type"]
+
+_PRECEDENCE = {
+    "or": 1,
+    "and": 2,
+    "==": 4,
+    "!=": 4,
+    "<": 4,
+    "<=": 4,
+    ">": 4,
+    ">=": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+    "/": 6,
+    "**": 8,
+}
+_UNARY_PRECEDENCE = {"not": 3, "-": 7}
+
+
+def print_type(ty: Type) -> tuple[str, str]:
+    """Return ``(base, dims)`` strings, e.g. ``("real", "[4, 5]")``."""
+    if isinstance(ty, ArrayType):
+        dims = ", ".join(str(d) for d in ty.shape)
+        return str(ty.elem), f"[{dims}]"
+    return str(ty), ""
+
+
+def print_expr(e: Expr, parent_prec: int = 0) -> str:
+    if isinstance(e, IntLit):
+        return str(e.value)
+    if isinstance(e, RealLit):
+        text = repr(e.value)
+        # Guarantee the literal re-lexes as REAL, not INT.
+        if not any(c in text for c in ".eE"):
+            text += ".0"
+        if text.startswith("-"):
+            return f"({text})"
+        return text
+    if isinstance(e, BoolLit):
+        return "true" if e.value else "false"
+    if isinstance(e, VarRef):
+        return e.name
+    if isinstance(e, ArrayRef):
+        idx = ", ".join(print_expr(i) for i in e.indices)
+        return f"{e.name}[{idx}]"
+    if isinstance(e, IntrinsicCall):
+        args = ", ".join(print_expr(a) for a in e.args)
+        return f"{e.name}({args})"
+    if isinstance(e, UnOp):
+        prec = _UNARY_PRECEDENCE[e.op]
+        inner = print_expr(e.operand, prec)
+        space = " " if e.op == "not" else ""
+        text = f"{e.op}{space}{inner}"
+        return f"({text})" if prec < parent_prec else text
+    if isinstance(e, BinOp):
+        prec = _PRECEDENCE[e.op]
+        # All SPL binary operators are parsed left-associative except
+        # ``**``; print the tighter side accordingly.
+        if e.op == "**":
+            left = print_expr(e.left, prec + 1)
+            right = print_expr(e.right, prec)
+        else:
+            left = print_expr(e.left, prec)
+            right = print_expr(e.right, prec + 1)
+        text = f"{left} {e.op} {right}"
+        return f"({text})" if prec < parent_prec else text
+    raise TypeError(f"cannot print expression {e!r}")
+
+
+def print_stmt(s: Stmt, indent: int = 0) -> str:
+    pad = "  " * indent
+    if isinstance(s, VarDecl):
+        base, dims = print_type(s.type)
+        init = f" = {print_expr(s.init)}" if s.init is not None else ""
+        return f"{pad}{base} {s.name}{dims}{init};"
+    if isinstance(s, Assign):
+        return f"{pad}{print_expr(s.target)} = {print_expr(s.value)};"
+    if isinstance(s, CallStmt):
+        args = ", ".join(print_expr(a) for a in s.args)
+        return f"{pad}call {s.name}({args});"
+    if isinstance(s, Return):
+        return f"{pad}return;"
+    if isinstance(s, Block):
+        inner = "\n".join(print_stmt(x, indent + 1) for x in s.body)
+        body = f"\n{inner}\n{pad}" if s.body else ""
+        return f"{pad}{{{body}}}"
+    if isinstance(s, If):
+        text = f"{pad}if ({print_expr(s.cond)}) {_inline_block(s.then, indent)}"
+        if s.els is not None:
+            text += f" else {_inline_block(s.els, indent)}"
+        return text
+    if isinstance(s, While):
+        return f"{pad}while ({print_expr(s.cond)}) {_inline_block(s.body, indent)}"
+    if isinstance(s, For):
+        step = f" step {print_expr(s.step)}" if s.step is not None else ""
+        return (
+            f"{pad}for {s.var} = {print_expr(s.lo)} to {print_expr(s.hi)}{step} "
+            f"{_inline_block(s.body, indent)}"
+        )
+    raise TypeError(f"cannot print statement {s!r}")
+
+
+def _inline_block(b: Block, indent: int) -> str:
+    """Print a block whose opening brace sits on the current line."""
+    return print_stmt(b, indent).lstrip()
+
+
+def _print_proc(p: Procedure) -> str:
+    params = []
+    for param in p.params:
+        base, dims = print_type(param.type)
+        params.append(f"{base} {param.name}{dims}")
+    header = f"proc {p.name}({', '.join(params)}) "
+    return header + print_stmt(p.body, 0)
+
+
+def print_program(prog: Program) -> str:
+    """Unparse a whole program to SPL source text."""
+    parts = [f"program {prog.name};"]
+    for g in prog.globals:
+        base, dims = print_type(g.type)
+        parts.append(f"global {base} {g.name}{dims};")
+    for p in prog.procedures:
+        parts.append("")
+        parts.append(_print_proc(p))
+    return "\n".join(parts) + "\n"

@@ -1,0 +1,160 @@
+"""AST rewriting utilities: systematic renaming of variables/procedures.
+
+Used by the two-copy baseline (duplicate the whole program into two
+process namespaces) and by tests that build program variants.
+Rewrites are structural: new AST nodes are produced, the input is
+never mutated.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Optional
+
+from .ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Block,
+    CallStmt,
+    Expr,
+    For,
+    If,
+    IntrinsicCall,
+    Param,
+    Procedure,
+    Program,
+    Return,
+    Stmt,
+    UnOp,
+    VarDecl,
+    VarRef,
+    While,
+)
+from .mpi_ops import MPI_OPS
+
+__all__ = ["rewrite_expr", "rewrite_stmt", "rename_program"]
+
+NameMap = Callable[[str], str]
+
+
+def rewrite_expr(e: Expr, rename_var: NameMap) -> Expr:
+    """Rebuild ``e`` with variable names mapped through ``rename_var``."""
+    if isinstance(e, VarRef):
+        return VarRef(rename_var(e.name), loc=e.loc)
+    if isinstance(e, ArrayRef):
+        return ArrayRef(
+            rename_var(e.name),
+            tuple(rewrite_expr(i, rename_var) for i in e.indices),
+            loc=e.loc,
+        )
+    if isinstance(e, BinOp):
+        return BinOp(
+            e.op,
+            rewrite_expr(e.left, rename_var),
+            rewrite_expr(e.right, rename_var),
+            loc=e.loc,
+        )
+    if isinstance(e, UnOp):
+        return UnOp(e.op, rewrite_expr(e.operand, rename_var), loc=e.loc)
+    if isinstance(e, IntrinsicCall):
+        return IntrinsicCall(
+            e.name,
+            tuple(rewrite_expr(a, rename_var) for a in e.args),
+            loc=e.loc,
+        )
+    return e  # literals
+
+
+def rewrite_stmt(s: Stmt, rename_var: NameMap, rename_proc: NameMap) -> Stmt:
+    if isinstance(s, VarDecl):
+        init = rewrite_expr(s.init, rename_var) if s.init is not None else None
+        return VarDecl(rename_var(s.name), s.type, init, loc=s.loc)
+    if isinstance(s, Assign):
+        return Assign(
+            rewrite_expr(s.target, rename_var),  # type: ignore[arg-type]
+            rewrite_expr(s.value, rename_var),
+            loc=s.loc,
+        )
+    if isinstance(s, Block):
+        return Block(
+            tuple(rewrite_stmt(x, rename_var, rename_proc) for x in s.body),
+            loc=s.loc,
+        )
+    if isinstance(s, If):
+        return If(
+            rewrite_expr(s.cond, rename_var),
+            rewrite_stmt(s.then, rename_var, rename_proc),  # type: ignore[arg-type]
+            rewrite_stmt(s.els, rename_var, rename_proc) if s.els else None,  # type: ignore[arg-type]
+            loc=s.loc,
+        )
+    if isinstance(s, While):
+        return While(
+            rewrite_expr(s.cond, rename_var),
+            rewrite_stmt(s.body, rename_var, rename_proc),  # type: ignore[arg-type]
+            loc=s.loc,
+        )
+    if isinstance(s, For):
+        return For(
+            rename_var(s.var),
+            rewrite_expr(s.lo, rename_var),
+            rewrite_expr(s.hi, rename_var),
+            rewrite_expr(s.step, rename_var) if s.step is not None else None,
+            rewrite_stmt(s.body, rename_var, rename_proc),  # type: ignore[arg-type]
+            loc=s.loc,
+        )
+    if isinstance(s, CallStmt):
+        name = s.name if s.name in MPI_OPS else rename_proc(s.name)
+        return CallStmt(
+            name,
+            tuple(rewrite_expr(a, rename_var) for a in s.args),
+            loc=s.loc,
+        )
+    if isinstance(s, Return):
+        return s
+    raise TypeError(f"cannot rewrite {s!r}")
+
+
+def rename_program(
+    program: Program,
+    suffix: str,
+    new_name: Optional[str] = None,
+) -> Program:
+    """Suffix every global and procedure name of ``program``.
+
+    Parameter and local names are left untouched (their scope already
+    disambiguates); references to globals and call targets are rewritten
+    consistently.  MPI operations, intrinsics, and the ``comm_world``
+    builtin are never renamed.
+    """
+    global_names = {g.name for g in program.globals}
+    proc_names = set(program.proc_names)
+
+    def rename_var(name: str) -> str:
+        return name + suffix if name in global_names else name
+
+    def rename_proc(name: str) -> str:
+        return name + suffix if name in proc_names else name
+
+    new_globals = tuple(
+        VarDecl(g.name + suffix, g.type, None, loc=g.loc) for g in program.globals
+    )
+    new_procs = []
+    for p in program.procedures:
+        body = rewrite_stmt(p.body, rename_var, rename_proc)
+        new_procs.append(
+            Procedure(
+                p.name + suffix,
+                tuple(Param(q.name, q.type, loc=q.loc) for q in p.params),
+                body,  # type: ignore[arg-type]
+                loc=p.loc,
+            )
+        )
+    return Program(
+        new_name or (program.name + suffix),
+        new_globals,
+        tuple(new_procs),
+        loc=program.loc,
+    )
+
+
+_ = Mapping  # typing convenience

@@ -1,0 +1,146 @@
+"""Type system for SPL, the small SPMD language analyzed by this library.
+
+SPL deliberately mirrors Fortran 77 semantics — the language the paper's
+benchmarks (NAS CG/LU/MG, SOR, Biostat, Sweep3d) are written in:
+
+* three scalar base types: ``int``, ``real`` (double precision), ``bool``;
+* statically shaped multi-dimensional arrays;
+* all procedure parameters passed by reference.
+
+Byte sizes follow the conventions the paper uses for its "active bytes"
+accounting: a ``real`` is 8 bytes (double precision), an ``int`` 4 bytes,
+a ``bool`` 4 bytes (Fortran LOGICAL).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import reduce
+from operator import mul
+
+__all__ = [
+    "Type",
+    "ScalarType",
+    "IntType",
+    "RealType",
+    "BoolType",
+    "ArrayType",
+    "INT",
+    "REAL",
+    "BOOL",
+    "array_of",
+]
+
+
+@dataclass(frozen=True)
+class Type:
+    """Base class of all SPL types."""
+
+    def sizeof(self) -> int:
+        """Total size in bytes of one value of this type."""
+        raise NotImplementedError
+
+    @property
+    def base(self) -> "ScalarType":
+        """The underlying scalar type (identity for scalars)."""
+        raise NotImplementedError
+
+    @property
+    def is_real(self) -> bool:
+        """True when the underlying scalar type is ``real``.
+
+        Activity analysis only tracks floating-point data: derivatives of
+        integer and boolean values are identically zero.
+        """
+        return isinstance(self.base, RealType)
+
+    @property
+    def is_array(self) -> bool:
+        return isinstance(self, ArrayType)
+
+    def element_count(self) -> int:
+        """Number of scalar elements (1 for scalars)."""
+        return 1
+
+
+@dataclass(frozen=True)
+class ScalarType(Type):
+    """Common base of the three scalar types."""
+
+    @property
+    def base(self) -> "ScalarType":
+        return self
+
+
+@dataclass(frozen=True)
+class IntType(ScalarType):
+    def sizeof(self) -> int:
+        return 4
+
+    def __str__(self) -> str:
+        return "int"
+
+
+@dataclass(frozen=True)
+class RealType(ScalarType):
+    def sizeof(self) -> int:
+        return 8
+
+    def __str__(self) -> str:
+        return "real"
+
+
+@dataclass(frozen=True)
+class BoolType(ScalarType):
+    def sizeof(self) -> int:
+        return 4
+
+    def __str__(self) -> str:
+        return "bool"
+
+
+@dataclass(frozen=True)
+class ArrayType(Type):
+    """A statically shaped array of scalars, e.g. ``real a[5, 12]``.
+
+    ``shape`` is a tuple of positive extents.  Arrays are treated
+    monolithically by the analyses (no per-element sensitivity), exactly
+    as in the paper's activity analysis.
+    """
+
+    elem: ScalarType
+    shape: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.shape:
+            raise ValueError("ArrayType requires a non-empty shape")
+        if any((not isinstance(d, int)) or d <= 0 for d in self.shape):
+            raise ValueError(f"array extents must be positive ints: {self.shape}")
+        if not isinstance(self.elem, ScalarType):
+            raise ValueError("array element type must be scalar")
+
+    def element_count(self) -> int:
+        return reduce(mul, self.shape, 1)
+
+    def sizeof(self) -> int:
+        return self.elem.sizeof() * self.element_count()
+
+    @property
+    def base(self) -> ScalarType:
+        return self.elem
+
+    def __str__(self) -> str:
+        dims = ", ".join(str(d) for d in self.shape)
+        return f"{self.elem}[{dims}]"
+
+
+#: Singleton scalar type instances.  ``Type`` dataclasses are frozen and
+#: compare by value, so using these is a convenience, not a requirement.
+INT = IntType()
+REAL = RealType()
+BOOL = BoolType()
+
+
+def array_of(elem: ScalarType, *shape: int) -> ArrayType:
+    """Convenience constructor: ``array_of(REAL, 10, 10)``."""
+    return ArrayType(elem, tuple(shape))

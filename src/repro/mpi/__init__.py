@@ -1,0 +1,21 @@
+"""MPI-CFG / MPI-ICFG: communication-edge matching and construction."""
+
+from .matching import (
+    CommPair,
+    MatchOptions,
+    MatchResult,
+    match_communication,
+    rank_offset,
+)
+from .mpiicfg import add_communication_edges, build_mpi_cfg, build_mpi_icfg
+
+__all__ = [
+    "MatchOptions",
+    "MatchResult",
+    "CommPair",
+    "match_communication",
+    "rank_offset",
+    "add_communication_edges",
+    "build_mpi_icfg",
+    "build_mpi_cfg",
+]

@@ -1,0 +1,277 @@
+"""Communication-edge matching (§4.1).
+
+Communication edges are added between possible send/isend and
+receive/irecv pairs, among all calls to broadcast, and among all calls
+to reduce (and, separately, allreduce).  An interprocedural reaching
+constants analysis evaluates the ``tag`` and ``communicator`` arguments
+(and ``root`` for collectives); a pair is ruled out only when two such
+arguments evaluate to *different constants* — anything non-constant
+matches conservatively.
+
+The paper mentions, but does not use, the additional edge-reduction
+heuristics of Shires et al.; we provide one of them — symbolic
+rank-offset matching of ``dest``/``src`` (``rank + c`` patterns) — as
+an opt-in extension (:attr:`MatchOptions.rank_heuristics`), ablated in
+``benchmarks/bench_edge_matching.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..analyses.consteval import eval_const
+from ..analyses.mpi_model import MpiModel
+from ..analyses.reaching_constants import ReachingConstantsProblem
+from ..cfg.icfg import ICFG
+from ..cfg.node import MpiNode
+from ..dataflow.lattice import ConstValue
+from ..dataflow.solver import solve
+from ..ir.ast_nodes import BinOp, Expr, IntLit, IntrinsicCall, UnOp
+from ..ir.mpi_ops import ArgRole, MpiKind
+
+__all__ = ["MatchOptions", "CommPair", "MatchResult", "match_communication", "rank_offset"]
+
+
+@dataclass(frozen=True)
+class MatchOptions:
+    """Knobs for communication-edge construction.
+
+    ``use_constants=False`` yields full connectivity (every send matches
+    every receive, all collectives form one clique per kind) — the
+    worst case the paper's precision argument is measured against.
+    ``match_counts`` additionally requires statically-known payload
+    element counts to agree (MPI type-signature matching: a scalar
+    broadcast cannot pair with an array broadcast).
+    """
+
+    use_constants: bool = True
+    match_counts: bool = True
+    rank_heuristics: bool = False
+    solver: str = "worklist"
+
+
+@dataclass(frozen=True)
+class CommPair:
+    """One communication edge endpoint pair (node ids)."""
+
+    src: int
+    dst: int
+    reason: str  # "p2p" | "bcast" | "reduce" | "allreduce"
+
+
+@dataclass
+class MatchResult:
+    pairs: list[CommPair] = field(default_factory=list)
+    #: candidate pair count before constant matching (for the ablation).
+    candidates: int = 0
+    #: pairs ruled out by tag/comm/root constants.
+    pruned_by_constants: int = 0
+    #: pairs ruled out by the opt-in rank heuristics.
+    pruned_by_rank: int = 0
+
+    @property
+    def edge_count(self) -> int:
+        return len(self.pairs)
+
+
+# ---------------------------------------------------------------------------
+# Symbolic rank-offset evaluation for the opt-in heuristic.
+# ---------------------------------------------------------------------------
+
+
+def rank_offset(e: Expr) -> Optional[tuple[str, int]]:
+    """Classify ``e`` as ``("const", c)`` or ``("rank", c)`` (= rank+c).
+
+    Returns ``None`` when the expression is neither a literal integer
+    nor a ``mpi_comm_rank() ± literal`` pattern.
+    """
+    if isinstance(e, IntLit):
+        return ("const", e.value)
+    if isinstance(e, UnOp) and e.op == "-":
+        inner = rank_offset(e.operand)
+        if inner is not None and inner[0] == "const":
+            return ("const", -inner[1])
+        return None
+    if isinstance(e, IntrinsicCall) and e.name == "mpi_comm_rank":
+        return ("rank", 0)
+    if isinstance(e, BinOp) and e.op in ("+", "-"):
+        left = rank_offset(e.left)
+        right = rank_offset(e.right)
+        if left is None or right is None:
+            return None
+        sign = 1 if e.op == "+" else -1
+        if left[0] == "rank" and right[0] == "const":
+            return ("rank", left[1] + sign * right[1])
+        if left[0] == "const" and right[0] == "const":
+            return ("const", left[1] + sign * right[1])
+        if left[0] == "const" and right[0] == "rank" and e.op == "+":
+            return ("rank", right[1] + left[1])
+    return None
+
+
+def _rank_compatible(send: MpiNode, recv: MpiNode) -> bool:
+    """Can ``send``'s dest and ``recv``'s src name the same process pair?
+
+    Refutable only when both are rank-relative with inconsistent
+    offsets: dest = rank_s + a implies receiver = sender + a, while
+    src = rank_r + b implies sender = receiver + b, so consistency
+    requires a == -b.
+    """
+    dpos = send.op.position(ArgRole.DEST)
+    spos = recv.op.position(ArgRole.SRC)
+    if dpos is None or spos is None:
+        return True
+    dest = rank_offset(send.arg_at(dpos))
+    src = rank_offset(recv.arg_at(spos))
+    if dest is None or src is None:
+        return True
+    if dest[0] == "rank" and src[0] == "rank":
+        return dest[1] == -src[1]
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Constant-based unification.
+# ---------------------------------------------------------------------------
+
+
+def _unify(a: Optional[ConstValue], b: Optional[ConstValue]) -> bool:
+    """Two argument values *may* denote the same runtime value unless
+    both are distinct constants."""
+    if a is None or b is None:
+        return True
+    if a.is_const and b.is_const:
+        return a.value == b.value
+    return True
+
+
+def _payload_count(node: MpiNode, icfg: ICFG) -> Optional[int]:
+    """Statically-known element count of the node's payload.
+
+    Uses the send-side buffer (the received side must present a
+    matching type signature under the MPI standard).
+    """
+    from ..ir.ast_nodes import ArrayRef, VarRef
+    from ..ir.mpi_ops import ArgRole as _R
+
+    pos = node.op.position(_R.DATA_IN)
+    if pos is None:
+        pos = node.op.position(_R.DATA_INOUT)
+    if pos is None:
+        pos = node.op.position(_R.DATA_OUT)
+    if pos is None:
+        return None
+    arg = node.arg_at(pos)
+    if isinstance(arg, ArrayRef):
+        return 1  # single element
+    if isinstance(arg, VarRef):
+        sym = icfg.symtab.try_lookup(node.proc, arg.name)
+        if sym is None:
+            return None
+        return sym.type.element_count()
+    return None
+
+
+def _counts_compatible(a: MpiNode, b: MpiNode, icfg: ICFG) -> bool:
+    ca = _payload_count(a, icfg)
+    cb = _payload_count(b, icfg)
+    if ca is None or cb is None:
+        return True
+    return ca == cb
+
+
+class _ArgValues:
+    """Evaluated TAG/COMM/ROOT values per MPI node."""
+
+    def __init__(self, icfg: ICFG, options: MatchOptions):
+        self.values: dict[tuple[int, ArgRole], Optional[ConstValue]] = {}
+        nodes = icfg.mpi_nodes()
+        if not options.use_constants:
+            for node in nodes:
+                for role in (ArgRole.TAG, ArgRole.COMM, ArgRole.ROOT):
+                    self.values[(node.id, role)] = None
+            return
+        problem = ReachingConstantsProblem(icfg, MpiModel.IGNORE)
+        entry, exit_ = icfg.entry_exit(icfg.root)
+        result = solve(icfg.graph, entry, exit_, problem, strategy=options.solver)
+        for node in nodes:
+            env = result.in_fact(node.id)
+            for role in (ArgRole.TAG, ArgRole.COMM, ArgRole.ROOT):
+                pos = node.op.position(role)
+                if pos is None:
+                    self.values[(node.id, role)] = None
+                else:
+                    self.values[(node.id, role)] = eval_const(
+                        node.arg_at(pos), env, icfg.symtab, node.proc
+                    )
+
+    def get(self, node: MpiNode, role: ArgRole) -> Optional[ConstValue]:
+        return self.values.get((node.id, role))
+
+
+def match_communication(
+    icfg: ICFG, options: MatchOptions | None = None
+) -> MatchResult:
+    """Compute the set of communication edges for ``icfg``.
+
+    Does not mutate the graph; see
+    :func:`repro.mpi.mpiicfg.add_communication_edges`.
+    """
+    options = options or MatchOptions()
+    nodes = icfg.mpi_nodes()
+    sends = [n for n in nodes if n.mpi_kind is MpiKind.SEND]
+    recvs = [n for n in nodes if n.mpi_kind is MpiKind.RECV]
+    bcasts = [n for n in nodes if n.mpi_kind is MpiKind.BCAST]
+    reduces = [n for n in nodes if n.mpi_kind is MpiKind.REDUCE]
+    allreduces = [n for n in nodes if n.mpi_kind is MpiKind.ALLREDUCE]
+    gathers = [n for n in nodes if n.mpi_kind is MpiKind.GATHER]
+    scatters = [n for n in nodes if n.mpi_kind is MpiKind.SCATTER]
+
+    args = _ArgValues(icfg, options)
+    result = MatchResult()
+
+    for s in sends:
+        for r in recvs:
+            result.candidates += 1
+            if options.match_counts and not _counts_compatible(s, r, icfg):
+                result.pruned_by_constants += 1
+                continue
+            if not (
+                _unify(args.get(s, ArgRole.TAG), args.get(r, ArgRole.TAG))
+                and _unify(args.get(s, ArgRole.COMM), args.get(r, ArgRole.COMM))
+            ):
+                result.pruned_by_constants += 1
+                continue
+            if options.rank_heuristics and not _rank_compatible(s, r):
+                result.pruned_by_rank += 1
+                continue
+            result.pairs.append(CommPair(s.id, r.id, "p2p"))
+
+    for group, reason in (
+        (bcasts, "bcast"),
+        (reduces, "reduce"),
+        (allreduces, "allreduce"),
+        (gathers, "gather"),
+        (scatters, "scatter"),
+    ):
+        for a in group:
+            for b in group:
+                if a.id == b.id:
+                    continue
+                result.candidates += 1
+                compatible = _unify(
+                    args.get(a, ArgRole.COMM), args.get(b, ArgRole.COMM)
+                )
+                if options.match_counts and not _counts_compatible(a, b, icfg):
+                    compatible = False
+                if reason in ("bcast", "reduce", "gather", "scatter"):
+                    compatible = compatible and _unify(
+                        args.get(a, ArgRole.ROOT), args.get(b, ArgRole.ROOT)
+                    )
+                if not compatible:
+                    result.pruned_by_constants += 1
+                    continue
+                result.pairs.append(CommPair(a.id, b.id, reason))
+
+    return result

@@ -1,0 +1,68 @@
+"""MPI-CFG and MPI-ICFG construction (§3, §4.1).
+
+An MPI-ICFG is an ICFG whose graph additionally carries COMM edges
+between matched communication operations::
+
+    icfg, match = build_mpi_icfg(program, root="sweep", clone_level=2)
+
+The intraprocedural MPI-CFG of §3 is the special case of a procedure
+with no user calls (:func:`build_mpi_cfg`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..cfg.icfg import ICFG, build_icfg
+from ..cfg.node import EdgeKind
+from ..ir.ast_nodes import Program
+from ..ir.symtab import SymbolTable
+from .matching import MatchOptions, MatchResult, match_communication
+
+__all__ = ["add_communication_edges", "build_mpi_icfg", "build_mpi_cfg"]
+
+
+def add_communication_edges(
+    icfg: ICFG, options: MatchOptions | None = None
+) -> MatchResult:
+    """Match communication and add COMM edges to ``icfg.graph``."""
+    result = match_communication(icfg, options)
+    for pair in result.pairs:
+        icfg.graph.add_edge(pair.src, pair.dst, EdgeKind.COMM, label=pair.reason)
+    return result
+
+
+def build_mpi_icfg(
+    program: Program,
+    root: str,
+    clone_level: int = 0,
+    options: MatchOptions | None = None,
+    symtab: Optional[SymbolTable] = None,
+) -> tuple[ICFG, MatchResult]:
+    """Build the partially context-sensitive MPI-ICFG rooted at ``root``."""
+    icfg = build_icfg(program, root, clone_level=clone_level, symtab=symtab)
+    result = add_communication_edges(icfg, options)
+    return icfg, result
+
+
+def build_mpi_cfg(
+    program: Program,
+    proc: str,
+    options: MatchOptions | None = None,
+    symtab: Optional[SymbolTable] = None,
+) -> tuple[ICFG, MatchResult]:
+    """Build the intraprocedural MPI-CFG of one procedure (§3).
+
+    Requires ``proc`` to contain no user-procedure calls; use
+    :func:`build_mpi_icfg` otherwise.
+    """
+    icfg = build_icfg(program, proc, clone_level=0, symtab=symtab)
+    if len(icfg.procs) != 1:
+        callees = sorted(set(icfg.procs) - {proc})
+        raise ValueError(
+            f"{proc!r} calls user procedures {callees}; "
+            "an intraprocedural MPI-CFG cannot represent them — "
+            "use build_mpi_icfg instead"
+        )
+    result = add_communication_edges(icfg, options)
+    return icfg, result

@@ -1,0 +1,19 @@
+"""SPL models of the paper's benchmark programs and Figure 1."""
+
+from . import biostat, cg, figure1, lu, mg, sor, sweep3d
+from .registry import BENCHMARKS, BenchmarkSpec, PaperRow, benchmark, benchmark_names
+
+__all__ = [
+    "figure1",
+    "biostat",
+    "sor",
+    "cg",
+    "lu",
+    "mg",
+    "sweep3d",
+    "BENCHMARKS",
+    "BenchmarkSpec",
+    "PaperRow",
+    "benchmark",
+    "benchmark_names",
+]

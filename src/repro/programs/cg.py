@@ -1,0 +1,111 @@
+"""CG — conjugate gradient kernel (NAS Parallel Benchmarks; clone 0).
+
+Model of NASPB CG's ``conj_grad``: a sparse-matrix/vector iteration
+with partition-boundary exchanges and ``sum``-allreduce dot products.
+Independent ``x`` is the scalar seed of the right-hand side (Table 1
+reports one independent), dependent ``z`` is the solution norm.
+
+Activity story: *everything* communicated both depends on ``x`` and
+feeds ``z``, so the MPI-ICFG cannot retire anything — Table 1's 0.00%
+row.  The benchmark exists to show the MPI-ICFG never does *worse*
+than the ICFG (same active bytes, comparable iteration counts).
+"""
+
+from __future__ import annotations
+
+from ..ir.ast_nodes import Program
+from ..ir.parser import parse_program
+
+__all__ = ["SOURCE", "source", "program", "DEFAULT_SIZES"]
+
+DEFAULT_SIZES = {
+    "rows": 7_499,  # partition rows per vector (p, q, r, w share it)
+    "halo": 2,  # boundary entries exchanged per matvec
+}
+
+
+def source(rows: int = DEFAULT_SIZES["rows"], halo: int = DEFAULT_SIZES["halo"]) -> str:
+    return f"""\
+program cg;
+global real p[{rows}];
+global real q[{rows}];
+global real r[{rows}];
+global real w[{rows}];
+
+// One stencil matvec q = A p with a boundary exchange.
+proc matvec() {{
+  int rank; int i;
+  real hbuf[{halo}];
+  rank = mpi_comm_rank();
+  for i = 0 to {halo - 1} {{
+    hbuf[i] = p[{rows - 1} - {halo - 1} + i];
+  }}
+  if (rank == 0) {{
+    call mpi_send(hbuf, 1, 31, comm_world);
+    call mpi_recv(hbuf, 1, 32, comm_world);
+  }} else {{
+    call mpi_recv(hbuf, 0, 31, comm_world);
+    call mpi_send(hbuf, 0, 32, comm_world);
+  }}
+  q[0] = 2.0 * p[0] - p[1] + hbuf[0];
+  for i = 1 to {rows - 2} {{
+    q[i] = 2.0 * p[i] - p[i - 1] - p[i + 1];
+  }}
+  q[{rows - 1}] = 2.0 * p[{rows - 1}] - p[{rows - 2}] + hbuf[{halo - 1}];
+}}
+
+// Context routine: CG iterations from the scalar rhs seed x.
+proc conj_grad(real x, real z) {{
+  int i; int iter;
+  real rho; real rho0; real alpha; real beta;
+  real dlocal; real dglobal;
+
+  for i = 0 to {rows - 1} {{
+    r[i] = x * (1.0 + 0.001 * float(mod(i, 97)));
+    p[i] = r[i];
+    w[i] = 0.0;
+  }}
+  rho = 0.0;
+  for iter = 1 to 15 {{
+    call matvec();
+    dlocal = 0.0;
+    for i = 0 to {rows - 1} {{
+      dlocal = dlocal + p[i] * q[i];
+    }}
+    call mpi_allreduce(dlocal, dglobal, sum, comm_world);
+    rho0 = 0.0;
+    for i = 0 to {rows - 1} {{
+      rho0 = rho0 + r[i] * r[i];
+    }}
+    call mpi_allreduce(rho0, rho, sum, comm_world);
+    alpha = rho / dglobal;
+    for i = 0 to {rows - 1} {{
+      w[i] = w[i] + alpha * p[i];
+      r[i] = r[i] - alpha * q[i];
+    }}
+    beta = 1.0 / rho;
+    for i = 0 to {rows - 1} {{
+      p[i] = r[i] + beta * p[i];
+    }}
+  }}
+  dlocal = 0.0;
+  for i = 0 to {rows - 1} {{
+    dlocal = dlocal + w[i] * w[i];
+  }}
+  call mpi_allreduce(dlocal, dglobal, sum, comm_world);
+  z = sqrt(dglobal);
+}}
+
+proc main() {{
+  real x; real z;
+  x = 1.0;
+  call conj_grad(x, z);
+}}
+"""
+
+
+SOURCE = source()
+
+
+def program(**sizes: int) -> Program:
+    return parse_program(source(**sizes) if sizes else SOURCE)

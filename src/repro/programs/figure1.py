@@ -1,0 +1,76 @@
+"""The paper's Figure 1 example program.
+
+Statement numbering follows the paper (source lines map 1:1 onto the
+figure's statement numbers through ``LINE_OF_STATEMENT``).  Two
+variants: ``SOURCE`` (x and f as parameters — the activity-analysis
+reading where x is the independent *input*) and ``SOURCE_LITERAL``
+(x = 0 as the paper's statement 1, used by the slicing example).
+"""
+
+from __future__ import annotations
+
+from ..ir.ast_nodes import Program
+from ..ir.parser import parse_program
+
+__all__ = ["SOURCE", "SOURCE_LITERAL", "program", "program_literal", "LINE_OF_STATEMENT"]
+
+SOURCE = """\
+program figure1;
+proc main(real x, real f) {
+  real z; real b; real y; int rank;
+  z = 2.0;
+  b = 7.0;
+  rank = mpi_comm_rank();
+  if (rank == 0) {
+    x = x + 1.0;
+    b = x * 3.0;
+    call mpi_send(x, 1, 99, comm_world);
+  } else {
+    call mpi_recv(y, 0, 99, comm_world);
+    z = b * y;
+  }
+  call mpi_reduce(z, f, sum, 0, comm_world);
+}
+"""
+
+SOURCE_LITERAL = """\
+program figure1;
+proc main() {
+  real x; real z; real b; real y; real f; int rank;
+  x = 0.0;
+  z = 2.0;
+  b = 7.0;
+  rank = mpi_comm_rank();
+  if (rank == 0) {
+    x = x + 1.0;
+    b = x * 3.0;
+    call mpi_send(x, 1, 99, comm_world);
+  } else {
+    call mpi_recv(y, 0, 99, comm_world);
+    z = b * y;
+  }
+  call mpi_reduce(z, f, sum, 0, comm_world);
+}
+"""
+
+#: Paper statement number -> source line in SOURCE_LITERAL.
+LINE_OF_STATEMENT = {
+    1: 4,  # x = 0
+    2: 5,  # z = 2
+    3: 6,  # b = 7
+    4: 8,  # if (rank == 0)
+    5: 9,  # x = x + 1
+    6: 10,  # b = x * 3
+    7: 11,  # send(x)
+    9: 13,  # receive(y)
+    10: 14,  # z = b * y
+    12: 16,  # f = reduce(SUM, z)
+}
+
+
+def program() -> Program:
+    return parse_program(SOURCE)
+
+
+def program_literal() -> Program:
+    return parse_program(SOURCE_LITERAL)

@@ -1,0 +1,257 @@
+"""LU — SSOR solver for the NAS LU benchmark (three Table 1 rows).
+
+One SPL source models the communication structure of NASPB LU; each
+Table 1 row instantiates it with its own array extents (the paper's
+rows come from separate experiment configurations — the byte totals of
+LU-1/LU-2/LU-3 are not mutually consistent for a single size set).
+
+Routines and wrapper depths:
+
+* ``exchange_3(g, dir)`` / ``exchange_1(v, dir)`` — halo exchanges for
+  u-shaped and rsd-shaped arrays; they contain the MPI send/receive
+  (wrapper distance 1).  Tags arrive via the ``dir`` formal, so a
+  shared (unclonedd) instance merges them to ⊥ and every exchange
+  cross-matches — clone level 1 separates them.
+* ``exchange_scalar(s, tag)`` (distance 1) under ``distribute(s, tag)``
+  (distance 2) — the scalar distribution chain used by ``ssor``'s
+  setup; clone level 2 is needed before the five non-varying grid
+  scalars separate from the varying pseudo-time factor that shares the
+  chain (Table 1 lists clone level 2 for LU-2).
+
+Activity stories:
+
+* LU-1 (``rhs``, IND ``frct``, DEP ``rsd``): the state ``u`` is halo-
+  exchanged and feeds ``rsd`` (useful) but never depends on ``frct``
+  (does not vary) — the MPI-ICFG retires it: the paper's 49.98% row.
+* LU-2 (``ssor``, IND ``omega``, DEP ``rsd``): everything big varies
+  with ``omega``; only the five received setup scalars (40 bytes) are
+  retired — the paper's 0.00% row.
+* LU-3 (``rhs``, IND ``tx1``/``tx2``, DEP ``rsd``): same ``u`` saving
+  as LU-1, but with the flux array now active — 66.65%.
+"""
+
+from __future__ import annotations
+
+from ..ir.ast_nodes import Program
+from ..ir.parser import parse_program
+
+__all__ = ["source", "program", "DEFAULT_SIZES"]
+
+DEFAULT_SIZES = {
+    "u": 11_694_400,  # solution state (exchanged, inactive for rhs)
+    "rsd": 11_704_000,  # residual (the dependent)
+    "flux": 5_000_000,  # flux work array (active only for LU-3)
+    "jac": 1_000_000,  # each of the four jacobian diagonals a/b/c/d
+    "hbuf3": 400,  # exchange_3 packing buffer
+    "hbuf1": 400,  # exchange_1 packing buffer
+    "nfrct": 40,  # forcing-term seed vector (LU-1's 40 independents)
+}
+
+
+def source(
+    u: int = DEFAULT_SIZES["u"],
+    rsd: int = DEFAULT_SIZES["rsd"],
+    flux: int = DEFAULT_SIZES["flux"],
+    jac: int = DEFAULT_SIZES["jac"],
+    hbuf3: int = DEFAULT_SIZES["hbuf3"],
+    hbuf1: int = DEFAULT_SIZES["hbuf1"],
+    nfrct: int = DEFAULT_SIZES["nfrct"],
+) -> str:
+    return f"""\
+program lu;
+global real u[{u}];
+global real rsd[{rsd}];
+global real flux[{flux}];
+global real a[{jac}];
+global real b[{jac}];
+global real c[{jac}];
+global real d[{jac}];
+global real dx;
+global real dy;
+global real dz;
+global real dt;
+global real dw;
+
+// Halo exchange of a u-shaped array.  Wrapper distance 1.
+proc exchange_3(real g[{u}], int dir) {{
+  real buf[{hbuf3}];
+  int rank; int i;
+  rank = mpi_comm_rank();
+  for i = 0 to {hbuf3 - 1} {{
+    buf[i] = g[i];
+  }}
+  if (rank == 0) {{
+    call mpi_send(buf, 1, dir, comm_world);
+    call mpi_recv(buf, 1, dir + 100, comm_world);
+  }} else {{
+    call mpi_recv(buf, 0, dir, comm_world);
+    call mpi_send(buf, 0, dir + 100, comm_world);
+  }}
+  for i = 0 to {hbuf3 - 1} {{
+    g[{u - 1} - {hbuf3 - 1} + i] = buf[i];
+  }}
+}}
+
+// Halo exchange of an rsd-shaped array.  Wrapper distance 1.
+proc exchange_1(real v[{rsd}], int dir) {{
+  real buf[{hbuf1}];
+  int rank; int i;
+  rank = mpi_comm_rank();
+  for i = 0 to {hbuf1 - 1} {{
+    buf[i] = v[i];
+  }}
+  if (rank == 0) {{
+    call mpi_send(buf, 1, dir, comm_world);
+    call mpi_recv(buf, 1, dir + 100, comm_world);
+  }} else {{
+    call mpi_recv(buf, 0, dir, comm_world);
+    call mpi_send(buf, 0, dir + 100, comm_world);
+  }}
+  for i = 0 to {hbuf1 - 1} {{
+    v[{rsd - 1} - {hbuf1 - 1} + i] = buf[i];
+  }}
+}}
+
+// Rank 0 distributes a scalar.  Wrapper distance 1.
+proc exchange_scalar(real s, int tag) {{
+  int rank;
+  rank = mpi_comm_rank();
+  if (rank == 0) {{
+    call mpi_send(s, 1, tag, comm_world);
+  }} else {{
+    call mpi_recv(s, 0, tag, comm_world);
+  }}
+}}
+
+// Wrapper distance 2: ssor's scalar distribution chain.
+proc distribute(real s, int tag) {{
+  call exchange_scalar(s, tag);
+}}
+
+// Grid-spacing constants for rhs, via broadcast (collective path).
+proc init_scalars() {{
+  int rank;
+  rank = mpi_comm_rank();
+  if (rank == 0) {{
+    dx = 0.1;
+    dy = 0.2;
+    dz = 0.3;
+    dt = 0.05;
+    dw = 1.5;
+  }}
+  call mpi_bcast(dx, 0, comm_world);
+  call mpi_bcast(dy, 0, comm_world);
+  call mpi_bcast(dz, 0, comm_world);
+  call mpi_bcast(dt, 0, comm_world);
+  call mpi_bcast(dw, 0, comm_world);
+}}
+
+// Context routine for LU-1 / LU-3: compute the right-hand side.
+proc rhs(real frct[{nfrct}], real tx1, real tx2) {{
+  int i;
+  call init_scalars();
+  call exchange_3(u, 41);
+  call exchange_3(u, 42);
+  for i = 1 to {flux - 2} {{
+    flux[i] = tx1 * (u[i + 1] - u[i - 1]) + tx2 * u[i] * u[i] * dx;
+  }}
+  for i = 1 to {rsd - 2} {{
+    rsd[i] = flux[mod(i, {flux})] * dy + frct[mod(i, {nfrct})] * dz;
+  }}
+  call exchange_1(rsd, 43);
+}}
+
+// Jacobian diagonals from the relaxation factor and grid scalars.
+proc jacld(real omega) {{
+  int j;
+  for j = 0 to {jac - 1} {{
+    a[j] = omega * dx * (1.0 + 0.001 * float(mod(j, 11)));
+    b[j] = omega * dy * 0.5;
+    c[j] = omega * dz * 0.25;
+    d[j] = dw / (1.0 + omega * dt);
+  }}
+}}
+
+// Lower-triangular sweep.
+proc blts() {{
+  int i;
+  call exchange_1(rsd, 44);
+  for i = 1 to {rsd - 1} {{
+    rsd[i] = rsd[i] - a[mod(i, {jac})] * rsd[i - 1] * b[mod(i, {jac})];
+  }}
+}}
+
+// Upper-triangular sweep.
+proc buts() {{
+  int i;
+  call exchange_1(rsd, 45);
+  for i = 1 to {rsd - 1} {{
+    rsd[{rsd - 1} - i] = rsd[{rsd - 1} - i]
+      - c[mod(i, {jac})] * rsd[{rsd} - i] * d[mod(i, {jac})];
+  }}
+}}
+
+// Grid scalars for ssor, via the distance-2 scalar chain.
+proc setup_ssor() {{
+  int rank;
+  rank = mpi_comm_rank();
+  if (rank == 0) {{
+    dx = 0.1;
+    dy = 0.2;
+    dz = 0.3;
+    dt = 0.05;
+    dw = 1.5;
+  }}
+  call distribute(dx, 82);
+  call distribute(dy, 83);
+  call distribute(dz, 84);
+  call distribute(dt, 85);
+  call distribute(dw, 86);
+}}
+
+// Pseudo-time factor: varies with omega and scales the residual, so it
+// is genuinely active — and it shares the distribute chain with the
+// five constant scalars above, which is what makes clone level 2
+// necessary for best precision.
+proc timestep_control(real omega, real dtau) {{
+  dtau = 0.95 * omega;
+  call distribute(dtau, 81);
+}}
+
+// Context routine for LU-2: SSOR iteration on the residual.
+proc ssor(real omega) {{
+  int iter; int i;
+  real dtau;
+  call setup_ssor();
+  call timestep_control(omega, dtau);
+  for iter = 1 to 5 {{
+    call jacld(omega);
+    call blts();
+    call buts();
+    for i = 0 to {rsd - 1} {{
+      rsd[i] = rsd[i] * dtau;
+    }}
+  }}
+  for i = 0 to {rsd - 1} {{
+    u[mod(i, {u})] = u[mod(i, {u})] + dt * rsd[i];
+  }}
+}}
+
+proc main() {{
+  real frct[{nfrct}];
+  real tx1; real tx2; real omega;
+  int i;
+  for i = 0 to {nfrct - 1} {{
+    frct[i] = 0.1 * float(i);
+  }}
+  tx1 = 1.0;
+  tx2 = 2.0;
+  omega = 1.2;
+  call rhs(frct, tx1, tx2);
+  call ssor(omega);
+}}
+"""
+
+
+def program(**sizes: int) -> Program:
+    return parse_program(source(**sizes))

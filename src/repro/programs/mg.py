@@ -1,0 +1,182 @@
+"""MG — V-cycle multigrid (NAS Parallel Benchmarks; two Table 1 rows).
+
+Wrapper structure (the deepest of the suite — Table 1 lists clone
+level 3 for MG-1):
+
+* ``exch_s(s, tag)`` — scalar send/receive, distance 1;
+* ``take3(g, dir)`` / ``comm3(g, axis)`` — grid halo exchange, with
+  ``comm3`` at distance 2;
+* ``distribute_bc(s, tag)`` (distance 2) under ``setup_level(s, tag)``
+  (distance 3) — the boundary-constant distribution chain of the MG-1
+  context ``mg3P``.  The varying norm scalar shares this chain with
+  the two constant boundary scalars, so only clone level 3 separates
+  them (the Table 1 Clone-level column).
+
+Activity stories: both rows save exactly the two received boundary
+scalars (16 bytes) — the paper's 0.00%-after-rounding rows, which
+exist to show the MPI-ICFG never loses precision even when there is
+little to gain.
+"""
+
+from __future__ import annotations
+
+from ..ir.ast_nodes import Program
+from ..ir.parser import parse_program
+
+__all__ = ["source", "program", "DEFAULT_SIZES"]
+
+DEFAULT_SIZES = {
+    "u": 40_000_000,  # fine-grid solution array
+    "r": 40_000_000,  # residual array
+    "hbuf": 1_000,  # take3 packing buffer
+}
+
+
+def source(
+    u: int = DEFAULT_SIZES["u"],
+    r: int = DEFAULT_SIZES["r"],
+    hbuf: int = DEFAULT_SIZES["hbuf"],
+) -> str:
+    return f"""\
+program mg;
+global real u[{u}];
+global real r[{r}];
+global real bc0;
+global real bc1;
+
+// Scalar distribution from rank 0.  Wrapper distance 1.
+proc exch_s(real s, int tag) {{
+  int rank;
+  rank = mpi_comm_rank();
+  if (rank == 0) {{
+    call mpi_send(s, 1, tag, comm_world);
+  }} else {{
+    call mpi_recv(s, 0, tag, comm_world);
+  }}
+}}
+
+// One-direction halo exchange of a grid array.  Wrapper distance 1.
+proc take3(real g[{u}], int dir) {{
+  real buf[{hbuf}];
+  int rank; int i;
+  rank = mpi_comm_rank();
+  for i = 0 to {hbuf - 1} {{
+    buf[i] = g[i];
+  }}
+  if (rank == 0) {{
+    call mpi_send(buf, 1, dir, comm_world);
+    call mpi_recv(buf, 1, dir + 20, comm_world);
+  }} else {{
+    call mpi_recv(buf, 0, dir, comm_world);
+    call mpi_send(buf, 0, dir + 20, comm_world);
+  }}
+  for i = 0 to {hbuf - 1} {{
+    g[{u - 1} - {hbuf - 1} + i] = buf[i];
+  }}
+}}
+
+// Both directions of one axis.  Wrapper distance 2.
+proc comm3(real g[{u}], int axis) {{
+  call take3(g, axis);
+  call take3(g, axis + 10);
+}}
+
+// Boundary-constant distribution chain for mg3P: distance 2 and 3.
+proc distribute_bc(real s, int tag) {{
+  call exch_s(s, tag);
+}}
+proc setup_level(real s, int tag) {{
+  call distribute_bc(s, tag);
+}}
+
+// Boundary constants for the psinv context (distance 2 via exch_s).
+proc setup_bc() {{
+  int rank;
+  rank = mpi_comm_rank();
+  if (rank == 0) {{
+    bc0 = 1.0;
+    bc1 = 2.0;
+  }}
+  call exch_s(bc0, 61);
+  call exch_s(bc1, 62);
+}}
+
+// Context routine for MG-2: one smoother application.
+proc psinv(real c[4]) {{
+  int i;
+  real usum; real uglob;
+  call setup_bc();
+  for i = 1 to {u - 2} {{
+    u[i] = u[i] + c[0] * r[i]
+      + c[1] * (r[i - 1] + r[i + 1])
+      + c[2] * bc0 + c[3] * bc1;
+  }}
+  usum = 0.0;
+  for i = 0 to {u - 1} {{
+    usum = usum + u[i] * u[i];
+  }}
+  // The varying norm shares exch_s with the boundary constants: clone
+  // level 1 is what separates them for this context.
+  call exch_s(usum, 63);
+  uglob = sqrt(usum);
+  for i = 0 to {u - 1} {{
+    u[i] = u[i] / (1.0 + uglob);
+  }}
+  call comm3(u, 1);
+}}
+
+// Residual from the scalar seed r0 (the MG-1 independent).
+proc resid(real r0) {{
+  int i;
+  call comm3(u, 2);
+  for i = 1 to {r - 2} {{
+    r[i] = r0 * (1.0 + 0.001 * float(mod(i, 7)))
+      - (u[i - 1] - 2.0 * u[i] + u[i + 1]);
+  }}
+}}
+
+// Context routine for MG-1: one multigrid V-cycle step.
+proc mg3P(real r0) {{
+  real c[4];
+  real unorm;
+  int i;
+  if (mpi_comm_rank() == 0) {{
+    bc0 = 1.0;
+    bc1 = 2.0;
+  }}
+  call setup_level(bc0, 91);
+  call setup_level(bc1, 92);
+  c[0] = -0.25;
+  c[1] = 0.125;
+  c[2] = 0.0625;
+  c[3] = 0.03125;
+  call resid(r0);
+  call psinv(c);
+  unorm = 0.0;
+  for i = 0 to {u - 1} {{
+    unorm = unorm + u[i];
+  }}
+  // The varying level norm rides the same distance-3 chain as the
+  // boundary constants above: only clone level 3 separates them.
+  call setup_level(unorm, 93);
+  for i = 0 to {u - 1} {{
+    u[i] = u[i] * (1.0 + 0.000001 * unorm);
+  }}
+}}
+
+proc main() {{
+  real c[4];
+  real r0;
+  r0 = 1.0;
+  c[0] = -0.25;
+  c[1] = 0.125;
+  c[2] = 0.0625;
+  c[3] = 0.03125;
+  call mg3P(r0);
+  call psinv(c);
+}}
+"""
+
+
+def program(**sizes: int) -> Program:
+    return parse_program(source(**sizes))

@@ -1,0 +1,300 @@
+"""The 13 benchmark configurations of Table 1.
+
+Each row is a unique combination of SPL source model, context routine,
+clone level, and independent/dependent variables — mirroring the
+paper's rows (which additionally differ in problem size; our per-row
+array extents play the role of the NAS problem classes and are
+calibrated so measured byte totals track the published ones, see
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..ir.ast_nodes import Program
+from . import biostat, cg, lu, mg, sor, sweep3d
+
+__all__ = ["PaperRow", "BenchmarkSpec", "BENCHMARKS", "benchmark", "benchmark_names"]
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """The published Table 1 numbers for one benchmark row."""
+
+    icfg_iters: int
+    icfg_active_bytes: int
+    num_indeps: int
+    icfg_deriv_bytes: int
+    mpi_iters: int
+    mpi_active_bytes: int
+    mpi_deriv_bytes: int
+    pct_decrease: float
+    #: Set when the published row is internally inconsistent (OCR noise
+    #: or cross-row inconsistency in the original table); the measured
+    #: *shape* is still checked, absolute equality is not.
+    note: str = ""
+
+    @property
+    def saved_active_bytes(self) -> int:
+        return self.icfg_active_bytes - self.mpi_active_bytes
+
+    @property
+    def saved_deriv_bytes(self) -> int:
+        return self.icfg_deriv_bytes - self.mpi_deriv_bytes
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    name: str
+    source_label: str
+    builder: Callable[..., Program]
+    sizes: dict = field(default_factory=dict)
+    root: str = "main"
+    clone_level: int = 0
+    independents: tuple[str, ...] = ()
+    dependents: tuple[str, ...] = ()
+    paper: Optional[PaperRow] = None
+
+    def program(self) -> Program:
+        return self.builder(**self.sizes)
+
+
+BENCHMARKS: dict[str, BenchmarkSpec] = {}
+
+
+def _register(spec: BenchmarkSpec) -> None:
+    BENCHMARKS[spec.name] = spec
+
+
+_register(
+    BenchmarkSpec(
+        name="Biostat",
+        source_label="Spiegelman: Biostat",
+        builder=lambda **_: biostat.program(),
+        root="lglik3",
+        clone_level=0,
+        independents=("xmle",),
+        dependents=("xlogl",),
+        paper=PaperRow(12, 1_441_632, 1_089, 1_569_937_248, 12, 9_016, 9_818_424, 99.37),
+    )
+)
+
+_register(
+    BenchmarkSpec(
+        name="SOR",
+        source_label="Hovland: SOR",
+        builder=sor.program,
+        root="mainsor",
+        clone_level=0,
+        independents=("omega",),
+        dependents=("resid",),
+        paper=PaperRow(13, 3_038_136, 1, 3_038_136, 17, 3_030_104, 3_030_104, 0.26),
+    )
+)
+
+_register(
+    BenchmarkSpec(
+        name="CG",
+        source_label="NASPB: CG",
+        builder=cg.program,
+        root="conj_grad",
+        clone_level=0,
+        independents=("x",),
+        dependents=("z",),
+        paper=PaperRow(14, 240_048, 1, 240_048, 18, 240_048, 240_048, 0.00),
+    )
+)
+
+_register(
+    BenchmarkSpec(
+        name="LU-1",
+        source_label="NASPB: LU",
+        builder=lu.program,
+        sizes={"u": 9_694_406, "rsd": 11_704_060, "flux": 2_000_000, "jac": 100},
+        root="rhs",
+        clone_level=1,
+        independents=("frct",),
+        dependents=("rsd",),
+        paper=PaperRow(
+            18, 187_194_472, 40, 7_487_778_880, 19, 93_636_000, 3_745_440_000, 49.98
+        ),
+    )
+)
+
+_register(
+    BenchmarkSpec(
+        name="LU-2",
+        source_label="NASPB: LU",
+        builder=lu.program,
+        sizes={"u": 8_000_000, "rsd": 14_237_244, "flux": 100, "jac": 1_000_000},
+        root="ssor",
+        clone_level=2,
+        independents=("omega",),
+        dependents=("rsd",),
+        paper=PaperRow(
+            23, 145_901_208, 1, 145_901_208, 30, 145_901_168, 145_901_168, 0.00
+        ),
+    )
+)
+
+_register(
+    BenchmarkSpec(
+        name="LU-3",
+        source_label="NASPB: LU",
+        builder=lu.program,
+        sizes={"u": 11_694_406, "rsd": 4_001_850, "flux": 1_850_000, "jac": 100},
+        root="rhs",
+        clone_level=1,
+        independents=("tx1", "tx2"),
+        dependents=("rsd",),
+        paper=PaperRow(
+            18, 140_376_488, 2, 280_752_976, 18, 46_818_016, 93_636_032, 66.65
+        ),
+    )
+)
+
+_register(
+    BenchmarkSpec(
+        name="MG-1",
+        source_label="NASPB: MG",
+        builder=mg.program,
+        sizes={"u": 40_467_491, "r": 40_467_492, "hbuf": 1_000},
+        root="mg3P",
+        clone_level=3,
+        independents=("r0",),
+        dependents=("u",),
+        paper=PaperRow(
+            16, 647_487_912, 1, 647_487_912, 18, 647_487_896, 647_487_896, 0.00
+        ),
+    )
+)
+
+_register(
+    BenchmarkSpec(
+        name="MG-2",
+        source_label="NASPB: MG",
+        builder=mg.program,
+        sizes={"u": 2_113_074, "r": 2_113_074, "hbuf": 500},
+        root="psinv",
+        clone_level=1,
+        independents=("c",),
+        dependents=("u",),
+        paper=PaperRow(16, 16_908_656, 4, 67_634_624, 17, 16_908_640, 67_634_560, 0.00),
+    )
+)
+
+
+def _sweep_spec(name: str, ind, dep, paper: PaperRow) -> BenchmarkSpec:
+    return BenchmarkSpec(
+        name=name,
+        source_label="ASCI: Sweep3d",
+        builder=sweep3d.program,
+        root="sweep",
+        clone_level=2,
+        independents=ind,
+        dependents=dep,
+        paper=paper,
+    )
+
+
+_register(
+    _sweep_spec(
+        "Sw-1",
+        ("w",),
+        ("flux",),
+        PaperRow(24, 18_120_784, 48, 869_797_632, 23, 18_000_048, 864_002_304, 0.67),
+    )
+)
+_register(
+    _sweep_spec(
+        "Sw-3",
+        ("w",),
+        ("leakage",),
+        PaperRow(
+            23,
+            120_984,
+            48,
+            5_807_232,
+            25,
+            248,
+            11_904,
+            99.80,
+            note="published MPI-ICFG bytes (248) are below the declared "
+            "independents' own storage (w: 48 reals = 384 bytes); shape "
+            "checked, absolute equality not reachable",
+        ),
+    )
+)
+_register(
+    _sweep_spec(
+        "Sw-4",
+        ("weta",),
+        ("leakage",),
+        PaperRow(
+            23,
+            120_840,
+            48,
+            5_800_320,
+            25,
+            104,
+            4_992,
+            99.91,
+            note="published MPI-ICFG bytes (104) below weta's own storage; "
+            "shape checked",
+        ),
+    )
+)
+_register(
+    _sweep_spec(
+        "Sw-5",
+        ("w",),
+        ("flux", "leakage"),
+        PaperRow(
+            22,
+            121_032,
+            48,
+            5_809_536,
+            22,
+            296,
+            14_208,
+            99.76,
+            note="published row violates dependent-set monotonicity against "
+            "Sw-1 (flux ⊆ {flux, leakage} yet 121 KB < 18.1 MB); our measured "
+            "values restore monotonicity",
+        ),
+    )
+)
+_register(
+    _sweep_spec(
+        "Sw-6",
+        ("weta",),
+        ("flux", "leakage"),
+        PaperRow(
+            22,
+            18_120_840,
+            48,
+            869_800_320,
+            22,
+            104,
+            4_992,
+            99.999,
+            note="published MPI-ICFG bytes below weta's own storage; shape "
+            "checked (the >99.99% decrease is the row's signal)",
+        ),
+    )
+)
+
+
+def benchmark(name: str) -> BenchmarkSpec:
+    try:
+        return BENCHMARKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {sorted(BENCHMARKS)}"
+        ) from None
+
+
+def benchmark_names() -> list[str]:
+    return list(BENCHMARKS)

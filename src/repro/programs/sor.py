@@ -1,0 +1,107 @@
+"""SOR — successive overrelaxation with halo exchange (Hovland; clone 0).
+
+Model of the author-provided SOR benchmark: a 1-D-decomposed grid
+relaxation.  Context routine ``mainsor`` with independent ``omega``
+(the relaxation factor) and dependent ``resid``.
+
+Activity story: the grid and its halo-exchange buffers all depend on
+``omega`` and feed ``resid`` — active under both models.  The one
+difference is the *initial boundary-condition buffer*: rank 0 sends
+constant boundary data that every rank copies into the grid.  It is
+useful but never varies, so the MPI-ICFG proves it inactive while the
+global-buffer ICFG keeps it — the paper's modest 0.26% saving.
+
+All MPI calls sit either inline or behind single-call-site helpers, so
+clone level 0 already reaches best precision (Table 1's Clone-level 0).
+"""
+
+from __future__ import annotations
+
+from ..ir.ast_nodes import Program
+from ..ir.parser import parse_program
+
+__all__ = ["SOURCE", "source", "program", "DEFAULT_SIZES"]
+
+DEFAULT_SIZES = {
+    "grid": 189_200,  # interior grid points per array (u, unew)
+    "halo": 358,  # halo slab exchanged per iteration
+    "binit": 1004,  # constant boundary-condition buffer (the saving)
+}
+
+
+def source(
+    grid: int = DEFAULT_SIZES["grid"],
+    halo: int = DEFAULT_SIZES["halo"],
+    binit: int = DEFAULT_SIZES["binit"],
+) -> str:
+    return f"""\
+program sor;
+global real u[{grid}];
+global real unew[{grid}];
+
+// Context routine: relax the grid, returning the residual norm.
+proc mainsor(real omega, real resid) {{
+  int rank; int nproc; int i; int iter;
+  real hbuf[{halo}];
+  real binit[{binit}];
+  real diff; real local2; real global2;
+  rank = mpi_comm_rank();
+  nproc = mpi_comm_size();
+
+  // Initial boundary conditions: constants distributed by rank 0.
+  if (rank == 0) {{
+    for i = 0 to {binit - 1} {{
+      binit[i] = 1.0 + 0.5 * cos(0.01 * float(i));
+    }}
+    call mpi_send(binit, 1, 11, comm_world);
+  }} else {{
+    call mpi_recv(binit, 0, 11, comm_world);
+  }}
+  for i = 0 to {binit - 1} {{
+    u[i] = binit[i];
+  }}
+
+  for iter = 1 to 20 {{
+    // Halo exchange: ship the boundary slab to the neighbour.
+    for i = 0 to {halo - 1} {{
+      hbuf[i] = u[{grid - 1} - {halo - 1} + i];
+    }}
+    if (rank == 0) {{
+      call mpi_send(hbuf, 1, 22, comm_world);
+      call mpi_recv(hbuf, 1, 23, comm_world);
+    }} else {{
+      call mpi_recv(hbuf, 0, 22, comm_world);
+      call mpi_send(hbuf, 0, 23, comm_world);
+    }}
+    for i = 0 to {halo - 1} {{
+      u[i] = 0.5 * (u[i] + hbuf[i]);
+    }}
+
+    // Red/black style sweep with overrelaxation.
+    local2 = 0.0;
+    for i = 1 to {grid - 2} {{
+      unew[i] = (1.0 - omega) * u[i] + omega * 0.5 * (u[i - 1] + u[i + 1]);
+      diff = unew[i] - u[i];
+      local2 = local2 + diff * diff;
+    }}
+    for i = 1 to {grid - 2} {{
+      u[i] = unew[i];
+    }}
+    call mpi_allreduce(local2, global2, sum, comm_world);
+  }}
+  resid = sqrt(global2);
+}}
+
+proc main() {{
+  real omega; real resid;
+  omega = 1.5;
+  call mainsor(omega, resid);
+}}
+"""
+
+
+SOURCE = source()
+
+
+def program(**sizes: int) -> Program:
+    return parse_program(source(**sizes) if sizes else SOURCE)

@@ -1,0 +1,165 @@
+"""Sweep3d — ASCI discrete-ordinates neutron transport (four Table 1 rows).
+
+Models the wavefront sweep: each rank receives upstream angular-flux
+faces, sweeps its block, accumulates the scalar ``flux`` and boundary
+``leakage``, and sends downstream faces.  The send/receive stubs
+``snd_real``/``rcv_real`` (distance 1) sit under the pipeline wrappers
+``pipe_send``/``pipe_recv`` (distance 2); message tags travel down the
+wrapper chain as formals, so Table 1's clone level 2 is exactly what it
+takes to separate face traffic from leakage traffic.
+
+Three traffic classes drive the four rows:
+
+* the **face pipeline** (``phiib``/``phijb``): varies with ``w``,
+  useful for ``flux`` — active when flux is the dependent, retired by
+  the MPI-ICFG when only ``leakage`` is;
+* the **leakage side channel** (``ebdy``/``lkgbuf``): varies with the
+  weights, useful only for ``leakage``;
+* the **diagnostic snapshot** (``prbuf``): packed from the working
+  angular flux and shipped to rank 0 for output — it varies but is
+  useful for *nothing*, yet the global-buffer ICFG forces it active in
+  every row ("all variables being sent that are vary [are] active").
+  This is the bulk of the ICFG's wasted storage on the
+  leakage-dependent rows.
+"""
+
+from __future__ import annotations
+
+from ..ir.ast_nodes import Program
+from ..ir.parser import parse_program
+
+__all__ = ["source", "program", "DEFAULT_SIZES"]
+
+DEFAULT_SIZES = {
+    "flux": 2_249_930,  # scalar-flux accumulator
+    "face": 10,  # each pipeline pencil buffer (phiib / phijb / lkgbuf)
+    "phi": 8,  # per-line working angular flux
+    "edge": 18,  # boundary-edge work array for leakage
+    "prbuf": 15_064,  # diagnostic snapshot sent to rank 0
+    "leak": 6,  # leakage accumulator
+    "angles": 48,  # quadrature weights (the 48 independents)
+}
+
+
+def source(
+    flux: int = DEFAULT_SIZES["flux"],
+    face: int = DEFAULT_SIZES["face"],
+    phi: int = DEFAULT_SIZES["phi"],
+    edge: int = DEFAULT_SIZES["edge"],
+    prbuf: int = DEFAULT_SIZES["prbuf"],
+    leak: int = DEFAULT_SIZES["leak"],
+    angles: int = DEFAULT_SIZES["angles"],
+) -> str:
+    return f"""\
+program sweep3d;
+global real flux[{flux}];
+global real leakage[{leak}];
+
+// MPI stubs of the real code.  Wrapper distance 1.
+proc snd_real(real buf[{face}], int dest, int tag) {{
+  call mpi_isend(buf, dest, tag, comm_world);
+}}
+proc rcv_real(real buf[{face}], int src, int tag) {{
+  call mpi_irecv(buf, src, tag, comm_world);
+  call mpi_wait();
+}}
+
+// Pipeline wrappers.  Wrapper distance 2; tags pass through formals.
+proc pipe_send(real buf[{face}], int dir) {{
+  int rank;
+  rank = mpi_comm_rank();
+  if (rank < mpi_comm_size() - 1) {{
+    call snd_real(buf, rank + 1, dir + 50);
+  }}
+}}
+proc pipe_recv(real buf[{face}], int dir) {{
+  int rank;
+  rank = mpi_comm_rank();
+  if (rank > 0) {{
+    call rcv_real(buf, rank - 1, dir + 50);
+  }}
+}}
+
+// Diagnostic snapshot shipped to rank 0 (output only).  Distance 1.
+proc flush_diag(real snap[{prbuf}]) {{
+  int rank;
+  rank = mpi_comm_rank();
+  if (rank > 0) {{
+    call mpi_isend(snap, 0, 9, comm_world);
+  }} else {{
+    call mpi_irecv(snap, 1, 9, comm_world);
+    call mpi_wait();
+  }}
+}}
+
+// Context routine: one full sweep over the angles.
+proc sweep(real w[{angles}], real weta[{angles}]) {{
+  real phi[{phi}];
+  real phiib[{face}];
+  real phijb[{face}];
+  real lkgbuf[{face}];
+  real ebdy[{edge}];
+  real prbuf[{prbuf}];
+  real srcb; real sigt;
+  int m; int i;
+  srcb = 0.5;
+  sigt = 1.3;
+
+  for m = 0 to {angles - 1} {{
+    // Incoming wavefront faces from the upstream neighbour.
+    call pipe_recv(phiib, 1);
+    call pipe_recv(phijb, 2);
+    // Sweep this line: angular flux from the weights and the faces.
+    for i = 0 to {phi - 1} {{
+      phi[i] = w[m] * (srcb + phiib[mod(i, {face})] + phijb[mod(i, {face})]) / sigt;
+    }}
+    // Accumulate the scalar flux.
+    for i = 0 to {phi - 1} {{
+      flux[mod(m * {phi} + i, {flux})] =
+        flux[mod(m * {phi} + i, {flux})] + w[m] * phi[i];
+    }}
+    // Outgoing faces for the downstream neighbour.
+    for i = 0 to {face - 1} {{
+      phiib[i] = phi[mod(i, {phi})];
+      phijb[i] = phi[mod(i + 3, {phi})];
+    }}
+    call pipe_send(phiib, 1);
+    call pipe_send(phijb, 2);
+    // Diagnostic snapshot of the working flux (printed at rank 0 in
+    // the real code; consumed by nothing here).
+    for i = 0 to {prbuf - 1} {{
+      prbuf[i] = phi[mod(i, {phi})];
+    }}
+  }}
+  call flush_diag(prbuf);
+
+  // Boundary leakage: a small side channel from the quadrature
+  // weights, exchanged through the same pipeline wrappers (tag 3).
+  for m = 0 to {angles - 1} {{
+    ebdy[mod(m, {edge})] = (w[m] + weta[m]) * srcb;
+  }}
+  for i = 0 to {face - 1} {{
+    lkgbuf[i] = ebdy[mod(i, {edge})] * 0.25;
+  }}
+  call pipe_send(lkgbuf, 3);
+  call pipe_recv(lkgbuf, 3);
+  for i = 0 to {leak - 1} {{
+    leakage[i] = leakage[i] + lkgbuf[mod(i, {face})] * weta[mod(i, {angles})];
+  }}
+}}
+
+proc main() {{
+  real w[{angles}];
+  real weta[{angles}];
+  int m;
+  for m = 0 to {angles - 1} {{
+    w[m] = 0.1 + 0.01 * float(m);
+    weta[m] = 0.05 * float(m);
+  }}
+  call sweep(w, weta);
+}}
+"""
+
+
+def program(**sizes: int) -> Program:
+    return parse_program(source(**sizes))

@@ -1,0 +1,28 @@
+"""SPMD runtime: interpreter, message transport, tainted values."""
+
+from .interpreter import (
+    DeadlockError,
+    RankResult,
+    RunConfig,
+    RunResult,
+    SpmdRuntimeError,
+    run_spmd,
+)
+from .network import Message, Network
+from .values import ArraySlot, ElemSlot, ScalarSlot, Slot, make_slot
+
+__all__ = [
+    "RunConfig",
+    "RunResult",
+    "RankResult",
+    "run_spmd",
+    "SpmdRuntimeError",
+    "DeadlockError",
+    "Network",
+    "Message",
+    "ScalarSlot",
+    "ArraySlot",
+    "ElemSlot",
+    "Slot",
+    "make_slot",
+]

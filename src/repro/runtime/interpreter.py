@@ -1,0 +1,768 @@
+"""SPMD interpreter: executes SPL programs on N simulated ranks.
+
+Each rank runs the same program in its own thread with a private memory
+(its own globals and frames — SPMD processes share nothing); messages
+and collectives go through :class:`~repro.runtime.network.Network`.
+
+Besides being a substrate for the examples, the interpreter validates
+the static analyses:
+
+* every slot carries an AD-style taint seeded at chosen independents —
+  at the end of a run, every symbol that ever held derivative-carrying
+  data must be in the static Vary set (soundness property tests);
+* assignment logging records concrete values per source line, which
+  must agree with any constant reaching-constants claims.
+
+Simplifications (documented): ``isend``/``irecv`` execute eagerly (the
+paper's analyses treat them identically to their blocking forms), and
+``mpi_wait`` is a no-op.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from ..ir.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Block,
+    BoolLit,
+    CallStmt,
+    Expr,
+    For,
+    If,
+    IntLit,
+    IntrinsicCall,
+    Procedure,
+    Program,
+    RealLit,
+    Return,
+    Stmt,
+    UnOp,
+    VarDecl,
+    VarRef,
+    While,
+)
+from ..ir.intrinsics import INTRINSICS
+from ..ir.mpi_ops import ArgRole, COMM_WORLD_NAME, COMM_WORLD_VALUE, MPI_OPS, MpiKind
+from ..ir.symtab import SymbolTable
+from ..ir.types import ArrayType, IntType, RealType
+from ..ir.validate import validate_program
+from .network import DeadlockError, Network
+from .values import ArraySlot, ElemSlot, ScalarSlot, Slot, SpmdRuntimeError, make_slot
+
+__all__ = ["RunConfig", "RankResult", "RunResult", "run_spmd", "SpmdRuntimeError", "DeadlockError"]
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Execution parameters for one SPMD run."""
+
+    nprocs: int = 2
+    entry: str = "main"
+    timeout: float = 10.0
+    #: Per-rank statement budget (infinite-loop guard).
+    max_steps: int = 2_000_000
+    #: Bare names in the entry scope (or globals) whose initial values
+    #: carry taint — the dynamic analogue of the independents.
+    taint_seeds: tuple[str, ...] = ()
+    #: Record (proc, line, var, value) for every executed assignment.
+    record_assignments: bool = False
+
+
+@dataclass
+class RankResult:
+    rank: int
+    #: Final entry-frame and global values (arrays as numpy copies).
+    values: dict[str, object] = field(default_factory=dict)
+    #: (proc, var) pairs that ever held derivative-carrying data.
+    tainted: set[tuple[str, str]] = field(default_factory=set)
+    assign_log: list[tuple[str, int, str, object]] = field(default_factory=list)
+
+
+@dataclass
+class RunResult:
+    config: RunConfig
+    ranks: list[RankResult]
+
+    @property
+    def tainted_symbols(self) -> frozenset[tuple[str, str]]:
+        out: set[tuple[str, str]] = set()
+        for r in self.ranks:
+            out |= r.tainted
+        return frozenset(out)
+
+    def value(self, rank: int, name: str):
+        return self.ranks[rank].values[name]
+
+
+class _ReturnSignal(Exception):
+    pass
+
+
+def _t_or(a, b):
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.logical_or(a, b)
+    return bool(a) or bool(b)
+
+
+def _any_taint(t) -> bool:
+    if isinstance(t, np.ndarray):
+        return bool(t.any())
+    return bool(t)
+
+
+_NP_FUNCS = {
+    "sin": np.sin,
+    "cos": np.cos,
+    "tan": np.tan,
+    "exp": np.exp,
+    "log": np.log,
+    "sqrt": np.sqrt,
+    "abs": np.abs,
+    "floor": np.floor,
+    "ceil": np.ceil,
+}
+
+#: Scalar intrinsics use the math module so domain errors (sqrt of a
+#: negative, log of zero) raise instead of silently producing NaN;
+#: elementwise array intrinsics keep numpy's NaN-propagation semantics.
+_SCALAR_FUNCS = {
+    "sin": math.sin,
+    "cos": math.cos,
+    "tan": math.tan,
+    "exp": math.exp,
+    "log": math.log,
+    "sqrt": math.sqrt,
+    "abs": abs,
+    "floor": math.floor,
+    "ceil": math.ceil,
+}
+
+_REDUCE_FUNCS = {
+    "sum": lambda vals: _fold(vals, np.add),
+    "prod": lambda vals: _fold(vals, np.multiply),
+    "min": lambda vals: _fold(vals, np.minimum),
+    "max": lambda vals: _fold(vals, np.maximum),
+}
+
+
+def _fold(vals, op):
+    acc = vals[0]
+    for v in vals[1:]:
+        acc = op(acc, v)
+    return acc
+
+
+class _Rank:
+    """One executing rank."""
+
+    def __init__(
+        self,
+        rank: int,
+        program: Program,
+        symtab: SymbolTable,
+        network: Network,
+        config: RunConfig,
+    ):
+        self.rank = rank
+        self.program = program
+        self.symtab = symtab
+        self.network = network
+        self.config = config
+        self.steps = 0
+        self.result = RankResult(rank)
+        # Private globals: SPMD processes have disjoint memories.
+        self.globals: dict[str, Slot] = {
+            g.name: make_slot(g.type) for g in program.globals
+        }
+
+    # -- frames ------------------------------------------------------------
+
+    def _new_frame(self, proc: Procedure, args: list[Slot]) -> dict[str, Slot]:
+        frame: dict[str, Slot] = {}
+        for param, slot in zip(proc.params, args):
+            frame[param.name] = slot
+        for decl in proc.local_decls():
+            frame[decl.name] = make_slot(decl.type)
+        return frame
+
+    def _slot(self, frame: dict[str, Slot], name: str) -> Slot:
+        slot = frame.get(name)
+        if slot is None:
+            slot = self.globals.get(name)
+        if slot is None:
+            raise SpmdRuntimeError(f"rank {self.rank}: unbound variable {name!r}")
+        return slot
+
+    # -- expression evaluation -------------------------------------------
+
+    def eval(self, e: Expr, frame: dict[str, Slot], proc: str):
+        """Returns (value, taint); arrays as (ndarray, bool ndarray)."""
+        if isinstance(e, IntLit):
+            return e.value, False
+        if isinstance(e, RealLit):
+            return e.value, False
+        if isinstance(e, BoolLit):
+            return e.value, False
+        if isinstance(e, VarRef):
+            if e.name == COMM_WORLD_NAME:
+                return COMM_WORLD_VALUE, False
+            slot = self._slot(frame, e.name)
+            if isinstance(slot, ArraySlot):
+                return slot.values, slot.taints
+            return slot.get()
+        if isinstance(e, ArrayRef):
+            slot = self._slot(frame, e.name)
+            if not isinstance(slot, ArraySlot):
+                raise SpmdRuntimeError(f"{e.name!r} is not an array")
+            idx = self._eval_indices(e.indices, frame, proc)
+            return slot.get_elem(idx)
+        if isinstance(e, UnOp):
+            v, t = self.eval(e.operand, frame, proc)
+            if e.op == "-":
+                return -v, t
+            return (not v), False
+        if isinstance(e, BinOp):
+            return self._eval_binop(e, frame, proc)
+        if isinstance(e, IntrinsicCall):
+            return self._eval_intrinsic(e, frame, proc)
+        raise SpmdRuntimeError(f"cannot evaluate {e!r}")
+
+    def _eval_indices(self, indices, frame, proc) -> tuple[int, ...]:
+        out = []
+        for i in indices:
+            v, _ = self.eval(i, frame, proc)
+            out.append(int(v))
+        return tuple(out)
+
+    def _eval_binop(self, e: BinOp, frame, proc):
+        lv, lt = self.eval(e.left, frame, proc)
+        rv, rt = self.eval(e.right, frame, proc)
+        op = e.op
+        try:
+            if op == "+":
+                return lv + rv, _t_or(lt, rt)
+            if op == "-":
+                return lv - rv, _t_or(lt, rt)
+            if op == "*":
+                return lv * rv, _t_or(lt, rt)
+            if op == "/":
+                if not isinstance(rv, np.ndarray) and rv == 0:
+                    raise SpmdRuntimeError("division by zero")
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    return np.true_divide(lv, rv) if isinstance(lv, np.ndarray) or isinstance(rv, np.ndarray) else lv / rv, _t_or(lt, rt)
+            if op == "**":
+                return lv**rv, _t_or(lt, rt)
+        except (ArithmeticError, ValueError) as exc:
+            raise SpmdRuntimeError(f"arithmetic error: {exc}") from exc
+        # Comparisons / logic produce no derivative information.
+        if op == "==":
+            return lv == rv, False
+        if op == "!=":
+            return lv != rv, False
+        if op == "<":
+            return lv < rv, False
+        if op == "<=":
+            return lv <= rv, False
+        if op == ">":
+            return lv > rv, False
+        if op == ">=":
+            return lv >= rv, False
+        if op == "and":
+            return bool(lv) and bool(rv), False
+        if op == "or":
+            return bool(lv) or bool(rv), False
+        raise SpmdRuntimeError(f"unknown operator {op!r}")
+
+    def _eval_intrinsic(self, e: IntrinsicCall, frame, proc):
+        if e.name == "mpi_comm_rank":
+            return self.rank, False
+        if e.name == "mpi_comm_size":
+            return self.network.nprocs, False
+        info = INTRINSICS.get(e.name)
+        if info is None:
+            raise SpmdRuntimeError(f"unknown intrinsic {e.name!r}")
+        pairs = [self.eval(a, frame, proc) for a in e.args]
+        values = [p[0] for p in pairs]
+        taint = False
+        if info.differentiable:
+            for _, t in pairs:
+                taint = _t_or(taint, t)
+        try:
+            if e.name == "min":
+                v = np.minimum(values[0], values[1]) if any(
+                    isinstance(x, np.ndarray) for x in values
+                ) else min(values)
+            elif e.name == "max":
+                v = np.maximum(values[0], values[1]) if any(
+                    isinstance(x, np.ndarray) for x in values
+                ) else max(values)
+            elif e.name == "mod":
+                if not isinstance(values[1], np.ndarray) and values[1] == 0:
+                    raise SpmdRuntimeError("mod by zero")
+                v = values[0] % values[1]
+            elif e.name == "int":
+                v = int(values[0])
+            elif e.name == "float":
+                v = float(values[0])
+            elif isinstance(values[0], np.ndarray):
+                v = _NP_FUNCS[e.name](values[0])
+            else:
+                v = _SCALAR_FUNCS[e.name](values[0])
+            if e.name in ("floor", "ceil") and not isinstance(v, np.ndarray):
+                v = int(v)
+        except (ArithmeticError, ValueError) as exc:
+            raise SpmdRuntimeError(f"intrinsic {e.name} failed: {exc}") from exc
+        return v, taint
+
+    # -- statements --------------------------------------------------------
+
+    def _tick(self) -> None:
+        self.steps += 1
+        if self.steps > self.config.max_steps:
+            raise SpmdRuntimeError(
+                f"rank {self.rank}: exceeded {self.config.max_steps} steps"
+            )
+
+    def exec_stmt(self, s: Stmt, frame: dict[str, Slot], proc: str) -> None:
+        self._tick()
+        if isinstance(s, Block):
+            for inner in s.body:
+                self.exec_stmt(inner, frame, proc)
+            return
+        if isinstance(s, VarDecl):
+            if s.init is not None:
+                v, t = self.eval(s.init, frame, proc)
+                self._store(frame, proc, VarRef(s.name, loc=s.loc), v, t, s.loc.line)
+            return
+        if isinstance(s, Assign):
+            v, t = self.eval(s.value, frame, proc)
+            self._store(frame, proc, s.target, v, t, s.loc.line)
+            return
+        if isinstance(s, If):
+            cond, _ = self.eval(s.cond, frame, proc)
+            if bool(cond):
+                self.exec_stmt(s.then, frame, proc)
+            elif s.els is not None:
+                self.exec_stmt(s.els, frame, proc)
+            return
+        if isinstance(s, While):
+            while True:
+                self._tick()
+                cond, _ = self.eval(s.cond, frame, proc)
+                if not bool(cond):
+                    break
+                self.exec_stmt(s.body, frame, proc)
+            return
+        if isinstance(s, For):
+            self._exec_for(s, frame, proc)
+            return
+        if isinstance(s, CallStmt):
+            if s.name in MPI_OPS:
+                self._exec_mpi(s, frame, proc)
+            else:
+                self._exec_call(s, frame, proc)
+            return
+        if isinstance(s, Return):
+            raise _ReturnSignal()
+        raise SpmdRuntimeError(f"cannot execute {s!r}")
+
+    def _exec_for(self, s: For, frame, proc) -> None:
+        lo, _ = self.eval(s.lo, frame, proc)
+        hi, _ = self.eval(s.hi, frame, proc)
+        step = 1
+        if s.step is not None:
+            step, _ = self.eval(s.step, frame, proc)
+        lo, hi, step = int(lo), int(hi), int(step)
+        if step == 0:
+            raise SpmdRuntimeError("for-loop step is zero")
+        slot = self._slot(frame, s.var)
+        i = lo
+        while (step > 0 and i <= hi) or (step < 0 and i >= hi):
+            self._tick()
+            slot.set(i, False)
+            self.exec_stmt(s.body, frame, proc)
+            i += step
+        slot.set(i, False)
+
+    def _store(self, frame, proc, target, value, taint, line: int) -> None:
+        slot = self._slot(frame, target.name)
+        if isinstance(target, ArrayRef):
+            if not isinstance(slot, ArraySlot):
+                raise SpmdRuntimeError(f"{target.name!r} is not an array")
+            idx = self._eval_indices(target.indices, frame, proc)
+            slot.set_elem(idx, value, _any_taint(taint))
+            now_tainted = _any_taint(taint) and slot.type.is_real
+        elif isinstance(slot, ArraySlot):
+            slot.fill(value, taint)
+            now_tainted = slot.any_taint
+        else:
+            if isinstance(value, np.ndarray):
+                raise SpmdRuntimeError(
+                    f"cannot assign array value to scalar {target.name!r}"
+                )
+            slot.set(value, _any_taint(taint))
+            now_tainted = slot.get()[1] if isinstance(slot, (ScalarSlot, ElemSlot)) else False
+        origin = self._origin_of(proc, target.name)
+        if now_tainted:
+            self.result.tainted.add(origin)
+        if self.config.record_assignments and not isinstance(
+            value, np.ndarray
+        ):
+            self.result.assign_log.append((proc, line, target.name, value))
+
+    def _origin_of(self, proc: str, name: str) -> tuple[str, str]:
+        sym = self.symtab.try_lookup(proc, name)
+        if sym is None:
+            return (proc, name)
+        return sym.origin_key
+
+    # -- calls -------------------------------------------------------------
+
+    def _exec_call(self, s: CallStmt, frame, proc) -> None:
+        callee = self.program.proc(s.name)
+        args: list[Slot] = []
+        for param, actual in zip(callee.params, s.args):
+            if isinstance(param.type, ArrayType):
+                if not isinstance(actual, VarRef):
+                    raise SpmdRuntimeError(
+                        f"array parameter {param.name!r} needs a variable argument"
+                    )
+                slot = self._slot(frame, actual.name)
+                if not isinstance(slot, ArraySlot):
+                    raise SpmdRuntimeError(f"{actual.name!r} is not an array")
+                args.append(slot)
+            elif isinstance(actual, VarRef) and actual.name != COMM_WORLD_NAME:
+                slot = self._slot(frame, actual.name)
+                if isinstance(slot, ArraySlot):
+                    raise SpmdRuntimeError(
+                        f"cannot pass array {actual.name!r} to scalar parameter"
+                    )
+                args.append(slot)
+            elif isinstance(actual, ArrayRef):
+                base = self._slot(frame, actual.name)
+                if not isinstance(base, ArraySlot):
+                    raise SpmdRuntimeError(f"{actual.name!r} is not an array")
+                idx = self._eval_indices(actual.indices, frame, proc)
+                base._check(idx) if hasattr(base, "_check") else None
+                args.append(ElemSlot(base, idx))
+            else:
+                v, t = self.eval(actual, frame, proc)
+                args.append(ScalarSlot(param.type, v, _any_taint(t)))
+        new_frame = self._new_frame(callee, args)
+        try:
+            self.exec_stmt(callee.body, new_frame, callee.name)
+        except _ReturnSignal:
+            pass
+        self._snapshot_taint(new_frame, callee.name)
+
+    def _snapshot_taint(self, frame: dict[str, Slot], proc: str) -> None:
+        for name, slot in frame.items():
+            tainted = (
+                slot.any_taint if isinstance(slot, ArraySlot) else slot.get()[1]
+            )
+            if tainted:
+                self.result.tainted.add(self._origin_of(proc, name))
+
+    # -- MPI operations -----------------------------------------------------
+
+    def _payload(self, slot: Slot):
+        if isinstance(slot, ArraySlot):
+            return slot.values.copy(), slot.taints.copy()
+        return slot.get()
+
+    def _deliver(self, slot: Slot, value, taint, proc: str, name: str) -> None:
+        if isinstance(slot, ArraySlot):
+            if isinstance(value, np.ndarray):
+                if value.shape != slot.values.shape:
+                    raise SpmdRuntimeError(
+                        f"message shape {value.shape} does not match "
+                        f"buffer shape {slot.values.shape}"
+                    )
+                slot.values[...] = value
+                slot.taints[...] = taint if slot.type.is_real else False
+            else:
+                slot.fill(value, taint)
+            if slot.any_taint:
+                self.result.tainted.add(self._origin_of(proc, name))
+        else:
+            if isinstance(value, np.ndarray):
+                raise SpmdRuntimeError("cannot receive array into scalar buffer")
+            slot.set(value, _any_taint(taint))
+            if slot.get()[1]:
+                self.result.tainted.add(self._origin_of(proc, name))
+
+    def _buffer_slot(self, arg, frame, proc) -> tuple[Slot, str]:
+        if isinstance(arg, VarRef):
+            return self._slot(frame, arg.name), arg.name
+        if isinstance(arg, ArrayRef):
+            base = self._slot(frame, arg.name)
+            if not isinstance(base, ArraySlot):
+                raise SpmdRuntimeError(f"{arg.name!r} is not an array")
+            idx = self._eval_indices(arg.indices, frame, proc)
+            return ElemSlot(base, idx), arg.name
+        raise SpmdRuntimeError("MPI buffer must be a variable or array element")
+
+    def _exec_mpi(self, s: CallStmt, frame, proc) -> None:
+        op = MPI_OPS[s.name]
+
+        def int_arg(role: ArgRole) -> int:
+            pos = op.position(role)
+            assert pos is not None
+            v, _ = self.eval(s.args[pos], frame, proc)
+            return int(v)
+
+        kind = op.kind
+        if kind is MpiKind.SYNC:
+            if s.name == "mpi_barrier":
+                comm = int_arg(ArgRole.COMM)
+                self.network.collective("barrier", self.rank, comm, None, lambda c: None)
+            return
+        if kind is MpiKind.SEND:
+            slot, _ = self._buffer_slot(s.args[op.position(ArgRole.DATA_IN)], frame, proc)
+            value, taint = self._payload(slot)
+            self.network.send(
+                self.rank,
+                int_arg(ArgRole.DEST),
+                int_arg(ArgRole.TAG),
+                int_arg(ArgRole.COMM),
+                value,
+                taint,
+            )
+            return
+        if kind is MpiKind.RECV:
+            slot, name = self._buffer_slot(
+                s.args[op.position(ArgRole.DATA_OUT)], frame, proc
+            )
+            msg = self.network.recv(
+                self.rank,
+                int_arg(ArgRole.SRC),
+                int_arg(ArgRole.TAG),
+                int_arg(ArgRole.COMM),
+            )
+            self._deliver(slot, msg.payload, msg.taint, proc, name)
+            return
+        if kind is MpiKind.BCAST:
+            slot, name = self._buffer_slot(
+                s.args[op.position(ArgRole.DATA_INOUT)], frame, proc
+            )
+            root = int_arg(ArgRole.ROOT)
+            comm = int_arg(ArgRole.COMM)
+            mine = self._payload(slot)
+
+            def pick_root(contribs):
+                return contribs[root]
+
+            value, taint = self.network.collective(
+                "bcast", self.rank, comm, mine, pick_root
+            )
+            self._deliver(slot, value, taint, proc, name)
+            return
+        if kind in (MpiKind.REDUCE, MpiKind.ALLREDUCE):
+            send_slot, _ = self._buffer_slot(
+                s.args[op.position(ArgRole.DATA_IN)], frame, proc
+            )
+            recv_slot, recv_name = self._buffer_slot(
+                s.args[op.position(ArgRole.DATA_OUT)], frame, proc
+            )
+            op_pos = op.position(ArgRole.REDOP)
+            op_name = s.args[op_pos].name  # validated to be a REDUCE_OPS name
+            comm = int_arg(ArgRole.COMM)
+            root = int_arg(ArgRole.ROOT) if kind is MpiKind.REDUCE else None
+            mine = self._payload(send_slot)
+            fold = _REDUCE_FUNCS[op_name]
+
+            def combine(contribs):
+                ordered = [contribs[r] for r in sorted(contribs)]
+                values = [v for v, _ in ordered]
+                taints = [t for _, t in ordered]
+                acc_t = taints[0]
+                for t in taints[1:]:
+                    acc_t = _t_or(acc_t, t)
+                return fold(values), acc_t
+
+            collective_kind = "reduce" if kind is MpiKind.REDUCE else "allreduce"
+            value, taint = self.network.collective(
+                collective_kind, self.rank, comm, mine, combine
+            )
+            if kind is MpiKind.ALLREDUCE or self.rank == root:
+                self._deliver(recv_slot, value, taint, proc, recv_name)
+            return
+        if kind in (MpiKind.GATHER, MpiKind.SCATTER):
+            self._exec_gather_scatter(s, op, kind, frame, proc)
+            return
+        raise SpmdRuntimeError(f"unhandled MPI op {s.name}")
+
+    @staticmethod
+    def _flatten(payload) -> tuple[np.ndarray, np.ndarray]:
+        value, taint = payload
+        if isinstance(value, np.ndarray):
+            return value.reshape(-1), np.asarray(taint, dtype=np.bool_).reshape(-1)
+        return (
+            np.asarray([value]),
+            np.asarray([bool(taint)], dtype=np.bool_),
+        )
+
+    def _exec_gather_scatter(self, s, op, kind, frame, proc) -> None:
+        root_pos = op.position(ArgRole.ROOT)
+        comm_pos = op.position(ArgRole.COMM)
+        root = int(self.eval(s.args[root_pos], frame, proc)[0])
+        comm = int(self.eval(s.args[comm_pos], frame, proc)[0])
+        send_slot, _ = self._buffer_slot(
+            s.args[op.position(ArgRole.DATA_IN)], frame, proc
+        )
+        recv_slot, recv_name = self._buffer_slot(
+            s.args[op.position(ArgRole.DATA_OUT)], frame, proc
+        )
+        mine = self._flatten(self._payload(send_slot))
+        nprocs = self.network.nprocs
+
+        if kind is MpiKind.GATHER:
+            def combine(contribs):
+                ordered = [contribs[r] for r in sorted(contribs)]
+                return (
+                    np.concatenate([v for v, _ in ordered]),
+                    np.concatenate([t for _, t in ordered]),
+                )
+
+            values, taints = self.network.collective(
+                "gather", self.rank, comm, mine, combine
+            )
+            if self.rank != root:
+                return
+            want = values.size
+        else:  # SCATTER: everyone learns the root's payload, then slices.
+            def pick_root(contribs):
+                return contribs[root]
+
+            values, taints = self.network.collective(
+                "scatter", self.rank, comm, mine, pick_root
+            )
+            if values.size % nprocs != 0:
+                raise SpmdRuntimeError(
+                    f"mpi_scatter: sendbuf of {values.size} elements does "
+                    f"not divide across {nprocs} ranks"
+                )
+            chunk = values.size // nprocs
+            values = values[self.rank * chunk : (self.rank + 1) * chunk]
+            taints = taints[self.rank * chunk : (self.rank + 1) * chunk]
+            want = values.size
+
+        if isinstance(recv_slot, ArraySlot):
+            if recv_slot.values.size != want:
+                raise SpmdRuntimeError(
+                    f"{s.name}: receive buffer holds {recv_slot.values.size} "
+                    f"elements, message carries {want}"
+                )
+            self._deliver(
+                recv_slot,
+                values.reshape(recv_slot.values.shape),
+                taints.reshape(recv_slot.values.shape),
+                proc,
+                recv_name,
+            )
+        else:
+            if want != 1:
+                raise SpmdRuntimeError(
+                    f"{s.name}: cannot receive {want} elements into a scalar"
+                )
+            self._deliver(recv_slot, values[0].item(), bool(taints[0]), proc, recv_name)
+
+    # -- rank entry ---------------------------------------------------------
+
+    def run(self, inputs: Mapping[str, object]) -> None:
+        entry = self.program.proc(self.config.entry)
+        args: list[Slot] = []
+        for param in entry.params:
+            slot = make_slot(param.type)
+            if param.name in inputs:
+                value = inputs[param.name]
+                if isinstance(slot, ArraySlot):
+                    slot.fill(value, False)
+                else:
+                    slot.set(value, False)
+            args.append(slot)
+        frame = self._new_frame(entry, args)
+        # Globals may also be seeded through `inputs`.
+        for name, value in inputs.items():
+            if name not in frame and name in self.globals:
+                slot = self.globals[name]
+                if isinstance(slot, ArraySlot):
+                    slot.fill(value, False)
+                else:
+                    slot.set(value, False)
+        for seed in self.config.taint_seeds:
+            slot = self._slot(frame, seed)
+            if isinstance(slot, ArraySlot):
+                slot.taints[...] = slot.type.is_real
+            else:
+                slot.set(slot.get()[0], True)
+        try:
+            self.exec_stmt(entry.body, frame, entry.name)
+        except _ReturnSignal:
+            pass
+        self._snapshot_taint(frame, entry.name)
+        self._snapshot_taint(self.globals, "")
+        for name, slot in list(frame.items()) + list(self.globals.items()):
+            if isinstance(slot, ArraySlot):
+                self.result.values[name] = slot.values.copy()
+            else:
+                self.result.values[name] = slot.get()[0]
+
+
+def run_spmd(
+    program: Program,
+    config: RunConfig | None = None,
+    inputs: Optional[Mapping[str, object]] = None,
+    per_rank_inputs: Optional[Sequence[Mapping[str, object]]] = None,
+) -> RunResult:
+    """Execute ``program`` on ``config.nprocs`` simulated ranks.
+
+    ``inputs`` seeds entry parameters and globals identically on every
+    rank; ``per_rank_inputs`` overrides per rank.  Raises the first
+    rank failure (:class:`SpmdRuntimeError` / :class:`DeadlockError`).
+    """
+    config = config or RunConfig()
+    symtab = validate_program(program)
+    network = Network(config.nprocs, timeout=config.timeout)
+    ranks = [
+        _Rank(r, program, symtab, network, config) for r in range(config.nprocs)
+    ]
+    errors: list[BaseException] = []
+    lock = threading.Lock()
+
+    def worker(rank: _Rank, rank_inputs: Mapping[str, object]) -> None:
+        try:
+            rank.run(rank_inputs)
+        except BaseException as exc:  # noqa: BLE001 - propagated to caller
+            with lock:
+                errors.append(exc)
+            network.abort(exc)
+
+    threads = []
+    for i, rank in enumerate(ranks):
+        rank_inputs = dict(inputs or {})
+        if per_rank_inputs is not None:
+            rank_inputs.update(per_rank_inputs[i])
+        t = threading.Thread(target=worker, args=(rank, rank_inputs), daemon=True)
+        threads.append(t)
+        t.start()
+    for t in threads:
+        t.join(timeout=config.timeout * 4)
+        if t.is_alive():
+            network.abort(DeadlockError("join timeout"))
+    for t in threads:
+        t.join(timeout=config.timeout)
+    if errors:
+        raise errors[0]
+    return RunResult(config=config, ranks=[r.result for r in ranks])
+
+
+_ = Union  # typing convenience

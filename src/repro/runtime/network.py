@@ -1,0 +1,143 @@
+"""Message transport and collectives for the SPMD interpreter.
+
+Point-to-point messages are buffered (sends never block); receives
+block until a message with matching (source, tag, communicator) is
+available.  Collectives rendezvous all ranks of a communicator: every
+rank deposits its contribution, one rank computes the result, all ranks
+pick it up.  A watchdog timeout converts lost messages or mismatched
+collectives into :class:`DeadlockError` instead of a hang.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+__all__ = ["Message", "Network", "DeadlockError"]
+
+
+class DeadlockError(RuntimeError):
+    """A rank blocked past the watchdog timeout (lost message /
+    mismatched collective / genuine deadlock)."""
+
+
+@dataclass
+class Message:
+    src: int
+    tag: int
+    comm: int
+    #: (payload values, payload taints) — deep-copied by the sender.
+    payload: Any
+    taint: Any
+
+
+@dataclass
+class _CollectiveRound:
+    """One rendezvous of all ranks (bcast / reduce / allreduce / barrier)."""
+
+    contributions: dict[int, Any] = field(default_factory=dict)
+    result: Any = None
+    done: bool = False
+
+
+class Network:
+    """Shared communication state across all rank threads."""
+
+    def __init__(self, nprocs: int, timeout: float = 10.0):
+        self.nprocs = nprocs
+        self.timeout = timeout
+        self._lock = threading.Condition()
+        #: (dest, comm) -> ordered mailbox.
+        self._mailboxes: dict[tuple[int, int], list[Message]] = {}
+        #: (kind, comm, sequence#) -> rendezvous round.
+        self._rounds: dict[tuple[str, int, int], _CollectiveRound] = {}
+        #: (kind, comm) -> per-rank sequence counters.
+        self._seq: dict[tuple[str, int, int], int] = {}
+        #: Set when any rank fails so the others stop waiting.
+        self.failed: Optional[BaseException] = None
+
+    # -- failure propagation -------------------------------------------------
+
+    def abort(self, exc: BaseException) -> None:
+        with self._lock:
+            if self.failed is None:
+                self.failed = exc
+            self._lock.notify_all()
+
+    def _check_failed(self) -> None:
+        if self.failed is not None:
+            raise DeadlockError(f"aborted: peer rank failed ({self.failed})")
+
+    # -- point-to-point ------------------------------------------------------
+
+    def send(self, src: int, dest: int, tag: int, comm: int, payload, taint) -> None:
+        if not (0 <= dest < self.nprocs):
+            raise DeadlockError(f"send to invalid rank {dest}")
+        with self._lock:
+            self._check_failed()
+            box = self._mailboxes.setdefault((dest, comm), [])
+            box.append(Message(src, tag, comm, payload, taint))
+            self._lock.notify_all()
+
+    def recv(self, me: int, src: int, tag: int, comm: int) -> Message:
+        deadline = threading.TIMEOUT_MAX
+        with self._lock:
+            while True:
+                self._check_failed()
+                box = self._mailboxes.get((me, comm), [])
+                for i, msg in enumerate(box):
+                    if msg.src == src and msg.tag == tag:
+                        return box.pop(i)
+                if not self._lock.wait(timeout=self.timeout):
+                    raise DeadlockError(
+                        f"rank {me}: recv(src={src}, tag={tag}, comm={comm}) "
+                        f"timed out after {self.timeout}s"
+                    )
+        raise AssertionError(deadline)  # unreachable
+
+    def pending_messages(self, me: int, comm: int) -> int:
+        with self._lock:
+            return len(self._mailboxes.get((me, comm), []))
+
+    # -- collectives ----------------------------------------------------------
+
+    def collective(
+        self,
+        kind: str,
+        me: int,
+        comm: int,
+        contribution,
+        combine: Callable[[dict[int, Any]], Any],
+    ):
+        """Rendezvous all ranks; returns ``combine(contributions)``.
+
+        ``kind`` keeps different collective types from matching each
+        other (a bcast and a barrier at the same sequence point is a
+        program error surfaced as a timeout).
+        """
+        with self._lock:
+            self._check_failed()
+            seq_key = (kind, comm, me)
+            seq = self._seq.get(seq_key, 0)
+            self._seq[seq_key] = seq + 1
+            round_key = (kind, comm, seq)
+            rnd = self._rounds.setdefault(round_key, _CollectiveRound())
+            if me in rnd.contributions:
+                raise DeadlockError(
+                    f"rank {me}: duplicate contribution to {kind} #{seq}"
+                )
+            rnd.contributions[me] = contribution
+            if len(rnd.contributions) == self.nprocs:
+                rnd.result = combine(rnd.contributions)
+                rnd.done = True
+                self._lock.notify_all()
+            else:
+                while not rnd.done:
+                    self._check_failed()
+                    if not self._lock.wait(timeout=self.timeout):
+                        raise DeadlockError(
+                            f"rank {me}: collective {kind} #{seq} timed out "
+                            f"({len(rnd.contributions)}/{self.nprocs} arrived)"
+                        )
+            return rnd.result

@@ -1,0 +1,133 @@
+"""Runtime value storage for the SPMD interpreter.
+
+Variables live in *slots* so that Fortran by-reference parameter passing
+works naturally: passing a variable hands the callee the same slot.
+Every slot tracks an AD-style *taint* alongside its value — "does this
+value carry derivative information from the seeded independents?" —
+with the same differentiability conventions as the static Vary
+analysis (integer results and nondifferentiable intrinsics drop
+taint).  Array taints are per-element, strictly finer than the static
+analysis's whole-array granularity.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..ir.types import ArrayType, BoolType, IntType, RealType, Type
+
+__all__ = ["ScalarSlot", "ArraySlot", "ElemSlot", "Slot", "make_slot", "SpmdRuntimeError"]
+
+
+class SpmdRuntimeError(RuntimeError):
+    """Raised for runtime errors inside interpreted SPL programs."""
+
+
+_NUMPY_DTYPE = {IntType: np.int64, RealType: np.float64, BoolType: np.bool_}
+
+
+def _coerce_scalar(ty: Type, value) -> Union[int, float, bool]:
+    if isinstance(ty, IntType):
+        return int(value)
+    if isinstance(ty, RealType):
+        return float(value)
+    if isinstance(ty, BoolType):
+        return bool(value)
+    raise SpmdRuntimeError(f"cannot coerce to {ty}")
+
+
+class ScalarSlot:
+    """A mutable scalar cell (also used for expression temporaries)."""
+
+    __slots__ = ("type", "value", "taint")
+
+    def __init__(self, ty: Type, value=0, taint: bool = False):
+        self.type = ty
+        self.value = _coerce_scalar(ty, value)
+        # Integers and booleans never carry derivatives.
+        self.taint = bool(taint) and ty.is_real
+
+    def get(self) -> tuple[Union[int, float, bool], bool]:
+        return self.value, self.taint
+
+    def set(self, value, taint: bool) -> None:
+        self.value = _coerce_scalar(self.type, value)
+        self.taint = bool(taint) and self.type.is_real
+
+
+class ArraySlot:
+    """A statically shaped array with a parallel per-element taint."""
+
+    __slots__ = ("type", "values", "taints")
+
+    def __init__(self, ty: ArrayType):
+        self.type = ty
+        dtype = _NUMPY_DTYPE[type(ty.elem)]
+        self.values = np.zeros(ty.shape, dtype=dtype)
+        self.taints = np.zeros(ty.shape, dtype=np.bool_)
+
+    @property
+    def any_taint(self) -> bool:
+        return bool(self.taints.any())
+
+    def get_elem(self, idx: tuple[int, ...]):
+        self._check(idx)
+        return self.values[idx].item(), bool(self.taints[idx])
+
+    def set_elem(self, idx: tuple[int, ...], value, taint: bool) -> None:
+        self._check(idx)
+        self.values[idx] = value
+        self.taints[idx] = bool(taint) and self.type.is_real
+
+    def fill(self, value, taint) -> None:
+        """Whole-array assignment from a scalar or same-shape array."""
+        self.values[...] = value
+        if self.type.is_real:
+            self.taints[...] = taint
+        else:
+            self.taints[...] = False
+
+    def copy_from(self, other: "ArraySlot") -> None:
+        self.values[...] = other.values
+        self.taints[...] = other.taints if self.type.is_real else False
+
+    def _check(self, idx: tuple[int, ...]) -> None:
+        if len(idx) != len(self.type.shape):
+            raise SpmdRuntimeError(
+                f"rank mismatch: {len(idx)} subscripts for shape {self.type.shape}"
+            )
+        for i, extent in zip(idx, self.type.shape):
+            if not (0 <= i < extent):
+                raise SpmdRuntimeError(
+                    f"index {idx} out of bounds for shape {self.type.shape} "
+                    "(SPL arrays are 0-based)"
+                )
+
+
+class ElemSlot:
+    """A scalar view of one array element (array-element actual
+    argument bound to a scalar by-reference formal)."""
+
+    __slots__ = ("array", "idx", "type")
+
+    def __init__(self, array: ArraySlot, idx: tuple[int, ...]):
+        self.array = array
+        self.idx = idx
+        self.type = array.type.elem
+
+    def get(self):
+        return self.array.get_elem(self.idx)
+
+    def set(self, value, taint: bool) -> None:
+        self.array.set_elem(self.idx, value, taint)
+
+
+Slot = Union[ScalarSlot, ArraySlot, ElemSlot]
+
+
+def make_slot(ty: Type) -> Slot:
+    if isinstance(ty, ArrayType):
+        return ArraySlot(ty)
+    return ScalarSlot(ty)

@@ -1,0 +1,6 @@
+"""Program transformations built on the MPI-aware analyses."""
+
+from .constfold import FoldResult, fold_constants
+from .dce import DceResult, eliminate_dead_stores
+
+__all__ = ["FoldResult", "fold_constants", "DceResult", "eliminate_dead_stores"]

@@ -1,0 +1,368 @@
+"""Constant propagation/folding driven by MPI-aware reaching constants.
+
+Turns the paper's canonical *analysis* into the optimization it exists
+for: uses of variables proven constant (including constants that
+arrived through matched communication, as in Figure 1's ``y``) are
+replaced by literals, literal subexpressions are folded, and branches
+whose conditions fold to a literal are flattened.
+
+Soundness notes baked into the rewriter:
+
+* substituted values come from the IN set of the statement's node(s),
+  met across all clone instances of the enclosing procedure — the
+  rewrite is valid in every context;
+* by-reference lvalue arguments (user-procedure actuals, MPI data
+  buffers) are never replaced by literals;
+* branch flattening only applies when the folded condition is a
+  literal ``true``/``false``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..analyses.consteval import apply_binop, apply_intrinsic, apply_unop
+from ..analyses.mpi_model import MpiModel
+from ..analyses.reaching_constants import reaching_constants
+from ..cfg.node import AssignNode, BranchNode, CallNode, MpiNode
+from ..dataflow.lattice import ConstValue, const_meet
+from ..ir.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Block,
+    BoolLit,
+    CallStmt,
+    Expr,
+    For,
+    If,
+    IntLit,
+    IntrinsicCall,
+    Procedure,
+    Program,
+    RealLit,
+    Return,
+    Stmt,
+    UnOp,
+    VarDecl,
+    VarRef,
+    While,
+)
+from ..ir.mpi_ops import ArgRole, COMM_WORLD_NAME, MPI_OPS, REDUCE_OPS
+from ..ir.symtab import SymbolTable, split_qname
+from ..ir.types import BoolType, IntType, RealType
+from ..ir.validate import validate_program
+from ..mpi.mpiicfg import build_mpi_icfg
+
+__all__ = ["FoldResult", "fold_constants"]
+
+#: Per-(origin procedure, source line) constant environment over bare
+#: variable names.
+_LineEnv = dict
+
+
+@dataclass
+class FoldResult:
+    program: Program
+    #: Number of variable uses replaced by literals.
+    substitutions: int = 0
+    #: Number of operator/intrinsic applications folded away.
+    folds: int = 0
+    #: Number of branches flattened because their condition was literal.
+    branches_flattened: int = 0
+
+    @property
+    def total_rewrites(self) -> int:
+        return self.substitutions + self.folds + self.branches_flattened
+
+
+def _collect_line_envs(icfg, result, symtab: SymbolTable):
+    """Meet the IN environments of all nodes sharing (origin, line)."""
+    envs: dict[tuple[str, int], _LineEnv] = {}
+    for nid, node in icfg.graph.nodes.items():
+        if (
+            not isinstance(node, (AssignNode, BranchNode, MpiNode, CallNode))
+            or not node.loc.line
+        ):
+            continue
+        origin = icfg.procs[node.proc].origin if node.proc in icfg.procs else node.proc
+        key = (origin, node.loc.line)
+        incoming: _LineEnv = {}
+        for qname, value in result.in_fact(nid).items():
+            scope, bare = split_qname(qname)
+            if scope not in ("", node.proc):
+                continue
+            incoming[bare] = value
+        if key in envs:
+            merged = {}
+            for bare in set(envs[key]) & set(incoming):
+                merged[bare] = const_meet(envs[key][bare], incoming[bare])
+            envs[key] = merged
+        else:
+            envs[key] = incoming
+    return envs
+
+
+class _Folder:
+    def __init__(self, symtab: SymbolTable, envs, stats: FoldResult):
+        self.symtab = symtab
+        self.envs = envs
+        self.stats = stats
+        from ..ir.validate import TypeChecker
+
+        self._checker = TypeChecker(symtab)
+
+    # -- literals ----------------------------------------------------------
+
+    def _literal_for(self, proc: str, name: str, value: ConstValue) -> Optional[Expr]:
+        sym = self.symtab.try_lookup(proc, name)
+        if sym is None:
+            return None
+        payload = value.value
+        if isinstance(sym.type, RealType):
+            return RealLit(float(payload))
+        if isinstance(sym.type, IntType) and not isinstance(payload, bool):
+            return IntLit(int(payload))
+        if isinstance(sym.type, BoolType) and isinstance(payload, bool):
+            return BoolLit(payload)
+        return None
+
+    @staticmethod
+    def _value_of_literal(e: Expr) -> Optional[ConstValue]:
+        from ..dataflow.lattice import const
+
+        if isinstance(e, IntLit):
+            return const(e.value)
+        if isinstance(e, RealLit):
+            return const(e.value)
+        if isinstance(e, BoolLit):
+            return const(e.value)
+        return None
+
+    def _relit(self, template: Expr, value: ConstValue, proc: str) -> Optional[Expr]:
+        """Literal matching ``template``'s static result type.
+
+        The constant lattice normalizes whole floats to ints, so the
+        expression's type decides the spelling (``6`` vs ``6.0``).
+        """
+        payload = value.value
+        if isinstance(payload, bool):
+            return BoolLit(payload)
+        ty = self._checker.type_of(template, proc)
+        self._checker.errors.clear()
+        if isinstance(ty, RealType):
+            return RealLit(float(payload))
+        if isinstance(payload, int) and isinstance(ty, IntType):
+            return IntLit(payload)
+        if isinstance(payload, float):
+            return RealLit(payload)
+        if isinstance(payload, int):
+            return IntLit(payload)
+        return None
+
+    # -- expressions -------------------------------------------------------
+
+    def fold_expr(self, e: Expr, proc: str, env: _LineEnv) -> Expr:
+        if isinstance(e, VarRef):
+            if e.name == COMM_WORLD_NAME or e.name in REDUCE_OPS:
+                return e
+            value = env.get(e.name)
+            if value is not None and value.is_const:
+                lit = self._literal_for(proc, e.name, value)
+                if lit is not None:
+                    self.stats.substitutions += 1
+                    return lit
+            return e
+        if isinstance(e, ArrayRef):
+            return ArrayRef(
+                e.name,
+                tuple(self.fold_expr(i, proc, env) for i in e.indices),
+                loc=e.loc,
+            )
+        if isinstance(e, UnOp):
+            inner = self.fold_expr(e.operand, proc, env)
+            lit = self._value_of_literal(inner)
+            if lit is not None:
+                folded = apply_unop(e.op, lit)
+                if folded.is_const:
+                    out = self._relit(e, folded, proc)
+                    if out is not None:
+                        self.stats.folds += 1
+                        return out
+            return UnOp(e.op, inner, loc=e.loc)
+        if isinstance(e, BinOp):
+            left = self.fold_expr(e.left, proc, env)
+            right = self.fold_expr(e.right, proc, env)
+            lv, rv = self._value_of_literal(left), self._value_of_literal(right)
+            if lv is not None and rv is not None:
+                folded = apply_binop(e.op, lv, rv)
+                if folded.is_const:
+                    out = self._relit(e, folded, proc)
+                    if out is not None:
+                        self.stats.folds += 1
+                        return out
+            return BinOp(e.op, left, right, loc=e.loc)
+        if isinstance(e, IntrinsicCall):
+            if e.name in ("mpi_comm_rank", "mpi_comm_size"):
+                return e
+            args = tuple(self.fold_expr(a, proc, env) for a in e.args)
+            values = [self._value_of_literal(a) for a in args]
+            if all(v is not None for v in values):
+                folded = apply_intrinsic(e.name, values)  # type: ignore[arg-type]
+                if folded.is_const:
+                    out = self._relit(e, folded, proc)
+                    if out is not None:
+                        self.stats.folds += 1
+                        return out
+            return IntrinsicCall(e.name, args, loc=e.loc)
+        return e
+
+    # -- statements --------------------------------------------------------
+
+    def env_at(self, proc: str, line: int) -> _LineEnv:
+        return self.envs.get((proc, line), {})
+
+    def fold_stmt(self, s: Stmt, proc: str) -> list[Stmt]:
+        if isinstance(s, VarDecl):
+            if s.init is None:
+                return [s]
+            env = self.env_at(proc, s.loc.line)
+            return [VarDecl(s.name, s.type, self.fold_expr(s.init, proc, env), loc=s.loc)]
+        if isinstance(s, Assign):
+            env = self.env_at(proc, s.loc.line)
+            target = s.target
+            if isinstance(target, ArrayRef):
+                target = ArrayRef(
+                    target.name,
+                    tuple(self.fold_expr(i, proc, env) for i in target.indices),
+                    loc=target.loc,
+                )
+            return [Assign(target, self.fold_expr(s.value, proc, env), loc=s.loc)]
+        if isinstance(s, Block):
+            return [self.fold_block(s, proc)]
+        if isinstance(s, If):
+            env = self.env_at(proc, s.loc.line)
+            cond = self.fold_expr(s.cond, proc, env)
+            if isinstance(cond, BoolLit):
+                self.stats.branches_flattened += 1
+                taken = s.then if cond.value else s.els
+                if taken is None:
+                    return []
+                return list(self.fold_block(taken, proc).body)
+            return [
+                If(
+                    cond,
+                    self.fold_block(s.then, proc),
+                    self.fold_block(s.els, proc) if s.els else None,
+                    loc=s.loc,
+                )
+            ]
+        if isinstance(s, While):
+            env = self.env_at(proc, s.loc.line)
+            cond = self.fold_expr(s.cond, proc, env)
+            if isinstance(cond, BoolLit) and not cond.value:
+                self.stats.branches_flattened += 1
+                return []
+            # A constant-true loop condition is kept as-is: the body may
+            # change variables the line-env meet already accounts for.
+            if isinstance(cond, BoolLit):
+                cond = s.cond
+            return [While(cond, self.fold_block(s.body, proc), loc=s.loc)]
+        if isinstance(s, For):
+            env = self.env_at(proc, s.loc.line)
+            return [
+                For(
+                    s.var,
+                    self.fold_expr(s.lo, proc, env),
+                    self.fold_expr(s.hi, proc, env),
+                    self.fold_expr(s.step, proc, env) if s.step else None,
+                    self.fold_block(s.body, proc),
+                    loc=s.loc,
+                )
+            ]
+        if isinstance(s, CallStmt):
+            return [self.fold_call(s, proc)]
+        if isinstance(s, Return):
+            return [s]
+        return [s]
+
+    def fold_call(self, s: CallStmt, proc: str) -> CallStmt:
+        env = self.env_at(proc, s.loc.line) or {}
+        # The statement itself has no node; use the env of its line if
+        # an assign/branch shares it, else skip substitution inside.
+        op = MPI_OPS.get(s.name)
+        new_args: list[Expr] = []
+        for pos, arg in enumerate(s.args):
+            keep_lvalue = False
+            if op is not None:
+                role = op.args[pos].role
+                keep_lvalue = role in (
+                    ArgRole.DATA_IN,
+                    ArgRole.DATA_OUT,
+                    ArgRole.DATA_INOUT,
+                    ArgRole.REDOP,
+                )
+            else:
+                # User procedure: by-reference write-back needs lvalues.
+                keep_lvalue = isinstance(arg, (VarRef, ArrayRef))
+            if keep_lvalue:
+                if isinstance(arg, ArrayRef):
+                    new_args.append(
+                        ArrayRef(
+                            arg.name,
+                            tuple(self.fold_expr(i, proc, env) for i in arg.indices),
+                            loc=arg.loc,
+                        )
+                    )
+                else:
+                    new_args.append(arg)
+            else:
+                new_args.append(self.fold_expr(arg, proc, env))
+        return CallStmt(s.name, tuple(new_args), loc=s.loc)
+
+    def fold_block(self, b: Block, proc: str) -> Block:
+        out: list[Stmt] = []
+        for s in b.body:
+            out.extend(self.fold_stmt(s, proc))
+        return Block(tuple(out), loc=b.loc)
+
+
+def fold_constants(
+    program: Program,
+    root: str,
+    mpi_model: MpiModel = MpiModel.COMM_EDGES,
+    clone_level: int = 0,
+) -> FoldResult:
+    """Fold constants in the procedures reachable from ``root``.
+
+    Procedures outside the analyzed region are copied unchanged.  The
+    returned program is validated; running it produces the same results
+    as the original (the test suite checks this with the interpreter).
+    """
+    symtab = validate_program(program)
+    icfg, _ = build_mpi_icfg(
+        program, root, clone_level=clone_level, symtab=symtab
+    )
+    analysis = reaching_constants(icfg, mpi_model)
+    envs = _collect_line_envs(icfg, analysis, symtab)
+
+    stats = FoldResult(program=program)
+    folder = _Folder(symtab, envs, stats)
+    analyzed = {p.origin for p in icfg.procs.values()}
+
+    new_procs = []
+    for proc in program.procedures:
+        if proc.name not in analyzed:
+            new_procs.append(proc)
+            continue
+        body = folder.fold_block(proc.body, proc.name)
+        new_procs.append(Procedure(proc.name, proc.params, body, loc=proc.loc))
+    folded = Program(program.name, program.globals, tuple(new_procs), loc=program.loc)
+    validate_program(folded)
+    stats.program = folded
+    return stats
+
+
+_ = defaultdict, field  # imported for subclasses/tests

@@ -1,0 +1,154 @@
+"""Dead-store elimination driven by interprocedural liveness.
+
+A companion to constant folding: assignments whose targets are provably
+dead (not live-out at the statement, over every clone instance) are
+removed.  SPL expressions are side-effect free, so dropping a dead
+store never changes observable behaviour; MPI operations and calls are
+always kept.
+
+Liveness here is the *separable* analysis of §1 — communication edges
+play no role (a send's buffer is a use, a receive's buffer a kill), but
+the interprocedural edge mappings matter: stores visible to callers
+through by-reference parameters or globals stay live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..analyses.liveness import liveness_analysis
+from ..cfg.icfg import build_icfg
+from ..cfg.node import AssignNode
+from ..ir.ast_nodes import (
+    Assign,
+    Block,
+    For,
+    If,
+    Procedure,
+    Program,
+    Stmt,
+    VarDecl,
+    VarRef,
+    While,
+)
+from ..ir.symtab import SymbolTable
+from ..ir.validate import validate_program
+
+__all__ = ["DceResult", "eliminate_dead_stores"]
+
+
+@dataclass
+class DceResult:
+    program: Program
+    removed: int = 0
+
+
+def _collect_dead_lines(icfg, result) -> set[tuple[str, int]]:
+    """(origin proc, line) pairs whose store is dead in EVERY instance.
+
+    A loop-lowered line hosts several nodes (init / increment share the
+    ``for`` statement's line); those extra nodes target the loop
+    variable, not the statement's own store, so the line sets are keyed
+    by target name as well.
+    """
+    dead: dict[tuple[str, int, str], bool] = {}
+    for nid, node in icfg.graph.nodes.items():
+        if not isinstance(node, AssignNode) or not node.loc.line:
+            continue
+        if not isinstance(node.target, VarRef):
+            continue  # element stores are weak: never removed
+        origin = icfg.procs[node.proc].origin if node.proc in icfg.procs else node.proc
+        key = (origin, node.loc.line, node.target.name)
+        live_out = result.out_fact(nid)
+        sym = icfg.symtab.try_lookup(node.proc, node.target.name)
+        is_dead = sym is not None and sym.qname not in live_out
+        dead[key] = dead.get(key, True) and is_dead
+    return {(p, l) for (p, l, _), d in dead.items() if d}
+
+
+class _Pruner:
+    def __init__(self, dead_lines: set[tuple[str, int]], stats: DceResult):
+        self.dead_lines = dead_lines
+        self.stats = stats
+
+    def prune_block(self, block: Block, proc: str) -> Block:
+        out: list[Stmt] = []
+        for s in block.body:
+            pruned = self.prune_stmt(s, proc)
+            if pruned is not None:
+                out.append(pruned)
+        return Block(tuple(out), loc=block.loc)
+
+    def prune_stmt(self, s: Stmt, proc: str) -> Optional[Stmt]:
+        if isinstance(s, Assign) and isinstance(s.target, VarRef):
+            if (proc, s.loc.line) in self.dead_lines:
+                self.stats.removed += 1
+                return None
+            return s
+        if isinstance(s, VarDecl):
+            if s.init is not None and (proc, s.loc.line) in self.dead_lines:
+                self.stats.removed += 1
+                return VarDecl(s.name, s.type, None, loc=s.loc)
+            return s
+        if isinstance(s, Block):
+            return self.prune_block(s, proc)
+        if isinstance(s, If):
+            return If(
+                s.cond,
+                self.prune_block(s.then, proc),
+                self.prune_block(s.els, proc) if s.els else None,
+                loc=s.loc,
+            )
+        if isinstance(s, While):
+            return While(s.cond, self.prune_block(s.body, proc), loc=s.loc)
+        if isinstance(s, For):
+            return For(
+                s.var, s.lo, s.hi, s.step, self.prune_block(s.body, proc), loc=s.loc
+            )
+        return s
+
+
+def eliminate_dead_stores(
+    program: Program,
+    root: str,
+    live_out: Sequence[str] = (),
+    clone_level: int = 0,
+    symtab: Optional[SymbolTable] = None,
+) -> DceResult:
+    """Remove provably dead scalar/whole-array stores from ``root``'s region.
+
+    ``live_out`` names the observable outputs at the context routine's
+    exit (bare names in its scope — typically the same dependents an
+    activity analysis would use, plus anything externally inspected).
+    The transform iterates to a fixed point: removing one dead store can
+    make its operands' stores dead too.
+    """
+    if symtab is None:
+        symtab = validate_program(program)
+    stats = DceResult(program=program)
+    current = program
+    while True:
+        icfg = build_icfg(current, root, clone_level=clone_level)
+        liveness = liveness_analysis(icfg, live_out=live_out)
+        dead_lines = _collect_dead_lines(icfg, liveness)
+        if not dead_lines:
+            break
+        before = stats.removed
+        pruner = _Pruner(dead_lines, stats)
+        analyzed = {p.origin for p in icfg.procs.values()}
+        new_procs = []
+        for proc in current.procedures:
+            if proc.name not in analyzed:
+                new_procs.append(proc)
+                continue
+            body = pruner.prune_block(proc.body, proc.name)
+            new_procs.append(Procedure(proc.name, proc.params, body, loc=proc.loc))
+        current = Program(current.name, current.globals, tuple(new_procs))
+        if stats.removed == before:
+            break  # nothing actually matched the dead lines
+        # Source locations shift only through removal; reparse is not
+        # needed because locations of surviving nodes are unchanged.
+    validate_program(current)
+    stats.program = current
+    return stats

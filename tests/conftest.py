@@ -1,0 +1,74 @@
+"""Shared fixtures: the Figure 1 programs and small helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cfg import build_icfg
+from repro.ir import parse_program, validate_program
+from repro.mpi import build_mpi_cfg
+from repro.programs import figure1
+
+
+@pytest.fixture(scope="session")
+def fig1_program():
+    """Figure 1 with x and f as parameters (activity reading)."""
+    return figure1.program()
+
+
+@pytest.fixture(scope="session")
+def fig1_literal_program():
+    """Figure 1 with x = 0 as statement 1 (slicing reading)."""
+    return figure1.program_literal()
+
+
+@pytest.fixture()
+def fig1_mpi_cfg(fig1_program):
+    icfg, match = build_mpi_cfg(fig1_program, "main")
+    return icfg
+
+
+@pytest.fixture()
+def fig1_icfg(fig1_program):
+    return build_icfg(fig1_program, "main")
+
+
+def parse_and_validate(source: str):
+    prog = parse_program(source)
+    symtab = validate_program(prog)
+    return prog, symtab
+
+
+@pytest.fixture(scope="session")
+def wrapped_sendrecv_source():
+    """A program with one wrapper layer around MPI send/recv, used by
+    the ICFG / cloning / matching tests."""
+    return """
+    program wrapped;
+    global real g[8];
+
+    proc send_wrap(real buf[8], int dest, int tag) {
+      call mpi_send(buf, dest, tag, comm_world);
+    }
+    proc recv_wrap(real buf[8], int src, int tag) {
+      call mpi_recv(buf, src, tag, comm_world);
+    }
+    proc main(real x, real out) {
+      real a[8];
+      real b[8];
+      int rank; int i;
+      rank = mpi_comm_rank();
+      for i = 0 to 7 {
+        a[i] = x * float(i);
+        b[i] = 1.0;
+      }
+      if (rank == 0) {
+        call send_wrap(a, 1, 5);
+        call send_wrap(b, 1, 6);
+      } else {
+        call recv_wrap(g, 0, 5);
+        call recv_wrap(b, 0, 6);
+      }
+      out = g[0] + b[1];
+    }
+    """

@@ -1,0 +1,204 @@
+"""Hypothesis strategies generating random, well-formed SPMD programs.
+
+Programs are guaranteed to validate, terminate, and be deadlock-free on
+two ranks:
+
+* all loops are bounded ``for`` loops;
+* point-to-point communication follows the canonical SPMD pattern —
+  rank 0 sends, rank 1 receives, each event on a fresh tag, in program
+  order;
+* collectives appear only at the top level (every rank reaches them in
+  the same sequence);
+* expressions avoid division and unbounded growth (sin/cos only).
+
+The generator builds an AST, prints it, and re-parses so every node
+carries real source locations (the reaching-constants soundness check
+matches dynamic assignment logs by line number).
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+
+from repro.ir import builder as b
+from repro.ir import parse_program, print_program
+from repro.ir.ast_nodes import Program
+from repro.ir.types import INT, REAL, array_of
+
+REAL_VARS = ["x", "r0", "r1", "r2"]
+INT_VARS = ["i0", "i1"]
+ARRAY = "arr"
+ARRAY_LEN = 5
+
+
+@st.composite
+def _numeric_leaf(draw, int_mode=False):
+    if int_mode:
+        return draw(
+            st.one_of(
+                st.integers(min_value=0, max_value=4).map(b.lit),
+                st.sampled_from(INT_VARS).map(b.var),
+            )
+        )
+    return draw(
+        st.one_of(
+            st.floats(
+                min_value=-2.0, max_value=2.0, allow_nan=False, allow_infinity=False
+            ).map(b.lit),
+            st.sampled_from(REAL_VARS).map(b.var),
+            st.builds(
+                lambda i: b.aref(ARRAY, b.fn("mod", i, ARRAY_LEN)),
+                st.sampled_from(INT_VARS).map(b.var),
+            ),
+        )
+    )
+
+
+@st.composite
+def _real_expr(draw, depth=2):
+    if depth <= 0:
+        return draw(_numeric_leaf())
+    kind = draw(st.integers(min_value=0, max_value=4))
+    if kind == 0:
+        return draw(_numeric_leaf())
+    if kind == 1:
+        return b.add(draw(_real_expr(depth - 1)), draw(_real_expr(depth - 1)))
+    if kind == 2:
+        return b.mul(draw(_real_expr(depth - 1)), draw(_real_expr(depth - 1)))
+    if kind == 3:
+        return b.sub(draw(_real_expr(depth - 1)), draw(_real_expr(depth - 1)))
+    return b.fn(draw(st.sampled_from(["sin", "cos"])), draw(_real_expr(depth - 1)))
+
+
+@st.composite
+def _assign_stmt(draw):
+    target_kind = draw(st.integers(min_value=0, max_value=3))
+    if target_kind == 0:
+        return b.assign(draw(st.sampled_from(INT_VARS)), draw(_int_expr()))
+    if target_kind == 1:
+        idx = b.fn("mod", b.var(draw(st.sampled_from(INT_VARS))), ARRAY_LEN)
+        return b.assign(b.aref(ARRAY, idx), draw(_real_expr()))
+    return b.assign(draw(st.sampled_from(REAL_VARS)), draw(_real_expr()))
+
+
+@st.composite
+def _int_expr(draw, depth=1):
+    if depth <= 0:
+        return draw(_numeric_leaf(int_mode=True))
+    kind = draw(st.integers(min_value=0, max_value=2))
+    if kind == 0:
+        return draw(_numeric_leaf(int_mode=True))
+    if kind == 1:
+        return b.add(draw(_int_expr(depth - 1)), draw(_int_expr(depth - 1)))
+    return b.fn("mod", draw(_int_expr(depth - 1)), b.lit(3))
+
+
+@st.composite
+def _plain_block(draw, max_stmts=3):
+    n = draw(st.integers(min_value=1, max_value=max_stmts))
+    return [draw(_assign_stmt()) for _ in range(n)]
+
+
+@st.composite
+def _segment(draw, tag_counter):
+    """One top-level segment; may be communication or local compute."""
+    kind = draw(st.integers(min_value=0, max_value=10))
+    if kind == 9:  # by-reference helper call (interprocedural paths)
+        a = draw(st.sampled_from(REAL_VARS))
+        candidates = [v for v in REAL_VARS if v != a]
+        c = draw(st.sampled_from(candidates))
+        return [b.call("mix", b.var(a), b.var(c))]
+    if kind == 10:  # communication through a wrapper procedure
+        v = draw(st.sampled_from(REAL_VARS))
+        return [b.call("xchg", b.var(v), next(tag_counter))]
+    if kind == 7:  # gather a scalar from both ranks (nprocs = 2)
+        src = draw(st.sampled_from(REAL_VARS))
+        return [
+            b.call("mpi_gather", b.var(src), b.var("pair"), 0, b.comm_world())
+        ]
+    if kind == 8:  # scatter the pair back to a scalar
+        dst = draw(st.sampled_from(REAL_VARS))
+        return [
+            b.call("mpi_scatter", b.var("pair"), b.var(dst), 0, b.comm_world())
+        ]
+    if kind == 0:  # rank-branched local compute
+        return [
+            b.if_(
+                b.eq(b.rank(), 0),
+                draw(_plain_block()),
+                draw(_plain_block()),
+            )
+        ]
+    if kind == 1:  # bounded for loop
+        loop_var = draw(st.sampled_from(INT_VARS))
+        return [b.for_(loop_var, 0, draw(st.integers(1, 3)), draw(_plain_block()))]
+    if kind == 2:  # point-to-point: rank 0 -> rank 1, fresh tag
+        tag = next(tag_counter)
+        sent = draw(st.sampled_from(REAL_VARS))
+        received = draw(st.sampled_from(REAL_VARS))
+        return [
+            b.if_(
+                b.eq(b.rank(), 0),
+                [b.call("mpi_send", b.var(sent), 1, tag, b.comm_world())],
+                [b.call("mpi_recv", b.var(received), 0, tag, b.comm_world())],
+            )
+        ]
+    if kind == 3:  # broadcast
+        buf = draw(st.sampled_from(REAL_VARS))
+        return [b.call("mpi_bcast", b.var(buf), 0, b.comm_world())]
+    if kind == 4:  # allreduce
+        src = draw(st.sampled_from(REAL_VARS))
+        dst = draw(st.sampled_from([v for v in REAL_VARS if v != src]))
+        return [
+            b.call("mpi_allreduce", b.var(src), b.var(dst), b.var("sum"), b.comm_world())
+        ]
+    return draw(_plain_block())
+
+
+@st.composite
+def spmd_programs(draw, max_segments=6) -> Program:
+    """A random deadlock-free two-rank SPMD program.
+
+    ``main(real x, real out)``: seed ``x`` as the independent, read
+    ``out`` as the dependent.
+    """
+    import itertools
+
+    tag_counter = itertools.count(100)
+    body = [
+        b.decl("r0", REAL, 0.5),
+        b.decl("r1", REAL, b.mul(b.var("x"), 2.0)),
+        b.decl("r2", REAL, 1.0),
+        b.decl("i0", INT, 0),
+        b.decl("i1", INT, 1),
+        b.decl(ARRAY, array_of(REAL, ARRAY_LEN)),
+        b.decl("pair", array_of(REAL, 2)),  # gather/scatter buffer (2 ranks)
+    ]
+    n = draw(st.integers(min_value=1, max_value=max_segments))
+    for _ in range(n):
+        body.extend(draw(_segment(tag_counter)))
+    final = draw(st.sampled_from(REAL_VARS))
+    body.append(b.assign("out", b.var(final)))
+    mix = b.proc(
+        "mix",
+        [b.param("a", REAL), b.param("c", REAL)],
+        b.assign("a", b.add(b.mul(0.5, "a"), "c")),
+        b.assign("c", b.add("c", 1.0)),
+    )
+    xchg = b.proc(
+        "xchg",
+        [b.param("v", REAL), b.param("tag", INT)],
+        b.if_(
+            b.eq(b.rank(), 0),
+            [b.call("mpi_send", b.var("v"), 1, b.var("tag"), b.comm_world())],
+            [b.call("mpi_recv", b.var("v"), 0, b.var("tag"), b.comm_world())],
+        ),
+    )
+    prog = b.program(
+        "generated",
+        mix,
+        xchg,
+        b.proc("main", [b.param("x", REAL), b.param("out", REAL)], *body),
+    )
+    # Round-trip through the printer so nodes carry source locations.
+    return parse_program(print_program(prog))

@@ -1,0 +1,140 @@
+"""Tests for activity analysis and its byte accounting (§2, §5)."""
+
+import pytest
+
+from repro.analyses import MpiModel, activity_analysis
+from repro.cfg import build_icfg
+from repro.ir import parse_program
+from repro.mpi import build_mpi_cfg, build_mpi_icfg
+
+
+def names(symbols):
+    return {name for _, name in symbols}
+
+
+class TestFigure1Activity:
+    """§2: the activity sets of the running example."""
+
+    def test_comm_edges_model(self, fig1_mpi_cfg):
+        res = activity_analysis(fig1_mpi_cfg, ["x"], ["f"], MpiModel.COMM_EDGES)
+        assert names(res.active_symbols) == {"x", "y", "z", "f"}
+
+    def test_naive_model_incorrectly_empty(self, fig1_program):
+        icfg = build_icfg(fig1_program, "main")
+        res = activity_analysis(icfg, ["x"], ["f"], MpiModel.IGNORE)
+        assert res.active_symbols == frozenset()
+
+    def test_global_buffer_model_correct_here(self, fig1_icfg):
+        res = activity_analysis(fig1_icfg, ["x"], ["f"], MpiModel.GLOBAL_BUFFER)
+        assert names(res.active_symbols) >= {"x", "y", "z", "f"}
+
+    def test_active_bytes(self, fig1_mpi_cfg):
+        res = activity_analysis(fig1_mpi_cfg, ["x"], ["f"], MpiModel.COMM_EDGES)
+        assert res.active_bytes == 4 * 8  # four active real scalars
+
+    def test_deriv_bytes(self, fig1_mpi_cfg):
+        res = activity_analysis(fig1_mpi_cfg, ["x"], ["f"], MpiModel.COMM_EDGES)
+        assert res.num_independents == 1
+        assert res.deriv_bytes == res.active_bytes
+
+    def test_active_at_node(self, fig1_mpi_cfg):
+        res = activity_analysis(fig1_mpi_cfg, ["x"], ["f"], MpiModel.COMM_EDGES)
+        union = set()
+        for nid in fig1_mpi_cfg.graph.nodes:
+            union |= res.active_at(nid)
+        assert {q.split("::")[-1] for q in union} == {"x", "y", "z", "f"}
+
+    def test_iterations_reported(self, fig1_mpi_cfg):
+        res = activity_analysis(fig1_mpi_cfg, ["x"], ["f"], MpiModel.COMM_EDGES)
+        assert res.iterations == max(res.vary.iterations, res.useful.iterations)
+        assert res.total_iterations >= res.iterations
+
+
+class TestByteAccounting:
+    SRC = """
+    program t;
+    global real garr[10];
+    proc wrapper(real buf[10], int tag) {
+      call mpi_send(buf, 1, tag, comm_world);
+      call mpi_recv(buf, 0, tag, comm_world);
+    }
+    proc main(real x, real out) {
+      real local_arr[5];
+      int i;
+      for i = 0 to 9 {
+        garr[i] = x;
+      }
+      call wrapper(garr, 10);
+      call wrapper(garr, 20);
+      for i = 0 to 4 {
+        local_arr[i] = garr[i];
+      }
+      out = local_arr[0];
+    }
+    """
+
+    def test_array_independent_element_count(self):
+        src = """
+        program t;
+        proc main(real v[7], real out) {
+          out = v[0];
+        }
+        """
+        icfg, _ = build_mpi_cfg(parse_program(src), "main")
+        res = activity_analysis(icfg, ["v"], ["out"], MpiModel.COMM_EDGES)
+        assert res.num_independents == 7
+        assert res.deriv_bytes == 7 * res.active_bytes
+
+    def test_clones_not_double_counted(self):
+        prog = parse_program(self.SRC)
+        icfg1, _ = build_mpi_icfg(prog, "main", clone_level=0)
+        icfg2, _ = build_mpi_icfg(prog, "main", clone_level=1)
+        r1 = activity_analysis(icfg1, ["x"], ["out"], MpiModel.COMM_EDGES)
+        r2 = activity_analysis(icfg2, ["x"], ["out"], MpiModel.COMM_EDGES)
+        assert len(icfg2.instances_of("wrapper")) == 2
+        # Cloning must never *increase* measured storage.
+        assert r2.active_bytes <= r1.active_bytes
+
+    def test_wrapper_params_not_counted(self):
+        prog = parse_program(self.SRC)
+        icfg, _ = build_mpi_icfg(prog, "main", clone_level=1)
+        res = activity_analysis(icfg, ["x"], ["out"], MpiModel.COMM_EDGES)
+        # garr(80) + x(8) + out(8) + local_arr(40); the wrapper's `buf`
+        # parameter aliases garr and owns no storage.
+        assert ("wrapper", "buf") in res.active_symbols
+        assert res.active_bytes == 80 + 8 + 8 + 40
+
+    def test_root_params_counted(self):
+        src = """
+        program t;
+        proc main(real x, real out) {
+          out = x;
+        }
+        """
+        icfg, _ = build_mpi_cfg(parse_program(src), "main")
+        res = activity_analysis(icfg, ["x"], ["out"], MpiModel.COMM_EDGES)
+        assert res.active_bytes == 16
+
+
+class TestPrecisionOrdering:
+    """MPI-ICFG ⊆ global-buffer ICFG active sets (the paper's claim
+    that the MPI-ICFG only ever improves precision)."""
+
+    @pytest.mark.parametrize(
+        "bench", ["Biostat", "SOR", "CG", "LU-1", "MG-2", "Sw-3"]
+    )
+    def test_mpi_subset_of_icfg(self, bench):
+        from repro.programs import benchmark
+
+        spec = benchmark(bench)
+        prog = spec.program()
+        icfg = build_icfg(prog, spec.root, clone_level=spec.clone_level)
+        base = activity_analysis(
+            icfg, spec.independents, spec.dependents, MpiModel.GLOBAL_BUFFER
+        )
+        mpi_icfg, _ = build_mpi_icfg(prog, spec.root, clone_level=spec.clone_level)
+        ours = activity_analysis(
+            mpi_icfg, spec.independents, spec.dependents, MpiModel.COMM_EDGES
+        )
+        assert ours.active_symbols <= base.active_symbols
+        assert ours.active_bytes <= base.active_bytes

@@ -1,0 +1,250 @@
+"""Tests for the activity-driven forward-mode AD transform."""
+
+import pytest
+
+from repro.ad import ADError, TAG_SHIFT, differentiate, shadow_name
+from repro.analyses import MpiModel, activity_analysis
+from repro.ir import parse_program, print_program, validate_program
+from repro.mpi import build_mpi_cfg
+from repro.runtime import RunConfig, run_spmd
+
+
+def derive(source, independents, dependents, root="main"):
+    from repro.mpi import build_mpi_icfg
+
+    prog = parse_program(source)
+    icfg, _ = build_mpi_icfg(prog, root)
+    act = activity_analysis(icfg, independents, dependents, MpiModel.COMM_EDGES)
+    return prog, differentiate(prog, act.active_symbols, icfg=icfg)
+
+
+def fd_check(prog, deriv, x0, out="f", seed="x", nprocs=1, h=1e-7, rank=0):
+    base = run_spmd(
+        prog, RunConfig(nprocs=nprocs, timeout=5.0), inputs={seed: x0}
+    ).value(rank, out)
+    bumped = run_spmd(
+        prog, RunConfig(nprocs=nprocs, timeout=5.0), inputs={seed: x0 + h}
+    ).value(rank, out)
+    fd = (bumped - base) / h
+    ad = run_spmd(
+        deriv.program,
+        RunConfig(nprocs=nprocs, timeout=5.0),
+        inputs={seed: x0, shadow_name(seed): 1.0},
+    ).value(rank, shadow_name(out))
+    assert ad == pytest.approx(fd, rel=1e-4, abs=1e-5), (ad, fd)
+    return ad
+
+
+class TestScalarDerivatives:
+    def check(self, rhs, x0=0.7):
+        src = f"program t;\nproc main(real x, real f) {{\nf = {rhs};\n}}\n"
+        prog, deriv = derive(src, ["x"], ["f"])
+        return fd_check(prog, deriv, x0)
+
+    def test_linear(self):
+        assert self.check("3.0 * x + 1.0") == pytest.approx(3.0)
+
+    def test_product_rule(self):
+        self.check("x * x * x")
+
+    def test_quotient_rule(self):
+        self.check("(x + 1.0) / (x + 2.0)")
+
+    def test_chain_rule_sin(self):
+        self.check("sin(2.0 * x)")
+
+    def test_exp_log(self):
+        self.check("log(exp(x) + 1.0)")
+
+    def test_sqrt(self):
+        self.check("sqrt(x + 4.0)")
+
+    def test_constant_power(self):
+        self.check("x ** 3")
+
+    def test_general_power(self):
+        self.check("(x + 2.0) ** (x + 1.0)", x0=0.5)
+
+    def test_unary_minus(self):
+        assert self.check("-x") == pytest.approx(-1.0)
+
+    def test_abs(self):
+        assert self.check("abs(x)", x0=0.5) == pytest.approx(1.0)
+
+    def test_tan_and_cos(self):
+        self.check("tan(x) + cos(x)", x0=0.3)
+
+
+class TestControlFlowDerivatives:
+    def test_loop_accumulation(self):
+        src = """
+        program t;
+        proc main(real x, real f) {
+          int i;
+          f = 0.0;
+          for i = 1 to 4 {
+            f = f + x * float(i);
+          }
+        }
+        """
+        prog, deriv = derive(src, ["x"], ["f"])
+        assert fd_check(prog, deriv, 1.3) == pytest.approx(10.0)
+
+    def test_branch(self):
+        src = """
+        program t;
+        proc main(real x, real f) {
+          if (x > 0.0) {
+            f = x * x;
+          } else {
+            f = -x;
+          }
+        }
+        """
+        prog, deriv = derive(src, ["x"], ["f"])
+        assert fd_check(prog, deriv, 2.0) == pytest.approx(4.0)
+
+    def test_procedure_call(self):
+        src = """
+        program t;
+        proc square(real v, real sq) {
+          sq = v * v;
+        }
+        proc main(real x, real f) {
+          call square(x, f);
+        }
+        """
+        prog, deriv = derive(src, ["x"], ["f"])
+        assert fd_check(prog, deriv, 3.0) == pytest.approx(6.0)
+
+    def test_array_loop(self):
+        src = """
+        program t;
+        proc main(real x, real f) {
+          real a[4];
+          int i;
+          for i = 0 to 3 {
+            a[i] = x * float(i + 1);
+          }
+          f = a[0] * a[3];
+        }
+        """
+        prog, deriv = derive(src, ["x"], ["f"])
+        self_d = fd_check(prog, deriv, 1.1)
+        assert self_d == pytest.approx(2 * 1.1 * 4.0)
+
+
+class TestMpiDerivatives:
+    def test_figure1_end_to_end(self, fig1_program):
+        icfg, _ = build_mpi_cfg(fig1_program, "main")
+        act = activity_analysis(icfg, ["x"], ["f"], MpiModel.COMM_EDGES)
+        deriv = differentiate(fig1_program, act.active_symbols)
+        ad = fd_check(fig1_program, deriv, 0.3, nprocs=2)
+        assert ad == pytest.approx(7.0)  # d f / d x = b = 7 via the message
+
+    def test_tangent_messages_use_shifted_tags(self, fig1_program):
+        icfg, _ = build_mpi_cfg(fig1_program, "main")
+        act = activity_analysis(icfg, ["x"], ["f"], MpiModel.COMM_EDGES)
+        deriv = differentiate(fig1_program, act.active_symbols)
+        text = print_program(deriv.program)
+        assert f"+ {TAG_SHIFT}" in text
+
+    def test_inactive_buffers_not_mirrored(self):
+        src = """
+        program t;
+        proc main(real x, real f) {
+          real c;
+          c = 1.0;
+          call mpi_send(c, 1, 9, comm_world);
+          f = x;
+        }
+        """
+        prog, deriv = derive(src, ["x"], ["f"])
+        text = print_program(deriv.program)
+        assert text.count("mpi_send") == 1  # constant payload: no tangent send
+
+    def test_nonlinear_reduction_rejected(self):
+        src = """
+        program t;
+        proc main(real x, real f) {
+          call mpi_reduce(x, f, max, 0, comm_world);
+        }
+        """
+        prog = parse_program(src)
+        icfg, _ = build_mpi_cfg(prog, "main")
+        act = activity_analysis(icfg, ["x"], ["f"], MpiModel.COMM_EDGES)
+        with pytest.raises(ADError, match="nonlinear"):
+            differentiate(prog, act.active_symbols)
+
+    def test_sum_reduction_differentiated(self):
+        src = """
+        program t;
+        proc main(real x, real f) {
+          real mine;
+          mine = x * float(mpi_comm_rank() + 1);
+          call mpi_reduce(mine, f, sum, 0, comm_world);
+        }
+        """
+        prog, deriv = derive(src, ["x"], ["f"])
+        ad = fd_check(prog, deriv, 1.0, nprocs=2)
+        assert ad == pytest.approx(3.0)  # 1*x + 2*x summed
+
+
+class TestTransformHygiene:
+    def test_result_validates(self, fig1_program):
+        icfg, _ = build_mpi_cfg(fig1_program, "main")
+        act = activity_analysis(icfg, ["x"], ["f"], MpiModel.COMM_EDGES)
+        deriv = differentiate(fig1_program, act.active_symbols)
+        validate_program(deriv.program)  # must not raise
+
+    def test_shadow_bytes_equal_active_bytes(self, fig1_program):
+        icfg, _ = build_mpi_cfg(fig1_program, "main")
+        act = activity_analysis(icfg, ["x"], ["f"], MpiModel.COMM_EDGES)
+        deriv = differentiate(fig1_program, act.active_symbols)
+        assert deriv.shadow_bytes == act.active_bytes
+
+    def test_inactive_variables_get_no_shadow(self, fig1_program):
+        icfg, _ = build_mpi_cfg(fig1_program, "main")
+        act = activity_analysis(icfg, ["x"], ["f"], MpiModel.COMM_EDGES)
+        deriv = differentiate(fig1_program, act.active_symbols)
+        text = print_program(deriv.program)
+        assert "d_b" not in text  # b is inactive in Figure 1
+
+    def test_activity_filtering_shrinks_storage(self, fig1_program):
+        icfg, _ = build_mpi_cfg(fig1_program, "main")
+        act = activity_analysis(icfg, ["x"], ["f"], MpiModel.COMM_EDGES)
+        precise = differentiate(fig1_program, act.active_symbols)
+        # "No activity analysis": every real symbol is active.
+        symtab = validate_program(fig1_program)
+        all_reals = {
+            s.origin_key for s in symtab.all_symbols() if s.type.is_real
+        }
+        blanket = differentiate(fig1_program, all_reals)
+        assert precise.shadow_bytes < blanket.shadow_bytes
+
+    def test_shadow_name_collision_rejected(self):
+        src = """
+        program t;
+        proc main(real x, real d_x, real f) {
+          f = x + d_x;
+        }
+        """
+        prog = parse_program(src)
+        with pytest.raises(ADError, match="already in use"):
+            differentiate(prog, {("main", "x")})
+
+    def test_unknown_active_symbol_rejected(self, fig1_program):
+        with pytest.raises(ADError, match="not declared"):
+            differentiate(fig1_program, {("main", "ghost")})
+
+    def test_non_real_active_symbol_rejected(self):
+        src = "program t;\nproc main(int n, real f) { f = float(n); }"
+        prog = parse_program(src)
+        with pytest.raises(ADError, match="not real-typed"):
+            differentiate(prog, {("main", "n")})
+
+    def test_min_in_active_expression_rejected(self):
+        src = "program t;\nproc main(real x, real f) { f = min(x, 1.0); }"
+        prog, _icfg = parse_program(src), None
+        with pytest.raises(ADError, match="min/max"):
+            differentiate(prog, {("main", "x"), ("main", "f")})

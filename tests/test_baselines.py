@@ -1,0 +1,112 @@
+"""Tests for the §2 baselines, especially the two-copy equivalence."""
+
+import pytest
+
+from repro.analyses import MpiModel, activity_analysis
+from repro.baselines import (
+    build_two_copy,
+    icfg_activity,
+    strip_copy_suffix,
+    two_copy_activity,
+)
+from repro.cfg.node import EdgeKind
+from repro.ir import parse_program
+from repro.mpi import build_mpi_icfg
+from repro.programs import benchmark
+
+
+class TestStripSuffix:
+    def test_strip(self):
+        assert strip_copy_suffix("main__p0") == "main"
+        assert strip_copy_suffix("wrap__p1$2") == "wrap$2"
+        assert strip_copy_suffix("plain") == "plain"
+
+
+class TestTwoCopyConstruction:
+    def test_copies_share_one_graph(self, fig1_program):
+        two = build_two_copy(fig1_program, "main")
+        g0 = two.copies[0].graph
+        g1 = two.copies[1].graph
+        assert g0 is g1 is two.merged.graph
+
+    def test_namespaces_disjoint(self, fig1_program):
+        two = build_two_copy(fig1_program, "main")
+        names0 = set(two.copies[0].procs)
+        names1 = set(two.copies[1].procs)
+        assert names0.isdisjoint(names1)
+
+    def test_comm_edges_only_between_copies(self, fig1_program):
+        two = build_two_copy(fig1_program, "main")
+        copy0 = set(two.copies[0].procs)
+        for e in two.merged.graph.edges_of_kind(EdgeKind.COMM):
+            src_in_0 = two.merged.graph.node(e.src).proc in copy0
+            dst_in_0 = two.merged.graph.node(e.dst).proc in copy0
+            assert src_in_0 != dst_in_0
+
+    def test_entries_and_exits(self, fig1_program):
+        two = build_two_copy(fig1_program, "main")
+        assert len(two.entries) == 2 and len(two.exits) == 2
+
+    def test_globals_duplicated(self, wrapped_sendrecv_source):
+        prog = parse_program(wrapped_sendrecv_source)
+        two = build_two_copy(prog, "main")
+        gnames = set(two.merged.symtab.globals)
+        assert "g__p0" in gnames and "g__p1" in gnames
+
+
+class TestTwoCopyEquivalence:
+    """§2: the MPI-ICFG provides "results with equivalent precision" to
+    the two-copy approach."""
+
+    def single_copy(self, prog, root, ind, dep, level=0):
+        icfg, _ = build_mpi_icfg(prog, root, clone_level=level)
+        return activity_analysis(icfg, ind, dep, MpiModel.COMM_EDGES)
+
+    def test_figure1(self, fig1_program):
+        single = self.single_copy(fig1_program, "main", ["x"], ["f"])
+        double = two_copy_activity(
+            build_two_copy(fig1_program, "main"), ["x"], ["f"]
+        )
+        assert single.active_symbols == double.active_symbols
+        assert single.active_bytes == double.active_bytes
+
+    def test_wrapped_program(self, wrapped_sendrecv_source):
+        prog = parse_program(wrapped_sendrecv_source)
+        single = self.single_copy(prog, "main", ["x"], ["out"], level=1)
+        double = two_copy_activity(
+            build_two_copy(prog, "main", clone_level=1), ["x"], ["out"]
+        )
+        assert single.active_symbols == double.active_symbols
+
+    @pytest.mark.parametrize("bench", ["SOR", "CG", "Sw-3"])
+    def test_benchmarks(self, bench):
+        spec = benchmark(bench)
+        prog = spec.program()
+        single = self.single_copy(
+            prog, spec.root, spec.independents, spec.dependents, spec.clone_level
+        )
+        double = two_copy_activity(
+            build_two_copy(prog, spec.root, clone_level=spec.clone_level),
+            spec.independents,
+            spec.dependents,
+        )
+        assert single.active_symbols == double.active_symbols
+        assert single.active_bytes == double.active_bytes
+
+    def test_num_independents_not_doubled(self, fig1_program):
+        double = two_copy_activity(
+            build_two_copy(fig1_program, "main"), ["x"], ["f"]
+        )
+        assert double.num_independents == 1
+
+
+class TestIcfgActivityHelper:
+    def test_matches_direct_call(self, fig1_program):
+        from repro.cfg import build_icfg
+
+        helper = icfg_activity(fig1_program, "main", ["x"], ["f"])
+        direct = activity_analysis(
+            build_icfg(fig1_program, "main"), ["x"], ["f"], MpiModel.GLOBAL_BUFFER
+        )
+        assert helper.active_symbols == direct.active_symbols
+        assert helper.active_bytes == direct.active_bytes

@@ -1,0 +1,157 @@
+"""Tests for the AST builder helpers and the renaming rewriter."""
+
+import pytest
+
+from repro.ir import builder as b
+from repro.ir import parse_program, print_program, validate_program
+from repro.ir.rewrite import rename_program, rewrite_expr
+from repro.ir.types import INT, REAL, array_of
+
+
+class TestBuilder:
+    def test_as_expr_coercions(self):
+        from repro.ir import BoolLit, IntLit, RealLit, VarRef
+
+        assert b.as_expr(3) == IntLit(3)
+        assert b.as_expr(2.5) == RealLit(2.5)
+        assert b.as_expr(True) == BoolLit(True)
+        assert b.as_expr("v") == VarRef("v")
+
+    def test_as_expr_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            b.as_expr([1, 2])
+
+    def test_comparison_helpers(self):
+        for helper, op in [
+            (b.eq, "=="), (b.ne, "!="), (b.lt, "<"),
+            (b.le, "<="), (b.gt, ">"), (b.ge, ">="),
+        ]:
+            assert helper("a", 1).op == op
+
+    def test_built_program_validates(self):
+        prog = b.program(
+            "demo",
+            b.proc(
+                "main",
+                [b.param("x", REAL)],
+                b.decl("y", REAL, 0.0),
+                b.decl("i", INT),
+                b.for_("i", 0, 3, [b.assign("y", b.add("y", "x"))]),
+                b.if_(b.gt("y", 1.0), [b.assign("y", 1.0)], [b.ret()]),
+                b.call("mpi_send", b.var("y"), 1, 5, b.comm_world()),
+            ),
+        )
+        validate_program(prog)
+
+    def test_builder_output_printable(self):
+        prog = b.program(
+            "demo",
+            b.proc(
+                "main",
+                [],
+                b.decl("a", array_of(REAL, 3)),
+                b.assign(b.aref("a", 0), b.fn("sin", 1.0)),
+                b.while_(b.lt(b.aref("a", 0), 1.0), [b.assign(b.aref("a", 0), 2.0)]),
+            ),
+        )
+        reparsed = parse_program(print_program(prog))
+        assert reparsed == prog
+
+
+class TestRenameProgram:
+    SRC = """
+    program base;
+    global real g[3];
+    proc helper(real v) {
+      v = g[0] + v;
+    }
+    proc main(real x) {
+      real local_only;
+      call helper(x);
+      call mpi_send(g, 1, 4, comm_world);
+      g[1] = sin(x);
+    }
+    """
+
+    def test_names_suffixed(self):
+        prog = parse_program(self.SRC)
+        renamed = rename_program(prog, "__c")
+        assert renamed.proc_names == ("helper__c", "main__c")
+        assert renamed.globals[0].name == "g__c"
+
+    def test_global_references_rewritten(self):
+        prog = parse_program(self.SRC)
+        renamed = rename_program(prog, "__c")
+        text = print_program(renamed)
+        assert "g__c[0]" in text and "g__c[1]" in text
+        assert "mpi_send(g__c," in text
+
+    def test_locals_and_params_untouched(self):
+        prog = parse_program(self.SRC)
+        text = print_program(rename_program(prog, "__c"))
+        assert "real local_only;" in text
+        assert "main__c(real x)" in text
+
+    def test_mpi_and_intrinsics_untouched(self):
+        prog = parse_program(self.SRC)
+        text = print_program(rename_program(prog, "__c"))
+        assert "call mpi_send" in text
+        assert "sin(x)" in text
+        assert "comm_world" in text
+
+    def test_call_targets_rewritten(self):
+        prog = parse_program(self.SRC)
+        text = print_program(rename_program(prog, "__c"))
+        assert "call helper__c(x);" in text
+
+    def test_renamed_program_validates(self):
+        prog = parse_program(self.SRC)
+        validate_program(rename_program(prog, "__c"))
+
+    def test_rewrite_expr_custom_map(self):
+        from repro.ir import parse_expr, print_expr
+
+        e = parse_expr("a + b[i] * sin(a)")
+        out = rewrite_expr(e, lambda n: n.upper())
+        assert print_expr(out) == "A + B[I] * sin(A)"
+
+
+class TestMpiOpsAndIntrinsics:
+    def test_mpi_op_lookup(self):
+        from repro.ir import is_mpi_op, mpi_op
+
+        assert is_mpi_op("mpi_send") and not is_mpi_op("send")
+        op = mpi_op("mpi_reduce")
+        assert op.arity == 5
+        with pytest.raises(KeyError):
+            mpi_op("mpi_frobnicate")
+
+    def test_positions(self):
+        from repro.ir import ArgRole, mpi_op
+
+        op = mpi_op("mpi_send")
+        assert op.position(ArgRole.TAG) == 2
+        assert op.position(ArgRole.ROOT) is None
+        assert op.data_positions == (0,)
+
+    def test_bcast_inout(self):
+        from repro.ir import ArgRole, mpi_op
+
+        op = mpi_op("mpi_bcast")
+        assert op.position(ArgRole.DATA_INOUT) == 0
+
+    def test_intrinsic_lookup(self):
+        from repro.ir import intrinsic, is_intrinsic
+
+        assert is_intrinsic("sin") and not is_intrinsic("sinh")
+        assert intrinsic("sin").differentiable
+        assert not intrinsic("mod").differentiable
+        with pytest.raises(KeyError):
+            intrinsic("sinh")
+
+    def test_intrinsic_result_types(self):
+        from repro.ir import INT, REAL, intrinsic
+
+        assert intrinsic("floor").result_type((REAL,)) == INT
+        assert intrinsic("abs").result_type((INT,)) == INT
+        assert intrinsic("abs").result_type((REAL,)) == REAL

@@ -1,0 +1,174 @@
+"""Unit tests for call-graph construction, clone sets, and the ICFG."""
+
+import pytest
+
+from repro.cfg import (
+    CallNode,
+    EdgeKind,
+    NodeKind,
+    build_call_graph,
+    build_icfg,
+)
+from repro.ir import parse_program, validate_program
+
+
+LAYERED = """
+program layered;
+proc leaf_send(real b[4], int t) {
+  call mpi_send(b, 1, t, comm_world);
+}
+proc leaf_recv(real b[4], int t) {
+  call mpi_recv(b, 0, t, comm_world);
+}
+proc mid(real b[4], int t) {
+  call leaf_send(b, t);
+}
+proc top(real b[4]) {
+  call mid(b, 7);
+  call mid(b, 8);
+}
+proc main() {
+  real a[4];
+  real c[4];
+  call top(a);
+  call leaf_recv(c, 7);
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def layered():
+    return parse_program(LAYERED)
+
+
+class TestCallGraph:
+    def test_calls_and_callers(self, layered):
+        cg = build_call_graph(layered)
+        assert cg.calls["top"] == {"mid"}
+        assert cg.calls["mid"] == {"leaf_send"}
+        assert cg.callers["mid"] == {"top"}
+        assert cg.calls["leaf_send"] == set()
+
+    def test_sendrecv_procs(self, layered):
+        cg = build_call_graph(layered)
+        assert cg.sendrecv_procs == {"leaf_send", "leaf_recv"}
+
+    def test_reachable_from(self, layered):
+        cg = build_call_graph(layered)
+        assert cg.reachable_from("top") == {"top", "mid", "leaf_send"}
+        assert cg.reachable_from("leaf_recv") == {"leaf_recv"}
+
+    def test_sendrecv_distance(self, layered):
+        cg = build_call_graph(layered)
+        dist = cg.sendrecv_distance()
+        assert dist["leaf_send"] == 1
+        assert dist["mid"] == 2
+        assert dist["top"] == 3
+        assert dist["main"] == 2  # via leaf_recv
+
+    def test_clone_set_levels(self, layered):
+        cg = build_call_graph(layered)
+        assert cg.clone_set(0, "main") == set()
+        assert cg.clone_set(1, "main") == {"leaf_send", "leaf_recv"}
+        assert cg.clone_set(2, "main") == {"leaf_send", "leaf_recv", "mid"}
+        # The root is never cloned.
+        assert "main" not in cg.clone_set(5, "main")
+
+    def test_wrapper_depth(self, layered):
+        cg = build_call_graph(layered)
+        assert cg.wrapper_depth() == 3  # top is 3 levels from a send
+
+    def test_mpi_only_collectives_not_sendrecv(self):
+        prog = parse_program(
+            "program t;\nproc f(real x) { call mpi_bcast(x, 0, comm_world); }"
+        )
+        cg = build_call_graph(prog)
+        assert cg.mpi_procs == {"f"}
+        assert cg.sendrecv_procs == set()
+
+
+class TestICFG:
+    def test_instances_without_cloning(self, layered):
+        icfg = build_icfg(layered, "main", clone_level=0)
+        assert set(icfg.procs) == {"main", "top", "mid", "leaf_send", "leaf_recv"}
+        icfg.check_consistency()
+
+    def test_cloning_level_two(self, layered):
+        icfg = build_icfg(layered, "main", clone_level=2)
+        mids = icfg.instances_of("mid")
+        assert len(mids) == 2  # two call sites in top
+        sends = icfg.instances_of("leaf_send")
+        assert len(sends) == 2  # one per mid clone
+        icfg.check_consistency()
+
+    def test_call_edges_rewired(self, layered):
+        icfg = build_icfg(layered, "main")
+        for site in icfg.all_call_sites():
+            out_kinds = {e.kind for e in icfg.graph.out_edges(site.call_id)}
+            assert EdgeKind.CALL in out_kinds
+            assert EdgeKind.CALL_TO_RETURN in out_kinds
+            # No leftover provisional fall-through.
+            flows = [
+                e
+                for e in icfg.graph.out_edges(site.call_id)
+                if e.kind is EdgeKind.FLOW
+            ]
+            assert flows == []
+
+    def test_return_edges_target_return_sites(self, layered):
+        icfg = build_icfg(layered, "main")
+        for e in icfg.graph.edges_of_kind(EdgeKind.RETURN):
+            assert icfg.graph.node(e.dst).kind is NodeKind.RETURN_SITE
+            assert icfg.graph.node(e.src).kind is NodeKind.EXIT
+
+    def test_callee_instance_recorded(self, layered):
+        icfg = build_icfg(layered, "main", clone_level=2)
+        for node in icfg.graph.nodes.values():
+            if isinstance(node, CallNode):
+                assert node.callee_instance in icfg.procs
+
+    def test_region_restricted_to_root(self, layered):
+        icfg = build_icfg(layered, "top")
+        assert set(icfg.procs) == {"top", "mid", "leaf_send"}
+
+    def test_unknown_root_rejected(self, layered):
+        with pytest.raises(KeyError):
+            build_icfg(layered, "nosuch")
+
+    def test_recursion_terminates(self):
+        prog = parse_program(
+            """
+            program rec;
+            proc r(real x, int depth) {
+              call mpi_send(x, 1, 1, comm_world);
+              if (depth > 0) {
+                call r(x, depth - 1);
+              }
+            }
+            proc main() {
+              real x;
+              call r(x, 3);
+            }
+            """
+        )
+        icfg = build_icfg(prog, "main", clone_level=2)
+        icfg.check_consistency()
+        # The recursive call reuses an instance instead of expanding forever.
+        assert len(icfg.instances_of("r")) <= 2
+
+    def test_formals_of_clone(self, layered):
+        icfg = build_icfg(layered, "main", clone_level=2)
+        for inst in icfg.instances_of("mid"):
+            formals = icfg.formals_of(inst)
+            assert [p.name for p in formals] == ["b", "t"]
+
+    def test_mpi_nodes_across_instances(self, layered):
+        icfg = build_icfg(layered, "main", clone_level=2)
+        ops = sorted(n.op.name for n in icfg.mpi_nodes())
+        assert ops == ["mpi_recv", "mpi_send", "mpi_send"]
+
+    def test_shared_symtab_gets_clone_scopes(self, layered):
+        symtab = validate_program(layered)
+        icfg = build_icfg(layered, "main", clone_level=2, symtab=symtab)
+        for inst in icfg.instances_of("mid"):
+            assert symtab.try_lookup(inst, "b") is not None

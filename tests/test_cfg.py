@@ -1,0 +1,207 @@
+"""Unit tests for per-procedure CFG construction."""
+
+import pytest
+
+from repro.cfg import (
+    AssignNode,
+    BranchNode,
+    CallNode,
+    EdgeKind,
+    MpiNode,
+    NodeKind,
+    ReturnSiteNode,
+    build_proc_cfg,
+)
+from repro.ir import parse_program
+
+
+def cfg_for(body: str, extra: str = ""):
+    src = f"program t;\n{extra}\nproc main() {{\n{body}\n}}\n"
+    prog = parse_program(src)
+    graph, pcfg = build_proc_cfg(prog.proc("main"))
+    graph.check_consistency()
+    return graph, pcfg
+
+
+def nodes_of_kind(graph, kind):
+    return [n for n in graph.nodes.values() if n.kind is kind]
+
+
+class TestStraightLine:
+    def test_empty_body(self):
+        graph, pcfg = cfg_for("")
+        assert graph.flow_succs(pcfg.entry) == [pcfg.exit]
+
+    def test_single_assign(self):
+        graph, pcfg = cfg_for("real x = 1.0;")
+        assigns = nodes_of_kind(graph, NodeKind.ASSIGN)
+        assert len(assigns) == 1
+        assert graph.flow_succs(pcfg.entry) == [assigns[0].id]
+        assert graph.flow_succs(assigns[0].id) == [pcfg.exit]
+
+    def test_decl_without_init_creates_no_node(self):
+        graph, pcfg = cfg_for("real x;")
+        assert nodes_of_kind(graph, NodeKind.ASSIGN) == []
+        assert graph.flow_succs(pcfg.entry) == [pcfg.exit]
+
+    def test_sequence_order(self):
+        graph, _ = cfg_for("real x = 1.0;\nreal y = 2.0;\nreal z = 3.0;")
+        assigns = nodes_of_kind(graph, NodeKind.ASSIGN)
+        assert graph.flow_succs(assigns[0].id) == [assigns[1].id]
+        assert graph.flow_succs(assigns[1].id) == [assigns[2].id]
+
+
+class TestBranches:
+    def test_if_without_else(self):
+        graph, pcfg = cfg_for("real x;\nif (1 < 2) { x = 1.0; }")
+        (branch,) = nodes_of_kind(graph, NodeKind.BRANCH)
+        labels = {e.label for e in graph.out_edges(branch.id)}
+        assert labels == {"true", "false"}
+        # False edge reaches exit directly.
+        false_edge = [e for e in graph.out_edges(branch.id) if e.label == "false"]
+        assert false_edge[0].dst == pcfg.exit
+
+    def test_if_else_both_reach_join(self):
+        graph, pcfg = cfg_for(
+            "real x;\nif (1 < 2) { x = 1.0; } else { x = 2.0; }\nx = 3.0;"
+        )
+        assigns = nodes_of_kind(graph, NodeKind.ASSIGN)
+        join = [a for a in assigns if a.label() == "x = 3.0"][0]
+        preds = graph.flow_preds(join.id)
+        assert len(preds) == 2
+
+    def test_while_back_edge(self):
+        graph, pcfg = cfg_for("real x;\nwhile (1 < 2) { x = x + 1.0; }")
+        (branch,) = nodes_of_kind(graph, NodeKind.BRANCH)
+        (assign,) = nodes_of_kind(graph, NodeKind.ASSIGN)
+        assert branch.id in graph.flow_succs(assign.id)  # back edge
+
+    def test_for_lowering(self):
+        graph, _ = cfg_for("int i;\nreal s;\nfor i = 0 to 9 { s = s + 1.0; }")
+        assigns = nodes_of_kind(graph, NodeKind.ASSIGN)
+        # init, body, increment
+        assert len(assigns) == 3
+        (branch,) = nodes_of_kind(graph, NodeKind.BRANCH)
+        assert "<=" in branch.label()
+
+    def test_for_negative_step_condition(self):
+        graph, _ = cfg_for("int i;\nfor i = 9 to 0 step -1 {}")
+        (branch,) = nodes_of_kind(graph, NodeKind.BRANCH)
+        assert ">=" in branch.label()
+
+    def test_return_skips_rest(self):
+        graph, pcfg = cfg_for("real x;\nreturn;\nx = 1.0;")
+        # The trailing assignment is unreachable and never lowered.
+        assert nodes_of_kind(graph, NodeKind.ASSIGN) == []
+
+
+class TestCallsAndMpi:
+    def test_user_call_creates_pair(self):
+        graph, pcfg = cfg_for(
+            "call helper();", extra="proc helper() {}"
+        )
+        (call,) = nodes_of_kind(graph, NodeKind.CALL)
+        (ret,) = nodes_of_kind(graph, NodeKind.RETURN_SITE)
+        assert isinstance(call, CallNode) and isinstance(ret, ReturnSiteNode)
+        assert call.return_site == ret.id
+        assert ret.call_node == call.id
+        # Standalone CFG keeps the provisional fall-through edge.
+        assert ret.id in graph.flow_succs(call.id)
+        assert pcfg.call_sites[0].callee == "helper"
+
+    def test_mpi_call_single_node(self):
+        graph, pcfg = cfg_for(
+            "real x;\ncall mpi_send(x, 1, 9, comm_world);"
+        )
+        (node,) = nodes_of_kind(graph, NodeKind.MPI)
+        assert isinstance(node, MpiNode)
+        assert node.op.name == "mpi_send"
+        assert pcfg.mpi_node_ids == [node.id]
+        assert nodes_of_kind(graph, NodeKind.CALL) == []
+
+    def test_every_node_reachable_from_entry(self):
+        graph, pcfg = cfg_for(
+            """
+            real x;
+            int i;
+            if (1 < 2) { x = 1.0; } else { x = 2.0; }
+            for i = 0 to 3 { x = x * 2.0; }
+            while (x < 10.0) { x = x + 1.0; }
+            """
+        )
+        reachable = graph.reachable_from([pcfg.entry])
+        assert reachable == set(graph.nodes)
+
+    def test_node_labels_render(self):
+        graph, _ = cfg_for("real x = 1.0;\nif (x < 2.0) { x = 2.0; }")
+        for node in graph.nodes.values():
+            assert isinstance(node.label(), str) and node.label()
+
+
+class TestGraphContainer:
+    def test_duplicate_node_id_rejected(self):
+        from repro.cfg import FlowGraph, NoopNode
+
+        g = FlowGraph()
+        g.add_node(NoopNode(0, "p"))
+        with pytest.raises(ValueError):
+            g.add_node(NoopNode(0, "p"))
+
+    def test_edge_requires_endpoints(self):
+        from repro.cfg import FlowGraph, NoopNode
+
+        g = FlowGraph()
+        g.add_node(NoopNode(0, "p"))
+        with pytest.raises(KeyError):
+            g.add_edge(0, 1)
+
+    def test_add_edge_idempotent(self):
+        from repro.cfg import FlowGraph, NoopNode
+
+        g = FlowGraph()
+        g.add_node(NoopNode(0, "p"))
+        g.add_node(NoopNode(1, "p"))
+        g.add_edge(0, 1)
+        g.add_edge(0, 1)
+        assert len(list(g.edges())) == 1
+
+    def test_remove_edge(self):
+        from repro.cfg import FlowGraph, NoopNode
+
+        g = FlowGraph()
+        g.add_node(NoopNode(0, "p"))
+        g.add_node(NoopNode(1, "p"))
+        e = g.add_edge(0, 1)
+        g.remove_edge(e)
+        assert list(g.edges()) == []
+        g.check_consistency()
+
+    def test_comm_edges_excluded_from_flow(self):
+        from repro.cfg import FlowGraph, NoopNode
+
+        g = FlowGraph()
+        g.add_node(NoopNode(0, "p"))
+        g.add_node(NoopNode(1, "p"))
+        g.add_edge(0, 1, EdgeKind.COMM)
+        assert g.flow_succs(0) == []
+        assert g.comm_succs(0) == [1]
+        assert g.comm_preds(1) == [0]
+
+    def test_reverse_postorder_covers_everything(self):
+        graph, pcfg = cfg_for("real x;\nwhile (x < 1.0) { x = x + 1.0; }")
+        order = graph.reverse_postorder(pcfg.entry)
+        assert sorted(order) == sorted(graph.nodes)
+        assert order[0] == pcfg.entry
+
+    def test_multi_root_rpo(self):
+        from repro.cfg import FlowGraph, NoopNode
+
+        g = FlowGraph()
+        for i in range(4):
+            g.add_node(NoopNode(i, "p"))
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        order = g.reverse_postorder([0, 2])
+        assert order.index(0) < order.index(1)
+        assert order.index(2) < order.index(3)
+        assert sorted(order) == [0, 1, 2, 3]

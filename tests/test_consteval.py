@@ -1,0 +1,139 @@
+"""Unit tests for abstract constant evaluation of SPL expressions."""
+
+import pytest
+
+from repro.analyses.consteval import apply_binop, apply_intrinsic, apply_unop, eval_const
+from repro.dataflow.lattice import BOTTOM, TOP, const
+from repro.ir import parse_expr, parse_program, validate_program
+
+
+SRC = """
+program t;
+global real g;
+proc main() {
+  int i; int j;
+  real x;
+  real a[4];
+  bool flag;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def symtab():
+    return validate_program(parse_program(SRC))
+
+
+def ev(expr_text, env, symtab):
+    return eval_const(parse_expr(expr_text), env, symtab, "main")
+
+
+class TestLeafEvaluation:
+    def test_literals(self, symtab):
+        assert ev("42", {}, symtab) == const(42)
+        assert ev("2.5", {}, symtab) == const(2.5)
+        assert ev("true", {}, symtab) == const(True)
+
+    def test_variable_lookup(self, symtab):
+        env = {"main::i": const(7)}
+        assert ev("i", env, symtab) == const(7)
+
+    def test_unknown_variable_is_top(self, symtab):
+        assert ev("i", {}, symtab) == TOP
+
+    def test_undeclared_is_bottom(self, symtab):
+        assert ev("nothing_here", {}, symtab) == BOTTOM
+
+    def test_comm_world_constant(self, symtab):
+        assert ev("comm_world", {}, symtab) == const(0)
+
+    def test_array_untracked(self, symtab):
+        assert ev("a[0]", {}, symtab) == BOTTOM
+        assert ev("a", {}, symtab) == BOTTOM
+
+    def test_rank_and_size_are_bottom(self, symtab):
+        # rank differs across SPMD processes: never a constant.
+        assert ev("mpi_comm_rank()", {}, symtab) == BOTTOM
+        assert ev("mpi_comm_size()", {}, symtab) == BOTTOM
+
+
+class TestArithmetic:
+    def test_constant_folding(self, symtab):
+        assert ev("2 + 3 * 4", {}, symtab) == const(14)
+
+    def test_with_env(self, symtab):
+        env = {"main::i": const(10), "main::j": const(4)}
+        assert ev("i - j", env, symtab) == const(6)
+
+    def test_bottom_propagates(self, symtab):
+        env = {"main::i": BOTTOM}
+        assert ev("i + 1", env, symtab) == BOTTOM
+
+    def test_top_propagates_over_unknown(self, symtab):
+        assert ev("i + 1", {}, symtab) == TOP
+
+    def test_bottom_beats_top(self, symtab):
+        env = {"main::i": BOTTOM}
+        assert ev("i + j", env, symtab) == BOTTOM
+
+    def test_division(self, symtab):
+        assert ev("7 / 2", {}, symtab) == const(3.5)
+
+    def test_division_by_zero_is_bottom(self, symtab):
+        assert ev("1 / 0", {}, symtab) == BOTTOM
+
+    def test_power(self, symtab):
+        assert ev("2 ** 10", {}, symtab) == const(1024)
+
+    def test_comparisons(self, symtab):
+        assert ev("2 < 3", {}, symtab) == const(True)
+        assert ev("2 == 3", {}, symtab) == const(False)
+
+    def test_logic(self, symtab):
+        assert ev("true and false", {}, symtab) == const(False)
+        assert ev("true or false", {}, symtab) == const(True)
+
+    def test_unary(self, symtab):
+        assert ev("-5", {}, symtab) == const(-5)
+        assert ev("not true", {}, symtab) == const(False)
+
+
+class TestIntrinsics:
+    def test_mod(self, symtab):
+        assert ev("mod(7, 3)", {}, symtab) == const(1)
+
+    def test_mod_zero_is_bottom(self, symtab):
+        assert ev("mod(7, 0)", {}, symtab) == BOTTOM
+
+    def test_min_max(self, symtab):
+        assert ev("min(2, 5)", {}, symtab) == const(2)
+        assert ev("max(2, 5)", {}, symtab) == const(5)
+
+    def test_sqrt(self, symtab):
+        assert ev("sqrt(9.0)", {}, symtab) == const(3)
+
+    def test_sqrt_negative_is_bottom(self, symtab):
+        assert ev("sqrt(-1.0)", {}, symtab) == BOTTOM
+
+    def test_log_of_zero_is_bottom(self, symtab):
+        assert ev("log(0.0)", {}, symtab) == BOTTOM
+
+    def test_floor_int(self, symtab):
+        assert ev("floor(2.7)", {}, symtab) == const(2)
+        assert ev("int(2.7)", {}, symtab) == const(2)
+
+
+class TestApplyHelpers:
+    def test_apply_binop_strictness(self):
+        assert apply_binop("+", BOTTOM, TOP) == BOTTOM
+        assert apply_binop("+", TOP, const(1)) == TOP
+
+    def test_apply_unop_strictness(self):
+        assert apply_unop("-", TOP) == TOP
+        assert apply_unop("-", BOTTOM) == BOTTOM
+
+    def test_apply_intrinsic_unknown(self):
+        assert apply_intrinsic("frobnicate", [const(1)]) == BOTTOM
+
+    def test_apply_binop_type_error_is_bottom(self):
+        assert apply_binop("+", const(True), const(1.5)) in (BOTTOM, const(2.5))

@@ -1,0 +1,137 @@
+"""Failure-injection tests: one rank fails, the whole run must fail
+promptly and informatively (no hangs, no silent partial results)."""
+
+import pytest
+
+from repro.ir import parse_program
+from repro.runtime import DeadlockError, RunConfig, SpmdRuntimeError, run_spmd
+
+
+def run(body, nprocs=2, timeout=1.5, **cfg):
+    src = f"program t;\nproc main() {{\n{body}\n}}\n"
+    return run_spmd(
+        parse_program(src), RunConfig(nprocs=nprocs, timeout=timeout, **cfg)
+    )
+
+
+class TestRankFailurePropagation:
+    def test_crash_releases_peer_blocked_on_recv(self):
+        # Rank 0 divides by zero while rank 1 waits for its message:
+        # rank 1 must be released with an abort, not a full timeout.
+        body = """
+        real x; real y;
+        if (mpi_comm_rank() == 0) {
+          x = 1.0 / 0.0;
+          call mpi_send(x, 1, 1, comm_world);
+        } else {
+          call mpi_recv(y, 0, 1, comm_world);
+        }
+        """
+        with pytest.raises((SpmdRuntimeError, DeadlockError)):
+            run(body, timeout=5.0)
+
+    def test_crash_releases_peer_blocked_on_collective(self):
+        body = """
+        real x;
+        if (mpi_comm_rank() == 0) {
+          x = log(0.0 - 1.0);
+        }
+        call mpi_bcast(x, 0, comm_world);
+        """
+        with pytest.raises((SpmdRuntimeError, DeadlockError)):
+            run(body, timeout=5.0)
+
+    def test_first_error_is_reported(self):
+        body = """
+        real x;
+        x = 1.0 / 0.0;
+        """
+        with pytest.raises(SpmdRuntimeError, match="division by zero"):
+            run(body, nprocs=1)
+
+    def test_out_of_bounds_on_one_rank(self):
+        body = """
+        real a[3];
+        real y;
+        if (mpi_comm_rank() == 1) {
+          a[7] = 1.0;
+          call mpi_send(a[0], 0, 1, comm_world);
+        } else {
+          call mpi_recv(y, 1, 1, comm_world);
+        }
+        """
+        with pytest.raises((SpmdRuntimeError, DeadlockError)):
+            run(body, timeout=5.0)
+
+    def test_step_budget_failure_aborts_peers(self):
+        body = """
+        int i; real y;
+        if (mpi_comm_rank() == 0) {
+          i = 0;
+          while (i < 10) {
+            i = 0;
+          }
+        } else {
+          call mpi_recv(y, 0, 1, comm_world);
+        }
+        """
+        with pytest.raises((SpmdRuntimeError, DeadlockError)):
+            run(body, timeout=5.0, max_steps=5_000)
+
+
+class TestCommunicationMisuse:
+    def test_shape_mismatch_message(self):
+        body = """
+        real a[4]; real b[3];
+        if (mpi_comm_rank() == 0) {
+          call mpi_send(a, 1, 1, comm_world);
+        } else {
+          call mpi_recv(b, 0, 1, comm_world);
+        }
+        """
+        with pytest.raises((SpmdRuntimeError, DeadlockError), match="shape|aborted"):
+            run(body, timeout=5.0)
+
+    def test_array_into_scalar_buffer(self):
+        body = """
+        real a[4]; real s;
+        if (mpi_comm_rank() == 0) {
+          call mpi_send(a, 1, 1, comm_world);
+        } else {
+          call mpi_recv(s, 0, 1, comm_world);
+        }
+        """
+        with pytest.raises((SpmdRuntimeError, DeadlockError)):
+            run(body, timeout=5.0)
+
+    def test_collective_order_mismatch(self):
+        # Rank 0 reduces while rank 1 broadcasts: distinct collective
+        # kinds never pair, so both time out with a diagnostic.
+        body = """
+        real x; real y;
+        if (mpi_comm_rank() == 0) {
+          call mpi_reduce(x, y, sum, 0, comm_world);
+        } else {
+          call mpi_bcast(x, 0, comm_world);
+        }
+        """
+        with pytest.raises(DeadlockError, match="timed out|aborted"):
+            run(body, timeout=0.3)
+
+    def test_self_deadlock_two_receives(self):
+        body = """
+        real x; real y;
+        if (mpi_comm_rank() == 0) {
+          call mpi_recv(x, 1, 1, comm_world);
+        } else {
+          call mpi_recv(y, 0, 2, comm_world);
+        }
+        """
+        with pytest.raises(DeadlockError):
+            run(body, timeout=0.3)
+
+    def test_partial_results_not_returned_on_failure(self):
+        # run_spmd must raise, never hand back a RunResult with holes.
+        body = "real x;\nx = sqrt(0.0 - 4.0);"
+        with pytest.raises(SpmdRuntimeError):
+            run(body, nprocs=2, timeout=5.0)

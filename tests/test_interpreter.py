@@ -1,0 +1,355 @@
+"""Tests for the SPMD interpreter (values, control flow, MPI, taint)."""
+
+import numpy as np
+import pytest
+
+from repro.ir import parse_program
+from repro.runtime import (
+    DeadlockError,
+    RunConfig,
+    SpmdRuntimeError,
+    run_spmd,
+)
+
+
+def run1(body, params="", inputs=None, nprocs=1, **cfg):
+    src = f"program t;\nproc main({params}) {{\n{body}\n}}\n"
+    prog = parse_program(src)
+    return run_spmd(
+        prog, RunConfig(nprocs=nprocs, timeout=1.5, **cfg), inputs=inputs or {}
+    )
+
+
+class TestScalarExecution:
+    def test_arithmetic(self):
+        res = run1("real x;\nx = (2.0 + 3.0) * 4.0 / 2.0 - 1.0;")
+        assert res.value(0, "x") == 9.0
+
+    def test_power(self):
+        res = run1("real x;\nx = 2.0 ** 10;")
+        assert res.value(0, "x") == 1024.0
+
+    def test_integer_ops(self):
+        res = run1("int i;\ni = mod(17, 5) + 2 * 3;")
+        assert res.value(0, "i") == 8
+
+    def test_intrinsics(self):
+        res = run1("real x;\nx = sqrt(abs(-16.0)) + max(1.0, 2.0);")
+        assert res.value(0, "x") == 6.0
+
+    def test_division_by_zero(self):
+        with pytest.raises(SpmdRuntimeError, match="division by zero"):
+            run1("real x;\nx = 1.0 / 0.0;")
+
+    def test_int_conversion(self):
+        res = run1("int i;\ni = int(3.9);")
+        assert res.value(0, "i") == 3
+
+    def test_bool_logic(self):
+        res = run1("bool b;\nb = (1 < 2) and not (3 < 2);")
+        assert res.value(0, "b") is True or res.value(0, "b") == 1
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        res = run1("real x;\nif (1 < 2) { x = 1.0; } else { x = 2.0; }")
+        assert res.value(0, "x") == 1.0
+
+    def test_while(self):
+        res = run1(
+            "int i;\nreal s;\ni = 0;\ns = 0.0;\n"
+            "while (i < 5) { s = s + 2.0; i = i + 1; }"
+        )
+        assert res.value(0, "s") == 10.0
+
+    def test_for(self):
+        res = run1("int i;\nreal s;\ns = 0.0;\nfor i = 1 to 4 { s = s + float(i); }")
+        assert res.value(0, "s") == 10.0
+
+    def test_for_step(self):
+        res = run1("int i;\nreal s;\ns = 0.0;\nfor i = 0 to 10 step 5 { s = s + 1.0; }")
+        assert res.value(0, "s") == 3.0
+
+    def test_for_negative_step(self):
+        res = run1("int i;\nreal s;\ns = 0.0;\nfor i = 3 to 1 step -1 { s = s + 1.0; }")
+        assert res.value(0, "s") == 3.0
+
+    def test_for_zero_step_rejected(self):
+        with pytest.raises(SpmdRuntimeError, match="step is zero"):
+            run1("int i;\nfor i = 0 to 3 step 0 {}")
+
+    def test_return_exits_procedure(self):
+        res = run1("real x;\nx = 1.0;\nreturn;\nx = 2.0;")
+        assert res.value(0, "x") == 1.0
+
+    def test_step_budget_enforced(self):
+        with pytest.raises(SpmdRuntimeError, match="exceeded"):
+            run1("int i;\ni = 0;\nwhile (i < 10) { i = 0; }", max_steps=1000)
+
+
+class TestArrays:
+    def test_element_access(self):
+        res = run1("real a[3];\na[0] = 1.0;\na[2] = a[0] + 2.0;")
+        assert list(res.value(0, "a")) == [1.0, 0.0, 3.0]
+
+    def test_whole_array_fill(self):
+        res = run1("real a[3];\na = 7.0;")
+        assert list(res.value(0, "a")) == [7.0, 7.0, 7.0]
+
+    def test_elementwise_ops(self):
+        res = run1("real a[3];\nreal b[3];\na = 2.0;\nb = a * a + 1.0;")
+        assert list(res.value(0, "b")) == [5.0, 5.0, 5.0]
+
+    def test_out_of_bounds(self):
+        with pytest.raises(SpmdRuntimeError, match="out of bounds"):
+            run1("real a[3];\na[5] = 1.0;")
+
+    def test_multidim(self):
+        res = run1("real m[2, 3];\nm[1, 2] = 9.0;")
+        assert res.value(0, "m")[1, 2] == 9.0
+
+
+class TestCalls:
+    SRC = """
+    program t;
+    proc double_it(real v) {
+      v = v * 2.0;
+    }
+    proc sum_arr(real a[3], real out) {
+      int i;
+      out = 0.0;
+      for i = 0 to 2 {
+        out = out + a[i];
+      }
+    }
+    proc main() {
+      real x; real total;
+      real arr[3];
+      int k;
+      x = 5.0;
+      call double_it(x);
+      for k = 0 to 2 {
+        arr[k] = float(k);
+      }
+      call sum_arr(arr, total);
+      call double_it(arr[1]);
+    }
+    """
+
+    def test_byref_scalar(self):
+        res = run_spmd(parse_program(self.SRC), RunConfig(nprocs=1, timeout=5.0))
+        assert res.value(0, "x") == 10.0
+
+    def test_byref_array_and_element(self):
+        res = run_spmd(parse_program(self.SRC), RunConfig(nprocs=1, timeout=5.0))
+        assert res.value(0, "total") == 3.0
+        assert list(res.value(0, "arr")) == [0.0, 2.0, 2.0]
+
+
+class TestMpiOps:
+    def test_send_recv(self):
+        res = run1(
+            """
+            real x; real y;
+            int rank;
+            rank = mpi_comm_rank();
+            x = 42.0;
+            if (rank == 0) {
+              call mpi_send(x, 1, 7, comm_world);
+            } else {
+              call mpi_recv(y, 0, 7, comm_world);
+            }
+            """,
+            nprocs=2,
+        )
+        assert res.value(1, "y") == 42.0
+        assert res.value(0, "y") == 0.0
+
+    def test_isend_irecv(self):
+        res = run1(
+            """
+            real x; real y;
+            int rank;
+            rank = mpi_comm_rank();
+            x = 1.5;
+            if (rank == 0) {
+              call mpi_isend(x, 1, 7, comm_world);
+              call mpi_wait();
+            } else {
+              call mpi_irecv(y, 0, 7, comm_world);
+              call mpi_wait();
+            }
+            """,
+            nprocs=2,
+        )
+        assert res.value(1, "y") == 1.5
+
+    def test_tag_ordering(self):
+        res = run1(
+            """
+            real a; real b; real r1; real r2;
+            int rank;
+            rank = mpi_comm_rank();
+            a = 1.0; b = 2.0;
+            if (rank == 0) {
+              call mpi_send(a, 1, 10, comm_world);
+              call mpi_send(b, 1, 20, comm_world);
+            } else {
+              call mpi_recv(r2, 0, 20, comm_world);
+              call mpi_recv(r1, 0, 10, comm_world);
+            }
+            """,
+            nprocs=2,
+        )
+        assert res.value(1, "r1") == 1.0
+        assert res.value(1, "r2") == 2.0
+
+    def test_array_message(self):
+        res = run1(
+            """
+            real a[4]; real b[4];
+            int rank; int i;
+            rank = mpi_comm_rank();
+            if (rank == 0) {
+              for i = 0 to 3 { a[i] = float(i) * 2.0; }
+              call mpi_send(a, 1, 3, comm_world);
+            } else {
+              call mpi_recv(b, 0, 3, comm_world);
+            }
+            """,
+            nprocs=2,
+        )
+        assert list(res.value(1, "b")) == [0.0, 2.0, 4.0, 6.0]
+
+    def test_bcast(self):
+        res = run1(
+            """
+            real v;
+            if (mpi_comm_rank() == 0) { v = 3.25; }
+            call mpi_bcast(v, 0, comm_world);
+            """,
+            nprocs=3,
+        )
+        for r in range(3):
+            assert res.value(r, "v") == 3.25
+
+    def test_reduce_sum(self):
+        res = run1(
+            """
+            real mine; real total;
+            mine = float(mpi_comm_rank() + 1);
+            call mpi_reduce(mine, total, sum, 0, comm_world);
+            """,
+            nprocs=3,
+        )
+        assert res.value(0, "total") == 6.0
+        assert res.value(1, "total") == 0.0  # only significant at root
+
+    def test_allreduce_max(self):
+        res = run1(
+            """
+            real mine; real biggest;
+            mine = float(mpi_comm_rank());
+            call mpi_allreduce(mine, biggest, max, comm_world);
+            """,
+            nprocs=4,
+        )
+        for r in range(4):
+            assert res.value(r, "biggest") == 3.0
+
+    def test_barrier(self):
+        res = run1("call mpi_barrier(comm_world);", nprocs=3)
+        assert len(res.ranks) == 3
+
+    def test_deadlock_detected(self):
+        with pytest.raises(DeadlockError):
+            run1(
+                "real y;\ncall mpi_recv(y, 0, 9, comm_world);",
+                nprocs=2,
+            )
+
+    def test_send_to_invalid_rank(self):
+        with pytest.raises((DeadlockError, SpmdRuntimeError)):
+            run1("real x;\ncall mpi_send(x, 5, 1, comm_world);", nprocs=2)
+
+    def test_mismatched_collective_sequence(self):
+        with pytest.raises(DeadlockError):
+            run1(
+                """
+                real v;
+                if (mpi_comm_rank() == 0) {
+                  call mpi_barrier(comm_world);
+                }
+                call mpi_bcast(v, 0, comm_world);
+                """,
+                nprocs=2,
+            )
+
+
+class TestTaintTracking:
+    def test_taint_flows_through_arithmetic(self):
+        res = run1(
+            "real y;\ny = x * 2.0 + 1.0;",
+            params="real x, real out",
+            inputs={"x": 1.0},
+            taint_seeds=("x",),
+        )
+        assert ("main", "y") in res.tainted_symbols
+
+    def test_taint_stops_at_nondifferentiable(self):
+        res = run1(
+            "int i;\nreal y;\ni = int(x);\ny = float(i);",
+            params="real x, real out",
+            inputs={"x": 1.9},
+            taint_seeds=("x",),
+        )
+        assert ("main", "y") not in res.tainted_symbols
+
+    def test_taint_crosses_messages(self, fig1_program):
+        res = run_spmd(
+            fig1_program,
+            RunConfig(nprocs=2, timeout=5.0, taint_seeds=("x",)),
+            inputs={"x": 0.5},
+        )
+        assert ("main", "y") in res.tainted_symbols
+        assert ("main", "f") in res.tainted_symbols
+
+    def test_taint_per_element(self):
+        res = run1(
+            "real a[3];\nreal y;\na[0] = x;\na[1] = 1.0;\ny = a[1];",
+            params="real x, real out",
+            inputs={"x": 2.0},
+            taint_seeds=("x",),
+        )
+        # y read an untainted element even though the array is tainted.
+        assert ("main", "y") not in res.tainted_symbols
+        assert ("main", "a") in res.tainted_symbols
+
+    def test_assignment_log(self):
+        res = run1(
+            "real y;\ny = 1.5;",
+            record_assignments=True,
+        )
+        entries = [e for e in res.ranks[0].assign_log if e[2] == "y"]
+        assert entries and entries[0][3] == 1.5
+
+
+class TestDeterminism:
+    def test_figure1_values(self, fig1_literal_program):
+        for _ in range(3):
+            res = run_spmd(
+                fig1_literal_program, RunConfig(nprocs=2, timeout=5.0)
+            )
+            assert res.value(1, "y") == 1.0
+            assert res.value(1, "z") == 7.0
+            assert res.value(0, "f") == 9.0  # 2 (rank 0) + 7 (rank 1)
+
+    def test_per_rank_inputs(self):
+        src = "program t;\nproc main(real x, real y) {\ny = x * 2.0;\n}"
+        res = run_spmd(
+            parse_program(src),
+            RunConfig(nprocs=2, timeout=5.0),
+            per_rank_inputs=[{"x": 1.0}, {"x": 5.0}],
+        )
+        assert res.value(0, "y") == 2.0
+        assert res.value(1, "y") == 10.0

@@ -1,0 +1,181 @@
+"""Unit tests for interprocedural binding structures and graph stats."""
+
+import pytest
+
+from repro.cfg import EdgeKind, build_icfg, compute_stats, is_reducible, to_dot
+from repro.cfg.stats import dfs_back_edges
+from repro.dataflow.interproc import InterprocMaps
+from repro.ir import parse_program
+
+
+SRC = """
+program t;
+global real g;
+proc callee(real byref, real arr[3], int n) {
+  real local_var;
+  local_var = byref;
+}
+proc main() {
+  real s;
+  real a[3];
+  int i;
+  call callee(s, a, 2 + 3);
+  call callee(a[1], a, i);
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def icfg():
+    return build_icfg(parse_program(SRC), "main")
+
+
+@pytest.fixture(scope="module")
+def maps(icfg):
+    return InterprocMaps(icfg)
+
+
+class TestSiteInfo:
+    def sites(self, icfg, maps):
+        return [maps.site_for_call(s.call_id) for s in icfg.all_call_sites()]
+
+    def test_bindings_per_site(self, icfg, maps):
+        site = self.sites(icfg, maps)[0]
+        assert [b.formal_qname for b in site.bindings] == [
+            "callee::byref",
+            "callee::arr",
+            "callee::n",
+        ]
+
+    def test_lvalue_actuals_recorded(self, icfg, maps):
+        first, second = self.sites(icfg, maps)
+        assert first.bindings[0].actual_qname == "main::s"
+        assert first.bindings[1].actual_qname == "main::a"
+        assert first.bindings[2].actual_qname is None  # expression actual
+        # Array-element actual: qname recorded but NOT strongly aliased.
+        assert second.bindings[0].actual_qname == "main::a"
+
+    def test_strong_aliasing_excludes_elements(self, icfg, maps):
+        first, second = self.sites(icfg, maps)
+        assert first.aliased == {"main::s", "main::a"}
+        # a[1] is a weak (element) alias; i is a whole-var alias.
+        assert second.aliased == {"main::a", "main::i"}
+
+    def test_callee_scope_sets(self, icfg, maps):
+        site = self.sites(icfg, maps)[0]
+        assert site.callee_locals == {"callee::local_var"}
+        assert site.callee_params == {
+            "callee::byref",
+            "callee::arr",
+            "callee::n",
+        }
+
+    def test_edge_lookup_all_kinds(self, icfg, maps):
+        for e in icfg.graph.edges():
+            if e.kind in (EdgeKind.CALL, EdgeKind.RETURN, EdgeKind.CALL_TO_RETURN):
+                assert maps.site_for_edge(e) is not None
+            elif e.kind is EdgeKind.FLOW:
+                with pytest.raises(ValueError):
+                    maps.site_for_edge(e)
+
+    def test_locals_surviving_call(self, icfg, maps):
+        site = self.sites(icfg, maps)[0]
+        fact = frozenset({"main::s", "main::a", "main::i", "::g", "callee::n"})
+        surviving = InterprocMaps.locals_surviving_call(fact, site)
+        assert surviving == {"main::i"}
+
+    def test_globals_filter(self):
+        fact = frozenset({"::g", "main::s"})
+        assert InterprocMaps.globals_of(fact) == {"::g"}
+
+
+class TestGraphStats:
+    def test_stats_counts(self, icfg):
+        stats = compute_stats(icfg.graph, icfg.root_cfg.entry)
+        assert stats.nodes == len(icfg.graph)
+        assert stats.call_edges == 2
+        assert stats.comm_edges == 0
+        assert stats.total_edges > 0
+
+    def test_shared_callee_is_irreducible(self, icfg):
+        # Two call sites into one instance create crossing join paths.
+        assert not is_reducible(icfg.graph, icfg.root_cfg.entry)
+
+    def test_structured_cfg_is_reducible(self):
+        src = """
+        program t;
+        proc main() {
+          real x;
+          int i;
+          for i = 0 to 3 {
+            x = x + 1.0;
+          }
+          while (x < 10.0) {
+            x = x * 2.0;
+          }
+        }
+        """
+        icfg = build_icfg(parse_program(src), "main")
+        assert is_reducible(icfg.graph, icfg.root_cfg.entry)
+
+    def test_back_edges_found_in_loops(self):
+        src = """
+        program t;
+        proc main() {
+          real x;
+          while (x < 10.0) { x = x + 1.0; }
+        }
+        """
+        icfg = build_icfg(parse_program(src), "main")
+        back = dfs_back_edges(icfg.graph, icfg.root_cfg.entry)
+        assert len(back) == 1
+
+    def test_comm_edges_make_graph_irreducible(self):
+        # §4.2: "the MPI-ICFG is generally irreducible due to the
+        # communication edges".  A ping-pong exchange creates a cycle
+        # with two entry points spanning the rank branches.
+        src = """
+        program t;
+        proc main() {
+          real x; real y; real z; real w;
+          int rank;
+          rank = mpi_comm_rank();
+          if (rank == 0) {
+            call mpi_recv(y, 1, 1, comm_world);
+            call mpi_send(x, 1, 2, comm_world);
+          } else {
+            call mpi_recv(z, 0, 2, comm_world);
+            call mpi_send(w, 0, 1, comm_world);
+          }
+        }
+        """
+        from repro.mpi import build_mpi_cfg
+
+        icfg, _ = build_mpi_cfg(parse_program(src), "main")
+        stats = compute_stats(icfg.graph, icfg.root_cfg.entry)
+        assert stats.comm_edges == 2
+        assert not stats.reducible
+        # Without the communication edges the same CFG is reducible.
+        assert is_reducible(icfg.graph, icfg.root_cfg.entry, include_comm=False)
+
+
+class TestDotExport:
+    def test_dot_renders(self, icfg):
+        text = to_dot(icfg.graph, "test graph")
+        assert text.startswith("digraph")
+        assert "cluster_" in text
+        for nid in icfg.graph.nodes:
+            assert f"n{nid} " in text or f"n{nid} ->" in text
+
+    def test_comm_edges_dashed(self, fig1_program):
+        from repro.mpi import build_mpi_cfg
+
+        icfg, _ = build_mpi_cfg(fig1_program, "main")
+        text = to_dot(icfg.graph)
+        assert 'style="dashed"' in text
+
+    def test_escaping(self):
+        src = 'program t;\nproc main() { real x; x = 1.0; }'
+        icfg = build_icfg(parse_program(src), "main")
+        text = to_dot(icfg.graph, title='a "quoted" title')
+        assert '\\"quoted\\"' in text

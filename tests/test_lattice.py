@@ -1,0 +1,159 @@
+"""Lattice law tests (unit + hypothesis) for the constant lattice and
+the environment/set helpers."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given
+
+from repro.dataflow.lattice import (
+    BOTTOM,
+    TOP,
+    ConstValue,
+    bool_or_meet,
+    const,
+    const_leq,
+    const_meet,
+    env_get,
+    env_meet,
+    env_set,
+)
+
+_values = st.one_of(
+    st.just(TOP),
+    st.just(BOTTOM),
+    st.integers(min_value=-5, max_value=5).map(const),
+    st.sampled_from([const(1.5), const(True), const(False), const(0)]),
+)
+
+
+class TestConstValueBasics:
+    def test_constructors(self):
+        assert TOP.is_top and BOTTOM.is_bottom and const(3).is_const
+
+    def test_payload_required_exactly_for_const(self):
+        with pytest.raises(ValueError):
+            ConstValue("top", 1)
+        with pytest.raises(ValueError):
+            ConstValue("const")
+
+    def test_bad_tag(self):
+        with pytest.raises(ValueError):
+            ConstValue("weird")
+
+    def test_whole_float_normalization(self):
+        assert const(2.0) == const(2)
+        assert const(2.5) != const(2)
+
+    def test_bool_distinct_from_int(self):
+        # True == 1 in Python; the lattice must keep them apart.
+        assert const_meet(const(True), const(1)) == BOTTOM
+
+    def test_str(self):
+        assert str(TOP) == "⊤" and str(BOTTOM) == "⊥"
+        assert str(const(3)) == "3"
+
+
+class TestMeetTable:
+    def test_top_identity(self):
+        assert const_meet(TOP, const(5)) == const(5)
+        assert const_meet(const(5), TOP) == const(5)
+        assert const_meet(TOP, TOP) == TOP
+        assert const_meet(TOP, BOTTOM) == BOTTOM
+
+    def test_equal_constants(self):
+        assert const_meet(const(7), const(7)) == const(7)
+
+    def test_distinct_constants(self):
+        assert const_meet(const(7), const(8)) == BOTTOM
+
+    def test_bottom_absorbs(self):
+        assert const_meet(BOTTOM, const(1)) == BOTTOM
+        assert const_meet(BOTTOM, TOP) == BOTTOM
+
+
+@given(_values)
+def test_meet_idempotent(a):
+    assert const_meet(a, a) == a
+
+
+@given(_values, _values)
+def test_meet_commutative(a, b):
+    assert const_meet(a, b) == const_meet(b, a)
+
+
+@given(_values, _values, _values)
+def test_meet_associative(a, b, c):
+    assert const_meet(const_meet(a, b), c) == const_meet(a, const_meet(b, c))
+
+
+@given(_values, _values)
+def test_meet_is_lower_bound(a, b):
+    m = const_meet(a, b)
+    assert const_leq(m, a) and const_leq(m, b)
+
+
+@given(_values)
+def test_order_bounds(a):
+    assert const_leq(BOTTOM, a)
+    assert const_leq(a, TOP)
+
+
+@given(_values, _values)
+def test_leq_antisymmetric(a, b):
+    if const_leq(a, b) and const_leq(b, a):
+        assert a == b
+
+
+class TestEnvOps:
+    def test_env_get_default_top(self):
+        assert env_get({}, "::x") == TOP
+
+    def test_env_set_and_get(self):
+        env = env_set({}, "::x", const(3))
+        assert env_get(env, "::x") == const(3)
+
+    def test_env_set_top_removes(self):
+        env = env_set({"::x": const(3)}, "::x", TOP)
+        assert "::x" not in env
+
+    def test_env_set_is_functional(self):
+        base = {"::x": const(1)}
+        env_set(base, "::x", const(2))
+        assert env_get(base, "::x") == const(1)
+
+    def test_env_meet_pointwise(self):
+        a = {"::x": const(1), "::y": const(2)}
+        b = {"::x": const(1), "::y": const(3), "::z": BOTTOM}
+        m = env_meet(a, b)
+        assert m["::x"] == const(1)
+        assert m["::y"] == BOTTOM
+        assert m["::z"] == BOTTOM
+
+    def test_env_meet_absent_is_top(self):
+        m = env_meet({"::x": const(1)}, {})
+        assert m["::x"] == const(1)
+
+    def test_env_meet_empty_both(self):
+        assert env_meet({}, {}) == {}
+
+
+@given(
+    st.dictionaries(st.sampled_from(["::a", "::b", "p::c"]), _values),
+    st.dictionaries(st.sampled_from(["::a", "::b", "p::c"]), _values),
+)
+def test_env_meet_commutative(a, b):
+    assert env_meet(a, b) == env_meet(b, a)
+
+
+@given(st.dictionaries(st.sampled_from(["::a", "::b"]), _values))
+def test_env_meet_idempotent(a):
+    # Note env_set drops explicit TOP entries; normalize first.
+    norm = {k: v for k, v in a.items()}
+    assert env_meet(norm, norm) == norm
+
+
+class TestBoolMeet:
+    def test_any_semantics(self):
+        assert bool_or_meet([False, True]) is True
+        assert bool_or_meet([False, False]) is False
+        assert bool_or_meet([]) is False

@@ -1,0 +1,86 @@
+"""Unit tests for the SPL lexer."""
+
+import pytest
+
+from repro.ir.lexer import LexError, tokenize
+
+
+def kinds(src):
+    return [t.kind for t in tokenize(src)]
+
+
+def texts(src):
+    return [t.text for t in tokenize(src)[:-1]]  # drop EOF
+
+
+class TestBasics:
+    def test_empty_source_yields_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1 and toks[0].kind == "EOF"
+
+    def test_identifiers_and_keywords(self):
+        toks = tokenize("proc foo if xif")
+        assert [t.kind for t in toks[:-1]] == ["KW", "IDENT", "KW", "IDENT"]
+
+    def test_underscore_identifiers(self):
+        assert texts("_a a_b __mpi") == ["_a", "a_b", "__mpi"]
+
+    def test_operators_maximal_munch(self):
+        assert texts("<= < == = ** *") == ["<=", "<", "==", "=", "**", "*"]
+
+    def test_punctuation(self):
+        assert texts("( ) [ ] { } , ;") == ["(", ")", "[", "]", "{", "}", ",", ";"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+
+class TestNumbers:
+    def test_integer(self):
+        toks = tokenize("42")
+        assert toks[0].kind == "INT" and toks[0].text == "42"
+
+    def test_real_with_dot(self):
+        toks = tokenize("3.25")
+        assert toks[0].kind == "REAL" and toks[0].text == "3.25"
+
+    def test_real_with_exponent(self):
+        toks = tokenize("1e5 2.5e-3 7E+2")
+        assert [t.kind for t in toks[:-1]] == ["REAL", "REAL", "REAL"]
+
+    def test_leading_dot_real(self):
+        toks = tokenize(".5")
+        assert toks[0].kind == "REAL" and toks[0].text == ".5"
+
+    def test_int_then_ident_e_not_exponent(self):
+        # '2e' with no digits after must not swallow the 'e'.
+        toks = tokenize("2e")
+        assert toks[0].kind == "INT" and toks[1].kind == "IDENT"
+
+    def test_two_dots_not_one_number(self):
+        toks = tokenize("1.5.5")
+        assert toks[0].kind == "REAL" and toks[0].text == "1.5"
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert texts("a // comment here\n b") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert texts("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never closed")
+
+
+class TestLocations:
+    def test_line_and_column_tracking(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].loc.line, toks[0].loc.col) == (1, 1)
+        assert (toks[1].loc.line, toks[1].loc.col) == (2, 3)
+
+    def test_location_after_comment(self):
+        toks = tokenize("// c\nx")
+        assert toks[0].loc.line == 2

@@ -1,0 +1,215 @@
+"""Unit tests for communication-edge matching (§4.1)."""
+
+import pytest
+
+from repro.cfg import build_icfg
+from repro.cfg.node import MpiNode
+from repro.ir import parse_program, parse_expr
+from repro.ir.mpi_ops import MpiKind
+from repro.mpi import MatchOptions, build_mpi_cfg, build_mpi_icfg, match_communication
+from repro.mpi.matching import rank_offset
+
+
+def icfg_for(source: str, root="main", level=0):
+    return build_icfg(parse_program(source), root, clone_level=level)
+
+
+def p2p_pairs(result):
+    return [(p.src, p.dst) for p in result.pairs if p.reason == "p2p"]
+
+
+class TestTagMatching:
+    SRC = """
+    program t;
+    proc main() {
+      real a; real b; real c; real d;
+      int rank;
+      rank = mpi_comm_rank();
+      if (rank == 0) {
+        call mpi_send(a, 1, 10, comm_world);
+        call mpi_send(b, 1, 20, comm_world);
+      } else {
+        call mpi_recv(c, 0, 10, comm_world);
+        call mpi_recv(d, 0, 20, comm_world);
+      }
+    }
+    """
+
+    def test_constant_tags_prune(self):
+        icfg = icfg_for(self.SRC)
+        result = match_communication(icfg)
+        assert len(p2p_pairs(result)) == 2
+        assert result.pruned_by_constants == 2
+        # Each send matches exactly the recv with its tag.
+        nodes = {n.id: n for n in icfg.mpi_nodes()}
+        for src, dst in p2p_pairs(result):
+            s_tag = nodes[src].arg_at(2)
+            r_tag = nodes[dst].arg_at(2)
+            assert s_tag == r_tag
+
+    def test_full_connectivity_option(self):
+        icfg = icfg_for(self.SRC)
+        result = match_communication(icfg, MatchOptions(use_constants=False))
+        assert len(p2p_pairs(result)) == 4
+
+    def test_nonconstant_tag_matches_all(self):
+        src = """
+        program t;
+        proc main(int t) {
+          real a; real c;
+          int rank;
+          rank = mpi_comm_rank();
+          if (rank == 0) {
+            call mpi_send(a, 1, t, comm_world);
+          } else {
+            call mpi_recv(c, 0, 99, comm_world);
+          }
+        }
+        """
+        icfg = icfg_for(src)
+        result = match_communication(icfg)
+        assert len(p2p_pairs(result)) == 1
+
+
+class TestCountMatching:
+    SRC = """
+    program t;
+    proc main() {
+      real big[100];
+      real small;
+      call mpi_bcast(big, 0, comm_world);
+      call mpi_bcast(small, 0, comm_world);
+    }
+    """
+
+    def test_mismatched_counts_do_not_pair(self):
+        icfg = icfg_for(self.SRC)
+        result = match_communication(icfg)
+        assert [p for p in result.pairs if p.reason == "bcast"] == []
+
+    def test_count_matching_can_be_disabled(self):
+        icfg = icfg_for(self.SRC)
+        result = match_communication(icfg, MatchOptions(match_counts=False))
+        assert len([p for p in result.pairs if p.reason == "bcast"]) == 2
+
+
+class TestCollectives:
+    SRC = """
+    program t;
+    proc main() {
+      real a; real b; real r1; real r2;
+      call mpi_reduce(a, r1, sum, 0, comm_world);
+      call mpi_reduce(b, r2, sum, 1, comm_world);
+      call mpi_allreduce(a, r1, sum, comm_world);
+      call mpi_allreduce(b, r2, sum, comm_world);
+    }
+    """
+
+    def test_reduce_root_mismatch_prunes(self):
+        icfg = icfg_for(self.SRC)
+        result = match_communication(icfg)
+        assert [p for p in result.pairs if p.reason == "reduce"] == []
+
+    def test_allreduce_clique(self):
+        icfg = icfg_for(self.SRC)
+        result = match_communication(icfg)
+        allred = [p for p in result.pairs if p.reason == "allreduce"]
+        assert len(allred) == 2  # both directions of one pair
+
+    def test_reduce_and_allreduce_never_cross(self):
+        icfg = icfg_for(self.SRC)
+        result = match_communication(icfg)
+        nodes = {n.id: n for n in icfg.mpi_nodes()}
+        for p in result.pairs:
+            assert nodes[p.src].mpi_kind == nodes[p.dst].mpi_kind
+
+
+class TestInterproceduralTags:
+    SRC = """
+    program t;
+    proc xchg(real b, int tag) {
+      int rank;
+      rank = mpi_comm_rank();
+      if (rank == 0) {
+        call mpi_send(b, 1, tag, comm_world);
+      } else {
+        call mpi_recv(b, 0, tag, comm_world);
+      }
+    }
+    proc main() {
+      real x; real y;
+      call xchg(x, 1);
+      call xchg(y, 2);
+    }
+    """
+
+    def test_uncloned_wrapper_merges_tags(self):
+        icfg = icfg_for(self.SRC, level=0)
+        result = match_communication(icfg)
+        # One shared instance: tag is ⊥, send matches recv once.
+        assert len(p2p_pairs(result)) == 1
+
+    def test_cloned_wrapper_separates_tags(self):
+        icfg = icfg_for(self.SRC, level=1)
+        result = match_communication(icfg)
+        pairs = p2p_pairs(result)
+        # Two clones, tags 1 and 2: each send matches only its own recv.
+        assert len(pairs) == 2
+        for src, dst in pairs:
+            assert icfg.graph.node(src).proc == icfg.graph.node(dst).proc
+
+
+class TestRankHeuristics:
+    def test_rank_offset_classification(self):
+        assert rank_offset(parse_expr("3")) == ("const", 3)
+        assert rank_offset(parse_expr("mpi_comm_rank()")) == ("rank", 0)
+        assert rank_offset(parse_expr("mpi_comm_rank() + 1")) == ("rank", 1)
+        assert rank_offset(parse_expr("mpi_comm_rank() - 2")) == ("rank", -2)
+        assert rank_offset(parse_expr("1 + mpi_comm_rank()")) == ("rank", 1)
+        assert rank_offset(parse_expr("x + 1")) is None
+        assert rank_offset(parse_expr("-3")) == ("const", -3)
+
+    SRC = """
+    program t;
+    proc main() {
+      real a; real c; real d;
+      call mpi_send(a, mpi_comm_rank() + 1, 7, comm_world);
+      call mpi_recv(c, mpi_comm_rank() - 1, 7, comm_world);
+      call mpi_recv(d, mpi_comm_rank() + 1, 7, comm_world);
+    }
+    """
+
+    def test_heuristic_off_by_default(self):
+        icfg = icfg_for(self.SRC)
+        result = match_communication(icfg)
+        assert len(p2p_pairs(result)) == 2
+
+    def test_heuristic_prunes_inconsistent_offsets(self):
+        icfg = icfg_for(self.SRC)
+        result = match_communication(icfg, MatchOptions(rank_heuristics=True))
+        # dest = rank+1 pairs with src = rank-1, not with src = rank+1.
+        assert len(p2p_pairs(result)) == 1
+        assert result.pruned_by_rank == 1
+
+
+class TestBuilders:
+    def test_build_mpi_icfg_adds_edges(self, fig1_program):
+        icfg, result = build_mpi_icfg(fig1_program, "main")
+        assert len(icfg.graph.comm_edges) == result.edge_count
+        assert result.edge_count >= 1
+
+    def test_build_mpi_cfg_rejects_calls(self, wrapped_sendrecv_source):
+        prog = parse_program(wrapped_sendrecv_source)
+        with pytest.raises(ValueError, match="calls user procedures"):
+            build_mpi_cfg(prog, "main")
+
+    def test_mpi_cfg_figure1(self, fig1_program):
+        icfg, result = build_mpi_cfg(fig1_program, "main")
+        kinds = sorted(p.reason for p in result.pairs)
+        assert kinds == ["p2p"]  # one reduce node only: no reduce clique
+        send = [n for n in icfg.mpi_nodes() if n.mpi_kind is MpiKind.SEND]
+        recv = [n for n in icfg.mpi_nodes() if n.mpi_kind is MpiKind.RECV]
+        assert (result.pairs[0].src, result.pairs[0].dst) == (
+            send[0].id,
+            recv[0].id,
+        )

@@ -1,0 +1,186 @@
+"""Unit tests for the SPL parser."""
+
+import pytest
+
+from repro.ir import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Block,
+    CallStmt,
+    For,
+    If,
+    IntLit,
+    IntrinsicCall,
+    ParseError,
+    RealLit,
+    Return,
+    UnOp,
+    VarDecl,
+    VarRef,
+    While,
+    parse_expr,
+    parse_program,
+)
+from repro.ir.types import ArrayType, INT, REAL
+
+
+def wrap(body: str) -> str:
+    return f"program t;\nproc main() {{\n{body}\n}}\n"
+
+
+def first_stmt(body: str):
+    prog = parse_program(wrap(body))
+    return prog.proc("main").body.body[0]
+
+
+class TestProgramStructure:
+    def test_empty_program_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("proc main() {}")
+
+    def test_program_header(self):
+        prog = parse_program("program hello;")
+        assert prog.name == "hello"
+        assert prog.procedures == ()
+
+    def test_globals(self):
+        prog = parse_program("program t;\nglobal real g[10];\nglobal int n;")
+        assert prog.globals[0].name == "g"
+        assert prog.globals[0].type == ArrayType(REAL, (10,))
+        assert prog.globals[1].type == INT
+
+    def test_procedure_params(self):
+        prog = parse_program("program t;\nproc f(real x, int n[3]) {}")
+        p = prog.proc("f")
+        assert p.params[0].name == "x" and p.params[0].type == REAL
+        assert p.params[1].type == ArrayType(INT, (3,))
+
+    def test_proc_lookup_missing(self):
+        prog = parse_program("program t;\nproc f() {}")
+        with pytest.raises(KeyError):
+            prog.proc("g")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("program t;\nproc f() {} garbage")
+
+
+class TestStatements:
+    def test_vardecl_with_init(self):
+        s = first_stmt("real x = 1.5;")
+        assert isinstance(s, VarDecl)
+        assert s.init == RealLit(1.5)
+
+    def test_array_decl(self):
+        s = first_stmt("real a[4, 5];")
+        assert isinstance(s, VarDecl)
+        assert s.type == ArrayType(REAL, (4, 5))
+
+    def test_assign(self):
+        prog = parse_program(wrap("real x;\nx = 2 + 3;"))
+        s = prog.proc("main").body.body[1]
+        assert isinstance(s, Assign)
+        assert isinstance(s.value, BinOp) and s.value.op == "+"
+
+    def test_array_element_assign(self):
+        prog = parse_program(wrap("real a[3];\na[1] = 0.0;"))
+        s = prog.proc("main").body.body[1]
+        assert isinstance(s.target, ArrayRef)
+        assert s.target.indices == (IntLit(1),)
+
+    def test_if_else(self):
+        s = first_stmt("if (true) { return; } else { return; }")
+        assert isinstance(s, If)
+        assert isinstance(s.then.body[0], Return)
+        assert s.els is not None
+
+    def test_elif_chains(self):
+        s = first_stmt("if (true) {} else if (false) {} else {}")
+        assert isinstance(s, If)
+        nested = s.els.body[0]
+        assert isinstance(nested, If) and nested.els is not None
+
+    def test_while(self):
+        s = first_stmt("while (1 < 2) {}")
+        assert isinstance(s, While)
+
+    def test_for_with_step(self):
+        s = first_stmt("for i = 0 to 10 step 2 {}")
+        assert isinstance(s, For)
+        assert s.step == IntLit(2)
+
+    def test_for_without_step(self):
+        s = first_stmt("for i = 0 to 10 {}")
+        assert isinstance(s, For) and s.step is None
+
+    def test_call(self):
+        s = first_stmt("call foo(1, 2.0);")
+        assert isinstance(s, CallStmt)
+        assert s.name == "foo" and len(s.args) == 2
+
+    def test_nested_block(self):
+        s = first_stmt("{ return; }")
+        assert isinstance(s, Block)
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_program(wrap("real x = 1.0"))
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        e = parse_expr("1 + 2 * 3")
+        assert isinstance(e, BinOp) and e.op == "+"
+        assert isinstance(e.right, BinOp) and e.right.op == "*"
+
+    def test_left_associativity(self):
+        e = parse_expr("1 - 2 - 3")
+        assert e.op == "-" and isinstance(e.left, BinOp)
+        assert e.left.op == "-" and e.right == IntLit(3)
+
+    def test_power_right_associative(self):
+        e = parse_expr("2 ** 3 ** 4")
+        assert e.op == "**"
+        assert isinstance(e.right, BinOp) and e.right.op == "**"
+
+    def test_power_binds_tighter_than_unary_minus(self):
+        e = parse_expr("-x ** 2")
+        assert isinstance(e, UnOp) and e.op == "-"
+        assert isinstance(e.operand, BinOp) and e.operand.op == "**"
+
+    def test_comparison_below_arithmetic(self):
+        e = parse_expr("a + 1 < b * 2")
+        assert e.op == "<"
+
+    def test_bool_connectives(self):
+        e = parse_expr("a < 1 or b < 2 and c < 3")
+        assert e.op == "or"
+        assert e.right.op == "and"
+
+    def test_not(self):
+        e = parse_expr("not a < 1")
+        assert isinstance(e, UnOp) and e.op == "not"
+
+    def test_parentheses(self):
+        e = parse_expr("(1 + 2) * 3")
+        assert e.op == "*" and isinstance(e.left, BinOp)
+
+    def test_intrinsic_call(self):
+        e = parse_expr("sin(x + 1.0)")
+        assert isinstance(e, IntrinsicCall) and e.name == "sin"
+
+    def test_zero_arg_intrinsic(self):
+        e = parse_expr("mpi_comm_rank()")
+        assert isinstance(e, IntrinsicCall) and e.args == ()
+
+    def test_array_ref_multidim(self):
+        e = parse_expr("a[i, j + 1]")
+        assert isinstance(e, ArrayRef) and len(e.indices) == 2
+
+    def test_bare_var(self):
+        assert parse_expr("foo") == VarRef("foo")
+
+    def test_incomplete_expr(self):
+        with pytest.raises(ParseError):
+            parse_expr("1 +")

@@ -1,0 +1,146 @@
+"""Printer tests: structural round-trip through the parser.
+
+Includes hypothesis property tests over randomly generated expressions
+and programs: ``parse(print(ast)) == ast``.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.ir import (
+    ArrayRef,
+    BinOp,
+    BoolLit,
+    Expr,
+    IntLit,
+    IntrinsicCall,
+    RealLit,
+    UnOp,
+    VarRef,
+    parse_expr,
+    parse_program,
+    print_expr,
+    print_program,
+)
+from repro.ir.ast_nodes import BINOPS
+from repro.programs import biostat, cg, figure1, lu, mg, sor, sweep3d
+
+
+class TestManualRoundTrip:
+    def test_figure1(self):
+        prog = figure1.program()
+        assert parse_program(print_program(prog)) == prog
+
+    def test_figure1_literal(self):
+        prog = figure1.program_literal()
+        assert parse_program(print_program(prog)) == prog
+
+    def test_all_benchmark_programs(self):
+        for mod in (sor, cg, lu, mg, sweep3d):
+            prog = mod.program()
+            assert parse_program(print_program(prog)) == prog, mod.__name__
+
+    def test_biostat(self):
+        prog = biostat.program()
+        assert parse_program(print_program(prog)) == prog
+
+    def test_expression_parenthesization(self):
+        cases = [
+            "(1 + 2) * 3",
+            "1 + 2 * 3",
+            "-(1 + 2)",
+            "2 ** 3 ** 4",
+            "(2 ** 3) ** 4",
+            "not (a < b)",
+            "a - (b - c)",
+            "a / (b / c)",
+        ]
+        for text in cases:
+            e = parse_expr(text)
+            assert parse_expr(print_expr(e)) == e, text
+
+    def test_negative_real_literal_reparses(self):
+        e = UnOp("-", RealLit(1.5))
+        assert parse_expr(print_expr(e)) == e
+
+    def test_whole_real_literal_prints_as_real(self):
+        assert "." in print_expr(RealLit(2.0)) or "e" in print_expr(RealLit(2.0))
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis: random expression round-trip.
+# ---------------------------------------------------------------------------
+
+_names = st.sampled_from(["a", "b", "c", "x", "y"])
+
+_arith_ops = st.sampled_from(["+", "-", "*", "/", "**"])
+_cmp_ops = st.sampled_from(["==", "!=", "<", "<=", ">", ">="])
+
+
+def _leaf() -> st.SearchStrategy[Expr]:
+    return st.one_of(
+        st.integers(min_value=0, max_value=1000).map(IntLit),
+        st.floats(
+            min_value=0.0,
+            max_value=1e6,
+            allow_nan=False,
+            allow_infinity=False,
+        ).map(RealLit),
+        st.booleans().map(BoolLit),
+        _names.map(VarRef),
+    )
+
+
+def _numeric_expr(depth: int) -> st.SearchStrategy[Expr]:
+    if depth <= 0:
+        return _leaf()
+    sub = _numeric_expr(depth - 1)
+    return st.one_of(
+        _leaf(),
+        st.builds(lambda op, a, b: BinOp(op, a, b), _arith_ops, sub, sub),
+        st.builds(lambda a: UnOp("-", a), sub),
+        st.builds(
+            lambda f, a: IntrinsicCall(f, (a,)),
+            st.sampled_from(["sin", "cos", "exp", "sqrt", "abs"]),
+            sub,
+        ),
+        st.builds(
+            lambda n, i: ArrayRef(n, (i,)),
+            _names,
+            sub,
+        ),
+    )
+
+
+def _bool_expr(depth: int) -> st.SearchStrategy[Expr]:
+    num = _numeric_expr(depth)
+    base = st.builds(lambda op, a, b: BinOp(op, a, b), _cmp_ops, num, num)
+    if depth <= 0:
+        return base
+    sub = _bool_expr(depth - 1)
+    return st.one_of(
+        base,
+        st.builds(lambda a, b: BinOp("and", a, b), sub, sub),
+        st.builds(lambda a, b: BinOp("or", a, b), sub, sub),
+        st.builds(lambda a: UnOp("not", a), sub),
+    )
+
+
+@given(_numeric_expr(4))
+@settings(max_examples=200)
+def test_numeric_expr_roundtrip(e):
+    assert parse_expr(print_expr(e)) == e
+
+
+@given(_bool_expr(3))
+@settings(max_examples=200)
+def test_bool_expr_roundtrip(e):
+    assert parse_expr(print_expr(e)) == e
+
+
+@given(st.sampled_from(BINOPS), _leaf(), _leaf())
+def test_single_binop_roundtrip(op, a, b):
+    e = BinOp(op, a, b)
+    assert parse_expr(print_expr(e)) == e

@@ -1,0 +1,194 @@
+"""Unit tests for the runtime primitives (slots, network) in isolation."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.ir.types import BOOL, INT, REAL, array_of
+from repro.runtime.network import DeadlockError, Network
+from repro.runtime.values import (
+    ArraySlot,
+    ElemSlot,
+    ScalarSlot,
+    SpmdRuntimeError,
+    make_slot,
+)
+
+
+class TestScalarSlot:
+    def test_coercion(self):
+        assert ScalarSlot(INT, 3.0).get()[0] == 3
+        assert ScalarSlot(REAL, 3).get()[0] == 3.0
+        assert ScalarSlot(BOOL, 1).get()[0] is True
+
+    def test_int_never_tainted(self):
+        slot = ScalarSlot(INT, 1, taint=True)
+        assert slot.get()[1] is False
+
+    def test_real_taint(self):
+        slot = ScalarSlot(REAL, 1.0, taint=True)
+        assert slot.get()[1] is True
+        slot.set(2.0, False)
+        assert slot.get() == (2.0, False)
+
+
+class TestArraySlot:
+    def test_make_slot_dispatch(self):
+        assert isinstance(make_slot(REAL), ScalarSlot)
+        assert isinstance(make_slot(array_of(REAL, 3)), ArraySlot)
+
+    def test_element_roundtrip(self):
+        slot = ArraySlot(array_of(REAL, 2, 2))
+        slot.set_elem((1, 0), 5.0, True)
+        assert slot.get_elem((1, 0)) == (5.0, True)
+        assert slot.get_elem((0, 0)) == (0.0, False)
+        assert slot.any_taint
+
+    def test_bounds_checked(self):
+        slot = ArraySlot(array_of(REAL, 3))
+        with pytest.raises(SpmdRuntimeError, match="out of bounds"):
+            slot.get_elem((3,))
+        with pytest.raises(SpmdRuntimeError, match="rank mismatch"):
+            slot.get_elem((0, 0))
+
+    def test_fill_scalar(self):
+        slot = ArraySlot(array_of(REAL, 3))
+        slot.fill(2.5, True)
+        assert list(slot.values) == [2.5, 2.5, 2.5]
+        assert slot.any_taint
+
+    def test_fill_int_array_drops_taint(self):
+        slot = ArraySlot(array_of(INT, 3))
+        slot.fill(2, True)
+        assert not slot.any_taint
+
+    def test_copy_from(self):
+        a = ArraySlot(array_of(REAL, 2))
+        b = ArraySlot(array_of(REAL, 2))
+        a.set_elem((0,), 7.0, True)
+        b.copy_from(a)
+        assert b.get_elem((0,)) == (7.0, True)
+        # Copies, not views:
+        a.set_elem((0,), 9.0, False)
+        assert b.get_elem((0,))[0] == 7.0
+
+
+class TestElemSlot:
+    def test_view_semantics(self):
+        arr = ArraySlot(array_of(REAL, 4))
+        view = ElemSlot(arr, (2,))
+        view.set(1.5, True)
+        assert arr.get_elem((2,)) == (1.5, True)
+        arr.set_elem((2,), 3.0, False)
+        assert view.get() == (3.0, False)
+
+
+class TestNetwork:
+    def test_send_then_recv(self):
+        net = Network(2, timeout=0.5)
+        net.send(0, 1, tag=7, comm=0, payload=1.25, taint=False)
+        msg = net.recv(1, src=0, tag=7, comm=0)
+        assert msg.payload == 1.25 and msg.src == 0
+
+    def test_fifo_per_source_tag(self):
+        net = Network(2, timeout=0.5)
+        net.send(0, 1, 7, 0, "first", False)
+        net.send(0, 1, 7, 0, "second", False)
+        assert net.recv(1, 0, 7, 0).payload == "first"
+        assert net.recv(1, 0, 7, 0).payload == "second"
+
+    def test_tag_selectivity(self):
+        net = Network(2, timeout=0.5)
+        net.send(0, 1, 7, 0, "seven", False)
+        net.send(0, 1, 8, 0, "eight", False)
+        assert net.recv(1, 0, 8, 0).payload == "eight"
+        assert net.pending_messages(1, 0) == 1
+
+    def test_recv_timeout(self):
+        net = Network(2, timeout=0.1)
+        with pytest.raises(DeadlockError, match="timed out"):
+            net.recv(0, src=1, tag=1, comm=0)
+
+    def test_send_invalid_rank(self):
+        net = Network(2, timeout=0.1)
+        with pytest.raises(DeadlockError, match="invalid rank"):
+            net.send(0, 9, 1, 0, None, None)
+
+    def test_recv_blocks_until_send(self):
+        net = Network(2, timeout=2.0)
+        got = {}
+
+        def receiver():
+            got["msg"] = net.recv(1, 0, 3, 0)
+
+        t = threading.Thread(target=receiver, daemon=True)
+        t.start()
+        net.send(0, 1, 3, 0, 42, False)
+        t.join(timeout=2.0)
+        assert got["msg"].payload == 42
+
+    def test_collective_rendezvous(self):
+        net = Network(3, timeout=2.0)
+        results = [None] * 3
+
+        def worker(rank):
+            results[rank] = net.collective(
+                "sum", rank, 0, rank + 1, lambda c: sum(c.values())
+            )
+
+        threads = [
+            threading.Thread(target=worker, args=(r,), daemon=True)
+            for r in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=2.0)
+        assert results == [6, 6, 6]
+
+    def test_collective_sequences_are_independent(self):
+        net = Network(2, timeout=2.0)
+        out = {}
+
+        def worker(rank):
+            out[(rank, 0)] = net.collective("x", rank, 0, rank, lambda c: max(c.values()))
+            out[(rank, 1)] = net.collective("x", rank, 0, rank * 10, lambda c: max(c.values()))
+
+        threads = [
+            threading.Thread(target=worker, args=(r,), daemon=True) for r in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=2.0)
+        assert out[(0, 0)] == 1 and out[(0, 1)] == 10
+
+    def test_collective_timeout_when_peer_missing(self):
+        net = Network(2, timeout=0.1)
+        with pytest.raises(DeadlockError, match="timed out"):
+            net.collective("solo", 0, 0, None, lambda c: None)
+
+    def test_abort_releases_waiters(self):
+        net = Network(2, timeout=5.0)
+        failures = []
+
+        def receiver():
+            try:
+                net.recv(1, 0, 1, 0)
+            except DeadlockError as exc:
+                failures.append(exc)
+
+        t = threading.Thread(target=receiver, daemon=True)
+        t.start()
+        net.abort(RuntimeError("peer crashed"))
+        t.join(timeout=2.0)
+        assert failures and "peer" in str(failures[0])
+
+    def test_numpy_payloads_copied_by_caller_contract(self):
+        net = Network(2, timeout=0.5)
+        data = np.array([1.0, 2.0])
+        net.send(0, 1, 1, 0, data.copy(), np.zeros(2, dtype=bool))
+        data[0] = 99.0
+        msg = net.recv(1, 0, 1, 0)
+        assert msg.payload[0] == 1.0

@@ -1,0 +1,192 @@
+"""Tests for forward slicing and trust/taint analysis (§1, §2)."""
+
+import pytest
+
+from repro.analyses import MpiModel, forward_slice, taint_analysis
+from repro.analyses.controldep import control_dependence, postdominators
+from repro.cfg import build_icfg
+from repro.cfg.node import AssignNode, MpiNode
+from repro.ir import parse_program
+from repro.mpi import build_mpi_cfg
+from repro.programs.figure1 import LINE_OF_STATEMENT
+
+
+def assign_at_line(icfg, line):
+    return next(
+        n.id
+        for n in icfg.graph.nodes.values()
+        if isinstance(n, AssignNode) and n.loc.line == line
+    )
+
+
+class TestFigure1Slice:
+    """§1: the forward slice of statement 1 (x = 0)."""
+
+    def expected_lines(self, statements):
+        return sorted(LINE_OF_STATEMENT[s] for s in statements)
+
+    def test_mpi_icfg_slice_complete(self, fig1_literal_program):
+        icfg, _ = build_mpi_cfg(fig1_literal_program, "main")
+        crit = assign_at_line(icfg, LINE_OF_STATEMENT[1])
+        result = forward_slice(icfg, crit, MpiModel.COMM_EDGES)
+        # Paper: statements 1, 5, 6, 7, 9, 10, 12 are in the slice.
+        assert result.lines(icfg) == self.expected_lines([1, 5, 6, 7, 9, 10, 12])
+
+    def test_naive_slice_incomplete(self, fig1_literal_program):
+        icfg = build_icfg(fig1_literal_program, "main")
+        crit = assign_at_line(icfg, LINE_OF_STATEMENT[1])
+        result = forward_slice(icfg, crit, MpiModel.IGNORE)
+        # Paper: the naive framework finds only statements 1, 5, 6, 7.
+        assert result.lines(icfg) == self.expected_lines([1, 5, 6, 7])
+
+    def test_global_buffer_slice_misses_receive_side(self, fig1_literal_program):
+        # §2: modelling communication as a global variable fails when a
+        # branch on rank precedes the communication — the buffer's
+        # taint never flows from the send branch to the receive branch,
+        # so the receive side of the slice is lost.
+        icfg = build_icfg(fig1_literal_program, "main")
+        crit = assign_at_line(icfg, LINE_OF_STATEMENT[1])
+        result = forward_slice(icfg, crit, MpiModel.GLOBAL_BUFFER)
+        lines = result.lines(icfg)
+        assert LINE_OF_STATEMENT[9] not in lines  # receive(y) missed
+        assert LINE_OF_STATEMENT[10] not in lines  # z = b * y missed
+
+    def test_criterion_must_define(self, fig1_literal_program):
+        icfg, _ = build_mpi_cfg(fig1_literal_program, "main")
+        entry = icfg.entry_exit("main")[0]
+        with pytest.raises(ValueError, match="defines no variable"):
+            forward_slice(icfg, entry)
+
+    def test_recv_as_criterion(self, fig1_literal_program):
+        icfg, _ = build_mpi_cfg(fig1_literal_program, "main")
+        recv = next(
+            n.id
+            for n in icfg.graph.nodes.values()
+            if isinstance(n, MpiNode) and n.op.name == "mpi_recv"
+        )
+        result = forward_slice(icfg, recv, MpiModel.COMM_EDGES)
+        lines = result.lines(icfg)
+        assert LINE_OF_STATEMENT[10] in lines  # z = b * y uses y
+        assert LINE_OF_STATEMENT[12] in lines  # reduce uses z
+
+
+class TestControlSlicing:
+    SRC = """
+    program t;
+    proc main() {
+      real x; real y; real z;
+      x = 1.0;
+      if (x < 2.0) {
+        y = 5.0;
+      }
+      z = 2.0;
+    }
+    """
+
+    def test_without_control_excludes_branch_targets(self):
+        icfg = build_icfg(parse_program(self.SRC), "main")
+        crit = assign_at_line(icfg, 5)  # x = 1.0
+        result = forward_slice(icfg, crit, MpiModel.IGNORE)
+        lines = result.lines(icfg)
+        assert 6 in lines  # the branch reads x
+        assert 7 not in lines  # y = 5.0 only control-dependent
+
+    def test_with_control_includes_branch_targets(self):
+        icfg = build_icfg(parse_program(self.SRC), "main")
+        crit = assign_at_line(icfg, 5)
+        result = forward_slice(
+            icfg, crit, MpiModel.IGNORE, include_control=True
+        )
+        lines = result.lines(icfg)
+        assert 7 in lines  # y = 5.0 control-dependent on the branch
+        assert 9 not in lines  # z = 2.0 not controlled by it
+
+    def test_postdominators_exit_dominates_itself(self):
+        icfg = build_icfg(parse_program(self.SRC), "main")
+        pd = postdominators(icfg)
+        _, exit_id = icfg.entry_exit("main")
+        assert pd[exit_id] == frozenset({exit_id})
+
+    def test_control_dependence_on_branch(self):
+        icfg = build_icfg(parse_program(self.SRC), "main")
+        cd = control_dependence(icfg)
+        from repro.cfg.node import BranchNode
+
+        branches = [
+            n.id for n in icfg.graph.nodes.values() if isinstance(n, BranchNode)
+        ]
+        assert branches and all(b in cd for b in branches)
+
+
+class TestTrustAnalysis:
+    SRC = """
+    program t;
+    proc main(real secret, real pub) {
+      real y; real z;
+      int rank;
+      rank = mpi_comm_rank();
+      if (rank == 0) {
+        call mpi_send(pub, 1, 1, comm_world);
+        call mpi_send(secret, 1, 2, comm_world);
+      } else {
+        call mpi_recv(y, 0, 1, comm_world);
+        call mpi_recv(z, 0, 2, comm_world);
+      }
+    }
+    """
+
+    def exit_taint(self, model, seeds, untrusted_channel=False):
+        prog = parse_program(self.SRC)
+        if model is MpiModel.COMM_EDGES:
+            icfg, _ = build_mpi_cfg(prog, "main")
+        else:
+            icfg = build_icfg(prog, "main")
+        res = taint_analysis(
+            icfg,
+            boundary_seeds=seeds,
+            mpi_model=model,
+            untrusted_channel=untrusted_channel,
+        )
+        exit_id = icfg.entry_exit("main")[1]
+        return {q.split("::")[-1] for q in res.in_fact(exit_id)}
+
+    def test_comm_edges_track_specific_channel(self):
+        tainted = self.exit_taint(MpiModel.COMM_EDGES, ["secret"])
+        assert "z" in tainted  # received the secret (tag 2)
+        assert "y" not in tainted  # received only public data (tag 1)
+
+    def test_global_assumption_taints_all_receives(self):
+        tainted = self.exit_taint(
+            MpiModel.GLOBAL_BUFFER, [], untrusted_channel=True
+        )
+        # The paper's conservative trust assumption: everything received
+        # is untrusted.
+        assert {"y", "z"} <= tainted
+
+    def test_taint_through_all_uses(self):
+        src = """
+        program t;
+        proc main(real tainted_in, real out) {
+          real a[3];
+          int i;
+          i = int(tainted_in);
+          a[0] = 1.0;
+          out = a[mod(i, 3)];
+        }
+        """
+        icfg = build_icfg(parse_program(src), "main")
+        res = taint_analysis(icfg, boundary_seeds=["tainted_in"])
+        exit_id = icfg.entry_exit("main")[1]
+        tainted = {q.split("::")[-1] for q in res.in_fact(exit_id)}
+        # Unlike Vary, taint flows through int() and index positions.
+        assert "i" in tainted and "out" in tainted
+
+    def test_node_seed(self, fig1_literal_program):
+        icfg, _ = build_mpi_cfg(fig1_literal_program, "main")
+        send = next(
+            n for n in icfg.mpi_nodes() if n.op.name == "mpi_send"
+        )
+        res = taint_analysis(
+            icfg, node_seeds={send.id: "main::x"}, mpi_model=MpiModel.COMM_EDGES
+        )
+        assert "main::x" in res.out_fact(send.id)

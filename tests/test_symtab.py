@@ -1,0 +1,117 @@
+"""Unit tests for symbol tables and qualified names."""
+
+import pytest
+
+from repro.ir import parse_program, validate_program
+from repro.ir.symtab import (
+    GLOBAL_SCOPE,
+    SymbolTable,
+    is_global_qname,
+    qualify,
+    split_qname,
+)
+from repro.ir.types import REAL
+
+
+SRC = """
+program t;
+global real g[4];
+proc helper(real x) {
+  real tmp;
+  tmp = x;
+}
+proc main() {
+  real y;
+  call helper(y);
+  g[0] = y;
+}
+"""
+
+
+@pytest.fixture()
+def symtab():
+    return validate_program(parse_program(SRC))
+
+
+class TestQualifiedNames:
+    def test_qualify_and_split(self):
+        assert qualify("p", "v") == "p::v"
+        assert split_qname("p::v") == ("p", "v")
+
+    def test_global_qname(self):
+        assert qualify(GLOBAL_SCOPE, "g") == "::g"
+        assert is_global_qname("::g")
+        assert not is_global_qname("p::v")
+
+    def test_split_rejects_bare_name(self):
+        with pytest.raises(ValueError):
+            split_qname("novariable")
+
+
+class TestLookup:
+    def test_local_lookup(self, symtab):
+        sym = symtab.lookup("helper", "tmp")
+        assert sym.kind == "local" and sym.qname == "helper::tmp"
+
+    def test_param_lookup(self, symtab):
+        sym = symtab.lookup("helper", "x")
+        assert sym.kind == "param" and sym.qname == "helper::x"
+
+    def test_global_fallback(self, symtab):
+        sym = symtab.lookup("main", "g")
+        assert sym.kind == "global" and sym.qname == "::g"
+
+    def test_missing_name(self, symtab):
+        with pytest.raises(KeyError):
+            symtab.lookup("main", "nothing")
+
+    def test_try_lookup_none(self, symtab):
+        assert symtab.try_lookup("main", "nothing") is None
+
+    def test_symbol_of_qname_roundtrip(self, symtab):
+        for sym in symtab.all_symbols():
+            assert symtab.symbol_of_qname(sym.qname) == sym
+
+
+class TestClones:
+    def test_add_clone_creates_scope(self, symtab):
+        ps = symtab.add_clone("helper", "helper$1")
+        assert ps.proc_name == "helper$1"
+        sym = symtab.lookup("helper$1", "tmp")
+        assert sym.qname == "helper$1::tmp"
+
+    def test_clone_preserves_origin(self, symtab):
+        symtab.add_clone("helper", "helper$1")
+        sym = symtab.lookup("helper$1", "tmp")
+        assert sym.origin_proc == "helper"
+        assert sym.origin_key == ("helper", "tmp")
+
+    def test_clone_of_clone_keeps_root_origin(self, symtab):
+        symtab.add_clone("helper", "helper$1")
+        # Cloning from an already-registered clone name is not a normal
+        # flow, but origins must stay stable through add_clone chains.
+        sym1 = symtab.lookup("helper$1", "x")
+        assert sym1.origin_key == ("helper", "x")
+
+    def test_clone_symbols_have_distinct_qnames(self, symtab):
+        symtab.add_clone("helper", "helper$1")
+        symtab.add_clone("helper", "helper$2")
+        q1 = symtab.qname("helper$1", "tmp")
+        q2 = symtab.qname("helper$2", "tmp")
+        assert q1 != q2
+
+    def test_global_visible_from_clone(self, symtab):
+        symtab.add_clone("helper", "helper$1")
+        assert symtab.lookup("helper$1", "g").qname == "::g"
+
+
+class TestSymbolProperties:
+    def test_sizeof(self, symtab):
+        assert symtab.lookup("main", "g").sizeof() == 32
+        assert symtab.lookup("main", "y").sizeof() == 8
+
+    def test_bad_kind_rejected(self):
+        from repro.ir.symtab import Symbol
+
+        with pytest.raises(ValueError):
+            Symbol("x", REAL, "wat", "p")

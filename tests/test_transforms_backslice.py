@@ -1,0 +1,242 @@
+"""Tests for constant folding and backward slicing."""
+
+import pytest
+
+from repro.analyses import MpiModel
+from repro.analyses.slicing import backward_slice
+from repro.cfg import build_icfg
+from repro.cfg.node import AssignNode, MpiNode
+from repro.ir import parse_program, print_program
+from repro.mpi import build_mpi_cfg
+from repro.programs import figure1
+from repro.runtime import RunConfig, run_spmd
+from repro.transforms import fold_constants
+
+
+class TestConstantFolding:
+    def test_simple_propagation(self):
+        src = """
+        program t;
+        proc main(real out) {
+          real a; real b;
+          a = 2.0;
+          b = a * 3.0;
+          out = b + a;
+        }
+        """
+        prog = parse_program(src)
+        result = fold_constants(prog, "main")
+        text = print_program(result.program)
+        assert "out = 8.0;" in text
+        assert result.substitutions > 0 and result.folds > 0
+
+    def test_communicated_constant_folds(self):
+        """Figure 1's y: the constant arrives through the message."""
+        prog = figure1.program_literal()
+        result = fold_constants(prog, "main", MpiModel.COMM_EDGES)
+        text = print_program(result.program)
+        # z = b * y with b=7, y=1 folds to the constant product.
+        assert "z = 7.0;" in text
+
+    def test_naive_model_cannot_fold_receive(self):
+        prog = figure1.program_literal()
+        result = fold_constants(prog, "main", MpiModel.IGNORE)
+        text = print_program(result.program)
+        assert "z = 7.0;" not in text
+        assert "z = 7.0 * y;" in text  # b folded, y unknown
+
+    def test_branch_flattening(self):
+        src = """
+        program t;
+        proc main(real out) {
+          real a;
+          a = 1.0;
+          if (a < 2.0) {
+            out = 10.0;
+          } else {
+            out = 20.0;
+          }
+        }
+        """
+        result = fold_constants(parse_program(src), "main")
+        text = print_program(result.program)
+        assert result.branches_flattened == 1
+        assert "20.0" not in text
+
+    def test_dead_while_removed(self):
+        src = """
+        program t;
+        proc main(real out) {
+          real a;
+          a = 5.0;
+          while (a < 0.0) {
+            out = out + 1.0;
+          }
+          out = a;
+        }
+        """
+        result = fold_constants(parse_program(src), "main")
+        text = print_program(result.program)
+        assert "while" not in text
+
+    def test_lvalue_call_arguments_preserved(self):
+        src = """
+        program t;
+        proc bump(real v) {
+          v = v + 1.0;
+        }
+        proc main(real out) {
+          real a;
+          a = 1.0;
+          call bump(a);
+          out = a;
+        }
+        """
+        result = fold_constants(parse_program(src), "main")
+        text = print_program(result.program)
+        assert "call bump(a);" in text  # the by-ref actual survives
+        # Interprocedural propagation through the single call site:
+        # bump writes v = 1 + 1 back into a, so `out = a` folds to 2.
+        assert "out = 2.0;" in text
+
+    def test_mpi_buffers_preserved(self):
+        prog = figure1.program_literal()
+        result = fold_constants(prog, "main", MpiModel.COMM_EDGES)
+        text = print_program(result.program)
+        assert "call mpi_send(x," in text
+        assert "call mpi_recv(y," in text
+
+    def test_semantics_preserved(self):
+        """Folded Figure 1 computes identical results on two ranks."""
+        prog = figure1.program_literal()
+        folded = fold_constants(prog, "main", MpiModel.COMM_EDGES).program
+        before = run_spmd(prog, RunConfig(nprocs=2, timeout=1.5))
+        after = run_spmd(folded, RunConfig(nprocs=2, timeout=1.5))
+        for rank in range(2):
+            for var in ("x", "y", "z", "b", "f"):
+                assert before.value(rank, var) == after.value(rank, var)
+
+    def test_loop_bounds_folded(self):
+        src = """
+        program t;
+        proc main(real out) {
+          int n; int i;
+          n = 3;
+          for i = 0 to n {
+            out = out + 1.0;
+          }
+        }
+        """
+        result = fold_constants(parse_program(src), "main")
+        text = print_program(result.program)
+        assert "for i = 0 to 3" in text
+
+    def test_unanalyzed_procs_untouched(self):
+        src = """
+        program t;
+        proc other(real v) {
+          real c;
+          c = 1.0;
+          v = c;
+        }
+        proc main(real out) {
+          out = 2.0 + 3.0;
+        }
+        """
+        result = fold_constants(parse_program(src), "main")
+        text = print_program(result.program)
+        assert "v = c;" in text  # `other` is outside main's region
+
+
+class TestBackwardSlice:
+    def test_figure1_backward_from_reduce(self):
+        prog = figure1.program_literal()
+        icfg, _ = build_mpi_cfg(prog, "main")
+        reduce_node = next(
+            n.id for n in icfg.mpi_nodes() if n.op.name == "mpi_reduce"
+        )
+        result = backward_slice(icfg, reduce_node, MpiModel.COMM_EDGES)
+        lines = result.lines(icfg)
+        # Everything feeding f: x=0(4), z=2(5), b=7(6), x=x+1(9),
+        # send(11), receive(13), z=b*y(14), reduce(16).
+        for stmt in (1, 2, 3, 5, 7, 9, 10):
+            assert figure1.LINE_OF_STATEMENT[stmt] in lines, stmt
+
+    def test_backward_without_comm_misses_send_side(self):
+        prog = figure1.program_literal()
+        icfg = build_icfg(prog, "main")
+        reduce_node = next(
+            n.id
+            for n in icfg.graph.nodes.values()
+            if isinstance(n, MpiNode) and n.op.name == "mpi_reduce"
+        )
+        result = backward_slice(icfg, reduce_node, MpiModel.IGNORE)
+        lines = result.lines(icfg)
+        # The send side (x = x + 1, send) is unreachable backwards.
+        assert figure1.LINE_OF_STATEMENT[5] not in lines
+        assert figure1.LINE_OF_STATEMENT[7] not in lines
+
+    def test_backward_slice_of_assignment(self):
+        src = """
+        program t;
+        proc main(real out) {
+          real a; real b; real unrelated;
+          a = 1.0;
+          unrelated = 99.0;
+          b = a * 2.0;
+          out = b;
+        }
+        """
+        icfg = build_icfg(parse_program(src), "main")
+        crit = next(
+            n.id
+            for n in icfg.graph.nodes.values()
+            if isinstance(n, AssignNode) and n.label() == "out = b"
+        )
+        result = backward_slice(icfg, crit, MpiModel.IGNORE)
+        labels = {
+            icfg.graph.node(nid).label() for nid in result.node_ids
+        }
+        assert "b = a * 2.0" in labels
+        assert "a = 1.0" in labels
+        assert "unrelated = 99.0" not in labels
+
+    def test_criterion_without_uses_rejected(self):
+        prog = figure1.program_literal()
+        icfg, _ = build_mpi_cfg(prog, "main")
+        entry = icfg.entry_exit("main")[0]
+        with pytest.raises(ValueError, match="uses no variables"):
+            backward_slice(icfg, entry)
+
+    def test_control_extension(self):
+        src = """
+        program t;
+        proc main(real cond_in, real out) {
+          real a;
+          if (cond_in < 0.0) {
+            a = 1.0;
+          } else {
+            a = 2.0;
+          }
+          out = a;
+        }
+        """
+        icfg = build_icfg(parse_program(src), "main")
+        crit = next(
+            n.id
+            for n in icfg.graph.nodes.values()
+            if isinstance(n, AssignNode) and n.label() == "out = a"
+        )
+        plain = backward_slice(icfg, crit, MpiModel.IGNORE)
+        ctrl = backward_slice(
+            icfg, crit, MpiModel.IGNORE, include_control=True
+        )
+        from repro.cfg.node import BranchNode
+
+        branch = next(
+            n.id
+            for n in icfg.graph.nodes.values()
+            if isinstance(n, BranchNode)
+        )
+        assert branch not in plain.node_ids
+        assert branch in ctrl.node_ids

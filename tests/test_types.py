@@ -1,0 +1,86 @@
+"""Unit tests for the SPL type system."""
+
+import pytest
+
+from repro.ir.types import (
+    BOOL,
+    INT,
+    REAL,
+    ArrayType,
+    BoolType,
+    IntType,
+    RealType,
+    array_of,
+)
+
+
+class TestScalarSizes:
+    def test_real_is_double(self):
+        assert REAL.sizeof() == 8
+
+    def test_int_is_fortran_integer(self):
+        assert INT.sizeof() == 4
+
+    def test_bool_is_fortran_logical(self):
+        assert BOOL.sizeof() == 4
+
+    def test_scalar_element_count(self):
+        assert REAL.element_count() == 1
+        assert INT.element_count() == 1
+
+
+class TestTypePredicates:
+    def test_real_is_real(self):
+        assert REAL.is_real
+        assert not INT.is_real
+        assert not BOOL.is_real
+
+    def test_real_array_is_real(self):
+        assert array_of(REAL, 4).is_real
+        assert not array_of(INT, 4).is_real
+
+    def test_is_array(self):
+        assert array_of(REAL, 2).is_array
+        assert not REAL.is_array
+
+    def test_base_of_array(self):
+        assert array_of(INT, 3, 4).base == INT
+        assert REAL.base == REAL
+
+
+class TestArrayType:
+    def test_sizeof_1d(self):
+        assert array_of(REAL, 100).sizeof() == 800
+
+    def test_sizeof_multidim(self):
+        assert array_of(REAL, 5, 12).sizeof() == 5 * 12 * 8
+
+    def test_element_count(self):
+        assert array_of(INT, 3, 4, 5).element_count() == 60
+
+    def test_str(self):
+        assert str(array_of(REAL, 5, 12)) == "real[5, 12]"
+
+    def test_empty_shape_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayType(REAL, ())
+
+    def test_nonpositive_extent_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayType(REAL, (0,))
+        with pytest.raises(ValueError):
+            ArrayType(REAL, (3, -1))
+
+    def test_nested_array_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayType(array_of(REAL, 2), (3,))  # type: ignore[arg-type]
+
+    def test_value_equality(self):
+        assert array_of(REAL, 3) == array_of(REAL, 3)
+        assert array_of(REAL, 3) != array_of(REAL, 4)
+        assert array_of(REAL, 3) != array_of(INT, 3)
+
+    def test_scalar_singletons_equal_fresh_instances(self):
+        assert REAL == RealType()
+        assert INT == IntType()
+        assert BOOL == BoolType()
