@@ -73,6 +73,7 @@ def activity_analysis(
     dependents: Sequence[str],
     mpi_model: MpiModel = MpiModel.COMM_EDGES,
     strategy: str = "roundrobin",
+    backend: str = "auto",
 ) -> ActivityResult:
     """Run Vary and Useful over ``icfg`` and intersect them.
 
@@ -80,8 +81,12 @@ def activity_analysis(
     the scope of the context routine ``icfg.root`` (its parameters,
     locals, or program globals).
     """
-    vary = vary_analysis(icfg, independents, mpi_model, strategy=strategy)
-    useful = useful_analysis(icfg, dependents, mpi_model, strategy=strategy)
+    vary = vary_analysis(
+        icfg, independents, mpi_model, strategy=strategy, backend=backend
+    )
+    useful = useful_analysis(
+        icfg, dependents, mpi_model, strategy=strategy, backend=backend
+    )
 
     active: set[str] = set()
     for nid in icfg.graph.nodes:

@@ -15,6 +15,7 @@ from typing import Optional, Sequence
 
 from ..cfg.icfg import ICFG
 from ..cfg.node import AssignNode, BranchNode, Edge, EdgeKind, MpiNode, Node
+from ..dataflow.bitset import BitsetFacts
 from ..dataflow.framework import DataFlowProblem, DataflowResult, Direction
 from ..dataflow.interproc import InterprocMaps
 from ..dataflow.lattice import SetFact
@@ -29,7 +30,7 @@ __all__ = ["LivenessProblem", "liveness_analysis"]
 EMPTY: SetFact = frozenset()
 
 
-class LivenessProblem(DataFlowProblem[SetFact, None]):
+class LivenessProblem(BitsetFacts, DataFlowProblem[SetFact, None]):
     direction = Direction.BACKWARD
     name = "liveness"
 
@@ -109,8 +110,13 @@ class LivenessProblem(DataFlowProblem[SetFact, None]):
 
 
 def liveness_analysis(
-    icfg: ICFG, live_out: Sequence[str] = (), strategy: str = "roundrobin"
+    icfg: ICFG,
+    live_out: Sequence[str] = (),
+    strategy: str = "roundrobin",
+    backend: str = "auto",
 ) -> DataflowResult:
     problem = LivenessProblem(icfg, live_out)
     entry, exit_ = icfg.entry_exit(icfg.root)
-    return solve(icfg.graph, entry, exit_, problem, strategy=strategy)
+    return solve(
+        icfg.graph, entry, exit_, problem, strategy=strategy, backend=backend
+    )

@@ -14,6 +14,7 @@ from typing import Optional
 
 from ..cfg.icfg import ICFG
 from ..cfg.node import AssignNode, Edge, EdgeKind, MpiNode, Node
+from ..dataflow.bitset import BitsetFacts
 from ..dataflow.framework import DataFlowProblem, DataflowResult, Direction
 from ..dataflow.interproc import InterprocMaps
 from ..dataflow.solver import solve
@@ -32,7 +33,7 @@ EMPTY: DefFact = frozenset()
 ENTRY_DEF = -1
 
 
-class ReachingDefsProblem(DataFlowProblem[DefFact, None]):
+class ReachingDefsProblem(BitsetFacts, DataFlowProblem[DefFact, None]):
     direction = Direction.FORWARD
     name = "reaching-defs"
 
@@ -118,7 +119,11 @@ class ReachingDefsProblem(DataFlowProblem[DefFact, None]):
         return fact
 
 
-def reaching_defs_analysis(icfg: ICFG, strategy: str = "roundrobin") -> DataflowResult:
+def reaching_defs_analysis(
+    icfg: ICFG, strategy: str = "roundrobin", backend: str = "auto"
+) -> DataflowResult:
     problem = ReachingDefsProblem(icfg)
     entry, exit_ = icfg.entry_exit(icfg.root)
-    return solve(icfg.graph, entry, exit_, problem, strategy=strategy)
+    return solve(
+        icfg.graph, entry, exit_, problem, strategy=strategy, backend=backend
+    )

@@ -25,6 +25,7 @@ from typing import Mapping, Optional, Sequence
 
 from ..cfg.icfg import ICFG
 from ..cfg.node import AssignNode, Edge, EdgeKind, MpiNode, Node
+from ..dataflow.bitset import BitsetFacts
 from ..dataflow.framework import DataFlowProblem, DataflowResult, Direction
 from ..dataflow.interproc import InterprocMaps
 from ..dataflow.lattice import SetFact
@@ -40,7 +41,7 @@ __all__ = ["TaintProblem", "taint_analysis"]
 EMPTY: SetFact = frozenset()
 
 
-class TaintProblem(DataFlowProblem[SetFact, bool]):
+class TaintProblem(BitsetFacts, DataFlowProblem[SetFact, bool]):
     direction = Direction.FORWARD
     name = "taint"
 
@@ -209,10 +210,13 @@ def taint_analysis(
     mpi_model: MpiModel = MpiModel.COMM_EDGES,
     untrusted_channel: bool = False,
     strategy: str = "roundrobin",
+    backend: str = "auto",
 ) -> DataflowResult:
     """Solve the influence analysis; see :class:`TaintProblem`."""
     problem = TaintProblem(
         icfg, boundary_seeds, node_seeds, mpi_model, untrusted_channel
     )
     entry, exit_ = icfg.entry_exit(icfg.root)
-    return solve(icfg.graph, entry, exit_, problem, strategy=strategy)
+    return solve(
+        icfg.graph, entry, exit_, problem, strategy=strategy, backend=backend
+    )

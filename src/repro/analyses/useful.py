@@ -14,6 +14,7 @@ from typing import Optional, Sequence
 
 from ..cfg.icfg import ICFG
 from ..cfg.node import AssignNode, Edge, EdgeKind, MpiNode, Node
+from ..dataflow.bitset import BitsetFacts
 from ..dataflow.framework import DataFlowProblem, DataflowResult, Direction
 from ..dataflow.interproc import InterprocMaps
 from ..dataflow.lattice import SetFact
@@ -29,7 +30,7 @@ __all__ = ["UsefulProblem", "useful_analysis"]
 EMPTY: SetFact = frozenset()
 
 
-class UsefulProblem(DataFlowProblem[SetFact, bool]):
+class UsefulProblem(BitsetFacts, DataFlowProblem[SetFact, bool]):
     """Backward "needed for the dependents" set analysis.
 
     Remember the orientation: the solver's ``before`` is the program-
@@ -225,8 +226,11 @@ def useful_analysis(
     dependents: Sequence[str],
     mpi_model: MpiModel = MpiModel.COMM_EDGES,
     strategy: str = "roundrobin",
+    backend: str = "auto",
 ) -> DataflowResult:
     """Solve Useful for the given dependent variables of ``icfg.root``."""
     problem = UsefulProblem(icfg, dependents, mpi_model)
     entry, exit_ = icfg.entry_exit(icfg.root)
-    return solve(icfg.graph, entry, exit_, problem, strategy=strategy)
+    return solve(
+        icfg.graph, entry, exit_, problem, strategy=strategy, backend=backend
+    )

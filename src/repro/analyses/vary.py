@@ -13,6 +13,7 @@ from typing import Optional, Sequence
 
 from ..cfg.icfg import ICFG
 from ..cfg.node import AssignNode, Edge, EdgeKind, MpiNode, Node
+from ..dataflow.bitset import BitsetFacts
 from ..dataflow.framework import DataFlowProblem, DataflowResult, Direction
 from ..dataflow.interproc import InterprocMaps
 from ..dataflow.lattice import SetFact
@@ -28,7 +29,7 @@ __all__ = ["VaryProblem", "vary_analysis"]
 EMPTY: SetFact = frozenset()
 
 
-class VaryProblem(DataFlowProblem[SetFact, bool]):
+class VaryProblem(BitsetFacts, DataFlowProblem[SetFact, bool]):
     """Forward "depends on the independents" set analysis."""
 
     direction = Direction.FORWARD
@@ -241,11 +242,14 @@ def vary_analysis(
     independents: Sequence[str],
     mpi_model: MpiModel = MpiModel.COMM_EDGES,
     strategy: str = "roundrobin",
+    backend: str = "auto",
 ) -> DataflowResult:
     """Solve Vary for the given independent variables of ``icfg.root``."""
     problem = VaryProblem(icfg, independents, mpi_model)
     entry, exit_ = icfg.entry_exit(icfg.root)
-    return solve(icfg.graph, entry, exit_, problem, strategy=strategy)
+    return solve(
+        icfg.graph, entry, exit_, problem, strategy=strategy, backend=backend
+    )
 
 
 _ = ArrayRef  # referenced in docs/tests

@@ -24,6 +24,19 @@ class FlowGraph:
         self.nodes: dict[int, Node] = {}
         self._succs: dict[int, list[Edge]] = {}
         self._preds: dict[int, list[Edge]] = {}
+        #: (src, dst, kind, label) keys for O(1) add_edge idempotence.
+        self._edge_keys: set[tuple[int, int, EdgeKind, str]] = set()
+        # Kind-split adjacency caches (node id -> tuple), built lazily
+        # and invalidated per endpoint on add_edge/remove_edge.  The
+        # returned tuples are shared — callers must not mutate them.
+        self._flow_out_cache: dict[int, tuple[Edge, ...]] = {}
+        self._flow_in_cache: dict[int, tuple[Edge, ...]] = {}
+        self._comm_succ_cache: dict[int, tuple[int, ...]] = {}
+        self._comm_pred_cache: dict[int, tuple[int, ...]] = {}
+        #: Mutation counter; external caches (solver adjacency views,
+        #: reverse postorders) are stamped with it and rebuilt when stale.
+        self._version = 0
+        self._rpo_cache: dict[tuple[int, ...], tuple[int, list[int]]] = {}
 
     # -- construction -----------------------------------------------------
 
@@ -33,6 +46,7 @@ class FlowGraph:
         self.nodes[node.id] = node
         self._succs[node.id] = []
         self._preds[node.id] = []
+        self._version += 1
         return node
 
     def add_edge(
@@ -45,17 +59,34 @@ class FlowGraph:
         if src not in self.nodes or dst not in self.nodes:
             raise KeyError(f"edge endpoints must exist: {src} -> {dst}")
         edge = Edge(src, dst, kind, label)
-        if edge in self._succs[src]:
+        key = (src, dst, kind, label)
+        if key in self._edge_keys:
             return edge  # idempotent
+        self._edge_keys.add(key)
         self._succs[src].append(edge)
         self._preds[dst].append(edge)
+        self._invalidate_adjacency(src, dst)
         return edge
 
     def remove_edge(self, edge: Edge) -> None:
         self._succs[edge.src].remove(edge)
         self._preds[edge.dst].remove(edge)
+        self._edge_keys.discard((edge.src, edge.dst, edge.kind, edge.label))
+        self._invalidate_adjacency(edge.src, edge.dst)
+
+    def _invalidate_adjacency(self, src: int, dst: int) -> None:
+        self._flow_out_cache.pop(src, None)
+        self._comm_succ_cache.pop(src, None)
+        self._flow_in_cache.pop(dst, None)
+        self._comm_pred_cache.pop(dst, None)
+        self._version += 1
 
     # -- queries -----------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Mutation counter for version-stamped external caches."""
+        return self._version
 
     def node(self, node_id: int) -> Node:
         return self.nodes[node_id]
@@ -83,12 +114,25 @@ class FlowGraph:
     def comm_edges(self) -> list[Edge]:
         return list(self.edges_of_kind(EdgeKind.COMM))
 
-    def flow_out(self, node_id: int) -> list[Edge]:
-        """Out-edges excluding communication edges."""
-        return [e for e in self._succs[node_id] if e.kind is not EdgeKind.COMM]
+    def flow_out(self, node_id: int) -> tuple[Edge, ...]:
+        """Out-edges excluding communication edges (cached; do not mutate)."""
+        cached = self._flow_out_cache.get(node_id)
+        if cached is None:
+            cached = tuple(
+                e for e in self._succs[node_id] if e.kind is not EdgeKind.COMM
+            )
+            self._flow_out_cache[node_id] = cached
+        return cached
 
-    def flow_in(self, node_id: int) -> list[Edge]:
-        return [e for e in self._preds[node_id] if e.kind is not EdgeKind.COMM]
+    def flow_in(self, node_id: int) -> tuple[Edge, ...]:
+        """In-edges excluding communication edges (cached; do not mutate)."""
+        cached = self._flow_in_cache.get(node_id)
+        if cached is None:
+            cached = tuple(
+                e for e in self._preds[node_id] if e.kind is not EdgeKind.COMM
+            )
+            self._flow_in_cache[node_id] = cached
+        return cached
 
     def flow_succs(self, node_id: int) -> list[int]:
         return [e.dst for e in self.flow_out(node_id)]
@@ -96,11 +140,25 @@ class FlowGraph:
     def flow_preds(self, node_id: int) -> list[int]:
         return [e.src for e in self.flow_in(node_id)]
 
-    def comm_succs(self, node_id: int) -> list[int]:
-        return [e.dst for e in self._succs[node_id] if e.kind is EdgeKind.COMM]
+    def comm_succs(self, node_id: int) -> tuple[int, ...]:
+        """Communication successors (cached; do not mutate)."""
+        cached = self._comm_succ_cache.get(node_id)
+        if cached is None:
+            cached = tuple(
+                e.dst for e in self._succs[node_id] if e.kind is EdgeKind.COMM
+            )
+            self._comm_succ_cache[node_id] = cached
+        return cached
 
-    def comm_preds(self, node_id: int) -> list[int]:
-        return [e.src for e in self._preds[node_id] if e.kind is EdgeKind.COMM]
+    def comm_preds(self, node_id: int) -> tuple[int, ...]:
+        """Communication predecessors (cached; do not mutate)."""
+        cached = self._comm_pred_cache.get(node_id)
+        if cached is None:
+            cached = tuple(
+                e.src for e in self._preds[node_id] if e.kind is EdgeKind.COMM
+            )
+            self._comm_pred_cache[node_id] = cached
+        return cached
 
     def nodes_where(self, predicate: Callable[[Node], bool]) -> list[Node]:
         return [n for n in self.nodes.values() if predicate(n)]
@@ -134,13 +192,19 @@ class FlowGraph:
         order so round-robin sweeps still visit everything.
         """
         roots = [root] if isinstance(root, int) else list(root)
+        key = tuple(roots)
+        hit = self._rpo_cache.get(key)
+        if hit is not None and hit[0] == self._version:
+            return list(hit[1])
         order: list[int] = []
         seen: set[int] = set()
         for r in roots:
             for nid in reversed(self._postorder(r, seen)):
                 order.append(nid)
         rest = sorted(nid for nid in self.nodes if nid not in seen)
-        return order + rest
+        order = order + rest
+        self._rpo_cache[key] = (self._version, order)
+        return list(order)
 
     def _postorder(self, root: int, visited: Optional[set[int]] = None) -> list[int]:
         result: list[int] = []
@@ -176,6 +240,8 @@ class FlowGraph:
         }
         if fwd != bwd:
             raise AssertionError("succ/pred adjacency out of sync")
+        if fwd != self._edge_keys:
+            raise AssertionError("edge key set out of sync with adjacency")
         for e in self.edges():
             if e.src not in self.nodes or e.dst not in self.nodes:
                 raise AssertionError(f"dangling edge {e}")

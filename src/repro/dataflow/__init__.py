@@ -1,6 +1,7 @@
 """The MPI-aware data-flow analysis framework (§3–§4)."""
 
-from .framework import DataFlowProblem, DataflowResult, Direction
+from .bitset import BitsetAdapter, BitsetFacts, FactUniverse
+from .framework import DataFlowProblem, DataflowResult, Direction, SolverStats
 from .interproc import InterprocMaps, ParamBinding, SiteInfo
 from .lattice import (
     BOTTOM,
@@ -17,15 +18,21 @@ from .lattice import (
     env_set,
     set_meet,
 )
-from .solver import MAX_PASSES, SolverError, solve
+from .solver import BACKENDS, MAX_PASSES, STRATEGIES, SolverError, solve
 
 __all__ = [
     "Direction",
     "DataFlowProblem",
     "DataflowResult",
+    "SolverStats",
     "solve",
     "SolverError",
     "MAX_PASSES",
+    "STRATEGIES",
+    "BACKENDS",
+    "BitsetFacts",
+    "BitsetAdapter",
+    "FactUniverse",
     "InterprocMaps",
     "SiteInfo",
     "ParamBinding",

@@ -30,13 +30,13 @@ the paper defines them.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from enum import Enum
 from typing import Any, Generic, Optional, Sequence, TypeVar
 
 from ..cfg.node import Edge, Node
 
-__all__ = ["Direction", "DataFlowProblem", "DataflowResult"]
+__all__ = ["Direction", "DataFlowProblem", "DataflowResult", "SolverStats"]
 
 F = TypeVar("F")  # node fact
 C = TypeVar("C")  # communication value
@@ -58,6 +58,10 @@ class DataFlowProblem(ABC, Generic[F, C]):
 
     direction: Direction = Direction.FORWARD
     name: str = "dataflow"
+    #: Declares that ``edge_fact`` is the identity on FLOW edges, so the
+    #: solver may skip the call on intraprocedural edges.  Conservative
+    #: default; :class:`~repro.dataflow.bitset.BitsetFacts` turns it on.
+    flow_identity: bool = False
 
     # -- lattice of node facts ----------------------------------------------
 
@@ -127,6 +131,35 @@ class DataFlowProblem(ABC, Generic[F, C]):
 
 
 @dataclass
+class SolverStats:
+    """Observability counters for one :func:`repro.dataflow.solve` run.
+
+    ``wall_time_s`` covers the whole solve — engine setup (adjacency
+    precompute, SCC priorities), the fixed-point loop, and result
+    decoding for the bitset backend — so backends compare fairly.
+    ``meets`` counts binary meet applications, ``transfers`` counts
+    node transfer-function evaluations (cache hits included under the
+    bitset backend: the equations were still evaluated), and
+    ``comm_requeues`` counts nodes rescheduled because a communication
+    source's *before* fact changed.
+    """
+
+    strategy: str
+    backend: str = "native"
+    passes: int = 0
+    visits: int = 0
+    meets: int = 0
+    transfers: int = 0
+    comm_requeues: int = 0
+    wall_time_s: float = 0.0
+    nodes: int = 0
+
+    def as_dict(self) -> dict:
+        """Plain-dict rendering (JSON-friendly, used by the benchmarks)."""
+        return asdict(self)
+
+
+@dataclass
 class DataflowResult(Generic[F]):
     """Fixed-point facts plus solver accounting.
 
@@ -143,6 +176,8 @@ class DataflowResult(Generic[F]):
     iterations: int = 0
     visits: int = 0
     solver: str = "roundrobin"
+    #: Detailed solver accounting (None only for hand-built results).
+    stats: Optional[SolverStats] = None
 
     def in_fact(self, node_id: int) -> F:
         """Program-order IN set of the node (paper's ``IN(n)``)."""

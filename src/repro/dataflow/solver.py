@@ -1,29 +1,55 @@
 """Iterative solvers for :class:`~repro.dataflow.framework.DataFlowProblem`.
 
-Two strategies over the same fixed-point equations:
+Three strategies over the same fixed-point equations:
 
 * ``"roundrobin"`` — full passes over the graph in (reverse) reverse
   postorder until nothing changes.  The pass count is directly
   comparable to the paper's Table 1 ``Iter`` column.
-* ``"worklist"`` — classic worklist with communication-dependency
+* ``"worklist"`` — classic FIFO worklist with communication-dependency
   re-queueing: when the *before* fact of a communication source
   changes, its communication successors are rescheduled (their
   transfer consumes ``f_comm(before(source))``).
+* ``"priority"`` — SCC-condensation worklist: Tarjan's algorithm over
+  the direction-oriented flow *and* communication edges condenses the
+  graph into strongly connected components, nodes are ranked by the
+  condensation's topological order (reverse postorder within each
+  component), and a min-heap drains pending work in rank order.  Inner
+  loops therefore iterate to their local fixed point before downstream
+  regions are touched, instead of re-visiting downstream nodes once
+  per upstream lattice step.
 
-Both handle COMM edges per the paper: data-flow information crosses a
-communication edge only as the analysis-specific communication value,
-never as the full node fact.
+All strategies handle COMM edges per the paper: data-flow information
+crosses a communication edge only as the analysis-specific
+communication value, never as the full node fact.
+
+Fact backends
+-------------
+``solve`` additionally selects a *fact backend*.  Problems that
+subclass :class:`~repro.dataflow.bitset.BitsetFacts` (set facts,
+union meet) are transparently wrapped in a
+:class:`~repro.dataflow.bitset.BitsetAdapter` so meets and equality
+run as Python-int bitwise ops with memoised transfers; the fixed point
+is decoded back to ``frozenset``s, bit-identical to the native run.
+
+The engine precomputes direction-split flow and communication
+adjacency once per solve, so the inner loop never re-filters the
+graph's edge lists.
 """
 
 from __future__ import annotations
 
+import heapq
+import time
+import weakref
 from collections import deque
-from typing import Optional, TypeVar
+from typing import Iterable, Optional, TypeVar
 
 from ..cfg.graph import FlowGraph
-from .framework import DataFlowProblem, DataflowResult, Direction
+from ..cfg.node import EdgeKind
+from .bitset import BitsetAdapter
+from .framework import DataFlowProblem, DataflowResult, Direction, SolverStats
 
-__all__ = ["solve", "SolverError"]
+__all__ = ["solve", "SolverError", "STRATEGIES", "BACKENDS"]
 
 F = TypeVar("F")
 C = TypeVar("C")
@@ -32,13 +58,100 @@ C = TypeVar("C")
 #: indicates a non-monotone transfer function (a bug), not a big input.
 MAX_PASSES = 10_000
 
+STRATEGIES = ("roundrobin", "worklist", "priority")
+BACKENDS = ("auto", "native", "bitset")
+
 
 class SolverError(RuntimeError):
     """Fixed point not reached within the safety bound."""
 
 
+#: "This node's transfer has never been evaluated" marker for the
+#: update short-circuit (``None`` is a legitimate comm value).
+_NEVER = object()
+
+
+class _GraphView:
+    """Direction-oriented adjacency snapshot of one :class:`FlowGraph`.
+
+    Building these per solve dominates wall time on Table-1-sized
+    graphs, so views are cached per ``(graph, direction)`` keyed on the
+    graph's mutation :attr:`~repro.cfg.graph.FlowGraph.version` — every
+    solve on an unmutated graph (e.g. Vary then Useful in an activity
+    analysis) shares the same snapshot, including the Tarjan SCC
+    decomposition the ``"priority"`` strategy ranks from.
+    """
+
+    __slots__ = (
+        "upstream",
+        "flow_upstream",
+        "nonflow_upstream",
+        "downstream",
+        "comm_upstream",
+        "comm_downstream",
+        "sccs",
+    )
+
+    def __init__(self, graph: FlowGraph, forward: bool):
+        upstream: dict[int, list] = {nid: [] for nid in graph.nodes}
+        flow_up: dict[int, list] = {nid: [] for nid in graph.nodes}
+        nonflow_up: dict[int, list] = {nid: [] for nid in graph.nodes}
+        downstream: dict[int, list] = {nid: [] for nid in graph.nodes}
+        comm_up: dict[int, list] = {nid: [] for nid in graph.nodes}
+        comm_down: dict[int, list] = {nid: [] for nid in graph.nodes}
+        for edge in graph.edges():
+            src, dst = (edge.src, edge.dst) if forward else (edge.dst, edge.src)
+            if edge.kind is EdgeKind.COMM:
+                comm_up[dst].append(src)
+                comm_down[src].append(dst)
+            else:
+                upstream[dst].append((edge, src))
+                downstream[src].append(dst)
+                if edge.kind is EdgeKind.FLOW:
+                    flow_up[dst].append(src)
+                else:
+                    nonflow_up[dst].append((edge, src))
+        self.upstream = {n: tuple(v) for n, v in upstream.items()}
+        self.flow_upstream = {n: tuple(v) for n, v in flow_up.items()}
+        self.nonflow_upstream = {n: tuple(v) for n, v in nonflow_up.items()}
+        self.downstream = {n: tuple(v) for n, v in downstream.items()}
+        self.comm_upstream = {n: tuple(v) for n, v in comm_up.items()}
+        self.comm_downstream = {n: tuple(v) for n, v in comm_down.items()}
+        #: Lazily filled by the first priority-strategy solve.
+        self.sccs: Optional[list[list[int]]] = None
+
+
+#: graph -> {"version": int, True: forward view, False: backward view}
+_VIEW_CACHE: "weakref.WeakKeyDictionary[FlowGraph, dict]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _graph_view(graph: FlowGraph, forward: bool) -> _GraphView:
+    entry = _VIEW_CACHE.get(graph)
+    version = graph.version
+    if entry is None or entry["version"] != version:
+        entry = {"version": version, True: None, False: None}
+        _VIEW_CACHE[graph] = entry
+    view = entry[forward]
+    if view is None:
+        view = _GraphView(graph, forward)
+        entry[forward] = view
+    return view
+
+
 class _Engine:
-    """Direction-agnostic view of the graph plus fact storage."""
+    """Direction-agnostic view of the graph plus fact storage.
+
+    All adjacency is resolved once at construction into per-node
+    tuples oriented along the analysis direction:
+
+    * ``upstream[n]``  — ``(edge, neighbour)`` pairs whose mapped
+      *after* facts meet into ``before(n)``;
+    * ``downstream[n]`` — nodes whose *before* depends on ``after(n)``;
+    * ``comm_upstream[n]`` / ``comm_downstream[n]`` — communication
+      sources feeding ``n`` / targets fed by ``n``.
+    """
 
     def __init__(
         self,
@@ -48,18 +161,38 @@ class _Engine:
         problem: DataFlowProblem,
     ):
         self.graph = graph
+        self.nodes = graph.nodes
         self.problem = problem
         forward = problem.direction is Direction.FORWARD
         self.forward = forward
         self.boundary_nodes = frozenset(entries if forward else exits)
-        self.before: dict[int, F] = {}
-        self.after: dict[int, F] = {}
-        top = problem.top()
-        for nid in graph.nodes:
-            self.before[nid] = top
-            self.after[nid] = top
+        self.top_fact = problem.top()
+        self.boundary_fact = problem.boundary()
+        self.before: dict[int, F] = dict.fromkeys(graph.nodes, self.top_fact)
+        self.after: dict[int, F] = dict.fromkeys(graph.nodes, self.top_fact)
         self.order = self._node_order(entries)
         self.use_comm = problem.has_comm()
+        # Last comm value each node's transfer was evaluated with —
+        # lets update() skip the transfer when nothing changed.
+        self._last_comm: dict[int, object] = {}
+        # Counters harvested into SolverStats by solve().
+        self.meets = 0
+        self.transfers = 0
+        self.comm_requeues = 0
+        # -- direction-split adjacency (cached per graph version) ----------
+        view = _graph_view(graph, forward)
+        self.view = view
+        self.upstream = view.upstream
+        self.flow_upstream = view.flow_upstream
+        self.nonflow_upstream = view.nonflow_upstream
+        self.downstream = view.downstream
+        self.comm_upstream = view.comm_upstream
+        self.comm_downstream = view.comm_downstream
+        # FLOW edge_fact is identity for declaring problems, and the
+        # bitset adapter's facts are plain ints — both enable leaner
+        # inner loops in update().
+        self.flow_identity = getattr(problem, "flow_identity", False)
+        self.int_facts = isinstance(problem, BitsetAdapter)
 
     def _node_order(self, entries: list[int]) -> list[int]:
         order = self.graph.reverse_postorder(entries)
@@ -67,65 +200,160 @@ class _Engine:
             order = list(reversed(order))
         return order
 
-    # -- direction-sensitive adjacency ------------------------------------
-
-    def upstream_edges(self, nid: int):
-        return self.graph.flow_in(nid) if self.forward else self.graph.flow_out(nid)
-
-    def upstream_node(self, edge) -> int:
-        return edge.src if self.forward else edge.dst
-
-    def downstream_nodes(self, nid: int) -> list[int]:
-        if self.forward:
-            return [e.dst for e in self.graph.flow_out(nid)]
-        return [e.src for e in self.graph.flow_in(nid)]
-
-    def comm_upstream(self, nid: int) -> list[int]:
-        if self.forward:
-            return self.graph.comm_preds(nid)
-        return self.graph.comm_succs(nid)
-
-    def comm_downstream(self, nid: int) -> list[int]:
-        if self.forward:
-            return self.graph.comm_succs(nid)
-        return self.graph.comm_preds(nid)
-
     # -- the fixed-point equations ------------------------------------------
 
     def compute_before(self, nid: int) -> F:
+        """Meet of mapped upstream after facts (reference form; update()
+        inlines specialised variants of this on its hot path)."""
         problem = self.problem
-        fact = problem.boundary() if nid in self.boundary_nodes else problem.top()
-        for edge in self.upstream_edges(nid):
-            neighbor = self.upstream_node(edge)
+        fact = self.boundary_fact if nid in self.boundary_nodes else self.top_fact
+        edges = self.upstream[nid]
+        for edge, neighbor in edges:
             mapped = problem.edge_fact(edge, self.after[neighbor])
             fact = problem.meet(fact, mapped)
+        self.meets += len(edges)
         return fact
-
-    def compute_comm(self, nid: int) -> Optional[C]:
-        if not self.use_comm:
-            return None
-        sources = self.comm_upstream(nid)
-        if not sources:
-            return None
-        values = [
-            self.problem.comm_value(self.graph.node(q), self.before[q])
-            for q in sources
-        ]
-        return self.problem.comm_meet(values)
 
     def update(self, nid: int) -> tuple[bool, bool]:
         """Recompute node ``nid``; returns (before_changed, after_changed)."""
         problem = self.problem
-        new_before = self.compute_before(nid)
-        before_changed = not problem.eq(new_before, self.before[nid])
+        before = self.before
+        after = self.after
+        fact = self.boundary_fact if nid in self.boundary_nodes else self.top_fact
+        # -- before(nid): meet of mapped upstream after facts.  Three
+        # specialisations of the same equation, leanest first: int
+        # bitmask facts meet with `|=`; FLOW-identity problems skip the
+        # edge_fact call on intraprocedural edges; the generic form
+        # delegates everything to the problem.
+        if self.int_facts and self.flow_identity:
+            for m in self.flow_upstream[nid]:
+                fact |= after[m]
+            others = self.nonflow_upstream[nid]
+            for edge, m in others:
+                fact |= problem.edge_fact(edge, after[m])
+            self.meets += len(self.flow_upstream[nid]) + len(others)
+            before_changed = fact != before[nid]
+        elif self.flow_identity:
+            meet = problem.meet
+            flow_ups = self.flow_upstream[nid]
+            for m in flow_ups:
+                fact = meet(fact, after[m])
+            others = self.nonflow_upstream[nid]
+            for edge, m in others:
+                fact = meet(fact, problem.edge_fact(edge, after[m]))
+            self.meets += len(flow_ups) + len(others)
+            before_changed = not problem.eq(fact, before[nid])
+        else:
+            fact = self.compute_before(nid)
+            before_changed = not problem.eq(fact, before[nid])
         if before_changed:
-            self.before[nid] = new_before
-        comm = self.compute_comm(nid)
-        new_after = problem.transfer(self.graph.node(nid), self.before[nid], comm)
-        after_changed = not problem.eq(new_after, self.after[nid])
+            before[nid] = fact
+        # -- communication value (None when the node has no comm sources).
+        comm = None
+        if self.use_comm:
+            sources = self.comm_upstream[nid]
+            if sources:
+                nodes = self.nodes
+                comm = problem.comm_meet(
+                    [
+                        problem.comm_value(nodes[q], before[q])
+                        for q in sources
+                    ]
+                )
+        # Transfer functions are pure, so a node whose before fact and
+        # comm value both match its previous evaluation cannot produce
+        # a different after fact — skip the recomputation.
+        last_comm = self._last_comm.get(nid, _NEVER)
+        if not before_changed and last_comm is not _NEVER and comm == last_comm:
+            return False, False
+        self._last_comm[nid] = comm
+        new_after = problem.transfer(self.nodes[nid], before[nid], comm)
+        self.transfers += 1
+        if self.int_facts:
+            after_changed = new_after != after[nid]
+        else:
+            after_changed = not problem.eq(new_after, after[nid])
         if after_changed:
-            self.after[nid] = new_after
+            after[nid] = new_after
         return before_changed, after_changed
+
+    # -- SCC priorities for the "priority" strategy --------------------------
+
+    def priority_ranks(self) -> dict[int, int]:
+        """Total order draining source SCCs before downstream ones.
+
+        Tarjan over the *propagation* edges (direction-oriented flow
+        plus communication) emits SCCs in reverse topological order of
+        the condensation; ranks number them topologically, breaking
+        ties within a component by reverse-postorder position.
+        """
+        sccs = self.view.sccs
+        if sccs is None:
+            downstream = self.downstream
+            comm_down = self.comm_downstream
+            sccs = _tarjan_sccs(
+                self.order, lambda n: downstream[n] + comm_down[n]
+            )
+            self.view.sccs = sccs
+        pos = {nid: i for i, nid in enumerate(self.order)}
+        ranks: dict[int, int] = {}
+        rank = 0
+        for component in reversed(sccs):  # topological order
+            for nid in sorted(component, key=pos.__getitem__):
+                ranks[nid] = rank
+                rank += 1
+        return ranks
+
+
+def _tarjan_sccs(nodes: Iterable[int], succs) -> list[list[int]]:
+    """Iterative Tarjan; components are returned in reverse topological
+    order of the condensation (callees/sinks first)."""
+    index: dict[int, int] = {}
+    low: dict[int, int] = {}
+    on_stack: set[int] = set()
+    stack: list[int] = []
+    components: list[list[int]] = []
+    counter = 0
+    for root in nodes:
+        if root in index:
+            continue
+        work: list[tuple[int, Iterable[int]]] = []
+        index[root] = low[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        work.append((root, iter(succs(root))))
+        while work:
+            v, it = work[-1]
+            advanced = False
+            for w in it:
+                if w not in index:
+                    index[w] = low[w] = counter
+                    counter += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(succs(w))))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    if index[w] < low[v]:
+                        low[v] = index[w]
+            if not advanced:
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    if low[v] < low[parent]:
+                        low[parent] = low[v]
+                if low[v] == index[v]:
+                    component = []
+                    while True:
+                        w = stack.pop()
+                        on_stack.discard(w)
+                        component.append(w)
+                        if w == v:
+                            break
+                    components.append(component)
+    return components
 
 
 def _solve_roundrobin(engine: _Engine) -> tuple[int, int]:
@@ -152,6 +380,7 @@ def _solve_worklist(engine: _Engine) -> tuple[int, int]:
     queued = set(engine.order)
     visits = 0
     limit = MAX_PASSES * max(1, len(engine.graph))
+    use_comm = engine.use_comm
     while work:
         visits += 1
         if visits > limit:
@@ -161,16 +390,59 @@ def _solve_worklist(engine: _Engine) -> tuple[int, int]:
         nid = work.popleft()
         queued.discard(nid)
         before_changed, after_changed = engine.update(nid)
-        targets: list[int] = []
         if after_changed:
-            targets.extend(engine.downstream_nodes(nid))
-        if engine.use_comm and before_changed:
-            targets.extend(engine.comm_downstream(nid))
-        for t in targets:
-            if t not in queued:
-                queued.add(t)
-                work.append(t)
+            for t in engine.downstream[nid]:
+                if t not in queued:
+                    queued.add(t)
+                    work.append(t)
+        if use_comm and before_changed:
+            for t in engine.comm_downstream[nid]:
+                if t not in queued:
+                    queued.add(t)
+                    work.append(t)
+                    engine.comm_requeues += 1
     return 0, visits
+
+
+def _solve_priority(engine: _Engine) -> tuple[int, int]:
+    ranks = engine.priority_ranks()
+    heap = [(ranks[nid], nid) for nid in engine.order]
+    heapq.heapify(heap)
+    queued = set(engine.order)
+    visits = 0
+    limit = MAX_PASSES * max(1, len(engine.graph))
+    use_comm = engine.use_comm
+    push = heapq.heappush
+    while heap:
+        _, nid = heapq.heappop(heap)
+        if nid not in queued:
+            continue  # stale heap entry
+        queued.discard(nid)
+        visits += 1
+        if visits > limit:
+            raise SolverError(
+                f"{engine.problem.name}: priority worklist exceeded {limit} visits"
+            )
+        before_changed, after_changed = engine.update(nid)
+        if after_changed:
+            for t in engine.downstream[nid]:
+                if t not in queued:
+                    queued.add(t)
+                    push(heap, (ranks[t], t))
+        if use_comm and before_changed:
+            for t in engine.comm_downstream[nid]:
+                if t not in queued:
+                    queued.add(t)
+                    push(heap, (ranks[t], t))
+                    engine.comm_requeues += 1
+    return 0, visits
+
+
+_STRATEGY_FNS = {
+    "roundrobin": _solve_roundrobin,
+    "worklist": _solve_worklist,
+    "priority": _solve_priority,
+}
 
 
 def solve(
@@ -179,29 +451,67 @@ def solve(
     exit_: int | list[int],
     problem: DataFlowProblem,
     strategy: str = "roundrobin",
+    backend: str = "auto",
 ) -> DataflowResult:
     """Run ``problem`` to a fixed point over ``graph``.
 
     ``entry``/``exit_`` are the root procedure's ENTRY and EXIT node
     ids (the analysis boundary); the two-copy baseline passes lists —
-    one entry/exit per process copy.  ``strategy`` is ``"roundrobin"``
-    or ``"worklist"``.
+    one entry/exit per process copy.  ``strategy`` is ``"roundrobin"``,
+    ``"worklist"`` or ``"priority"``; ``backend`` is ``"auto"`` (bitset
+    when the problem subclasses
+    :class:`~repro.dataflow.bitset.BitsetFacts`, native otherwise),
+    ``"native"`` or ``"bitset"``.  All strategy × backend combinations
+    reach the same fixed point; the returned facts are always in the
+    problem's native representation.
     """
+    try:
+        run = _STRATEGY_FNS[strategy]
+    except KeyError:
+        raise ValueError(
+            f"unknown solver strategy {strategy!r}; expected one of {STRATEGIES}"
+        ) from None
+    if backend == "auto":
+        use_bitset = getattr(problem, "bitset_capable", False)
+    elif backend == "bitset":
+        use_bitset = True
+    elif backend == "native":
+        use_bitset = False
+    else:
+        raise ValueError(
+            f"unknown fact backend {backend!r}; expected one of {BACKENDS}"
+        )
     entries = [entry] if isinstance(entry, int) else list(entry)
     exits = [exit_] if isinstance(exit_, int) else list(exit_)
-    engine = _Engine(graph, entries, exits, problem)
-    if strategy == "roundrobin":
-        passes, visits = _solve_roundrobin(engine)
-    elif strategy == "worklist":
-        passes, visits = _solve_worklist(engine)
-    else:
-        raise ValueError(f"unknown solver strategy {strategy!r}")
+
+    t0 = time.perf_counter()
+    engine_problem = BitsetAdapter(problem) if use_bitset else problem
+    engine = _Engine(graph, entries, exits, engine_problem)
+    passes, visits = run(engine)
+    before, after = engine.before, engine.after
+    if use_bitset:
+        before = engine_problem.decode_facts(before)
+        after = engine_problem.decode_facts(after)
+    wall = time.perf_counter() - t0
+
+    stats = SolverStats(
+        strategy=strategy,
+        backend="bitset" if use_bitset else "native",
+        passes=passes,
+        visits=visits,
+        meets=engine.meets,
+        transfers=engine.transfers,
+        comm_requeues=engine.comm_requeues,
+        wall_time_s=wall,
+        nodes=len(graph),
+    )
     return DataflowResult(
         problem_name=problem.name,
         direction=problem.direction,
-        before=engine.before,
-        after=engine.after,
+        before=before,
+        after=after,
         iterations=passes,
         visits=visits,
         solver=strategy,
+        stats=stats,
     )

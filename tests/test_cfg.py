@@ -184,8 +184,27 @@ class TestGraphContainer:
         g.add_node(NoopNode(1, "p"))
         g.add_edge(0, 1, EdgeKind.COMM)
         assert g.flow_succs(0) == []
-        assert g.comm_succs(0) == [1]
-        assert g.comm_preds(1) == [0]
+        assert g.comm_succs(0) == (1,)
+        assert g.comm_preds(1) == (0,)
+
+    def test_adjacency_caches_invalidated_on_mutation(self):
+        from repro.cfg import FlowGraph, NoopNode
+
+        g = FlowGraph()
+        for i in range(3):
+            g.add_node(NoopNode(i, "p"))
+        e01 = g.add_edge(0, 1)
+        assert [e.dst for e in g.flow_out(0)] == [1]  # populate caches
+        assert g.comm_succs(0) == ()
+        g.add_edge(0, 2, EdgeKind.COMM)
+        assert g.comm_succs(0) == (2,)
+        assert g.comm_preds(2) == (0,)
+        g.remove_edge(e01)
+        assert g.flow_out(0) == ()
+        assert g.flow_in(1) == ()
+        g.add_edge(0, 1)  # re-adding after removal must work (key dropped)
+        assert [e.dst for e in g.flow_out(0)] == [1]
+        g.check_consistency()
 
     def test_reverse_postorder_covers_everything(self):
         graph, pcfg = cfg_for("real x;\nwhile (x < 1.0) { x = x + 1.0; }")

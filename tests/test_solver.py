@@ -163,6 +163,127 @@ class TestCommEdges:
         assert "received" in wl.out_fact(2)
 
 
+class TestPriorityStrategy:
+    def test_matches_roundrobin_on_loops(self):
+        g = chain_graph(6)
+        g.add_edge(5, 2)
+        g.add_edge(3, 1)
+        rr = solve(g, 0, 5, CollectNames(), strategy="roundrobin")
+        pr = solve(g, 0, 5, CollectNames(), strategy="priority")
+        for nid in g.nodes:
+            assert rr.in_fact(nid) == pr.in_fact(nid)
+            assert rr.out_fact(nid) == pr.out_fact(nid)
+        assert pr.solver == "priority" and pr.visits > 0
+
+    def test_comm_value_crosses_edge(self):
+        g = FlowGraph()
+        for i in range(5):
+            g.add_node(NoopNode(i, "p"))
+        g.add_edge(3, 4)
+        g.add_edge(4, 0)
+        g.add_edge(1, 2)
+        g.add_edge(0, 2, EdgeKind.COMM)
+        rr = solve(g, 3, 0, TestCommEdges.CommProblem(), strategy="roundrobin")
+        pr = solve(g, 3, 0, TestCommEdges.CommProblem(), strategy="priority")
+        assert rr.out_fact(2) == pr.out_fact(2)
+        assert "received" in pr.out_fact(2)
+
+    def test_drains_upstream_scc_first(self):
+        # 0 -> (1 <-> 2 loop) -> 3: the loop must reach its local fixed
+        # point before node 3 is evaluated, so 3 is visited exactly once.
+        g = chain_graph(4)
+        g.add_edge(2, 1)
+        res = solve(g, 0, 3, CollectNames(), strategy="priority")
+        assert res.out_fact(3) == {"start", "n0", "n1", "n2", "n3"}
+        rr = solve(g, 0, 3, CollectNames(), strategy="roundrobin")
+        assert res.visits <= rr.visits
+
+
+class BitsetCollect(CollectNames):
+    """CollectNames with bitset-lattice semantics declared."""
+
+    bitset_capable = True
+    flow_identity = True
+
+
+class TestBackends:
+    def test_auto_picks_bitset_for_capable_problems(self):
+        g = chain_graph(3)
+        res = solve(g, 0, 2, BitsetCollect())
+        assert res.stats.backend == "bitset"
+        assert res.out_fact(2) == {"start", "n0", "n1", "n2"}
+
+    def test_auto_stays_native_otherwise(self):
+        g = chain_graph(3)
+        res = solve(g, 0, 2, CollectNames())
+        assert res.stats.backend == "native"
+
+    def test_forced_backends_agree(self):
+        g = chain_graph(5)
+        g.add_edge(4, 1)
+        native = solve(g, 0, 4, BitsetCollect(), backend="native")
+        bitset = solve(g, 0, 4, BitsetCollect(), backend="bitset")
+        assert native.before == bitset.before
+        assert native.after == bitset.after
+
+    def test_bitset_requires_declaration(self):
+        g = chain_graph(2)
+        with pytest.raises(ValueError, match="bitset"):
+            solve(g, 0, 1, CollectNames(), backend="bitset")
+
+    def test_unknown_backend(self):
+        g = chain_graph(2)
+        with pytest.raises(ValueError, match="backend"):
+            solve(g, 0, 1, CollectNames(), backend="simd")
+
+
+class TestStats:
+    def test_stats_populated(self):
+        g = chain_graph(4)
+        res = solve(g, 0, 3, CollectNames(), strategy="worklist")
+        stats = res.stats
+        assert stats.strategy == "worklist"
+        assert stats.backend == "native"
+        assert stats.visits == res.visits > 0
+        assert stats.transfers > 0
+        assert stats.meets > 0
+        assert stats.nodes == 4
+        assert stats.wall_time_s >= 0.0
+
+    def test_stats_as_dict_round_trips(self):
+        g = chain_graph(3)
+        res = solve(g, 0, 2, CollectNames())
+        d = res.stats.as_dict()
+        assert d["strategy"] == "roundrobin"
+        assert d["passes"] == res.iterations
+
+    def test_comm_requeues_counted(self):
+        # Comm edge pointing *backwards* in reverse postorder: node 1
+        # drains before node 2's before-fact is known, so the worklist
+        # must re-queue it when the communication source changes.
+        g = chain_graph(3)
+        g.add_edge(2, 1, EdgeKind.COMM)
+        res = solve(g, 0, 2, TestCommEdges.CommProblem(), strategy="worklist")
+        assert "received" in res.out_fact(1)
+        assert res.stats.comm_requeues > 0
+
+
+class TestGraphMutation:
+    def test_solver_sees_edge_removal_and_readd(self):
+        # The solver caches per-graph adjacency views keyed on the
+        # graph's mutation version; edits between solves must be seen.
+        g = chain_graph(2)
+        first = solve(g, 0, 1, CollectNames())
+        assert "n0" in first.in_fact(1)
+        g.remove_edge(g.flow_out(0)[0])
+        severed = solve(g, 0, 1, CollectNames())
+        assert "n0" not in severed.in_fact(1)
+        g.add_edge(0, 1)
+        restored = solve(g, 0, 1, CollectNames())
+        assert restored.before == first.before
+        assert restored.after == first.after
+
+
 class TestSafety:
     def test_non_monotone_transfer_detected(self):
         class Flipper(CollectNames):

@@ -1,0 +1,92 @@
+"""Every solver strategy × fact backend reaches the same fixed point.
+
+The reference configuration is ``roundrobin``/``native`` — the seed
+solver's semantics.  Equivalence is asserted over every Table 1
+registry program for two forward analyses (Vary, reaching definitions)
+and two backward ones (Useful, liveness), and over randomly generated
+SPMD programs via hypothesis.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.analyses.liveness import LivenessProblem
+from repro.analyses.reaching_defs import ReachingDefsProblem
+from repro.analyses.useful import UsefulProblem
+from repro.analyses.vary import VaryProblem
+from repro.dataflow.solver import BACKENDS, STRATEGIES, solve
+from repro.mpi import build_mpi_icfg
+from repro.programs.registry import BENCHMARKS
+
+from .gen_programs import spmd_programs
+
+CONFIGS = [
+    (strategy, backend)
+    for strategy in STRATEGIES
+    for backend in ("native", "bitset")
+]
+
+ANALYSES = {
+    "vary": lambda icfg, spec: VaryProblem(icfg, spec.independents),
+    "reaching_defs": lambda icfg, spec: ReachingDefsProblem(icfg),
+    "useful": lambda icfg, spec: UsefulProblem(icfg, spec.dependents),
+    "liveness": lambda icfg, spec: LivenessProblem(icfg),
+}
+
+_icfg_cache: dict[str, object] = {}
+
+
+def _benchmark_icfg(name):
+    icfg = _icfg_cache.get(name)
+    if icfg is None:
+        spec = BENCHMARKS[name]
+        icfg, _ = build_mpi_icfg(
+            spec.program(), spec.root, clone_level=spec.clone_level
+        )
+        _icfg_cache[name] = icfg
+    return icfg
+
+
+def _assert_all_configs_agree(icfg, make_problem):
+    entry, exit_ = icfg.entry_exit(icfg.root)
+    ref = solve(
+        icfg.graph, entry, exit_, make_problem(),
+        strategy="roundrobin", backend="native",
+    )
+    for strategy, backend in CONFIGS:
+        res = solve(
+            icfg.graph, entry, exit_, make_problem(),
+            strategy=strategy, backend=backend,
+        )
+        assert res.before == ref.before, (strategy, backend)
+        assert res.after == ref.after, (strategy, backend)
+        assert res.stats.backend == backend
+        assert res.stats.strategy == strategy
+
+
+def test_sanity_config_axes():
+    assert set(STRATEGIES) == {"roundrobin", "worklist", "priority"}
+    assert set(BACKENDS) == {"auto", "native", "bitset"}
+    assert len(CONFIGS) == 6
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+@pytest.mark.parametrize("analysis", sorted(ANALYSES))
+def test_registry_program_equivalence(name, analysis):
+    spec = BENCHMARKS[name]
+    icfg = _benchmark_icfg(name)
+    make = ANALYSES[analysis]
+    _assert_all_configs_agree(icfg, lambda: make(icfg, spec))
+
+
+@given(spmd_programs(max_segments=4))
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_generated_program_equivalence(prog):
+    icfg, _ = build_mpi_icfg(prog, "main")
+    _assert_all_configs_agree(icfg, lambda: VaryProblem(icfg, ("x",)))
