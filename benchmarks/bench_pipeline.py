@@ -1,0 +1,131 @@
+"""End-to-end pipeline benchmark: serial-cold vs warm-cache vs jobs=N.
+
+Runs the Table 1 suite three ways through
+:func:`repro.pipeline.run_table1_pipeline`:
+
+* **serial-cold** — ``cache=False``, every artifact rebuilt per row;
+* **serial-warm** — a private :class:`~repro.pipeline.ArtifactCache`
+  warmed by one untimed pass, then timed (content-addressed row hits);
+* **parallel** — ``jobs=N`` process fan-out, cold caches.
+
+Asserts that all three render byte-identical Table 1 + Figure 4 text
+(exits non-zero otherwise) and writes
+``benchmarks/results/BENCH_pipeline.json`` with timings, speedups, and
+whether the warm run met the >=2x end-to-end target.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline.py            # full suite
+    PYTHONPATH=src python benchmarks/bench_pipeline.py --smoke    # CI subset
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+
+from repro.pipeline import ArtifactCache, run_table1_pipeline
+from repro.programs import BENCHMARKS
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+SMOKE_NAMES = ["SOR", "CG", "Sw-3"]
+TARGET_SPEEDUP = 2.0
+
+
+def _best_of(rounds: int, run):
+    """(best wall-time, last PipelineResult) over ``rounds`` runs."""
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = run()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"small subset ({', '.join(SMOKE_NAMES)}), one round",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=4, help="fan-out width for the parallel arm"
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=3, help="timed rounds per arm (best-of)"
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=RESULTS_DIR / "BENCH_pipeline.json",
+        help="output JSON path",
+    )
+    args = parser.parse_args(argv)
+
+    names = SMOKE_NAMES if args.smoke else list(BENCHMARKS)
+    rounds = 1 if args.smoke else args.rounds
+
+    cold_time, cold = _best_of(
+        rounds, lambda: run_table1_pipeline(names, cache=False)
+    )
+
+    warm_cache = ArtifactCache()
+    run_table1_pipeline(names, artifact_cache=warm_cache)  # untimed warm-up
+    warm_time, warm = _best_of(
+        rounds, lambda: run_table1_pipeline(names, artifact_cache=warm_cache)
+    )
+
+    par_time, par = _best_of(
+        rounds, lambda: run_table1_pipeline(names, jobs=args.jobs, cache=False)
+    )
+
+    identical = cold.text == warm.text == par.text
+    warm_speedup = cold_time / warm_time if warm_time else float("inf")
+    par_speedup = cold_time / par_time if par_time else float("inf")
+
+    report = {
+        "mode": "smoke" if args.smoke else "full",
+        "names": names,
+        "rounds": rounds,
+        "jobs": args.jobs,
+        "cpu_count": os.cpu_count(),
+        "timings_s": {
+            "serial_cold": round(cold_time, 6),
+            "serial_warm": round(warm_time, 6),
+            f"parallel_jobs{args.jobs}": round(par_time, 6),
+        },
+        "speedups": {
+            "warm_vs_cold": round(warm_speedup, 2),
+            "parallel_vs_cold": round(par_speedup, 2),
+        },
+        "identical_output": identical,
+        "target_speedup": TARGET_SPEEDUP,
+        "target_met": identical and warm_speedup >= TARGET_SPEEDUP,
+        "warm_cache_stats": warm.cache_stats,
+    }
+
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"rows={len(names)} rounds={rounds} jobs={args.jobs}")
+    print(f"serial cold : {cold_time:8.4f}s")
+    print(f"serial warm : {warm_time:8.4f}s  ({warm_speedup:6.1f}x)")
+    print(f"jobs={args.jobs:<2d}     : {par_time:8.4f}s  ({par_speedup:6.1f}x)")
+    print(f"identical output: {identical}   target >= {TARGET_SPEEDUP}x "
+          f"met: {report['target_met']}")
+    print(f"wrote {args.out}")
+
+    if not identical:
+        print("error: pipeline arms rendered different output", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

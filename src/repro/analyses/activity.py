@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from ..cfg.icfg import ICFG
+from ..dataflow.bitset import FactUniverse
 from ..dataflow.framework import DataflowResult
 from .mpi_model import MPI_BUFFER_QNAME, MpiModel
 from .useful import useful_analysis
@@ -80,12 +81,29 @@ def activity_analysis(
     ``independents``/``dependents`` are bare variable names resolved in
     the scope of the context routine ``icfg.root`` (its parameters,
     locals, or program globals).
+
+    Both phases run over the same variable population, so they share
+    one :class:`~repro.dataflow.bitset.FactUniverse` — the Useful solve
+    reuses the atom ↔ bit interning Vary already built instead of
+    re-interning the whole universe (they also share the solver's
+    per-graph direction views, keyed on the graph's mutation version).
     """
+    universe = FactUniverse()
     vary = vary_analysis(
-        icfg, independents, mpi_model, strategy=strategy, backend=backend
+        icfg,
+        independents,
+        mpi_model,
+        strategy=strategy,
+        backend=backend,
+        universe=universe,
     )
     useful = useful_analysis(
-        icfg, dependents, mpi_model, strategy=strategy, backend=backend
+        icfg,
+        dependents,
+        mpi_model,
+        strategy=strategy,
+        backend=backend,
+        universe=universe,
     )
 
     active: set[str] = set()

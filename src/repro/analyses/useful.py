@@ -227,10 +227,22 @@ def useful_analysis(
     mpi_model: MpiModel = MpiModel.COMM_EDGES,
     strategy: str = "roundrobin",
     backend: str = "auto",
+    universe=None,
 ) -> DataflowResult:
-    """Solve Useful for the given dependent variables of ``icfg.root``."""
+    """Solve Useful for the given dependent variables of ``icfg.root``.
+
+    ``universe`` optionally shares a
+    :class:`~repro.dataflow.bitset.FactUniverse` with sibling solves
+    (see :func:`repro.analyses.activity.activity_analysis`).
+    """
     problem = UsefulProblem(icfg, dependents, mpi_model)
     entry, exit_ = icfg.entry_exit(icfg.root)
     return solve(
-        icfg.graph, entry, exit_, problem, strategy=strategy, backend=backend
+        icfg.graph,
+        entry,
+        exit_,
+        problem,
+        strategy=strategy,
+        backend=backend,
+        universe=universe,
     )

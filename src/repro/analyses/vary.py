@@ -243,12 +243,24 @@ def vary_analysis(
     mpi_model: MpiModel = MpiModel.COMM_EDGES,
     strategy: str = "roundrobin",
     backend: str = "auto",
+    universe=None,
 ) -> DataflowResult:
-    """Solve Vary for the given independent variables of ``icfg.root``."""
+    """Solve Vary for the given independent variables of ``icfg.root``.
+
+    ``universe`` optionally shares a
+    :class:`~repro.dataflow.bitset.FactUniverse` with sibling solves
+    (see :func:`repro.analyses.activity.activity_analysis`).
+    """
     problem = VaryProblem(icfg, independents, mpi_model)
     entry, exit_ = icfg.entry_exit(icfg.root)
     return solve(
-        icfg.graph, entry, exit_, problem, strategy=strategy, backend=backend
+        icfg.graph,
+        entry,
+        exit_,
+        problem,
+        strategy=strategy,
+        backend=backend,
+        universe=universe,
     )
 
 

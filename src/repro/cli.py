@@ -10,7 +10,13 @@ Subcommands:
 * ``slice``     — forward/backward slice from a source line
 * ``fold``      — constant-folded program text
 * ``run``       — execute on simulated SPMD ranks
-* ``table1``    — reproduce the paper's evaluation
+* ``table1``    — reproduce the paper's evaluation (Table 1 + Figure 4)
+* ``figure4``   — just the Figure 4 storage-savings chart
+
+``table1`` and ``figure4`` run through :mod:`repro.pipeline` and accept
+``--jobs N`` (process fan-out), ``--cache``/``--no-cache`` (in-process
+artifact cache, default on) and ``--disk-cache`` (persist artifacts
+under ``~/.cache/repro``); output is identical for every combination.
 """
 
 from __future__ import annotations
@@ -130,9 +136,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser("table1", help="reproduce the paper's Table 1 / Figure 4")
-    p.add_argument("names", nargs="*", help="benchmark subset (default: all)")
+    _add_pipeline_flags(p)
+
+    p = sub.add_parser("figure4", help="reproduce the paper's Figure 4 chart")
+    _add_pipeline_flags(p)
 
     return parser
+
+
+def _add_pipeline_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("names", nargs="*", help="benchmark subset (default: all)")
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the benchmark fan-out "
+        "(0 = one per CPU; default: 1, serial)",
+    )
+    group = p.add_mutually_exclusive_group()
+    group.add_argument(
+        "--cache",
+        dest="cache",
+        action="store_true",
+        default=True,
+        help="reuse content-addressed artifacts across rows (default)",
+    )
+    group.add_argument(
+        "--no-cache",
+        dest="cache",
+        action="store_false",
+        help="rebuild every artifact from scratch",
+    )
+    p.add_argument(
+        "--disk-cache",
+        action="store_true",
+        help="also persist artifacts under ~/.cache/repro ($REPRO_CACHE_DIR)",
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -281,14 +321,24 @@ def _cmd_run(args) -> int:
     return 0
 
 
-def _cmd_table1(args) -> int:
-    from .experiments import bars_from_rows, render_figure4, render_table1, run_table1
+def _run_pipeline(args):
+    from .pipeline import run_table1_pipeline
 
-    names = args.names or None
-    rows = run_table1(names)
-    print(render_table1(rows))
-    print()
-    print(render_figure4(bars_from_rows(rows)))
+    return run_table1_pipeline(
+        args.names or None,
+        jobs=args.jobs,
+        cache=args.cache,
+        disk_cache=args.disk_cache,
+    )
+
+
+def _cmd_table1(args) -> int:
+    print(_run_pipeline(args).text)
+    return 0
+
+
+def _cmd_figure4(args) -> int:
+    print(_run_pipeline(args).figure4_text)
     return 0
 
 
@@ -303,6 +353,7 @@ _COMMANDS = {
     "dce": _cmd_dce,
     "run": _cmd_run,
     "table1": _cmd_table1,
+    "figure4": _cmd_figure4,
 }
 
 

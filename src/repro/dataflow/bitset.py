@@ -134,9 +134,18 @@ class BitsetAdapter(DataFlowProblem):
     problem at frozenset granularity and memoised — in a fixed-point
     solve most visits recompute a node on unchanged inputs, which the
     memo turns into a dict hit instead of a set rebuild.
+
+    ``universe`` lets several adapters share one :class:`FactUniverse`:
+    the universe is append-only and decoding is order-independent, so
+    two solves over the same variable population (e.g. Vary and Useful
+    inside one activity analysis) reuse each other's interning instead
+    of rebuilding the atom ↔ bit map from scratch.  Memo tables stay
+    per-adapter either way.
     """
 
-    def __init__(self, inner: DataFlowProblem):
+    def __init__(
+        self, inner: DataFlowProblem, universe: Optional[FactUniverse] = None
+    ):
         if not getattr(inner, "bitset_capable", False):
             raise ValueError(
                 f"{inner.name}: not bitset-capable (subclass BitsetFacts "
@@ -145,7 +154,7 @@ class BitsetAdapter(DataFlowProblem):
         self.inner = inner
         self.direction = inner.direction
         self.name = inner.name
-        self.universe = FactUniverse()
+        self.universe = universe if universe is not None else FactUniverse()
         # Re-exported so the solver engine can skip FLOW edge_fact calls.
         self.flow_identity = getattr(inner, "flow_identity", False)
         self._flow_identity = self.flow_identity

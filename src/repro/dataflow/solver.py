@@ -46,7 +46,7 @@ from typing import Iterable, Optional, TypeVar
 
 from ..cfg.graph import FlowGraph
 from ..cfg.node import EdgeKind
-from .bitset import BitsetAdapter
+from .bitset import BitsetAdapter, FactUniverse
 from .framework import DataFlowProblem, DataflowResult, Direction, SolverStats
 
 __all__ = ["solve", "SolverError", "STRATEGIES", "BACKENDS"]
@@ -452,6 +452,7 @@ def solve(
     problem: DataFlowProblem,
     strategy: str = "roundrobin",
     backend: str = "auto",
+    universe: Optional[FactUniverse] = None,
 ) -> DataflowResult:
     """Run ``problem`` to a fixed point over ``graph``.
 
@@ -464,6 +465,11 @@ def solve(
     ``"native"`` or ``"bitset"``.  All strategy × backend combinations
     reach the same fixed point; the returned facts are always in the
     problem's native representation.
+
+    ``universe`` optionally supplies a shared
+    :class:`~repro.dataflow.bitset.FactUniverse` for the bitset
+    backend, so related solves over the same variable population reuse
+    one atom ↔ bit interning (ignored on the native backend).
     """
     try:
         run = _STRATEGY_FNS[strategy]
@@ -485,7 +491,9 @@ def solve(
     exits = [exit_] if isinstance(exit_, int) else list(exit_)
 
     t0 = time.perf_counter()
-    engine_problem = BitsetAdapter(problem) if use_bitset else problem
+    engine_problem = (
+        BitsetAdapter(problem, universe=universe) if use_bitset else problem
+    )
     engine = _Engine(graph, entries, exits, engine_problem)
     passes, visits = run(engine)
     before, after = engine.before, engine.after

@@ -18,8 +18,9 @@ from typing import Iterable, Optional
 
 from ..analyses.activity import ActivityResult, activity_analysis
 from ..analyses.mpi_model import MpiModel
-from ..cfg.icfg import build_icfg
-from ..mpi.mpiicfg import build_mpi_icfg
+from ..cfg.icfg import ICFG, build_icfg
+from ..mpi.matching import MatchResult
+from ..mpi.mpiicfg import add_communication_edges
 from ..programs.registry import BENCHMARKS, BenchmarkSpec
 
 __all__ = ["Table1Row", "run_benchmark", "run_table1", "render_table1"]
@@ -52,23 +53,37 @@ class Table1Row:
 
 
 def run_benchmark(
-    spec: BenchmarkSpec, strategy: str = "roundrobin"
+    spec: BenchmarkSpec,
+    strategy: str = "roundrobin",
+    icfg: Optional[ICFG] = None,
+    match: Optional[MatchResult] = None,
 ) -> Table1Row:
-    """Run the ICFG and MPI-ICFG activity analyses for one row."""
-    program = spec.program()
+    """Run the ICFG and MPI-ICFG activity analyses for one row.
 
-    icfg_graph = build_icfg(program, spec.root, clone_level=spec.clone_level)
+    Both arms share one base graph: the ICFG analysis runs under the
+    global-buffer model (which ignores COMM edges entirely), then the
+    communication edges are added in place for the MPI-ICFG arm — the
+    graph is never built twice.  ``icfg`` accepts a prebuilt (possibly
+    cached) graph for the row's program/root/clone level and ``match``
+    a precomputed :class:`~repro.mpi.matching.MatchResult`; see
+    :mod:`repro.pipeline` for the content-addressed cache that supplies
+    them.
+    """
+    if icfg is None:
+        program = spec.program()
+        icfg = build_icfg(program, spec.root, clone_level=spec.clone_level)
+
     icfg_result = activity_analysis(
-        icfg_graph,
+        icfg,
         spec.independents,
         spec.dependents,
         MpiModel.GLOBAL_BUFFER,
         strategy=strategy,
     )
 
-    mpi_graph, _ = build_mpi_icfg(program, spec.root, clone_level=spec.clone_level)
+    add_communication_edges(icfg, result=match)
     mpi_result = activity_analysis(
-        mpi_graph,
+        icfg,
         spec.independents,
         spec.dependents,
         MpiModel.COMM_EDGES,

@@ -5,6 +5,7 @@ from .matching import (
     MatchOptions,
     MatchResult,
     match_communication,
+    match_communication_nested,
     rank_offset,
 )
 from .mpiicfg import add_communication_edges, build_mpi_cfg, build_mpi_icfg
@@ -14,6 +15,7 @@ __all__ = [
     "MatchResult",
     "CommPair",
     "match_communication",
+    "match_communication_nested",
     "rank_offset",
     "add_communication_edges",
     "build_mpi_icfg",

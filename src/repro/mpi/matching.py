@@ -13,24 +13,55 @@ heuristics of Shires et al.; we provide one of them — symbolic
 rank-offset matching of ``dest``/``src`` (``rank + c`` patterns) — as
 an opt-in extension (:attr:`MatchOptions.rank_heuristics`), ablated in
 ``benchmarks/bench_edge_matching.py``.
+
+Join algorithm
+--------------
+:func:`match_communication` pairs endpoints with a *hash join*: each
+receive (or collective) is bucketed by its evaluated
+``(count, tag, communicator[, root])`` constant key, with non-constant
+dimensions falling into a conservative wildcard bucket, and each send
+probes only the buckets its own key can unify with.  On programs whose
+arguments evaluate to constants this replaces the O(S×R) pairwise scan
+with O(S + R) bucket probes; a fully non-constant (or
+``use_constants=False``) registry degenerates gracefully to the
+pairwise cost.  :func:`match_communication_nested` keeps the reference
+O(S×R) loop — the two are asserted pair-for-pair identical (including
+prune counters and pair order) in ``tests/test_matching_equivalence.py``.
+
+The interprocedural reaching-constants fixed point that evaluates the
+argument keys is memoised per flow graph and invalidated via the
+graph's mutation :attr:`~repro.cfg.graph.FlowGraph.version`, so
+repeated matching of one ICFG (e.g. the ablation benchmarks, or the
+hash/nested equivalence suite) solves it once.
 """
 
 from __future__ import annotations
 
+import itertools
+import weakref
 from dataclasses import dataclass, field
 from typing import Optional
 
 from ..analyses.consteval import eval_const
 from ..analyses.mpi_model import MpiModel
 from ..analyses.reaching_constants import ReachingConstantsProblem
+from ..cfg.graph import FlowGraph
 from ..cfg.icfg import ICFG
 from ..cfg.node import MpiNode
+from ..dataflow.framework import DataflowResult
 from ..dataflow.lattice import ConstValue
 from ..dataflow.solver import solve
 from ..ir.ast_nodes import BinOp, Expr, IntLit, IntrinsicCall, UnOp
 from ..ir.mpi_ops import ArgRole, MpiKind
 
-__all__ = ["MatchOptions", "CommPair", "MatchResult", "match_communication", "rank_offset"]
+__all__ = [
+    "MatchOptions",
+    "CommPair",
+    "MatchResult",
+    "match_communication",
+    "match_communication_nested",
+    "rank_offset",
+]
 
 
 @dataclass(frozen=True)
@@ -181,20 +212,49 @@ def _counts_compatible(a: MpiNode, b: MpiNode, icfg: ICFG) -> bool:
     return ca == cb
 
 
+#: graph -> {(entry, exit, strategy): (graph version, fixed point)} —
+#: the matcher's reaching-constants solves, shared across repeated
+#: matching of the same graph and invalidated by graph mutation.
+_RC_MEMO: "weakref.WeakKeyDictionary[FlowGraph, dict]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _matching_constants(icfg: ICFG, solver: str) -> DataflowResult:
+    """Reaching constants over ``icfg`` for argument evaluation.
+
+    Memoised per ``(graph, root boundary, solver strategy)`` and
+    stamped with the graph's mutation version, so adding COMM edges (or
+    any other mutation) forces a re-solve while back-to-back matches of
+    an unchanged graph share one fixed point.
+    """
+    graph = icfg.graph
+    entry, exit_ = icfg.entry_exit(icfg.root)
+    key = (entry, exit_, solver)
+    per_graph = _RC_MEMO.get(graph)
+    if per_graph is None:
+        per_graph = {}
+        _RC_MEMO[graph] = per_graph
+    hit = per_graph.get(key)
+    if hit is not None and hit[0] == graph.version:
+        return hit[1]
+    problem = ReachingConstantsProblem(icfg, MpiModel.IGNORE)
+    result = solve(graph, entry, exit_, problem, strategy=solver)
+    per_graph[key] = (graph.version, result)
+    return result
+
+
 class _ArgValues:
     """Evaluated TAG/COMM/ROOT values per MPI node."""
 
-    def __init__(self, icfg: ICFG, options: MatchOptions):
+    def __init__(self, icfg: ICFG, options: MatchOptions, nodes: list[MpiNode]):
         self.values: dict[tuple[int, ArgRole], Optional[ConstValue]] = {}
-        nodes = icfg.mpi_nodes()
         if not options.use_constants:
             for node in nodes:
                 for role in (ArgRole.TAG, ArgRole.COMM, ArgRole.ROOT):
                     self.values[(node.id, role)] = None
             return
-        problem = ReachingConstantsProblem(icfg, MpiModel.IGNORE)
-        entry, exit_ = icfg.entry_exit(icfg.root)
-        result = solve(icfg.graph, entry, exit_, problem, strategy=options.solver)
+        result = _matching_constants(icfg, options.solver)
         for node in nodes:
             env = result.in_fact(node.id)
             for role in (ArgRole.TAG, ArgRole.COMM, ArgRole.ROOT):
@@ -210,27 +270,185 @@ class _ArgValues:
         return self.values.get((node.id, role))
 
 
+#: Collective groups in emission order; all but allreduce also match on
+#: their root argument.
+_COLLECTIVES: tuple[tuple[MpiKind, str], ...] = (
+    (MpiKind.BCAST, "bcast"),
+    (MpiKind.REDUCE, "reduce"),
+    (MpiKind.ALLREDUCE, "allreduce"),
+    (MpiKind.GATHER, "gather"),
+    (MpiKind.SCATTER, "scatter"),
+)
+_ROOTED = frozenset(("bcast", "reduce", "gather", "scatter"))
+
+#: Per-dimension "matches anything" join key for non-constant arguments.
+_WILDCARD = object()
+
+
+def _grouped(nodes: list[MpiNode]) -> dict[MpiKind, list[MpiNode]]:
+    groups: dict[MpiKind, list[MpiNode]] = {}
+    for node in nodes:
+        groups.setdefault(node.mpi_kind, []).append(node)
+    return groups
+
+
+# ---------------------------------------------------------------------------
+# Hash-join matching (the default algorithm).
+# ---------------------------------------------------------------------------
+
+
+def _const_key(v: Optional[ConstValue]):
+    """Join key of one evaluated argument: its constant value, or the
+    wildcard when the argument is unknown/non-constant (``_unify``
+    accepts those against anything)."""
+    if v is not None and v.is_const:
+        return v.value
+    return _WILDCARD
+
+
+def _count_key(node: MpiNode, icfg: ICFG, options: MatchOptions):
+    if not options.match_counts:
+        return _WILDCARD
+    count = _payload_count(node, icfg)
+    return _WILDCARD if count is None else count
+
+
+def _join_key(
+    node: MpiNode, icfg: ICFG, args: _ArgValues, options: MatchOptions, roles
+) -> tuple:
+    return (_count_key(node, icfg, options),) + tuple(
+        _const_key(args.get(node, role)) for role in roles
+    )
+
+
+class _JoinIndex:
+    """Bucket index over the build side of one hash join.
+
+    Buckets key on the full ``(count, tag/comm[, root])`` tuple; probe
+    keys enumerate, per dimension, the build-side values they unify
+    with — the key's own constant plus the wildcard, or every seen
+    value when the probe side is itself non-constant.  Probing is
+    therefore O(2^dims) bucket lookups for constant keys and degrades
+    to the build side's distinct-key count (≤ its size) for wildcard
+    probes, never worse than the pairwise scan.
+    """
+
+    __slots__ = ("buckets", "dim_values")
+
+    def __init__(self, keys: list[tuple]):
+        self.buckets: dict[tuple, list[int]] = {}
+        ndims = len(keys[0]) if keys else 0
+        self.dim_values: list[set] = [set() for _ in range(ndims)]
+        for index, key in enumerate(keys):
+            self.buckets.setdefault(key, []).append(index)
+            for d, v in enumerate(key):
+                if v is not _WILDCARD:
+                    self.dim_values[d].add(v)
+
+    def probe(self, key: tuple) -> list[int]:
+        """Build-side indices unifying with ``key``, in build order."""
+        axes = []
+        for d, v in enumerate(key):
+            if v is _WILDCARD:
+                axes.append((*self.dim_values[d], _WILDCARD))
+            else:
+                axes.append((v, _WILDCARD))
+        buckets = self.buckets
+        out: list[int] = []
+        for candidate in itertools.product(*axes):
+            hit = buckets.get(candidate)
+            if hit is not None:
+                out.extend(hit)
+        out.sort()
+        return out
+
+
+def _match_hash_join(
+    icfg: ICFG,
+    options: MatchOptions,
+    groups: dict[MpiKind, list[MpiNode]],
+    args: _ArgValues,
+) -> MatchResult:
+    result = MatchResult()
+
+    # -- point-to-point: sends probe an index over the receives.
+    sends = groups.get(MpiKind.SEND, [])
+    recvs = groups.get(MpiKind.RECV, [])
+    p2p_roles = (ArgRole.TAG, ArgRole.COMM)
+    if sends and recvs:
+        index = _JoinIndex(
+            [_join_key(r, icfg, args, options, p2p_roles) for r in recvs]
+        )
+        nrecvs = len(recvs)
+        for s in sends:
+            result.candidates += nrecvs
+            matched = index.probe(_join_key(s, icfg, args, options, p2p_roles))
+            result.pruned_by_constants += nrecvs - len(matched)
+            for j in matched:
+                r = recvs[j]
+                if options.rank_heuristics and not _rank_compatible(s, r):
+                    result.pruned_by_rank += 1
+                    continue
+                result.pairs.append(CommPair(s.id, r.id, "p2p"))
+
+    # -- collectives: each group self-joins (every ordered pair a≠b).
+    for kind, reason in _COLLECTIVES:
+        group = groups.get(kind, [])
+        if len(group) < 2:
+            continue
+        roles = (ArgRole.COMM, ArgRole.ROOT) if reason in _ROOTED else (ArgRole.COMM,)
+        keys = [_join_key(n, icfg, args, options, roles) for n in group]
+        index = _JoinIndex(keys)
+        others = len(group) - 1
+        for i, a in enumerate(group):
+            result.candidates += others
+            matched = index.probe(keys[i])
+            # A node's key always unifies with itself; the self match is
+            # not a candidate pair.
+            result.pruned_by_constants += others - (len(matched) - 1)
+            for j in matched:
+                if j == i:
+                    continue
+                result.pairs.append(CommPair(a.id, group[j].id, reason))
+
+    return result
+
+
 def match_communication(
     icfg: ICFG, options: MatchOptions | None = None
 ) -> MatchResult:
     """Compute the set of communication edges for ``icfg``.
 
-    Does not mutate the graph; see
+    Uses the hash join described in the module docstring; the result —
+    pair order and prune counters included — is identical to the
+    reference pairwise :func:`match_communication_nested`.  Does not
+    mutate the graph; see
     :func:`repro.mpi.mpiicfg.add_communication_edges`.
     """
     options = options or MatchOptions()
     nodes = icfg.mpi_nodes()
-    sends = [n for n in nodes if n.mpi_kind is MpiKind.SEND]
-    recvs = [n for n in nodes if n.mpi_kind is MpiKind.RECV]
-    bcasts = [n for n in nodes if n.mpi_kind is MpiKind.BCAST]
-    reduces = [n for n in nodes if n.mpi_kind is MpiKind.REDUCE]
-    allreduces = [n for n in nodes if n.mpi_kind is MpiKind.ALLREDUCE]
-    gathers = [n for n in nodes if n.mpi_kind is MpiKind.GATHER]
-    scatters = [n for n in nodes if n.mpi_kind is MpiKind.SCATTER]
+    groups = _grouped(nodes)
+    args = _ArgValues(icfg, options, nodes)
+    return _match_hash_join(icfg, options, groups, args)
 
-    args = _ArgValues(icfg, options)
+
+def match_communication_nested(
+    icfg: ICFG, options: MatchOptions | None = None
+) -> MatchResult:
+    """Reference O(S×R) pairwise matcher (the pre-hash-join algorithm).
+
+    Kept as the executable specification: the equivalence suite asserts
+    :func:`match_communication` reproduces its output exactly on every
+    registry benchmark and on randomly generated SPMD programs.
+    """
+    options = options or MatchOptions()
+    nodes = icfg.mpi_nodes()
+    groups = _grouped(nodes)
+    args = _ArgValues(icfg, options, nodes)
     result = MatchResult()
 
+    sends = groups.get(MpiKind.SEND, [])
+    recvs = groups.get(MpiKind.RECV, [])
     for s in sends:
         for r in recvs:
             result.candidates += 1
@@ -248,13 +466,8 @@ def match_communication(
                 continue
             result.pairs.append(CommPair(s.id, r.id, "p2p"))
 
-    for group, reason in (
-        (bcasts, "bcast"),
-        (reduces, "reduce"),
-        (allreduces, "allreduce"),
-        (gathers, "gather"),
-        (scatters, "scatter"),
-    ):
+    for kind, reason in _COLLECTIVES:
+        group = groups.get(kind, [])
         for a in group:
             for b in group:
                 if a.id == b.id:
@@ -265,7 +478,7 @@ def match_communication(
                 )
                 if options.match_counts and not _counts_compatible(a, b, icfg):
                     compatible = False
-                if reason in ("bcast", "reduce", "gather", "scatter"):
+                if reason in _ROOTED:
                     compatible = compatible and _unify(
                         args.get(a, ArgRole.ROOT), args.get(b, ArgRole.ROOT)
                     )

@@ -23,10 +23,18 @@ __all__ = ["add_communication_edges", "build_mpi_icfg", "build_mpi_cfg"]
 
 
 def add_communication_edges(
-    icfg: ICFG, options: MatchOptions | None = None
+    icfg: ICFG,
+    options: MatchOptions | None = None,
+    result: MatchResult | None = None,
 ) -> MatchResult:
-    """Match communication and add COMM edges to ``icfg.graph``."""
-    result = match_communication(icfg, options)
+    """Match communication and add COMM edges to ``icfg.graph``.
+
+    Pass ``result`` to apply a precomputed (e.g. cached)
+    :class:`MatchResult` instead of re-matching; edge insertion is
+    idempotent either way.
+    """
+    if result is None:
+        result = match_communication(icfg, options)
     for pair in result.pairs:
         icfg.graph.add_edge(pair.src, pair.dst, EdgeKind.COMM, label=pair.reason)
     return result
@@ -38,9 +46,19 @@ def build_mpi_icfg(
     clone_level: int = 0,
     options: MatchOptions | None = None,
     symtab: Optional[SymbolTable] = None,
+    base: Optional[ICFG] = None,
 ) -> tuple[ICFG, MatchResult]:
-    """Build the partially context-sensitive MPI-ICFG rooted at ``root``."""
-    icfg = build_icfg(program, root, clone_level=clone_level, symtab=symtab)
+    """Build the partially context-sensitive MPI-ICFG rooted at ``root``.
+
+    ``base`` reuses an already-built ICFG of the same program/root/clone
+    level instead of rebuilding it — the MPI-ICFG is the base graph plus
+    COMM edges, so callers that need both (e.g. the Table 1 harness)
+    should build once and thread the graph through.
+    """
+    if base is not None:
+        icfg = base
+    else:
+        icfg = build_icfg(program, root, clone_level=clone_level, symtab=symtab)
     result = add_communication_edges(icfg, options)
     return icfg, result
 

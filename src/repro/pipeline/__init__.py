@@ -1,0 +1,43 @@
+"""End-to-end analysis pipeline: caching, cached builders, parallel runner.
+
+See :doc:`docs/pipeline` for the cache-keying and determinism story.
+"""
+
+from .artifacts import (
+    build_icfg_cached,
+    build_mpi_icfg_cached,
+    icfg_key,
+    match_communication_cached,
+    match_key,
+    rc_key,
+    reaching_constants_cached,
+)
+from .cache import (
+    CACHE_SCHEMA,
+    ArtifactCache,
+    CacheStats,
+    default_cache_dir,
+    key_digest,
+    program_fingerprint,
+)
+from .runner import ArmStats, PipelineResult, row_key, run_table1_pipeline
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "ArmStats",
+    "ArtifactCache",
+    "CacheStats",
+    "PipelineResult",
+    "build_icfg_cached",
+    "build_mpi_icfg_cached",
+    "default_cache_dir",
+    "icfg_key",
+    "key_digest",
+    "match_communication_cached",
+    "match_key",
+    "program_fingerprint",
+    "rc_key",
+    "reaching_constants_cached",
+    "row_key",
+    "run_table1_pipeline",
+]

@@ -1,0 +1,218 @@
+"""Content-addressed artifact caching for the analysis pipeline.
+
+Expensive pipeline artifacts — built ICFGs, communication
+:class:`~repro.mpi.matching.MatchResult`\\ s, reaching-constants fixed
+points, Table 1 row statistics — are keyed by *content*, not identity:
+the key starts from :func:`program_fingerprint` (a SHA-256 over the
+printed IR, so two structurally identical programs share one entry no
+matter how they were constructed) and appends every build option that
+can change the artifact (root, clone level, match options, solver
+strategy, ...).  Mutating the program text, or any option, changes the
+key and forces a rebuild; graph-level mutation of an already-built ICFG
+is covered separately by the
+:attr:`~repro.cfg.graph.FlowGraph.version` stamp carried in
+version-sensitive keys (see :func:`repro.pipeline.artifacts.rc_key`).
+
+Two layers:
+
+* an in-process LRU (:class:`ArtifactCache`) — hits return the *same
+  object* that was stored;
+* an opt-in on-disk layer under ``~/.cache/repro/`` (override with
+  ``REPRO_CACHE_DIR``) — pickled artifacts keyed by the SHA-256 digest
+  of the cache key, written atomically, survives the process and feeds
+  warm starts.  Unreadable or stale-schema entries degrade to a miss.
+
+The cache is deliberately not thread-safe; share one instance per
+process (the parallel runner gives every worker process its own).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pathlib
+import pickle
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+from weakref import WeakKeyDictionary
+
+from ..ir.ast_nodes import Program
+from ..ir.printer import print_program
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "ArtifactCache",
+    "CacheStats",
+    "default_cache_dir",
+    "key_digest",
+    "program_fingerprint",
+]
+
+#: Bump when cached artifact layouts change incompatibly; stale on-disk
+#: entries from other schemas are ignored.
+CACHE_SCHEMA = 1
+
+#: program object -> fingerprint memo (Program is immutable, so the
+#: fingerprint is stable for the object's lifetime).
+_FINGERPRINTS: "WeakKeyDictionary[Program, str]" = WeakKeyDictionary()
+
+
+def program_fingerprint(program: Program) -> str:
+    """Stable content hash of a program's IR.
+
+    SHA-256 over the printed program text (the printer round-trips, so
+    the text is a faithful canonical form).  Memoised per program
+    object; structurally equal programs built independently produce the
+    same fingerprint.
+    """
+    fp = _FINGERPRINTS.get(program)
+    if fp is None:
+        fp = hashlib.sha256(print_program(program).encode("utf-8")).hexdigest()
+        _FINGERPRINTS[program] = fp
+    return fp
+
+
+def key_digest(key: tuple) -> str:
+    """Filename-safe digest of a cache key (keys are tuples of
+    primitives, so ``repr`` is canonical)."""
+    return hashlib.sha256(f"{CACHE_SCHEMA}:{key!r}".encode("utf-8")).hexdigest()
+
+
+def default_cache_dir() -> pathlib.Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path.home() / ".cache" / "repro"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one :class:`ArtifactCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+    disk_stores: int = 0
+    evictions: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+            "disk_stores": self.disk_stores,
+            "evictions": self.evictions,
+        }
+
+
+@dataclass
+class ArtifactCache:
+    """LRU of content-addressed artifacts with an optional disk layer.
+
+    ``disk_dir=None`` (default) keeps the cache purely in-process.
+    Pass a directory (e.g. :func:`default_cache_dir`) to persist
+    artifacts across processes.
+    """
+
+    max_entries: int = 256
+    disk_dir: Optional[pathlib.Path] = None
+    stats: CacheStats = field(default_factory=CacheStats)
+    _entries: "OrderedDict[tuple, Any]" = field(default_factory=OrderedDict)
+
+    def __post_init__(self) -> None:
+        if self.disk_dir is not None:
+            self.disk_dir = pathlib.Path(self.disk_dir)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        # A cache is a component, not a collection: an *empty* cache must
+        # not read as "no cache" at `if cache:` call sites.
+        return True
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries
+
+    # -- core protocol ------------------------------------------------------
+
+    def get_or_build(self, key: tuple, build: Callable[[], Any]) -> Any:
+        """The cached artifact for ``key``, building (and storing) on miss.
+
+        In-process hits return the identical stored object; disk hits
+        return a fresh unpickled copy and promote it to the LRU.
+        """
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+            self.stats.hits += 1
+            return entries[key]
+        value = self._disk_load(key)
+        if value is not None:
+            self.stats.disk_hits += 1
+            self._store_memory(key, value)
+            return value
+        self.stats.misses += 1
+        value = build()
+        self.put(key, value)
+        return value
+
+    def get(self, key: tuple) -> Optional[Any]:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return self._entries[key]
+        return None
+
+    def put(self, key: tuple, value: Any) -> None:
+        self._store_memory(key, value)
+        self._disk_store(key, value)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def _store_memory(self, key: tuple, value: Any) -> None:
+        entries = self._entries
+        entries[key] = value
+        entries.move_to_end(key)
+        while len(entries) > self.max_entries:
+            entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    # -- disk layer ---------------------------------------------------------
+
+    def _disk_path(self, key: tuple) -> Optional[pathlib.Path]:
+        if self.disk_dir is None:
+            return None
+        return self.disk_dir / f"{key_digest(key)}.pkl"
+
+    def _disk_load(self, key: tuple) -> Optional[Any]:
+        path = self._disk_path(key)
+        if path is None:
+            return None
+        try:
+            with open(path, "rb") as fh:
+                return pickle.load(fh)
+        except (OSError, pickle.PickleError, EOFError, AttributeError):
+            return None  # absent or unreadable: a plain miss
+
+    def _disk_store(self, key: tuple, value: Any) -> None:
+        path = self._disk_path(key)
+        if path is None:
+            return
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)  # atomic publish
+            except BaseException:
+                os.unlink(tmp)
+                raise
+            self.stats.disk_stores += 1
+        except (OSError, pickle.PickleError, TypeError):
+            return  # unpicklable or unwritable artifacts stay in-process

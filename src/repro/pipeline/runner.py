@@ -1,0 +1,271 @@
+"""Parallel, cache-aware driver for the Table 1 / Figure 4 experiments.
+
+:func:`run_table1_pipeline` runs the benchmark rows either serially or
+fanned out over a process pool (``jobs``), with all heavyweight
+artifacts — ICFGs, communication matches, and the per-row activity
+statistics themselves — served from a content-addressed
+:class:`~repro.pipeline.cache.ArtifactCache`.
+
+Determinism: rows are always merged in the caller's requested order,
+and each row's statistics depend only on the program content and the
+run options, so serial, warm-cache, and ``jobs=N`` runs render
+byte-identical Table 1 / Figure 4 text.
+
+Rows come back as :class:`~repro.experiments.table1.Table1Row` whose
+arms are :class:`ArmStats` — a frozen, picklable projection of
+:class:`~repro.analyses.activity.ActivityResult` carrying exactly the
+fields the renderers consume.  This is what lets rows cross process
+boundaries (benchmark specs hold closures and graphs are per-process)
+and what the row-level cache stores.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+import os
+import pathlib
+import time
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..analyses.activity import ActivityResult
+from ..experiments.figure4 import bars_from_rows, render_figure4
+from ..experiments.table1 import Table1Row, render_table1, run_benchmark
+from ..ir.ast_nodes import Program
+from ..programs.registry import BENCHMARKS, BenchmarkSpec
+from .artifacts import build_icfg_cached, match_communication_cached
+from .cache import ArtifactCache, default_cache_dir, program_fingerprint
+
+__all__ = ["ArmStats", "PipelineResult", "row_key", "run_table1_pipeline"]
+
+
+@dataclass(frozen=True)
+class ArmStats:
+    """Renderer-facing projection of one activity-analysis arm."""
+
+    mpi_model: str
+    iterations: int
+    active_bytes: int
+    num_independents: int
+
+    @property
+    def deriv_bytes(self) -> int:
+        return self.num_independents * self.active_bytes
+
+    @classmethod
+    def from_result(cls, result: ActivityResult) -> "ArmStats":
+        return cls(
+            mpi_model=result.mpi_model.value,
+            iterations=result.iterations,
+            active_bytes=result.active_bytes,
+            num_independents=result.num_independents,
+        )
+
+
+#: Per-process memo of built benchmark programs (builders are
+#: deterministic, and a stable object keeps the fingerprint memo warm).
+_PROGRAM_MEMO: dict[str, Program] = {}
+
+
+def _program_for(spec: BenchmarkSpec) -> Program:
+    program = _PROGRAM_MEMO.get(spec.name)
+    if program is None:
+        program = spec.program()
+        _PROGRAM_MEMO[spec.name] = program
+    return program
+
+
+def row_key(spec: BenchmarkSpec, program: Program, strategy: str) -> tuple:
+    return (
+        "table1-row",
+        program_fingerprint(program),
+        spec.root,
+        spec.clone_level,
+        tuple(spec.independents),
+        tuple(spec.dependents),
+        strategy,
+    )
+
+
+def _compute_row(
+    name: str, strategy: str, cache: Optional[ArtifactCache]
+) -> tuple[ArmStats, ArmStats]:
+    """Both arms of one Table 1 row, row-level content-addressed."""
+    spec = BENCHMARKS[name]
+    program = _program_for(spec)
+
+    def build() -> tuple[ArmStats, ArmStats]:
+        icfg = build_icfg_cached(program, spec.root, spec.clone_level, cache)
+        match = match_communication_cached(icfg, program, cache=cache)
+        row = run_benchmark(spec, strategy=strategy, icfg=icfg, match=match)
+        return (ArmStats.from_result(row.icfg), ArmStats.from_result(row.mpi))
+
+    if cache is None:
+        return build()
+    return cache.get_or_build(row_key(spec, program, strategy), build)
+
+
+# -- process-pool worker ------------------------------------------------------
+
+#: Lazily created per-worker-process cache (fork children inherit the
+#: parent's, spawn children build their own on first use).
+_WORKER_CACHE: Optional[ArtifactCache] = None
+
+
+def _row_worker(
+    name: str, strategy: str, use_cache: bool, disk_dir: Optional[str]
+) -> tuple[str, Optional[tuple[ArmStats, ArmStats]]]:
+    global _WORKER_CACHE
+    cache = None
+    if use_cache:
+        if _WORKER_CACHE is None:
+            _WORKER_CACHE = ArtifactCache(
+                disk_dir=pathlib.Path(disk_dir) if disk_dir else None
+            )
+        cache = _WORKER_CACHE
+    return name, _compute_row(name, strategy, cache)
+
+
+# -- entry point --------------------------------------------------------------
+
+_MEMORY_CACHE = ArtifactCache()
+_DISK_CACHES: dict[str, ArtifactCache] = {}
+
+
+def _shared_cache(disk_cache: bool) -> ArtifactCache:
+    """The process-wide default cache (one per disk directory)."""
+    if not disk_cache:
+        return _MEMORY_CACHE
+    key = str(default_cache_dir())
+    cache = _DISK_CACHES.get(key)
+    if cache is None:
+        cache = ArtifactCache(disk_dir=default_cache_dir())
+        _DISK_CACHES[key] = cache
+    return cache
+
+
+@dataclass
+class PipelineResult:
+    """Merged outcome of one pipeline run."""
+
+    rows: list[Table1Row]
+    names: list[str]
+    strategy: str
+    jobs: int
+    wall_time: float
+    cache_stats: Optional[dict] = None
+
+    @property
+    def table1_text(self) -> str:
+        return render_table1(self.rows)
+
+    @property
+    def figure4_text(self) -> str:
+        return render_figure4(bars_from_rows(self.rows))
+
+    @property
+    def text(self) -> str:
+        """Table 1 and Figure 4, in the CLI's exact layout."""
+        return f"{self.table1_text}\n\n{self.figure4_text}"
+
+
+def _resolve_jobs(jobs: Optional[int]) -> int:
+    if jobs is None:
+        return 1
+    if jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+def _pool_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platforms without fork
+        return multiprocessing.get_context()
+
+
+def run_table1_pipeline(
+    names: Optional[Iterable[str]] = None,
+    strategy: str = "roundrobin",
+    jobs: Optional[int] = None,
+    cache: bool = True,
+    disk_cache: bool = False,
+    artifact_cache: Optional[ArtifactCache] = None,
+) -> PipelineResult:
+    """Run Table 1 rows through the cached, optionally parallel pipeline.
+
+    ``jobs``: ``None``/``1`` runs serially in-process, ``0`` uses
+    ``os.cpu_count()``, ``N > 1`` fans rows out over a process pool.
+    ``cache=False`` disables artifact caching entirely;
+    ``disk_cache=True`` additionally persists artifacts under
+    :func:`~repro.pipeline.cache.default_cache_dir`.  Pass
+    ``artifact_cache`` to use a private cache instance (overrides both
+    flags' cache selection).
+
+    Output is deterministic: rows appear in the order of ``names``
+    (registry order by default) regardless of ``jobs``, and
+    :attr:`PipelineResult.text` is byte-identical across serial,
+    parallel, and warm-cache runs.
+    """
+    selected = list(names) if names is not None else list(BENCHMARKS)
+    unknown = [n for n in selected if n not in BENCHMARKS]
+    if unknown:
+        raise KeyError(
+            f"unknown benchmark(s) {unknown}; available: {sorted(BENCHMARKS)}"
+        )
+    njobs = _resolve_jobs(jobs)
+
+    if artifact_cache is not None:
+        shared: Optional[ArtifactCache] = artifact_cache
+    elif cache:
+        shared = _shared_cache(disk_cache)
+    else:
+        shared = None
+
+    start = time.perf_counter()
+    arms: dict[str, tuple[ArmStats, ArmStats]] = {}
+    if njobs <= 1 or len(selected) <= 1:
+        njobs = 1
+        for name in selected:
+            arms[name] = _compute_row(name, strategy, shared)
+    else:
+        disk_dir = (
+            str(shared.disk_dir)
+            if shared is not None and shared.disk_dir is not None
+            else None
+        )
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(njobs, len(selected)), mp_context=_pool_context()
+        ) as pool:
+            futures = [
+                pool.submit(_row_worker, name, strategy, shared is not None, disk_dir)
+                for name in selected
+            ]
+            for future in concurrent.futures.as_completed(futures):
+                name, row_arms = future.result()
+                arms[name] = row_arms
+        if shared is not None:
+            # Workers warmed their own (or the forked) caches; seed the
+            # parent's row entries so a follow-up serial run is warm too.
+            for name in selected:
+                spec = BENCHMARKS[name]
+                key = row_key(spec, _program_for(spec), strategy)
+                if key not in shared:
+                    shared.put(key, arms[name])
+    wall = time.perf_counter() - start
+
+    rows = [
+        Table1Row(spec=BENCHMARKS[name], icfg=arms[name][0], mpi=arms[name][1])
+        for name in selected
+    ]
+    return PipelineResult(
+        rows=rows,
+        names=selected,
+        strategy=strategy,
+        jobs=njobs,
+        wall_time=wall,
+        cache_stats=shared.stats.as_dict() if shared is not None else None,
+    )

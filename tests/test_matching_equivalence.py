@@ -1,0 +1,71 @@
+"""Hash-join communication matching ≡ the nested-loop reference.
+
+:func:`repro.mpi.matching.match_communication` buckets endpoints by
+evaluated (tag, communicator[, root], count) keys; the pre-join
+implementation is kept as :func:`match_communication_nested`.  The two
+must produce identical :class:`MatchResult`\\ s — same pairs in the
+same order *and* same candidate/pruning counters — on every registry
+benchmark under every option combination, and on random SPMD programs.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.cfg import build_icfg
+from repro.mpi import (
+    MatchOptions,
+    match_communication,
+    match_communication_nested,
+)
+from repro.programs.registry import BENCHMARKS
+
+from .gen_programs import spmd_programs
+
+OPTION_CONFIGS = {
+    "default": MatchOptions(),
+    "no-constants": MatchOptions(use_constants=False),
+    "no-counts": MatchOptions(match_counts=False),
+    "rank-heuristics": MatchOptions(rank_heuristics=True),
+    "full-connectivity": MatchOptions(use_constants=False, match_counts=False),
+}
+
+_icfg_cache: dict[str, object] = {}
+
+
+def _benchmark_icfg(name):
+    icfg = _icfg_cache.get(name)
+    if icfg is None:
+        spec = BENCHMARKS[name]
+        icfg = build_icfg(spec.program(), spec.root, clone_level=spec.clone_level)
+        _icfg_cache[name] = icfg
+    return icfg
+
+
+def _assert_identical(icfg, options):
+    joined = match_communication(icfg, options)
+    nested = match_communication_nested(icfg, options)
+    assert joined.pairs == nested.pairs
+    assert joined.candidates == nested.candidates
+    assert joined.pruned_by_constants == nested.pruned_by_constants
+    assert joined.pruned_by_rank == nested.pruned_by_rank
+    assert joined == nested
+
+
+@pytest.mark.parametrize("config", sorted(OPTION_CONFIGS))
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_registry_benchmarks(name, config):
+    _assert_identical(_benchmark_icfg(name), OPTION_CONFIGS[config])
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(program=spmd_programs())
+def test_random_spmd_programs(program):
+    icfg = build_icfg(program, "main", clone_level=1)
+    for options in OPTION_CONFIGS.values():
+        _assert_identical(icfg, options)

@@ -1,0 +1,230 @@
+"""Pipeline layer: content-addressed caching, determinism, fan-out.
+
+Covers the guarantees docs/pipeline.md promises:
+
+* serial, warm-cache, and ``jobs=N`` runs render byte-identical
+  Table 1 / Figure 4 text, equal to the plain experiments layer;
+* cache keys react to program content, build options, and clone level,
+  and graph mutation invalidates version-stamped entries;
+* in-process hits return the identical object, disk entries survive a
+  fresh cache instance;
+* the shared-``FactUniverse`` activity solve equals independently
+  computed Vary/Useful fixed points.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analyses import MpiModel, activity_analysis
+from repro.analyses.useful import useful_analysis
+from repro.analyses.vary import vary_analysis
+from repro.cfg import build_icfg
+from repro.experiments import bars_from_rows, render_figure4, render_table1, run_table1
+from repro.mpi import MatchOptions, add_communication_edges
+from repro.pipeline import (
+    ArtifactCache,
+    build_icfg_cached,
+    icfg_key,
+    match_communication_cached,
+    match_key,
+    program_fingerprint,
+    rc_key,
+    reaching_constants_cached,
+    run_table1_pipeline,
+)
+from repro.programs import lu, sor
+from repro.programs.registry import BENCHMARKS
+
+NAMES = ["Biostat", "SOR", "Sw-3"]
+
+
+def _expected_text(names):
+    rows = run_table1(names)
+    return render_table1(rows) + "\n\n" + render_figure4(bars_from_rows(rows))
+
+
+# -- determinism --------------------------------------------------------------
+
+
+def test_serial_pipeline_matches_experiments_layer():
+    expected = _expected_text(NAMES)
+    assert run_table1_pipeline(NAMES, cache=False).text == expected
+    assert run_table1_pipeline(NAMES, artifact_cache=ArtifactCache()).text == expected
+
+
+def test_warm_rerun_is_byte_identical_and_hits():
+    cache = ArtifactCache()
+    first = run_table1_pipeline(NAMES, artifact_cache=cache)
+    assert cache.stats.hits == 0 or cache.stats.misses > 0
+    second = run_table1_pipeline(NAMES, artifact_cache=cache)
+    assert second.text == first.text
+    # Warm run serves every row from the row-level cache.
+    assert second.cache_stats["hits"] >= first.cache_stats["hits"] + len(NAMES)
+
+
+def test_parallel_fanout_is_byte_identical_to_serial():
+    serial = run_table1_pipeline(NAMES, cache=False)
+    parallel = run_table1_pipeline(NAMES, jobs=2, cache=False)
+    assert parallel.jobs == 2
+    assert parallel.text == serial.text
+
+
+def test_row_order_follows_request_order():
+    result = run_table1_pipeline(["SOR", "Biostat"], cache=False)
+    assert [row.name for row in result.rows] == ["SOR", "Biostat"]
+
+
+def test_unknown_benchmark_rejected():
+    with pytest.raises(KeyError, match="nope"):
+        run_table1_pipeline(["nope"])
+
+
+# -- content addressing -------------------------------------------------------
+
+
+def test_fingerprint_stable_across_equal_programs():
+    assert program_fingerprint(sor.program()) == program_fingerprint(sor.program())
+
+
+def test_fingerprint_changes_with_program_content():
+    small = lu.program(u=100, rsd=100, flux=10, jac=10)
+    bigger = lu.program(u=101, rsd=100, flux=10, jac=10)
+    assert program_fingerprint(small) != program_fingerprint(bigger)
+
+
+def test_cache_hit_returns_identical_object():
+    cache = ArtifactCache()
+    program = sor.program()
+    first = build_icfg_cached(program, "mainsor", 0, cache)
+    second = build_icfg_cached(program, "mainsor", 0, cache)
+    assert second is first
+    assert cache.stats.hits == 1 and cache.stats.misses == 1
+    # Content addressing: a structurally equal but distinct Program
+    # object hits the same entry.
+    third = build_icfg_cached(sor.program(), "mainsor", 0, cache)
+    assert third is first
+
+
+def test_clone_level_and_options_are_part_of_the_key():
+    program = lu.program(u=100, rsd=100, flux=10, jac=10)
+    assert icfg_key(program, "rhs", 0) != icfg_key(program, "rhs", 1)
+    assert match_key(program, "rhs", 0, MatchOptions()) != match_key(
+        program, "rhs", 0, MatchOptions(use_constants=False)
+    )
+
+    cache = ArtifactCache()
+    shallow = build_icfg_cached(program, "rhs", 0, cache)
+    deep = build_icfg_cached(program, "rhs", 1, cache)
+    assert shallow is not deep
+    assert cache.stats.misses == 2
+
+    icfg = shallow
+    default = match_communication_cached(icfg, program, cache=cache)
+    ablated = match_communication_cached(
+        icfg, program, MatchOptions(use_constants=False), cache=cache
+    )
+    assert default is not ablated
+    assert len(ablated.pairs) >= len(default.pairs)
+
+
+def test_graph_mutation_invalidates_reaching_constants():
+    program = sor.program()
+    cache = ArtifactCache()
+    icfg = build_icfg(program, "mainsor")
+    key_before = rc_key(program, icfg, MpiModel.COMM_EDGES, "roundrobin")
+    first = reaching_constants_cached(icfg, program, cache=cache)
+    assert reaching_constants_cached(icfg, program, cache=cache) is first
+
+    match = add_communication_edges(icfg)
+    assert match.pairs, "SOR must have matched communication"
+    key_after = rc_key(program, icfg, MpiModel.COMM_EDGES, "roundrobin")
+    assert key_after != key_before  # version stamp moved
+    reaching_constants_cached(icfg, program, cache=cache)
+    assert cache.stats.misses == 2
+
+    # Re-applying the same match is idempotent: no version bump, so the
+    # post-mutation entry stays valid.
+    add_communication_edges(icfg, result=match)
+    assert rc_key(program, icfg, MpiModel.COMM_EDGES, "roundrobin") == key_after
+
+
+# -- disk layer ---------------------------------------------------------------
+
+
+def test_disk_cache_roundtrip(tmp_path):
+    program = sor.program()
+    writer = ArtifactCache(disk_dir=tmp_path)
+    built = build_icfg_cached(program, "mainsor", 0, writer)
+    assert writer.stats.disk_stores >= 1
+    assert list(tmp_path.glob("*.pkl"))
+
+    reader = ArtifactCache(disk_dir=tmp_path)
+    loaded = build_icfg_cached(program, "mainsor", 0, reader)
+    assert reader.stats.disk_hits == 1 and reader.stats.misses == 0
+    assert loaded is not built
+    assert loaded.root == built.root
+    assert set(loaded.graph.nodes) == set(built.graph.nodes)
+    # The unpickled graph is a full ICFG: the experiments run on it.
+    spec = BENCHMARKS["SOR"]
+    result = activity_analysis(
+        loaded, spec.independents, spec.dependents, MpiModel.GLOBAL_BUFFER
+    )
+    assert result.active_bytes > 0
+
+
+def test_disk_cache_ignores_corrupt_entries(tmp_path):
+    program = sor.program()
+    writer = ArtifactCache(disk_dir=tmp_path)
+    build_icfg_cached(program, "mainsor", 0, writer)
+    for path in tmp_path.glob("*.pkl"):
+        path.write_bytes(b"not a pickle")
+    reader = ArtifactCache(disk_dir=tmp_path)
+    rebuilt = build_icfg_cached(program, "mainsor", 0, reader)
+    assert reader.stats.disk_hits == 0 and reader.stats.misses == 1
+    assert rebuilt.root == "mainsor"
+
+
+def test_empty_cache_is_truthy():
+    # ArtifactCache defines __len__; without an explicit __bool__ an
+    # empty cache would read as "no cache" at `if cache:` call sites.
+    assert bool(ArtifactCache())
+
+
+def test_parallel_workers_populate_disk_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    cache = ArtifactCache(disk_dir=tmp_path)
+    result = run_table1_pipeline(["SOR", "CG"], jobs=2, artifact_cache=cache)
+    # Workers persist icfg/match/row artifacts, parent seeds row keys.
+    assert len(list(tmp_path.glob("*.pkl"))) >= 2 * 3
+    reader = ArtifactCache(disk_dir=tmp_path)
+    warm = run_table1_pipeline(["SOR", "CG"], artifact_cache=reader)
+    assert warm.text == result.text
+    assert reader.stats.disk_hits >= 2
+
+
+def test_lru_evicts_oldest():
+    cache = ArtifactCache(max_entries=2)
+    cache.put(("a",), 1)
+    cache.put(("b",), 2)
+    cache.put(("c",), 3)
+    assert ("a",) not in cache and ("b",) in cache and ("c",) in cache
+    assert cache.stats.evictions == 1
+
+
+# -- shared FactUniverse ------------------------------------------------------
+
+
+def test_shared_universe_activity_matches_independent_solves():
+    spec = BENCHMARKS["SOR"]
+    icfg = build_icfg(spec.program(), spec.root)
+    add_communication_edges(icfg)
+    activity = activity_analysis(
+        icfg, spec.independents, spec.dependents, MpiModel.COMM_EDGES
+    )
+    vary = vary_analysis(icfg, spec.independents, MpiModel.COMM_EDGES)
+    useful = useful_analysis(icfg, spec.dependents, MpiModel.COMM_EDGES)
+    assert activity.vary.before == vary.before
+    assert activity.vary.after == vary.after
+    assert activity.useful.before == useful.before
+    assert activity.useful.after == useful.after
