@@ -42,7 +42,7 @@ def test_paper_pattern_mpi_geq_icfg(rows):
     assert ge >= len(rows) - 1
 
 
-def test_comm_edges_preserve_convergence_speed(benchmark, rows):
+def test_comm_edges_preserve_convergence_speed(benchmark, rows, results_dir):
     """Timing: solving activity over the MPI-ICFG (with communication
     edges) on the largest benchmark."""
     from repro.analyses import MpiModel, activity_analysis
@@ -58,5 +58,8 @@ def test_comm_edges_preserve_convergence_speed(benchmark, rows):
         )
     )
     stats = compute_stats(icfg.graph, icfg.entry_exit(icfg.root)[0])
+    write_artifact(results_dir, "graph_stats_sw3.txt", stats.describe())
     assert not stats.reducible  # irreducible, yet convergence stayed fast
+    assert stats.comm_edges > 0
+    assert stats.total_edges == stats.control_flow_edges + stats.comm_edges
     assert result.iterations < 20

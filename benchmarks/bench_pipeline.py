@@ -6,12 +6,16 @@ Runs the Table 1 suite three ways through
 * **serial-cold** — ``cache=False``, every artifact rebuilt per row;
 * **serial-warm** — a private :class:`~repro.pipeline.ArtifactCache`
   warmed by one untimed pass, then timed (content-addressed row hits);
-* **parallel** — ``jobs=N`` process fan-out, cold caches.
+* **parallel** — ``jobs=N`` process fan-out, cold caches;
+* **traced** — serial-cold again with tracing + metrics enabled, to
+  measure observability overhead (must stay < 10% in smoke mode and
+  render byte-identical output).
 
-Asserts that all three render byte-identical Table 1 + Figure 4 text
+Asserts that all arms render byte-identical Table 1 + Figure 4 text
 (exits non-zero otherwise) and writes
-``benchmarks/results/BENCH_pipeline.json`` with timings, speedups, and
-whether the warm run met the >=2x end-to-end target.
+``benchmarks/results/BENCH_pipeline.json`` with timings, speedups,
+tracing overhead, and whether the warm run met the >=2x end-to-end
+target.
 
 Usage::
 
@@ -28,12 +32,14 @@ import pathlib
 import sys
 import time
 
+from repro.obs import disable_tracing, enable_tracing, get_metrics, reset_metrics
 from repro.pipeline import ArtifactCache, run_table1_pipeline
 from repro.programs import BENCHMARKS
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
 SMOKE_NAMES = ["SOR", "CG", "Sw-3"]
 TARGET_SPEEDUP = 2.0
+TRACING_OVERHEAD_TARGET_PCT = 10.0
 
 
 def _best_of(rounds: int, run):
@@ -75,6 +81,20 @@ def main(argv=None) -> int:
         rounds, lambda: run_table1_pipeline(names, cache=False)
     )
 
+    def _traced_run():
+        enable_tracing(fresh=True)
+        reset_metrics()
+        try:
+            return run_table1_pipeline(names, cache=False)
+        finally:
+            disable_tracing()
+
+    # Timed immediately after the cold arm so the overhead comparison
+    # isn't polluted by pool spin-up between the two measurements.
+    traced_time, traced = _best_of(rounds, _traced_run)
+    metric_entries = len(get_metrics())
+    reset_metrics()
+
     warm_cache = ArtifactCache()
     run_table1_pipeline(names, artifact_cache=warm_cache)  # untimed warm-up
     warm_time, warm = _best_of(
@@ -85,9 +105,12 @@ def main(argv=None) -> int:
         rounds, lambda: run_table1_pipeline(names, jobs=args.jobs, cache=False)
     )
 
-    identical = cold.text == warm.text == par.text
+    identical = cold.text == warm.text == par.text == traced.text
     warm_speedup = cold_time / warm_time if warm_time else float("inf")
     par_speedup = cold_time / par_time if par_time else float("inf")
+    overhead_pct = (
+        100.0 * (traced_time - cold_time) / cold_time if cold_time else 0.0
+    )
 
     report = {
         "mode": "smoke" if args.smoke else "full",
@@ -99,6 +122,7 @@ def main(argv=None) -> int:
             "serial_cold": round(cold_time, 6),
             "serial_warm": round(warm_time, 6),
             f"parallel_jobs{args.jobs}": round(par_time, 6),
+            "serial_traced": round(traced_time, 6),
         },
         "speedups": {
             "warm_vs_cold": round(warm_speedup, 2),
@@ -108,6 +132,12 @@ def main(argv=None) -> int:
         "target_speedup": TARGET_SPEEDUP,
         "target_met": identical and warm_speedup >= TARGET_SPEEDUP,
         "warm_cache_stats": warm.cache_stats,
+        "tracing": {
+            "overhead_pct": round(overhead_pct, 2),
+            "target_pct": TRACING_OVERHEAD_TARGET_PCT,
+            "target_met": overhead_pct < TRACING_OVERHEAD_TARGET_PCT,
+            "metric_entries": metric_entries,
+        },
     }
 
     args.out.parent.mkdir(parents=True, exist_ok=True)
@@ -117,12 +147,21 @@ def main(argv=None) -> int:
     print(f"serial cold : {cold_time:8.4f}s")
     print(f"serial warm : {warm_time:8.4f}s  ({warm_speedup:6.1f}x)")
     print(f"jobs={args.jobs:<2d}     : {par_time:8.4f}s  ({par_speedup:6.1f}x)")
+    print(f"traced      : {traced_time:8.4f}s  "
+          f"({overhead_pct:+6.1f}% overhead, {metric_entries} metrics)")
     print(f"identical output: {identical}   target >= {TARGET_SPEEDUP}x "
           f"met: {report['target_met']}")
     print(f"wrote {args.out}")
 
     if not identical:
         print("error: pipeline arms rendered different output", file=sys.stderr)
+        return 1
+    if args.smoke and overhead_pct >= TRACING_OVERHEAD_TARGET_PCT:
+        print(
+            f"error: tracing overhead {overhead_pct:.1f}% >= "
+            f"{TRACING_OVERHEAD_TARGET_PCT}% target",
+            file=sys.stderr,
+        )
         return 1
     return 0
 

@@ -21,6 +21,7 @@ from typing import Optional, Sequence
 from ..cfg.icfg import ICFG
 from ..dataflow.bitset import FactUniverse
 from ..dataflow.framework import DataflowResult
+from ..obs import get_metrics, get_tracer, metric_name
 from .mpi_model import MPI_BUFFER_QNAME, MpiModel
 from .useful import useful_analysis
 from .vary import vary_analysis
@@ -75,6 +76,7 @@ def activity_analysis(
     mpi_model: MpiModel = MpiModel.COMM_EDGES,
     strategy: str = "roundrobin",
     backend: str = "auto",
+    record_convergence: bool = False,
 ) -> ActivityResult:
     """Run Vary and Useful over ``icfg`` and intersect them.
 
@@ -88,29 +90,35 @@ def activity_analysis(
     re-interning the whole universe (they also share the solver's
     per-graph direction views, keyed on the graph's mutation version).
     """
-    universe = FactUniverse()
-    vary = vary_analysis(
-        icfg,
-        independents,
-        mpi_model,
-        strategy=strategy,
-        backend=backend,
-        universe=universe,
-    )
-    useful = useful_analysis(
-        icfg,
-        dependents,
-        mpi_model,
-        strategy=strategy,
-        backend=backend,
-        universe=universe,
-    )
+    tracer = get_tracer()
+    with tracer.span(
+        "activity.analysis", model=mpi_model.value, strategy=strategy
+    ):
+        universe = FactUniverse()
+        vary = vary_analysis(
+            icfg,
+            independents,
+            mpi_model,
+            strategy=strategy,
+            backend=backend,
+            universe=universe,
+            record_convergence=record_convergence,
+        )
+        useful = useful_analysis(
+            icfg,
+            dependents,
+            mpi_model,
+            strategy=strategy,
+            backend=backend,
+            universe=universe,
+            record_convergence=record_convergence,
+        )
 
-    active: set[str] = set()
-    for nid in icfg.graph.nodes:
-        active |= vary.in_fact(nid) & useful.in_fact(nid)
-        active |= vary.out_fact(nid) & useful.out_fact(nid)
-    active.discard(MPI_BUFFER_QNAME)  # synthetic: not program storage
+        active: set[str] = set()
+        for nid in icfg.graph.nodes:
+            active |= vary.in_fact(nid) & useful.in_fact(nid)
+            active |= vary.out_fact(nid) & useful.out_fact(nid)
+        active.discard(MPI_BUFFER_QNAME)  # synthetic: not program storage
 
     symtab = icfg.symtab
     symbols = frozenset(
@@ -135,7 +143,7 @@ def activity_analysis(
         for name in independents
     )
 
-    return ActivityResult(
+    result = ActivityResult(
         icfg=icfg,
         mpi_model=mpi_model,
         independents=tuple(independents),
@@ -147,6 +155,22 @@ def activity_analysis(
         vary=vary,
         useful=useful,
     )
+    if tracer.enabled:
+        registry = get_metrics()
+        labels = {"model": mpi_model.value}
+        registry.gauge(
+            metric_name("repro.activity.iterations", **labels)
+        ).set(result.iterations)
+        registry.gauge(
+            metric_name("repro.activity.vary.iterations", **labels)
+        ).set(vary.iterations)
+        registry.gauge(
+            metric_name("repro.activity.useful.iterations", **labels)
+        ).set(useful.iterations)
+        registry.gauge(
+            metric_name("repro.activity.active_bytes", **labels)
+        ).set(active_bytes)
+    return result
 
 
 _ = Optional  # typing convenience

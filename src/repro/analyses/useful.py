@@ -228,6 +228,7 @@ def useful_analysis(
     strategy: str = "roundrobin",
     backend: str = "auto",
     universe=None,
+    record_convergence: bool = False,
 ) -> DataflowResult:
     """Solve Useful for the given dependent variables of ``icfg.root``.
 
@@ -245,4 +246,5 @@ def useful_analysis(
         strategy=strategy,
         backend=backend,
         universe=universe,
+        record_convergence=record_convergence,
     )

@@ -244,6 +244,7 @@ def vary_analysis(
     strategy: str = "roundrobin",
     backend: str = "auto",
     universe=None,
+    record_convergence: bool = False,
 ) -> DataflowResult:
     """Solve Vary for the given independent variables of ``icfg.root``.
 
@@ -261,6 +262,7 @@ def vary_analysis(
         strategy=strategy,
         backend=backend,
         universe=universe,
+        record_convergence=record_convergence,
     )
 
 

@@ -21,18 +21,56 @@ __all__ = ["GraphStats", "compute_stats", "is_reducible", "dfs_back_edges"]
 
 @dataclass(frozen=True)
 class GraphStats:
+    """Per-:class:`~repro.cfg.node.EdgeKind` edge counts plus the
+    depth/reducibility estimates.
+
+    ``return_edges`` counts only true RETURN edges;
+    ``call_to_return_edges`` (the intraprocedural bypass edges at call
+    sites) are kept separate so control-flow and interprocedural
+    structure can be reported independently.  COMM edges are never part
+    of :attr:`control_flow_edges` — they only appear in ``comm_edges``
+    and :attr:`total_edges`.
+    """
+
     nodes: int
     flow_edges: int
     call_edges: int
     return_edges: int
+    call_to_return_edges: int
     comm_edges: int
     back_edges: int
     reducible: bool
 
     @property
-    def total_edges(self) -> int:
+    def control_flow_edges(self) -> int:
+        """All non-COMM edges (the plain-ICFG edge count)."""
         return (
-            self.flow_edges + self.call_edges + self.return_edges + self.comm_edges
+            self.flow_edges
+            + self.call_edges
+            + self.return_edges
+            + self.call_to_return_edges
+        )
+
+    @property
+    def total_edges(self) -> int:
+        return self.control_flow_edges + self.comm_edges
+
+    def describe(self) -> str:
+        """One-line-per-field text rendering (used by the convergence
+        benchmark's artifact)."""
+        return "\n".join(
+            [
+                f"nodes            {self.nodes:>7d}",
+                f"flow edges       {self.flow_edges:>7d}",
+                f"call edges       {self.call_edges:>7d}",
+                f"return edges     {self.return_edges:>7d}",
+                f"call-to-return   {self.call_to_return_edges:>7d}",
+                f"comm edges       {self.comm_edges:>7d}",
+                f"control-flow     {self.control_flow_edges:>7d}",
+                f"total edges      {self.total_edges:>7d}",
+                f"back edges       {self.back_edges:>7d}",
+                f"reducible        {str(self.reducible):>7s}",
+            ]
         )
 
 
@@ -126,7 +164,8 @@ def compute_stats(graph: FlowGraph, root: int) -> GraphStats:
         nodes=len(graph),
         flow_edges=counts[EdgeKind.FLOW],
         call_edges=counts[EdgeKind.CALL],
-        return_edges=counts[EdgeKind.RETURN] + counts[EdgeKind.CALL_TO_RETURN],
+        return_edges=counts[EdgeKind.RETURN],
+        call_to_return_edges=counts[EdgeKind.CALL_TO_RETURN],
         comm_edges=counts[EdgeKind.COMM],
         back_edges=len(back),
         reducible=is_reducible(graph, root, include_comm=True),

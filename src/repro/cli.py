@@ -12,11 +12,15 @@ Subcommands:
 * ``run``       — execute on simulated SPMD ranks
 * ``table1``    — reproduce the paper's evaluation (Table 1 + Figure 4)
 * ``figure4``   — just the Figure 4 storage-savings chart
+* ``trace``     — run one benchmark with tracing; span tree + metrics
 
 ``table1`` and ``figure4`` run through :mod:`repro.pipeline` and accept
 ``--jobs N`` (process fan-out), ``--cache``/``--no-cache`` (in-process
 artifact cache, default on) and ``--disk-cache`` (persist artifacts
 under ``~/.cache/repro``); output is identical for every combination.
+All three observability commands/flags (``trace``, ``--trace-out``,
+``--chrome-out``, ``--metrics``) leave the experiment output untouched
+— tracing is additive by construction (see :mod:`repro.obs`).
 """
 
 from __future__ import annotations
@@ -141,7 +145,53 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("figure4", help="reproduce the paper's Figure 4 chart")
     _add_pipeline_flags(p)
 
+    p = sub.add_parser(
+        "trace",
+        help="run one benchmark with tracing; print span tree + metrics",
+    )
+    p.add_argument(
+        "file", nargs="?", help="SPL source file (or use --bench/--smoke)"
+    )
+    src = p.add_mutually_exclusive_group()
+    src.add_argument(
+        "--bench", metavar="NAME", help="trace a registered Table 1 benchmark"
+    )
+    src.add_argument(
+        "--smoke",
+        action="store_true",
+        help="trace the paper's Figure 1 example program",
+    )
+    p.add_argument("--root", default="main", help="context routine (default: main)")
+    p.add_argument("--clone-level", type=int, default=0)
+    p.add_argument("--independent", action="append", dest="independents", default=[])
+    p.add_argument("--dependent", action="append", dest="dependents", default=[])
+    p.add_argument(
+        "--strategy",
+        choices=["roundrobin", "worklist", "priority"],
+        default="roundrobin",
+        help="solver strategy (default: %(default)s)",
+    )
+    p.add_argument(
+        "--convergence",
+        action="store_true",
+        help="record and print per-node solver convergence tables",
+    )
+    _add_trace_outputs(p)
+
     return parser
+
+
+def _add_trace_outputs(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="write finished spans as JSONL",
+    )
+    p.add_argument(
+        "--chrome-out",
+        metavar="FILE",
+        help="write a Chrome trace_event JSON (chrome://tracing, Perfetto)",
+    )
 
 
 def _add_pipeline_flags(p: argparse.ArgumentParser) -> None:
@@ -172,6 +222,12 @@ def _add_pipeline_flags(p: argparse.ArgumentParser) -> None:
         "--disk-cache",
         action="store_true",
         help="also persist artifacts under ~/.cache/repro ($REPRO_CACHE_DIR)",
+    )
+    _add_trace_outputs(p)
+    p.add_argument(
+        "--metrics",
+        action="store_true",
+        help="enable tracing and print the metrics snapshot after the table",
     )
 
 
@@ -321,6 +377,28 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _tracing_requested(args) -> bool:
+    return bool(
+        args.trace_out or args.chrome_out or getattr(args, "metrics", False)
+    )
+
+
+def _emit_trace_outputs(args, tracer) -> None:
+    """Write --trace-out / --chrome-out files; paths echoed to stderr so
+    stdout stays byte-identical to an untraced run."""
+    from .obs import write_chrome_trace
+
+    if args.trace_out:
+        n = tracer.write_jsonl(args.trace_out)
+        print(f"// wrote {n} spans to {args.trace_out}", file=sys.stderr)
+    if args.chrome_out:
+        n = write_chrome_trace(args.chrome_out, tracer.spans())
+        print(
+            f"// wrote Chrome trace ({n} events) to {args.chrome_out}",
+            file=sys.stderr,
+        )
+
+
 def _run_pipeline(args):
     from .pipeline import run_table1_pipeline
 
@@ -332,13 +410,127 @@ def _run_pipeline(args):
     )
 
 
-def _cmd_table1(args) -> int:
-    print(_run_pipeline(args).text)
+def _cmd_pipeline(args, render) -> int:
+    from .obs import (
+        disable_tracing,
+        enable_tracing,
+        get_metrics,
+        render_metrics,
+        reset_metrics,
+    )
+
+    tracing = _tracing_requested(args)
+    if tracing:
+        tracer = enable_tracing(fresh=True)
+        reset_metrics()
+    try:
+        result = _run_pipeline(args)
+    finally:
+        if tracing:
+            disable_tracing()
+    print(render(result))
+    if tracing:
+        if args.metrics:
+            print()
+            print(render_metrics(get_metrics().snapshot()))
+        _emit_trace_outputs(args, tracer)
     return 0
 
 
+def _cmd_table1(args) -> int:
+    return _cmd_pipeline(args, lambda result: result.text)
+
+
 def _cmd_figure4(args) -> int:
-    print(_run_pipeline(args).figure4_text)
+    return _cmd_pipeline(args, lambda result: result.figure4_text)
+
+
+def _trace_spec(args):
+    """Resolve the traced program to a :class:`BenchmarkSpec`."""
+    from .programs.registry import BENCHMARKS, BenchmarkSpec
+
+    if args.bench:
+        if args.bench not in BENCHMARKS:
+            raise KeyError(
+                f"unknown benchmark {args.bench!r}; "
+                f"available: {', '.join(sorted(BENCHMARKS))}"
+            )
+        return BENCHMARKS[args.bench]
+    if args.smoke:
+        from .programs import figure1
+
+        return BenchmarkSpec(
+            name="figure1",
+            source_label="Figure 1 example",
+            builder=lambda **_: figure1.program(),
+            root="main",
+            independents=("x",),
+            dependents=("f",),
+        )
+    if not args.file:
+        raise ValueError("trace needs a FILE, --bench NAME, or --smoke")
+    if not (args.independents and args.dependents):
+        raise ValueError(
+            "tracing a FILE needs at least one --independent and one --dependent"
+        )
+    program, _ = _load(args.file)
+    return BenchmarkSpec(
+        name=pathlib.Path(args.file).stem,
+        source_label=args.file,
+        builder=lambda **_: program,
+        root=args.root,
+        clone_level=args.clone_level,
+        independents=tuple(args.independents),
+        dependents=tuple(args.dependents),
+    )
+
+
+def _cmd_trace(args) -> int:
+    from .experiments.table1 import render_table1, run_benchmark
+    from .obs import (
+        disable_tracing,
+        enable_tracing,
+        get_metrics,
+        render_convergence,
+        render_metrics,
+        render_span_tree,
+        reset_metrics,
+    )
+
+    spec = _trace_spec(args)
+    tracer = enable_tracing(fresh=True)
+    reset_metrics()
+    try:
+        row = run_benchmark(
+            spec, strategy=args.strategy, record_convergence=args.convergence
+        )
+        report = render_table1([row], with_paper=spec.paper is not None)
+    finally:
+        disable_tracing()
+
+    print(report)
+    print()
+    print("Span tree")
+    print("---------")
+    print(render_span_tree(tracer.spans()))
+    print()
+    print("Metrics")
+    print("-------")
+    print(render_metrics(get_metrics().snapshot()))
+    if args.convergence:
+        for arm_label, arm in (("ICFG", row.icfg), ("MPI-ICFG", row.mpi)):
+            for phase, solved in (("vary", arm.vary), ("useful", arm.useful)):
+                if solved.convergence is None:
+                    continue
+                print()
+                print(f"Convergence: {arm_label} {phase}")
+                print("-" * (13 + len(arm_label) + len(phase)))
+                print(
+                    render_convergence(
+                        solved.convergence, graph=arm.icfg.graph, changed_only=True
+                    )
+                )
+    _emit_trace_outputs(args, tracer)
     return 0
 
 
@@ -354,6 +546,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "table1": _cmd_table1,
     "figure4": _cmd_figure4,
+    "trace": _cmd_trace,
 }
 
 

@@ -35,6 +35,7 @@ from enum import Enum
 from typing import Any, Generic, Optional, Sequence, TypeVar
 
 from ..cfg.node import Edge, Node
+from ..obs.convergence import ConvergenceTrace
 
 __all__ = ["Direction", "DataFlowProblem", "DataflowResult", "SolverStats"]
 
@@ -178,6 +179,9 @@ class DataflowResult(Generic[F]):
     solver: str = "roundrobin"
     #: Detailed solver accounting (None only for hand-built results).
     stats: Optional[SolverStats] = None
+    #: Per-node convergence provenance; populated only by
+    #: ``solve(..., record_convergence=True)``.
+    convergence: Optional[ConvergenceTrace] = None
 
     def in_fact(self, node_id: int) -> F:
         """Program-order IN set of the node (paper's ``IN(n)``)."""

@@ -46,10 +46,17 @@ from typing import Iterable, Optional, TypeVar
 
 from ..cfg.graph import FlowGraph
 from ..cfg.node import EdgeKind
+from ..obs import get_metrics, get_tracer
+from ..obs.convergence import ConvergenceRecorder
 from .bitset import BitsetAdapter, FactUniverse
 from .framework import DataFlowProblem, DataflowResult, Direction, SolverStats
 
 __all__ = ["solve", "SolverError", "STRATEGIES", "BACKENDS"]
+
+#: Fixed bucket edges for the ``repro.solve.passes`` / ``.visits``
+#: histograms (no wall-clock dependence — snapshots are reproducible).
+PASS_BUCKETS = (1, 2, 4, 8, 16, 32, 64)
+VISIT_BUCKETS = (10, 100, 1_000, 10_000, 100_000, 1_000_000)
 
 F = TypeVar("F")
 C = TypeVar("C")
@@ -159,8 +166,12 @@ class _Engine:
         entries: list[int],
         exits: list[int],
         problem: DataFlowProblem,
+        recorder: Optional[ConvergenceRecorder] = None,
     ):
         self.graph = graph
+        #: Opt-in convergence provenance; the hot loop pays one
+        #: attribute check when off.
+        self.recorder = recorder
         self.nodes = graph.nodes
         self.problem = problem
         forward = problem.direction is Direction.FORWARD
@@ -265,6 +276,8 @@ class _Engine:
         # a different after fact — skip the recomputation.
         last_comm = self._last_comm.get(nid, _NEVER)
         if not before_changed and last_comm is not _NEVER and comm == last_comm:
+            if self.recorder is not None:
+                self.recorder.visit(nid, False, False, after[nid])
             return False, False
         self._last_comm[nid] = comm
         new_after = problem.transfer(self.nodes[nid], before[nid], comm)
@@ -275,6 +288,8 @@ class _Engine:
             after_changed = not problem.eq(new_after, after[nid])
         if after_changed:
             after[nid] = new_after
+        if self.recorder is not None:
+            self.recorder.visit(nid, before_changed, after_changed, after[nid])
         return before_changed, after_changed
 
     # -- SCC priorities for the "priority" strategy --------------------------
@@ -367,6 +382,8 @@ def _solve_roundrobin(engine: _Engine) -> tuple[int, int]:
             raise SolverError(
                 f"{engine.problem.name}: no fixed point after {MAX_PASSES} passes"
             )
+        if engine.recorder is not None:
+            engine.recorder.next_pass()
         for nid in engine.order:
             visits += 1
             before_changed, after_changed = engine.update(nid)
@@ -453,6 +470,7 @@ def solve(
     strategy: str = "roundrobin",
     backend: str = "auto",
     universe: Optional[FactUniverse] = None,
+    record_convergence: bool = False,
 ) -> DataflowResult:
     """Run ``problem`` to a fixed point over ``graph``.
 
@@ -470,6 +488,12 @@ def solve(
     :class:`~repro.dataflow.bitset.FactUniverse` for the bitset
     backend, so related solves over the same variable population reuse
     one atom ↔ bit interning (ignored on the native backend).
+
+    ``record_convergence=True`` attaches a
+    :class:`~repro.obs.convergence.ConvergenceTrace` to the result —
+    per-node visit counts, fact growth, and stabilisation points (see
+    :func:`repro.obs.render_convergence`); it does not change the
+    fixed point.
     """
     try:
         run = _STRATEGY_FNS[strategy]
@@ -490,17 +514,25 @@ def solve(
     entries = [entry] if isinstance(entry, int) else list(entry)
     exits = [exit_] if isinstance(exit_, int) else list(exit_)
 
-    t0 = time.perf_counter()
-    engine_problem = (
-        BitsetAdapter(problem, universe=universe) if use_bitset else problem
-    )
-    engine = _Engine(graph, entries, exits, engine_problem)
-    passes, visits = run(engine)
-    before, after = engine.before, engine.after
-    if use_bitset:
-        before = engine_problem.decode_facts(before)
-        after = engine_problem.decode_facts(after)
-    wall = time.perf_counter() - t0
+    tracer = get_tracer()
+    recorder = ConvergenceRecorder() if record_convergence else None
+    with tracer.span(
+        f"solve.{problem.name}",
+        strategy=strategy,
+        backend="bitset" if use_bitset else "native",
+        nodes=len(graph),
+    ):
+        t0 = time.perf_counter()
+        engine_problem = (
+            BitsetAdapter(problem, universe=universe) if use_bitset else problem
+        )
+        engine = _Engine(graph, entries, exits, engine_problem, recorder=recorder)
+        passes, visits = run(engine)
+        before, after = engine.before, engine.after
+        if use_bitset:
+            before = engine_problem.decode_facts(before)
+            after = engine_problem.decode_facts(after)
+        wall = time.perf_counter() - t0
 
     stats = SolverStats(
         strategy=strategy,
@@ -513,6 +545,18 @@ def solve(
         wall_time_s=wall,
         nodes=len(graph),
     )
+    if tracer.enabled:
+        registry = get_metrics()
+        registry.counter("repro.solve.runs").inc()
+        registry.counter("repro.solve.visits").inc(stats.visits)
+        registry.counter("repro.solve.meets").inc(stats.meets)
+        registry.counter("repro.solve.transfers").inc(stats.transfers)
+        registry.counter("repro.solve.comm_requeues").inc(stats.comm_requeues)
+        if passes:
+            registry.histogram("repro.solve.passes", PASS_BUCKETS).observe(passes)
+        registry.histogram("repro.solve.visits_per_run", VISIT_BUCKETS).observe(
+            visits
+        )
     return DataflowResult(
         problem_name=problem.name,
         direction=problem.direction,
@@ -522,4 +566,9 @@ def solve(
         visits=visits,
         solver=strategy,
         stats=stats,
+        convergence=(
+            recorder.finish(problem.name, strategy, problem.direction.value)
+            if recorder is not None
+            else None
+        ),
     )

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
+from ..obs import get_tracer
 from .table1 import Table1Row, run_table1
 
 __all__ = ["Figure4Bar", "run_figure4", "render_figure4"]
@@ -53,6 +54,11 @@ def run_figure4(
 
 def render_figure4(bars: list[Figure4Bar]) -> str:
     """ASCII rendering of the two Figure 4 series (log-ish bar scale)."""
+    with get_tracer().span("report.figure4", bars=len(bars)):
+        return _render_figure4(bars)
+
+
+def _render_figure4(bars: list[Figure4Bar]) -> str:
     header = (
         f"{'Bench':8s} {'Active MB saved':>16s} {'Deriv MB saved':>16s} "
         f"{'paper Active':>14s} {'paper Deriv':>13s}"

@@ -21,6 +21,7 @@ from ..analyses.mpi_model import MpiModel
 from ..cfg.icfg import ICFG, build_icfg
 from ..mpi.matching import MatchResult
 from ..mpi.mpiicfg import add_communication_edges
+from ..obs import get_metrics, get_tracer, metric_name
 from ..programs.registry import BENCHMARKS, BenchmarkSpec
 
 __all__ = ["Table1Row", "run_benchmark", "run_table1", "render_table1"]
@@ -57,6 +58,7 @@ def run_benchmark(
     strategy: str = "roundrobin",
     icfg: Optional[ICFG] = None,
     match: Optional[MatchResult] = None,
+    record_convergence: bool = False,
 ) -> Table1Row:
     """Run the ICFG and MPI-ICFG activity analyses for one row.
 
@@ -69,26 +71,45 @@ def run_benchmark(
     :mod:`repro.pipeline` for the content-addressed cache that supplies
     them.
     """
-    if icfg is None:
-        program = spec.program()
-        icfg = build_icfg(program, spec.root, clone_level=spec.clone_level)
+    tracer = get_tracer()
+    with tracer.span("table1.bench", bench=spec.name, strategy=strategy):
+        if icfg is None:
+            with tracer.span("parse.program", bench=spec.name):
+                program = spec.program()
+            with tracer.span("build.icfg", bench=spec.name):
+                icfg = build_icfg(program, spec.root, clone_level=spec.clone_level)
 
-    icfg_result = activity_analysis(
-        icfg,
-        spec.independents,
-        spec.dependents,
-        MpiModel.GLOBAL_BUFFER,
-        strategy=strategy,
-    )
+        with tracer.span("table1.arm", bench=spec.name, analysis="ICFG"):
+            icfg_result = activity_analysis(
+                icfg,
+                spec.independents,
+                spec.dependents,
+                MpiModel.GLOBAL_BUFFER,
+                strategy=strategy,
+                record_convergence=record_convergence,
+            )
 
-    add_communication_edges(icfg, result=match)
-    mpi_result = activity_analysis(
-        icfg,
-        spec.independents,
-        spec.dependents,
-        MpiModel.COMM_EDGES,
-        strategy=strategy,
-    )
+        with tracer.span("match.add_comm_edges", bench=spec.name):
+            comm = add_communication_edges(icfg, result=match)
+        with tracer.span("table1.arm", bench=spec.name, analysis="MPI-ICFG"):
+            mpi_result = activity_analysis(
+                icfg,
+                spec.independents,
+                spec.dependents,
+                MpiModel.COMM_EDGES,
+                strategy=strategy,
+                record_convergence=record_convergence,
+            )
+    if tracer.enabled:
+        registry = get_metrics()
+        for arm, res in (("icfg", icfg_result), ("mpi", mpi_result)):
+            registry.gauge(
+                metric_name("repro.table1.iterations", bench=spec.name, arm=arm)
+            ).set(res.iterations)
+            registry.gauge(
+                metric_name("repro.table1.active_bytes", bench=spec.name, arm=arm)
+            ).set(res.active_bytes)
+        registry.counter("repro.table1.comm_edges").inc(len(comm.pairs))
     return Table1Row(spec=spec, icfg=icfg_result, mpi=mpi_result)
 
 
@@ -101,6 +122,11 @@ def run_table1(
 
 def render_table1(rows: list[Table1Row], with_paper: bool = True) -> str:
     """Text rendering in the layout of the paper's Table 1."""
+    with get_tracer().span("report.table1", rows=len(rows)):
+        return _render_table1(rows, with_paper)
+
+
+def _render_table1(rows: list[Table1Row], with_paper: bool) -> str:
     header = (
         f"{'Bench':8s} {'Clone':5s} {'IND':12s} {'DEP':14s} {'Analysis':9s} "
         f"{'Iter':>4s} {'ActiveBytes':>13s} {'#Ind':>5s} {'DerivBytes':>14s} "

@@ -51,6 +51,7 @@ from ..cfg.node import MpiNode
 from ..dataflow.framework import DataflowResult
 from ..dataflow.lattice import ConstValue
 from ..dataflow.solver import solve
+from ..obs import get_metrics, get_tracer, metric_name
 from ..ir.ast_nodes import BinOp, Expr, IntLit, IntrinsicCall, UnOp
 from ..ir.mpi_ops import ArgRole, MpiKind
 
@@ -239,7 +240,8 @@ def _matching_constants(icfg: ICFG, solver: str) -> DataflowResult:
     if hit is not None and hit[0] == graph.version:
         return hit[1]
     problem = ReachingConstantsProblem(icfg, MpiModel.IGNORE)
-    result = solve(graph, entry, exit_, problem, strategy=solver)
+    with get_tracer().span("match.reaching_constants", solver=solver):
+        result = solve(graph, entry, exit_, problem, strategy=solver)
     per_graph[key] = (graph.version, result)
     return result
 
@@ -426,10 +428,28 @@ def match_communication(
     :func:`repro.mpi.mpiicfg.add_communication_edges`.
     """
     options = options or MatchOptions()
-    nodes = icfg.mpi_nodes()
-    groups = _grouped(nodes)
-    args = _ArgValues(icfg, options, nodes)
-    return _match_hash_join(icfg, options, groups, args)
+    tracer = get_tracer()
+    with tracer.span("match.hash_join"):
+        nodes = icfg.mpi_nodes()
+        groups = _grouped(nodes)
+        args = _ArgValues(icfg, options, nodes)
+        result = _match_hash_join(icfg, options, groups, args)
+    if tracer.enabled:
+        _record_match_metrics(result, algorithm="hash_join")
+    return result
+
+
+def _record_match_metrics(result: MatchResult, algorithm: str) -> None:
+    """Fold one match's counters into the metrics registry (caller has
+    already checked ``tracer.enabled``)."""
+    registry = get_metrics()
+    registry.counter(metric_name("repro.match.runs", algorithm=algorithm)).inc()
+    registry.counter("repro.match.candidates").inc(result.candidates)
+    registry.counter("repro.match.pairs").inc(len(result.pairs))
+    registry.counter("repro.match.pruned_by_constants").inc(
+        result.pruned_by_constants
+    )
+    registry.counter("repro.match.pruned_by_rank").inc(result.pruned_by_rank)
 
 
 def match_communication_nested(
@@ -442,6 +462,15 @@ def match_communication_nested(
     registry benchmark and on randomly generated SPMD programs.
     """
     options = options or MatchOptions()
+    tracer = get_tracer()
+    with tracer.span("match.nested"):
+        result = _match_nested(icfg, options)
+    if tracer.enabled:
+        _record_match_metrics(result, algorithm="nested")
+    return result
+
+
+def _match_nested(icfg: ICFG, options: MatchOptions) -> MatchResult:
     nodes = icfg.mpi_nodes()
     groups = _grouped(nodes)
     args = _ArgValues(icfg, options, nodes)

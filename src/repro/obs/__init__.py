@@ -1,0 +1,86 @@
+"""Unified observability: span tracing, metrics, convergence provenance.
+
+Three pillars, all zero-dependency and **off by default**:
+
+* :mod:`repro.obs.trace` — a span tracer (``tracer.span("match.hash_join",
+  program="MG-1")`` context manager / :func:`traced` decorator) with
+  thread/process-safe JSONL export and a Chrome ``trace_event``
+  exporter (:mod:`repro.obs.chrome`) so pipeline fan-out runs open
+  directly in ``chrome://tracing`` / Perfetto;
+* :mod:`repro.obs.metrics` — a registry of counters, gauges, and
+  fixed-bucket histograms named ``repro.<phase>.<name>``, absorbing
+  solver/cache/matcher statistics behind one
+  :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`;
+* :mod:`repro.obs.convergence` — opt-in per-iteration solver recording
+  with a text renderer explaining Table 1 iteration counts node by
+  node.
+
+Instrumentation sites throughout the analysis stack guard on the
+single ``get_tracer().enabled`` attribute, so a disabled run costs one
+attribute check per instrumented region and records nothing — output
+is byte-identical either way (asserted in ``tests/test_obs.py``).
+"""
+
+from .chrome import chrome_trace, write_chrome_trace
+from .convergence import (
+    ConvergenceRecorder,
+    ConvergenceTrace,
+    NodeConvergence,
+    fact_size,
+    render_convergence,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    diff_snapshot,
+    get_metrics,
+    metric_name,
+    reset_metrics,
+)
+from .render import render_metrics, render_span_tree
+from .trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    merge_shards,
+    read_jsonl,
+    span,
+    traced,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "ConvergenceRecorder",
+    "ConvergenceTrace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NodeConvergence",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "diff_snapshot",
+    "disable_tracing",
+    "enable_tracing",
+    "fact_size",
+    "get_metrics",
+    "get_tracer",
+    "merge_shards",
+    "metric_name",
+    "read_jsonl",
+    "render_convergence",
+    "render_metrics",
+    "render_span_tree",
+    "reset_metrics",
+    "span",
+    "traced",
+    "write_chrome_trace",
+]

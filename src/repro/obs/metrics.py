@@ -1,0 +1,235 @@
+"""Metrics registry: counters, gauges, fixed-bucket histograms.
+
+One :class:`MetricsRegistry` per process absorbs every quantitative
+signal the analysis stack produces — solver iteration counts, cache
+hit/miss tallies, matcher pruning counters — behind a single
+:meth:`MetricsRegistry.snapshot` API, superseding the hand-rolled
+harvesting of ``SolverStats`` / ``CacheStats`` / ``MatchResult``
+fields at each call site.
+
+Naming scheme: ``repro.<phase>.<name>`` with optional labels rendered
+into the name by :func:`metric_name` (``repro.table1.iterations{arm=mpi,
+bench=MG-1}``).  Histogram bucket boundaries are fixed at creation, so
+snapshots are reproducible — no wall-clock dependence in tests.
+
+Instrumentation sites record **only when tracing is enabled** (they
+guard on ``tracer.enabled``), so a disabled run leaves the registry
+empty — asserted by the tier-1 neutrality tests.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "diff_snapshot",
+    "get_metrics",
+    "metric_name",
+    "reset_metrics",
+]
+
+
+def metric_name(base: str, **labels: object) -> str:
+    """``base{k=v,...}`` with label keys sorted (stable snapshots)."""
+    if not labels:
+        return base
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{base}{{{inner}}}"
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def as_dict(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-written value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def set(self, v: float) -> None:
+        self.value = v
+
+    def as_dict(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Fixed-boundary histogram.
+
+    ``boundaries`` are upper bucket edges; an observation lands in the
+    first bucket whose edge is ``>= value``, or the overflow bucket.
+    Boundaries are part of the metric's identity — re-requesting the
+    same name with different boundaries is an error.
+    """
+
+    __slots__ = ("boundaries", "counts", "count", "sum")
+
+    def __init__(self, boundaries: Sequence[float]):
+        bounds = tuple(boundaries)
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram boundaries must be sorted, got {bounds}")
+        self.boundaries = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum: float = 0
+
+    def observe(self, value: float) -> None:
+        for i, edge in enumerate(self.boundaries):
+            if value <= edge:
+                self.counts[i] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.count += 1
+        self.sum += value
+
+    def as_dict(self) -> dict:
+        return {
+            "type": "histogram",
+            "boundaries": list(self.boundaries),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe name → instrument map."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def _get(self, name: str, kind: type, factory):
+        with self._lock:
+            m = self._metrics.get(name)
+            if m is None:
+                m = factory()
+                self._metrics[name] = m
+            elif not isinstance(m, kind):
+                raise TypeError(
+                    f"metric {name!r} is a {type(m).__name__}, "
+                    f"not a {kind.__name__}"
+                )
+            return m
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, Gauge)
+
+    def histogram(self, name: str, boundaries: Sequence[float]) -> Histogram:
+        h = self._get(name, Histogram, lambda: Histogram(boundaries))
+        if h.boundaries != tuple(boundaries):
+            raise ValueError(
+                f"metric {name!r} already registered with boundaries "
+                f"{h.boundaries}, got {tuple(boundaries)}"
+            )
+        return h
+
+    def clear(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+    # -- snapshots -----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Plain-dict rendering, keys sorted (JSON-friendly)."""
+        with self._lock:
+            items = list(self._metrics.items())
+        return {name: m.as_dict() for name, m in sorted(items)}
+
+    def absorb(self, snapshot: dict) -> None:
+        """Merge another registry's snapshot (e.g. a pool worker's
+        delta): counters and histograms add, gauges take the incoming
+        value."""
+        for name in sorted(snapshot):
+            entry = snapshot[name]
+            kind = entry["type"]
+            if kind == "counter":
+                self.counter(name).inc(entry["value"])
+            elif kind == "gauge":
+                self.gauge(name).set(entry["value"])
+            elif kind == "histogram":
+                h = self.histogram(name, entry["boundaries"])
+                for i, c in enumerate(entry["counts"]):
+                    h.counts[i] += c
+                h.count += entry["count"]
+                h.sum += entry["sum"]
+            else:  # pragma: no cover - snapshot corruption
+                raise ValueError(f"unknown metric type {kind!r} for {name!r}")
+
+
+def diff_snapshot(after: dict, before: dict) -> dict:
+    """``after - before`` for additive metrics.
+
+    Counter values and histogram counts subtract (names absent from
+    ``before`` pass through); gauges keep the ``after`` value.  Used by
+    pool workers to ship only the metrics recorded *by this task* back
+    to the parent, whose registry they forked.
+    """
+    out: dict = {}
+    for name, entry in after.items():
+        prev = before.get(name)
+        kind = entry["type"]
+        if prev is None or prev.get("type") != kind:
+            out[name] = entry
+            continue
+        if kind == "counter":
+            delta = entry["value"] - prev["value"]
+            if delta:
+                out[name] = {"type": "counter", "value": delta}
+        elif kind == "gauge":
+            out[name] = entry
+        elif kind == "histogram":
+            counts = [a - b for a, b in zip(entry["counts"], prev["counts"])]
+            if any(counts):
+                out[name] = {
+                    "type": "histogram",
+                    "boundaries": entry["boundaries"],
+                    "counts": counts,
+                    "count": entry["count"] - prev["count"],
+                    "sum": entry["sum"] - prev["sum"],
+                }
+    return out
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide registry (always a real registry; recording is
+    gated by the *tracer*'s enabled flag at instrumentation sites)."""
+    return _REGISTRY
+
+
+def reset_metrics() -> MetricsRegistry:
+    """Clear the process-wide registry and return it."""
+    _REGISTRY.clear()
+    return _REGISTRY
+
+
+_ = Optional  # typing convenience

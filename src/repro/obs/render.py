@@ -1,0 +1,74 @@
+"""Text renderers for traces and metric snapshots (the ``repro trace``
+CLI's output format)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+from .trace import Span
+
+__all__ = ["render_metrics", "render_span_tree"]
+
+
+def _fmt_attrs(attrs: dict) -> str:
+    if not attrs:
+        return ""
+    inner = " ".join(f"{k}={attrs[k]}" for k in sorted(attrs))
+    return f"  [{inner}]"
+
+
+def render_span_tree(spans: Iterable[Union[Span, dict]]) -> str:
+    """Indented span tree, children under parents, siblings by start.
+
+    Spans whose parent is missing from the set (e.g. worker-shard spans
+    whose parent lived in the submitting process) render as roots.
+    """
+    dicts = [s.as_dict() if isinstance(s, Span) else s for s in spans]
+    by_id = {d["id"]: d for d in dicts}
+    children: dict[str, list[dict]] = {}
+    roots: list[dict] = []
+    for d in dicts:
+        parent = d.get("parent")
+        if parent and parent in by_id:
+            children.setdefault(parent, []).append(d)
+        else:
+            roots.append(d)
+
+    def order(items: list[dict]) -> list[dict]:
+        return sorted(items, key=lambda d: (d["pid"], d["tid"], d["start"], d["id"]))
+
+    lines: list[str] = []
+
+    def emit(d: dict, depth: int) -> None:
+        dur_ms = d["dur"] * 1e3
+        lines.append(
+            f"{'  ' * depth}{d['name']:{max(1, 46 - 2 * depth)}s} "
+            f"{dur_ms:>9.3f} ms{_fmt_attrs(d.get('attrs') or {})}"
+        )
+        for child in order(children.get(d["id"], [])):
+            emit(child, depth + 1)
+
+    for root in order(roots):
+        emit(root, 0)
+    return "\n".join(lines)
+
+
+def render_metrics(snapshot: dict) -> str:
+    """One line per metric, keys already sorted by the snapshot."""
+    lines = []
+    for name in sorted(snapshot):
+        entry = snapshot[name]
+        kind = entry["type"]
+        if kind == "histogram":
+            buckets = " ".join(
+                f"<={b}:{c}"
+                for b, c in zip(entry["boundaries"], entry["counts"])
+            )
+            if entry["counts"][-1]:
+                buckets += f" inf:{entry['counts'][-1]}"
+            value = f"count={entry['count']} sum={entry['sum']:g} {buckets}"
+        else:
+            v = entry["value"]
+            value = f"{v:g}" if isinstance(v, float) else str(v)
+        lines.append(f"{name:56s} {kind:9s} {value}")
+    return "\n".join(lines)

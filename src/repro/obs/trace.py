@@ -1,0 +1,355 @@
+"""Zero-dependency structured span tracing.
+
+A :class:`Tracer` records *spans* — named, timed, attributed intervals
+forming a per-thread tree::
+
+    from repro.obs import enable_tracing, get_tracer
+
+    tracer = enable_tracing()
+    with tracer.span("match.hash_join", program="MG-1"):
+        ...
+    tracer.write_jsonl("trace.jsonl")
+
+Tracing is **off by default**: the module-level tracer starts as the
+:data:`NULL_TRACER` singleton whose :meth:`~NullTracer.span` returns a
+shared no-op context manager (no allocation, no clock reads).  Hot
+loops guard their recording behind the single ``tracer.enabled``
+attribute check.
+
+Timestamps are ``time.perf_counter()`` seconds.  On Linux that clock
+is ``CLOCK_MONOTONIC`` — system-wide, so spans recorded in forked
+pool workers are directly comparable with the parent's; the pipeline
+runner has each worker flush its spans to a per-process JSONL *shard*
+and merges the shards deterministically (:func:`merge_shards`).
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "disable_tracing",
+    "enable_tracing",
+    "get_tracer",
+    "merge_shards",
+    "read_jsonl",
+    "span",
+    "traced",
+]
+
+
+@dataclass
+class Span:
+    """One finished span.
+
+    ``start`` is in ``perf_counter`` seconds, ``duration`` in seconds.
+    ``span_id``/``parent_id`` are ``"<pid>-<n>"`` strings, unique
+    within a trace even when spans from several worker processes are
+    merged (``parent_id`` is ``None`` for roots).
+    """
+
+    name: str
+    start: float
+    duration: float
+    pid: int
+    tid: int
+    span_id: str
+    parent_id: Optional[str] = None
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def category(self) -> str:
+        """First dotted segment of the name (``"match.hash_join"`` →
+        ``"match"``) — the Chrome-trace ``cat`` field."""
+        return self.name.split(".", 1)[0]
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "cat": self.category,
+            "start": self.start,
+            "dur": self.duration,
+            "pid": self.pid,
+            "tid": self.tid,
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Span":
+        return cls(
+            name=d["name"],
+            start=d["start"],
+            duration=d["dur"],
+            pid=d["pid"],
+            tid=d["tid"],
+            span_id=d["id"],
+            parent_id=d.get("parent"),
+            attrs=d.get("attrs") or {},
+        )
+
+
+def _sort_key(d: dict) -> tuple:
+    return (d["pid"], d["tid"], d["start"], d["id"])
+
+
+class _SpanContext:
+    """Context manager recording one span on exit."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_span_id", "_parent_id", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self) -> "_SpanContext":
+        tracer = self._tracer
+        self._span_id = tracer._next_id()
+        stack = tracer._stack()
+        self._parent_id = stack[-1] if stack else None
+        stack.append(self._span_id)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        end = time.perf_counter()
+        tracer = self._tracer
+        stack = tracer._stack()
+        if stack and stack[-1] == self._span_id:
+            stack.pop()
+        tracer._add(
+            Span(
+                name=self._name,
+                start=self._start,
+                duration=end - self._start,
+                pid=os.getpid(),
+                tid=threading.get_ident(),
+                span_id=self._span_id,
+                parent_id=self._parent_id,
+                attrs=self._attrs,
+            )
+        )
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes discovered while the span is open."""
+        self._attrs.update(attrs)
+
+
+class _NullSpan:
+    """Reusable no-op context manager (the disabled fast path)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def set(self, **attrs: Any) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects spans from any thread of the current process."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+        self._local = threading.local()
+        self._counter = 0
+
+    # -- internals used by _SpanContext -------------------------------------
+
+    def _stack(self) -> list[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _next_id(self) -> str:
+        with self._lock:
+            self._counter += 1
+            return f"{os.getpid()}-{self._counter}"
+
+    def _add(self, s: Span) -> None:
+        with self._lock:
+            self._spans.append(s)
+
+    # -- recording API -------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> _SpanContext:
+        """Context manager recording ``name`` with ``attrs``."""
+        return _SpanContext(self, name, attrs)
+
+    def absorb(self, dicts: Iterable[dict]) -> None:
+        """Merge foreign span dicts (e.g. worker shards) into this
+        tracer's buffer."""
+        spans = [Span.from_dict(d) for d in dicts]
+        with self._lock:
+            self._spans.extend(spans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+    # -- reading / exporting -------------------------------------------------
+
+    def spans(self) -> list[Span]:
+        """Snapshot of all finished spans in deterministic order
+        (``(pid, tid, start, span_id)``)."""
+        with self._lock:
+            spans = list(self._spans)
+        return sorted(spans, key=lambda s: (s.pid, s.tid, s.start, s.span_id))
+
+    def write_jsonl(self, path: os.PathLike | str) -> int:
+        """Write every span as one JSON line; returns the span count."""
+        spans = self.spans()
+        with open(path, "w", encoding="utf-8") as fh:
+            for s in spans:
+                fh.write(json.dumps(s.as_dict(), sort_keys=True) + "\n")
+        return len(spans)
+
+    def flush_jsonl(self, path: os.PathLike | str) -> int:
+        """Append all buffered spans to ``path`` and clear the buffer.
+
+        Used by pool workers: each task's spans are appended to the
+        worker's shard file so the parent can merge them even though the
+        worker process outlives many tasks.
+        """
+        with self._lock:
+            spans, self._spans = self._spans, []
+        spans.sort(key=lambda s: (s.pid, s.tid, s.start, s.span_id))
+        with open(path, "a", encoding="utf-8") as fh:
+            for s in spans:
+                fh.write(json.dumps(s.as_dict(), sort_keys=True) + "\n")
+        return len(spans)
+
+
+class NullTracer:
+    """Disabled tracer: every operation is a no-op.
+
+    ``span()`` hands back one shared context manager, so the per-call
+    cost of disabled instrumentation is a method call returning a
+    singleton — no clock reads, no allocation.
+    """
+
+    enabled = False
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def absorb(self, dicts: Iterable[dict]) -> None:
+        return None
+
+    def clear(self) -> None:
+        return None
+
+    def spans(self) -> list[Span]:
+        return []
+
+    def write_jsonl(self, path: os.PathLike | str) -> int:
+        return 0
+
+    def flush_jsonl(self, path: os.PathLike | str) -> int:
+        return 0
+
+
+NULL_TRACER = NullTracer()
+
+_TRACER: Tracer | NullTracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer | NullTracer:
+    """The process-wide tracer (the no-op singleton unless enabled)."""
+    return _TRACER
+
+
+def enable_tracing(fresh: bool = True) -> Tracer:
+    """Install (and return) a recording tracer.
+
+    ``fresh=False`` keeps an already-enabled tracer's buffer instead of
+    starting a new one.
+    """
+    global _TRACER
+    if not (isinstance(_TRACER, Tracer) and not fresh):
+        _TRACER = Tracer()
+    return _TRACER
+
+
+def disable_tracing() -> Tracer | NullTracer:
+    """Restore the no-op tracer; returns the tracer that was active
+    (its spans stay readable)."""
+    global _TRACER
+    previous = _TRACER
+    _TRACER = NULL_TRACER
+    return previous
+
+
+def span(name: str, **attrs: Any) -> _SpanContext | _NullSpan:
+    """``get_tracer().span(...)`` convenience."""
+    return _TRACER.span(name, **attrs)
+
+
+def traced(name: Optional[str] = None, **attrs: Any) -> Callable:
+    """Decorator form: spans each call under ``name`` (default: the
+    function's qualified name).  The tracer is looked up per call, so
+    decorating at import time respects later enable/disable."""
+
+    def decorate(fn: Callable) -> Callable:
+        label = name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any):
+            tracer = _TRACER
+            if not tracer.enabled:
+                return fn(*args, **kwargs)
+            with tracer.span(label, **attrs):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
+
+
+def read_jsonl(path: os.PathLike | str) -> list[dict]:
+    """Span dicts from one JSONL file (blank lines ignored)."""
+    out: list[dict] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out
+
+
+def merge_shards(paths: Iterable[os.PathLike | str]) -> list[dict]:
+    """Merge per-worker JSONL shards into one deterministic span list.
+
+    Shards are read in sorted-path order and the union is sorted by
+    ``(pid, tid, start, id)`` — the same run always merges to the same
+    sequence regardless of pool scheduling.
+    """
+    merged: list[dict] = []
+    for path in sorted(os.fspath(p) for p in paths):
+        merged.extend(read_jsonl(path))
+    merged.sort(key=_sort_key)
+    return merged

@@ -27,6 +27,7 @@ from ..dataflow.solver import solve
 from ..ir.ast_nodes import Program
 from ..mpi.matching import MatchOptions, MatchResult, match_communication
 from ..mpi.mpiicfg import add_communication_edges
+from ..obs import get_tracer
 from .cache import ArtifactCache, program_fingerprint
 
 __all__ = [
@@ -92,11 +93,16 @@ def build_icfg_cached(
 ) -> ICFG:
     """:func:`~repro.cfg.icfg.build_icfg`, content-addressed."""
     if cache is None:
-        return build_icfg(program, root, clone_level=clone_level)
-    return cache.get_or_build(
-        icfg_key(program, root, clone_level),
-        lambda: build_icfg(program, root, clone_level=clone_level),
-    )
+        with get_tracer().span("build.icfg", root=root, cache="off"):
+            return build_icfg(program, root, clone_level=clone_level)
+    key = icfg_key(program, root, clone_level)
+    with get_tracer().span(
+        "build.icfg", root=root, cache="hit" if key in cache else "miss"
+    ):
+        return cache.get_or_build(
+            key,
+            lambda: build_icfg(program, root, clone_level=clone_level),
+        )
 
 
 def match_communication_cached(
@@ -113,10 +119,14 @@ def match_communication_cached(
     """
     if cache is None:
         return match_communication(icfg, options)
-    return cache.get_or_build(
-        match_key(program, icfg.root, icfg.clone_level, options),
-        lambda: match_communication(icfg, options),
-    )
+    key = match_key(program, icfg.root, icfg.clone_level, options)
+    with get_tracer().span(
+        "match.communication", cache="hit" if key in cache else "miss"
+    ):
+        return cache.get_or_build(
+            key,
+            lambda: match_communication(icfg, options),
+        )
 
 
 def build_mpi_icfg_cached(

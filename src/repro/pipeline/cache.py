@@ -107,6 +107,25 @@ class CacheStats:
             "evictions": self.evictions,
         }
 
+    def delta(self, since: dict) -> dict:
+        """Per-field difference versus an earlier :meth:`as_dict`.
+
+        Pool workers snapshot before and after each task and ship the
+        delta — fork children inherit the parent's counters, so raw
+        snapshots would double-count."""
+        now = self.as_dict()
+        return {k: now[k] - since.get(k, 0) for k in now}
+
+    def absorb(self, delta: dict) -> None:
+        """Add a :meth:`delta` (e.g. a pool worker's) into this object,
+        so parent-side totals cover work done on the cache's behalf in
+        other processes."""
+        self.hits += delta.get("hits", 0)
+        self.misses += delta.get("misses", 0)
+        self.disk_hits += delta.get("disk_hits", 0)
+        self.disk_stores += delta.get("disk_stores", 0)
+        self.evictions += delta.get("evictions", 0)
+
 
 @dataclass
 class ArtifactCache:

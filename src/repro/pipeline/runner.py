@@ -25,6 +25,7 @@ import concurrent.futures
 import multiprocessing
 import os
 import pathlib
+import tempfile
 import time
 from dataclasses import dataclass
 from typing import Iterable, Optional
@@ -33,6 +34,7 @@ from ..analyses.activity import ActivityResult
 from ..experiments.figure4 import bars_from_rows, render_figure4
 from ..experiments.table1 import Table1Row, render_table1, run_benchmark
 from ..ir.ast_nodes import Program
+from ..obs import diff_snapshot, enable_tracing, get_metrics, get_tracer, merge_shards
 from ..programs.registry import BENCHMARKS, BenchmarkSpec
 from .artifacts import build_icfg_cached, match_communication_cached
 from .cache import ArtifactCache, default_cache_dir, program_fingerprint
@@ -101,9 +103,10 @@ def _compute_row(
         row = run_benchmark(spec, strategy=strategy, icfg=icfg, match=match)
         return (ArmStats.from_result(row.icfg), ArmStats.from_result(row.mpi))
 
-    if cache is None:
-        return build()
-    return cache.get_or_build(row_key(spec, program, strategy), build)
+    with get_tracer().span("pipeline.row", bench=name, strategy=strategy):
+        if cache is None:
+            return build()
+        return cache.get_or_build(row_key(spec, program, strategy), build)
 
 
 # -- process-pool worker ------------------------------------------------------
@@ -112,11 +115,32 @@ def _compute_row(
 #: parent's, spawn children build their own on first use).
 _WORKER_CACHE: Optional[ArtifactCache] = None
 
+#: True once this worker process has swapped in its own tracer.  Fork
+#: children inherit the parent's *enabled* tracer complete with any
+#: spans the parent buffered before the fork; the first traced task
+#: replaces it with a fresh one so shard files hold worker spans only.
+_WORKER_TRACING = False
+
 
 def _row_worker(
-    name: str, strategy: str, use_cache: bool, disk_dir: Optional[str]
-) -> tuple[str, Optional[tuple[ArmStats, ArmStats]]]:
-    global _WORKER_CACHE
+    name: str,
+    strategy: str,
+    use_cache: bool,
+    disk_dir: Optional[str],
+    trace_dir: Optional[str] = None,
+) -> tuple[str, Optional[tuple[ArmStats, ArmStats]], Optional[dict], Optional[dict]]:
+    """One Table 1 row in a pool worker.
+
+    Returns ``(name, arms, cache_delta, metrics_delta)``.  Cache stats
+    and metrics travel as *deltas* over the task (fork children inherit
+    the parent's counters, so raw snapshots would double-count); spans
+    are appended to a per-process shard file under ``trace_dir`` for the
+    parent to merge deterministically.
+    """
+    global _WORKER_CACHE, _WORKER_TRACING
+    if trace_dir is not None and not _WORKER_TRACING:
+        enable_tracing(fresh=True)
+        _WORKER_TRACING = True
     cache = None
     if use_cache:
         if _WORKER_CACHE is None:
@@ -124,7 +148,18 @@ def _row_worker(
                 disk_dir=pathlib.Path(disk_dir) if disk_dir else None
             )
         cache = _WORKER_CACHE
-    return name, _compute_row(name, strategy, cache)
+    cache_before = cache.stats.as_dict() if cache is not None else None
+    metrics_before = get_metrics().snapshot() if trace_dir is not None else None
+
+    arms = _compute_row(name, strategy, cache)
+
+    cache_delta = cache.stats.delta(cache_before) if cache is not None else None
+    metrics_delta = None
+    if trace_dir is not None:
+        metrics_delta = diff_snapshot(get_metrics().snapshot(), metrics_before)
+        shard = pathlib.Path(trace_dir) / f"shard-{os.getpid()}.jsonl"
+        get_tracer().flush_jsonl(shard)
+    return name, arms, cache_delta, metrics_delta
 
 
 # -- entry point --------------------------------------------------------------
@@ -225,36 +260,100 @@ def run_table1_pipeline(
     else:
         shared = None
 
+    tracer = get_tracer()
+    cache_before = shared.stats.as_dict() if shared is not None else None
     start = time.perf_counter()
     arms: dict[str, tuple[ArmStats, ArmStats]] = {}
-    if njobs <= 1 or len(selected) <= 1:
-        njobs = 1
-        for name in selected:
-            arms[name] = _compute_row(name, strategy, shared)
-    else:
-        disk_dir = (
-            str(shared.disk_dir)
-            if shared is not None and shared.disk_dir is not None
-            else None
-        )
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=min(njobs, len(selected)), mp_context=_pool_context()
-        ) as pool:
-            futures = [
-                pool.submit(_row_worker, name, strategy, shared is not None, disk_dir)
-                for name in selected
-            ]
-            for future in concurrent.futures.as_completed(futures):
-                name, row_arms = future.result()
-                arms[name] = row_arms
-        if shared is not None:
-            # Workers warmed their own (or the forked) caches; seed the
-            # parent's row entries so a follow-up serial run is warm too.
+    with tracer.span(
+        "pipeline.run", rows=len(selected), strategy=strategy, jobs=njobs
+    ):
+        pending = list(selected)
+        if njobs > 1 and shared is not None:
+            # Serve rows the parent cache already holds before paying
+            # for pool dispatch — workers fork fresh caches and would
+            # re-miss them.
+            pending = []
             for name in selected:
                 spec = BENCHMARKS[name]
-                key = row_key(spec, _program_for(spec), strategy)
-                if key not in shared:
-                    shared.put(key, arms[name])
+                cached = shared.get(row_key(spec, _program_for(spec), strategy))
+                if cached is not None:
+                    arms[name] = cached
+                else:
+                    pending.append(name)
+        if njobs <= 1 or len(pending) <= 1:
+            if njobs <= 1:
+                njobs = 1
+            for name in pending:
+                arms[name] = _compute_row(name, strategy, shared)
+        else:
+            disk_dir = (
+                str(shared.disk_dir)
+                if shared is not None and shared.disk_dir is not None
+                else None
+            )
+            # Workers flush their spans to per-process shard files which
+            # the parent merges after the pool drains; metrics and cache
+            # stats come back as per-task deltas on the result tuples.
+            trace_tmp = (
+                tempfile.TemporaryDirectory(prefix="repro-trace-")
+                if tracer.enabled
+                else None
+            )
+            cache_deltas: dict[str, Optional[dict]] = {}
+            metric_deltas: dict[str, Optional[dict]] = {}
+            try:
+                trace_dir = trace_tmp.name if trace_tmp is not None else None
+                with concurrent.futures.ProcessPoolExecutor(
+                    max_workers=min(njobs, len(pending)),
+                    mp_context=_pool_context(),
+                ) as pool:
+                    futures = [
+                        pool.submit(
+                            _row_worker,
+                            name,
+                            strategy,
+                            shared is not None,
+                            disk_dir,
+                            trace_dir,
+                        )
+                        for name in pending
+                    ]
+                    for future in concurrent.futures.as_completed(futures):
+                        name, row_arms, cache_delta, metrics_delta = future.result()
+                        arms[name] = row_arms
+                        cache_deltas[name] = cache_delta
+                        metric_deltas[name] = metrics_delta
+                if trace_dir is not None:
+                    shards = pathlib.Path(trace_dir).glob("shard-*.jsonl")
+                    tracer.absorb(merge_shards(shards))
+            finally:
+                if trace_tmp is not None:
+                    trace_tmp.cleanup()
+            if shared is not None:
+                # Workers did the row work against their own (forked)
+                # caches; fold their hit/miss deltas into the shared
+                # stats so accounting covers the whole run, then seed
+                # the parent's row entries so a follow-up run serves
+                # them without touching the pool.
+                for name in pending:
+                    delta = cache_deltas.get(name)
+                    if delta is not None:
+                        shared.stats.absorb(delta)
+                for name in pending:
+                    spec = BENCHMARKS[name]
+                    key = row_key(spec, _program_for(spec), strategy)
+                    if key not in shared:
+                        shared.put(key, arms[name])
+            if tracer.enabled:
+                registry = get_metrics()
+                for name in pending:
+                    delta = metric_deltas.get(name)
+                    if delta:
+                        registry.absorb(delta)
+        if tracer.enabled and shared is not None:
+            registry = get_metrics()
+            for field_name, count in shared.stats.delta(cache_before).items():
+                registry.counter(f"repro.cache.{field_name}").inc(count)
     wall = time.perf_counter() - start
 
     rows = [

@@ -54,6 +54,7 @@ from ..ir.mpi_ops import ArgRole, COMM_WORLD_NAME, COMM_WORLD_VALUE, MPI_OPS, Mp
 from ..ir.symtab import SymbolTable
 from ..ir.types import ArrayType, IntType, RealType
 from ..ir.validate import validate_program
+from ..obs import get_tracer
 from .network import DeadlockError, Network
 from .values import ArraySlot, ElemSlot, ScalarSlot, Slot, SpmdRuntimeError, make_slot
 
@@ -730,39 +731,49 @@ def run_spmd(
     rank failure (:class:`SpmdRuntimeError` / :class:`DeadlockError`).
     """
     config = config or RunConfig()
-    symtab = validate_program(program)
-    network = Network(config.nprocs, timeout=config.timeout)
-    ranks = [
-        _Rank(r, program, symtab, network, config) for r in range(config.nprocs)
-    ]
-    errors: list[BaseException] = []
-    lock = threading.Lock()
+    tracer = get_tracer()
+    with tracer.span(
+        "runtime.run_spmd", nprocs=config.nprocs, entry=config.entry
+    ):
+        symtab = validate_program(program)
+        network = Network(config.nprocs, timeout=config.timeout)
+        ranks = [
+            _Rank(r, program, symtab, network, config) for r in range(config.nprocs)
+        ]
+        errors: list[BaseException] = []
+        lock = threading.Lock()
 
-    def worker(rank: _Rank, rank_inputs: Mapping[str, object]) -> None:
-        try:
-            rank.run(rank_inputs)
-        except BaseException as exc:  # noqa: BLE001 - propagated to caller
-            with lock:
-                errors.append(exc)
-            network.abort(exc)
+        def worker(rank: _Rank, rank_inputs: Mapping[str, object]) -> None:
+            try:
+                # Rank threads span independently: the tracer is
+                # thread-safe and parent stacks are thread-local, so
+                # each rank's span is a root for its own thread.
+                with tracer.span("runtime.rank", rank=rank.rank):
+                    rank.run(rank_inputs)
+            except BaseException as exc:  # noqa: BLE001 - propagated to caller
+                with lock:
+                    errors.append(exc)
+                network.abort(exc)
 
-    threads = []
-    for i, rank in enumerate(ranks):
-        rank_inputs = dict(inputs or {})
-        if per_rank_inputs is not None:
-            rank_inputs.update(per_rank_inputs[i])
-        t = threading.Thread(target=worker, args=(rank, rank_inputs), daemon=True)
-        threads.append(t)
-        t.start()
-    for t in threads:
-        t.join(timeout=config.timeout * 4)
-        if t.is_alive():
-            network.abort(DeadlockError("join timeout"))
-    for t in threads:
-        t.join(timeout=config.timeout)
-    if errors:
-        raise errors[0]
-    return RunResult(config=config, ranks=[r.result for r in ranks])
+        threads = []
+        for i, rank in enumerate(ranks):
+            rank_inputs = dict(inputs or {})
+            if per_rank_inputs is not None:
+                rank_inputs.update(per_rank_inputs[i])
+            t = threading.Thread(
+                target=worker, args=(rank, rank_inputs), daemon=True
+            )
+            threads.append(t)
+            t.start()
+        for t in threads:
+            t.join(timeout=config.timeout * 4)
+            if t.is_alive():
+                network.abort(DeadlockError("join timeout"))
+        for t in threads:
+            t.join(timeout=config.timeout)
+        if errors:
+            raise errors[0]
+        return RunResult(config=config, ranks=[r.result for r in ranks])
 
 
 _ = Union  # typing convenience

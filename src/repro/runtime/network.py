@@ -14,6 +14,8 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
+from ..obs import get_metrics, get_tracer, metric_name
+
 __all__ = ["Message", "Network", "DeadlockError"]
 
 
@@ -74,6 +76,8 @@ class Network:
     def send(self, src: int, dest: int, tag: int, comm: int, payload, taint) -> None:
         if not (0 <= dest < self.nprocs):
             raise DeadlockError(f"send to invalid rank {dest}")
+        if get_tracer().enabled:
+            get_metrics().counter("repro.runtime.sends").inc()
         with self._lock:
             self._check_failed()
             box = self._mailboxes.setdefault((dest, comm), [])
@@ -81,6 +85,8 @@ class Network:
             self._lock.notify_all()
 
     def recv(self, me: int, src: int, tag: int, comm: int) -> Message:
+        if get_tracer().enabled:
+            get_metrics().counter("repro.runtime.recvs").inc()
         deadline = threading.TIMEOUT_MAX
         with self._lock:
             while True:
@@ -116,6 +122,10 @@ class Network:
         other (a bcast and a barrier at the same sequence point is a
         program error surfaced as a timeout).
         """
+        if get_tracer().enabled:
+            get_metrics().counter(
+                metric_name("repro.runtime.collectives", kind=kind)
+            ).inc()
         with self._lock:
             self._check_failed()
             seq_key = (kind, comm, me)

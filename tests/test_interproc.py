@@ -94,8 +94,32 @@ class TestGraphStats:
         stats = compute_stats(icfg.graph, icfg.root_cfg.entry)
         assert stats.nodes == len(icfg.graph)
         assert stats.call_edges == 2
+        assert stats.return_edges == 2
+        assert stats.call_to_return_edges == 2
         assert stats.comm_edges == 0
         assert stats.total_edges > 0
+        # No COMM edges: control-flow total covers everything.
+        assert stats.control_flow_edges == stats.total_edges
+        assert stats.control_flow_edges == (
+            stats.flow_edges
+            + stats.call_edges
+            + stats.return_edges
+            + stats.call_to_return_edges
+        )
+
+    def test_describe_lists_every_edge_kind(self, icfg):
+        stats = compute_stats(icfg.graph, icfg.root_cfg.entry)
+        text = stats.describe()
+        for label in (
+            "flow edges",
+            "call edges",
+            "return edges",
+            "call-to-return",
+            "comm edges",
+            "control-flow",
+            "total edges",
+        ):
+            assert label in text
 
     def test_shared_callee_is_irreducible(self, icfg):
         # Two call sites into one instance create crossing join paths.

@@ -1,0 +1,495 @@
+"""Observability layer: tracer, metrics, convergence provenance, CLI.
+
+Includes the tier-1 neutrality guarantees: tracing-enabled runs render
+byte-identical experiment output, and a disabled (no-op) tracer leaves
+the metrics registry completely empty.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.analyses import MpiModel, activity_analysis
+from repro.cli import main
+from repro.mpi import build_mpi_icfg
+from repro.obs import (
+    ConvergenceRecorder,
+    MetricsRegistry,
+    NULL_TRACER,
+    chrome_trace,
+    diff_snapshot,
+    disable_tracing,
+    enable_tracing,
+    get_metrics,
+    get_tracer,
+    merge_shards,
+    metric_name,
+    read_jsonl,
+    render_convergence,
+    render_metrics,
+    render_span_tree,
+    reset_metrics,
+    traced,
+    write_chrome_trace,
+)
+from repro.programs import benchmark
+from repro.experiments.table1 import run_benchmark
+
+
+@pytest.fixture(autouse=True)
+def _clean_observability():
+    """Every test starts and ends untraced with an empty registry."""
+    disable_tracing()
+    reset_metrics()
+    yield
+    disable_tracing()
+    reset_metrics()
+
+
+# ---------------------------------------------------------------------------
+# Tracer
+# ---------------------------------------------------------------------------
+
+
+class TestTracer:
+    def test_disabled_by_default(self):
+        assert get_tracer() is NULL_TRACER
+        assert not get_tracer().enabled
+
+    def test_null_tracer_span_is_shared_noop(self):
+        s1 = NULL_TRACER.span("a", x=1)
+        s2 = NULL_TRACER.span("b")
+        assert s1 is s2
+        with s1 as ctx:
+            ctx.set(ignored=True)
+        assert NULL_TRACER.spans() == []
+
+    def test_nesting_builds_parent_links(self):
+        tracer = enable_tracing()
+        with tracer.span("outer"):
+            with tracer.span("inner.one"):
+                pass
+            with tracer.span("inner.two"):
+                pass
+        spans = {s.name: s for s in tracer.spans()}
+        assert spans["outer"].parent_id is None
+        assert spans["inner.one"].parent_id == spans["outer"].span_id
+        assert spans["inner.two"].parent_id == spans["outer"].span_id
+        assert spans["inner.one"].duration >= 0
+
+    def test_category_is_first_dotted_segment(self):
+        tracer = enable_tracing()
+        with tracer.span("match.hash_join"):
+            pass
+        (span,) = tracer.spans()
+        assert span.category == "match"
+
+    def test_set_attaches_attrs_mid_span(self):
+        tracer = enable_tracing()
+        with tracer.span("work", fixed=1) as ctx:
+            ctx.set(discovered="yes")
+        (span,) = tracer.spans()
+        assert span.attrs == {"fixed": 1, "discovered": "yes"}
+
+    def test_threads_span_independently(self):
+        tracer = enable_tracing()
+
+        def worker(i: int) -> None:
+            with tracer.span(f"thread.{i}"):
+                pass
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        with tracer.span("main.root"):
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        spans = {s.name: s for s in tracer.spans()}
+        assert len(spans) == 5
+        # Thread spans are roots of their own threads, not children of
+        # the span that happened to be open on the main thread.
+        for i in range(4):
+            assert spans[f"thread.{i}"].parent_id is None
+
+    def test_span_ids_unique(self):
+        tracer = enable_tracing()
+        for _ in range(10):
+            with tracer.span("s"):
+                pass
+        ids = [s.span_id for s in tracer.spans()]
+        assert len(set(ids)) == 10
+
+    def test_traced_decorator_respects_runtime_enablement(self):
+        calls = []
+
+        @traced("decorated.fn")
+        def fn(x):
+            calls.append(x)
+            return x * 2
+
+        assert fn(2) == 4  # disabled: no span
+        tracer = enable_tracing()
+        assert fn(3) == 6
+        disable_tracing()
+        assert fn(4) == 8
+        assert calls == [2, 3, 4]
+        assert [s.name for s in tracer.spans()] == ["decorated.fn"]
+
+    def test_enable_fresh_false_keeps_buffer(self):
+        tracer = enable_tracing()
+        with tracer.span("kept"):
+            pass
+        same = enable_tracing(fresh=False)
+        assert same is tracer
+        assert [s.name for s in same.spans()] == ["kept"]
+        fresh = enable_tracing(fresh=True)
+        assert fresh is not tracer
+        assert fresh.spans() == []
+
+
+class TestJsonlAndMerge:
+    def test_round_trip(self, tmp_path):
+        tracer = enable_tracing()
+        with tracer.span("a", k="v"):
+            with tracer.span("b"):
+                pass
+        path = tmp_path / "trace.jsonl"
+        assert tracer.write_jsonl(path) == 2
+        loaded = read_jsonl(path)
+        assert [d["name"] for d in loaded] == [s.name for s in tracer.spans()]
+        assert loaded[0]["attrs"] == {"k": "v"}
+
+    def test_flush_appends_and_clears(self, tmp_path):
+        tracer = enable_tracing()
+        path = tmp_path / "shard.jsonl"
+        with tracer.span("first"):
+            pass
+        assert tracer.flush_jsonl(path) == 1
+        assert tracer.spans() == []
+        with tracer.span("second"):
+            pass
+        assert tracer.flush_jsonl(path) == 1
+        names = [d["name"] for d in read_jsonl(path)]
+        assert names == ["first", "second"]
+
+    def test_merge_shards_deterministic(self, tmp_path):
+        rows = [
+            {"name": "x", "cat": "x", "start": 2.0, "dur": 1.0, "pid": 2,
+             "tid": 1, "id": "2-1", "parent": None, "attrs": {}},
+            {"name": "y", "cat": "y", "start": 1.0, "dur": 1.0, "pid": 1,
+             "tid": 1, "id": "1-1", "parent": None, "attrs": {}},
+        ]
+        a, b = tmp_path / "shard-2.jsonl", tmp_path / "shard-1.jsonl"
+        a.write_text(json.dumps(rows[0]) + "\n")
+        b.write_text(json.dumps(rows[1]) + "\n")
+        merged1 = merge_shards([a, b])
+        merged2 = merge_shards([b, a])
+        assert merged1 == merged2
+        assert [d["id"] for d in merged1] == ["1-1", "2-1"]
+
+    def test_absorb_brings_foreign_spans(self):
+        tracer = enable_tracing()
+        tracer.absorb(
+            [{"name": "w", "cat": "w", "start": 0.0, "dur": 0.5, "pid": 999,
+              "tid": 1, "id": "999-1", "parent": None, "attrs": {"n": 3}}]
+        )
+        (span,) = tracer.spans()
+        assert span.pid == 999 and span.attrs == {"n": 3}
+
+
+class TestChromeExport:
+    def test_valid_trace_event_json(self, tmp_path):
+        tracer = enable_tracing()
+        with tracer.span("solve.vary", nodes=12):
+            pass
+        path = tmp_path / "chrome.json"
+        assert write_chrome_trace(path, tracer.spans()) == 1
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        phases = {e["ph"] for e in events}
+        assert phases <= {"M", "X"}
+        (x,) = [e for e in events if e["ph"] == "X"]
+        assert x["name"] == "solve.vary"
+        assert x["cat"] == "solve"
+        assert x["ts"] >= 0 and x["dur"] >= 0  # µs, relative to trace start
+        assert x["args"]["nodes"] == 12
+
+    def test_metadata_names_processes_and_threads(self):
+        tracer = enable_tracing()
+        with tracer.span("a"):
+            pass
+        doc = chrome_trace(tracer.spans())
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert {e["name"] for e in meta} == {"process_name", "thread_name"}
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+# ---------------------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_metric_name_sorts_labels(self):
+        assert metric_name("m") == "m"
+        assert metric_name("m", b=2, a=1) == "m{a=1,b=2}"
+
+    def test_counter_gauge_histogram(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.counter("c").inc(4)
+        reg.gauge("g").set(7)
+        h = reg.histogram("h", (1, 10))
+        for v in (1, 5, 100):
+            h.observe(v)
+        snap = reg.snapshot()
+        assert snap["c"] == {"type": "counter", "value": 5}
+        assert snap["g"] == {"type": "gauge", "value": 7}
+        assert snap["h"]["counts"] == [1, 1, 1]
+        assert snap["h"]["count"] == 3 and snap["h"]["sum"] == 106
+
+    def test_snapshot_keys_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("z").inc()
+        reg.counter("a").inc()
+        assert list(reg.snapshot()) == ["a", "z"]
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        with pytest.raises(TypeError):
+            reg.gauge("m")
+
+    def test_histogram_boundary_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", (1, 2))
+        with pytest.raises(ValueError):
+            reg.histogram("h", (1, 3))
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("bad", (3, 1))
+
+    def test_absorb_adds_counters_overwrites_gauges(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(2)
+        a.gauge("g").set(1)
+        a.histogram("h", (10,)).observe(3)
+        b.counter("c").inc(5)
+        b.gauge("g").set(9)
+        b.histogram("h", (10,)).observe(30)
+        a.absorb(b.snapshot())
+        snap = a.snapshot()
+        assert snap["c"]["value"] == 7
+        assert snap["g"]["value"] == 9
+        assert snap["h"]["counts"] == [1, 1] and snap["h"]["count"] == 2
+
+    def test_diff_snapshot_ships_only_new_work(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.histogram("h", (10,)).observe(1)
+        before = reg.snapshot()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(4)
+        after = reg.snapshot()
+        delta = diff_snapshot(after, before)
+        assert delta["c"]["value"] == 2
+        assert delta["g"]["value"] == 4
+        assert "h" not in delta  # unchanged histograms drop out
+
+    def test_render_metrics_lists_every_entry(self):
+        reg = MetricsRegistry()
+        reg.counter("repro.x.count").inc(2)
+        reg.gauge("repro.x.level").set(5)
+        reg.histogram("repro.x.sizes", (1, 2)).observe(2)
+        text = render_metrics(reg.snapshot())
+        for name in ("repro.x.count", "repro.x.level", "repro.x.sizes"):
+            assert name in text
+
+
+# ---------------------------------------------------------------------------
+# Convergence provenance
+# ---------------------------------------------------------------------------
+
+
+class TestConvergence:
+    def test_recorder_tracks_growth_and_stabilization(self):
+        rec = ConvergenceRecorder()
+        rec.next_pass()
+        rec.visit(1, True, True, frozenset({"a"}))
+        rec.visit(2, True, True, 0b111)  # bitset facts use popcount
+        rec.next_pass()
+        rec.visit(1, False, False, frozenset({"a"}))
+        rec.visit(2, False, False, 0b111)
+        trace = rec.finish("p", "roundrobin", "forward")
+        assert trace.passes == 2 and trace.visits == 4
+        assert trace.per_pass_changes == [2, 0]
+        assert trace.changed_nodes == 2
+        assert trace.nodes[1].stabilized_pass == 1
+        assert trace.nodes[2].final_size == 3
+        assert trace.nodes[2].growth == [3]
+
+    def test_solver_records_when_asked(self, fig1_icfg):
+        result = activity_analysis(
+            fig1_icfg, ["x"], ["f"], MpiModel.GLOBAL_BUFFER,
+            record_convergence=True,
+        )
+        trace = result.vary.convergence
+        assert trace is not None
+        assert trace.passes == result.vary.iterations
+        assert trace.visits == result.vary.visits
+        assert sum(n.visits for n in trace.nodes.values()) == trace.visits
+        text = render_convergence(trace, graph=fig1_icfg.graph, limit=5)
+        assert "convergence: vary" in text
+        assert "changes per pass" in text
+
+    def test_off_by_default(self, fig1_icfg):
+        result = activity_analysis(fig1_icfg, ["x"], ["f"], MpiModel.GLOBAL_BUFFER)
+        assert result.vary.convergence is None
+        assert result.useful.convergence is None
+
+
+# ---------------------------------------------------------------------------
+# Tier-1 neutrality: identical output, empty registry when disabled
+# ---------------------------------------------------------------------------
+
+
+def _mg1_rows() -> str:
+    from repro.experiments.table1 import render_table1
+
+    return render_table1([run_benchmark(benchmark("MG-1"))])
+
+
+class TestNeutrality:
+    def test_mg1_rows_byte_identical_traced_vs_untraced(self):
+        untraced = _mg1_rows()
+        enable_tracing()
+        traced_rows = _mg1_rows()
+        disable_tracing()
+        assert traced_rows == untraced
+
+    def test_disabled_run_leaves_registry_empty(self):
+        _mg1_rows()
+        assert len(get_metrics()) == 0
+        assert get_tracer().spans() == []
+
+    def test_gauges_match_solver_stats_both_arms(self):
+        enable_tracing()
+        row = run_benchmark(benchmark("MG-1"))
+        disable_tracing()
+        snap = get_metrics().snapshot()
+        for arm, result in (("icfg", row.icfg), ("mpi", row.mpi)):
+            name = metric_name("repro.table1.iterations", bench="MG-1", arm=arm)
+            assert snap[name]["value"] == result.iterations
+            assert (
+                result.iterations
+                == max(result.vary.iterations, result.useful.iterations)
+            )
+            # The per-solve stats the registry superseded still agree.
+            assert result.vary.stats is not None
+            assert result.vary.stats.passes == result.vary.iterations
+            assert result.vary.stats.visits == result.vary.visits
+        solve_visits = snap["repro.solve.visits"]["value"]
+        assert solve_visits >= row.icfg.vary.visits + row.mpi.vary.visits
+
+
+# ---------------------------------------------------------------------------
+# Pipeline integration: shards, worker deltas, span tree rendering
+# ---------------------------------------------------------------------------
+
+
+class TestPipelineTracing:
+    def test_parallel_run_merges_worker_spans(self):
+        from repro.pipeline import run_table1_pipeline
+
+        tracer = enable_tracing()
+        result = run_table1_pipeline(
+            names=["SOR", "MG-1"], jobs=2, cache=False
+        )
+        disable_tracing()
+        spans = tracer.spans()
+        pids = {s.pid for s in spans}
+        assert len(pids) >= 2  # parent + at least one worker
+        names = {s.name for s in spans}
+        assert {"pipeline.run", "pipeline.row", "table1.bench"} <= names
+        benches = {
+            s.attrs.get("bench") for s in spans if s.name == "table1.bench"
+        }
+        assert benches == {"SOR", "MG-1"}
+        # Worker metrics came back as deltas and were absorbed.
+        snap = get_metrics().snapshot()
+        assert snap["repro.solve.runs"]["value"] >= 2
+        assert result.rows
+
+    def test_span_tree_renders_nested(self):
+        tracer = enable_tracing()
+        with tracer.span("table1.bench", bench="X"):
+            with tracer.span("solve.vary"):
+                pass
+        text = render_span_tree(tracer.spans())
+        lines = text.splitlines()
+        assert lines[0].startswith("table1.bench")
+        assert lines[1].startswith("  solve.vary")
+        assert "bench=X" in lines[0]
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+class TestTraceCli:
+    def test_smoke_covers_all_phases(self, tmp_path, capsys):
+        jsonl = tmp_path / "t.jsonl"
+        chrome = tmp_path / "t.json"
+        rc = main(
+            [
+                "trace", "--smoke",
+                "--trace-out", str(jsonl),
+                "--chrome-out", str(chrome),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Span tree" in out and "Metrics" in out
+        cats = {d["cat"] for d in read_jsonl(jsonl)}
+        assert {"parse", "build", "match", "solve", "report"} <= cats
+        doc = json.loads(chrome.read_text())
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+    def test_bench_row_matches_untraced_run(self, capsys):
+        untraced = _mg1_rows()
+        assert main(["trace", "--bench", "MG-1"]) == 0
+        out = capsys.readouterr().out
+        report = out.split("\n\nSpan tree")[0]
+        assert report == untraced
+
+    def test_convergence_flag_prints_tables(self, capsys):
+        assert main(["trace", "--smoke", "--convergence"]) == 0
+        out = capsys.readouterr().out
+        assert "Convergence: ICFG vary" in out
+        assert "Convergence: MPI-ICFG useful" in out
+
+    def test_unknown_bench_errors(self, capsys):
+        assert main(["trace", "--bench", "nope"]) == 1
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_file_requires_independents(self, tmp_path, capsys):
+        f = tmp_path / "p.spl"
+        f.write_text("program p; proc main(real x, real f) { f = x; }\n")
+        assert main(["trace", str(f)]) == 1
+        assert "--independent" in capsys.readouterr().err
+        rc = main(
+            ["trace", str(f), "--independent", "x", "--dependent", "f"]
+        )
+        assert rc == 0
+
+    def test_cli_restores_disabled_tracer(self):
+        main(["trace", "--smoke"])
+        assert not get_tracer().enabled
+
+    def test_table1_metrics_flag(self, capsys):
+        assert main(["table1", "MG-1", "--metrics", "--jobs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "repro.solve.runs" in out
+        assert "MG-1" in out

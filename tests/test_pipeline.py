@@ -75,6 +75,22 @@ def test_row_order_follows_request_order():
     assert [row.name for row in result.rows] == ["SOR", "Biostat"]
 
 
+def test_parallel_run_aggregates_worker_cache_stats():
+    # The row work happens in pool workers against forked caches; their
+    # hit/miss deltas must be folded back into the reported stats
+    # (previously a cold parallel run reported ~0 misses).
+    cold = run_table1_pipeline(NAMES, jobs=2, artifact_cache=ArtifactCache())
+    assert cold.cache_stats["misses"] >= len(NAMES)
+
+    cache = ArtifactCache()
+    run_table1_pipeline(NAMES, jobs=2, artifact_cache=cache)
+    warm = run_table1_pipeline(NAMES, jobs=2, artifact_cache=cache)
+    # Workers fork a cache that already holds every row: all hits, and
+    # the aggregate keeps growing across runs.
+    assert warm.cache_stats["hits"] >= cold.cache_stats["hits"] + len(NAMES)
+    assert warm.cache_stats["misses"] == cold.cache_stats["misses"]
+
+
 def test_unknown_benchmark_rejected():
     with pytest.raises(KeyError, match="nope"):
         run_table1_pipeline(["nope"])
