@@ -1,0 +1,313 @@
+"""Performance-regression gate for the committed BENCH baselines.
+
+Runs the pipeline and solver benchmarks fresh and compares them against
+the committed ``benchmarks/results/BENCH_pipeline.json`` /
+``BENCH_solver.json``, failing (exit 1) on a >25% slowdown on any arm.
+Absolute wall times are machine-dependent — the committed baselines
+come from a different box than CI — so both comparisons run on
+*normalized* figures:
+
+* **pipeline** arms compare ``time(arm) / time(serial_cold)`` ratios —
+  "warm cache is 215× faster than cold" transfers across machines even
+  when the cold time itself does not.  Sub-threshold absolute deltas
+  (default 5 ms) never fail: a 1 ms warm run can jitter past 25%
+  without meaning anything, while a broken cache jumps by the full
+  cold time.
+* **solver** configurations compare speedup-vs-seed geometric means
+  per strategy × backend over the whole Table 1 suite, measured
+  against the frozen PR-0 solver (``benchmarks/seed_solver.py``) in
+  the same process, same as ``bench_solver.py`` does.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py            # gate
+    PYTHONPATH=src python benchmarks/check_regression.py --threshold 0.5
+
+A missing committed baseline skips that comparison with a notice (the
+gate cannot regress against nothing).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import pathlib
+import sys
+import tempfile
+import time
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+DEFAULT_THRESHOLD = 0.25
+#: Ignore ratio regressions whose absolute cost is below this — timing
+#: noise on sub-millisecond arms, not a real slowdown.
+MIN_ABS_DELTA_S = 0.005
+#: Parallel arms additionally absorb process-pool startup, a machine
+#: constant (fork + import cost) unrelated to the analysed workload —
+#: it cannot be normalized away by dividing by serial_cold, so those
+#: arms get a larger absolute allowance before a ratio excess counts.
+POOL_STARTUP_ALLOWANCE_S = 0.25
+#: Best-of repetitions for the fresh solver measurement (matches
+#: bench_solver._REPS).
+_REPS = 3
+
+
+# ---------------------------------------------------------------------------
+# Pure comparison logic (unit-tested in tests/test_regression_gate.py).
+# ---------------------------------------------------------------------------
+
+
+def geomean(values) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def pipeline_ratios(report: dict) -> dict[str, float]:
+    """Arm → ``time(arm)/time(serial_cold)`` for one pipeline report."""
+    timings = report["timings_s"]
+    cold = timings["serial_cold"]
+    if not cold:
+        return {}
+    return {
+        arm: t / cold for arm, t in timings.items() if arm != "serial_cold"
+    }
+
+
+def compare_pipeline(
+    committed: dict,
+    fresh: dict,
+    threshold: float = DEFAULT_THRESHOLD,
+    min_abs_delta_s: float = MIN_ABS_DELTA_S,
+) -> list[str]:
+    """Failure messages for pipeline arms that regressed.
+
+    An arm fails when its fresh cold-normalized ratio exceeds the
+    committed ratio by more than ``threshold`` *and* the absolute time
+    increase over the scaled expectation exceeds ``min_abs_delta_s``.
+    """
+    failures = []
+    committed_ratios = pipeline_ratios(committed)
+    fresh_ratios = pipeline_ratios(fresh)
+    fresh_cold = fresh["timings_s"]["serial_cold"]
+    for arm in sorted(set(committed_ratios) & set(fresh_ratios)):
+        base = committed_ratios[arm]
+        got = fresh_ratios[arm]
+        if base <= 0:
+            continue
+        allowed = base * (1.0 + threshold)
+        abs_delta = (got - allowed) * fresh_cold
+        floor = min_abs_delta_s
+        if "parallel" in arm:
+            floor = max(floor, POOL_STARTUP_ALLOWANCE_S)
+        if got > allowed and abs_delta > floor:
+            failures.append(
+                f"pipeline arm {arm!r}: {got:.4f}×cold vs committed "
+                f"{base:.4f}×cold ({got / base - 1.0:+.1%}, "
+                f"threshold +{threshold:.0%})"
+            )
+    return failures
+
+
+def solver_geomeans(report: dict) -> dict[tuple[str, str], float]:
+    """(strategy, backend) → geomean speedup-vs-seed over all entries."""
+    by_config: dict[tuple[str, str], list[float]] = {}
+    for entry in report.get("benchmarks", []):
+        for config in entry.get("configs", []):
+            key = (config["strategy"], config["backend"])
+            by_config.setdefault(key, []).append(config["speedup"])
+    return {key: geomean(vals) for key, vals in by_config.items()}
+
+
+def compare_solver(
+    committed: dict, fresh: dict, threshold: float = DEFAULT_THRESHOLD
+) -> list[str]:
+    """Failure messages for solver configurations that regressed."""
+    failures = []
+    committed_geo = solver_geomeans(committed)
+    fresh_geo = solver_geomeans(fresh)
+    for key in sorted(set(committed_geo) & set(fresh_geo)):
+        base = committed_geo[key]
+        got = fresh_geo[key]
+        if base <= 0:
+            continue
+        floor = base / (1.0 + threshold)
+        if got < floor:
+            strategy, backend = key
+            failures.append(
+                f"solver {strategy}/{backend}: geomean speedup-vs-seed "
+                f"{got:.2f}× vs committed {base:.2f}× "
+                f"({got / base - 1.0:+.1%}, threshold -{threshold:.0%})"
+            )
+    return failures
+
+
+# ---------------------------------------------------------------------------
+# Fresh measurements.
+# ---------------------------------------------------------------------------
+
+
+def fresh_pipeline(committed: dict) -> dict:
+    """Re-run ``bench_pipeline`` in the committed report's mode."""
+    import bench_pipeline
+
+    with tempfile.TemporaryDirectory() as tmp:
+        out = pathlib.Path(tmp) / "BENCH_pipeline.json"
+        argv = ["--out", str(out)]
+        if committed.get("mode") == "smoke":
+            argv.append("--smoke")
+        rc = bench_pipeline.main(argv)
+        if rc != 0:
+            raise RuntimeError(f"bench_pipeline exited {rc}")
+        return json.loads(out.read_text())
+
+
+def _best_of(fn, reps=_REPS):
+    best = None
+    result = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        result = fn()
+        dt = time.perf_counter() - t0
+        if best is None or dt < best:
+            best = dt
+    return best, result
+
+
+def fresh_solver(committed: dict) -> dict:
+    """Re-measure the strategy × backend matrix against the seed solver
+    on the same benchmark × analysis entries as the committed report."""
+    from repro.analyses.useful import UsefulProblem
+    from repro.analyses.vary import VaryProblem
+    from repro.dataflow.solver import STRATEGIES, solve
+    from repro.mpi import build_mpi_icfg
+    from repro.programs.registry import BENCHMARKS
+
+    import seed_solver
+
+    wanted = {
+        (e["name"], e["analysis"]) for e in committed.get("benchmarks", [])
+    }
+    report = {"suite": "table1", "benchmarks": []}
+    for spec in BENCHMARKS.values():
+        if not any(name == spec.name for name, _ in wanted):
+            continue
+        icfg, _ = build_mpi_icfg(
+            spec.program(), spec.root, clone_level=spec.clone_level
+        )
+        entry, exit_ = icfg.entry_exit(icfg.root)
+        graph = icfg.graph
+        problems = (
+            ("vary", lambda: VaryProblem(icfg, spec.independents)),
+            ("useful", lambda: UsefulProblem(icfg, spec.dependents)),
+        )
+        for analysis, make in problems:
+            if (spec.name, analysis) not in wanted:
+                continue
+            seed_s, _ = _best_of(
+                lambda: seed_solver.seed_solve(graph, entry, exit_, make())
+            )
+            row = {"name": spec.name, "analysis": analysis, "configs": []}
+            for strategy in STRATEGIES:
+                for backend in ("native", "bitset"):
+                    wall, res = _best_of(
+                        lambda: solve(
+                            graph, entry, exit_, make(),
+                            strategy=strategy, backend=backend,
+                        )
+                    )
+                    row["configs"].append(
+                        {
+                            "strategy": strategy,
+                            "backend": res.stats.backend,
+                            "ms": wall * 1e3,
+                            "speedup": seed_s / wall if wall else 0.0,
+                        }
+                    )
+            report["benchmarks"].append(row)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Entry point.
+# ---------------------------------------------------------------------------
+
+
+def _load(path: pathlib.Path):
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="allowed fractional slowdown per arm (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--results-dir",
+        type=pathlib.Path,
+        default=RESULTS_DIR,
+        help="directory holding the committed baselines",
+    )
+    parser.add_argument(
+        "--skip-pipeline", action="store_true", help="skip the pipeline gate"
+    )
+    parser.add_argument(
+        "--skip-solver", action="store_true", help="skip the solver gate"
+    )
+    args = parser.parse_args(argv)
+
+    failures: list[str] = []
+    checked = 0
+
+    if not args.skip_pipeline:
+        committed = _load(args.results_dir / "BENCH_pipeline.json")
+        if committed is None:
+            print("note: no committed BENCH_pipeline.json — pipeline gate skipped")
+        else:
+            fresh = fresh_pipeline(committed)
+            arm_failures = compare_pipeline(committed, fresh, args.threshold)
+            failures.extend(arm_failures)
+            checked += 1
+            ratios = pipeline_ratios(fresh)
+            base = pipeline_ratios(committed)
+            for arm in sorted(set(ratios) & set(base)):
+                print(
+                    f"pipeline {arm:20s} fresh {ratios[arm]:8.4f}×cold "
+                    f"committed {base[arm]:8.4f}×cold"
+                )
+
+    if not args.skip_solver:
+        committed = _load(args.results_dir / "BENCH_solver.json")
+        if committed is None:
+            print("note: no committed BENCH_solver.json — solver gate skipped")
+        else:
+            fresh = fresh_solver(committed)
+            failures.extend(compare_solver(committed, fresh, args.threshold))
+            checked += 1
+            geo = solver_geomeans(fresh)
+            base = solver_geomeans(committed)
+            for key in sorted(set(geo) & set(base)):
+                strategy, backend = key
+                print(
+                    f"solver   {strategy + '/' + backend:20s} "
+                    f"fresh {geo[key]:6.2f}× committed {base[key]:6.2f}×"
+                )
+
+    if failures:
+        print()
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print(f"\nregression gate passed ({checked} baseline(s), "
+          f"threshold +{args.threshold:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -77,6 +77,7 @@ def activity_analysis(
     strategy: str = "roundrobin",
     backend: str = "auto",
     record_convergence: bool = False,
+    record_provenance: bool = False,
 ) -> ActivityResult:
     """Run Vary and Useful over ``icfg`` and intersect them.
 
@@ -103,6 +104,7 @@ def activity_analysis(
             backend=backend,
             universe=universe,
             record_convergence=record_convergence,
+            record_provenance=record_provenance,
         )
         useful = useful_analysis(
             icfg,
@@ -112,6 +114,7 @@ def activity_analysis(
             backend=backend,
             universe=universe,
             record_convergence=record_convergence,
+            record_provenance=record_provenance,
         )
 
         active: set[str] = set()

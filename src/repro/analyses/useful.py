@@ -229,6 +229,7 @@ def useful_analysis(
     backend: str = "auto",
     universe=None,
     record_convergence: bool = False,
+    record_provenance: bool = False,
 ) -> DataflowResult:
     """Solve Useful for the given dependent variables of ``icfg.root``.
 
@@ -247,4 +248,5 @@ def useful_analysis(
         backend=backend,
         universe=universe,
         record_convergence=record_convergence,
+        record_provenance=record_provenance,
     )

@@ -245,6 +245,7 @@ def vary_analysis(
     backend: str = "auto",
     universe=None,
     record_convergence: bool = False,
+    record_provenance: bool = False,
 ) -> DataflowResult:
     """Solve Vary for the given independent variables of ``icfg.root``.
 
@@ -263,6 +264,7 @@ def vary_analysis(
         backend=backend,
         universe=universe,
         record_convergence=record_convergence,
+        record_provenance=record_provenance,
     )
 
 

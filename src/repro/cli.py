@@ -13,6 +13,8 @@ Subcommands:
 * ``table1``    — reproduce the paper's evaluation (Table 1 + Figure 4)
 * ``figure4``   — just the Figure 4 storage-savings chart
 * ``trace``     — run one benchmark with tracing; span tree + metrics
+* ``explain``   — why is this fact here? derivation chain across COMM edges
+* ``report``    — one self-contained HTML report (table, chains, metrics)
 
 ``table1`` and ``figure4`` run through :mod:`repro.pipeline` and accept
 ``--jobs N`` (process fan-out), ``--cache``/``--no-cache`` (in-process
@@ -149,17 +151,96 @@ def build_parser() -> argparse.ArgumentParser:
         "trace",
         help="run one benchmark with tracing; print span tree + metrics",
     )
+    _add_bench_source(p)
+    p.add_argument(
+        "--convergence",
+        action="store_true",
+        help="record and print per-node solver convergence tables",
+    )
+    _add_trace_outputs(p)
+
+    p = sub.add_parser(
+        "explain",
+        help="why is this fact here? print its derivation chain "
+        "(crossing send→recv COMM edges with rank/tag context)",
+    )
+    _add_bench_source(p)
+    p.add_argument(
+        "--fact",
+        required=True,
+        metavar="NAME",
+        help="variable to explain (bare name resolved in the context "
+        "routine, or a scope::qualified name)",
+    )
+    p.add_argument(
+        "--node",
+        type=int,
+        metavar="N",
+        help="node id to explain at (default: first MPI node where the "
+        "fact holds; see `repro dot` for ids)",
+    )
+    p.add_argument(
+        "--arm",
+        choices=["icfg", "mpi", "both"],
+        default="both",
+        help="ICFG (global-buffer) arm, MPI-ICFG arm, or both "
+        "(default: %(default)s)",
+    )
+    p.add_argument(
+        "--phase",
+        choices=["vary", "useful", "both"],
+        default="both",
+        help="activity phase(s) to explain (default: %(default)s)",
+    )
+    p.add_argument(
+        "--backend",
+        choices=["auto", "native", "bitset"],
+        default="auto",
+        help="solver fact backend (default: %(default)s)",
+    )
+    p.add_argument(
+        "--html",
+        metavar="FILE",
+        help="also write the chains as a self-contained HTML report",
+    )
+
+    p = sub.add_parser(
+        "report",
+        help="write one self-contained HTML report: Table 1 rows, "
+        "derivation chains, convergence tables, metrics",
+    )
+    _add_bench_source(p)
+    p.add_argument(
+        "--out",
+        metavar="FILE",
+        default="repro-report.html",
+        help="output HTML path (default: %(default)s)",
+    )
+    p.add_argument(
+        "--chains",
+        type=int,
+        default=12,
+        metavar="N",
+        help="max derivation chains to include (default: %(default)s)",
+    )
+
+    return parser
+
+
+def _add_bench_source(p: argparse.ArgumentParser) -> None:
+    """FILE / --bench / --smoke program selection plus solver flags,
+    shared by the trace/explain/report subcommands."""
     p.add_argument(
         "file", nargs="?", help="SPL source file (or use --bench/--smoke)"
     )
     src = p.add_mutually_exclusive_group()
     src.add_argument(
-        "--bench", metavar="NAME", help="trace a registered Table 1 benchmark"
+        "--bench", metavar="NAME", help="a registered Table 1 benchmark"
     )
     src.add_argument(
         "--smoke",
         action="store_true",
-        help="trace the paper's Figure 1 example program",
+        help="the paper's Figure 1 example program",
     )
     p.add_argument("--root", default="main", help="context routine (default: main)")
     p.add_argument("--clone-level", type=int, default=0)
@@ -171,14 +252,6 @@ def build_parser() -> argparse.ArgumentParser:
         default="roundrobin",
         help="solver strategy (default: %(default)s)",
     )
-    p.add_argument(
-        "--convergence",
-        action="store_true",
-        help="record and print per-node solver convergence tables",
-    )
-    _add_trace_outputs(p)
-
-    return parser
 
 
 def _add_trace_outputs(p: argparse.ArgumentParser) -> None:
@@ -411,13 +484,7 @@ def _run_pipeline(args):
 
 
 def _cmd_pipeline(args, render) -> int:
-    from .obs import (
-        disable_tracing,
-        enable_tracing,
-        get_metrics,
-        render_metrics,
-        reset_metrics,
-    )
+    from .obs import disable_tracing, enable_tracing, get_metrics, reset_metrics
 
     tracing = _tracing_requested(args)
     if tracing:
@@ -432,7 +499,7 @@ def _cmd_pipeline(args, render) -> int:
     if tracing:
         if args.metrics:
             print()
-            print(render_metrics(get_metrics().snapshot()))
+            print(get_metrics().render())
         _emit_trace_outputs(args, tracer)
     return 0
 
@@ -492,7 +559,6 @@ def _cmd_trace(args) -> int:
         enable_tracing,
         get_metrics,
         render_convergence,
-        render_metrics,
         render_span_tree,
         reset_metrics,
     )
@@ -516,11 +582,13 @@ def _cmd_trace(args) -> int:
     print()
     print("Metrics")
     print("-------")
-    print(render_metrics(get_metrics().snapshot()))
+    print(get_metrics().render())
     if args.convergence:
+        skipped = []
         for arm_label, arm in (("ICFG", row.icfg), ("MPI-ICFG", row.mpi)):
             for phase, solved in (("vary", arm.vary), ("useful", arm.useful)):
                 if solved.convergence is None:
+                    skipped.append(f"{arm_label}/{phase}")
                     continue
                 print()
                 print(f"Convergence: {arm_label} {phase}")
@@ -530,7 +598,216 @@ def _cmd_trace(args) -> int:
                         solved.convergence, graph=arm.icfg.graph, changed_only=True
                     )
                 )
+        if skipped:
+            print(
+                f"warning: no convergence data recorded for "
+                f"{', '.join(skipped)} — these tables were skipped",
+                file=sys.stderr,
+            )
     _emit_trace_outputs(args, tracer)
+    return 0
+
+
+def _resolve_fact(icfg, fact: str) -> str:
+    """Bare variable name → qualified name in the context routine."""
+    if "::" in fact:
+        return fact
+    sym = icfg.symtab.try_lookup(icfg.root, fact)
+    if sym is None:
+        raise ValueError(
+            f"unknown variable {fact!r} in scope of {icfg.root!r} "
+            "(use a scope::qualified name for other scopes)"
+        )
+    return sym.qname
+
+
+def _fact_holds(arm, nid: int, qname: str) -> bool:
+    return (
+        qname in arm.vary.in_fact(nid)
+        or qname in arm.vary.out_fact(nid)
+        or qname in arm.useful.in_fact(nid)
+        or qname in arm.useful.out_fact(nid)
+    )
+
+
+def _default_node(arm, qname: str) -> Optional[int]:
+    """First node where ``qname`` holds, MPI operations preferred."""
+    from .cfg.node import MpiNode
+
+    graph = arm.icfg.graph
+    mpi_ids = sorted(
+        n.id for n in graph.nodes.values() if isinstance(n, MpiNode)
+    )
+    for nid in mpi_ids:
+        if _fact_holds(arm, nid, qname):
+            return nid
+    for nid in sorted(graph.nodes):
+        if _fact_holds(arm, nid, qname):
+            return nid
+    return None
+
+
+def _cmd_explain(args) -> int:
+    from .experiments.table1 import run_benchmark
+    from .obs import explain_activity
+
+    spec = _trace_spec(args)
+    row = run_benchmark(
+        spec,
+        strategy=args.strategy,
+        backend=args.backend,
+        record_provenance=True,
+    )
+    arms = {
+        "icfg": [("ICFG", row.icfg)],
+        "mpi": [("MPI-ICFG", row.mpi)],
+        "both": [("ICFG", row.icfg), ("MPI-ICFG", row.mpi)],
+    }[args.arm]
+    phases = {
+        "vary": ("vary",),
+        "useful": ("useful",),
+        "both": ("vary", "useful"),
+    }[args.phase]
+    chains = []
+    status = 0
+    for arm_label, arm in arms:
+        qname = _resolve_fact(arm.icfg, args.fact)
+        node = args.node if args.node is not None else _default_node(arm, qname)
+        if node is None:
+            print(
+                f"{arm_label}: {qname} holds at no node — nothing to explain",
+                file=sys.stderr,
+            )
+            status = 1
+            continue
+        exp = explain_activity(arm, node, qname)
+        for phase in phases:
+            chain = getattr(exp, phase)
+            chain.problem = f"{arm_label} {chain.problem}"
+            print(chain.render())
+            print()
+            chains.append(chain)
+    if args.html and chains:
+        from .obs import write_html_report
+
+        out = write_html_report(
+            args.html,
+            title=f"repro explain — {spec.name}",
+            subtitle=f"fact {args.fact} ({spec.source_label})",
+            chains=chains,
+        )
+        print(f"// wrote {out}", file=sys.stderr)
+    return status
+
+
+def _select_chains(row, limit: int = 12) -> list:
+    """Derivation chains worth reporting: every active variable at every
+    MPI operation, MPI-ICFG arm first, up to ``limit``."""
+    from .analyses.mpi_model import MPI_BUFFER_QNAME
+    from .cfg.node import MpiNode
+    from .obs import explain_activity
+
+    graph = row.mpi.icfg.graph
+    mpi_ids = sorted(
+        n.id for n in graph.nodes.values() if isinstance(n, MpiNode)
+    )
+    chains = []
+    for arm_label, arm in (("MPI-ICFG", row.mpi), ("ICFG", row.icfg)):
+        for nid in mpi_ids:
+            for atom in sorted(arm.active_at(nid)):
+                if atom == MPI_BUFFER_QNAME:
+                    continue
+                if len(chains) >= limit:
+                    return chains
+                exp = explain_activity(arm, nid, atom)
+                exp.vary.problem = f"{arm_label} {exp.vary.problem}"
+                exp.useful.problem = f"{arm_label} {exp.useful.problem}"
+                chains.append(exp)
+    return chains
+
+
+def _comm_edges_text(graph) -> str:
+    from .cfg.node import EdgeKind, MpiNode
+    from .mpi.matching import comm_context
+
+    lines = []
+    for edge in graph.edges():
+        if edge.kind is not EdgeKind.COMM:
+            continue
+        a, b = graph.nodes[edge.src], graph.nodes[edge.dst]
+        if isinstance(a, MpiNode) and isinstance(b, MpiNode):
+            lines.append(comm_context(a, b, edge.label))
+        else:
+            lines.append(f"{edge.src} → {edge.dst} ({edge.label})")
+    return "\n".join(lines) or "(no communication edges)"
+
+
+def _cmd_report(args) -> int:
+    from .experiments.table1 import render_table1, run_benchmark
+    from .obs import (
+        disable_tracing,
+        enable_tracing,
+        get_metrics,
+        render_convergence,
+        reset_metrics,
+        write_html_report,
+    )
+
+    spec = _trace_spec(args)
+    enable_tracing(fresh=True)
+    reset_metrics()
+    try:
+        row = run_benchmark(
+            spec,
+            strategy=args.strategy,
+            record_convergence=True,
+            record_provenance=True,
+        )
+        table_text = render_table1([row], with_paper=spec.paper is not None)
+    finally:
+        disable_tracing()
+
+    graph = row.mpi.icfg.graph
+    from .cfg.node import EdgeKind
+
+    comm_edges = sum(1 for e in graph.edges() if e.kind is EdgeKind.COMM)
+    summary = {
+        "benchmark": spec.name,
+        "solver": args.strategy,
+        "ICFG iterations": row.icfg.iterations,
+        "MPI-ICFG iterations": row.mpi.iterations,
+        "ICFG active bytes": f"{row.icfg.active_bytes:,}",
+        "MPI-ICFG active bytes": f"{row.mpi.active_bytes:,}",
+        "decrease": f"{row.pct_decrease:.2f}%",
+        "COMM edges": comm_edges,
+    }
+    convergence = {}
+    for arm_label, arm in (("ICFG", row.icfg), ("MPI-ICFG", row.mpi)):
+        for phase, solved in (("vary", arm.vary), ("useful", arm.useful)):
+            if solved.convergence is None:
+                continue
+            convergence[f"{arm_label} {phase}"] = render_convergence(
+                solved.convergence, graph=arm.icfg.graph, changed_only=True
+            )
+    metrics = {}
+    for name, entry in get_metrics().snapshot().items():
+        if entry["type"] == "histogram":
+            metrics[name] = f"count={entry['count']} sum={entry['sum']:g}"
+        else:
+            metrics[name] = entry["value"]
+
+    out = write_html_report(
+        args.out,
+        title=f"repro report — {spec.name}",
+        subtitle=f"{spec.source_label} · strategy={args.strategy}",
+        summary=summary,
+        table1_text=table_text,
+        match_text=_comm_edges_text(graph),
+        chains=_select_chains(row, limit=args.chains),
+        convergence=convergence,
+        metrics=metrics,
+    )
+    print(f"wrote {out}")
     return 0
 
 
@@ -547,6 +824,8 @@ _COMMANDS = {
     "table1": _cmd_table1,
     "figure4": _cmd_figure4,
     "trace": _cmd_trace,
+    "explain": _cmd_explain,
+    "report": _cmd_report,
 }
 
 

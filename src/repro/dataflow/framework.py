@@ -36,6 +36,7 @@ from typing import Any, Generic, Optional, Sequence, TypeVar
 
 from ..cfg.node import Edge, Node
 from ..obs.convergence import ConvergenceTrace
+from ..obs.provenance import ProvenanceTrace
 
 __all__ = ["Direction", "DataFlowProblem", "DataflowResult", "SolverStats"]
 
@@ -182,6 +183,10 @@ class DataflowResult(Generic[F]):
     #: Per-node convergence provenance; populated only by
     #: ``solve(..., record_convergence=True)``.
     convergence: Optional[ConvergenceTrace] = None
+    #: Fact derivation history; populated only by
+    #: ``solve(..., record_provenance=True)`` and queried through
+    #: :func:`repro.obs.explain`.
+    provenance: Optional[ProvenanceTrace] = None
 
     def in_fact(self, node_id: int) -> F:
         """Program-order IN set of the node (paper's ``IN(n)``)."""

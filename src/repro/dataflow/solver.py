@@ -48,6 +48,7 @@ from ..cfg.graph import FlowGraph
 from ..cfg.node import EdgeKind
 from ..obs import get_metrics, get_tracer
 from ..obs.convergence import ConvergenceRecorder
+from ..obs.provenance import ProvenanceRecorder
 from .bitset import BitsetAdapter, FactUniverse
 from .framework import DataFlowProblem, DataflowResult, Direction, SolverStats
 
@@ -167,11 +168,14 @@ class _Engine:
         exits: list[int],
         problem: DataFlowProblem,
         recorder: Optional[ConvergenceRecorder] = None,
+        provenance: Optional[ProvenanceRecorder] = None,
     ):
         self.graph = graph
         #: Opt-in convergence provenance; the hot loop pays one
         #: attribute check when off.
         self.recorder = recorder
+        #: Opt-in fact provenance; same single-check discipline.
+        self.provenance = provenance
         self.nodes = graph.nodes
         self.problem = problem
         forward = problem.direction is Direction.FORWARD
@@ -290,6 +294,8 @@ class _Engine:
             after[nid] = new_after
         if self.recorder is not None:
             self.recorder.visit(nid, before_changed, after_changed, after[nid])
+        if self.provenance is not None and (before_changed or after_changed):
+            self.provenance.record(nid, before[nid], after[nid], comm)
         return before_changed, after_changed
 
     # -- SCC priorities for the "priority" strategy --------------------------
@@ -384,6 +390,8 @@ def _solve_roundrobin(engine: _Engine) -> tuple[int, int]:
             )
         if engine.recorder is not None:
             engine.recorder.next_pass()
+        if engine.provenance is not None:
+            engine.provenance.next_pass()
         for nid in engine.order:
             visits += 1
             before_changed, after_changed = engine.update(nid)
@@ -471,6 +479,7 @@ def solve(
     backend: str = "auto",
     universe: Optional[FactUniverse] = None,
     record_convergence: bool = False,
+    record_provenance: bool = False,
 ) -> DataflowResult:
     """Run ``problem`` to a fixed point over ``graph``.
 
@@ -494,6 +503,14 @@ def solve(
     per-node visit counts, fact growth, and stabilisation points (see
     :func:`repro.obs.render_convergence`); it does not change the
     fixed point.
+
+    ``record_provenance=True`` attaches a
+    :class:`~repro.obs.provenance.ProvenanceTrace` — per-node fact
+    snapshots at every change, queryable with
+    :func:`repro.obs.explain` for derivation chains.  When ``False``
+    (the default) no recorder object is allocated and the hot loop
+    pays a single ``is not None`` check, exactly like
+    ``record_convergence``.
     """
     try:
         run = _STRATEGY_FNS[strategy]
@@ -516,6 +533,7 @@ def solve(
 
     tracer = get_tracer()
     recorder = ConvergenceRecorder() if record_convergence else None
+    prov = ProvenanceRecorder() if record_provenance else None
     with tracer.span(
         f"solve.{problem.name}",
         strategy=strategy,
@@ -526,7 +544,14 @@ def solve(
         engine_problem = (
             BitsetAdapter(problem, universe=universe) if use_bitset else problem
         )
-        engine = _Engine(graph, entries, exits, engine_problem, recorder=recorder)
+        engine = _Engine(
+            graph,
+            entries,
+            exits,
+            engine_problem,
+            recorder=recorder,
+            provenance=prov,
+        )
         passes, visits = run(engine)
         before, after = engine.before, engine.after
         if use_bitset:
@@ -569,6 +594,22 @@ def solve(
         convergence=(
             recorder.finish(problem.name, strategy, problem.direction.value)
             if recorder is not None
+            else None
+        ),
+        provenance=(
+            prov.finish(
+                problem=engine_problem,
+                graph=graph,
+                upstream=engine.upstream,
+                comm_upstream=engine.comm_upstream,
+                boundary_nodes=engine.boundary_nodes,
+                boundary_fact=engine.boundary_fact,
+                strategy=strategy,
+                direction=problem.direction.value,
+                name=problem.name,
+                int_facts=engine.int_facts,
+            )
+            if prov is not None
             else None
         ),
     )

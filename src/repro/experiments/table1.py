@@ -59,6 +59,8 @@ def run_benchmark(
     icfg: Optional[ICFG] = None,
     match: Optional[MatchResult] = None,
     record_convergence: bool = False,
+    record_provenance: bool = False,
+    backend: str = "auto",
 ) -> Table1Row:
     """Run the ICFG and MPI-ICFG activity analyses for one row.
 
@@ -86,7 +88,9 @@ def run_benchmark(
                 spec.dependents,
                 MpiModel.GLOBAL_BUFFER,
                 strategy=strategy,
+                backend=backend,
                 record_convergence=record_convergence,
+                record_provenance=record_provenance,
             )
 
         with tracer.span("match.add_comm_edges", bench=spec.name):
@@ -98,7 +102,9 @@ def run_benchmark(
                 spec.dependents,
                 MpiModel.COMM_EDGES,
                 strategy=strategy,
+                backend=backend,
                 record_convergence=record_convergence,
+                record_provenance=record_provenance,
             )
     if tracer.enabled:
         registry = get_metrics()

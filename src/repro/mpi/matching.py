@@ -54,15 +54,57 @@ from ..dataflow.solver import solve
 from ..obs import get_metrics, get_tracer, metric_name
 from ..ir.ast_nodes import BinOp, Expr, IntLit, IntrinsicCall, UnOp
 from ..ir.mpi_ops import ArgRole, MpiKind
+from ..ir.printer import print_expr
 
 __all__ = [
     "MatchOptions",
     "CommPair",
     "MatchResult",
+    "comm_context",
     "match_communication",
     "match_communication_nested",
     "rank_offset",
 ]
+
+
+def comm_context(src: MpiNode, dst: MpiNode, reason: str = "") -> str:
+    """Rank/tag context string for one matched communication edge.
+
+    Renders the matcher-relevant arguments of both endpoints —
+    destination/source rank, tag, root, communicator — e.g.
+    ``p2p mpi_send#4→mpi_recv#9 dest=1 src=0 tag=99 comm=comm_world``.
+    Used by the provenance layer to annotate COMM hops in derivation
+    chains.
+    """
+
+    def _arg(node: MpiNode, role: ArgRole) -> Optional[str]:
+        pos = node.op.position(role)
+        if pos is None:
+            return None
+        return print_expr(node.arg_at(pos))
+
+    parts = []
+    if reason:
+        parts.append(reason)
+    parts.append(f"{src.op.name}#{src.id}→{dst.op.name}#{dst.id}")
+    dest = _arg(src, ArgRole.DEST)
+    if dest is not None:
+        parts.append(f"dest={dest}")
+    from_rank = _arg(dst, ArgRole.SRC)
+    if from_rank is not None:
+        parts.append(f"src={from_rank}")
+    for label, role in (("tag", ArgRole.TAG), ("root", ArgRole.ROOT)):
+        a, b = _arg(src, role), _arg(dst, role)
+        if a is None and b is None:
+            continue
+        shown = a if a is not None else b
+        if a is not None and b is not None and a != b:
+            shown = f"{a}/{b}"
+        parts.append(f"{label}={shown}")
+    comm = _arg(src, ArgRole.COMM) or _arg(dst, ArgRole.COMM)
+    if comm is not None:
+        parts.append(f"comm={comm}")
+    return " ".join(parts)
 
 
 @dataclass(frozen=True)

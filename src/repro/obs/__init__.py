@@ -13,7 +13,14 @@ Three pillars, all zero-dependency and **off by default**:
   :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`;
 * :mod:`repro.obs.convergence` — opt-in per-iteration solver recording
   with a text renderer explaining Table 1 iteration counts node by
-  node.
+  node;
+* :mod:`repro.obs.provenance` — opt-in fact provenance
+  (``solve(..., record_provenance=True)``) answering "why is this
+  fact here?" with :func:`explain` derivation chains that cross
+  send→recv communication edges with matcher rank/tag context;
+* :mod:`repro.obs.report` — a self-contained zero-dependency HTML
+  report merging provenance chains, metrics, convergence tables, and
+  Table 1 rows into one artifact (``repro report``).
 
 Instrumentation sites throughout the analysis stack guard on the
 single ``get_tracer().enabled`` attribute, so a disabled run costs one
@@ -39,7 +46,18 @@ from .metrics import (
     metric_name,
     reset_metrics,
 )
+from .provenance import (
+    ActivityExplanation,
+    DerivationChain,
+    DerivationStep,
+    ProvenanceRecorder,
+    ProvenanceTrace,
+    explain,
+    explain_activity,
+    render_chain,
+)
 from .render import render_metrics, render_span_tree
+from .report import render_html_report, write_html_report
 from .trace import (
     NULL_TRACER,
     NullTracer,
@@ -56,31 +74,41 @@ from .trace import (
 
 __all__ = [
     "NULL_TRACER",
+    "ActivityExplanation",
     "ConvergenceRecorder",
     "ConvergenceTrace",
     "Counter",
+    "DerivationChain",
+    "DerivationStep",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NodeConvergence",
     "NullTracer",
+    "ProvenanceRecorder",
+    "ProvenanceTrace",
     "Span",
     "Tracer",
     "chrome_trace",
     "diff_snapshot",
     "disable_tracing",
     "enable_tracing",
+    "explain",
+    "explain_activity",
     "fact_size",
     "get_metrics",
     "get_tracer",
     "merge_shards",
     "metric_name",
     "read_jsonl",
+    "render_chain",
     "render_convergence",
+    "render_html_report",
     "render_metrics",
     "render_span_tree",
     "reset_metrics",
     "span",
     "traced",
     "write_chrome_trace",
+    "write_html_report",
 ]

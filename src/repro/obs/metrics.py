@@ -162,6 +162,47 @@ class MetricsRegistry:
             items = list(self._metrics.items())
         return {name: m.as_dict() for name, m in sorted(items)}
 
+    def render(self) -> str:
+        """Counters, gauges, and histograms in one aligned text table.
+
+        Column widths adapt to the content (unlike the fixed-width
+        :func:`repro.obs.render.render_metrics`), histograms show their
+        count/sum plus non-empty buckets, and an empty registry renders
+        an explicit placeholder instead of an empty string.
+        """
+        rows = []
+        for name, entry in self.snapshot().items():
+            kind = entry["type"]
+            if kind == "histogram":
+                value = f"count={entry['count']} sum={entry['sum']:g}"
+                detail = " ".join(
+                    f"<={b}:{c}"
+                    for b, c in zip(entry["boundaries"], entry["counts"])
+                    if c
+                )
+                if entry["counts"][-1]:
+                    detail = f"{detail} inf:{entry['counts'][-1]}".strip()
+            else:
+                v = entry["value"]
+                value = f"{v:g}" if isinstance(v, float) else str(v)
+                detail = ""
+            rows.append((name, kind, value, detail))
+        if not rows:
+            return "(no metrics recorded)"
+        wn = max(len("metric"), max(len(r[0]) for r in rows))
+        wk = max(len("type"), max(len(r[1]) for r in rows))
+        wv = max(len("value"), max(len(r[2]) for r in rows))
+        lines = [
+            f"{'metric':<{wn}}  {'type':<{wk}}  {'value':>{wv}}",
+            f"{'-' * wn}  {'-' * wk}  {'-' * wv}",
+        ]
+        for name, kind, value, detail in rows:
+            line = f"{name:<{wn}}  {kind:<{wk}}  {value:>{wv}}"
+            if detail:
+                line += f"  {detail}"
+            lines.append(line)
+        return "\n".join(lines)
+
     def absorb(self, snapshot: dict) -> None:
         """Merge another registry's snapshot (e.g. a pool worker's
         delta): counters and histograms add, gauges take the incoming

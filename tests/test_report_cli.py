@@ -1,0 +1,203 @@
+"""Smoke tests for ``repro explain`` / ``repro report``, the
+``trace --convergence`` skip warning, and the benchmark regression
+gate's comparison logic."""
+
+from __future__ import annotations
+
+import re
+import sys
+
+import pytest
+
+from repro.cli import main
+
+
+class TestExplainCli:
+    def test_smoke_explains_both_arms(self, capsys):
+        assert main(["explain", "--smoke", "--fact", "y"]) == 0
+        out = capsys.readouterr().out
+        assert "ICFG" in out and "MPI-ICFG" in out
+        assert "comm" in out
+        assert "mpi_send" in out and "mpi_recv" in out
+        assert "main::y" in out
+
+    def test_unknown_fact_fails(self, capsys):
+        assert main(["explain", "--smoke", "--fact", "nosuchvar"]) == 1
+        assert "nosuchvar" in capsys.readouterr().err
+
+    def test_html_output(self, tmp_path, capsys):
+        out = tmp_path / "explain.html"
+        assert main(["explain", "--smoke", "--fact", "y", "--html", str(out)]) == 0
+        html = out.read_text()
+        assert html.lstrip().lower().startswith("<!doctype html")
+        assert "main::y" in html
+
+    def test_single_arm_and_backend(self, capsys):
+        assert main(
+            ["explain", "--smoke", "--fact", "y", "--arm", "mpi",
+             "--phase", "vary", "--backend", "bitset"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "MPI-ICFG" in out
+        assert "— ICFG vary" not in out  # ICFG arm suppressed
+        assert "useful" not in out
+
+
+class TestReportCli:
+    def test_writes_self_contained_html(self, tmp_path, capsys):
+        out = tmp_path / "report.html"
+        assert main(["report", "--smoke", "--out", str(out)]) == 0
+        assert str(out) in capsys.readouterr().out
+        html = out.read_text()
+        assert html.lstrip().lower().startswith("<!doctype html")
+        # Single file, no external assets: no src/href pointing anywhere
+        # but fragment anchors and data: URIs.
+        for tag in re.findall(r"<(?:img|script|link|iframe)\b[^>]*>", html):
+            assert "http" not in tag and "src=" not in tag, tag
+        assert "<style>" in html
+        # Report anatomy: summary cards, Table 1, chains, convergence,
+        # metrics.
+        assert "Table 1" in html or "table1" in html.lower()
+        assert "derivation" in html.lower() or "chain" in html.lower()
+        assert "convergence" in html.lower()
+        assert "metric" in html.lower()
+        # Provenance chains cross the matched communication edge.
+        assert "mpi_send" in html and "mpi_recv" in html
+
+
+class TestTraceConvergenceWarning:
+    def test_warns_when_convergence_missing(self, monkeypatch, capsys, tmp_path):
+        from repro.programs import figure1
+        import repro.experiments.table1 as table1
+
+        real = table1.run_benchmark
+
+        def without_convergence(spec, **kwargs):
+            kwargs["record_convergence"] = False
+            return real(spec, **kwargs)
+
+        monkeypatch.setattr(table1, "run_benchmark", without_convergence)
+        path = tmp_path / "fig1.spl"
+        path.write_text(figure1.SOURCE)
+        assert main(
+            ["trace", str(path), "--independent", "x", "--dependent", "f",
+             "--convergence"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "warning: no convergence data recorded" in err
+        for entry in ("ICFG/vary", "ICFG/useful", "MPI-ICFG/vary", "MPI-ICFG/useful"):
+            assert entry in err
+
+    def test_no_warning_when_recorded(self, capsys):
+        assert main(["trace", "--smoke", "--convergence"]) == 0
+        captured = capsys.readouterr()
+        assert "warning: no convergence data" not in captured.err
+        assert "Convergence: MPI-ICFG vary" in captured.out
+
+
+class TestMetricsRender:
+    def test_empty_registry_placeholder(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        assert MetricsRegistry().render() == "(no metrics recorded)"
+
+    def test_lists_all_instrument_kinds(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.counter("repro.a.count").inc(3)
+        reg.gauge("repro.b.gauge").set(1.5)
+        h = reg.histogram("repro.c.hist", [1, 10])
+        h.observe(0.5)
+        h.observe(42)
+        text = reg.render()
+        assert "repro.a.count" in text and "3" in text
+        assert "repro.b.gauge" in text and "1.5" in text
+        assert "count=2" in text and "inf:1" in text
+        header, rule = text.splitlines()[:2]
+        assert header.startswith("metric") and set(rule) <= {"-", " "}
+
+
+# ---------------------------------------------------------------------------
+# Regression gate: pure comparison functions on synthetic reports.
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def gate():
+    import pathlib
+
+    bench_dir = str(pathlib.Path(__file__).resolve().parents[1] / "benchmarks")
+    sys.path.insert(0, bench_dir)
+    try:
+        import check_regression
+    finally:
+        sys.path.remove(bench_dir)
+    return check_regression
+
+
+def _pipeline_report(cold, **arms):
+    return {"timings_s": {"serial_cold": cold, **arms}}
+
+
+class TestRegressionGate:
+    def test_pipeline_passes_within_threshold(self, gate):
+        committed = _pipeline_report(1.0, serial_warm=0.01, serial_traced=1.0)
+        fresh = _pipeline_report(2.0, serial_warm=0.024, serial_traced=2.2)
+        assert gate.compare_pipeline(committed, fresh) == []
+
+    def test_pipeline_fails_on_broken_cache(self, gate):
+        committed = _pipeline_report(1.0, serial_warm=0.01)
+        fresh = _pipeline_report(1.0, serial_warm=0.9)  # cache broken
+        failures = gate.compare_pipeline(committed, fresh)
+        assert len(failures) == 1
+        assert "serial_warm" in failures[0]
+
+    def test_pipeline_noise_floor_absorbs_tiny_deltas(self, gate):
+        committed = _pipeline_report(1.0, serial_warm=0.001)
+        fresh = _pipeline_report(1.0, serial_warm=0.003)  # 3× but only +2 ms
+        assert gate.compare_pipeline(committed, fresh) == []
+
+    def test_pipeline_parallel_gets_pool_allowance(self, gate):
+        committed = _pipeline_report(0.2, parallel_jobs4=0.19)
+        fresh = _pipeline_report(0.2, parallel_jobs4=0.30)  # +pool startup
+        assert gate.compare_pipeline(committed, fresh) == []
+        # A genuinely large parallel slowdown still fails.
+        slow = _pipeline_report(0.2, parallel_jobs4=2.5)
+        assert gate.compare_pipeline(committed, slow)
+
+    def test_pipeline_ignores_unmatched_arms(self, gate):
+        committed = _pipeline_report(1.0, serial_warm=0.01)
+        fresh = _pipeline_report(1.0, new_arm=9.0)
+        assert gate.compare_pipeline(committed, fresh) == []
+
+    def _solver_report(self, speedups):
+        return {
+            "benchmarks": [
+                {
+                    "configs": [
+                        {"strategy": s, "backend": b, "speedup": v}
+                        for (s, b), v in speedups.items()
+                    ]
+                }
+            ]
+        }
+
+    def test_solver_passes_and_fails_on_geomean(self, gate):
+        committed = self._solver_report(
+            {("priority", "native"): 2.5, ("worklist", "bitset"): 1.5}
+        )
+        ok = self._solver_report(
+            {("priority", "native"): 2.1, ("worklist", "bitset"): 1.6}
+        )
+        assert gate.compare_solver(committed, ok) == []
+        bad = self._solver_report(
+            {("priority", "native"): 1.0, ("worklist", "bitset"): 1.6}
+        )
+        failures = gate.compare_solver(committed, bad)
+        assert len(failures) == 1
+        assert "priority/native" in failures[0]
+
+    def test_geomean(self, gate):
+        assert gate.geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert gate.geomean([]) == 0.0
