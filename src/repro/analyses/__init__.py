@@ -11,14 +11,28 @@ from .bitwidth import (
 from .consteval import apply_binop, apply_intrinsic, apply_unop, eval_const
 from .controldep import control_dependence, postdominators
 from .defuse import diff_use_qnames, expr_var_names, use_qnames
-from .liveness import LivenessProblem, liveness_analysis
+from .liveness import LIVENESS_SPEC, LivenessProblem, liveness_analysis
 from .mpi_model import MPI_BUFFER_QNAME, BufferRef, MpiModel, data_buffers
 from .reaching_constants import ReachingConstantsProblem, reaching_constants
-from .reaching_defs import ENTRY_DEF, ReachingDefsProblem, reaching_defs_analysis
-from .slicing import SliceResult, forward_slice
-from .taint import TaintProblem, taint_analysis
-from .useful import UsefulProblem, useful_analysis
-from .vary import VaryProblem, vary_analysis
+from .reaching_defs import (
+    ENTRY_DEF,
+    REACHING_DEFS_SPEC,
+    ReachingDefsProblem,
+    reaching_defs_analysis,
+)
+from .slicing import NEED_SPEC, SliceResult, backward_slice, forward_slice
+from .taint import TAINT_SPEC, TaintProblem, taint_analysis
+from .useful import USEFUL_SPEC, UsefulProblem, useful_analysis
+from .vary import VARY_SPEC, VaryProblem, vary_analysis
+
+# The registry aggregates the modules above, so it must import last.
+from .registry import (
+    REGISTRY,
+    AnalysisEntry,
+    AnalyzeRequest,
+    registered_specs,
+    run_entry,
+)
 
 __all__ = [
     "MpiModel",
@@ -34,18 +48,25 @@ __all__ = [
     "diff_use_qnames",
     "ReachingConstantsProblem",
     "reaching_constants",
+    "VARY_SPEC",
     "VaryProblem",
     "vary_analysis",
+    "USEFUL_SPEC",
     "UsefulProblem",
     "useful_analysis",
     "ActivityResult",
     "activity_analysis",
+    "TAINT_SPEC",
     "TaintProblem",
     "taint_analysis",
+    "NEED_SPEC",
     "SliceResult",
     "forward_slice",
+    "backward_slice",
+    "LIVENESS_SPEC",
     "LivenessProblem",
     "liveness_analysis",
+    "REACHING_DEFS_SPEC",
     "ReachingDefsProblem",
     "reaching_defs_analysis",
     "ENTRY_DEF",
@@ -56,4 +77,9 @@ __all__ = [
     "bits_needed",
     "BitwidthProblem",
     "bitwidth_analysis",
+    "REGISTRY",
+    "AnalysisEntry",
+    "AnalyzeRequest",
+    "registered_specs",
+    "run_entry",
 ]

@@ -3,110 +3,82 @@
 The paper observes that bitvector analyses such as liveness do not need
 communication edges: a send reads its buffer and a receive defines its
 buffer, and no fact flows between processes (the receiving variable is
-defined *at the receive statement*).  This implementation therefore
-ignores COMM edges entirely; the test suite checks that adding
-communication edges leaves its results unchanged — the separability
-property the paper contrasts with reaching constants and activity.
+defined *at the receive statement*).  The spec therefore has no
+communication rule and its MPI rule is a plain model-independent
+callable; the test suite checks that adding communication edges leaves
+its results unchanged — the separability property the paper contrasts
+with reaching constants and activity.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 from ..cfg.icfg import ICFG
-from ..cfg.node import AssignNode, BranchNode, Edge, EdgeKind, MpiNode, Node
-from ..dataflow.bitset import BitsetFacts
-from ..dataflow.framework import DataFlowProblem, DataflowResult, Direction
-from ..dataflow.interproc import InterprocMaps
+from ..cfg.node import AssignNode, BranchNode, MpiNode
+from ..dataflow.framework import DataflowResult, Direction
+from ..dataflow.kernel import AnalysisSpec, InterprocRule, KernelProblem
 from ..dataflow.lattice import SetFact
 from ..dataflow.solver import solve
 from ..ir.ast_nodes import VarRef
-from ..ir.mpi_ops import ArgRole, MpiKind
-from ..ir.symtab import is_global_qname
+from ..ir.mpi_ops import ArgRole
 from .defuse import use_qnames
 
-__all__ = ["LivenessProblem", "liveness_analysis"]
-
-EMPTY: SetFact = frozenset()
+__all__ = ["LIVENESS_SPEC", "LivenessProblem", "liveness_analysis"]
 
 
-class LivenessProblem(BitsetFacts, DataFlowProblem[SetFact, None]):
-    direction = Direction.BACKWARD
-    name = "liveness"
+def _assign(problem: KernelProblem, node: AssignNode, fact: SetFact) -> SetFact:
+    sym = problem.symtab.try_lookup(node.proc, node.target.name)
+    uses = use_qnames(node.value, problem.symtab, node.proc)
+    if isinstance(node.target, VarRef):
+        if sym is not None:
+            fact = fact - {sym.qname}  # strong kill
+    else:
+        # Array-element store: weak kill, and subscripts are read.
+        for idx in node.target.indices:
+            uses = uses | use_qnames(idx, problem.symtab, node.proc)
+    return fact | uses
 
+
+def _branch(problem: KernelProblem, node: BranchNode, fact: SetFact) -> SetFact:
+    return fact | use_qnames(node.cond, problem.symtab, node.proc)
+
+
+def _mpi(problem: KernelProblem, node: MpiNode, fact: SetFact, comm) -> SetFact:
+    op = node.op
+    out = fact
+    # Kill whole-variable receive buffers (they are defined here).
+    for pos in op.positions(ArgRole.DATA_OUT):
+        arg = node.arg_at(pos)
+        if isinstance(arg, VarRef):
+            sym = problem.symtab.try_lookup(node.proc, arg.name)
+            if sym is not None:
+                out = out - {sym.qname}
+    # Everything the operation reads becomes live: payloads, tags,
+    # ranks, roots, communicators (and inout buffers).
+    reads: set[str] = set()
+    for spec, arg in zip(op.args, node.args):
+        if spec.role is ArgRole.DATA_OUT or spec.role is ArgRole.REDOP:
+            continue
+        reads |= use_qnames(arg, problem.symtab, node.proc)
+    return out | reads
+
+
+LIVENESS_SPEC = AnalysisSpec(
+    name="liveness",
+    direction=Direction.BACKWARD,
+    description="live variables (separable: no communication rule)",
+    assign=_assign,
+    branch=_branch,
+    mpi=_mpi,
+    interproc=InterprocRule(use_qnames),
+)
+
+
+class LivenessProblem(KernelProblem):
     def __init__(self, icfg: ICFG, live_out: Sequence[str] = ()):
-        self.icfg = icfg
-        self.symtab = icfg.symtab
-        self.maps = InterprocMaps(icfg)
-        self.live_out = frozenset(
-            self.symtab.qname(icfg.root, name) for name in live_out
-        )
-
-    def top(self) -> SetFact:
-        return EMPTY
-
-    def boundary(self) -> SetFact:
-        return self.live_out
-
-    def meet(self, a: SetFact, b: SetFact) -> SetFact:
-        return a | b
-
-    def transfer(self, node: Node, fact: SetFact, comm: Optional[None]) -> SetFact:
-        if isinstance(node, AssignNode):
-            sym = self.symtab.try_lookup(node.proc, node.target.name)
-            uses = use_qnames(node.value, self.symtab, node.proc)
-            if isinstance(node.target, VarRef):
-                if sym is not None:
-                    fact = fact - {sym.qname}  # strong kill
-            else:
-                # Array-element store: weak kill, and subscripts are read.
-                for idx in node.target.indices:
-                    uses = uses | use_qnames(idx, self.symtab, node.proc)
-            return fact | uses
-        if isinstance(node, BranchNode):
-            return fact | use_qnames(node.cond, self.symtab, node.proc)
-        if isinstance(node, MpiNode):
-            return self._transfer_mpi(node, fact)
-        return fact
-
-    def _transfer_mpi(self, node: MpiNode, fact: SetFact) -> SetFact:
-        op = node.op
-        out = fact
-        # Kill whole-variable receive buffers (they are defined here).
-        for pos in op.positions(ArgRole.DATA_OUT):
-            arg = node.arg_at(pos)
-            if isinstance(arg, VarRef):
-                sym = self.symtab.try_lookup(node.proc, arg.name)
-                if sym is not None:
-                    out = out - {sym.qname}
-        # Everything the operation reads becomes live: payloads, tags,
-        # ranks, roots, communicators (and inout buffers).
-        reads: set[str] = set()
-        for spec, arg in zip(op.args, node.args):
-            if spec.role is ArgRole.DATA_OUT or spec.role is ArgRole.REDOP:
-                continue
-            reads |= use_qnames(arg, self.symtab, node.proc)
-        return out | reads
-
-    def edge_fact(self, edge: Edge, fact: SetFact) -> SetFact:
-        if edge.kind is EdgeKind.FLOW:
-            return fact
-        site = self.maps.site_for_edge(edge)
-        if edge.kind is EdgeKind.CALL:
-            out = {q for q in fact if is_global_qname(q)}
-            for b in site.bindings:
-                if b.formal_qname in fact:
-                    out |= use_qnames(b.actual, self.symtab, site.caller)
-            return frozenset(out)
-        if edge.kind is EdgeKind.RETURN:
-            out = {q for q in fact if is_global_qname(q)}
-            for b in site.bindings:
-                if b.actual_qname is not None and b.actual_qname in fact:
-                    out.add(b.formal_qname)
-            return frozenset(out)
-        if edge.kind is EdgeKind.CALL_TO_RETURN:
-            return self.maps.locals_surviving_call(fact, site)
-        return fact
+        super().__init__(LIVENESS_SPEC, icfg, seeds=live_out)
+        self.live_out = self.seeds
 
 
 def liveness_analysis(
@@ -114,9 +86,18 @@ def liveness_analysis(
     live_out: Sequence[str] = (),
     strategy: str = "roundrobin",
     backend: str = "auto",
+    record_convergence: bool = False,
+    record_provenance: bool = False,
 ) -> DataflowResult:
     problem = LivenessProblem(icfg, live_out)
     entry, exit_ = icfg.entry_exit(icfg.root)
     return solve(
-        icfg.graph, entry, exit_, problem, strategy=strategy, backend=backend
+        icfg.graph,
+        entry,
+        exit_,
+        problem,
+        strategy=strategy,
+        backend=backend,
+        record_convergence=record_convergence,
+        record_provenance=record_provenance,
     )

@@ -22,7 +22,14 @@ from typing import Optional
 
 from ..cfg.icfg import ICFG
 from ..cfg.node import AssignNode, BranchNode, CallNode, MpiNode, Node
-from ..dataflow.framework import DataflowResult
+from ..dataflow.framework import DataflowResult, Direction
+from ..dataflow.kernel import (
+    AnalysisSpec,
+    InterprocRule,
+    KernelProblem,
+    received_buffer_in,
+)
+from ..dataflow.solver import solve
 from ..ir.ast_nodes import VarRef
 from ..ir.mpi_ops import ArgRole, MpiKind
 from .controldep import control_dependence
@@ -30,7 +37,7 @@ from .defuse import use_qnames
 from .mpi_model import MPI_BUFFER_QNAME, MpiModel, data_buffers
 from .taint import TaintProblem, taint_analysis
 
-__all__ = ["SliceResult", "forward_slice", "backward_slice"]
+__all__ = ["SliceResult", "forward_slice", "backward_slice", "NEED_SPEC"]
 
 
 @dataclass
@@ -171,6 +178,62 @@ def forward_slice(
 # ---------------------------------------------------------------------------
 
 
+def _need_assign(problem: KernelProblem, n: AssignNode, fact) -> frozenset:
+    symtab = problem.symtab
+    sym = symtab.try_lookup(n.proc, n.target.name)
+    if sym is None or sym.qname not in fact:
+        return fact
+    uses = use_qnames(n.value, symtab, n.proc)
+    if not isinstance(n.target, VarRef):
+        for idx in n.target.indices:
+            uses = uses | use_qnames(idx, symtab, n.proc)
+        return fact | uses  # weak kill
+    return (fact - {sym.qname}) | uses
+
+
+def _need_mpi(
+    problem: KernelProblem, n: MpiNode, fact, comm: Optional[bool]
+) -> frozenset:
+    kind = n.mpi_kind
+    if kind is MpiKind.SYNC:
+        return fact
+    bufs = problem.bufs(n)
+    recv, sent = bufs.received, bufs.sent
+    needed = bool(comm)  # some matched receive needs our payload
+    out = fact
+    if kind is MpiKind.RECV:
+        if recv is not None and recv.strong:
+            out = out - {recv.qname}
+        return out
+    if kind is MpiKind.BCAST:
+        assert sent is not None
+        if needed:
+            out = out | {sent.qname}
+        return out  # weak: the root's value survives via `fact`
+    # Reduce-like: the result combines every rank's payload.
+    result_needed = needed or (recv is not None and recv.qname in out)
+    if recv is not None and recv.strong:
+        out = out - {recv.qname}
+    if sent is not None and result_needed:
+        out = out | {sent.qname}
+    return out
+
+
+#: The demand ("need") analysis behind :func:`backward_slice`.  Unlike
+#: the registry analyses this spec is parameterized per call — the
+#: criterion's use set arrives via the kernel's ``gen_before``
+#: injection — so it is not runnable from ``repro analyze``.
+NEED_SPEC = AnalysisSpec(
+    name="backward-slice-need",
+    direction=Direction.BACKWARD,
+    description="demand sets feeding a backward slice criterion",
+    assign=_need_assign,
+    mpi=_need_mpi,
+    interproc=InterprocRule(use_qnames),
+    comm=received_buffer_in(),
+)
+
+
 def backward_slice(
     icfg: ICFG,
     criterion: int,
@@ -183,117 +246,21 @@ def backward_slice(
     The criterion may be any node that *uses* variables (assignment,
     branch, call, MPI operation); the seed is its use set.
     """
-    from typing import Optional as _Opt, Sequence as _Seq
-
-    from ..dataflow.framework import DataFlowProblem, Direction
-    from ..dataflow.solver import solve
-    from ..ir.mpi_ops import ArgRole as _AR
-
     symtab = icfg.symtab
     node = icfg.graph.node(criterion)
     seeds = _node_uses(icfg, node)
     if not seeds:
         raise ValueError(f"criterion node {node} uses no variables")
 
-    class Need(DataFlowProblem[frozenset, bool]):
-        direction = Direction.BACKWARD
-        name = "backward-slice-need"
-
-        def __init__(self):
-            from ..dataflow.interproc import InterprocMaps
-
-            self.maps = InterprocMaps(icfg)
-
-        def top(self):
-            return frozenset()
-
-        def boundary(self):
-            return frozenset()
-
-        def meet(self, a, b):
-            return a | b
-
-        def transfer(self, n: Node, fact, comm: Optional[bool]):
-            out = fact
-            if n.id == criterion:
-                out = out | seeds
-            if isinstance(n, AssignNode):
-                sym = symtab.try_lookup(n.proc, n.target.name)
-                if sym is None or sym.qname not in out:
-                    return out
-                uses = use_qnames(n.value, symtab, n.proc)
-                if not isinstance(n.target, VarRef):
-                    for idx in n.target.indices:
-                        uses = uses | use_qnames(idx, symtab, n.proc)
-                    return out | uses  # weak kill
-                return (out - {sym.qname}) | uses
-            if isinstance(n, MpiNode):
-                return self._mpi(n, out, comm)
-            return out
-
-        def _mpi(self, n: MpiNode, fact, comm: Optional[bool]):
-            kind = n.mpi_kind
-            if kind is MpiKind.SYNC:
-                return fact
-            bufs = data_buffers(n, symtab)
-            recv, sent = bufs.received, bufs.sent
-            needed = bool(comm)  # some matched receive needs our payload
-            out = fact
-            if kind is MpiKind.RECV:
-                if recv is not None and recv.strong:
-                    out = out - {recv.qname}
-                return out
-            if kind is MpiKind.BCAST:
-                assert sent is not None
-                if needed:
-                    out = out | {sent.qname}
-                return out  # weak: the root's value survives via `fact`
-            # Reduce-like: the result combines every rank's payload.
-            result_needed = needed or (recv is not None and recv.qname in out)
-            if recv is not None and recv.strong:
-                out = out - {recv.qname}
-            if sent is not None and result_needed:
-                out = out | {sent.qname}
-            return out
-
-        def edge_fact(self, edge, fact):
-            from ..cfg.node import EdgeKind
-            from ..ir.symtab import is_global_qname
-
-            if edge.kind is EdgeKind.FLOW:
-                return fact
-            site = self.maps.site_for_edge(edge)
-            if edge.kind is EdgeKind.CALL:
-                out = {q for q in fact if is_global_qname(q)}
-                for b in site.bindings:
-                    if b.formal_qname in fact:
-                        out |= use_qnames(b.actual, symtab, site.caller)
-                return frozenset(out)
-            if edge.kind is EdgeKind.RETURN:
-                out = {q for q in fact if is_global_qname(q)}
-                for b in site.bindings:
-                    if b.actual_qname is not None and b.actual_qname in fact:
-                        out.add(b.formal_qname)
-                return frozenset(out)
-            if edge.kind is EdgeKind.CALL_TO_RETURN:
-                return self.maps.locals_surviving_call(fact, site)
-            return fact
-
-        def has_comm(self):
-            return mpi_model.uses_comm_edges
-
-        def comm_value(self, n: Node, before) -> bool:
-            assert isinstance(n, MpiNode)
-            bufs = data_buffers(n, symtab)
-            return bufs.received is not None and bufs.received.qname in before
-
-        def comm_meet(self, values: _Seq[bool]) -> bool:
-            return any(values)
-
+    problem = KernelProblem(
+        NEED_SPEC,
+        icfg,
+        mpi_model=mpi_model,
+        gen_before={criterion: seeds},
+    )
     entry, exit_ = icfg.entry_exit(icfg.root)
-    need = solve(icfg.graph, entry, exit_, Need(), strategy=strategy)
+    need = solve(icfg.graph, entry, exit_, problem, strategy=strategy)
 
-    problem = Need()
     members: set[int] = {criterion}
     for nid, n in icfg.graph.nodes.items():
         if nid == criterion:

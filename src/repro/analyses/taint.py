@@ -16,7 +16,12 @@ real-typed variables.  Implicit (control) flows are not tracked.
 Seeds come in two forms: boundary seeds (tainted at the context
 routine's entry) and node seeds (a variable becomes tainted at a
 specific node's OUT — e.g. "the buffer received at this call site is
-untrusted", or a slicing criterion).
+untrusted", or a slicing criterion).  Node seeds ride the kernel's
+``gen_after`` injection.
+
+Defined declaratively as :data:`TAINT_SPEC`; the kernel
+(:mod:`repro.dataflow.kernel`) supplies the interprocedural renaming,
+the MPI-model dispatch, and the bitset backend.
 """
 
 from __future__ import annotations
@@ -24,27 +29,86 @@ from __future__ import annotations
 from typing import Mapping, Optional, Sequence
 
 from ..cfg.icfg import ICFG
-from ..cfg.node import AssignNode, Edge, EdgeKind, MpiNode, Node
-from ..dataflow.bitset import BitsetFacts
-from ..dataflow.framework import DataFlowProblem, DataflowResult, Direction
-from ..dataflow.interproc import InterprocMaps
+from ..cfg.node import AssignNode, MpiNode
+from ..dataflow.framework import DataflowResult, Direction
+from ..dataflow.kernel import (
+    AnalysisSpec,
+    InterprocRule,
+    KernelProblem,
+    MpiRule,
+    forward_global_buffer,
+    ignore_recv_kill,
+    sent_payload_in,
+)
 from ..dataflow.lattice import SetFact
 from ..dataflow.solver import solve
 from ..ir.ast_nodes import VarRef
-from ..ir.mpi_ops import ArgRole, MpiKind
-from ..ir.symtab import is_global_qname
+from ..ir.mpi_ops import MpiKind
 from .defuse import use_qnames
-from .mpi_model import MPI_BUFFER_QNAME, MpiModel, data_buffers
+from .mpi_model import MpiModel
 
-__all__ = ["TaintProblem", "taint_analysis"]
-
-EMPTY: SetFact = frozenset()
+__all__ = ["TAINT_SPEC", "TaintProblem", "taint_analysis"]
 
 
-class TaintProblem(BitsetFacts, DataFlowProblem[SetFact, bool]):
-    direction = Direction.FORWARD
-    name = "taint"
+def _assign(problem: KernelProblem, node: AssignNode, fact: SetFact) -> SetFact:
+    sym = problem.symtab.try_lookup(node.proc, node.target.name)
+    if sym is None:
+        return fact
+    tq = sym.qname
+    tainted = bool(use_qnames(node.value, problem.symtab, node.proc) & fact)
+    out = fact - {tq} if isinstance(node.target, VarRef) else fact
+    return out | {tq} if tainted else out
 
+
+def _mpi_comm(
+    problem: KernelProblem, node: MpiNode, fact: SetFact, comm: Optional[bool]
+) -> SetFact:
+    kind = node.mpi_kind
+    if kind is MpiKind.SYNC:
+        return fact
+    incoming = bool(comm)
+    if kind is MpiKind.SEND:
+        return fact
+    bufs = problem.bufs(node)
+    recv = bufs.received
+    if recv is None:
+        return fact
+    own = bufs.sent is not None and bufs.sent.qname in fact
+    tainted = incoming or (
+        own
+        and kind
+        in (
+            MpiKind.REDUCE,
+            MpiKind.ALLREDUCE,
+            MpiKind.BCAST,
+            MpiKind.GATHER,
+            MpiKind.SCATTER,
+        )
+    )
+    out = fact - {recv.qname} if (recv.strong and kind is not MpiKind.BCAST) else fact
+    return out | {recv.qname} if tainted else out
+
+
+TAINT_SPEC = AnalysisSpec(
+    name="taint",
+    direction=Direction.FORWARD,
+    description="forward influence: reachable from the tainted seeds",
+    assign=_assign,
+    mpi=MpiRule(
+        comm_edges=_mpi_comm,
+        # BCAST is excluded from the opaque kill: the root's own value
+        # flows through the broadcast.
+        ignore=ignore_recv_kill(exclude=frozenset({MpiKind.BCAST})),
+        global_buffer=forward_global_buffer(
+            recv_kill_kinds=(MpiKind.RECV,), require_real=False
+        ),
+    ),
+    interproc=InterprocRule(use_qnames),
+    comm=sent_payload_in(use_qnames),
+)
+
+
+class TaintProblem(KernelProblem):
     def __init__(
         self,
         icfg: ICFG,
@@ -58,149 +122,18 @@ class TaintProblem(BitsetFacts, DataFlowProblem[SetFact, bool]):
         that node's OUT.  ``untrusted_channel`` additionally taints the
         global communication buffer under the GLOBAL_BUFFER model — the
         paper's conservative trust assumption."""
-        self.icfg = icfg
-        self.symtab = icfg.symtab
-        self.mpi_model = mpi_model
-        self.maps = InterprocMaps(icfg)
-        self.boundary_seeds = frozenset(
-            name if "::" in name else self.symtab.qname(icfg.root, name)
-            for name in boundary_seeds
+        node_seeds = dict(node_seeds or {})
+        super().__init__(
+            TAINT_SPEC,
+            icfg,
+            seeds=boundary_seeds,
+            mpi_model=mpi_model,
+            gen_after={nid: frozenset({q}) for nid, q in node_seeds.items()},
+            seed_buffer=untrusted_channel,
         )
-        self.node_seeds = dict(node_seeds or {})
+        self.boundary_seeds = self.seeds
+        self.node_seeds = node_seeds
         self.untrusted_channel = untrusted_channel
-
-    def top(self) -> SetFact:
-        return EMPTY
-
-    def boundary(self) -> SetFact:
-        base = self.boundary_seeds
-        if self.untrusted_channel and self.mpi_model.uses_global_buffer:
-            base = base | {MPI_BUFFER_QNAME}
-        return base
-
-    def meet(self, a: SetFact, b: SetFact) -> SetFact:
-        return a | b
-
-    # -- transfer -----------------------------------------------------------
-
-    def transfer(self, node: Node, fact: SetFact, comm: Optional[bool]) -> SetFact:
-        out = self._transfer_inner(node, fact, comm)
-        seed = self.node_seeds.get(node.id)
-        if seed is not None:
-            out = out | {seed}
-        return out
-
-    def _transfer_inner(
-        self, node: Node, fact: SetFact, comm: Optional[bool]
-    ) -> SetFact:
-        if isinstance(node, AssignNode):
-            sym = self.symtab.try_lookup(node.proc, node.target.name)
-            if sym is None:
-                return fact
-            tq = sym.qname
-            tainted = bool(use_qnames(node.value, self.symtab, node.proc) & fact)
-            out = fact - {tq} if isinstance(node.target, VarRef) else fact
-            return out | {tq} if tainted else out
-        if isinstance(node, MpiNode):
-            return self._transfer_mpi(node, fact, comm)
-        return fact
-
-    def _transfer_mpi(
-        self, node: MpiNode, fact: SetFact, comm: Optional[bool]
-    ) -> SetFact:
-        model = self.mpi_model
-        bufs = data_buffers(node, self.symtab)
-        kind = node.mpi_kind
-        if kind is MpiKind.SYNC:
-            return fact
-        if model is MpiModel.COMM_EDGES:
-            incoming = bool(comm)
-            if kind is MpiKind.SEND:
-                return fact
-            recv = bufs.received
-            if recv is None:
-                return fact
-            own = bufs.sent is not None and bufs.sent.qname in fact
-            tainted = incoming or (
-                own
-                and kind
-                in (
-                    MpiKind.REDUCE,
-                    MpiKind.ALLREDUCE,
-                    MpiKind.BCAST,
-                    MpiKind.GATHER,
-                    MpiKind.SCATTER,
-                )
-            )
-            out = fact - {recv.qname} if (recv.strong and kind is not MpiKind.BCAST) else fact
-            return out | {recv.qname} if tainted else out
-        if model is MpiModel.IGNORE:
-            recv = bufs.received
-            if recv is not None and recv.strong and kind is not MpiKind.BCAST:
-                return fact - {recv.qname}
-            return fact
-        # Global-buffer models.
-        out = fact
-        weak = model is MpiModel.GLOBAL_BUFFER
-        if bufs.sent is not None:
-            sent_tainted = bufs.sent.qname in out
-            if not weak and not sent_tainted:
-                out = out - {MPI_BUFFER_QNAME}
-            if sent_tainted:
-                out = out | {MPI_BUFFER_QNAME}
-        if bufs.received is not None:
-            recv = bufs.received
-            buffer_tainted = MPI_BUFFER_QNAME in out
-            if recv.strong and kind is MpiKind.RECV:
-                out = out - {recv.qname}
-            if buffer_tainted:
-                out = out | {recv.qname}
-        return out
-
-    # -- interprocedural edges ----------------------------------------------
-
-    def edge_fact(self, edge: Edge, fact: SetFact) -> SetFact:
-        if edge.kind is EdgeKind.FLOW:
-            return fact
-        site = self.maps.site_for_edge(edge)
-        if edge.kind is EdgeKind.CALL:
-            out = {q for q in fact if is_global_qname(q)}
-            for b in site.bindings:
-                if use_qnames(b.actual, self.symtab, site.caller) & fact:
-                    out.add(b.formal_qname)
-            return frozenset(out)
-        if edge.kind is EdgeKind.RETURN:
-            out = {q for q in fact if is_global_qname(q)}
-            for b in site.bindings:
-                if b.actual_qname is not None and b.formal_qname in fact:
-                    out.add(b.actual_qname)
-            return frozenset(out)
-        if edge.kind is EdgeKind.CALL_TO_RETURN:
-            return self.maps.locals_surviving_call(fact, site)
-        return fact
-
-    # -- communication ------------------------------------------------------
-
-    def has_comm(self) -> bool:
-        return self.mpi_model.uses_comm_edges
-
-    def comm_value(self, node: Node, before: SetFact) -> bool:
-        assert isinstance(node, MpiNode)
-        pos = node.op.position(ArgRole.DATA_IN)
-        if pos is None:
-            pos = node.op.position(ArgRole.DATA_INOUT)
-        if pos is None:
-            return False
-        arg = node.arg_at(pos)
-        deps = use_qnames(arg, self.symtab, node.proc)
-        tainted = bool(deps & before)
-        # A node-seeded send payload (e.g. slicing criterion at the
-        # send itself) is handled by the seed landing in `before` of
-        # downstream nodes; nothing special required here.
-        return tainted
-
-    def comm_meet(self, values: Sequence[bool]) -> bool:
-        return any(values)
 
 
 def taint_analysis(
@@ -211,6 +144,9 @@ def taint_analysis(
     untrusted_channel: bool = False,
     strategy: str = "roundrobin",
     backend: str = "auto",
+    universe=None,
+    record_convergence: bool = False,
+    record_provenance: bool = False,
 ) -> DataflowResult:
     """Solve the influence analysis; see :class:`TaintProblem`."""
     problem = TaintProblem(
@@ -218,5 +154,13 @@ def taint_analysis(
     )
     entry, exit_ = icfg.entry_exit(icfg.root)
     return solve(
-        icfg.graph, entry, exit_, problem, strategy=strategy, backend=backend
+        icfg.graph,
+        entry,
+        exit_,
+        problem,
+        strategy=strategy,
+        backend=backend,
+        universe=universe,
+        record_convergence=record_convergence,
+        record_provenance=record_provenance,
     )

@@ -22,11 +22,12 @@ from typing import Optional, Sequence
 
 from ..analyses.activity import ActivityResult
 from ..analyses.mpi_model import MPI_BUFFER_QNAME, MpiModel
-from ..analyses.useful import UsefulProblem
-from ..analyses.vary import VaryProblem
+from ..analyses.useful import USEFUL_SPEC
+from ..analyses.vary import VARY_SPEC
 from ..cfg.graph import FlowGraph
 from ..cfg.icfg import ICFG, build_icfg
 from ..cfg.node import EdgeKind, IdAllocator
+from ..dataflow.kernel import KernelProblem
 from ..dataflow.solver import solve
 from ..ir.ast_nodes import Program
 from ..ir.rewrite import rename_program
@@ -143,8 +144,9 @@ def two_copy_activity(
     indep_q = qualify_both(independents)
     dep_q = qualify_both(dependents)
 
-    vary_p = VaryProblem(merged, indep_q, MpiModel.COMM_EDGES)
-    useful_p = UsefulProblem(merged, dep_q, MpiModel.COMM_EDGES)
+    # Already-qualified seeds pass through the kernel's qualification.
+    vary_p = KernelProblem(VARY_SPEC, merged, indep_q, MpiModel.COMM_EDGES)
+    useful_p = KernelProblem(USEFUL_SPEC, merged, dep_q, MpiModel.COMM_EDGES)
     vary = solve(merged.graph, two.entries, two.exits, vary_p, strategy=strategy)
     useful = solve(merged.graph, two.entries, two.exits, useful_p, strategy=strategy)
 

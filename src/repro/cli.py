@@ -4,6 +4,7 @@ Subcommands:
 
 * ``check``     — parse and validate an SPL file; print a summary
 * ``dot``       — emit Graphviz DOT of the (MPI-)ICFG
+* ``analyze``   — run any registered analysis by name (``--list``)
 * ``constants`` — reaching constants at each MPI operation
 * ``activity``  — activity analysis (active symbols, bytes, DerivBytes)
 * ``bitwidth``  — integer ranges/widths at the context routine's exit
@@ -15,6 +16,11 @@ Subcommands:
 * ``trace``     — run one benchmark with tracing; span tree + metrics
 * ``explain``   — why is this fact here? derivation chain across COMM edges
 * ``report``    — one self-contained HTML report (table, chains, metrics)
+
+``analyze``, ``explain`` and the trace/report activity phases resolve
+analysis names through :mod:`repro.analyses.registry` — registering a
+new :class:`~repro.analyses.registry.AnalysisEntry` makes it reachable
+from all of them with no CLI changes.
 
 ``table1`` and ``figure4`` run through :mod:`repro.pipeline` and accept
 ``--jobs N`` (process fan-out), ``--cache``/``--no-cache`` (in-process
@@ -98,6 +104,36 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("dot", help="emit Graphviz DOT of the (MPI-)ICFG")
     _add_common(p)
+
+    p = sub.add_parser(
+        "analyze",
+        help="run any registered analysis by name (see --list)",
+    )
+    p.add_argument(
+        "analysis",
+        nargs="?",
+        metavar="NAME",
+        help="a registered analysis name (see --list)",
+    )
+    p.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_analyses",
+        help="list the registered analyses and exit",
+    )
+    _add_bench_source(p)
+    p.add_argument(
+        "--model",
+        choices=[m.value for m in MpiModel],
+        default="comm-edges",
+        help="MPI communication model (default: %(default)s)",
+    )
+    p.add_argument(
+        "--backend",
+        choices=["auto", "native", "bitset"],
+        default="auto",
+        help="solver fact backend (default: %(default)s)",
+    )
 
     p = sub.add_parser("constants", help="reaching constants at MPI operations")
     _add_common(p)
@@ -186,11 +222,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="ICFG (global-buffer) arm, MPI-ICFG arm, or both "
         "(default: %(default)s)",
     )
+    from .analyses.registry import explainable_names
+
     p.add_argument(
         "--phase",
-        choices=["vary", "useful", "both"],
+        choices=["both", *explainable_names()],
         default="both",
-        help="activity phase(s) to explain (default: %(default)s)",
+        help="analysis phase(s) to explain: both activity phases, or "
+        "any explainable registry analysis (default: %(default)s)",
     )
     p.add_argument(
         "--backend",
@@ -328,6 +367,36 @@ def _cmd_dot(args) -> int:
     program, _ = _load(args.file)
     icfg = _graph_for(program, args)
     sys.stdout.write(to_dot(icfg.graph, title=f"{program.name}:{args.root}"))
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from .analyses import registry
+
+    if args.list_analyses:
+        print(registry.render_list())
+        return 0
+    if not args.analysis:
+        raise ValueError("analyze needs an analysis NAME (or --list)")
+    entry = registry.get(args.analysis)
+    spec = _trace_spec(args, require_seeds=False)
+    model = _model(args.model)
+    program = spec.program()
+    if entry.supports_model and model.uses_comm_edges:
+        icfg, _ = build_mpi_icfg(
+            program, spec.root, clone_level=spec.clone_level
+        )
+    else:
+        icfg = build_icfg(program, spec.root, clone_level=spec.clone_level)
+    req = registry.AnalyzeRequest(
+        independents=tuple(args.independents) or tuple(spec.independents),
+        dependents=tuple(args.dependents) or tuple(spec.dependents),
+        mpi_model=model,
+        strategy=args.strategy,
+        backend=args.backend,
+    )
+    result = registry.run_entry(entry, icfg, req)
+    print(entry.render_result(icfg, req, result))
     return 0
 
 
@@ -512,8 +581,8 @@ def _cmd_figure4(args) -> int:
     return _cmd_pipeline(args, lambda result: result.figure4_text)
 
 
-def _trace_spec(args):
-    """Resolve the traced program to a :class:`BenchmarkSpec`."""
+def _trace_spec(args, require_seeds: bool = True):
+    """Resolve the traced/analyzed program to a :class:`BenchmarkSpec`."""
     from .programs.registry import BENCHMARKS, BenchmarkSpec
 
     if args.bench:
@@ -535,8 +604,10 @@ def _trace_spec(args):
             dependents=("f",),
         )
     if not args.file:
-        raise ValueError("trace needs a FILE, --bench NAME, or --smoke")
-    if not (args.independents and args.dependents):
+        raise ValueError(
+            f"{args.command} needs a FILE, --bench NAME, or --smoke"
+        )
+    if require_seeds and not (args.independents and args.dependents):
         raise ValueError(
             "tracing a FILE needs at least one --independent and one --dependent"
         )
@@ -584,9 +655,12 @@ def _cmd_trace(args) -> int:
     print("-------")
     print(get_metrics().render())
     if args.convergence:
+        from .analyses.registry import activity_phases
+
         skipped = []
         for arm_label, arm in (("ICFG", row.icfg), ("MPI-ICFG", row.mpi)):
-            for phase, solved in (("vary", arm.vary), ("useful", arm.useful)):
+            for phase, get_phase in activity_phases():
+                solved = get_phase(arm)
                 if solved.convergence is None:
                     skipped.append(f"{arm_label}/{phase}")
                     continue
@@ -647,9 +721,96 @@ def _default_node(arm, qname: str) -> Optional[int]:
     return None
 
 
-def _cmd_explain(args) -> int:
-    from .experiments.table1 import run_benchmark
+def _fact_holds_result(solved, nid: int, qname: str) -> bool:
+    return qname in solved.in_fact(nid) or qname in solved.out_fact(nid)
+
+
+def _default_node_result(icfg, solved, qname: str) -> Optional[int]:
+    """First node where ``qname`` holds in ``solved``, MPI preferred."""
+    from .cfg.node import MpiNode
+
+    graph = icfg.graph
+    mpi_ids = sorted(
+        n.id for n in graph.nodes.values() if isinstance(n, MpiNode)
+    )
+    for nid in mpi_ids:
+        if _fact_holds_result(solved, nid, qname):
+            return nid
+    for nid in sorted(graph.nodes):
+        if _fact_holds_result(solved, nid, qname):
+            return nid
+    return None
+
+
+def _explain_activity_arm(args, arm_label, arm, chains) -> int:
+    """Chains for the activity phases (vary/useful) of one arm."""
+    from .analyses.registry import activity_phases
     from .obs import explain_activity
+
+    qname = _resolve_fact(arm.icfg, args.fact)
+    node = args.node if args.node is not None else _default_node(arm, qname)
+    if node is None:
+        print(
+            f"{arm_label}: {qname} holds at no node — nothing to explain",
+            file=sys.stderr,
+        )
+        return 1
+    exp = explain_activity(arm, node, qname)
+    for phase, _ in activity_phases():
+        if args.phase not in ("both", phase):
+            continue
+        chain = getattr(exp, phase)
+        chain.problem = f"{arm_label} {chain.problem}"
+        print(chain.render())
+        print()
+        chains.append(chain)
+    return 0
+
+
+def _explain_registry_arm(args, spec, arm_label, arm, chains) -> int:
+    """Chains for a non-activity registry analysis on one arm: re-run
+    it with provenance recording on the arm's model, then walk the
+    recorded derivation."""
+    from .analyses.mpi_model import MpiModel
+    from .analyses.registry import AnalyzeRequest, get, run_entry
+    from .obs import explain
+
+    entry = get(args.phase)
+    model = (
+        MpiModel.GLOBAL_BUFFER if arm_label == "ICFG" else MpiModel.COMM_EDGES
+    )
+    req = AnalyzeRequest(
+        independents=tuple(spec.independents),
+        dependents=tuple(spec.dependents),
+        mpi_model=model,
+        strategy=args.strategy,
+        backend=args.backend,
+        record_provenance=True,
+    )
+    solved = run_entry(entry, arm.icfg, req)
+    qname = _resolve_fact(arm.icfg, args.fact)
+    node = (
+        args.node
+        if args.node is not None
+        else _default_node_result(arm.icfg, solved, qname)
+    )
+    if node is None:
+        print(
+            f"{arm_label}: {qname} holds at no node — nothing to explain",
+            file=sys.stderr,
+        )
+        return 1
+    chain = explain(solved, node, qname)
+    chain.problem = f"{arm_label} {chain.problem}"
+    print(chain.render())
+    print()
+    chains.append(chain)
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    from .analyses.registry import activity_phases
+    from .experiments.table1 import run_benchmark
 
     spec = _trace_spec(args)
     row = run_benchmark(
@@ -663,30 +824,14 @@ def _cmd_explain(args) -> int:
         "mpi": [("MPI-ICFG", row.mpi)],
         "both": [("ICFG", row.icfg), ("MPI-ICFG", row.mpi)],
     }[args.arm]
-    phases = {
-        "vary": ("vary",),
-        "useful": ("useful",),
-        "both": ("vary", "useful"),
-    }[args.phase]
+    activity_names = {name for name, _ in activity_phases()}
     chains = []
     status = 0
     for arm_label, arm in arms:
-        qname = _resolve_fact(arm.icfg, args.fact)
-        node = args.node if args.node is not None else _default_node(arm, qname)
-        if node is None:
-            print(
-                f"{arm_label}: {qname} holds at no node — nothing to explain",
-                file=sys.stderr,
-            )
-            status = 1
-            continue
-        exp = explain_activity(arm, node, qname)
-        for phase in phases:
-            chain = getattr(exp, phase)
-            chain.problem = f"{arm_label} {chain.problem}"
-            print(chain.render())
-            print()
-            chains.append(chain)
+        if args.phase == "both" or args.phase in activity_names:
+            status |= _explain_activity_arm(args, arm_label, arm, chains)
+        else:
+            status |= _explain_registry_arm(args, spec, arm_label, arm, chains)
     if args.html and chains:
         from .obs import write_html_report
 
@@ -781,9 +926,12 @@ def _cmd_report(args) -> int:
         "decrease": f"{row.pct_decrease:.2f}%",
         "COMM edges": comm_edges,
     }
+    from .analyses.registry import activity_phases
+
     convergence = {}
     for arm_label, arm in (("ICFG", row.icfg), ("MPI-ICFG", row.mpi)):
-        for phase, solved in (("vary", arm.vary), ("useful", arm.useful)):
+        for phase, get_phase in activity_phases():
+            solved = get_phase(arm)
             if solved.convergence is None:
                 continue
             convergence[f"{arm_label} {phase}"] = render_convergence(
@@ -814,6 +962,7 @@ def _cmd_report(args) -> int:
 _COMMANDS = {
     "check": _cmd_check,
     "dot": _cmd_dot,
+    "analyze": _cmd_analyze,
     "constants": _cmd_constants,
     "activity": _cmd_activity,
     "bitwidth": _cmd_bitwidth,

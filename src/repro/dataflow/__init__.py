@@ -5,6 +5,7 @@ from .framework import DataFlowProblem, DataflowResult, Direction, SolverStats
 from .interproc import InterprocMaps, ParamBinding, SiteInfo
 from .lattice import (
     BOTTOM,
+    EMPTY,
     TOP,
     ConstEnv,
     ConstValue,
@@ -19,6 +20,19 @@ from .lattice import (
     set_meet,
 )
 from .solver import BACKENDS, MAX_PASSES, STRATEGIES, SolverError, solve
+
+# The kernel imports lazily from repro.analyses.mpi_model, so it must
+# come after the core modules above are fully initialized.
+from .kernel import (
+    AnalysisSpec,
+    CommRule,
+    EnvInterprocFacts,
+    InterprocRule,
+    KernelProblem,
+    MpiRule,
+    dispatch_mpi_model,
+    qualify_seeds,
+)
 
 __all__ = [
     "Direction",
@@ -47,6 +61,15 @@ __all__ = [
     "env_set",
     "env_meet",
     "SetFact",
+    "EMPTY",
     "set_meet",
     "bool_or_meet",
+    "AnalysisSpec",
+    "InterprocRule",
+    "MpiRule",
+    "CommRule",
+    "KernelProblem",
+    "EnvInterprocFacts",
+    "qualify_seeds",
+    "dispatch_mpi_model",
 ]

@@ -32,7 +32,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import asdict, dataclass, field
 from enum import Enum
-from typing import Any, Generic, Optional, Sequence, TypeVar
+from typing import Generic, Optional, Sequence, TypeVar
 
 from ..cfg.node import Edge, Node
 from ..obs.convergence import ConvergenceTrace
@@ -166,9 +166,9 @@ class DataflowResult(Generic[F]):
     """Fixed-point facts plus solver accounting.
 
     ``iterations`` is the number of full round-robin passes (the
-    paper's Table 1 ``Iter`` column); worklist runs report the
-    equivalent pass count a round-robin sweep would have needed is not
-    available, so they report 0 there and fill ``visits`` instead.
+    paper's Table 1 ``Iter`` column).  Worklist-style runs do not sweep
+    the graph in rounds, so no equivalent pass count exists for them:
+    they report 0 there and fill ``visits`` instead.
     """
 
     problem_name: str
@@ -203,6 +203,3 @@ class DataflowResult(Generic[F]):
     # Convenience aliases matching the paper's notation.
     IN = in_fact
     OUT = out_fact
-
-
-_ = Any  # typing re-export convenience

@@ -26,7 +26,13 @@ from ..ir.mpi_ops import COMM_WORLD_NAME
 from ..ir.symtab import is_global_qname
 from ..ir.types import ArrayType, Type
 
-__all__ = ["ParamBinding", "SiteInfo", "InterprocMaps"]
+__all__ = [
+    "ParamBinding",
+    "SiteInfo",
+    "InterprocMaps",
+    "env_surviving_call",
+    "pairs_surviving_call",
+]
 
 
 @dataclass(frozen=True)
@@ -146,3 +152,26 @@ class InterprocMaps:
             for q in qnames
             if q.startswith(prefix) and q not in site.aliased
         )
+
+
+def env_surviving_call(env: dict, site: SiteInfo) -> dict:
+    """Dict-environment analogue of
+    :meth:`InterprocMaps.locals_surviving_call`: entries of the
+    caller's own scope that the callee cannot reach."""
+    prefix = site.caller + "::"
+    return {
+        q: v
+        for q, v in env.items()
+        if q.startswith(prefix) and q not in site.aliased
+    }
+
+
+def pairs_surviving_call(pairs: frozenset, site: SiteInfo) -> frozenset:
+    """Tuple-fact analogue (reaching definitions): pairs keyed on a
+    qualified name in their first component."""
+    prefix = site.caller + "::"
+    return frozenset(
+        p
+        for p in pairs
+        if p[0].startswith(prefix) and p[0] not in site.aliased
+    )

@@ -28,6 +28,7 @@ __all__ = [
     "env_get",
     "env_set",
     "SetFact",
+    "EMPTY",
     "set_meet",
     "bool_or_meet",
 ]
@@ -155,6 +156,10 @@ def env_meet(a: ConstEnv, b: ConstEnv) -> ConstEnv:
 # ---------------------------------------------------------------------------
 
 SetFact = FrozenSet[str]
+
+#: The empty set fact — ⊤ of every union-meet set lattice (shared by
+#: the set-based analyses instead of one module-level copy apiece).
+EMPTY: SetFact = frozenset()
 
 
 def set_meet(a: SetFact, b: SetFact) -> SetFact:

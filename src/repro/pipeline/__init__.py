@@ -4,6 +4,7 @@ See :doc:`docs/pipeline` for the cache-keying and determinism story.
 """
 
 from .artifacts import (
+    analysis_key,
     build_icfg_cached,
     build_mpi_icfg_cached,
     icfg_key,
@@ -11,6 +12,7 @@ from .artifacts import (
     match_key,
     rc_key,
     reaching_constants_cached,
+    run_analysis_cached,
 )
 from .cache import (
     CACHE_SCHEMA,
@@ -26,6 +28,7 @@ __all__ = [
     "CACHE_SCHEMA",
     "ArmStats",
     "ArtifactCache",
+    "analysis_key",
     "CacheStats",
     "PipelineResult",
     "build_icfg_cached",
@@ -39,5 +42,6 @@ __all__ = [
     "rc_key",
     "reaching_constants_cached",
     "row_key",
+    "run_analysis_cached",
     "run_table1_pipeline",
 ]

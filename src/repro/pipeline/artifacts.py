@@ -31,6 +31,7 @@ from ..obs import get_tracer
 from .cache import ArtifactCache, program_fingerprint
 
 __all__ = [
+    "analysis_key",
     "build_icfg_cached",
     "build_mpi_icfg_cached",
     "icfg_key",
@@ -39,6 +40,7 @@ __all__ = [
     "match_options_key",
     "rc_key",
     "reaching_constants_cached",
+    "run_analysis_cached",
 ]
 
 
@@ -170,3 +172,53 @@ def reaching_constants_cached(
     if cache is None:
         return _solve()
     return cache.get_or_build(rc_key(program, icfg, mpi_model, strategy), _solve)
+
+
+def analysis_key(name: str, program: Program, icfg: ICFG, req) -> tuple:
+    """Cache key for a registry analysis run (see
+    :mod:`repro.analyses.registry`).  Carries the graph's mutation
+    version like :func:`rc_key`, plus every request knob that shapes
+    the fixed point (seeds, model, strategy, backend)."""
+    return (
+        "analysis",
+        name,
+        program_fingerprint(program),
+        icfg.root,
+        icfg.clone_level,
+        tuple(req.independents),
+        tuple(req.dependents),
+        req.mpi_model.value,
+        req.strategy,
+        req.backend,
+        req.record_provenance,
+        icfg.graph.version,
+    )
+
+
+def run_analysis_cached(
+    name: str,
+    icfg: ICFG,
+    program: Program,
+    req=None,
+    cache: Optional[ArtifactCache] = None,
+):
+    """Run any registered analysis by name, content-addressed.
+
+    A registry-driven sibling of :func:`reaching_constants_cached`
+    (which keeps its own key scheme for compatibility): results are
+    keyed on the program fingerprint, the request knobs, and the
+    graph's mutation version, so adding COMM edges re-solves.
+    """
+    from ..analyses import registry
+
+    entry = registry.get(name)
+    if req is None:
+        req = registry.AnalyzeRequest()
+
+    def _run():
+        with get_tracer().span("analysis.run", analysis=name):
+            return registry.run_entry(entry, icfg, req)
+
+    if cache is None:
+        return _run()
+    return cache.get_or_build(analysis_key(name, program, icfg, req), _run)

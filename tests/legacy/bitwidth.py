@@ -25,13 +25,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-from ..cfg.icfg import ICFG
-from ..cfg.node import AssignNode, MpiNode, Node
-from ..dataflow.framework import DataFlowProblem, DataflowResult, Direction
-from ..dataflow.interproc import InterprocMaps, SiteInfo
-from ..dataflow.kernel import EnvInterprocFacts, dispatch_mpi_model
-from ..dataflow.solver import solve
-from ..ir.ast_nodes import (
+from repro.cfg.icfg import ICFG
+from repro.cfg.node import AssignNode, Edge, EdgeKind, MpiNode, Node
+from repro.dataflow.framework import DataFlowProblem, DataflowResult, Direction
+from repro.dataflow.interproc import InterprocMaps
+from repro.dataflow.solver import solve
+from repro.ir.ast_nodes import (
     ArrayRef,
     BinOp,
     BoolLit,
@@ -42,9 +41,10 @@ from ..ir.ast_nodes import (
     UnOp,
     VarRef,
 )
-from ..ir.mpi_ops import ArgRole, COMM_WORLD_NAME, COMM_WORLD_VALUE, MpiKind
-from ..ir.types import ArrayType, IntType
-from .mpi_model import MPI_BUFFER_QNAME, MpiModel, data_buffers
+from repro.ir.mpi_ops import ArgRole, COMM_WORLD_NAME, COMM_WORLD_VALUE, MpiKind
+from repro.ir.symtab import is_global_qname
+from repro.ir.types import ArrayType, IntType
+from repro.analyses.mpi_model import MPI_BUFFER_QNAME, MpiModel, data_buffers
 
 __all__ = ["Interval", "FULL", "BitwidthProblem", "bitwidth_analysis", "bits_needed"]
 
@@ -58,88 +58,21 @@ _THRESHOLDS = [0, 1, 2, 15, 255, 65_535, INT_MAX]
 _LOW_THRESHOLDS = [0, -1, -2, -16, -256, -65_536, INT_MIN]
 
 
-@dataclass(frozen=True)
-class Interval:
-    """A closed integer interval; the lattice element for one variable."""
-
-    lo: int
-    hi: int
-
-    def __post_init__(self) -> None:
-        if self.lo > self.hi:
-            raise ValueError(f"empty interval [{self.lo}, {self.hi}]")
-
-    def hull(self, other: "Interval") -> "Interval":
-        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
-
-    def widen_against(self, previous: "Interval") -> "Interval":
-        """Threshold widening: unstable bounds jump to the next
-        threshold so loops converge in a bounded number of passes."""
-        lo, hi = self.lo, self.hi
-        if lo < previous.lo:
-            lo = max(
-                (t for t in _LOW_THRESHOLDS if t <= lo), default=INT_MIN
-            )
-        if hi > previous.hi:
-            hi = min((t for t in _THRESHOLDS if t >= hi), default=INT_MAX)
-        return Interval(lo, hi)
-
-    def clamp(self) -> "Interval":
-        return Interval(max(self.lo, INT_MIN), min(self.hi, INT_MAX))
-
-    @property
-    def width(self) -> int:
-        return bits_needed(self.lo, self.hi)
-
-    def __str__(self) -> str:
-        return f"[{self.lo}, {self.hi}]"
+# The interval value types are unchanged by the kernel port; the
+# frozen baseline is the problem class below, so the shared value
+# types come from the live module (dataclass equality is per-class).
+from repro.analyses.bitwidth import (  # noqa: E402
+    FULL,
+    Interval,
+    WidthEnv,
+    _const,
+    _env_meet,
+    bits_needed,
+)
 
 
-FULL = Interval(INT_MIN, INT_MAX)
-
-
-def bits_needed(lo: int, hi: int) -> int:
-    """Bits to represent every integer in [lo, hi].
-
-    Non-negative ranges use unsigned width (0 needs 1 bit); ranges with
-    negatives use two's complement.
-    """
-    if lo >= 0:
-        return max(1, hi.bit_length())
-    # Two's complement: n bits cover [-2^(n-1), 2^(n-1) - 1].
-    n_lo = (-lo - 1).bit_length() + 1
-    n_hi = hi.bit_length() + 1 if hi > 0 else 1
-    return max(n_lo, n_hi)
-
-
-#: Environments: qname -> Interval; absent = ⊤ (unreached).
-WidthEnv = dict
-
-
-def _env_meet(a: WidthEnv, b: WidthEnv) -> WidthEnv:
-    if not a:
-        return dict(b)
-    if not b:
-        return dict(a)
-    out = dict(a)
-    for k, v in b.items():
-        cur = out.get(k)
-        out[k] = v if cur is None else cur.hull(v)
-    return out
-
-
-def _const(v: int) -> Interval:
-    return Interval(v, v)
-
-
-class BitwidthProblem(EnvInterprocFacts, DataFlowProblem[WidthEnv, Optional[Interval]]):
-    """Forward interval analysis for integer scalars over an (MPI-)ICFG.
-
-    A kernel escape hatch (interval environments are not set facts):
-    interprocedural scope filtering comes from
-    :class:`~repro.dataflow.kernel.EnvInterprocFacts` and MPI-model
-    routing from :func:`~repro.dataflow.kernel.dispatch_mpi_model`.
-    """
+class BitwidthProblem(DataFlowProblem[WidthEnv, Optional[Interval]]):
+    """Forward interval analysis for integer scalars over an (MPI-)ICFG."""
 
     direction = Direction.FORWARD
     name = "bitwidth"
@@ -318,67 +251,64 @@ class BitwidthProblem(EnvInterprocFacts, DataFlowProblem[WidthEnv, Optional[Inte
         sym = self.symtab.symbol_of_qname(recv.qname)
         if not isinstance(sym.type, IntType):
             return fact
-        return dispatch_mpi_model(
-            self.mpi_model,
-            node,
-            fact,
-            comm,
-            comm_edges=self._mpi_comm_edges,
-            ignore=self._mpi_opaque,
-            global_buffer=self._mpi_global_buffer,
-        )
-
-    def _mpi_comm_edges(
-        self, node: MpiNode, fact: WidthEnv, comm: Optional[Interval]
-    ) -> WidthEnv:
-        recv = data_buffers(node, self.symtab).received
         kind = node.mpi_kind
-        if kind is MpiKind.RECV:
-            if comm is None:
-                return fact  # senders unreached (or none matched)
-            return self._set(node, fact, recv.qname, comm)
-        if kind is MpiKind.BCAST:
-            own = fact.get(recv.qname)
-            if own is None and comm is None:
-                return fact
-            value = own.hull(comm) if (own and comm) else (own or comm)
-            return self._set(node, fact, recv.qname, value)
-        if kind.writes_result:
-            # Reductions/gathers of integers: combine conservatively.
+        model = self.mpi_model
+        if model is MpiModel.COMM_EDGES:
+            if kind is MpiKind.RECV:
+                if comm is None:
+                    return fact  # senders unreached (or none matched)
+                return self._set(node, fact, recv.qname, comm)
+            if kind is MpiKind.BCAST:
+                own = fact.get(recv.qname)
+                if own is None and comm is None:
+                    return fact
+                value = own.hull(comm) if (own and comm) else (own or comm)
+                return self._set(node, fact, recv.qname, value)
+            if kind.writes_result:
+                # Reductions/gathers of integers: combine conservatively.
+                return self._set(node, fact, recv.qname, FULL)
+            return fact
+        if model is MpiModel.IGNORE or model.uses_global_buffer:
+            # Opaque receive / global-buffer: unbounded.
             return self._set(node, fact, recv.qname, FULL)
         return fact
 
-    def _mpi_opaque(self, node: MpiNode, fact: WidthEnv) -> WidthEnv:
-        # Opaque receive / global-buffer: unbounded.
-        recv = data_buffers(node, self.symtab).received
-        return self._set(node, fact, recv.qname, FULL)
+    # -- interprocedural edges --------------------------------------------------
 
-    def _mpi_global_buffer(
-        self, node: MpiNode, fact: WidthEnv, weak: bool
-    ) -> WidthEnv:
-        return self._mpi_opaque(node, fact)
-
-    # -- interprocedural edges (scope filtering via EnvInterprocFacts) --------
-
-    def bind_call(self, site: SiteInfo, fact: WidthEnv, out: WidthEnv) -> None:
-        for b in site.bindings:
-            if not isinstance(b.formal_type, IntType):
-                continue
-            value = self.eval_range(b.actual, fact, site.caller)
-            out[b.formal_qname] = value or FULL
-        for lq in self._int_locals[site.callee_instance]:
-            out[lq] = FULL  # uninitialized memory
-
-    def bind_return(self, site: SiteInfo, fact: WidthEnv, out: WidthEnv) -> None:
-        for b in site.bindings:
-            if (
-                isinstance(b.formal_type, IntType)
-                and b.actual_qname is not None
-                and isinstance(b.actual, VarRef)
-            ):
-                sym = self.symtab.symbol_of_qname(b.actual_qname)
-                if isinstance(sym.type, IntType):
-                    out[b.actual_qname] = fact.get(b.formal_qname, FULL)
+    def edge_fact(self, edge: Edge, fact: WidthEnv) -> WidthEnv:
+        if edge.kind is EdgeKind.FLOW:
+            return fact
+        site = self.maps.site_for_edge(edge)
+        if edge.kind is EdgeKind.CALL:
+            out = {q: v for q, v in fact.items() if is_global_qname(q)}
+            for b in site.bindings:
+                if not isinstance(b.formal_type, IntType):
+                    continue
+                value = self.eval_range(b.actual, fact, site.caller)
+                out[b.formal_qname] = value or FULL
+            for lq in self._int_locals[site.callee_instance]:
+                out[lq] = FULL  # uninitialized memory
+            return out
+        if edge.kind is EdgeKind.RETURN:
+            out = {q: v for q, v in fact.items() if is_global_qname(q)}
+            for b in site.bindings:
+                if (
+                    isinstance(b.formal_type, IntType)
+                    and b.actual_qname is not None
+                    and isinstance(b.actual, VarRef)
+                ):
+                    sym = self.symtab.symbol_of_qname(b.actual_qname)
+                    if isinstance(sym.type, IntType):
+                        out[b.actual_qname] = fact.get(b.formal_qname, FULL)
+            return out
+        if edge.kind is EdgeKind.CALL_TO_RETURN:
+            prefix = site.caller + "::"
+            return {
+                q: v
+                for q, v in fact.items()
+                if q.startswith(prefix) and q not in site.aliased
+            }
+        return fact
 
     # -- communication --------------------------------------------------------
 

@@ -22,12 +22,11 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from ..cfg.icfg import ICFG
-from ..cfg.node import AssignNode, MpiNode, Node
-from ..dataflow.framework import DataFlowProblem, DataflowResult, Direction
-from ..dataflow.interproc import InterprocMaps, SiteInfo
-from ..dataflow.kernel import EnvInterprocFacts, dispatch_mpi_model
-from ..dataflow.lattice import (
+from repro.cfg.icfg import ICFG
+from repro.cfg.node import AssignNode, Edge, EdgeKind, MpiNode, Node
+from repro.dataflow.framework import DataFlowProblem, DataflowResult, Direction
+from repro.dataflow.interproc import InterprocMaps
+from repro.dataflow.lattice import (
     BOTTOM,
     ConstEnv,
     ConstValue,
@@ -37,28 +36,19 @@ from ..dataflow.lattice import (
     env_meet,
     env_set,
 )
-from ..dataflow.solver import solve
-from ..ir.ast_nodes import VarRef
-from ..ir.mpi_ops import ArgRole, MpiKind
-from ..ir.types import ArrayType
-from .consteval import eval_const
-from .mpi_model import MPI_BUFFER_QNAME, MpiModel, data_buffers, reduce_op_name
+from repro.dataflow.solver import solve
+from repro.ir.ast_nodes import VarRef
+from repro.ir.mpi_ops import ArgRole, MpiKind
+from repro.ir.symtab import is_global_qname
+from repro.ir.types import ArrayType
+from repro.analyses.consteval import eval_const
+from repro.analyses.mpi_model import MPI_BUFFER_QNAME, MpiModel, data_buffers, reduce_op_name
 
 __all__ = ["ReachingConstantsProblem", "reaching_constants"]
 
 
-class ReachingConstantsProblem(
-    EnvInterprocFacts, DataFlowProblem[ConstEnv, ConstValue]
-):
-    """Forward interprocedural reaching constants over an (MPI-)ICFG.
-
-    A kernel escape hatch: the constant-environment lattice is not a
-    set, so this stays a hand-written
-    :class:`~repro.dataflow.framework.DataFlowProblem` — but the
-    interprocedural scope filtering comes from
-    :class:`~repro.dataflow.kernel.EnvInterprocFacts` and the MPI-model
-    routing from :func:`~repro.dataflow.kernel.dispatch_mpi_model`.
-    """
+class ReachingConstantsProblem(DataFlowProblem[ConstEnv, ConstValue]):
+    """Forward interprocedural reaching constants over an (MPI-)ICFG."""
 
     direction = Direction.FORWARD
     name = "reaching-constants"
@@ -126,15 +116,12 @@ class ReachingConstantsProblem(
     def _transfer_mpi(
         self, node: MpiNode, fact: ConstEnv, comm: Optional[ConstValue]
     ) -> ConstEnv:
-        return dispatch_mpi_model(
-            self.mpi_model,
-            node,
-            fact,
-            comm,
-            comm_edges=self._mpi_comm_edges,
-            ignore=self._mpi_ignore,
-            global_buffer=self._mpi_global_buffer,
-        )
+        model = self.mpi_model
+        if model is MpiModel.COMM_EDGES:
+            return self._mpi_comm_edges(node, fact, comm)
+        if model is MpiModel.IGNORE:
+            return self._mpi_ignore(node, fact)
+        return self._mpi_global_buffer(node, fact, weak=model is MpiModel.GLOBAL_BUFFER)
 
     def _sent_value(self, node: MpiNode, fact: ConstEnv) -> ConstValue:
         """Lattice value of the sent payload evaluated in ``fact``."""
@@ -207,26 +194,41 @@ class ReachingConstantsProblem(
             out = self._set_scalar_buffer(node, out, True, BOTTOM)
         return out
 
-    # -- interprocedural edges (scope filtering via EnvInterprocFacts) -------
+    # -- interprocedural edges ----------------------------------------------
 
-    def bind_call(self, site: SiteInfo, fact: ConstEnv, out: ConstEnv) -> None:
-        for b in site.bindings:
-            if b.is_array:
-                continue
-            out[b.formal_qname] = eval_const(
-                b.actual, fact, self.symtab, site.caller
-            )
-        for lq in self._scalar_locals[site.callee_instance]:
-            out[lq] = BOTTOM  # uninitialized memory on procedure entry
-
-    def bind_return(self, site: SiteInfo, fact: ConstEnv, out: ConstEnv) -> None:
-        for b in site.bindings:
-            if b.is_array or b.actual_qname is None:
-                continue
-            if isinstance(b.actual, VarRef):
-                sym = self.symtab.symbol_of_qname(b.actual_qname)
-                if not isinstance(sym.type, ArrayType):
-                    out[b.actual_qname] = env_get(fact, b.formal_qname)
+    def edge_fact(self, edge: Edge, fact: ConstEnv) -> ConstEnv:
+        if edge.kind is EdgeKind.FLOW:
+            return fact
+        site = self.maps.site_for_edge(edge)
+        if edge.kind is EdgeKind.CALL:
+            out: ConstEnv = {q: v for q, v in fact.items() if is_global_qname(q)}
+            for b in site.bindings:
+                if b.is_array:
+                    continue
+                out[b.formal_qname] = eval_const(
+                    b.actual, fact, self.symtab, site.caller
+                )
+            for lq in self._scalar_locals[site.callee_instance]:
+                out[lq] = BOTTOM  # uninitialized memory on procedure entry
+            return out
+        if edge.kind is EdgeKind.RETURN:
+            out = {q: v for q, v in fact.items() if is_global_qname(q)}
+            for b in site.bindings:
+                if b.is_array or b.actual_qname is None:
+                    continue
+                if isinstance(b.actual, VarRef):
+                    sym = self.symtab.symbol_of_qname(b.actual_qname)
+                    if not isinstance(sym.type, ArrayType):
+                        out[b.actual_qname] = env_get(fact, b.formal_qname)
+            return out
+        if edge.kind is EdgeKind.CALL_TO_RETURN:
+            prefix = site.caller + "::"
+            return {
+                q: v
+                for q, v in fact.items()
+                if q.startswith(prefix) and q not in site.aliased
+            }
+        return fact
 
     # -- communication ------------------------------------------------------
 

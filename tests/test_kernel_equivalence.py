@@ -1,0 +1,283 @@
+"""The kernel-hosted analyses match their pre-kernel implementations.
+
+``tests/legacy`` holds verbatim frozen copies of the hand-written
+problem classes (own ``edge_fact`` renaming, inline MPI-model
+dispatch).  For each analysis the port must be *extensionally
+identical*: byte-identical before/after fact maps AND matching solver
+work counts (passes, visits, meets, transfers, comm requeues) across
+(MG-1, LU-1, Sw-3) × {roundrobin, worklist, priority} ×
+{native, bitset}, across all four MPI models, on the two-copy
+baseline graph, and on hypothesis-generated SPMD programs.
+
+The one accepted behavioral delta of the port: the backward-slice
+``Need`` problem was not bitset-capable before (native under
+``backend="auto"``) and is now kernel-hosted, so backends are pinned
+explicitly here.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.analyses.liveness import LivenessProblem
+from repro.analyses.mpi_model import MpiModel
+from repro.analyses.reaching_constants import ReachingConstantsProblem
+from repro.analyses.reaching_defs import ReachingDefsProblem
+from repro.analyses.slicing import NEED_SPEC, backward_slice
+from repro.analyses.taint import TaintProblem
+from repro.analyses.useful import UsefulProblem
+from repro.analyses.vary import VaryProblem
+from repro.analyses.bitwidth import BitwidthProblem
+from repro.baselines.two_copy import build_two_copy, two_copy_activity
+from repro.cfg.node import AssignNode
+from repro.dataflow.kernel import KernelProblem
+from repro.dataflow.solver import STRATEGIES, solve
+from repro.mpi import build_mpi_icfg
+from repro.programs.registry import BENCHMARKS
+
+from .gen_programs import spmd_programs
+from .legacy import (
+    LegacyBitwidthProblem,
+    LegacyLivenessProblem,
+    LegacyReachingConstantsProblem,
+    LegacyReachingDefsProblem,
+    LegacyTaintProblem,
+    LegacyUsefulProblem,
+    LegacyVaryProblem,
+    legacy_need_problem,
+)
+
+BENCH_NAMES = ("MG-1", "LU-1", "Sw-3")
+CONFIGS = [(s, b) for s in STRATEGIES for b in ("native", "bitset")]
+
+#: analysis -> (legacy factory, kernel factory); both take (icfg, spec).
+SET_ANALYSES = {
+    "vary": (
+        lambda icfg, spec: LegacyVaryProblem(icfg, spec.independents),
+        lambda icfg, spec: VaryProblem(icfg, spec.independents),
+    ),
+    "useful": (
+        lambda icfg, spec: LegacyUsefulProblem(icfg, spec.dependents),
+        lambda icfg, spec: UsefulProblem(icfg, spec.dependents),
+    ),
+    "taint": (
+        lambda icfg, spec: LegacyTaintProblem(icfg, spec.independents),
+        lambda icfg, spec: TaintProblem(icfg, spec.independents),
+    ),
+    "liveness": (
+        lambda icfg, spec: LegacyLivenessProblem(icfg),
+        lambda icfg, spec: LivenessProblem(icfg),
+    ),
+    "reaching_defs": (
+        lambda icfg, spec: LegacyReachingDefsProblem(icfg),
+        lambda icfg, spec: ReachingDefsProblem(icfg),
+    ),
+}
+
+_icfg_cache: dict[str, object] = {}
+
+
+def _benchmark_icfg(name):
+    icfg = _icfg_cache.get(name)
+    if icfg is None:
+        spec = BENCHMARKS[name]
+        icfg, _ = build_mpi_icfg(
+            spec.program(), spec.root, clone_level=spec.clone_level
+        )
+        _icfg_cache[name] = icfg
+    return icfg
+
+
+def _stats_tuple(stats):
+    return (
+        stats.strategy,
+        stats.backend,
+        stats.passes,
+        stats.visits,
+        stats.meets,
+        stats.transfers,
+        stats.comm_requeues,
+        stats.nodes,
+    )
+
+
+def _solve_pair(icfg, legacy, ported, strategy, backend, entry=None, exit_=None):
+    if entry is None:
+        entry, exit_ = icfg.entry_exit(icfg.root)
+    old = solve(
+        icfg.graph, entry, exit_, legacy, strategy=strategy, backend=backend
+    )
+    new = solve(
+        icfg.graph, entry, exit_, ported, strategy=strategy, backend=backend
+    )
+    return old, new
+
+
+def _assert_identical(old, new, ctx):
+    assert new.before == old.before, ctx
+    assert new.after == old.after, ctx
+    assert _stats_tuple(new.stats) == _stats_tuple(old.stats), ctx
+
+
+@pytest.mark.parametrize("name", BENCH_NAMES)
+@pytest.mark.parametrize("analysis", sorted(SET_ANALYSES))
+def test_set_analyses_match_legacy(name, analysis):
+    spec = BENCHMARKS[name]
+    icfg = _benchmark_icfg(name)
+    make_legacy, make_new = SET_ANALYSES[analysis]
+    for strategy, backend in CONFIGS:
+        old, new = _solve_pair(
+            icfg, make_legacy(icfg, spec), make_new(icfg, spec),
+            strategy, backend,
+        )
+        _assert_identical(old, new, (name, analysis, strategy, backend))
+
+
+@pytest.mark.parametrize("model", list(MpiModel))
+@pytest.mark.parametrize("analysis", ("vary", "useful", "taint"))
+def test_mpi_models_match_legacy(model, analysis):
+    """Every MpiModel treatment survives the port (Sw-3, native)."""
+    spec = BENCHMARKS["Sw-3"]
+    icfg = _benchmark_icfg("Sw-3")
+    seeds = spec.independents if analysis != "useful" else spec.dependents
+    legacy_cls = {
+        "vary": LegacyVaryProblem,
+        "useful": LegacyUsefulProblem,
+        "taint": LegacyTaintProblem,
+    }[analysis]
+    new_cls = {
+        "vary": VaryProblem,
+        "useful": UsefulProblem,
+        "taint": TaintProblem,
+    }[analysis]
+    old, new = _solve_pair(
+        icfg,
+        legacy_cls(icfg, seeds, mpi_model=model),
+        new_cls(icfg, seeds, mpi_model=model),
+        "roundrobin",
+        "native",
+    )
+    _assert_identical(old, new, (analysis, model))
+
+
+@pytest.mark.parametrize("name", BENCH_NAMES)
+@pytest.mark.parametrize(
+    "make_legacy, make_new",
+    [
+        (LegacyReachingConstantsProblem, ReachingConstantsProblem),
+        (LegacyBitwidthProblem, BitwidthProblem),
+    ],
+    ids=["reaching_constants", "bitwidth"],
+)
+def test_env_analyses_match_legacy(name, make_legacy, make_new):
+    """The escape-hatch env analyses (native facts only)."""
+    icfg = _benchmark_icfg(name)
+    for strategy in STRATEGIES:
+        old, new = _solve_pair(
+            icfg, make_legacy(icfg), make_new(icfg), strategy, "native"
+        )
+        _assert_identical(old, new, (name, strategy))
+
+
+def test_need_matches_legacy():
+    """The backward-slice demand problem: legacy closure class vs the
+    parameterized NEED_SPEC (explicit backends — see module docstring)."""
+    for name in BENCH_NAMES:
+        spec = BENCHMARKS[name]
+        icfg = _benchmark_icfg(name)
+        criterion = min(
+            nid
+            for nid, node in icfg.graph.nodes.items()
+            if isinstance(node, AssignNode)
+        )
+        node = icfg.graph.node(criterion)
+        from repro.analyses.defuse import use_qnames
+
+        seeds = use_qnames(node.value, icfg.symtab, node.proc)
+        if not seeds:
+            continue
+        legacy = legacy_need_problem(icfg, criterion, seeds)
+        ported = KernelProblem(
+            NEED_SPEC, icfg, gen_before={criterion: seeds}
+        )
+        old, new = _solve_pair(icfg, legacy, ported, "roundrobin", "native")
+        _assert_identical(old, new, name)
+        # Kernel hosting makes Need bitset-capable; same fixed point.
+        entry, exit_ = icfg.entry_exit(icfg.root)
+        bits = solve(
+            icfg.graph, entry, exit_,
+            KernelProblem(NEED_SPEC, icfg, gen_before={criterion: seeds}),
+            strategy="roundrobin", backend="bitset",
+        )
+        assert bits.before == old.before, name
+        assert bits.after == old.after, name
+        # backward_slice still runs the same analysis end to end.
+        sliced = backward_slice(icfg, criterion)
+        assert sliced.influence.before == old.before, name
+
+
+def test_two_copy_matches_legacy():
+    """The two-copy baseline's multi-entry solves survive the port."""
+    spec = BENCHMARKS["MG-1"]
+    two = build_two_copy(spec.program(), spec.root, clone_level=spec.clone_level)
+    result = two_copy_activity(two, spec.independents, spec.dependents)
+    merged = two.merged
+    # Re-derive the pre-qualified "::" seeds exactly as
+    # two_copy_activity does (both copies' scopes).
+    legacy_vary = LegacyVaryProblem(
+        merged, sorted(_two_copy_seeds(two, spec.independents))
+    )
+    legacy_useful = LegacyUsefulProblem(
+        merged, sorted(_two_copy_seeds(two, spec.dependents))
+    )
+    for legacy, ported in (
+        (legacy_vary, result.vary),
+        (legacy_useful, result.useful),
+    ):
+        old = solve(
+            merged.graph, two.entries, two.exits, legacy,
+            strategy="roundrobin",
+        )
+        assert ported.before == old.before
+        assert ported.after == old.after
+        assert _stats_tuple(ported.stats) == _stats_tuple(old.stats)
+
+
+def _two_copy_seeds(two, names):
+    symtab = two.merged.symtab
+    out = []
+    for copy, suffix in zip(two.copies, ("__p0", "__p1")):
+        for name in names:
+            sym = symtab.try_lookup(copy.root, name)
+            if sym is None:
+                sym = symtab.lookup(copy.root, name + suffix)
+            out.append(sym.qname)
+    return out
+
+
+@given(spmd_programs(max_segments=4))
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_generated_programs_match_legacy(prog):
+    icfg, _ = build_mpi_icfg(prog, "main")
+    for backend in ("native", "bitset"):
+        old, new = _solve_pair(
+            icfg,
+            LegacyVaryProblem(icfg, ("x",)),
+            VaryProblem(icfg, ("x",)),
+            "worklist",
+            backend,
+        )
+        _assert_identical(old, new, ("vary", backend))
+        old, new = _solve_pair(
+            icfg,
+            LegacyUsefulProblem(icfg, ("out",)),
+            UsefulProblem(icfg, ("out",)),
+            "worklist",
+            backend,
+        )
+        _assert_identical(old, new, ("useful", backend))
