@@ -17,14 +17,29 @@ come from a different box than CI — so both comparisons run on
   per strategy × backend over the whole Table 1 suite, measured
   against the frozen PR-0 solver (``benchmarks/seed_solver.py``) in
   the same process, same as ``bench_solver.py`` does.
+* **incremental** (``BENCH_incremental.json``) gates absolute speedup
+  *ratios*, which are machine-normalized by construction: on the
+  default-backend rows (``bitset``, what ``backend="auto"`` resolves
+  to for the kernel analyses) single-statement edit streams must stay
+  ≥5× faster incrementally than cold, and demand queries must visit
+  strictly fewer nodes than a cold solve on every row.  The committed
+  report is validated as recorded; the fresh guard re-runs
+  ``bench_incremental`` in smoke mode (LU-1 × bitset, ~10× margin) so
+  CI does not replay the multi-minute full matrix.  ``native`` rows
+  are recorded informationally — Sweep3d's 65-node communication SCC
+  forces a near-cold re-iteration for edits inside it, which only the
+  bitset backend's retained fact-interning amortizes past 5×.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/check_regression.py            # gate
     PYTHONPATH=src python benchmarks/check_regression.py --threshold 0.5
+    PYTHONPATH=src python benchmarks/check_regression.py --strict   # CI
 
 A missing committed baseline skips that comparison with a notice (the
-gate cannot regress against nothing).
+gate cannot regress against nothing) — except under ``--strict``,
+where a missing baseline is itself a failure, so CI notices when a
+benchmark's committed artifact silently disappears.
 """
 
 from __future__ import annotations
@@ -50,6 +65,11 @@ POOL_STARTUP_ALLOWANCE_S = 0.25
 #: Best-of repetitions for the fresh solver measurement (matches
 #: bench_solver._REPS).
 _REPS = 3
+#: Floor for incremental-vs-cold speedup on single-statement edit
+#: streams (default-backend rows only; ratios are machine-normalized).
+MIN_INCREMENTAL_SPEEDUP = 5.0
+#: The backend ``backend="auto"`` resolves to for the gated analyses.
+DEFAULT_BACKEND = "bitset"
 
 
 # ---------------------------------------------------------------------------
@@ -143,6 +163,50 @@ def compare_solver(
     return failures
 
 
+def incremental_failures(
+    report: dict,
+    min_speedup: float = MIN_INCREMENTAL_SPEEDUP,
+    label: str = "committed",
+) -> list[str]:
+    """Failure messages for one incremental report (committed or fresh).
+
+    Speedups are intra-run ratios, so they transfer across machines;
+    only default-backend rows are held to the floor (see module doc).
+    Demand queries must beat the cold solve on *visits* — a pure count,
+    immune to timing noise — on every row that records one.
+    """
+    failures = []
+    for row in report.get("benchmarks", []):
+        where = f"{row['name']}/{row['analysis']}/{row['backend']} ({label})"
+        single = row.get("streams", {}).get("single_stmt")
+        if single and row["backend"] == DEFAULT_BACKEND:
+            if single["speedup"] < min_speedup:
+                failures.append(
+                    f"incremental {where}: single_stmt speedup "
+                    f"{single['speedup']:.1f}× below the "
+                    f"{min_speedup:.0f}× floor"
+                )
+        demand = row.get("demand")
+        if demand and demand["visits"] >= demand["cold_visits"]:
+            failures.append(
+                f"incremental {where}: demand query visited "
+                f"{demand['visits']} nodes, not fewer than the cold "
+                f"solve's {demand['cold_visits']}"
+            )
+    return failures
+
+
+def compare_incremental(
+    committed: dict,
+    fresh: dict,
+    min_speedup: float = MIN_INCREMENTAL_SPEEDUP,
+) -> list[str]:
+    """Gate the committed report as recorded and the fresh smoke run."""
+    return incremental_failures(
+        committed, min_speedup, "committed"
+    ) + incremental_failures(fresh, min_speedup, "fresh")
+
+
 # ---------------------------------------------------------------------------
 # Fresh measurements.
 # ---------------------------------------------------------------------------
@@ -160,6 +224,26 @@ def fresh_pipeline(committed: dict) -> dict:
         rc = bench_pipeline.main(argv)
         if rc != 0:
             raise RuntimeError(f"bench_pipeline exited {rc}")
+        return json.loads(out.read_text())
+
+
+def fresh_incremental(committed: dict) -> dict:
+    """Re-run ``bench_incremental`` in smoke mode.
+
+    Unlike the pipeline gate, the fresh run is always the smoke
+    configuration: the full matrix replays every mutation stream with a
+    cold solve per edit (minutes of wall time), and the committed full
+    report's ratios are already validated as recorded.  The smoke row
+    (LU-1 × bitset) carries ~10× margin over the floor, so it guards the
+    code path without flaking.
+    """
+    import bench_incremental
+
+    with tempfile.TemporaryDirectory() as tmp:
+        out = pathlib.Path(tmp) / "BENCH_incremental.json"
+        rc = bench_incremental.main(["--smoke", "--out", str(out)])
+        if rc != 0:
+            raise RuntimeError(f"bench_incremental exited {rc}")
         return json.loads(out.read_text())
 
 
@@ -260,15 +344,34 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--skip-solver", action="store_true", help="skip the solver gate"
     )
+    parser.add_argument(
+        "--skip-incremental",
+        action="store_true",
+        help="skip the incremental-solver gate",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail when a committed baseline is missing (CI mode)",
+    )
     args = parser.parse_args(argv)
 
     failures: list[str] = []
     checked = 0
 
+    def _missing(name: str, gate: str) -> None:
+        if args.strict:
+            failures.append(
+                f"missing committed {name} — {gate} gate has no baseline "
+                "(run the benchmark and commit its results file)"
+            )
+        else:
+            print(f"note: no committed {name} — {gate} gate skipped")
+
     if not args.skip_pipeline:
         committed = _load(args.results_dir / "BENCH_pipeline.json")
         if committed is None:
-            print("note: no committed BENCH_pipeline.json — pipeline gate skipped")
+            _missing("BENCH_pipeline.json", "pipeline")
         else:
             fresh = fresh_pipeline(committed)
             arm_failures = compare_pipeline(committed, fresh, args.threshold)
@@ -285,7 +388,7 @@ def main(argv=None) -> int:
     if not args.skip_solver:
         committed = _load(args.results_dir / "BENCH_solver.json")
         if committed is None:
-            print("note: no committed BENCH_solver.json — solver gate skipped")
+            _missing("BENCH_solver.json", "solver")
         else:
             fresh = fresh_solver(committed)
             failures.extend(compare_solver(committed, fresh, args.threshold))
@@ -298,6 +401,32 @@ def main(argv=None) -> int:
                     f"solver   {strategy + '/' + backend:20s} "
                     f"fresh {geo[key]:6.2f}× committed {base[key]:6.2f}×"
                 )
+
+    if not args.skip_incremental:
+        committed = _load(args.results_dir / "BENCH_incremental.json")
+        if committed is None:
+            _missing("BENCH_incremental.json", "incremental")
+        else:
+            fresh = fresh_incremental(committed)
+            failures.extend(compare_incremental(committed, fresh))
+            checked += 1
+            for report, label in ((committed, "committed"), (fresh, "fresh")):
+                for row in report.get("benchmarks", []):
+                    single = row.get("streams", {}).get("single_stmt")
+                    demand = row.get("demand")
+                    if not single or not demand:
+                        continue
+                    gated = (
+                        "gated" if row["backend"] == DEFAULT_BACKEND else "info"
+                    )
+                    print(
+                        f"incremental {label:9s} "
+                        f"{row['name'] + '/' + row['analysis']:14s} "
+                        f"{row['backend']:6s} [{gated}] "
+                        f"single_stmt {single['speedup']:5.1f}× "
+                        f"demand {demand['visits']}/{demand['cold_visits']} "
+                        "visits"
+                    )
 
     if failures:
         print()

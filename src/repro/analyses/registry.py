@@ -26,22 +26,24 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Tuple
 
 from ..cfg.icfg import ICFG
-from ..dataflow.framework import DataflowResult, Direction
-from ..dataflow.kernel import AnalysisSpec
+from ..dataflow.framework import DataflowResult, Direction, QueryResult
+from ..dataflow.incremental import solve_query
+from ..dataflow.kernel import AnalysisSpec, DataFlowProblem
 from .activity import ActivityResult, activity_analysis
 from .bitwidth import bitwidth_analysis
-from .liveness import LIVENESS_SPEC, liveness_analysis
+from .liveness import LIVENESS_SPEC, LivenessProblem, liveness_analysis
 from .mpi_model import MpiModel
 from .reaching_constants import reaching_constants
 from .reaching_defs import (
     ENTRY_DEF,
     REACHING_DEFS_SPEC,
+    ReachingDefsProblem,
     reaching_defs_analysis,
 )
 from .slicing import NEED_SPEC
-from .taint import TAINT_SPEC, taint_analysis
-from .useful import USEFUL_SPEC, useful_analysis
-from .vary import VARY_SPEC, vary_analysis
+from .taint import TAINT_SPEC, TaintProblem, taint_analysis
+from .useful import USEFUL_SPEC, UsefulProblem, useful_analysis
+from .vary import VARY_SPEC, VaryProblem, vary_analysis
 
 __all__ = [
     "AnalysisEntry",
@@ -52,9 +54,12 @@ __all__ = [
     "explainable_names",
     "get",
     "names",
+    "parse_query",
     "registered_specs",
     "render_list",
+    "render_query",
     "run_entry",
+    "run_query",
 ]
 
 
@@ -68,6 +73,9 @@ class AnalyzeRequest:
     strategy: str = "roundrobin"
     backend: str = "auto"
     record_provenance: bool = False
+    #: Demand-driven point query, ``"NODE[:FACT]"`` — solve only the
+    #: queried node's dependency slice instead of the whole graph.
+    query: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -91,8 +99,15 @@ class AnalysisEntry:
     #: For the activity intersection's component phases: extract this
     #: phase's solved result from an :class:`ActivityResult`.
     activity_arm: Optional[Callable[[ActivityResult], DataflowResult]] = None
+    #: Builds the single kernel problem demand queries solve over;
+    #: ``None`` for composite or non-kernel analyses (no ``--query``).
+    make_problem: Optional[
+        Callable[[ICFG, AnalyzeRequest], DataFlowProblem]
+    ] = None
 
     def render_result(self, icfg: ICFG, req: AnalyzeRequest, result) -> str:
+        if req.query is not None:
+            return render_query(self, icfg, req, result)
         return self.render(self, icfg, req, result)
 
 
@@ -186,6 +201,28 @@ def _render_activity(entry, icfg, req, result: ActivityResult) -> str:
     return "\n".join(lines)
 
 
+def _problem_vary(icfg, req):
+    return VaryProblem(icfg, req.independents, req.mpi_model)
+
+
+def _problem_useful(icfg, req):
+    return UsefulProblem(icfg, req.dependents, req.mpi_model)
+
+
+def _problem_taint(icfg, req):
+    return TaintProblem(
+        icfg, boundary_seeds=req.independents, mpi_model=req.mpi_model
+    )
+
+
+def _problem_liveness(icfg, req):
+    return LivenessProblem(icfg, req.dependents)
+
+
+def _problem_reaching_defs(icfg, req):
+    return ReachingDefsProblem(icfg)
+
+
 def _run_vary(icfg, req):
     return vary_analysis(
         icfg,
@@ -273,6 +310,7 @@ _ENTRIES = (
         requires=("independents",),
         explainable=True,
         activity_arm=lambda arm: arm.vary,
+        make_problem=_problem_vary,
     ),
     AnalysisEntry(
         name="useful",
@@ -284,6 +322,7 @@ _ENTRIES = (
         requires=("dependents",),
         explainable=True,
         activity_arm=lambda arm: arm.useful,
+        make_problem=_problem_useful,
     ),
     AnalysisEntry(
         name="activity",
@@ -302,6 +341,7 @@ _ENTRIES = (
         spec=TAINT_SPEC,
         requires=("independents",),
         explainable=True,
+        make_problem=_problem_taint,
     ),
     AnalysisEntry(
         name="liveness",
@@ -312,6 +352,7 @@ _ENTRIES = (
         spec=LIVENESS_SPEC,
         supports_model=False,
         explainable=True,
+        make_problem=_problem_liveness,
     ),
     AnalysisEntry(
         name="reaching-defs",
@@ -321,6 +362,7 @@ _ENTRIES = (
         render=_render_defs,
         spec=REACHING_DEFS_SPEC,
         supports_model=False,
+        make_problem=_problem_reaching_defs,
     ),
     AnalysisEntry(
         name="reaching-constants",
@@ -405,6 +447,94 @@ def _validate_request(entry: AnalysisEntry, req: AnalyzeRequest) -> None:
 
 
 def run_entry(entry: AnalysisEntry, icfg: ICFG, req: AnalyzeRequest):
-    """Validate seeds and run ``entry`` over ``icfg``."""
+    """Validate seeds and run ``entry`` over ``icfg``.
+
+    A request carrying a ``query`` is answered demand-driven (a
+    :class:`~repro.dataflow.framework.QueryResult` over the queried
+    node's slice) instead of running the full analysis.
+    """
     _validate_request(entry, req)
+    if req.query is not None:
+        return run_query(entry, icfg, req)
     return entry.run(icfg, req)
+
+
+# ---------------------------------------------------------------------------
+# Demand-driven point queries (``repro analyze <name> --query NODE[:FACT]``).
+# ---------------------------------------------------------------------------
+
+
+def parse_query(icfg: ICFG, query: str) -> tuple[int, Optional[str]]:
+    """Split ``"NODE[:FACT]"``; NODE is a node id or ``entry``/``exit``
+    (the root routine's boundary nodes)."""
+    node_text, _, fact = query.partition(":")
+    node_text = node_text.strip()
+    entry_id, exit_id = icfg.entry_exit(icfg.root)
+    if node_text == "entry":
+        nid = entry_id
+    elif node_text == "exit":
+        nid = exit_id
+    else:
+        try:
+            nid = int(node_text)
+        except ValueError:
+            raise ValueError(
+                "--query expects NODE[:FACT] with NODE a node id or "
+                f"'entry'/'exit'; got {query!r}"
+            ) from None
+    if nid not in icfg.graph:
+        raise ValueError(f"--query names unknown node id {nid}")
+    return nid, (fact.strip() or None)
+
+
+def run_query(entry: AnalysisEntry, icfg: ICFG, req: AnalyzeRequest) -> QueryResult:
+    """Answer ``req.query`` for ``entry`` over the queried node's slice."""
+    if entry.make_problem is None:
+        raise ValueError(
+            f"analysis {entry.name!r} does not support demand queries "
+            "(not hosted on a single kernel problem)"
+        )
+    _validate_request(entry, req)
+    node, fact = parse_query(icfg, req.query)
+    g_entry, g_exit = icfg.entry_exit(icfg.root)
+    return solve_query(
+        icfg.graph,
+        g_entry,
+        g_exit,
+        entry.make_problem(icfg, req),
+        node,
+        fact,
+        backend=req.backend,
+    )
+
+
+def render_query(
+    entry: AnalysisEntry, icfg: ICFG, req: AnalyzeRequest, qr: QueryResult
+) -> str:
+    stats = qr.stats
+    node = icfg.graph.node(qr.node)
+    lines = [
+        f"analysis  : {entry.name} (demand query)",
+        f"direction : {entry.direction.name.lower()}",
+    ]
+    if entry.supports_model:
+        lines.append(f"model     : {req.mpi_model.value}")
+    lines.append(f"strategy  : {stats.strategy} (backend {stats.backend})")
+    lines.append(
+        f"slice     : {qr.slice_nodes}/{qr.total_nodes} nodes "
+        f"visits={qr.visits} transfers={stats.transfers}"
+    )
+    lines.append(f"node      : {qr.node} [{node.label()}] in {node.proc}")
+    if qr.fact is not None:
+        lines.append(
+            f"query     : {qr.fact} in IN({qr.node}) -> "
+            + ("YES" if qr.contains else "no")
+        )
+    facts = qr.in_fact
+    try:
+        rendered = sorted(facts)
+    except TypeError:  # non-set lattices render as one value
+        rendered = [facts]
+    lines.append(f"IN facts at node {qr.node} ({len(rendered)}):")
+    lines += [f"  {f}" for f in rendered]
+    return "\n".join(lines)

@@ -10,11 +10,83 @@ solver treats them specially, exactly as the paper's framework does.
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, Optional
 
 from .node import Edge, EdgeKind, Node
 
-__all__ = ["FlowGraph"]
+__all__ = ["FlowGraph", "GraphChange", "GraphChanges", "JOURNAL_CAPACITY"]
+
+#: Ring-buffer bound on the mutation journal.  Mutations beyond this
+#: many versions in the past are no longer reconstructible;
+#: :meth:`FlowGraph.changes_since` then reports ``full=True`` and
+#: incremental consumers must treat the whole graph as dirty.
+JOURNAL_CAPACITY = 4096
+
+
+@dataclass(frozen=True)
+class GraphChange:
+    """One journalled mutation (exactly one per ``version`` bump)."""
+
+    version: int
+    #: ``"add-node"`` | ``"add-edge"`` | ``"remove-edge"`` | ``"touch-node"``.
+    kind: str
+    #: Affected node ids (the node itself, or both edge endpoints).
+    nodes: tuple[int, ...]
+    #: The edge, for edge mutations.
+    edge: Optional[Edge] = None
+
+
+@dataclass(frozen=True)
+class GraphChanges:
+    """Accumulated difference between two graph versions.
+
+    ``full=True`` is the "journal too old" sentinel: the requested base
+    version predates the ring buffer, so the precise change set is
+    unknown and everything must be considered dirty.
+    """
+
+    full: bool = False
+    entries: tuple[GraphChange, ...] = field(default=())
+
+    @property
+    def empty(self) -> bool:
+        return not self.full and not self.entries
+
+    @property
+    def touched_nodes(self) -> frozenset[int]:
+        """Every node id a change touched (edge endpoints included)."""
+        return frozenset(n for e in self.entries for n in e.nodes)
+
+    @property
+    def payload_nodes(self) -> frozenset[int]:
+        """Nodes whose *payload* was edited in place (``touch_node``)."""
+        return frozenset(
+            n for e in self.entries if e.kind == "touch-node" for n in e.nodes
+        )
+
+    @property
+    def added_nodes(self) -> tuple[int, ...]:
+        return tuple(
+            n for e in self.entries if e.kind == "add-node" for n in e.nodes
+        )
+
+    @property
+    def added_edges(self) -> tuple[Edge, ...]:
+        return tuple(e.edge for e in self.entries if e.kind == "add-edge")
+
+    @property
+    def removed_edges(self) -> tuple[Edge, ...]:
+        return tuple(e.edge for e in self.entries if e.kind == "remove-edge")
+
+    @property
+    def additive_only(self) -> bool:
+        """True when every change only *adds* structure (no edge removal,
+        no in-place payload edit) — the monotone case an incremental
+        solver may warm-start from retained facts."""
+        return not self.full and all(
+            e.kind in ("add-node", "add-edge") for e in self.entries
+        )
 
 
 class FlowGraph:
@@ -36,6 +108,10 @@ class FlowGraph:
         #: Mutation counter; external caches (solver adjacency views,
         #: reverse postorders) are stamped with it and rebuilt when stale.
         self._version = 0
+        #: Change journal: exactly one :class:`GraphChange` per version
+        #: bump, bounded by :data:`JOURNAL_CAPACITY` (see
+        #: :meth:`changes_since`).
+        self._journal: deque[GraphChange] = deque(maxlen=JOURNAL_CAPACITY)
         self._rpo_cache: dict[tuple[int, ...], tuple[int, list[int]]] = {}
 
     # -- construction -----------------------------------------------------
@@ -47,6 +123,9 @@ class FlowGraph:
         self._succs[node.id] = []
         self._preds[node.id] = []
         self._version += 1
+        self._journal.append(
+            GraphChange(self._version, "add-node", (node.id,))
+        )
         return node
 
     def add_edge(
@@ -66,6 +145,9 @@ class FlowGraph:
         self._succs[src].append(edge)
         self._preds[dst].append(edge)
         self._invalidate_adjacency(src, dst)
+        self._journal.append(
+            GraphChange(self._version, "add-edge", (src, dst), edge)
+        )
         return edge
 
     def remove_edge(self, edge: Edge) -> None:
@@ -73,6 +155,47 @@ class FlowGraph:
         self._preds[edge.dst].remove(edge)
         self._edge_keys.discard((edge.src, edge.dst, edge.kind, edge.label))
         self._invalidate_adjacency(edge.src, edge.dst)
+        self._journal.append(
+            GraphChange(self._version, "remove-edge", (edge.src, edge.dst), edge)
+        )
+
+    def touch_node(self, node_id: int) -> None:
+        """Record an in-place payload edit of ``node_id``.
+
+        Node payloads (an :class:`~repro.cfg.node.AssignNode`'s value
+        expression, a branch condition, ...) are mutable; editing one
+        changes transfer functions without changing adjacency.  Callers
+        must report such edits here so the mutation counter — and every
+        version-stamped cache and incremental solver hanging off it —
+        sees the change.
+        """
+        if node_id not in self.nodes:
+            raise KeyError(f"unknown node id {node_id}")
+        self._version += 1
+        self._journal.append(
+            GraphChange(self._version, "touch-node", (node_id,))
+        )
+
+    def changes_since(self, version: int) -> GraphChanges:
+        """The journalled mutations after ``version``, oldest first.
+
+        Returns an empty :class:`GraphChanges` when the graph is still
+        at ``version``, and the ``full=True`` sentinel when ``version``
+        is older than the journal's ring buffer remembers (every bump
+        appends exactly one entry, so coverage is checkable as a plain
+        count).  Asking about a future version is a caller bug.
+        """
+        if version > self._version:
+            raise ValueError(
+                f"changes_since({version}): graph is at version {self._version}"
+            )
+        missing = self._version - version
+        if missing == 0:
+            return GraphChanges()
+        if missing > len(self._journal):
+            return GraphChanges(full=True)
+        entries = tuple(self._journal)[-missing:]
+        return GraphChanges(entries=entries)
 
     def _invalidate_adjacency(self, src: int, dst: int) -> None:
         self._flow_out_cache.pop(src, None)

@@ -134,6 +134,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         help="solver fact backend (default: %(default)s)",
     )
+    p.add_argument(
+        "--query",
+        metavar="NODE[:FACT]",
+        help="demand-driven point query: solve only the dependency "
+        "slice of NODE (a node id, or 'entry'/'exit' of the root "
+        "routine); with :FACT, answer whether that atom is in IN(NODE)",
+    )
 
     p = sub.add_parser("constants", help="reaching constants at MPI operations")
     _add_common(p)
@@ -394,6 +401,7 @@ def _cmd_analyze(args) -> int:
         mpi_model=model,
         strategy=args.strategy,
         backend=args.backend,
+        query=args.query,
     )
     result = registry.run_entry(entry, icfg, req)
     print(entry.render_result(icfg, req, result))

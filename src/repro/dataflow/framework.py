@@ -38,7 +38,13 @@ from ..cfg.node import Edge, Node
 from ..obs.convergence import ConvergenceTrace
 from ..obs.provenance import ProvenanceTrace
 
-__all__ = ["Direction", "DataFlowProblem", "DataflowResult", "SolverStats"]
+__all__ = [
+    "Direction",
+    "DataFlowProblem",
+    "DataflowResult",
+    "QueryResult",
+    "SolverStats",
+]
 
 F = TypeVar("F")  # node fact
 C = TypeVar("C")  # communication value
@@ -203,3 +209,42 @@ class DataflowResult(Generic[F]):
     # Convenience aliases matching the paper's notation.
     IN = in_fact
     OUT = out_fact
+
+
+@dataclass
+class QueryResult(Generic[F]):
+    """Answer to one demand-driven point query (see
+    :func:`repro.dataflow.incremental.solve_query`).
+
+    Facts are solved only over the queried node's dependency slice —
+    the upstream region of the ICFG (downstream in program order for
+    backward analyses) including matched communication edges — so
+    ``slice_nodes``/``visits`` measure how much smaller than a cold
+    whole-graph solve the query was.  The facts themselves equal the
+    full fixed point's at this node.
+    """
+
+    problem_name: str
+    direction: Direction
+    node: int
+    #: Solver-orientation facts at ``node`` (native representation).
+    before: F
+    after: F
+    #: The queried atom and its membership verdict against the node's
+    #: program-order IN fact; both ``None`` for whole-fact queries.
+    fact: Optional[object] = None
+    contains: Optional[bool] = None
+    slice_nodes: int = 0
+    total_nodes: int = 0
+    visits: int = 0
+    stats: Optional[SolverStats] = None
+
+    @property
+    def in_fact(self) -> F:
+        """Program-order IN set of the queried node."""
+        return self.before if self.direction is Direction.FORWARD else self.after
+
+    @property
+    def out_fact(self) -> F:
+        """Program-order OUT set of the queried node."""
+        return self.after if self.direction is Direction.FORWARD else self.before

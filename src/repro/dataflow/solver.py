@@ -169,6 +169,7 @@ class _Engine:
         problem: DataFlowProblem,
         recorder: Optional[ConvergenceRecorder] = None,
         provenance: Optional[ProvenanceRecorder] = None,
+        view: Optional[_GraphView] = None,
     ):
         self.graph = graph
         #: Opt-in convergence provenance; the hot loop pays one
@@ -194,8 +195,11 @@ class _Engine:
         self.meets = 0
         self.transfers = 0
         self.comm_requeues = 0
-        # -- direction-split adjacency (cached per graph version) ----------
-        view = _graph_view(graph, forward)
+        # -- direction-split adjacency (cached per graph version); an
+        # injected view lets the incremental solver keep a privately
+        # patched snapshot alive across graph mutations.
+        if view is None:
+            view = _graph_view(graph, forward)
         self.view = view
         self.upstream = view.upstream
         self.flow_upstream = view.flow_upstream

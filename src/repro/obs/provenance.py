@@ -58,12 +58,47 @@ __all__ = [
     "explain",
     "explain_activity",
     "render_chain",
+    "upstream_closure",
 ]
 
 #: Safety bound on derivation-chain length (a chain hop always moves
 #: strictly backwards in event order, so this only guards pathological
 #: hand-built traces).
 MAX_CHAIN_STEPS = 10_000
+
+
+def upstream_closure(
+    upstream: dict[int, tuple],
+    comm_upstream: Optional[dict[int, tuple]],
+    roots,
+) -> set[int]:
+    """Transitive closure over the earliest-introduction walk's adjacency.
+
+    The derivation walk (:meth:`ProvenanceTrace.explain`) steps
+    backwards along the solver's ``upstream`` ``(edge, neighbour)``
+    pairs and ``comm_upstream`` communication sources; this is the same
+    traversal run to saturation — the set of nodes whose facts the
+    roots' facts can depend on.  Demand-driven queries
+    (:func:`repro.dataflow.incremental.solve_query`) use it as their
+    slice: solving only this region reproduces the full fixed point at
+    the roots.  Pass ``comm_upstream=None`` for problems that do not
+    propagate over COMM edges.
+    """
+    seen: set[int] = set()
+    stack = list(roots)
+    while stack:
+        nid = stack.pop()
+        if nid in seen:
+            continue
+        seen.add(nid)
+        for _, neighbour in upstream.get(nid, ()):
+            if neighbour not in seen:
+                stack.append(neighbour)
+        if comm_upstream:
+            for source in comm_upstream.get(nid, ()):
+                if source not in seen:
+                    stack.append(source)
+    return seen
 
 
 @dataclass(frozen=True)

@@ -191,6 +191,7 @@ def analysis_key(name: str, program: Program, icfg: ICFG, req) -> tuple:
         req.strategy,
         req.backend,
         req.record_provenance,
+        getattr(req, "query", None),
         icfg.graph.version,
     )
 

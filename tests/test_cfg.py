@@ -224,3 +224,79 @@ class TestGraphContainer:
         assert order.index(0) < order.index(1)
         assert order.index(2) < order.index(3)
         assert sorted(order) == [0, 1, 2, 3]
+
+
+class TestChangeJournal:
+    def _graph(self, n=3):
+        from repro.cfg import FlowGraph, NoopNode
+
+        g = FlowGraph()
+        for i in range(n):
+            g.add_node(NoopNode(i, "p"))
+        return g
+
+    def test_unchanged_graph_reports_empty(self):
+        g = self._graph()
+        base = g.version
+        changes = g.changes_since(base)
+        assert changes.empty
+        assert not changes.full
+        assert changes.entries == ()
+
+    def test_entry_kinds_and_derived_sets(self):
+        g = self._graph()
+        base = g.version
+        e = g.add_edge(0, 1)
+        g.touch_node(2)
+        g.remove_edge(e)
+        changes = g.changes_since(base)
+        assert [c.kind for c in changes.entries] == [
+            "add-edge", "touch-node", "remove-edge",
+        ]
+        assert changes.touched_nodes == {0, 1, 2}
+        assert changes.payload_nodes == {2}
+        assert changes.added_edges == (e,)
+        assert changes.removed_edges == (e,)
+        assert not changes.additive_only
+
+    def test_additive_only_changes(self):
+        from repro.cfg import NoopNode
+
+        g = self._graph()
+        base = g.version
+        g.add_node(NoopNode(3, "p"))
+        g.add_edge(0, 3)
+        changes = g.changes_since(base)
+        assert changes.additive_only
+        assert changes.added_nodes == (3,)
+        g.touch_node(3)
+        assert not g.changes_since(base).additive_only
+
+    def test_idempotent_add_edge_journals_nothing(self):
+        g = self._graph()
+        g.add_edge(0, 1)
+        base = g.version
+        g.add_edge(0, 1)  # dedup: no version bump, no journal entry
+        assert g.version == base
+        assert g.changes_since(base).empty
+
+    def test_future_version_raises(self):
+        g = self._graph()
+        with pytest.raises(ValueError):
+            g.changes_since(g.version + 1)
+
+    def test_overflow_reports_full_dirty(self):
+        from repro.cfg.graph import JOURNAL_CAPACITY
+
+        g = self._graph(1)
+        base = g.version
+        for _ in range(JOURNAL_CAPACITY):
+            g.touch_node(0)
+        exact = g.changes_since(base)  # exactly at capacity: still precise
+        assert not exact.full
+        assert len(exact.entries) == JOURNAL_CAPACITY
+        g.touch_node(0)  # one past: the base version fell off the ring
+        overflowed = g.changes_since(base)
+        assert overflowed.full
+        assert not overflowed.empty
+        assert g.changes_since(base + 1).entries  # newer bases stay precise

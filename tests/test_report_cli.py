@@ -201,3 +201,46 @@ class TestRegressionGate:
     def test_geomean(self, gate):
         assert gate.geomean([2.0, 8.0]) == pytest.approx(4.0)
         assert gate.geomean([]) == 0.0
+
+    def _incremental_report(self, speedup, backend="bitset", visits=10,
+                            cold_visits=100):
+        return {
+            "benchmarks": [
+                {
+                    "name": "LU-1",
+                    "analysis": "vary",
+                    "backend": backend,
+                    "streams": {"single_stmt": {"speedup": speedup}},
+                    "demand": {"visits": visits, "cold_visits": cold_visits},
+                }
+            ]
+        }
+
+    def test_incremental_passes_above_floor(self, gate):
+        committed = self._incremental_report(6.0)
+        fresh = self._incremental_report(11.0)
+        assert gate.compare_incremental(committed, fresh) == []
+
+    def test_incremental_fails_below_floor(self, gate):
+        committed = self._incremental_report(6.0)
+        fresh = self._incremental_report(3.0)
+        failures = gate.compare_incremental(committed, fresh)
+        assert len(failures) == 1
+        assert "fresh" in failures[0] and "3.0×" in failures[0]
+
+    def test_incremental_native_rows_are_informational(self, gate):
+        slow_native = self._incremental_report(1.5, backend="native")
+        assert gate.incremental_failures(slow_native) == []
+
+    def test_incremental_demand_must_beat_cold_visits(self, gate):
+        report = self._incremental_report(9.0, visits=100, cold_visits=100)
+        failures = gate.incremental_failures(report)
+        assert len(failures) == 1
+        assert "demand" in failures[0]
+
+    def test_strict_mode_fails_on_missing_baseline(self, gate, tmp_path):
+        empty = tmp_path / "results"
+        empty.mkdir()
+        argv = ["--results-dir", str(empty)]
+        assert gate.main(argv) == 0
+        assert gate.main(argv + ["--strict"]) == 1
