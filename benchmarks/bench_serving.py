@@ -1,0 +1,492 @@
+"""Serving-layer load benchmark: latency, throughput, cache/dedup rates.
+
+Starts one :class:`repro.serving.AnalysisServer` (inline worker mode —
+right-sized for 1-CPU CI boxes) and drives it with a fleet of
+concurrent simulated clients over real sockets.  The traffic mix is
+interactive-shaped:
+
+* **repeat** requests draw from a small hot catalog of
+  (benchmark, analysis) shapes under a zipf-ish popularity skew — the
+  dashboard-refresh traffic the LRU and warm workers exist for;
+* **novel** requests post a freshly mutated inline SPL source (a new
+  SHA-256 identity, so a guaranteed cold solve) — the editor-traffic
+  cold path;
+* **mutation** requests re-post a previously seen mutated source —
+  warm for the server, cold for any per-request system.
+
+Reported per run: p50/p99/mean latency, requests/s, LRU hit rate,
+dedup ratio, and the **warm speedup** — the per-request cold solve
+time (direct :func:`repro.analyses.registry.run_entry`, graph build
+included, no serving machinery) divided by the p50 latency of
+LRU-hit responses.  The full run asserts warm speedup ≥ 20× and
+samples responses for byte-identity against direct rendering; both are
+correctness gates, not just numbers.
+
+Writes ``benchmarks/results/BENCH_serving.json`` (gated by
+``check_regression.py`` on the machine-independent figures)::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke
+    # against an externally started `repro serve` (CI smoke step):
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke --url http://127.0.0.1:8722
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import pathlib
+import random
+import statistics
+import sys
+import threading
+import time
+
+if __name__ == "__main__":  # allow running without PYTHONPATH=src
+    _SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+    if str(_SRC) not in sys.path:
+        sys.path.insert(0, str(_SRC))
+
+from repro.analyses import registry as reg
+from repro.analyses.mpi_model import MpiModel
+from repro.mpi import build_mpi_icfg
+from repro.programs import figure1
+from repro.programs.registry import BENCHMARKS
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+#: The hot request catalog, most popular first (zipf-ish weights).
+HOT_SHAPES = [
+    ("Sw-3", "vary"),
+    ("Sw-3", "useful"),
+    ("LU-1", "vary"),
+    ("Sw-3", "taint"),
+    ("LU-1", "useful"),
+    ("SOR", "vary"),
+    ("Sw-3", "liveness"),
+    ("Biostat", "vary"),
+]
+
+#: Warm-speedup floor asserted by the full run.
+TARGET_WARM_SPEEDUP = 20.0
+
+
+# ---------------------------------------------------------------------------
+# Direct (serving-free) execution: the cold baseline and identity oracle.
+# ---------------------------------------------------------------------------
+
+
+def direct_analyze_text(bench: str, analysis: str) -> str:
+    """Render one analysis exactly as ``repro analyze --bench`` would,
+    building everything from scratch — one per-request cold solve."""
+    spec = BENCHMARKS[bench]
+    entry = reg.get(analysis)
+    req = reg.AnalyzeRequest(
+        independents=tuple(spec.independents),
+        dependents=tuple(spec.dependents),
+        mpi_model=MpiModel("comm-edges"),
+    )
+    icfg, _ = build_mpi_icfg(spec.program(), spec.root, clone_level=spec.clone_level)
+    return entry.render_result(icfg, req, reg.run_entry(entry, icfg, req))
+
+
+def cold_baseline_ms(shapes, reps: int) -> dict:
+    """Best-of-``reps`` cold per-request time for every hot shape."""
+    per_shape = {}
+    for bench, analysis in shapes:
+        times = []
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            direct_analyze_text(bench, analysis)
+            times.append((time.perf_counter() - t0) * 1000.0)
+        per_shape[f"{bench}/{analysis}"] = min(times)
+    values = sorted(per_shape.values())
+    return {
+        "per_shape_ms": per_shape,
+        "p50_ms": statistics.median(values),
+        "mean_ms": statistics.fmean(values),
+    }
+
+
+# ---------------------------------------------------------------------------
+# A minimal asyncio HTTP/1.1 client (keep-alive, one connection each).
+# ---------------------------------------------------------------------------
+
+
+class LoadClient:
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self.reader = None
+        self.writer = None
+
+    async def connect(self) -> None:
+        self.reader, self.writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def close(self) -> None:
+        if self.writer is not None:
+            self.writer.close()
+            try:
+                await self.writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def post(self, path: str, payload: dict) -> tuple[int, str, str]:
+        """``(status, x_cache, body_text)`` for one POST."""
+        body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"POST {path} HTTP/1.1\r\n"
+            f"Host: {self.host}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n"
+        ).encode("latin-1")
+        self.writer.write(head + body)
+        await self.writer.drain()
+        raw = await self.reader.readuntil(b"\r\n\r\n")
+        lines = raw.decode("latin-1").split("\r\n")
+        status = int(lines[0].split(" ", 2)[1])
+        headers = {}
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            if _:
+                headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        text = (await self.reader.readexactly(length)).decode("utf-8")
+        return status, headers.get("x-cache", ""), text
+
+
+# ---------------------------------------------------------------------------
+# Traffic generation.
+# ---------------------------------------------------------------------------
+
+
+def mutated_source(variant: int) -> str:
+    """figure1 with one literal swapped — a distinct program identity
+    per variant (the editor-mutation traffic)."""
+    return figure1.SOURCE_LITERAL.replace("z = 2.0;", f"z = {2 + variant}.0;")
+
+
+def build_schedule(rng: random.Random, total: int, shapes) -> list[dict]:
+    """``total`` request bodies: ~80% zipf-skewed repeats over the hot
+    catalog, ~10% novel mutated sources, ~10% re-posts of mutations."""
+    weights = [1.0 / (rank + 1) ** 1.1 for rank in range(len(shapes))]
+    schedule = []
+    seen_variants = []
+    next_variant = 0
+    for _ in range(total):
+        roll = rng.random()
+        if roll < 0.8 or (roll < 0.9 and not seen_variants):
+            bench, analysis = rng.choices(shapes, weights=weights)[0]
+            schedule.append({"analysis": analysis, "bench": bench})
+        elif roll < 0.9:
+            variant = rng.choice(seen_variants)
+            schedule.append(
+                {
+                    "analysis": "vary",
+                    "source": mutated_source(variant),
+                    "independents": ["x"],
+                    "dependents": ["f"],
+                }
+            )
+        else:
+            variant = next_variant
+            next_variant += 1
+            seen_variants.append(variant)
+            schedule.append(
+                {
+                    "analysis": "vary",
+                    "source": mutated_source(variant),
+                    "independents": ["x"],
+                    "dependents": ["f"],
+                }
+            )
+    return schedule
+
+
+async def run_load(
+    host: str, port: int, n_clients: int, per_client: int, seed: int, shapes
+) -> dict:
+    """Fire ``n_clients`` concurrent keep-alive clients, ``per_client``
+    requests each; returns latencies (by cache disposition) and wall
+    time."""
+    rng = random.Random(seed)
+    schedule = build_schedule(rng, n_clients * per_client, shapes)
+    samples: list[tuple[float, str, int]] = []
+
+    retries = 0
+
+    async def client(idx: int) -> None:
+        nonlocal retries
+        conn = LoadClient(host, port)
+        await conn.connect()
+        try:
+            for r in range(per_client):
+                payload = schedule[idx * per_client + r]
+                t0 = time.perf_counter()
+                # A well-behaved client backs off and retries on 503
+                # (the server sheds load instead of buffering).
+                for attempt in range(50):
+                    status, cache, _text = await conn.post(
+                        "/v1/analyze", payload
+                    )
+                    if status != 503:
+                        break
+                    retries += 1
+                    await asyncio.sleep(0.005 * (attempt + 1))
+                latency_ms = (time.perf_counter() - t0) * 1000.0
+                samples.append((latency_ms, cache, status))
+        finally:
+            await conn.close()
+
+    t0 = time.perf_counter()
+    await asyncio.gather(*[client(i) for i in range(n_clients)])
+    wall_s = time.perf_counter() - t0
+    return {"samples": samples, "wall_s": wall_s, "retries_503": retries}
+
+
+async def measure_warm_latency(
+    host: str, port: int, shapes, reps: int
+) -> dict:
+    """Closed-loop warm-path latency: one client, sequential repeat
+    requests over the hot catalog (all LRU hits after the load phase) —
+    the fast path without queueing effects."""
+    conn = LoadClient(host, port)
+    await conn.connect()
+    latencies = []
+    try:
+        for i in range(reps):
+            bench, analysis = shapes[i % len(shapes)]
+            t0 = time.perf_counter()
+            status, cache, _text = await conn.post(
+                "/v1/analyze", {"analysis": analysis, "bench": bench}
+            )
+            latency_ms = (time.perf_counter() - t0) * 1000.0
+            if status == 200 and cache == "hit":
+                latencies.append(latency_ms)
+    finally:
+        await conn.close()
+    return {
+        "samples": len(latencies),
+        "p50_ms": _percentile(latencies, 0.50),
+        "p99_ms": _percentile(latencies, 0.99),
+    }
+
+
+def _percentile(values: list[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    idx = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[idx]
+
+
+def summarise(load: dict) -> dict:
+    samples = load["samples"]
+    lat = [s[0] for s in samples]
+    ok = sum(1 for s in samples if s[2] == 200)
+    by_cache: dict[str, list[float]] = {}
+    for latency_ms, cache, _status in samples:
+        by_cache.setdefault(cache or "none", []).append(latency_ms)
+    out = {
+        "requests": len(samples),
+        "ok": ok,
+        "errors": len(samples) - ok,
+        "retries_503": load["retries_503"],
+        "wall_s": load["wall_s"],
+        "requests_per_s": len(samples) / load["wall_s"] if load["wall_s"] else 0.0,
+        "latency_ms": {
+            "p50": _percentile(lat, 0.50),
+            "p99": _percentile(lat, 0.99),
+            "mean": statistics.fmean(lat) if lat else 0.0,
+        },
+        "by_cache": {
+            name: {
+                "count": len(values),
+                "p50_ms": _percentile(values, 0.50),
+                "p99_ms": _percentile(values, 0.99),
+            }
+            for name, values in sorted(by_cache.items())
+        },
+    }
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Orchestration.
+# ---------------------------------------------------------------------------
+
+
+def start_local_server(warm) -> tuple[object, str, int, threading.Thread]:
+    from repro.serving import AnalysisServer
+
+    started = threading.Event()
+    box = {}
+
+    def run() -> None:
+        async def main() -> None:
+            server = AnalysisServer(port=0, workers=0, warm=list(warm))
+            await server.start()
+            box["server"] = server
+            started.set()
+            await server.serve_until_shutdown()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    if not started.wait(timeout=300):
+        raise RuntimeError("analysis server failed to start")
+    server = box["server"]
+    return server, server.host, server.port, thread
+
+
+def stop_local_server(host: str, port: int, thread: threading.Thread) -> None:
+    from repro.serving import ServeClient
+
+    with ServeClient(host=host, port=port) as client:
+        client.shutdown()
+    thread.join(timeout=60)
+    if thread.is_alive():
+        raise RuntimeError("analysis server did not shut down cleanly")
+
+
+def fetch_stats(host: str, port: int) -> dict:
+    from repro.serving import ServeClient
+
+    with ServeClient(host=host, port=port) as client:
+        return client.stats()
+
+
+def check_byte_identity(host: str, port: int, shapes) -> int:
+    """Sample served responses against direct rendering; returns the
+    number of shapes checked (raises on any mismatch)."""
+    from repro.serving import ServeClient
+
+    with ServeClient(host=host, port=port) as client:
+        for bench, analysis in shapes:
+            served = client.analyze(analysis=analysis, bench=bench)
+            direct = direct_analyze_text(bench, analysis)
+            if served != direct:
+                raise AssertionError(
+                    f"served {bench}/{analysis} is not byte-identical to "
+                    "direct run_entry rendering"
+                )
+    return len(shapes)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small fleet, no warm-speedup assertion (CI smoke)",
+    )
+    parser.add_argument(
+        "--url",
+        metavar="URL",
+        help="drive an already-running server (http://host:port) "
+        "instead of starting one in-process",
+    )
+    parser.add_argument("--clients", type=int, default=None, metavar="N")
+    parser.add_argument("--requests", type=int, default=None, metavar="N")
+    parser.add_argument("--seed", type=int, default=20060814)
+    parser.add_argument(
+        "--out",
+        default=str(RESULTS_DIR / "BENCH_serving.json"),
+        help="output JSON path (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    n_clients = args.clients or (40 if args.smoke else 1024)
+    per_client = args.requests or (2 if args.smoke else 4)
+    shapes = HOT_SHAPES[:3] if args.smoke else HOT_SHAPES
+    warm = sorted({bench for bench, _ in shapes})
+
+    external = args.url is not None
+    if external:
+        stripped = args.url.split("//", 1)[-1].rstrip("/")
+        host, _, port_text = stripped.partition(":")
+        host, port = host or "127.0.0.1", int(port_text or 80)
+        server = thread = None
+    else:
+        print(f"starting inline server (warm: {', '.join(warm)}) ...")
+        server, host, port, thread = start_local_server(warm)
+
+    print("measuring per-request cold baseline ...")
+    cold = cold_baseline_ms(shapes, reps=2 if args.smoke else 3)
+    print(f"  cold p50 {cold['p50_ms']:.2f} ms over {len(shapes)} shapes")
+
+    print(
+        f"load: {n_clients} clients x {per_client} requests "
+        f"({n_clients * per_client} total) ..."
+    )
+    load = asyncio.run(
+        run_load(host, port, n_clients, per_client, args.seed, shapes)
+    )
+    summary = summarise(load)
+    print(
+        f"  {summary['requests']} requests in {summary['wall_s']:.2f}s "
+        f"({summary['requests_per_s']:.0f} req/s), "
+        f"p50 {summary['latency_ms']['p50']:.2f} ms, "
+        f"p99 {summary['latency_ms']['p99']:.2f} ms"
+    )
+
+    warm = asyncio.run(
+        measure_warm_latency(host, port, shapes, reps=20 if args.smoke else 200)
+    )
+    identity_checked = check_byte_identity(host, port, shapes)
+    stats = fetch_stats(host, port)
+    if not external and server is not None:
+        stop_local_server(host, port, thread)
+
+    hit_rate = stats["lru"]["hit_rate"]
+    dedup_ratio = stats["dedup"]["dedup_ratio"]
+    warm_p50 = warm["p50_ms"]
+    warm_speedup = (cold["p50_ms"] / warm_p50) if warm_p50 else 0.0
+    print(
+        f"  LRU hit rate {hit_rate:.1%}, dedup ratio {dedup_ratio:.1%}, "
+        f"warm p50 {warm_p50:.3f} ms -> {warm_speedup:.0f}x vs cold"
+    )
+
+    if summary["errors"]:
+        raise AssertionError(f"{summary['errors']} non-200 responses")
+    if warm["samples"] == 0 or hit_rate <= 0.0:
+        raise AssertionError("repeat-heavy load produced no LRU hits")
+    if not args.smoke and warm_speedup < TARGET_WARM_SPEEDUP:
+        raise AssertionError(
+            f"warm p50 speedup {warm_speedup:.1f}x below the "
+            f"{TARGET_WARM_SPEEDUP:.0f}x target"
+        )
+
+    result = {
+        "suite": "serving",
+        "mode": "smoke" if args.smoke else "full",
+        "external_server": external,
+        "clients": n_clients,
+        "requests_per_client": per_client,
+        "seed": args.seed,
+        "hot_shapes": [f"{b}/{a}" for b, a in shapes],
+        "cold_baseline": cold,
+        "load": summary,
+        "warm_latency": warm,
+        "warm_p50_ms": warm_p50,
+        "warm_speedup": warm_speedup,
+        "target_warm_speedup": TARGET_WARM_SPEEDUP,
+        "target_met": warm_speedup >= TARGET_WARM_SPEEDUP,
+        "byte_identity_shapes": identity_checked,
+        "hit_rate": hit_rate,
+        "dedup_ratio": dedup_ratio,
+        "server_stats": stats,
+    }
+    out = pathlib.Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

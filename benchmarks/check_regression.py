@@ -30,6 +30,15 @@ come from a different box than CI — so both comparisons run on
   forces a near-cold re-iteration for edits inside it, which only the
   bitset backend's retained fact-interning amortizes past 5×.
 
+* **serving** (``BENCH_serving.json``) gates the committed serving
+  report on its machine-independent figures only: LRU hit rate and
+  dedup ratio under the recorded repeat-heavy load mix, zero non-200
+  responses, at least one byte-identity sample, and the recorded
+  warm-speedup target having been met.  Wall-clock latency and req/s
+  are informational — the live code path is exercised by the CI
+  serve-smoke step (``bench_serving.py --smoke --url ...`` against a
+  real ``repro serve`` process), not re-timed here.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/check_regression.py            # gate
@@ -70,6 +79,11 @@ _REPS = 3
 MIN_INCREMENTAL_SPEEDUP = 5.0
 #: The backend ``backend="auto"`` resolves to for the gated analyses.
 DEFAULT_BACKEND = "bitset"
+#: Floors for the serving report's machine-independent cache figures.
+#: The committed full run records ~0.70 hit rate / ~0.35 dedup ratio;
+#: the floors leave room for mix jitter, not for a broken cache tier.
+MIN_SERVING_HIT_RATE = 0.40
+MIN_SERVING_DEDUP_RATIO = 0.02
 
 
 # ---------------------------------------------------------------------------
@@ -193,6 +207,47 @@ def incremental_failures(
                 f"{demand['visits']} nodes, not fewer than the cold "
                 f"solve's {demand['cold_visits']}"
             )
+    return failures
+
+
+def serving_failures(
+    report: dict,
+    min_hit_rate: float = MIN_SERVING_HIT_RATE,
+    min_dedup_ratio: float = MIN_SERVING_DEDUP_RATIO,
+    label: str = "committed",
+) -> list[str]:
+    """Failure messages for one serving report.
+
+    Only machine-independent figures are gated: cache and dedup rates
+    are properties of the request mix and the serving logic, not of the
+    box that ran the load.  Smoke-mode reports skip the dedup floor
+    (too few concurrent identical arrivals to be meaningful).
+    """
+    failures = []
+    where = f"serving ({label})"
+    hit_rate = report.get("hit_rate", 0.0)
+    if hit_rate < min_hit_rate:
+        failures.append(
+            f"{where}: LRU hit rate {hit_rate:.1%} below the "
+            f"{min_hit_rate:.0%} floor"
+        )
+    dedup = report.get("dedup_ratio", 0.0)
+    if report.get("mode") == "full" and dedup < min_dedup_ratio:
+        failures.append(
+            f"{where}: dedup ratio {dedup:.1%} below the "
+            f"{min_dedup_ratio:.0%} floor"
+        )
+    errors = report.get("load", {}).get("errors", 0)
+    if errors:
+        failures.append(f"{where}: {errors} non-200 responses under load")
+    if not report.get("byte_identity_shapes"):
+        failures.append(f"{where}: no byte-identity samples recorded")
+    if report.get("mode") == "full" and not report.get("target_met"):
+        failures.append(
+            f"{where}: warm speedup {report.get('warm_speedup', 0.0):.1f}× "
+            f"did not meet the recorded "
+            f"{report.get('target_warm_speedup', 0.0):.0f}× target"
+        )
     return failures
 
 
@@ -350,6 +405,9 @@ def main(argv=None) -> int:
         help="skip the incremental-solver gate",
     )
     parser.add_argument(
+        "--skip-serving", action="store_true", help="skip the serving gate"
+    )
+    parser.add_argument(
         "--strict",
         action="store_true",
         help="fail when a committed baseline is missing (CI mode)",
@@ -427,6 +485,20 @@ def main(argv=None) -> int:
                         f"demand {demand['visits']}/{demand['cold_visits']} "
                         "visits"
                     )
+
+    if not args.skip_serving:
+        committed = _load(args.results_dir / "BENCH_serving.json")
+        if committed is None:
+            _missing("BENCH_serving.json", "serving")
+        else:
+            failures.extend(serving_failures(committed))
+            checked += 1
+            print(
+                f"serving  {committed.get('mode', '?'):20s} "
+                f"hit rate {committed.get('hit_rate', 0.0):6.1%} "
+                f"dedup {committed.get('dedup_ratio', 0.0):6.1%} "
+                f"warm speedup {committed.get('warm_speedup', 0.0):6.0f}×"
+            )
 
     if failures:
         print()

@@ -270,6 +270,85 @@ def build_parser() -> argparse.ArgumentParser:
         help="max derivation chains to include (default: %(default)s)",
     )
 
+    p = sub.add_parser(
+        "serve",
+        help="run the analysis server: HTTP/JSON endpoints with a "
+        "sharded LRU, request coalescing, micro-batching, and a "
+        "persistent warm worker pool (see docs/serving.md)",
+    )
+    p.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: %(default)s)"
+    )
+    p.add_argument(
+        "--port",
+        type=int,
+        default=8722,
+        help="TCP port; 0 picks a free one (default: %(default)s)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="persistent worker processes; 0 serves inline on the "
+        "server process (default: %(default)s)",
+    )
+    p.add_argument(
+        "--warm",
+        action="append",
+        default=[],
+        metavar="BENCH",
+        help="benchmark to pre-build and pre-solve in every worker at "
+        "startup (repeatable; 'all' warms every benchmark)",
+    )
+    p.add_argument(
+        "--lru-capacity",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="total response LRU entries (default: %(default)s)",
+    )
+    p.add_argument(
+        "--lru-shards",
+        type=int,
+        default=8,
+        metavar="N",
+        help="independent LRU shards (default: %(default)s)",
+    )
+    p.add_argument(
+        "--queue-limit",
+        type=int,
+        default=256,
+        metavar="N",
+        help="bounded work queue length; a full queue answers 503 "
+        "(default: %(default)s)",
+    )
+    p.add_argument(
+        "--batch-size",
+        type=int,
+        default=8,
+        metavar="N",
+        help="max tasks per micro-batch (default: %(default)s)",
+    )
+    p.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=2.0,
+        metavar="MS",
+        help="max wait to fill a micro-batch (default: %(default)s)",
+    )
+    p.add_argument(
+        "--disk-cache",
+        action="store_true",
+        help="give workers a disk-backed artifact cache tier",
+    )
+    p.add_argument(
+        "--trace-out",
+        metavar="DIR",
+        help="record obs spans; workers write JSONL shards here, "
+        "merged to DIR/serve-trace.jsonl at shutdown",
+    )
+
     return parser
 
 
@@ -967,6 +1046,52 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .programs.registry import BENCHMARKS, benchmark_names
+    from .serving import AnalysisServer
+
+    warm = list(args.warm)
+    if "all" in warm:
+        warm = list(benchmark_names())
+    for name in warm:
+        if name not in BENCHMARKS:
+            print(f"error: unknown benchmark {name!r} in --warm")
+            return 2
+
+    server = AnalysisServer(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        warm=warm,
+        lru_capacity=args.lru_capacity,
+        lru_shards=args.lru_shards,
+        queue_limit=args.queue_limit,
+        batch_size=args.batch_size,
+        batch_window_ms=args.batch_window_ms,
+        disk_cache=args.disk_cache,
+        trace_dir=args.trace_out,
+    )
+
+    async def run() -> None:
+        await server.start()
+        mode = "inline" if args.workers == 0 else f"{args.workers} workers"
+        print(
+            f"serving on http://{server.host}:{server.port} "
+            f"({mode}, warm: {', '.join(warm) or 'none'})",
+            flush=True,
+        )
+        await server.serve_until_shutdown()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("interrupted")
+    print("server stopped")
+    return 0
+
+
 _COMMANDS = {
     "check": _cmd_check,
     "dot": _cmd_dot,
@@ -983,6 +1108,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "explain": _cmd_explain,
     "report": _cmd_report,
+    "serve": _cmd_serve,
 }
 
 

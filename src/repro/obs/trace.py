@@ -1,7 +1,11 @@
 """Zero-dependency structured span tracing.
 
 A :class:`Tracer` records *spans* — named, timed, attributed intervals
-forming a per-thread tree::
+forming a per-context tree (per thread, and per asyncio task — the
+open-span stack lives in a :mod:`contextvars` variable, so concurrent
+tasks interleaving on one event loop each keep their own correctly
+nested ancestry; a plain thread behaves exactly as it did when the
+stack was thread-local)::
 
     from repro.obs import enable_tracing, get_tracer
 
@@ -25,6 +29,7 @@ and merges the shards deterministically (:func:`merge_shards`).
 
 from __future__ import annotations
 
+import contextvars
 import functools
 import json
 import os
@@ -104,10 +109,20 @@ def _sort_key(d: dict) -> tuple:
     return (d["pid"], d["tid"], d["start"], d["id"])
 
 
+#: The open-span ancestry of the *current context*: an immutable tuple
+#: of span ids.  A fresh thread starts empty (like the old
+#: ``threading.local`` stack), and an asyncio task runs in a copy of
+#: its creator's context, so concurrent tasks push/pop independently
+#: instead of mis-nesting through a shared per-thread list.
+_SPAN_STACK: contextvars.ContextVar[tuple] = contextvars.ContextVar(
+    "repro_span_stack", default=()
+)
+
+
 class _SpanContext:
     """Context manager recording one span on exit."""
 
-    __slots__ = ("_tracer", "_name", "_attrs", "_span_id", "_parent_id", "_start")
+    __slots__ = ("_tracer", "_name", "_attrs", "_span_id", "_parent_id", "_start", "_token")
 
     def __init__(self, tracer: "Tracer", name: str, attrs: dict):
         self._tracer = tracer
@@ -117,18 +132,19 @@ class _SpanContext:
     def __enter__(self) -> "_SpanContext":
         tracer = self._tracer
         self._span_id = tracer._next_id()
-        stack = tracer._stack()
+        stack = _SPAN_STACK.get()
         self._parent_id = stack[-1] if stack else None
-        stack.append(self._span_id)
+        self._token = _SPAN_STACK.set(stack + (self._span_id,))
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         end = time.perf_counter()
         tracer = self._tracer
-        stack = tracer._stack()
-        if stack and stack[-1] == self._span_id:
-            stack.pop()
+        try:
+            _SPAN_STACK.reset(self._token)
+        except ValueError:  # exited in a different context than entered
+            pass
         tracer._add(
             Span(
                 name=self._name,
@@ -173,17 +189,9 @@ class Tracer:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._spans: list[Span] = []
-        self._local = threading.local()
         self._counter = 0
 
     # -- internals used by _SpanContext -------------------------------------
-
-    def _stack(self) -> list[str]:
-        stack = getattr(self._local, "stack", None)
-        if stack is None:
-            stack = []
-            self._local.stack = stack
-        return stack
 
     def _next_id(self) -> str:
         with self._lock:

@@ -22,8 +22,13 @@ Two layers:
   of the cache key, written atomically, survives the process and feeds
   warm starts.  Unreadable or stale-schema entries degrade to a miss.
 
-The cache is deliberately not thread-safe; share one instance per
-process (the parallel runner gives every worker process its own).
+The in-process layer is thread-safe: LRU lookup/insertion/eviction and
+the stats counters mutate under one internal lock, so a cache instance
+can be shared across threads (the serving layer's worker threads hammer
+one).  ``get_or_build`` deliberately runs ``build()`` *outside* the
+lock — concurrent misses on the same key may both build (last store
+wins, both get a usable value) rather than serialising every build
+behind one global lock.
 """
 
 from __future__ import annotations
@@ -33,6 +38,7 @@ import os
 import pathlib
 import pickle
 import tempfile
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
@@ -140,6 +146,7 @@ class ArtifactCache:
     disk_dir: Optional[pathlib.Path] = None
     stats: CacheStats = field(default_factory=CacheStats)
     _entries: "OrderedDict[tuple, Any]" = field(default_factory=OrderedDict)
+    _lock: threading.RLock = field(default_factory=threading.RLock, repr=False)
 
     def __post_init__(self) -> None:
         if self.disk_dir is not None:
@@ -164,36 +171,45 @@ class ArtifactCache:
         In-process hits return the identical stored object; disk hits
         return a fresh unpickled copy and promote it to the LRU.
         """
-        entries = self._entries
-        if key in entries:
-            entries.move_to_end(key)
-            self.stats.hits += 1
-            return entries[key]
+        with self._lock:
+            entries = self._entries
+            if key in entries:
+                entries.move_to_end(key)
+                self.stats.hits += 1
+                return entries[key]
+        # Disk load and build run unlocked: both can be slow, and two
+        # threads racing the same key just build twice (last put wins).
         value = self._disk_load(key)
         if value is not None:
-            self.stats.disk_hits += 1
-            self._store_memory(key, value)
+            with self._lock:
+                self.stats.disk_hits += 1
+                self._store_memory(key, value)
             return value
-        self.stats.misses += 1
+        with self._lock:
+            self.stats.misses += 1
         value = build()
         self.put(key, value)
         return value
 
     def get(self, key: tuple) -> Optional[Any]:
-        if key in self._entries:
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
-            return self._entries[key]
-        return None
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return self._entries[key]
+            return None
 
     def put(self, key: tuple, value: Any) -> None:
-        self._store_memory(key, value)
+        with self._lock:
+            self._store_memory(key, value)
         self._disk_store(key, value)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def _store_memory(self, key: tuple, value: Any) -> None:
+        # Callers hold self._lock.
         entries = self._entries
         entries[key] = value
         entries.move_to_end(key)
@@ -232,6 +248,7 @@ class ArtifactCache:
             except BaseException:
                 os.unlink(tmp)
                 raise
-            self.stats.disk_stores += 1
+            with self._lock:
+                self.stats.disk_stores += 1
         except (OSError, pickle.PickleError, TypeError):
             return  # unpicklable or unwritable artifacts stay in-process

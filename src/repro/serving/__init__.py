@@ -1,0 +1,46 @@
+"""Analysis-as-a-service: the async batching server (``repro serve``).
+
+Layers, front to back (each independently tested):
+
+* :mod:`~repro.serving.protocol` — request parsing and the
+  content-addressed serving key;
+* :mod:`~repro.serving.lru` — sharded in-process LRU over rendered
+  responses;
+* :mod:`~repro.serving.dedup` — coalescing of concurrent identical
+  requests onto one in-flight computation;
+* :mod:`~repro.serving.batching` — bounded-queue micro-batching with
+  backpressure;
+* :mod:`~repro.serving.workers` — persistent warm worker pool
+  (retained graphs, fact universes, incremental solvers);
+* :mod:`~repro.serving.server` — the asyncio HTTP front end;
+* :mod:`~repro.serving.client` — a blocking stdlib client.
+
+See ``docs/serving.md`` for the API and operational knobs, and
+``benchmarks/bench_serving.py`` for the load generator that produces
+``benchmarks/results/BENCH_serving.json``.
+"""
+
+from .batching import Backpressure, MicroBatcher
+from .client import Response, ServeClient, ServeClientError
+from .dedup import RequestCoalescer
+from .lru import ShardedLRU
+from .protocol import KINDS, ServeError, ServeRequest
+from .server import AnalysisServer
+from .workers import WorkerPool, execute_task, warm_benchmarks
+
+__all__ = [
+    "AnalysisServer",
+    "Backpressure",
+    "KINDS",
+    "MicroBatcher",
+    "RequestCoalescer",
+    "Response",
+    "ServeClient",
+    "ServeClientError",
+    "ServeError",
+    "ServeRequest",
+    "ShardedLRU",
+    "WorkerPool",
+    "execute_task",
+    "warm_benchmarks",
+]

@@ -1,0 +1,182 @@
+"""Micro-batching with backpressure: the queue between loop and workers.
+
+Every cache/dedup miss becomes a work item on a **bounded** queue.  A
+dispatcher task drains it in micro-batches: it takes the first item,
+then keeps collecting until either ``batch_size`` items are in hand or
+``batch_window_ms`` has elapsed since the batch opened — so a lone
+request pays at most the window in added latency, while a burst is
+amortised into one round-trip to the worker pool (one pickle/unpickle,
+one executor wakeup) instead of N.
+
+Backpressure is the bounded queue itself: when it is full,
+:meth:`MicroBatcher.submit` raises :class:`Backpressure` *immediately*
+instead of buffering without limit — the server turns that into HTTP
+503 and the client retries.  An overloaded server stays responsive and
+its memory stays bounded; load shedding happens at the door, not by
+falling over.
+
+The executor is any async callable ``tasks -> results`` (the worker
+pool's ``run_batch``); batches execute concurrently with further
+collection, so a slow batch does not stall the queue — but only
+``max_inflight`` batches may run at once.  Without that bound the
+dispatcher would drain the queue into an unbounded set of running
+batches and the "bounded" queue would never actually fill; with it,
+total buffered work is capped at
+``queue_limit + max_inflight * batch_size`` items and overload
+reliably surfaces as :class:`Backpressure`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Optional
+
+__all__ = ["Backpressure", "MicroBatcher"]
+
+
+class Backpressure(RuntimeError):
+    """The bounded request queue is full — shed load (HTTP 503)."""
+
+
+class _Item:
+    __slots__ = ("task", "future")
+
+    def __init__(self, task: dict, future: asyncio.Future):
+        self.task = task
+        self.future = future
+
+
+class MicroBatcher:
+    """Bounded queue + dispatcher forming micro-batches (see module doc)."""
+
+    def __init__(
+        self,
+        executor: Callable[[list[dict]], Awaitable[list[dict]]],
+        queue_limit: int = 256,
+        batch_size: int = 8,
+        batch_window_ms: float = 2.0,
+        max_inflight: int = 8,
+    ):
+        if queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        self._executor = executor
+        self._queue: "asyncio.Queue[_Item]" = asyncio.Queue(maxsize=queue_limit)
+        self.batch_size = batch_size
+        self.batch_window_s = batch_window_ms / 1000.0
+        self.max_inflight = max_inflight
+        self._slots = asyncio.Semaphore(max_inflight)
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._running: set[asyncio.Task] = set()
+        # -- accounting (machine-independent; exposed in /v1/stats) --
+        self.submitted = 0
+        self.rejected = 0
+        self.batches = 0
+        self.batched_tasks = 0
+        self.max_batch = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        if self._dispatcher is None:
+            self._dispatcher = asyncio.get_running_loop().create_task(
+                self._dispatch_loop()
+            )
+
+    async def stop(self) -> None:
+        """Cancel the dispatcher and let running batches finish."""
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            self._dispatcher = None
+        if self._running:
+            await asyncio.gather(*self._running, return_exceptions=True)
+
+    # -- submission ----------------------------------------------------------
+
+    async def submit(self, task: dict) -> dict:
+        """Enqueue ``task`` and await its result.
+
+        Raises :class:`Backpressure` without enqueueing when the queue
+        is at its bound.
+        """
+        future = asyncio.get_running_loop().create_future()
+        try:
+            self._queue.put_nowait(_Item(task, future))
+        except asyncio.QueueFull:
+            self.rejected += 1
+            raise Backpressure(
+                f"request queue full ({self._queue.maxsize} pending)"
+            ) from None
+        self.submitted += 1
+        return await future
+
+    def depth(self) -> int:
+        return self._queue.qsize()
+
+    # -- dispatch ------------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            # Wait for a free batch slot *before* taking work off the
+            # queue, so overload backs up into the bounded queue
+            # (where it is shed) instead of into running batches.
+            await self._slots.acquire()
+            first = await self._queue.get()
+            batch = [first]
+            deadline = loop.time() + self.batch_window_s
+            while len(batch) < self.batch_size:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    batch.append(
+                        await asyncio.wait_for(self._queue.get(), remaining)
+                    )
+                except asyncio.TimeoutError:
+                    break
+            self.batches += 1
+            self.batched_tasks += len(batch)
+            self.max_batch = max(self.max_batch, len(batch))
+            run = loop.create_task(self._run_batch(batch))
+            self._running.add(run)
+            run.add_done_callback(self._running.discard)
+
+    async def _run_batch(self, batch: list[_Item]) -> None:
+        try:
+            try:
+                results = await self._executor([item.task for item in batch])
+            except BaseException as exc:  # worker crash: fail the batch
+                for item in batch:
+                    if not item.future.done():
+                        item.future.set_exception(exc)
+                return
+            for item, result in zip(batch, results):
+                if not item.future.done():
+                    item.future.set_result(result)
+        finally:
+            self._slots.release()
+
+    # -- stats ---------------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "rejected": self.rejected,
+            "batches": self.batches,
+            "batched_tasks": self.batched_tasks,
+            "max_batch": self.max_batch,
+            "mean_batch": (
+                self.batched_tasks / self.batches if self.batches else 0.0
+            ),
+            "queue_depth": self._queue.qsize(),
+            "queue_limit": self._queue.maxsize,
+            "max_inflight": self.max_inflight,
+        }

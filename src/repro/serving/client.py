@@ -1,0 +1,152 @@
+"""A small blocking client for the analysis server.
+
+Built on :mod:`http.client` (stdlib), one keep-alive connection per
+:class:`ServeClient`.  This is what the load generator
+(``benchmarks/bench_serving.py``), the CI smoke test, and the tests
+use; it is also a reasonable template for external callers — the wire
+format is plain HTTP/JSON.
+
+A connection dropped by the server between requests (idle timeout,
+restart) is retried once on a fresh connection; anything else
+propagates.  Non-2xx responses raise :class:`ServeClientError` carrying
+the HTTP status and the server's error message.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Optional
+
+__all__ = ["Response", "ServeClient", "ServeClientError"]
+
+
+class ServeClientError(RuntimeError):
+    """A non-2xx server response."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class Response:
+    """One server response: status, body text, and cache disposition."""
+
+    __slots__ = ("status", "text", "content_type", "cache")
+
+    def __init__(self, status: int, text: str, content_type: str, cache: str):
+        self.status = status
+        self.text = text
+        self.content_type = content_type
+        #: ``hit`` / ``coalesced`` / ``miss`` / ``""`` (non-analysis).
+        self.cache = cache
+
+
+class ServeClient:
+    """Blocking keep-alive client (see module docstring)."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8722, timeout: float = 60.0
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _request(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> Response:
+        payload = (
+            json.dumps(body).encode("utf-8") if body is not None else None
+        )
+        headers = {"Content-Type": "application/json"} if payload else {}
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                raw = conn.getresponse()
+                text = raw.read().decode("utf-8")
+                return Response(
+                    raw.status,
+                    text,
+                    (raw.getheader("Content-Type") or "").split(";")[0],
+                    raw.getheader("X-Cache") or "",
+                )
+            except (
+                http.client.RemoteDisconnected,
+                http.client.BadStatusLine,
+                ConnectionResetError,
+                BrokenPipeError,
+            ):
+                # Stale keep-alive connection: retry once, fresh socket.
+                self.close()
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")
+
+    def _checked(self, method: str, path: str, body: Optional[dict] = None):
+        resp = self._request(method, path, body)
+        if resp.status != 200:
+            try:
+                message = json.loads(resp.text).get("error", resp.text)
+            except (json.JSONDecodeError, AttributeError):
+                message = resp.text
+            raise ServeClientError(resp.status, message)
+        return resp
+
+    # -- analysis endpoints --------------------------------------------------
+
+    def post(self, kind: str, **fields) -> Response:
+        """POST one serving request; returns the full :class:`Response`."""
+        return self._checked("POST", f"/v1/{kind}", fields)
+
+    def analyze(self, **fields) -> str:
+        return self.post("analyze", **fields).text
+
+    def table1(self, **fields) -> str:
+        return self.post("table1", **fields).text
+
+    def explain(self, **fields) -> str:
+        return self.post("explain", **fields).text
+
+    def report(self, **fields) -> str:
+        return self.post("report", **fields).text
+
+    # -- introspection -------------------------------------------------------
+
+    def health(self) -> dict:
+        return json.loads(self._checked("GET", "/healthz").text)
+
+    def stats(self) -> dict:
+        return json.loads(self._checked("GET", "/v1/stats").text)
+
+    def analyses(self) -> list:
+        return json.loads(self._checked("GET", "/v1/analyses").text)["analyses"]
+
+    def benchmarks(self) -> list:
+        return json.loads(self._checked("GET", "/v1/benchmarks").text)[
+            "benchmarks"
+        ]
+
+    def shutdown(self) -> dict:
+        return json.loads(self._checked("POST", "/v1/shutdown", {}).text)

@@ -1,0 +1,81 @@
+"""Request coalescing: concurrent identical requests share one solve.
+
+Under interactive traffic the same hot request (same
+:meth:`~repro.serving.protocol.ServeRequest.key`) arrives many times
+while the first computation is still in flight — a cache can only
+serve *completed* work, so without coalescing a cold popular key
+triggers K redundant solves.  :class:`RequestCoalescer` keeps a map of
+in-flight futures: the first arrival (the *leader*) runs the supplied
+computation, every later arrival (a *follower*) awaits the leader's
+future and receives the identical result object.
+
+The in-flight entry is removed *before* the future resolves, so a
+request arriving after completion starts fresh (and normally hits the
+LRU that the leader populated).  A leader failure propagates its
+exception to every follower — they would have failed the same way.
+
+This is the asyncio, single-event-loop layer: keys are only ever
+touched from the server loop, so no lock is needed; the map mutations
+are atomic between awaits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable
+
+__all__ = ["RequestCoalescer"]
+
+
+class RequestCoalescer:
+    """Key → in-flight future map with leader/follower accounting."""
+
+    def __init__(self) -> None:
+        self._inflight: dict[tuple, asyncio.Future] = {}
+        self.leaders = 0
+        self.followers = 0
+
+    def in_flight(self, key: tuple) -> bool:
+        return key in self._inflight
+
+    async def run(
+        self, key: tuple, compute: Callable[[], Awaitable[Any]]
+    ) -> tuple[Any, bool]:
+        """``(result, coalesced)`` — ``coalesced`` is True when this
+        call rode an already in-flight computation for ``key``."""
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.followers += 1
+            # shield(): a cancelled follower must not cancel the shared
+            # computation other waiters (and the leader) depend on.
+            return await asyncio.shield(existing), True
+
+        self.leaders += 1
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._inflight[key] = future
+        try:
+            result = await compute()
+        except BaseException as exc:
+            self._inflight.pop(key, None)
+            if not future.cancelled():
+                future.set_exception(exc)
+                # The followers consume it; if there are none, mark the
+                # exception retrieved so the loop does not warn.
+                future.exception()
+            raise
+        self._inflight.pop(key, None)
+        if not future.cancelled():
+            future.set_result(result)
+        return result, False
+
+    def stats(self) -> dict:
+        total = self.leaders + self.followers
+        return {
+            "leaders": self.leaders,
+            "followers": self.followers,
+            "in_flight": len(self._inflight),
+            # Fraction of arrivals that were absorbed by an in-flight
+            # computation — machine-independent, gated in CI.
+            "dedup_ratio": (self.followers / total) if total else 0.0,
+        }

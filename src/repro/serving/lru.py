@@ -1,0 +1,155 @@
+"""Sharded in-process LRU — the serving layer's first cache tier.
+
+One global ``OrderedDict`` behind one lock serialises every request of
+a concurrent server on a single hot mutex.  :class:`ShardedLRU` splits
+the key space over N independent shards, each with its own lock and
+its own LRU order, so requests for different keys almost never contend
+and an eviction in one shard never touches another.
+
+Sharding is by a *deterministic* hash (CRC-32 of the key's ``repr``,
+like :func:`repro.pipeline.cache.key_digest` keys are tuples of
+primitives, so ``repr`` is canonical) rather than the builtin ``hash``
+— string hashing is salted per process, and tests/operators want the
+same key to land on the same shard in every run.
+
+Each shard tracks hits/misses/evictions; :meth:`ShardedLRU.stats`
+aggregates them and reports the per-shard split so a skewed
+distribution is visible in ``GET /v1/stats``.
+
+This tier sits *in front of* the pipeline's content-addressed
+:class:`~repro.pipeline.cache.ArtifactCache` (and its optional disk
+layer): the LRU stores final rendered responses keyed by the serving
+request, while worker processes keep artifact-level caches for the
+misses that reach them.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from collections import OrderedDict
+from typing import Any, Optional
+
+__all__ = ["ShardedLRU"]
+
+
+class _Shard:
+    """One lock + one LRU order.  Not exported."""
+
+    __slots__ = ("lock", "entries", "capacity", "hits", "misses", "evictions")
+
+    def __init__(self, capacity: int):
+        self.lock = threading.Lock()
+        self.entries: "OrderedDict[Any, Any]" = OrderedDict()
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key) -> Optional[Any]:
+        with self.lock:
+            if key in self.entries:
+                self.entries.move_to_end(key)
+                self.hits += 1
+                return self.entries[key]
+            self.misses += 1
+            return None
+
+    def put(self, key, value) -> None:
+        with self.lock:
+            self.entries[key] = value
+            self.entries.move_to_end(key)
+            while len(self.entries) > self.capacity:
+                self.entries.popitem(last=False)
+                self.evictions += 1
+
+    def contains(self, key) -> bool:
+        with self.lock:
+            return key in self.entries
+
+    def clear(self) -> None:
+        with self.lock:
+            self.entries.clear()
+
+    def stats(self) -> dict:
+        with self.lock:
+            return {
+                "entries": len(self.entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+
+class ShardedLRU:
+    """N-way sharded LRU with per-shard locks and stats.
+
+    ``capacity`` is the *total* entry budget, split evenly across
+    ``shards`` (each shard gets ``ceil(capacity / shards)``, so the
+    effective total can exceed ``capacity`` by at most ``shards - 1``).
+    """
+
+    def __init__(self, capacity: int = 4096, shards: int = 8):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        shards = min(shards, capacity)
+        per_shard = -(-capacity // shards)  # ceil
+        self.capacity = capacity
+        self._shards = [_Shard(per_shard) for _ in range(shards)]
+
+    # -- key routing ---------------------------------------------------------
+
+    def shard_index(self, key) -> int:
+        """Deterministic shard for ``key`` (stable across processes)."""
+        return zlib.crc32(repr(key).encode("utf-8")) % len(self._shards)
+
+    def _shard(self, key) -> _Shard:
+        return self._shards[self.shard_index(key)]
+
+    # -- mapping protocol ----------------------------------------------------
+
+    def get(self, key) -> Optional[Any]:
+        """The cached value (promoted to most-recent) or ``None``.
+
+        Every call counts as a hit or a miss; use :meth:`__contains__`
+        for a stats-neutral probe.
+        """
+        return self._shard(key).get(key)
+
+    def put(self, key, value) -> None:
+        self._shard(key).put(key, value)
+
+    def __contains__(self, key) -> bool:
+        return self._shard(key).contains(key)
+
+    def __len__(self) -> int:
+        return sum(len(s.entries) for s in self._shards)
+
+    def clear(self) -> None:
+        for shard in self._shards:
+            shard.clear()
+
+    # -- stats ---------------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    def stats(self) -> dict:
+        """Aggregate + per-shard accounting (JSON-ready)."""
+        per_shard = [s.stats() for s in self._shards]
+        hits = sum(s["hits"] for s in per_shard)
+        misses = sum(s["misses"] for s in per_shard)
+        total = hits + misses
+        return {
+            "capacity": self.capacity,
+            "shards": len(self._shards),
+            "entries": sum(s["entries"] for s in per_shard),
+            "hits": hits,
+            "misses": misses,
+            "evictions": sum(s["evictions"] for s in per_shard),
+            "hit_rate": (hits / total) if total else 0.0,
+            "per_shard": per_shard,
+        }

@@ -1,0 +1,424 @@
+"""The asyncio analysis server: HTTP/JSON in, rendered analyses out.
+
+``repro serve`` turns the repository's batch pipeline into a
+long-lived service.  One asyncio event loop accepts HTTP/1.1
+connections (hand-rolled parsing — stdlib only, no web framework) and
+pushes every analysis request through a three-tier fast path::
+
+    request ──> ShardedLRU ──> RequestCoalescer ──> MicroBatcher ──> WorkerPool
+                 (hit: µs)      (ride in-flight)     (bounded queue)   (warm solve)
+
+* an LRU **hit** answers from memory without touching the queue;
+* a miss whose key is already being computed **coalesces** onto the
+  in-flight future (K identical concurrent requests → 1 solve);
+* fresh misses are **micro-batched** onto the bounded queue — a full
+  queue answers ``503`` immediately (backpressure, not buffering);
+* batches execute on the **warm worker pool** (retained graphs,
+  universes and incremental solvers — :mod:`repro.serving.workers`).
+
+Endpoints
+---------
+
+==========================  =============================================
+``GET  /healthz``           liveness probe (JSON)
+``GET  /v1/analyses``       registered analyses (name, summary, flags)
+``GET  /v1/benchmarks``     named benchmarks with their default seeds
+``GET  /v1/stats``          LRU / dedup / batch / pool counters (JSON)
+``POST /v1/analyze``        rendered analysis text (``text/plain``)
+``POST /v1/table1``         one-row Table 1 (``text/plain``)
+``POST /v1/explain``        provenance derivation chains (``text/plain``)
+``POST /v1/report``         self-contained HTML report (``text/html``)
+``POST /v1/shutdown``       drain and stop the server
+==========================  =============================================
+
+``POST`` bodies are :class:`~repro.serving.protocol.ServeRequest` JSON
+(the endpoint fixes ``kind``).  Every response carries an ``X-Cache``
+header (``hit`` / ``coalesced`` / ``miss``) so load generators can
+account for where answers came from.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import pathlib
+from typing import Optional, Sequence
+
+from ..analyses import registry as _registry
+from ..obs import get_tracer, merge_shards
+from ..programs.registry import BENCHMARKS
+from .batching import Backpressure, MicroBatcher
+from .dedup import RequestCoalescer
+from .lru import ShardedLRU
+from .protocol import ServeError, ServeRequest
+from .workers import WorkerPool
+
+__all__ = ["AnalysisServer"]
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Largest accepted request body (inline SPL sources are small).
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+class AnalysisServer:
+    """The serving stack wired together (see module docstring)."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8722,
+        workers: int = 0,
+        warm: Sequence[str] = (),
+        lru_capacity: int = 4096,
+        lru_shards: int = 8,
+        queue_limit: int = 256,
+        batch_size: int = 8,
+        batch_window_ms: float = 2.0,
+        disk_cache: bool = False,
+        trace_dir: Optional[str] = None,
+    ):
+        self.host = host
+        self.port = port
+        self.trace_dir = str(trace_dir) if trace_dir is not None else None
+        self.lru = ShardedLRU(capacity=lru_capacity, shards=lru_shards)
+        self.coalescer = RequestCoalescer()
+        self.pool = WorkerPool(
+            workers=workers,
+            warm=warm,
+            disk_cache=disk_cache,
+            trace_dir=self.trace_dir,
+        )
+        self.batcher = MicroBatcher(
+            self.pool.run_batch,
+            queue_limit=queue_limit,
+            batch_size=batch_size,
+            batch_window_ms=batch_window_ms,
+            # Enough in-flight batches to keep every worker busy plus a
+            # spare; overload beyond that backs up into the queue.
+            max_inflight=2 * max(1, workers),
+        )
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._shutdown = asyncio.Event()
+        # -- request accounting (surfaced in /v1/stats) --
+        self.requests = 0
+        self.errors = 0
+        self.rejected = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn + warm the pool, start the dispatcher, bind the port."""
+        if self.trace_dir is not None:
+            from ..obs import enable_tracing
+
+            enable_tracing(fresh=True)
+        loop = asyncio.get_running_loop()
+        # Pool start forks and warms workers — blocking, so off-loop.
+        await loop.run_in_executor(None, self.pool.start)
+        self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.host,
+            self.port,
+            # Load tests open 1k+ connections at once; the default
+            # listen backlog (100) would reset the overflow.
+            backlog=2048,
+        )
+        if self.port == 0:
+            self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_until_shutdown(self) -> None:
+        await self._shutdown.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.batcher.stop()
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.pool.shutdown)
+        self._merge_trace_shards()
+
+    def _merge_trace_shards(self) -> Optional[pathlib.Path]:
+        """Fold per-worker span shard files plus the server's own spans
+        into one ``serve-trace.jsonl`` (same mechanism as the pipeline's
+        shard merge)."""
+        if self.trace_dir is None:
+            return None
+        out_dir = pathlib.Path(self.trace_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.flush_jsonl(out_dir / f"shard-{os.getpid()}.jsonl")
+        shards = sorted(out_dir.glob("shard-*.jsonl"))
+        if not shards:
+            return None
+        merged = merge_shards(shards)
+        out = out_dir / "serve-trace.jsonl"
+        with out.open("w", encoding="utf-8") as handle:
+            for event in merged:
+                handle.write(json.dumps(event, sort_keys=True) + "\n")
+        return out
+
+    # -- the request path ----------------------------------------------------
+
+    async def handle(self, kind: str, body: dict) -> tuple[int, dict, str, str]:
+        """``(status, headers, body_text, content_type)`` for one
+        analysis request — the transport-free core, also what the tests
+        drive directly."""
+        req = ServeRequest.from_dict({**body, "kind": kind})
+        key = req.key()
+        self.requests += 1
+
+        cached = self.lru.get(key)
+        if cached is not None:
+            text, content_type = cached
+            return 200, {"X-Cache": "hit"}, text, content_type
+
+        async def compute() -> dict:
+            return await self.batcher.submit(req.to_dict())
+
+        try:
+            result, coalesced = await self.coalescer.run(key, compute)
+        except Backpressure as exc:
+            self.rejected += 1
+            raise _HttpError(503, str(exc)) from None
+
+        if not result["ok"]:
+            self.errors += 1
+            raise _HttpError(result["status"], result["error"])
+        text, content_type = result["text"], result["content_type"]
+        if not coalesced:
+            self.lru.put(key, (text, content_type))
+        return (
+            200,
+            {"X-Cache": "coalesced" if coalesced else "miss"},
+            text,
+            content_type,
+        )
+
+    def stats(self) -> dict:
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "rejected": self.rejected,
+            "lru": self.lru.stats(),
+            "dedup": self.coalescer.stats(),
+            "batching": self.batcher.stats(),
+            "pool": self.pool.stats(),
+        }
+
+    # -- HTTP transport ------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                keep_alive = await self._handle_one(reader, writer)
+                if not keep_alive:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+        ):
+            pass
+        except asyncio.CancelledError:
+            # Server shutdown with the keep-alive connection idle —
+            # close it quietly rather than surfacing a cancellation.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _handle_one(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> bool:
+        """Serve one request on a keep-alive connection; returns whether
+        the connection should stay open."""
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.LimitOverrunError:
+            await self._send(
+                writer, 431, {}, json.dumps({"error": "headers too large"}),
+                "application/json", close=True,
+            )
+            return False
+        try:
+            method, path, headers = self._parse_head(head)
+        except _HttpError as exc:
+            await self._send(
+                writer, exc.status, {}, json.dumps({"error": str(exc)}),
+                "application/json", close=True,
+            )
+            return False
+        keep_alive = headers.get("connection", "keep-alive") != "close"
+
+        try:
+            body_bytes = await self._read_body(reader, headers)
+            status, extra, text, content_type = await self._route(
+                method, path, body_bytes
+            )
+        except _HttpError as exc:
+            self._count_error(exc.status)
+            status, extra = exc.status, {}
+            text = json.dumps({"error": str(exc)})
+            content_type = "application/json"
+        except ServeError as exc:
+            self.errors += 1
+            status, extra = exc.status, {}
+            text = json.dumps({"error": str(exc)})
+            content_type = "application/json"
+        except Exception as exc:  # pragma: no cover - defensive
+            self.errors += 1
+            status, extra = 500, {}
+            text = json.dumps({"error": f"{type(exc).__name__}: {exc}"})
+            content_type = "application/json"
+
+        await self._send(
+            writer, status, extra, text, content_type, close=not keep_alive
+        )
+        return keep_alive
+
+    def _count_error(self, status: int) -> None:
+        # Backpressure rejections are already tallied in handle().
+        if status != 503:
+            self.errors += 1
+
+    @staticmethod
+    def _parse_head(head: bytes) -> tuple[str, str, dict]:
+        try:
+            lines = head.decode("latin-1").split("\r\n")
+            method, path, _version = lines[0].split(" ", 2)
+        except ValueError:
+            raise _HttpError(400, "malformed request line") from None
+        headers = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return method.upper(), path, headers
+
+    @staticmethod
+    async def _read_body(reader: asyncio.StreamReader, headers: dict) -> bytes:
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise _HttpError(400, "bad Content-Length") from None
+        if length > MAX_BODY_BYTES:
+            raise _HttpError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+        return await reader.readexactly(length) if length else b""
+
+    async def _route(
+        self, method: str, path: str, body_bytes: bytes
+    ) -> tuple[int, dict, str, str]:
+        path = path.split("?", 1)[0]
+        if method == "GET":
+            payload = self._get_route(path)
+            return 200, {}, json.dumps(payload, indent=2, sort_keys=True), (
+                "application/json"
+            )
+        if method != "POST":
+            raise _HttpError(405, f"method {method} not allowed")
+
+        if path == "/v1/shutdown":
+            self._shutdown.set()
+            return 200, {}, json.dumps({"ok": True, "stopping": True}), (
+                "application/json"
+            )
+        kind = {
+            "/v1/analyze": "analyze",
+            "/v1/table1": "table1",
+            "/v1/explain": "explain",
+            "/v1/report": "report",
+        }.get(path)
+        if kind is None:
+            raise _HttpError(404, f"no such endpoint: {path}")
+        try:
+            payload = json.loads(body_bytes.decode("utf-8")) if body_bytes else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _HttpError(400, f"bad JSON body: {exc}") from None
+        if not isinstance(payload, dict):
+            raise _HttpError(400, "request body must be a JSON object")
+        payload.pop("kind", None)
+        with get_tracer().span("serve.request", kind=kind):
+            return await self.handle(kind, payload)
+
+    def _get_route(self, path: str) -> dict:
+        if path == "/healthz":
+            return {"ok": True, "pool": self.pool.stats()["mode"]}
+        if path == "/v1/stats":
+            return self.stats()
+        if path == "/v1/analyses":
+            return {
+                "analyses": [
+                    {
+                        "name": entry.name,
+                        "summary": entry.summary,
+                        "supports_model": entry.supports_model,
+                        "supports_query": entry.make_problem is not None,
+                        "requires": list(entry.requires),
+                    }
+                    for entry in _registry.REGISTRY.values()
+                ]
+            }
+        if path == "/v1/benchmarks":
+            return {
+                "benchmarks": [
+                    {
+                        "name": spec.name,
+                        "source": spec.source_label,
+                        "root": spec.root,
+                        "clone_level": spec.clone_level,
+                        "independents": list(spec.independents),
+                        "dependents": list(spec.dependents),
+                    }
+                    for spec in BENCHMARKS.values()
+                ]
+            }
+        raise _HttpError(404, f"no such endpoint: {path}")
+
+    @staticmethod
+    async def _send(
+        writer: asyncio.StreamWriter,
+        status: int,
+        extra_headers: dict,
+        text: str,
+        content_type: str,
+        close: bool,
+    ) -> None:
+        body = text.encode("utf-8")
+        reason = _REASONS.get(status, "Unknown")
+        headers = [
+            f"HTTP/1.1 {status} {reason}",
+            f"Content-Type: {content_type}; charset=utf-8",
+            f"Content-Length: {len(body)}",
+            "Connection: " + ("close" if close else "keep-alive"),
+        ]
+        headers.extend(f"{k}: {v}" for k, v in extra_headers.items())
+        writer.write("\r\n".join(headers).encode("latin-1") + b"\r\n\r\n" + body)
+        await writer.drain()

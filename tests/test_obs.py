@@ -114,6 +114,60 @@ class TestTracer:
         for i in range(4):
             assert spans[f"thread.{i}"].parent_id is None
 
+    def test_single_threaded_structure_unchanged(self):
+        """The contextvars stack reproduces the thread-local semantics
+        exactly for sequential code: depth-first ancestry, siblings
+        share a parent, and closing a span restores its parent as the
+        open head for whatever follows."""
+        tracer = enable_tracing()
+        with tracer.span("a"):
+            with tracer.span("a.b"):
+                with tracer.span("a.b.c"):
+                    pass
+            with tracer.span("a.d"):
+                pass
+        with tracer.span("e"):
+            pass
+        spans = {s.name: s for s in tracer.spans()}
+        assert spans["a"].parent_id is None
+        assert spans["e"].parent_id is None
+        assert spans["a.b"].parent_id == spans["a"].span_id
+        assert spans["a.d"].parent_id == spans["a"].span_id
+        assert spans["a.b.c"].parent_id == spans["a.b"].span_id
+        # Same tid throughout: one thread, one ancestry chain.
+        assert len({s.tid for s in spans.values()}) == 1
+
+    def test_interleaved_asyncio_tasks_nest_per_task(self):
+        """Two tasks ping-ponging on one event loop (one OS thread)
+        must each keep their own span ancestry.  With the old
+        thread-local stack, task B's inner span would have claimed
+        task A's open span as its parent."""
+        import asyncio
+
+        tracer = enable_tracing()
+
+        async def job(name: str, gate: "asyncio.Event", other: "asyncio.Event"):
+            with tracer.span(f"{name}.outer"):
+                await gate.wait()
+                with tracer.span(f"{name}.inner"):
+                    other.set()
+                    await asyncio.sleep(0)
+
+        async def run():
+            gate_a, gate_b = asyncio.Event(), asyncio.Event()
+            ta = asyncio.create_task(job("a", gate_a, gate_b))
+            tb = asyncio.create_task(job("b", gate_b, gate_a))
+            await asyncio.sleep(0)
+            gate_a.set()  # a enters inner first, then b interleaves
+            await asyncio.gather(ta, tb)
+
+        asyncio.run(run())
+        spans = {s.name: s for s in tracer.spans()}
+        assert spans["a.outer"].parent_id is None
+        assert spans["b.outer"].parent_id is None
+        assert spans["a.inner"].parent_id == spans["a.outer"].span_id
+        assert spans["b.inner"].parent_id == spans["b.outer"].span_id
+
     def test_span_ids_unique(self):
         tracer = enable_tracing()
         for _ in range(10):

@@ -228,6 +228,44 @@ def test_lru_evicts_oldest():
     assert cache.stats.evictions == 1
 
 
+def test_cache_is_thread_safe_under_concurrent_access():
+    """Many threads hammering one small cache: no lost updates, no
+    corrupted LRU order, stats that add up.  Regression test for the
+    unlocked OrderedDict mutation the serving layer would have raced."""
+    import threading
+
+    cache = ArtifactCache(max_entries=16)
+    n_threads, n_ops = 8, 400
+    errors = []
+    barrier = threading.Barrier(n_threads)
+
+    def hammer(seed: int) -> None:
+        try:
+            barrier.wait()
+            for i in range(n_ops):
+                key = ("k", (seed + i) % 24)
+                value = cache.get_or_build(key, lambda k=key: k)
+                if value != key:
+                    errors.append((key, value))
+                cache.get(("k", i % 24))
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=hammer, args=(t,)) for t in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert len(cache) <= 16
+    stats = cache.stats
+    # Every get_or_build either hit or missed; every miss built.
+    assert stats.hits + stats.misses >= n_threads * n_ops
+    assert stats.evictions > 0
+
+
 # -- shared FactUniverse ------------------------------------------------------
 
 

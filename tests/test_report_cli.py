@@ -238,6 +238,53 @@ class TestRegressionGate:
         assert len(failures) == 1
         assert "demand" in failures[0]
 
+    @staticmethod
+    def _serving_report(**over):
+        report = {
+            "mode": "full",
+            "hit_rate": 0.7,
+            "dedup_ratio": 0.35,
+            "load": {"errors": 0},
+            "byte_identity_shapes": 8,
+            "target_met": True,
+            "warm_speedup": 137.0,
+            "target_warm_speedup": 20.0,
+        }
+        report.update(over)
+        return report
+
+    def test_serving_passes_on_healthy_report(self, gate):
+        assert gate.serving_failures(self._serving_report()) == []
+
+    def test_serving_fails_on_low_hit_rate(self, gate):
+        failures = gate.serving_failures(self._serving_report(hit_rate=0.1))
+        assert len(failures) == 1 and "hit rate" in failures[0]
+
+    def test_serving_dedup_floor_applies_to_full_runs_only(self, gate):
+        assert gate.serving_failures(
+            self._serving_report(dedup_ratio=0.0)
+        ) and not gate.serving_failures(
+            self._serving_report(dedup_ratio=0.0, mode="smoke")
+        )
+
+    def test_serving_fails_on_load_errors(self, gate):
+        failures = gate.serving_failures(
+            self._serving_report(load={"errors": 3})
+        )
+        assert len(failures) == 1 and "non-200" in failures[0]
+
+    def test_serving_requires_byte_identity_samples(self, gate):
+        failures = gate.serving_failures(
+            self._serving_report(byte_identity_shapes=0)
+        )
+        assert len(failures) == 1 and "byte-identity" in failures[0]
+
+    def test_serving_fails_when_warm_target_missed(self, gate):
+        failures = gate.serving_failures(
+            self._serving_report(target_met=False, warm_speedup=12.0)
+        )
+        assert len(failures) == 1 and "warm speedup" in failures[0]
+
     def test_strict_mode_fails_on_missing_baseline(self, gate, tmp_path):
         empty = tmp_path / "results"
         empty.mkdir()
