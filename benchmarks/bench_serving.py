@@ -14,7 +14,9 @@ interactive-shaped:
 * **mutation** requests re-post a previously seen mutated source —
   warm for the server, cold for any per-request system.
 
-Reported per run: p50/p99/mean latency, requests/s, LRU hit rate,
+Reported per run: client-observed p50/p99/mean latency, the server's
+own windowed quantiles (same :func:`repro.obs.telemetry.percentile`
+math, so the columns are comparable), requests/s, LRU hit rate,
 dedup ratio, and the **warm speedup** — the per-request cold solve
 time (direct :func:`repro.analyses.registry.run_entry`, graph build
 included, no serving machinery) divided by the p50 latency of
@@ -51,6 +53,7 @@ if __name__ == "__main__":  # allow running without PYTHONPATH=src
 from repro.analyses import registry as reg
 from repro.analyses.mpi_model import MpiModel
 from repro.mpi import build_mpi_icfg
+from repro.obs.telemetry import percentile
 from repro.programs import figure1
 from repro.programs.registry import BENCHMARKS
 
@@ -104,7 +107,7 @@ def cold_baseline_ms(shapes, reps: int) -> dict:
     values = sorted(per_shape.values())
     return {
         "per_shape_ms": per_shape,
-        "p50_ms": statistics.median(values),
+        "p50_ms": percentile(values, 0.50),
         "mean_ms": statistics.fmean(values),
     }
 
@@ -270,17 +273,9 @@ async def measure_warm_latency(
         await conn.close()
     return {
         "samples": len(latencies),
-        "p50_ms": _percentile(latencies, 0.50),
-        "p99_ms": _percentile(latencies, 0.99),
+        "p50_ms": percentile(latencies, 0.50),
+        "p99_ms": percentile(latencies, 0.99),
     }
-
-
-def _percentile(values: list[float], q: float) -> float:
-    if not values:
-        return 0.0
-    ordered = sorted(values)
-    idx = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
-    return ordered[idx]
 
 
 def summarise(load: dict) -> dict:
@@ -298,20 +293,53 @@ def summarise(load: dict) -> dict:
         "wall_s": load["wall_s"],
         "requests_per_s": len(samples) / load["wall_s"] if load["wall_s"] else 0.0,
         "latency_ms": {
-            "p50": _percentile(lat, 0.50),
-            "p99": _percentile(lat, 0.99),
+            "p50": percentile(lat, 0.50),
+            "p99": percentile(lat, 0.99),
             "mean": statistics.fmean(lat) if lat else 0.0,
         },
         "by_cache": {
             name: {
                 "count": len(values),
-                "p50_ms": _percentile(values, 0.50),
-                "p99_ms": _percentile(values, 0.99),
+                "p50_ms": percentile(values, 0.50),
+                "p99_ms": percentile(values, 0.99),
             }
             for name, values in sorted(by_cache.items())
         },
     }
     return out
+
+
+def server_quantiles(stats: dict) -> dict:
+    """The server's own windowed latency quantiles, pulled from
+    ``/v1/stats``, for the report next to the client-observed numbers.
+
+    Client latency includes the socket and the event-loop queue; the
+    server's :class:`repro.obs.telemetry.RollingQuantile` streams see
+    only the in-server handling time, per endpoint × entry × cache
+    tier.  Both use the same nearest-rank :func:`percentile` math, so
+    the gap between the two columns is purely transport + queueing.
+    """
+    streams = {
+        name: {
+            "count": q["count"],
+            "p50_ms": q["p50"],
+            "p95_ms": q["p95"],
+            "p99_ms": q["p99"],
+            "max_ms": q["max"],
+        }
+        for name, q in stats.get("telemetry", {}).get("quantiles", {}).items()
+        if "endpoint=analyze" in name
+    }
+    total = sum(s["count"] for s in streams.values())
+    aggregate = {"count": total}
+    for key in ("p50_ms", "p95_ms", "p99_ms"):
+        aggregate[key] = (
+            sum(s[key] * s["count"] for s in streams.values()) / total
+            if total
+            else 0.0
+        )
+    return {"window": stats.get("telemetry", {}).get("quantile_window"),
+            "aggregate": aggregate, "streams": streams}
 
 
 # ---------------------------------------------------------------------------
@@ -450,6 +478,12 @@ def main(argv=None) -> int:
         f"  LRU hit rate {hit_rate:.1%}, dedup ratio {dedup_ratio:.1%}, "
         f"warm p50 {warm_p50:.3f} ms -> {warm_speedup:.0f}x vs cold"
     )
+    server_q = server_quantiles(stats)
+    agg = server_q["aggregate"]
+    print(
+        f"  server-side (windowed): p50 {agg['p50_ms']:.2f} ms, "
+        f"p99 {agg['p99_ms']:.2f} ms over {agg['count']} analyze requests"
+    )
 
     if summary["errors"]:
         raise AssertionError(f"{summary['errors']} non-200 responses")
@@ -472,6 +506,7 @@ def main(argv=None) -> int:
         "cold_baseline": cold,
         "load": summary,
         "warm_latency": warm,
+        "server_quantiles": server_q,
         "warm_p50_ms": warm_p50,
         "warm_speedup": warm_speedup,
         "target_warm_speedup": TARGET_WARM_SPEEDUP,

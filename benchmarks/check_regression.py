@@ -215,6 +215,7 @@ def serving_failures(
     min_hit_rate: float = MIN_SERVING_HIT_RATE,
     min_dedup_ratio: float = MIN_SERVING_DEDUP_RATIO,
     label: str = "committed",
+    strict: bool = False,
 ) -> list[str]:
     """Failure messages for one serving report.
 
@@ -222,6 +223,14 @@ def serving_failures(
     are properties of the request mix and the serving logic, not of the
     box that ran the load.  Smoke-mode reports skip the dedup floor
     (too few concurrent identical arrivals to be meaningful).
+
+    The server-side windowed quantiles (``server_quantiles``, from the
+    live-telemetry streams) must be *non-degenerate* when present —
+    observed requests, positive p50, p99 ≥ p50 — otherwise the
+    telemetry path silently stopped observing and the committed report
+    is stale evidence.  A report missing them entirely fails only
+    under ``strict`` (CI), so pre-telemetry baselines do not break
+    local runs.
     """
     failures = []
     where = f"serving ({label})"
@@ -248,6 +257,32 @@ def serving_failures(
             f"did not meet the recorded "
             f"{report.get('target_warm_speedup', 0.0):.0f}× target"
         )
+    quantiles = report.get("server_quantiles")
+    if quantiles is None:
+        if strict:
+            failures.append(
+                f"{where}: no server_quantiles recorded — re-run "
+                "bench_serving.py against a telemetry-enabled server"
+            )
+    else:
+        agg = quantiles.get("aggregate", {})
+        count = agg.get("count", 0)
+        p50 = agg.get("p50_ms", 0.0)
+        p99 = agg.get("p99_ms", 0.0)
+        if count <= 0:
+            failures.append(
+                f"{where}: server_quantiles observed no requests"
+            )
+        elif p50 <= 0.0:
+            failures.append(
+                f"{where}: server-side p50 is {p50} ms — degenerate "
+                "quantile stream"
+            )
+        elif p99 < p50:
+            failures.append(
+                f"{where}: server-side p99 {p99:.3f} ms < p50 "
+                f"{p50:.3f} ms — quantile stream is inconsistent"
+            )
     return failures
 
 
@@ -491,13 +526,16 @@ def main(argv=None) -> int:
         if committed is None:
             _missing("BENCH_serving.json", "serving")
         else:
-            failures.extend(serving_failures(committed))
+            failures.extend(serving_failures(committed, strict=args.strict))
             checked += 1
+            agg = committed.get("server_quantiles", {}).get("aggregate", {})
             print(
                 f"serving  {committed.get('mode', '?'):20s} "
                 f"hit rate {committed.get('hit_rate', 0.0):6.1%} "
                 f"dedup {committed.get('dedup_ratio', 0.0):6.1%} "
-                f"warm speedup {committed.get('warm_speedup', 0.0):6.0f}×"
+                f"warm speedup {committed.get('warm_speedup', 0.0):6.0f}× "
+                f"server p50/p99 {agg.get('p50_ms', 0.0):.2f}/"
+                f"{agg.get('p99_ms', 0.0):.2f} ms"
             )
 
     if failures:

@@ -200,6 +200,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="record and print per-node solver convergence tables",
     )
+    p.add_argument(
+        "--slow",
+        metavar="FILE",
+        help="render a serving flight-recorder slow/ JSONL shard "
+        "(span tree per SLO-breaching request) instead of running "
+        "a benchmark",
+    )
     _add_trace_outputs(p)
 
     p = sub.add_parser(
@@ -347,6 +354,27 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="record obs spans; workers write JSONL shards here, "
         "merged to DIR/serve-trace.jsonl at shutdown",
+    )
+    p.add_argument(
+        "--access-log",
+        metavar="FILE",
+        help="structured per-request JSONL access log (non-blocking "
+        "bounded writer: overload drops-and-counts, never stalls)",
+    )
+    p.add_argument(
+        "--slo-ms",
+        type=float,
+        metavar="MS",
+        help="latency SLO; requests slower than this are counted and "
+        "(with --flight-recorder) persisted with their span tree",
+    )
+    p.add_argument(
+        "--flight-recorder",
+        metavar="DIR",
+        dest="flight_recorder",
+        help="keep a ring of recent request records and write "
+        "SLO-breaching ones to DIR/slow/slow-<pid>.jsonl "
+        "(render with `repro trace --slow`)",
     )
 
     return parser
@@ -721,6 +749,12 @@ def _cmd_trace(args) -> int:
         reset_metrics,
     )
 
+    if args.slow:
+        from .obs import read_slow_records, render_slow_records
+
+        print(render_slow_records(read_slow_records(args.slow)))
+        return 0
+
     spec = _trace_spec(args)
     tracer = enable_tracing(fresh=True)
     reset_metrics()
@@ -1072,6 +1106,9 @@ def _cmd_serve(args) -> int:
         batch_window_ms=args.batch_window_ms,
         disk_cache=args.disk_cache,
         trace_dir=args.trace_out,
+        access_log=args.access_log,
+        slo_ms=args.slo_ms,
+        flight_dir=args.flight_recorder,
     )
 
     async def run() -> None:

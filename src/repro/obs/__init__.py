@@ -58,6 +58,20 @@ from .provenance import (
 )
 from .render import render_metrics, render_span_tree
 from .report import render_html_report, write_html_report
+from .telemetry import (
+    AccessLogWriter,
+    FlightRecorder,
+    RollingQuantile,
+    ServeTelemetry,
+    histogram_quantile,
+    percentile,
+    read_slow_records,
+    render_dashboard,
+    render_prometheus,
+    render_slow_records,
+    request_span_tree,
+    validate_prometheus,
+)
 from .trace import (
     NULL_TRACER,
     NullTracer,
@@ -74,12 +88,14 @@ from .trace import (
 
 __all__ = [
     "NULL_TRACER",
+    "AccessLogWriter",
     "ActivityExplanation",
     "ConvergenceRecorder",
     "ConvergenceTrace",
     "Counter",
     "DerivationChain",
     "DerivationStep",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -87,6 +103,8 @@ __all__ = [
     "NullTracer",
     "ProvenanceRecorder",
     "ProvenanceTrace",
+    "RollingQuantile",
+    "ServeTelemetry",
     "Span",
     "Tracer",
     "chrome_trace",
@@ -98,17 +116,25 @@ __all__ = [
     "fact_size",
     "get_metrics",
     "get_tracer",
+    "histogram_quantile",
     "merge_shards",
     "metric_name",
+    "percentile",
     "read_jsonl",
+    "read_slow_records",
     "render_chain",
     "render_convergence",
+    "render_dashboard",
     "render_html_report",
     "render_metrics",
+    "render_prometheus",
+    "render_slow_records",
     "render_span_tree",
+    "request_span_tree",
     "reset_metrics",
     "span",
     "traced",
+    "validate_prometheus",
     "write_chrome_trace",
     "write_html_report",
 ]

@@ -170,6 +170,8 @@ class MetricsRegistry:
         count/sum plus non-empty buckets, and an empty registry renders
         an explicit placeholder instead of an empty string.
         """
+        from .telemetry import histogram_quantile
+
         rows = []
         for name, entry in self.snapshot().items():
             kind = entry["type"]
@@ -182,6 +184,21 @@ class MetricsRegistry:
                 )
                 if entry["counts"][-1]:
                     detail = f"{detail} inf:{entry['counts'][-1]}".strip()
+                if entry["count"]:
+                    p50 = histogram_quantile(
+                        entry["boundaries"], entry["counts"], 0.50
+                    )
+                    p99 = histogram_quantile(
+                        entry["boundaries"], entry["counts"], 0.99
+                    )
+                    detail = f"p50~{p50:g} p99~{p99:g} {detail}".strip()
+            elif kind == "quantile":
+                value = f"count={entry['count']} sum={entry['sum']:g}"
+                detail = (
+                    f"p50={entry['p50']:g} p95={entry['p95']:g} "
+                    f"p99={entry['p99']:g} max={entry['max']:g} "
+                    f"(window {entry['windowed']}/{entry['window']})"
+                )
             else:
                 v = entry["value"]
                 value = f"{v:g}" if isinstance(v, float) else str(v)
@@ -220,6 +237,11 @@ class MetricsRegistry:
                     h.counts[i] += c
                 h.count += entry["count"]
                 h.sum += entry["sum"]
+            elif kind == "quantile":
+                # Windowed quantile summaries (repro.obs.telemetry) are
+                # per-process views; windows cannot be merged, so they
+                # are deliberately not absorbed across processes.
+                continue
             else:  # pragma: no cover - snapshot corruption
                 raise ValueError(f"unknown metric type {kind!r} for {name!r}")
 

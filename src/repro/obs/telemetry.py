@@ -1,0 +1,978 @@
+"""Live-ops telemetry for the serving layer.
+
+The offline obs stack (spans, fixed-bucket histograms, HTML reports)
+answers "what did this run do"; a long-lived ``repro serve`` process
+needs the *continuous* versions of the same questions — what are
+p50/p99 right now, which requests were slow, is any tier saturating.
+This module holds the pieces, all stdlib and all fixed-memory:
+
+- :func:`percentile` — the one shared nearest-rank quantile helper
+  (the load benchmark and the server must agree on the math);
+- :class:`RollingQuantile` — windowed p50/p95/p99/max over a ring
+  buffer of the last N observations: constant memory, no decay math,
+  and "recent" means exactly the window;
+- :func:`histogram_quantile` — Prometheus-style quantile estimation
+  from a fixed-bucket :class:`~repro.obs.metrics.Histogram` snapshot;
+- :func:`render_prometheus` / :func:`validate_prometheus` — text
+  exposition of a registry snapshot (``# TYPE`` lines, labels,
+  cumulative histogram buckets, summary quantiles);
+- :class:`AccessLogWriter` — bounded non-blocking JSONL writer; a
+  full buffer sheds records and counts the drops instead of stalling
+  the event loop on disk;
+- :class:`FlightRecorder` — ring buffer of the last N request
+  records; SLO breaches persist their span tree to a ``slow/`` JSONL
+  shard so p99 outliers stay explainable after the fact;
+- :class:`ServeTelemetry` — the bundle the server owns: request ids,
+  per-(endpoint, entry, cache) latency quantiles, access log, flight
+  recorder;
+- :func:`render_dashboard` — the self-contained live HTML dashboard
+  served at ``GET /dashboard``.
+
+Import discipline: this module must not import the server (the server
+imports it), and anything here that touches
+:mod:`repro.obs.metrics` does so lazily to keep the dependency
+one-way at import time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import threading
+import time
+from collections import deque
+from typing import IO, Iterable, Optional, Sequence
+
+__all__ = [
+    "AccessLogWriter",
+    "FlightRecorder",
+    "RollingQuantile",
+    "ServeTelemetry",
+    "histogram_quantile",
+    "percentile",
+    "read_slow_records",
+    "render_dashboard",
+    "render_prometheus",
+    "render_slow_records",
+    "request_span_tree",
+    "validate_prometheus",
+]
+
+
+# ---------------------------------------------------------------------------
+# quantile math
+# ---------------------------------------------------------------------------
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (``q`` in [0, 1]).
+
+    The single source of truth shared by the load benchmark's
+    client-side numbers and the server's windowed quantiles, so the
+    two columns in ``BENCH_serving.json`` are comparable.  Returns
+    0.0 for an empty sequence (telemetry never raises mid-request).
+    """
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    ordered = sorted(values)
+    idx = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[idx]
+
+
+def histogram_quantile(
+    boundaries: Sequence[float], counts: Sequence[int], q: float
+) -> float:
+    """Estimate the ``q`` quantile of a fixed-bucket histogram.
+
+    ``boundaries`` are upper bucket edges and ``counts`` has one extra
+    overflow bucket (the :class:`~repro.obs.metrics.Histogram` layout).
+    Linear interpolation within the owning bucket, Prometheus-style:
+    the overflow bucket clamps to the last finite edge (the histogram
+    records no upper bound there), and the first bucket interpolates
+    from zero.
+    """
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    rank = q * total
+    seen = 0.0
+    for i, c in enumerate(counts):
+        if c == 0:
+            continue
+        if seen + c >= rank:
+            if i >= len(boundaries):  # overflow bucket: no upper edge
+                return float(boundaries[-1])
+            lo = float(boundaries[i - 1]) if i > 0 else 0.0
+            hi = float(boundaries[i])
+            frac = (rank - seen) / c
+            return lo + (hi - lo) * max(0.0, min(1.0, frac))
+        seen += c
+    return float(boundaries[-1])  # pragma: no cover - rank <= total
+
+
+class RollingQuantile:
+    """Windowed quantiles over a fixed-size ring of observations.
+
+    Keeps the last ``window`` raw values (fixed memory) plus lifetime
+    ``count``/``sum``; :meth:`summary` sorts the ring once and reads
+    p50/p95/p99/max from it.  Unlike the fixed-bucket
+    :class:`~repro.obs.metrics.Histogram` there is no boundary choice
+    to get wrong and the answer tracks *recent* traffic — a latency
+    regression shows up within one window, not amortised over the
+    process lifetime.
+    """
+
+    __slots__ = ("window", "count", "sum", "_ring", "_next", "_lock")
+
+    QUANTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+
+    def __init__(self, window: int = 512):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+        self.count = 0
+        self.sum: float = 0.0
+        self._ring: list[float] = []
+        self._next = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            if len(self._ring) < self.window:
+                self._ring.append(value)
+            else:
+                self._ring[self._next] = value
+                self._next = (self._next + 1) % self.window
+
+    def values(self) -> list[float]:
+        """The current window contents (unordered)."""
+        with self._lock:
+            return list(self._ring)
+
+    def summary(self) -> dict:
+        """JSON-ready snapshot: windowed quantiles + lifetime totals."""
+        with self._lock:
+            ring = list(self._ring)
+            count, total = self.count, self.sum
+        ring.sort()
+        out = {
+            "type": "quantile",
+            "window": self.window,
+            "windowed": len(ring),
+            "count": count,
+            "sum": total,
+        }
+        for name, q in self.QUANTILES:
+            out[name] = percentile(ring, q) if ring else 0.0
+        out["max"] = ring[-1] if ring else 0.0
+        return out
+
+    # snapshot()-compatible alias so a RollingQuantile can live in a
+    # MetricsRegistry-shaped dict next to counters and histograms
+    as_dict = summary
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4"
+
+
+def _sanitize_metric(name: str) -> str:
+    out = []
+    for i, ch in enumerate(name):
+        ok = ch.isascii() and (ch.isalpha() or ch == "_" or ch == ":")
+        if not ok and ch.isdigit() and i > 0:
+            ok = True
+        out.append(ch if ok else "_")
+    return "".join(out)
+
+
+def _sanitize_label(name: str) -> str:
+    out = []
+    for i, ch in enumerate(name):
+        ok = ch.isascii() and (ch.isalpha() or ch == "_")
+        if not ok and ch.isdigit() and i > 0:
+            ok = True
+        out.append(ch if ok else "_")
+    return "".join(out)
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _parse_metric_name(name: str) -> tuple[str, list[tuple[str, str]]]:
+    """Split a registry name (``base{k=v,...}``, the
+    :func:`repro.obs.metrics.metric_name` convention) into a sanitized
+    Prometheus base name and label pairs."""
+    base, labels = name, []
+    if name.endswith("}") and "{" in name:
+        base, inner = name.split("{", 1)
+        inner = inner[:-1]
+        for part in inner.split(","):
+            if "=" in part:
+                k, v = part.split("=", 1)
+                labels.append((_sanitize_label(k.strip()), v.strip()))
+    return _sanitize_metric(base), labels
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+def _label_str(pairs: Iterable[tuple[str, str]]) -> str:
+    pairs = list(pairs)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Render a metrics snapshot as Prometheus text exposition.
+
+    ``snapshot`` maps registry names (``base{k=v,...}``) to the
+    ``as_dict()`` form of Counter / Gauge / Histogram /
+    :class:`RollingQuantile`.  Series sharing a base name are grouped
+    under one ``# TYPE`` line; counters get the ``_total`` suffix,
+    histograms emit cumulative ``_bucket``/``_sum``/``_count``, and
+    quantiles render as summaries (``{quantile="0.5"}`` ...).
+    """
+    groups: dict[str, dict] = {}
+    for name in sorted(snapshot):
+        entry = snapshot[name]
+        base, labels = _parse_metric_name(name)
+        kind = entry["type"]
+        if kind == "counter" and not base.endswith("_total"):
+            base += "_total"
+        group = groups.setdefault(base, {"type": kind, "series": []})
+        if group["type"] != kind:
+            # Same base with two instrument kinds: disambiguate rather
+            # than emit a malformed exposition.
+            base = f"{base}_{kind}"
+            group = groups.setdefault(base, {"type": kind, "series": []})
+        group["series"].append((labels, entry))
+
+    lines: list[str] = []
+    prom_type = {
+        "counter": "counter",
+        "gauge": "gauge",
+        "histogram": "histogram",
+        "quantile": "summary",
+    }
+    for base in sorted(groups):
+        group = groups[base]
+        kind = group["type"]
+        lines.append(f"# TYPE {base} {prom_type.get(kind, 'untyped')}")
+        for labels, entry in group["series"]:
+            if kind in ("counter", "gauge"):
+                lines.append(f"{base}{_label_str(labels)} {_fmt(entry['value'])}")
+            elif kind == "histogram":
+                cumulative = 0
+                for edge, c in zip(entry["boundaries"], entry["counts"]):
+                    cumulative += c
+                    le = labels + [("le", _fmt(float(edge)))]
+                    lines.append(f"{base}_bucket{_label_str(le)} {cumulative}")
+                le = labels + [("le", "+Inf")]
+                lines.append(f"{base}_bucket{_label_str(le)} {entry['count']}")
+                lines.append(f"{base}_sum{_label_str(labels)} {_fmt(entry['sum'])}")
+                lines.append(f"{base}_count{_label_str(labels)} {entry['count']}")
+            elif kind == "quantile":
+                for qname, q in RollingQuantile.QUANTILES:
+                    ql = labels + [("quantile", _fmt(float(q)))]
+                    lines.append(f"{base}{_label_str(ql)} {_fmt(entry[qname])}")
+                ql = labels + [("quantile", "1")]
+                lines.append(f"{base}{_label_str(ql)} {_fmt(entry['max'])}")
+                lines.append(f"{base}_sum{_label_str(labels)} {_fmt(entry['sum'])}")
+                lines.append(f"{base}_count{_label_str(labels)} {entry['count']}")
+            else:  # pragma: no cover - registry invariant
+                lines.append(f"{base}{_label_str(labels)} {_fmt(entry.get('value', 0))}")
+    return "\n".join(lines) + "\n" if lines else "# (no metrics recorded)\n"
+
+
+def validate_prometheus(text: str) -> list[str]:
+    """Well-formedness problems in a text exposition (empty = valid).
+
+    Not a full parser — checks the invariants the CI smoke cares
+    about: every sample line is ``name[{labels}] value``, names are
+    legal, label values are quoted, every samples' base name is
+    covered by a ``# TYPE`` line, and the body ends with a newline.
+    """
+    import re
+
+    problems: list[str] = []
+    if not text:
+        return ["empty exposition"]
+    if not text.endswith("\n"):
+        problems.append("exposition must end with a newline")
+    typed: set[str] = set()
+    name_re = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+    sample_re = re.compile(
+        r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"
+        r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\""
+        r"(?:,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\")*\})?"
+        r" (-?[0-9.eE+\-]+|[+-]?Inf|NaN)$"
+    )
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                problems.append(f"line {lineno}: malformed TYPE line")
+                continue
+            _, _, name, kind = parts
+            if not name_re.match(name):
+                problems.append(f"line {lineno}: bad metric name {name!r}")
+            if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                problems.append(f"line {lineno}: bad metric kind {kind!r}")
+            typed.add(name)
+            continue
+        if line.startswith("#"):
+            continue
+        m = sample_re.match(line)
+        if not m:
+            problems.append(f"line {lineno}: malformed sample {line!r}")
+            continue
+        name = m.group(1)
+        bases = {name}
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix):
+                bases.add(name[: -len(suffix)])
+        if not bases & typed:
+            problems.append(f"line {lineno}: sample {name!r} has no TYPE line")
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# access log
+# ---------------------------------------------------------------------------
+
+
+class AccessLogWriter:
+    """Bounded, non-blocking structured (JSONL) log writer.
+
+    :meth:`write` never blocks the caller: records go on a bounded
+    queue drained by one daemon thread; when the queue is full the
+    record is dropped and counted (``stats()["dropped"]``) — under
+    overload the server keeps answering requests and the log admits
+    the gap, rather than the disk stalling the event loop.
+    """
+
+    _SENTINEL = object()
+
+    def __init__(
+        self,
+        path: str,
+        capacity: int = 4096,
+        auto_start: bool = True,
+    ):
+        self.path = path
+        self._queue: "queue.Queue" = queue.Queue(maxsize=capacity)
+        self._written = 0
+        self._dropped = 0
+        self._lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        if auto_start:
+            self.start()
+
+    def start(self) -> None:
+        """Start the drain thread (idempotent)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._drain, name="repro-access-log", daemon=True
+            )
+            self._thread.start()
+
+    def write(self, record: dict) -> bool:
+        """Enqueue one record; ``False`` (and a counted drop) if full."""
+        if self._closed:
+            return False
+        try:
+            self._queue.put_nowait(record)
+            return True
+        except queue.Full:
+            with self._lock:
+                self._dropped += 1
+            return False
+
+    def _drain(self) -> None:
+        with open(self.path, "a", encoding="utf-8") as fh:
+            while True:
+                item = self._queue.get()
+                if item is self._SENTINEL:
+                    fh.flush()
+                    return
+                fh.write(json.dumps(item, sort_keys=True) + "\n")
+                if self._queue.empty():
+                    fh.flush()
+                with self._lock:
+                    self._written += 1
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "path": self.path,
+                "written": self._written,
+                "dropped": self._dropped,
+                "queued": self._queue.qsize(),
+            }
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Flush queued records and stop the drain thread."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._thread is None:
+            # Never started: drain synchronously so nothing queued is lost.
+            self.start()
+        self._queue.put(self._SENTINEL)
+        self._thread.join(timeout=timeout)
+
+
+# ---------------------------------------------------------------------------
+# flight recorder
+# ---------------------------------------------------------------------------
+
+
+def request_span_tree(record: dict) -> list[dict]:
+    """Synthesise a span tree for one request record.
+
+    The serving request path crosses the asyncio loop, the batching
+    queue, and (in pool mode) a worker process — there is no single
+    in-process tracer that saw the whole request.  The timing
+    breakdown the tiers *do* report (queue wait, worker solve/render,
+    total) is enough to reconstruct the tree, in the same dict shape
+    :func:`repro.obs.render.render_span_tree` renders, so ``repro
+    trace --slow`` works identically in inline and pool modes.
+    """
+    rid = record.get("request_id", "?")
+    pid = record.get("pid", 0)
+    total_ms = float(record.get("total_ms", 0.0))
+    timings = record.get("timings") or {}
+
+    def span(n: int, name: str, start_ms: float, dur_ms: float, parent, **attrs):
+        return {
+            "name": name,
+            "cat": "serve",
+            "start": start_ms / 1000.0,
+            "dur": dur_ms / 1000.0,
+            "pid": pid,
+            "tid": 0,
+            "id": f"{rid}/{n}",
+            "parent": f"{rid}/{parent}" if parent is not None else None,
+            "attrs": attrs,
+        }
+
+    root = span(
+        0,
+        "serve.request",
+        0.0,
+        total_ms,
+        None,
+        endpoint=record.get("endpoint"),
+        entry=record.get("entry"),
+        cache=record.get("cache"),
+        status=record.get("status"),
+        request_id=rid,
+    )
+    spans = [root]
+    cursor = 0.0
+    n = 1
+    queue_ms = float(timings.get("queue_wait_ms", 0.0))
+    if queue_ms:
+        spans.append(
+            span(n, "serve.queue", cursor, queue_ms, 0,
+                 batch_size=timings.get("batch_size"))
+        )
+        cursor += queue_ms
+        n += 1
+    exec_ms = float(timings.get("exec_ms", 0.0))
+    if exec_ms:
+        exec_idx = n
+        spans.append(
+            span(n, "serve.execute", cursor, exec_ms, 0,
+                 worker_cache=timings.get("worker_cache"))
+        )
+        n += 1
+        inner = cursor
+        for key, name in (("solve_ms", "serve.solve"), ("render_ms", "serve.render")):
+            dur = float(timings.get(key, 0.0))
+            if dur:
+                spans.append(span(n, name, inner, dur, exec_idx))
+                inner += dur
+                n += 1
+        cursor += exec_ms
+    return spans
+
+
+class FlightRecorder:
+    """Ring buffer of recent requests + persistent shard of slow ones.
+
+    Every observed request lands in a bounded ring (``capacity``
+    newest records, fixed memory).  When ``slo_ms`` is set, any
+    request whose total latency breaches it is also appended — span
+    tree included — to ``slow/slow-<pid>.jsonl`` under ``slow_dir``,
+    so the p99 outliers of a long-gone load spike can still be
+    rendered (``repro trace --slow``) after the fact.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        slo_ms: Optional[float] = None,
+        slow_dir: Optional[str] = None,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.slo_ms = slo_ms
+        self.slow_path: Optional[str] = None
+        self._ring: "deque[dict]" = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._slow_count = 0
+        self._slow_fh: Optional[IO[str]] = None
+        if slow_dir is not None:
+            shard_dir = os.path.join(slow_dir, "slow")
+            os.makedirs(shard_dir, exist_ok=True)
+            self.slow_path = os.path.join(shard_dir, f"slow-{os.getpid()}.jsonl")
+
+    def record(self, record: dict) -> bool:
+        """Add one request record; ``True`` if it breached the SLO."""
+        slow = self.slo_ms is not None and record.get("total_ms", 0.0) > self.slo_ms
+        with self._lock:
+            self._ring.append(record)
+            if slow:
+                self._slow_count += 1
+                if self.slow_path is not None:
+                    persisted = dict(record)
+                    persisted["slo_ms"] = self.slo_ms
+                    persisted.setdefault("spans", request_span_tree(record))
+                    if self._slow_fh is None:
+                        self._slow_fh = open(self.slow_path, "a", encoding="utf-8")
+                    self._slow_fh.write(json.dumps(persisted, sort_keys=True) + "\n")
+                    self._slow_fh.flush()
+        return slow
+
+    def snapshot(self) -> list[dict]:
+        """The ring contents, oldest first."""
+        with self._lock:
+            return list(self._ring)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "recorded": len(self._ring),
+                "slo_ms": self.slo_ms,
+                "slow": self._slow_count,
+                "slow_path": self.slow_path,
+            }
+
+    def close(self) -> None:
+        with self._lock:
+            if self._slow_fh is not None:
+                self._slow_fh.close()
+                self._slow_fh = None
+
+
+def read_slow_records(path: str) -> list[dict]:
+    """Load a ``slow/`` shard written by :class:`FlightRecorder`."""
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def render_slow_records(records: Iterable[dict]) -> str:
+    """Human-readable rendering of flight-recorder slow records:
+    one header line per request plus its indented span tree."""
+    from .render import render_span_tree
+
+    blocks = []
+    for rec in records:
+        header = (
+            f"request {rec.get('request_id', '?')}"
+            f"  {rec.get('endpoint', '?')}"
+            f"  entry={rec.get('entry', '-')}"
+            f"  cache={rec.get('cache', '-')}"
+            f"  status={rec.get('status', '-')}"
+            f"  total={rec.get('total_ms', 0.0):.2f}ms"
+            f"  slo={rec.get('slo_ms', '-')}ms"
+        )
+        spans = rec.get("spans") or request_span_tree(rec)
+        blocks.append(header + "\n" + render_span_tree(spans))
+    if not blocks:
+        return "(no slow requests recorded)"
+    return "\n\n".join(blocks)
+
+
+# ---------------------------------------------------------------------------
+# the server-side bundle
+# ---------------------------------------------------------------------------
+
+
+class ServeTelemetry:
+    """Everything the server records about live traffic, in one place.
+
+    Latency quantiles (per endpoint × entry × cache tier) are always
+    on — observing into a ring is nanoseconds against a ~ms request.
+    The parts that change observable behaviour (``X-Request-Id``
+    headers, the access log, the flight recorder) are opt-in via the
+    serve flags, so with everything off the server's responses stay
+    byte-identical to a build without this module.
+    """
+
+    LATENCY_METRIC = "repro.serve.latency_ms"
+
+    def __init__(
+        self,
+        quantile_window: int = 512,
+        access_log: Optional[str] = None,
+        access_log_capacity: int = 4096,
+        slo_ms: Optional[float] = None,
+        flight_dir: Optional[str] = None,
+        flight_capacity: int = 256,
+    ):
+        self.quantile_window = quantile_window
+        self.slo_ms = slo_ms
+        self.access_log = (
+            AccessLogWriter(access_log, capacity=access_log_capacity)
+            if access_log
+            else None
+        )
+        self.flight = (
+            FlightRecorder(capacity=flight_capacity, slo_ms=slo_ms,
+                           slow_dir=flight_dir)
+            if (flight_dir is not None or slo_ms is not None)
+            else None
+        )
+        # Any opt-in feature turns on request-id response headers; with
+        # everything off, responses carry no telemetry fingerprint.
+        self.enabled = bool(access_log or slo_ms is not None or flight_dir)
+        self._quantiles: dict[str, RollingQuantile] = {}
+        self._lock = threading.Lock()
+        self._rid_counter = 0
+        self._rid_prefix = f"{os.getpid():x}"
+
+    # -- request ids ---------------------------------------------------------
+
+    def request_id(self, supplied: Optional[str] = None) -> str:
+        """The request's id: the client's ``X-Request-Id`` if supplied
+        (trimmed, so logs stay greppable), else ``<pid-hex>-<n>``."""
+        if supplied:
+            return supplied.strip()[:128]
+        with self._lock:
+            self._rid_counter += 1
+            return f"{self._rid_prefix}-{self._rid_counter:06d}"
+
+    # -- observation ---------------------------------------------------------
+
+    def _quantile(self, name: str) -> RollingQuantile:
+        with self._lock:
+            rq = self._quantiles.get(name)
+            if rq is None:
+                rq = RollingQuantile(self.quantile_window)
+                self._quantiles[name] = rq
+            return rq
+
+    def observe(
+        self,
+        *,
+        endpoint: str,
+        entry: str,
+        cache: str,
+        status: int,
+        nbytes: int,
+        total_ms: float,
+        request_id: Optional[str] = None,
+        timings: Optional[dict] = None,
+        error: Optional[str] = None,
+    ) -> dict:
+        """Record one finished request everywhere it belongs and
+        return the access-log record (useful to tests)."""
+        from .metrics import metric_name
+
+        name = metric_name(
+            self.LATENCY_METRIC, endpoint=endpoint, entry=entry, cache=cache
+        )
+        self._quantile(name).observe(total_ms)
+        record = {
+            "ts": time.time(),
+            "pid": os.getpid(),
+            "request_id": request_id,
+            "endpoint": endpoint,
+            "entry": entry,
+            "cache": cache,
+            "status": status,
+            "bytes": nbytes,
+            "total_ms": round(total_ms, 3),
+        }
+        if timings:
+            record["timings"] = {
+                k: (round(v, 3) if isinstance(v, float) else v)
+                for k, v in timings.items()
+            }
+        if error:
+            record["error"] = error
+        if self.access_log is not None:
+            self.access_log.write(record)
+        if self.flight is not None:
+            self.flight.record(record)
+        return record
+
+    # -- exposure ------------------------------------------------------------
+
+    def quantile_snapshot(self) -> dict:
+        """``{metric_name: summary}`` for every latency stream, sorted
+        — merges directly into a registry snapshot for exposition."""
+        with self._lock:
+            items = list(self._quantiles.items())
+        return {name: rq.summary() for name, rq in sorted(items)}
+
+    def stats(self) -> dict:
+        out: dict = {
+            "enabled": self.enabled,
+            "quantile_window": self.quantile_window,
+            "quantiles": self.quantile_snapshot(),
+        }
+        if self.access_log is not None:
+            out["access_log"] = self.access_log.stats()
+        if self.flight is not None:
+            out["flight_recorder"] = self.flight.stats()
+        return out
+
+    def close(self) -> None:
+        if self.access_log is not None:
+            self.access_log.close()
+        if self.flight is not None:
+            self.flight.close()
+
+
+# ---------------------------------------------------------------------------
+# live dashboard
+# ---------------------------------------------------------------------------
+
+_DASH_CSS = """
+.cards .card .v { font-variant-numeric: tabular-nums; }
+.spark { display: block; width: 100%; height: 64px; background: #f8fafc;
+         border: 1px solid #e3e9f0; border-radius: 6px; }
+.spark-grid { display: grid; grid-template-columns: repeat(3, 1fr);
+              gap: 12px; }
+.spark-grid h3 { margin: 0 0 6px; font-size: 12px; color: #5d7289;
+                 text-transform: uppercase; letter-spacing: .04em; }
+.meter { margin: 8px 0; }
+.meter .lbl { display: flex; justify-content: space-between;
+              font-size: 12px; color: #32465a; margin-bottom: 3px; }
+.meter .bar { height: 10px; background: #e9edf2; border-radius: 5px;
+              overflow: hidden; }
+.meter .fill { height: 100%; width: 0; background: #3c7dd1;
+               border-radius: 5px; transition: width .4s; }
+.meter .fill.warn { background: #d99a26; }
+.meter .fill.crit { background: #c23b3b; }
+.err { color: #8f2222; font-size: 12px; }
+#updated { color: #8296a9; font-size: 12px; }
+""".strip()
+
+_DASH_JS = r"""
+'use strict';
+const HIST = { rps: [], p50: [], p99: [], hit: [] };
+const MAXPTS = 120;
+let prev = null;
+
+function push(arr, v) { arr.push(v); if (arr.length > MAXPTS) arr.shift(); }
+
+function spark(id, series, opts) {
+  const c = document.getElementById(id);
+  const ctx = c.getContext('2d');
+  const W = c.width = c.clientWidth * 2, H = c.height = c.clientHeight * 2;
+  ctx.clearRect(0, 0, W, H);
+  const all = series.flatMap(s => s.data);
+  if (!all.length) return;
+  const max = Math.max(...all, opts && opts.min_max || 1e-9);
+  series.forEach(s => {
+    ctx.beginPath();
+    ctx.strokeStyle = s.color; ctx.lineWidth = 2.5;
+    s.data.forEach((v, i) => {
+      const x = s.data.length < 2 ? W : i * W / (MAXPTS - 1);
+      const y = H - 6 - (v / max) * (H - 12);
+      i ? ctx.lineTo(x, y) : ctx.moveTo(x, y);
+    });
+    ctx.stroke();
+  });
+}
+
+function meter(id, used, limit) {
+  const el = document.getElementById(id);
+  const pct = limit > 0 ? Math.min(100, 100 * used / limit) : 0;
+  const fill = el.querySelector('.fill');
+  fill.style.width = pct.toFixed(1) + '%';
+  fill.className = 'fill' + (pct >= 90 ? ' crit' : pct >= 70 ? ' warn' : '');
+  el.querySelector('.val').textContent = used + ' / ' + limit;
+}
+
+function setCard(id, text) { document.getElementById(id).textContent = text; }
+
+function parseMetrics(text) {
+  // Prometheus text exposition -> [{name, labels, value}]
+  const out = [];
+  for (const line of text.split('\n')) {
+    if (!line || line[0] === '#') continue;
+    const m = line.match(/^([A-Za-z_:][\w:]*)(\{(.*)\})? (.+)$/);
+    if (!m) continue;
+    const labels = {};
+    if (m[3]) for (const part of m[3].match(/\w+="(?:[^"\\]|\\.)*"/g) || []) {
+      const i = part.indexOf('=');
+      labels[part.slice(0, i)] = part.slice(i + 2, -1);
+    }
+    out.push({ name: m[1], labels, value: parseFloat(m[4]) });
+  }
+  return out;
+}
+
+function weightedQuantile(samples, q) {
+  // count-weighted aggregate of per-stream summary quantiles
+  const qs = samples.filter(s => s.name === 'repro_serve_latency_ms'
+                              && s.labels.quantile === q);
+  const counts = {};
+  samples.filter(s => s.name === 'repro_serve_latency_ms_count')
+         .forEach(s => { counts[s.labels.endpoint + '|' + s.labels.entry
+                                + '|' + s.labels.cache] = s.value; });
+  let num = 0, den = 0;
+  qs.forEach(s => {
+    const w = counts[s.labels.endpoint + '|' + s.labels.entry
+                     + '|' + s.labels.cache] || 0;
+    num += s.value * w; den += w;
+  });
+  return den ? num / den : 0;
+}
+
+async function tick() {
+  try {
+    const [stats, mtext] = await Promise.all([
+      fetch('/v1/stats').then(r => r.json()),
+      fetch('/metrics').then(r => r.text()),
+    ]);
+    const samples = parseMetrics(mtext);
+    const now = Date.now() / 1000;
+    const req = stats.requests || 0;
+    const hits = (stats.lru && stats.lru.hits) || 0;
+    const look = (stats.lru && (stats.lru.hits + stats.lru.misses)) || 0;
+    if (prev) {
+      const dt = Math.max(now - prev.t, 1e-3);
+      push(HIST.rps, Math.max(0, (req - prev.req) / dt));
+      const dl = look - prev.look;
+      push(HIST.hit, dl > 0 ? 100 * (hits - prev.hits) / dl
+                            : (HIST.hit.at(-1) ?? 0));
+    }
+    prev = { t: now, req, hits, look };
+    push(HIST.p50, weightedQuantile(samples, '0.5'));
+    push(HIST.p99, weightedQuantile(samples, '0.99'));
+
+    setCard('c-rps', (HIST.rps.at(-1) ?? 0).toFixed(1));
+    setCard('c-p50', (HIST.p50.at(-1) ?? 0).toFixed(2) + ' ms');
+    setCard('c-p99', (HIST.p99.at(-1) ?? 0).toFixed(2) + ' ms');
+    setCard('c-hit', (HIST.hit.at(-1) ?? 0).toFixed(1) + '%');
+    setCard('c-req', String(req));
+    setCard('c-err', String(stats.errors || 0));
+
+    spark('s-rps', [{ data: HIST.rps, color: '#3c7dd1' }]);
+    spark('s-lat', [{ data: HIST.p99, color: '#c23b3b' },
+                    { data: HIST.p50, color: '#1d6b2a' }]);
+    spark('s-hit', [{ data: HIST.hit, color: '#7a4dd1' }],
+          { min_max: 100 });
+
+    const b = stats.batching || {};
+    meter('m-queue', b.queue_depth || 0, b.queue_limit || 0);
+    meter('m-inflight', b.inflight || 0, b.max_inflight || 0);
+    const lru = stats.lru || {};
+    meter('m-lru', lru.entries || 0, lru.capacity || 0);
+    const pool = stats.pool || {};
+    const ws = (pool.worker_state_stats && pool.worker_state_stats.states) || 0;
+    const wmax = (pool.worker_state_stats && pool.worker_state_stats.max_states) || 0;
+    if (wmax) meter('m-warm', ws, wmax);
+    document.getElementById('d-pool').textContent =
+      (pool.mode || '?') + ' × ' + (pool.workers ?? '?');
+    document.getElementById('updated').textContent =
+      'updated ' + new Date().toLocaleTimeString();
+    document.getElementById('error').textContent = '';
+  } catch (e) {
+    document.getElementById('error').textContent = 'poll failed: ' + e;
+  }
+}
+tick();
+setInterval(tick, 2000);
+""".strip()
+
+_DASH_HTML = """<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8">
+<title>__TITLE__</title>
+<style>__CSS__</style>
+</head><body>
+<header><h1>__TITLE__</h1>
+<p>live telemetry — polls <code>/metrics</code> + <code>/v1/stats</code>
+every 2s · pool <span id="d-pool">?</span> ·
+<span id="updated"></span> <span id="error" class="err"></span></p>
+</header><main>
+<section><h2>Now</h2>
+<div class="cards">
+<div class="card"><div class="v" id="c-rps">–</div><div class="k">req/s</div></div>
+<div class="card"><div class="v" id="c-p50">–</div><div class="k">p50 latency</div></div>
+<div class="card"><div class="v" id="c-p99">–</div><div class="k">p99 latency</div></div>
+<div class="card"><div class="v" id="c-hit">–</div><div class="k">LRU hit rate</div></div>
+<div class="card"><div class="v" id="c-req">–</div><div class="k">requests</div></div>
+<div class="card"><div class="v" id="c-err">–</div><div class="k">errors</div></div>
+</div></section>
+<section><h2>Trends</h2>
+<div class="spark-grid">
+<div><h3>req/s</h3><canvas class="spark" id="s-rps"></canvas></div>
+<div><h3>latency ms (p99 red, p50 green)</h3><canvas class="spark" id="s-lat"></canvas></div>
+<div><h3>hit rate %</h3><canvas class="spark" id="s-hit"></canvas></div>
+</div></section>
+<section><h2>Saturation</h2>
+<div class="meter" id="m-queue"><div class="lbl"><span>batch queue</span><span class="val">–</span></div><div class="bar"><div class="fill"></div></div></div>
+<div class="meter" id="m-inflight"><div class="lbl"><span>inflight batches</span><span class="val">–</span></div><div class="bar"><div class="fill"></div></div></div>
+<div class="meter" id="m-lru"><div class="lbl"><span>LRU entries</span><span class="val">–</span></div><div class="bar"><div class="fill"></div></div></div>
+<div class="meter" id="m-warm"><div class="lbl"><span>warm program states</span><span class="val">–</span></div><div class="bar"><div class="fill"></div></div></div>
+</section>
+</main><footer>generated by <code>repro serve</code> — self-contained,
+no external assets</footer>
+<script>__JS__</script>
+</body></html>
+"""
+
+
+def render_dashboard(title: str = "repro serve") -> str:
+    """The self-contained live dashboard page (``GET /dashboard``).
+
+    Inline CSS (reusing the report stylesheet) + inline JS, zero
+    external assets; the page polls ``/metrics`` and ``/v1/stats``
+    and renders sparklines (req/s, latency, hit rate) and tier
+    saturation meters client-side.
+    """
+    import html as _html
+
+    from .report import _CSS
+
+    return (
+        _DASH_HTML.replace("__TITLE__", _html.escape(title))
+        .replace("__CSS__", _CSS + "\n" + _DASH_CSS)
+        .replace("__JS__", _DASH_JS)
+    )

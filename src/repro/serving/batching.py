@@ -29,6 +29,7 @@ reliably surfaces as :class:`Backpressure`.
 from __future__ import annotations
 
 import asyncio
+import time
 from typing import Awaitable, Callable, Optional
 
 __all__ = ["Backpressure", "MicroBatcher"]
@@ -39,11 +40,12 @@ class Backpressure(RuntimeError):
 
 
 class _Item:
-    __slots__ = ("task", "future")
+    __slots__ = ("task", "future", "enqueued")
 
     def __init__(self, task: dict, future: asyncio.Future):
         self.task = task
         self.future = future
+        self.enqueued = time.perf_counter()
 
 
 class MicroBatcher:
@@ -69,6 +71,7 @@ class MicroBatcher:
         self.batch_window_s = batch_window_ms / 1000.0
         self.max_inflight = max_inflight
         self._slots = asyncio.Semaphore(max_inflight)
+        self._inflight = 0
         self._dispatcher: Optional[asyncio.Task] = None
         self._running: set[asyncio.Task] = set()
         # -- accounting (machine-independent; exposed in /v1/stats) --
@@ -150,6 +153,8 @@ class MicroBatcher:
             run.add_done_callback(self._running.discard)
 
     async def _run_batch(self, batch: list[_Item]) -> None:
+        self._inflight += 1
+        started = time.perf_counter()
         try:
             try:
                 results = await self._executor([item.task for item in batch])
@@ -158,10 +163,20 @@ class MicroBatcher:
                     if not item.future.done():
                         item.future.set_exception(exc)
                 return
+            batch_ms = (time.perf_counter() - started) * 1000.0
             for item, result in zip(batch, results):
+                # Annotate queue/batch telemetry onto the result dict in
+                # place (each result is a per-batch fresh dict); the
+                # server folds it into the request's timing breakdown.
+                if isinstance(result, dict):
+                    timings = result.setdefault("timings", {})
+                    timings["queue_wait_ms"] = (started - item.enqueued) * 1000.0
+                    timings["batch_ms"] = batch_ms
+                    timings["batch_size"] = len(batch)
                 if not item.future.done():
                     item.future.set_result(result)
         finally:
+            self._inflight -= 1
             self._slots.release()
 
     # -- stats ---------------------------------------------------------------
@@ -178,5 +193,6 @@ class MicroBatcher:
             ),
             "queue_depth": self._queue.qsize(),
             "queue_limit": self._queue.maxsize,
+            "inflight": self._inflight,
             "max_inflight": self.max_inflight,
         }

@@ -135,10 +135,25 @@ class ServeClient:
     # -- introspection -------------------------------------------------------
 
     def health(self) -> dict:
-        return json.loads(self._checked("GET", "/healthz").text)
+        """The ``/healthz`` payload regardless of probe status — a
+        degraded server answers 503 with the same JSON shape, which is
+        an answer, not a transport failure."""
+        resp = self._request("GET", "/healthz")
+        try:
+            return json.loads(resp.text)
+        except json.JSONDecodeError:
+            raise ServeClientError(resp.status, resp.text) from None
 
     def stats(self) -> dict:
         return json.loads(self._checked("GET", "/v1/stats").text)
+
+    def metrics(self) -> str:
+        """The Prometheus text exposition from ``GET /metrics``."""
+        return self._checked("GET", "/metrics").text
+
+    def dashboard(self) -> str:
+        """The live dashboard HTML from ``GET /dashboard``."""
+        return self._checked("GET", "/dashboard").text
 
     def analyses(self) -> list:
         return json.loads(self._checked("GET", "/v1/analyses").text)["analyses"]

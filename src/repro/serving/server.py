@@ -20,10 +20,16 @@ Endpoints
 ---------
 
 ==========================  =============================================
-``GET  /healthz``           liveness probe (JSON)
+``GET  /healthz``           readiness + saturation probe (JSON; 503 when
+                            the pool failed or the queue is at its limit)
+``GET  /metrics``           Prometheus text exposition: the process
+                            metrics registry, server counters, and the
+                            windowed latency quantiles
+``GET  /dashboard``         self-contained live HTML dashboard
 ``GET  /v1/analyses``       registered analyses (name, summary, flags)
 ``GET  /v1/benchmarks``     named benchmarks with their default seeds
-``GET  /v1/stats``          LRU / dedup / batch / pool counters (JSON)
+``GET  /v1/stats``          LRU / dedup / batch / pool / telemetry
+                            counters (JSON)
 ``POST /v1/analyze``        rendered analysis text (``text/plain``)
 ``POST /v1/table1``         one-row Table 1 (``text/plain``)
 ``POST /v1/explain``        provenance derivation chains (``text/plain``)
@@ -35,6 +41,14 @@ Endpoints
 (the endpoint fixes ``kind``).  Every response carries an ``X-Cache``
 header (``hit`` / ``coalesced`` / ``miss``) so load generators can
 account for where answers came from.
+
+Telemetry (:mod:`repro.obs.telemetry`): windowed latency quantiles per
+endpoint × entry × cache tier are always recorded (they cost a ring
+write per request and change no response bytes).  The opt-in pieces —
+``X-Request-Id`` response headers, the JSONL access log, the flight
+recorder with its ``slow/`` shard — are enabled by the corresponding
+``repro serve`` flags; with all of them off, responses are
+byte-identical to a server without telemetry.
 """
 
 from __future__ import annotations
@@ -43,10 +57,17 @@ import asyncio
 import json
 import os
 import pathlib
+import time
 from typing import Optional, Sequence
 
 from ..analyses import registry as _registry
 from ..obs import get_tracer, merge_shards
+from ..obs.telemetry import (
+    PROMETHEUS_CONTENT_TYPE,
+    ServeTelemetry,
+    render_dashboard,
+    render_prometheus,
+)
 from ..programs.registry import BENCHMARKS
 from .batching import Backpressure, MicroBatcher
 from .dedup import RequestCoalescer
@@ -72,9 +93,10 @@ MAX_BODY_BYTES = 4 * 1024 * 1024
 
 
 class _HttpError(Exception):
-    def __init__(self, status: int, message: str):
+    def __init__(self, status: int, message: str, headers: Optional[dict] = None):
         super().__init__(message)
         self.status = status
+        self.headers = headers or {}
 
 
 class AnalysisServer:
@@ -93,10 +115,22 @@ class AnalysisServer:
         batch_window_ms: float = 2.0,
         disk_cache: bool = False,
         trace_dir: Optional[str] = None,
+        access_log: Optional[str] = None,
+        slo_ms: Optional[float] = None,
+        flight_dir: Optional[str] = None,
+        flight_capacity: int = 256,
+        quantile_window: int = 512,
     ):
         self.host = host
         self.port = port
         self.trace_dir = str(trace_dir) if trace_dir is not None else None
+        self.telemetry = ServeTelemetry(
+            quantile_window=quantile_window,
+            access_log=access_log,
+            slo_ms=slo_ms,
+            flight_dir=str(flight_dir) if flight_dir is not None else None,
+            flight_capacity=flight_capacity,
+        )
         self.lru = ShardedLRU(capacity=lru_capacity, shards=lru_shards)
         self.coalescer = RequestCoalescer()
         self.pool = WorkerPool(
@@ -157,6 +191,8 @@ class AnalysisServer:
         loop = asyncio.get_running_loop()
         await loop.run_in_executor(None, self.pool.shutdown)
         self._merge_trace_shards()
+        # Flush the access log / slow shard off-loop (bounded work).
+        await loop.run_in_executor(None, self.telemetry.close)
 
     def _merge_trace_shards(self) -> Optional[pathlib.Path]:
         """Fold per-worker span shard files plus the server's own spans
@@ -181,40 +217,89 @@ class AnalysisServer:
 
     # -- the request path ----------------------------------------------------
 
-    async def handle(self, kind: str, body: dict) -> tuple[int, dict, str, str]:
+    async def handle(
+        self, kind: str, body: dict, request_id: Optional[str] = None
+    ) -> tuple[int, dict, str, str]:
         """``(status, headers, body_text, content_type)`` for one
         analysis request — the transport-free core, also what the tests
-        drive directly."""
-        req = ServeRequest.from_dict({**body, "kind": kind})
-        key = req.key()
-        self.requests += 1
+        drive directly.
 
-        cached = self.lru.get(key)
-        if cached is not None:
-            text, content_type = cached
-            return 200, {"X-Cache": "hit"}, text, content_type
-
-        async def compute() -> dict:
-            return await self.batcher.submit(req.to_dict())
-
-        try:
-            result, coalesced = await self.coalescer.run(key, compute)
-        except Backpressure as exc:
-            self.rejected += 1
-            raise _HttpError(503, str(exc)) from None
-
-        if not result["ok"]:
-            self.errors += 1
-            raise _HttpError(result["status"], result["error"])
-        text, content_type = result["text"], result["content_type"]
-        if not coalesced:
-            self.lru.put(key, (text, content_type))
-        return (
-            200,
-            {"X-Cache": "coalesced" if coalesced else "miss"},
-            text,
-            content_type,
+        ``request_id`` is the client-supplied ``X-Request-Id`` (if
+        any); every request gets one either way, and it is echoed as a
+        response header when telemetry is enabled or the client sent
+        one (so telemetry-off responses stay byte-identical).
+        """
+        started = time.perf_counter()
+        rid = self.telemetry.request_id(request_id)
+        id_headers = (
+            {"X-Request-Id": rid}
+            if (self.telemetry.enabled or request_id)
+            else {}
         )
+        entry = str(body.get("analysis", "activity")) if kind == "analyze" else "-"
+        cache = "none"
+        status = 500
+        nbytes = 0
+        timings: Optional[dict] = None
+        error: Optional[str] = None
+        try:
+            req = ServeRequest.from_dict({**body, "kind": kind})
+            key = req.key()
+            self.requests += 1
+
+            cached = self.lru.get(key)
+            if cached is not None:
+                text, content_type = cached
+                cache, status, nbytes = "hit", 200, len(text.encode("utf-8"))
+                return 200, {"X-Cache": "hit", **id_headers}, text, content_type
+
+            async def compute() -> dict:
+                return await self.batcher.submit(req.to_dict())
+
+            try:
+                result, coalesced = await self.coalescer.run(key, compute)
+            except Backpressure as exc:
+                self.rejected += 1
+                raise _HttpError(503, str(exc), headers=id_headers) from None
+
+            cache = "coalesced" if coalesced else "miss"
+            timings = result.get("timings")
+            if not result["ok"]:
+                self.errors += 1
+                raise _HttpError(
+                    result["status"], result["error"], headers=id_headers
+                )
+            text, content_type = result["text"], result["content_type"]
+            if not coalesced:
+                self.lru.put(key, (text, content_type))
+            status, nbytes = 200, len(text.encode("utf-8"))
+            return (
+                200,
+                {"X-Cache": cache, **id_headers},
+                text,
+                content_type,
+            )
+        except _HttpError as exc:
+            status, error = exc.status, str(exc)
+            raise
+        except ServeError as exc:
+            status, error = exc.status, str(exc)
+            raise
+        except Exception as exc:  # pragma: no cover - defensive
+            error = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            self.telemetry.observe(
+                endpoint=kind,
+                entry=entry,
+                cache=cache,
+                status=status,
+                nbytes=nbytes,
+                total_ms=(time.perf_counter() - started) * 1000.0,
+                request_id=rid,
+                timings=timings,
+                error=error,
+            )
 
     def stats(self) -> dict:
         return {
@@ -225,6 +310,7 @@ class AnalysisServer:
             "dedup": self.coalescer.stats(),
             "batching": self.batcher.stats(),
             "pool": self.pool.stats(),
+            "telemetry": self.telemetry.stats(),
         }
 
     # -- HTTP transport ------------------------------------------------------
@@ -280,11 +366,11 @@ class AnalysisServer:
         try:
             body_bytes = await self._read_body(reader, headers)
             status, extra, text, content_type = await self._route(
-                method, path, body_bytes
+                method, path, body_bytes, headers
             )
         except _HttpError as exc:
             self._count_error(exc.status)
-            status, extra = exc.status, {}
+            status, extra = exc.status, exc.headers
             text = json.dumps({"error": str(exc)})
             content_type = "application/json"
         except ServeError as exc:
@@ -334,14 +420,16 @@ class AnalysisServer:
         return await reader.readexactly(length) if length else b""
 
     async def _route(
-        self, method: str, path: str, body_bytes: bytes
+        self,
+        method: str,
+        path: str,
+        body_bytes: bytes,
+        headers: Optional[dict] = None,
     ) -> tuple[int, dict, str, str]:
         path = path.split("?", 1)[0]
+        supplied_rid = (headers or {}).get("x-request-id")
         if method == "GET":
-            payload = self._get_route(path)
-            return 200, {}, json.dumps(payload, indent=2, sort_keys=True), (
-                "application/json"
-            )
+            return self._handle_get(path, supplied_rid)
         if method != "POST":
             raise _HttpError(405, f"method {method} not allowed")
 
@@ -366,11 +454,153 @@ class AnalysisServer:
             raise _HttpError(400, "request body must be a JSON object")
         payload.pop("kind", None)
         with get_tracer().span("serve.request", kind=kind):
-            return await self.handle(kind, payload)
+            return await self.handle(kind, payload, request_id=supplied_rid)
+
+    def _handle_get(
+        self, path: str, supplied_rid: Optional[str] = None
+    ) -> tuple[int, dict, str, str]:
+        """One GET endpoint, telemetry-observed like the POST path."""
+        started = time.perf_counter()
+        rid = self.telemetry.request_id(supplied_rid)
+        id_headers = (
+            {"X-Request-Id": rid}
+            if (self.telemetry.enabled or supplied_rid)
+            else {}
+        )
+        status = 500
+        nbytes = 0
+        error: Optional[str] = None
+        try:
+            if path == "/metrics":
+                status, text, content_type = 200, self.metrics_text(), (
+                    PROMETHEUS_CONTENT_TYPE
+                )
+            elif path == "/dashboard":
+                status, text, content_type = 200, render_dashboard(
+                    title=f"repro serve — {self.host}:{self.port}"
+                ), "text/html"
+            elif path == "/healthz":
+                status, payload = self._health()
+                text = json.dumps(payload, indent=2, sort_keys=True)
+                content_type = "application/json"
+            else:
+                payload = self._get_route(path)
+                status = 200
+                text = json.dumps(payload, indent=2, sort_keys=True)
+                content_type = "application/json"
+            nbytes = len(text.encode("utf-8"))
+            return status, id_headers, text, content_type
+        except _HttpError as exc:
+            status, error = exc.status, str(exc)
+            exc.headers = {**exc.headers, **id_headers}
+            raise
+        finally:
+            self.telemetry.observe(
+                endpoint=path,
+                entry="-",
+                cache="none",
+                status=status,
+                nbytes=nbytes,
+                total_ms=(time.perf_counter() - started) * 1000.0,
+                request_id=rid,
+                error=error,
+            )
+
+    def _health(self) -> tuple[int, dict]:
+        """Readiness + saturation: ``(status_code, payload)``.
+
+        A probe answer of 200 means "this process can usefully accept a
+        request right now"; a pool that failed to spawn, a shutdown in
+        progress, or a request queue at its bound answer 503 with the
+        reasons — instead of the historical unconditional ``ok``.
+        """
+        pool_stats = self.pool.stats()
+        batch = self.batcher.stats()
+        reasons = []
+        if not pool_stats.get("started"):
+            reasons.append(
+                "worker pool not ready"
+                + (
+                    f": {pool_stats['failure']}"
+                    if pool_stats.get("failure")
+                    else ""
+                )
+            )
+        if self._shutdown.is_set():
+            reasons.append("shutting down")
+        if batch["queue_depth"] >= batch["queue_limit"]:
+            reasons.append(
+                f"request queue at limit "
+                f"({batch['queue_depth']}/{batch['queue_limit']})"
+            )
+        payload = {
+            "ok": not reasons,
+            "status": "ok" if not reasons else "degraded",
+            "pool": pool_stats["mode"],
+            "saturation": {
+                "queue_depth": batch["queue_depth"],
+                "queue_limit": batch["queue_limit"],
+                "inflight": batch["inflight"],
+                "max_inflight": batch["max_inflight"],
+                "workers": pool_stats["workers"],
+            },
+        }
+        if reasons:
+            payload["reasons"] = reasons
+        return (200 if not reasons else 503), payload
+
+    def metrics_text(self) -> str:
+        """The full Prometheus exposition: process registry + server
+        counters + windowed latency quantiles."""
+        from ..obs import get_metrics
+
+        snapshot = dict(get_metrics().snapshot())
+        snapshot.update(self._server_metric_snapshot())
+        snapshot.update(self.telemetry.quantile_snapshot())
+        return render_prometheus(snapshot)
+
+    def _server_metric_snapshot(self) -> dict:
+        """Server/tier counters as registry-shaped snapshot entries."""
+
+        def counter(v):
+            return {"type": "counter", "value": v}
+
+        def gauge(v):
+            return {"type": "gauge", "value": v}
+
+        stats = self.stats()
+        lru, dedup, batch = stats["lru"], stats["dedup"], stats["batching"]
+        out = {
+            "repro.serve.requests": counter(stats["requests"]),
+            "repro.serve.errors": counter(stats["errors"]),
+            "repro.serve.rejected": counter(stats["rejected"]),
+            "repro.serve.lru_lookups{outcome=hit}": counter(lru["hits"]),
+            "repro.serve.lru_lookups{outcome=miss}": counter(lru["misses"]),
+            "repro.serve.lru_evictions": counter(lru["evictions"]),
+            "repro.serve.lru_entries": gauge(lru["entries"]),
+            "repro.serve.lru_capacity": gauge(lru["capacity"]),
+            "repro.serve.dedup{role=leader}": counter(dedup["leaders"]),
+            "repro.serve.dedup{role=follower}": counter(dedup["followers"]),
+            "repro.serve.batch_submitted": counter(batch["submitted"]),
+            "repro.serve.batches": counter(batch["batches"]),
+            "repro.serve.batched_tasks": counter(batch["batched_tasks"]),
+            "repro.serve.queue_depth": gauge(batch["queue_depth"]),
+            "repro.serve.queue_limit": gauge(batch["queue_limit"]),
+            "repro.serve.inflight_batches": gauge(batch["inflight"]),
+            "repro.serve.max_inflight_batches": gauge(batch["max_inflight"]),
+        }
+        telemetry = stats["telemetry"]
+        if "access_log" in telemetry:
+            log = telemetry["access_log"]
+            out["repro.serve.access_log_written"] = counter(log["written"])
+            out["repro.serve.access_log_dropped"] = counter(log["dropped"])
+        if "flight_recorder" in telemetry:
+            out["repro.serve.slow_requests"] = counter(
+                telemetry["flight_recorder"]["slow"]
+            )
+        return out
 
     def _get_route(self, path: str) -> dict:
-        if path == "/healthz":
-            return {"ok": True, "pool": self.pool.stats()["mode"]}
         if path == "/v1/stats":
             return self.stats()
         if path == "/v1/analyses":

@@ -38,6 +38,7 @@ import concurrent.futures
 import multiprocessing
 import os
 import pathlib
+import time
 from collections import OrderedDict
 from typing import Optional, Sequence
 
@@ -134,6 +135,15 @@ _CACHE: Optional[ArtifactCache] = None
 #: Set by the pool initializer in forked workers: span shard directory.
 _TRACE_DIR: Optional[str] = None
 
+#: Per-task timing breakdown (solve vs render).  Workers execute one
+#: task at a time (the inline pool is a 1-thread executor, process
+#: workers are single-threaded), so a module global is race-free.
+_TASK_TIMINGS: dict = {}
+
+
+def _note_timing(key: str, ms: float) -> None:
+    _TASK_TIMINGS[key] = _TASK_TIMINGS.get(key, 0.0) + ms
+
 
 def _cache() -> ArtifactCache:
     global _CACHE
@@ -196,6 +206,7 @@ def worker_state_stats() -> dict:
     """Warm-state accounting for this process (``/v1/stats`` inline)."""
     return {
         "states": len(_STATES),
+        "max_states": MAX_WARM_STATES,
         "solvers": sum(len(s.solvers) for s in _STATES.values()),
         "cache": _cache().stats.as_dict(),
     }
@@ -275,8 +286,13 @@ def _exec_analyze(req: ServeRequest) -> tuple[str, str]:
     key = ("serve-text", analysis_key(req.analysis, state.program, icfg, areq))
 
     def build() -> str:
+        t0 = time.perf_counter()
         result = _solve_analysis(entry, state, icfg, areq)
-        return entry.render_result(icfg, areq, result)
+        t1 = time.perf_counter()
+        text = entry.render_result(icfg, areq, result)
+        _note_timing("solve_ms", (t1 - t0) * 1000.0)
+        _note_timing("render_ms", (time.perf_counter() - t1) * 1000.0)
+        return text
 
     return _cache().get_or_build(key, build), "text/plain"
 
@@ -320,6 +336,7 @@ def _exec_table1(req: ServeRequest) -> tuple[str, str]:
     )
 
     def build() -> str:
+        t0 = time.perf_counter()
         row = run_benchmark(
             spec,
             strategy=req.strategy,
@@ -327,7 +344,11 @@ def _exec_table1(req: ServeRequest) -> tuple[str, str]:
             icfg=state.mpi_icfg(),
             match=state.match(),
         )
-        return render_table1([row], with_paper=spec.paper is not None)
+        t1 = time.perf_counter()
+        text = render_table1([row], with_paper=spec.paper is not None)
+        _note_timing("solve_ms", (t1 - t0) * 1000.0)
+        _note_timing("render_ms", (time.perf_counter() - t1) * 1000.0)
+        return text
 
     return _cache().get_or_build(key, build), "text/plain"
 
@@ -354,7 +375,10 @@ def _exec_explain(req: ServeRequest) -> tuple[str, str]:
     key = ("serve-explain", req.key(), program_fingerprint(state.program))
 
     def build() -> str:
+        t0 = time.perf_counter()
         row = _activity_row(req, state, record_provenance=True)
+        _note_timing("solve_ms", (time.perf_counter() - t0) * 1000.0)
+        t1 = time.perf_counter()
         chunks = []
         for arm_label, arm in (("ICFG", row.icfg), ("MPI-ICFG", row.mpi)):
             qname = _resolve_fact(arm.icfg, req.fact)
@@ -370,6 +394,7 @@ def _exec_explain(req: ServeRequest) -> tuple[str, str]:
                 f"{req.fact!r} holds at no node — nothing to explain",
                 status=404,
             )
+        _note_timing("render_ms", (time.perf_counter() - t1) * 1000.0)
         return "\n\n".join(chunks)
 
     return _cache().get_or_build(key, build), "text/plain"
@@ -385,9 +410,12 @@ def _exec_report(req: ServeRequest) -> tuple[str, str]:
     key = ("serve-report", req.key(), program_fingerprint(state.program))
 
     def build() -> str:
+        t0 = time.perf_counter()
         row = _activity_row(
             req, state, record_convergence=True, record_provenance=True
         )
+        _note_timing("solve_ms", (time.perf_counter() - t0) * 1000.0)
+        t1 = time.perf_counter()
         spec = _run_spec(req, state)
         table_text = render_table1([row], with_paper=spec.paper is not None)
         graph = row.mpi.icfg.graph
@@ -411,7 +439,7 @@ def _exec_report(req: ServeRequest) -> tuple[str, str]:
                 convergence[f"{arm_label} {phase}"] = render_convergence(
                     solved.convergence, graph=arm.icfg.graph, changed_only=True
                 )
-        return render_html_report(
+        html = render_html_report(
             title=f"repro report — {spec.name}",
             subtitle=f"{spec.source_label} · strategy={req.strategy}",
             summary=summary,
@@ -420,6 +448,8 @@ def _exec_report(req: ServeRequest) -> tuple[str, str]:
             chains=_select_chains(row, limit=12),
             convergence=convergence,
         )
+        _note_timing("render_ms", (time.perf_counter() - t1) * 1000.0)
+        return html
 
     return _cache().get_or_build(key, build), "text/html"
 
@@ -437,25 +467,43 @@ def execute_task(task: dict) -> dict:
 
     The returned dict is the worker → server contract: ``ok`` plus
     ``text``/``content_type`` on success, ``error``/``status`` on
-    failure.
+    failure; either way a ``timings`` breakdown (worker wall time,
+    solve/render split, artifact-cache outcome) rides along for the
+    server's telemetry — the response body itself never includes it.
     """
+    _TASK_TIMINGS.clear()
+    started = time.perf_counter()
     try:
         req = ServeRequest.from_dict(task)
         with get_tracer().span(
             "serve.exec", kind=req.kind, analysis=req.analysis, pid=os.getpid()
         ):
             text, content_type = _EXECUTORS[req.kind](req)
-        return {"ok": True, "text": text, "content_type": content_type}
+        result = {"ok": True, "text": text, "content_type": content_type}
+        result["timings"] = {
+            "exec_ms": (time.perf_counter() - started) * 1000.0,
+            # The build closures record solve/render only when they
+            # run — an untouched breakdown means the worker's artifact
+            # cache answered.
+            "worker_cache": "miss" if _TASK_TIMINGS else "hit",
+            **_TASK_TIMINGS,
+        }
+        return result
     except ServeError as exc:
-        return {"ok": False, "error": str(exc), "status": exc.status}
+        result = {"ok": False, "error": str(exc), "status": exc.status}
     except (ValueError, KeyError) as exc:
-        return {"ok": False, "error": str(exc), "status": 400}
+        result = {"ok": False, "error": str(exc), "status": 400}
     except Exception as exc:  # pragma: no cover - defensive
-        return {
+        result = {
             "ok": False,
             "error": f"{type(exc).__name__}: {exc}",
             "status": 500,
         }
+    result["timings"] = {
+        "exec_ms": (time.perf_counter() - started) * 1000.0,
+        **_TASK_TIMINGS,
+    }
+    return result
 
 
 # ---------------------------------------------------------------------------
@@ -546,6 +594,14 @@ class WorkerPool:
         self.disk_cache = disk_cache
         self.trace_dir = trace_dir
         self._exec: Optional[concurrent.futures.Executor] = None
+        #: Set when spawning/warming failed — the pool exists but can
+        #: answer nothing; ``/healthz`` reports it as not ready.
+        self.failure: Optional[str] = None
+
+    @property
+    def started(self) -> bool:
+        """Ready to run batches: started and not spawn-failed."""
+        return self._exec is not None and self.failure is None
 
     def start(self) -> None:
         if self._exec is not None:
@@ -556,7 +612,11 @@ class WorkerPool:
             )
             # Inline mode shares the server process: warm right here
             # (spans flow into the server tracer, no shards needed).
-            _init_worker(self.warm, self.disk_cache, None)
+            try:
+                _init_worker(self.warm, self.disk_cache, None)
+            except BaseException as exc:
+                self.failure = f"{type(exc).__name__}: {exc}"
+                raise
         else:
             self._exec = concurrent.futures.ProcessPoolExecutor(
                 max_workers=self.workers,
@@ -565,11 +625,18 @@ class WorkerPool:
                 initargs=(self.warm, self.disk_cache, self.trace_dir),
             )
             # Touch every slot so workers spawn (and warm) eagerly at
-            # server start instead of on first traffic.
+            # server start instead of on first traffic.  A failed
+            # initializer (bad --warm name, OOM fork) surfaces here —
+            # record it instead of pretending the pool is healthy.
             barrier = [
                 self._exec.submit(os.getpid) for _ in range(self.workers)
             ]
             concurrent.futures.wait(barrier)
+            for fut in barrier:
+                exc = fut.exception()
+                if exc is not None:
+                    self.failure = f"{type(exc).__name__}: {exc}"
+                    break
 
     async def run_batch(self, tasks: list[dict]) -> list[dict]:
         if self._exec is None:
@@ -587,7 +654,10 @@ class WorkerPool:
             "mode": "inline" if self.workers == 0 else "process",
             "workers": self.workers or 1,
             "warm": list(self.warm),
+            "started": self.started,
         }
+        if self.failure is not None:
+            info["failure"] = self.failure
         if self.workers == 0:
-            info.update(worker_state_stats())
+            info["worker_state_stats"] = worker_state_stats()
         return info

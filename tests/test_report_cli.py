@@ -285,6 +285,36 @@ class TestRegressionGate:
         )
         assert len(failures) == 1 and "warm speedup" in failures[0]
 
+    @staticmethod
+    def _quantiles(count=100, p50=0.5, p99=2.0):
+        return {
+            "window": 512,
+            "aggregate": {"count": count, "p50_ms": p50,
+                          "p95_ms": p99, "p99_ms": p99},
+            "streams": {},
+        }
+
+    def test_serving_quantiles_pass_when_non_degenerate(self, gate):
+        report = self._serving_report(server_quantiles=self._quantiles())
+        assert gate.serving_failures(report, strict=True) == []
+
+    def test_serving_missing_quantiles_fails_only_in_strict(self, gate):
+        report = self._serving_report()
+        assert gate.serving_failures(report) == []
+        failures = gate.serving_failures(report, strict=True)
+        assert len(failures) == 1 and "server_quantiles" in failures[0]
+
+    def test_serving_degenerate_quantiles_always_fail(self, gate):
+        for bad in (
+            self._quantiles(count=0),
+            self._quantiles(p50=0.0),
+            self._quantiles(p50=5.0, p99=1.0),
+        ):
+            failures = gate.serving_failures(
+                self._serving_report(server_quantiles=bad)
+            )
+            assert len(failures) == 1, bad
+
     def test_strict_mode_fails_on_missing_baseline(self, gate, tmp_path):
         empty = tmp_path / "results"
         empty.mkdir()

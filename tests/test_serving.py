@@ -371,7 +371,11 @@ class TestExecuteTask:
         task = {"kind": "analyze", "analysis": "vary", "bench": "Sw-3"}
         first = execute_task(task)
         second = execute_task(task)  # served by the retained solver
-        assert first == second
+        # The response contract is byte-identical; only the telemetry
+        # timing breakdown (wall-clock) may differ between runs.
+        for key in ("ok", "text", "content_type"):
+            assert first[key] == second[key]
+        assert second["timings"]["worker_cache"] == "hit"
         assert first["text"] == _direct_analyze_text("Sw-3", "vary")
 
     def test_plain_graph_models_match_run_entry(self):

@@ -1,0 +1,569 @@
+"""Live-ops telemetry: quantiles, exposition, access log, flight recorder.
+
+Covers the guarantees docs/observability.md ("Live telemetry") makes:
+
+* the shared nearest-rank :func:`percentile` and the windowed
+  :class:`RollingQuantile` agree on the math and stay fixed-memory;
+* :func:`render_prometheus` emits well-formed text exposition
+  (round-tripped through :func:`validate_prometheus`) for counters,
+  gauges, histograms, and quantile summaries;
+* the access-log writer never blocks: a full buffer sheds records and
+  counts the drops;
+* the flight recorder persists SLO breaches with renderable span
+  trees, and ``repro trace --slow`` renders them;
+* K parallel requests get K distinct request ids and correctly-nested
+  span trees (the contextvars tracer under asyncio concurrency);
+* ``/healthz`` degrades (503) when the pool is not ready or the queue
+  is at its limit, instead of the historical unconditional ``ok``;
+* with every telemetry flag off, responses carry no telemetry
+  fingerprint (no ``X-Request-Id``), keeping byte-identity.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import statistics
+import threading
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.obs import disable_tracing, enable_tracing
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import (
+    AccessLogWriter,
+    FlightRecorder,
+    RollingQuantile,
+    ServeTelemetry,
+    histogram_quantile,
+    percentile,
+    read_slow_records,
+    render_dashboard,
+    render_prometheus,
+    render_slow_records,
+    request_span_tree,
+    validate_prometheus,
+)
+from repro.serving import AnalysisServer, ServeClient, ServeClientError
+
+
+class TestPercentile:
+    def test_nearest_rank_basics(self):
+        values = [5.0, 1.0, 4.0, 2.0, 3.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 0.5) == 3.0
+        assert percentile(values, 1.0) == 5.0
+
+    def test_odd_median_matches_statistics(self):
+        values = [7.0, 1.0, 9.0, 3.0, 5.0]
+        assert percentile(values, 0.5) == statistics.median(values)
+
+    def test_empty_is_zero_and_bad_q_raises(self):
+        assert percentile([], 0.99) == 0.0
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+    def test_input_not_mutated(self):
+        values = [3.0, 1.0, 2.0]
+        percentile(values, 0.5)
+        assert values == [3.0, 1.0, 2.0]
+
+
+class TestHistogramQuantile:
+    def test_interpolates_within_bucket(self):
+        # 10 observations uniform in (0, 10]: p50 lands mid-range.
+        est = histogram_quantile([10.0], [10, 0], 0.5)
+        assert est == pytest.approx(5.0)
+
+    def test_overflow_bucket_clamps_to_last_edge(self):
+        assert histogram_quantile([1.0, 2.0], [0, 0, 5], 0.99) == 2.0
+
+    def test_empty_is_zero(self):
+        assert histogram_quantile([1.0], [0, 0], 0.5) == 0.0
+
+
+class TestRollingQuantile:
+    def test_window_bounds_memory(self):
+        rq = RollingQuantile(window=4)
+        for v in range(100):
+            rq.observe(float(v))
+        assert len(rq.values()) == 4
+        # Only the last 4 observations remain: 96..99.
+        assert sorted(rq.values()) == [96.0, 97.0, 98.0, 99.0]
+        summary = rq.summary()
+        assert summary["count"] == 100  # lifetime count survives
+        assert summary["max"] == 99.0
+
+    def test_summary_matches_shared_percentile(self):
+        rq = RollingQuantile(window=64)
+        values = [float((7 * i) % 53) for i in range(40)]
+        for v in values:
+            rq.observe(v)
+        summary = rq.summary()
+        assert summary["p50"] == percentile(values, 0.50)
+        assert summary["p95"] == percentile(values, 0.95)
+        assert summary["p99"] == percentile(values, 0.99)
+
+    def test_bad_window_raises(self):
+        with pytest.raises(ValueError):
+            RollingQuantile(window=0)
+
+
+class TestPrometheusExposition:
+    SNAPSHOT = {
+        "repro.serve.requests": {"type": "counter", "value": 7},
+        "repro.serve.queue_depth": {"type": "gauge", "value": 2},
+        "repro.solve.iterations{bench=Sw-3}": {
+            "type": "histogram",
+            "boundaries": [1.0, 5.0],
+            "counts": [2, 3, 1],
+            "count": 6,
+            "sum": 19.0,
+        },
+    }
+
+    def test_counters_gauges_histograms(self):
+        text = render_prometheus(self.SNAPSHOT)
+        assert validate_prometheus(text) == []
+        assert "# TYPE repro_serve_requests_total counter" in text
+        assert "repro_serve_requests_total 7" in text
+        assert "# TYPE repro_serve_queue_depth gauge" in text
+        # Histogram buckets are cumulative and label-scoped.
+        assert 'repro_solve_iterations_bucket{bench="Sw-3",le="1"} 2' in text
+        assert 'repro_solve_iterations_bucket{bench="Sw-3",le="5"} 5' in text
+        assert 'repro_solve_iterations_bucket{bench="Sw-3",le="+Inf"} 6' in text
+        assert 'repro_solve_iterations_count{bench="Sw-3"} 6' in text
+
+    def test_quantile_summaries(self):
+        rq = RollingQuantile(window=16)
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            rq.observe(v)
+        name = "repro.serve.latency_ms{cache=hit,endpoint=analyze,entry=vary}"
+        text = render_prometheus({name: rq.summary()})
+        assert validate_prometheus(text) == []
+        assert "# TYPE repro_serve_latency_ms summary" in text
+        assert 'quantile="0.5"' in text
+        assert 'repro_serve_latency_ms_count{cache="hit"' in text
+
+    def test_empty_snapshot_is_still_valid(self):
+        assert render_prometheus({}).startswith("#")
+
+    def test_validator_catches_malformed_lines(self):
+        assert validate_prometheus("") != []
+        assert validate_prometheus("no value here\n") != []
+        # A sample without a TYPE line is flagged.
+        assert validate_prometheus("orphan_metric 1\n") != []
+
+
+class TestMetricsRenderQuantiles:
+    def test_histogram_rows_include_p50_p99(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro.test.latency", [1.0, 10.0, 100.0])
+        for v in [0.5, 2.0, 3.0, 20.0]:
+            h.observe(v)
+        text = reg.render()
+        assert "p50~" in text and "p99~" in text
+
+    def test_quantile_entries_render(self):
+        # A RollingQuantile is as_dict()-compatible, so it can live in
+        # a registry next to counters and render as a quantile row.
+        reg = MetricsRegistry()
+        reg.counter("repro.test.count").inc()
+        rq = RollingQuantile(window=8)
+        for v in [1.0, 2.0, 3.0]:
+            rq.observe(v)
+        reg._metrics["repro.serve.latency_ms{cache=hit}"] = rq
+        text = reg.render()
+        assert "quantile" in text
+        assert "p50=2" in text and "max=3" in text
+        assert "(window 3/8)" in text
+
+
+class TestAccessLogWriter:
+    def test_writes_jsonl_records(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        log = AccessLogWriter(str(path), capacity=16)
+        for i in range(5):
+            assert log.write({"request_id": f"r{i}", "status": 200})
+        log.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 5
+        assert json.loads(lines[0])["request_id"] == "r0"
+        assert log.stats()["written"] == 5
+        assert log.stats()["dropped"] == 0
+
+    def test_full_buffer_sheds_and_counts_instead_of_blocking(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        # No drain thread: the bounded queue fills and writes must shed.
+        log = AccessLogWriter(str(path), capacity=3, auto_start=False)
+        accepted = [log.write({"i": i}) for i in range(10)]
+        assert accepted == [True] * 3 + [False] * 7
+        assert log.stats()["dropped"] == 7
+        # close() starts the drain and flushes the 3 accepted records.
+        log.close()
+        assert len(path.read_text().splitlines()) == 3
+        # Writes after close are refused, not queued.
+        assert log.write({"late": True}) is False
+
+
+class TestFlightRecorder:
+    RECORD = {
+        "request_id": "abc-1",
+        "endpoint": "analyze",
+        "entry": "vary",
+        "cache": "miss",
+        "status": 200,
+        "total_ms": 12.5,
+        "timings": {
+            "queue_wait_ms": 2.0,
+            "batch_size": 3,
+            "exec_ms": 9.0,
+            "solve_ms": 7.0,
+            "render_ms": 1.5,
+        },
+    }
+
+    def test_ring_is_bounded(self):
+        rec = FlightRecorder(capacity=3)
+        for i in range(10):
+            rec.record({"request_id": f"r{i}", "total_ms": 1.0})
+        snap = rec.snapshot()
+        assert [r["request_id"] for r in snap] == ["r7", "r8", "r9"]
+
+    def test_slo_breach_is_persisted_with_span_tree(self, tmp_path):
+        rec = FlightRecorder(capacity=8, slo_ms=10.0, slow_dir=str(tmp_path))
+        assert rec.record(dict(self.RECORD)) is True
+        assert rec.record({**self.RECORD, "total_ms": 1.0}) is False
+        rec.close()
+        records = read_slow_records(rec.slow_path)
+        assert len(records) == 1
+        assert records[0]["slo_ms"] == 10.0
+        names = {s["name"] for s in records[0]["spans"]}
+        assert {"serve.request", "serve.queue", "serve.solve"} <= names
+
+    def test_span_tree_nests_under_root(self):
+        spans = request_span_tree(self.RECORD)
+        by_id = {s["id"]: s for s in spans}
+        roots = [s for s in spans if s["parent"] is None]
+        assert len(roots) == 1
+        for s in spans:
+            if s["parent"] is not None:
+                assert s["parent"] in by_id
+        solve = next(s for s in spans if s["name"] == "serve.solve")
+        assert by_id[solve["parent"]]["name"] == "serve.execute"
+
+    def test_render_and_cli(self, tmp_path, capsys):
+        rec = FlightRecorder(capacity=8, slo_ms=10.0, slow_dir=str(tmp_path))
+        rec.record(dict(self.RECORD))
+        rec.close()
+        text = render_slow_records(read_slow_records(rec.slow_path))
+        assert "abc-1" in text and "serve.request" in text
+        assert cli_main(["trace", "--slow", rec.slow_path]) == 0
+        out = capsys.readouterr().out
+        assert "serve.solve" in out
+        assert "total=12.50ms" in out
+
+    def test_empty_render(self):
+        assert "no slow requests" in render_slow_records([])
+
+
+class TestConcurrentRequestIdsAndSpans:
+    K = 12
+
+    def test_parallel_requests_distinct_ids_and_nested_spans(self):
+        """K interleaved asyncio requests must produce K distinct
+        request ids and K correctly-nested span trees — the guarantee
+        the contextvars tracer migration exists for."""
+        telemetry = ServeTelemetry()
+        tracer = enable_tracing(fresh=True)
+        ids: list[str] = []
+        try:
+
+            async def one(i: int) -> None:
+                with tracer.span("serve.request", idx=i):
+                    ids.append(telemetry.request_id())
+                    await asyncio.sleep(0.001 * (i % 3))
+                    with tracer.span("serve.exec", idx=i):
+                        await asyncio.sleep(0.001)
+
+            async def run() -> None:
+                await asyncio.gather(*(one(i) for i in range(self.K)))
+
+            asyncio.run(run())
+        finally:
+            disable_tracing()
+
+        assert len(set(ids)) == self.K
+        spans = tracer.spans()
+        roots = {
+            s.attrs["idx"]: s for s in spans if s.name == "serve.request"
+        }
+        inners = {s.attrs["idx"]: s for s in spans if s.name == "serve.exec"}
+        assert len(roots) == self.K and len(inners) == self.K
+        for idx, inner in inners.items():
+            # Each task's inner span nests under *its own* root, never
+            # a sibling's, despite the interleaved awaits.
+            assert inner.parent_id == roots[idx].span_id
+
+    def test_request_ids_unique_across_threads(self):
+        telemetry = ServeTelemetry()
+        out: list[str] = []
+        lock = threading.Lock()
+
+        def grab():
+            rid = telemetry.request_id()
+            with lock:
+                out.append(rid)
+
+        threads = [threading.Thread(target=grab) for _ in range(32)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(out)) == 32
+
+    def test_supplied_id_is_honored(self):
+        telemetry = ServeTelemetry()
+        assert telemetry.request_id("client-id-9") == "client-id-9"
+
+
+class TestHealthz:
+    def test_unstarted_pool_is_degraded(self):
+        server = AnalysisServer(port=0)
+        status, payload = server._health()
+        assert status == 503
+        assert payload["ok"] is False
+        assert payload["status"] == "degraded"
+        assert any("pool" in r for r in payload["reasons"])
+
+    def test_pool_failure_is_reported(self):
+        server = AnalysisServer(port=0)
+        server.pool._exec = object()  # "started"...
+        server.pool.failure = "BrokenProcessPool: fork died"
+        status, payload = server._health()
+        assert status == 503
+        assert any("fork died" in r for r in payload["reasons"])
+
+    def test_queue_at_limit_is_degraded(self):
+        async def run():
+            server = AnalysisServer(port=0, queue_limit=1)
+            server.pool._exec = object()  # pretend ready; never used
+
+            async def stuck(tasks):
+                await asyncio.Event().wait()  # pragma: no cover
+
+            from repro.serving import MicroBatcher
+
+            server.batcher = MicroBatcher(stuck, queue_limit=1, batch_size=1)
+            # Fill the bounded queue without a dispatcher draining it.
+            await server.batcher._queue.put(object())
+            return server._health()
+
+        status, payload = asyncio.run(run())
+        assert status == 503
+        assert payload["saturation"]["queue_depth"] == 1
+        assert any("queue" in r for r in payload["reasons"])
+
+    def test_healthy_payload_reports_saturation(self):
+        server = AnalysisServer(port=0)
+        server.pool._exec = object()
+        status, payload = server._health()
+        assert status == 200 and payload["ok"] is True
+        assert set(payload["saturation"]) >= {
+            "queue_depth",
+            "queue_limit",
+            "inflight",
+            "max_inflight",
+        }
+
+
+def _start_server(**kwargs) -> dict:
+    """Run one AnalysisServer on a daemon thread; returns box with
+    server/port (same shape as test_serving's live_server fixture)."""
+    started = threading.Event()
+    box: dict = {}
+
+    def run():
+        async def main():
+            server = AnalysisServer(port=0, workers=0, **kwargs)
+            await server.start()
+            box["server"] = server
+            box["port"] = server.port
+            started.set()
+            await server.serve_until_shutdown()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert started.wait(timeout=120), "server failed to start"
+    box["thread"] = thread
+    return box
+
+
+def _stop_server(box: dict) -> None:
+    with ServeClient(port=box["port"]) as client:
+        try:
+            client.shutdown()
+        except ServeClientError:  # pragma: no cover - already stopping
+            pass
+    box["thread"].join(timeout=60)
+    assert not box["thread"].is_alive()
+
+
+@pytest.fixture(scope="module")
+def telemetry_server(tmp_path_factory):
+    """A live server with every telemetry feature on: access log,
+    flight recorder, an SLO of 0ms (every request breaches)."""
+    tmp = tmp_path_factory.mktemp("telemetry")
+    box = _start_server(
+        warm=["Sw-3"],
+        lru_capacity=64,
+        lru_shards=4,
+        access_log=str(tmp / "access.jsonl"),
+        slo_ms=0.0,
+        flight_dir=str(tmp),
+    )
+    box["dir"] = tmp
+    yield box
+    _stop_server(box)
+
+
+class TestTelemetryEndToEnd:
+    def test_metrics_exposition_is_valid_and_labelled(self, telemetry_server):
+        with ServeClient(port=telemetry_server["port"]) as client:
+            client.analyze(analysis="vary", bench="Sw-3")
+            client.analyze(analysis="vary", bench="Sw-3")  # LRU hit
+            text = client.metrics()
+        assert validate_prometheus(text) == []
+        assert "# TYPE repro_serve_latency_ms summary" in text
+        # Windowed quantiles are per endpoint × entry × cache tier.
+        assert 'endpoint="analyze"' in text
+        assert 'entry="vary"' in text
+        assert 'cache="hit"' in text
+        assert "repro_serve_requests_total" in text
+        assert 'quantile="0.99"' in text
+
+    def test_request_ids_distinct_and_echoed(self, telemetry_server):
+        port = telemetry_server["port"]
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+        try:
+            seen = []
+            for _ in range(3):
+                conn.request(
+                    "POST",
+                    "/v1/analyze",
+                    body=json.dumps({"analysis": "vary", "bench": "Sw-3"}),
+                    headers={"Content-Type": "application/json"},
+                )
+                resp = conn.getresponse()
+                resp.read()
+                seen.append(resp.getheader("X-Request-Id"))
+            assert all(seen) and len(set(seen)) == 3
+            # A client-supplied id is honored verbatim.
+            conn.request(
+                "GET", "/healthz", headers={"X-Request-Id": "probe-77"}
+            )
+            resp = conn.getresponse()
+            resp.read()
+            assert resp.getheader("X-Request-Id") == "probe-77"
+        finally:
+            conn.close()
+
+    def test_slow_shard_and_access_log_written(self, telemetry_server):
+        with ServeClient(port=telemetry_server["port"]) as client:
+            client.analyze(analysis="useful", bench="Sw-3")
+            stats = client.stats()
+        telemetry = stats["telemetry"]
+        assert telemetry["enabled"] is True
+        assert telemetry["flight_recorder"]["slow"] >= 1
+        # Quantile streams carry the endpoint × entry × cache labels.
+        assert any(
+            "endpoint=analyze" in name for name in telemetry["quantiles"]
+        )
+        server = telemetry_server["server"]
+        flight = server.telemetry.flight
+        records = read_slow_records(flight.slow_path)
+        assert records, "SLO=0 must persist every request as slow"
+        rendered = render_slow_records(records)
+        assert "serve.request" in rendered
+
+    def test_dashboard_is_self_contained(self, telemetry_server):
+        with ServeClient(port=telemetry_server["port"]) as client:
+            html = client.dashboard()
+        assert html.lstrip().startswith("<!DOCTYPE html>")
+        assert "<style>" in html and "<script>" in html
+        assert "/v1/stats" in html and "/metrics" in html
+        # Self-contained: no external fetches of assets.
+        for needle in ("src=\"http", "href=\"http", "@import"):
+            assert needle not in html
+
+    def test_healthz_still_ok_with_telemetry_on(self, telemetry_server):
+        with ServeClient(port=telemetry_server["port"]) as client:
+            health = client.health()
+        assert health["ok"] is True
+        assert health["status"] == "ok"
+        assert "saturation" in health
+
+
+class TestTelemetryDisabledByteIdentity:
+    """With every telemetry flag off, responses carry no fingerprint."""
+
+    def test_no_request_id_header_when_disabled(self):
+        box = _start_server(warm=[], lru_capacity=8)
+        try:
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", box["port"], timeout=30
+            )
+            try:
+                conn.request(
+                    "POST",
+                    "/v1/analyze",
+                    body=json.dumps({"analysis": "vary", "bench": "Sw-3"}),
+                    headers={"Content-Type": "application/json"},
+                )
+                resp = conn.getresponse()
+                resp.read()
+                assert resp.getheader("X-Request-Id") is None
+                # ...unless the client supplies one: echo is harmless
+                # (the client already changed its own request bytes).
+                conn.request(
+                    "GET", "/healthz", headers={"X-Request-Id": "cli-1"}
+                )
+                resp = conn.getresponse()
+                resp.read()
+                assert resp.getheader("X-Request-Id") == "cli-1"
+            finally:
+                conn.close()
+            server = box["server"]
+            assert server.telemetry.enabled is False
+            assert server.telemetry.access_log is None
+            assert server.telemetry.flight is None
+            # Quantiles still observed (they change no response bytes).
+            assert server.telemetry.quantile_snapshot()
+        finally:
+            _stop_server(box)
+
+
+class TestRequestSpanTreeRendering:
+    def test_renderable_by_render_span_tree(self):
+        from repro.obs import render_span_tree
+
+        spans = request_span_tree(TestFlightRecorder.RECORD)
+        text = render_span_tree(spans)
+        assert "serve.request" in text
+        assert "serve.solve" in text
+
+
+class TestDashboardRenderer:
+    def test_title_is_escaped(self):
+        html = render_dashboard(title="a<b>&c")
+        assert "a&lt;b&gt;&amp;c" in html
+
+    def test_reuses_report_styling(self):
+        from repro.obs.report import _CSS
+
+        html = render_dashboard()
+        assert _CSS[:40] in html
