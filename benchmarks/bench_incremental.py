@@ -26,7 +26,6 @@ the demand visit reduction on a fresh run of this file)::
 from __future__ import annotations
 
 import argparse
-import json
 import pathlib
 import statistics
 import sys
@@ -45,6 +44,11 @@ from repro.dataflow.solver import solve
 from repro.ir import builder as b
 from repro.mpi import build_mpi_icfg
 from repro.programs import benchmark as get_spec
+
+try:  # package import (pytest) vs direct script execution
+    from .jsonreport import write_report
+except ImportError:  # pragma: no cover - script mode
+    from jsonreport import write_report
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
 #: Best-of repetitions per stream (min absorbs scheduler noise).
@@ -339,8 +343,7 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
     report = run("smoke" if args.smoke else "full")
-    args.out.parent.mkdir(parents=True, exist_ok=True)
-    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    write_report(args.out, report)
     for row in report["benchmarks"]:
         single = row["streams"].get("single_stmt")
         demand = row["demand"]

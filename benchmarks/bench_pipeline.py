@@ -26,7 +26,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import pathlib
 import sys
@@ -35,6 +34,11 @@ import time
 from repro.obs import disable_tracing, enable_tracing, get_metrics, reset_metrics
 from repro.pipeline import ArtifactCache, run_table1_pipeline
 from repro.programs import BENCHMARKS
+
+try:  # package import (pytest) vs direct script execution
+    from .jsonreport import write_report
+except ImportError:  # pragma: no cover - script mode
+    from jsonreport import write_report
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
 SMOKE_NAMES = ["SOR", "CG", "Sw-3"]
@@ -140,8 +144,7 @@ def main(argv=None) -> int:
         },
     }
 
-    args.out.parent.mkdir(parents=True, exist_ok=True)
-    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    write_report(args.out, report)
 
     print(f"rows={len(names)} rounds={rounds} jobs={args.jobs}")
     print(f"serial cold : {cold_time:8.4f}s")

@@ -55,6 +55,11 @@ from repro.analyses.mpi_model import MpiModel
 from repro.mpi import build_mpi_icfg
 from repro.obs.telemetry import percentile
 from repro.programs import figure1
+
+try:  # package import (pytest) vs direct script execution
+    from .jsonreport import write_report
+except ImportError:  # pragma: no cover - script mode
+    from jsonreport import write_report
 from repro.programs.registry import BENCHMARKS
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
@@ -516,9 +521,7 @@ def main(argv=None) -> int:
         "dedup_ratio": dedup_ratio,
         "server_stats": stats,
     }
-    out = pathlib.Path(args.out)
-    out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    out = write_report(args.out, result)
     print(f"wrote {out}")
     return 0
 

@@ -30,6 +30,18 @@ come from a different box than CI — so both comparisons run on
   forces a near-cold re-iteration for edits inside it, which only the
   bitset backend's retained fact-interning amortizes past 5×.
 
+* **interp** (``BENCH_interp.json``) gates the SPMD interpreter's
+  event-recording figures *exactly*: message/byte counts, collective
+  rounds, interpreted steps, simulated makespan, blocked fraction, and
+  critical-path length are all computed on the deterministic simulated
+  clock, so they are machine-independent by construction and any drift
+  between the committed report and a fresh ``bench_interp`` run is a
+  semantic change in the interpreter, recorder, or timeline builder —
+  never timing noise.  The committed report must also record the
+  events-on overhead target as met; the fresh run's overhead ratio is
+  re-gated only under ``--strict`` (CI boxes re-time it in the
+  dedicated bench-interp smoke step too).
+
 * **serving** (``BENCH_serving.json``) gates the committed serving
   report on its machine-independent figures only: LRU hit rate and
   dedup ratio under the recorded repeat-heavy load mix, zero non-200
@@ -297,6 +309,81 @@ def compare_incremental(
     ) + incremental_failures(fresh, min_speedup, "fresh")
 
 
+#: Benchmarks whose simulated-clock figures must be present (and, for
+#: the latter two, carry a committed critical path) in BENCH_interp.json.
+INTERP_REQUIRED = ("figure1", "LU-1", "Sw-3")
+
+
+def interp_failures(report: dict, label: str = "committed") -> list[str]:
+    """Failure messages for one interp report's internal invariants."""
+    failures = []
+    where = f"interp ({label})"
+    rows = {r.get("name"): r for r in report.get("benchmarks", [])}
+    for name in INTERP_REQUIRED:
+        row = rows.get(name)
+        if row is None:
+            failures.append(f"{where}: no {name} row recorded")
+            continue
+        figures = row.get("figures", {})
+        for key in ("messages", "bytes", "steps", "makespan",
+                    "blocked_fraction", "critical_path_events",
+                    "critical_path_ticks"):
+            if key not in figures:
+                failures.append(f"{where}: {name} is missing figure {key!r}")
+        if name in ("LU-1", "Sw-3"):
+            if figures.get("critical_path_ticks", 0.0) <= 0.0:
+                failures.append(
+                    f"{where}: {name} has no positive critical-path "
+                    "length — extraction silently degenerated"
+                )
+    overhead = report.get("overhead", {})
+    if label == "committed" and not overhead.get("target_met"):
+        failures.append(
+            f"{where}: events-on overhead "
+            f"{overhead.get('overhead_pct', 0.0):+.1f}% did not meet the "
+            f"{overhead.get('target_pct', 0.0):g}% target when recorded"
+        )
+    return failures
+
+
+def compare_interp(committed: dict, fresh: dict) -> list[str]:
+    """Exact-match every simulated-clock figure, committed vs fresh.
+
+    No threshold: the figures live on the deterministic simulated
+    clock, so the only honest comparison is equality.  Wall timings
+    (``wall``) are deliberately excluded.
+    """
+    failures = interp_failures(committed, "committed")
+    fresh_rows = {r.get("name"): r for r in fresh.get("benchmarks", [])}
+    if committed.get("latency") != fresh.get("latency"):
+        failures.append(
+            f"interp: latency model changed — committed "
+            f"{committed.get('latency')!r} vs fresh {fresh.get('latency')!r}"
+        )
+    for row in committed.get("benchmarks", []):
+        name = row.get("name")
+        other = fresh_rows.get(name)
+        if other is None:
+            failures.append(f"interp: fresh run has no {name} row")
+            continue
+        for key in ("nprocs", "sizes"):
+            if row.get(key) != other.get(key):
+                failures.append(
+                    f"interp {name}: configuration drift — {key} is "
+                    f"{row.get(key)!r} committed vs {other.get(key)!r} fresh"
+                )
+        base, new = row.get("figures", {}), other.get("figures", {})
+        for key in sorted(set(base) | set(new)):
+            if base.get(key) != new.get(key):
+                failures.append(
+                    f"interp {name}: figure {key} drifted — committed "
+                    f"{base.get(key)!r} vs fresh {new.get(key)!r} "
+                    "(simulated-clock figures are deterministic; this is "
+                    "a semantic change, not noise)"
+                )
+    return failures
+
+
 # ---------------------------------------------------------------------------
 # Fresh measurements.
 # ---------------------------------------------------------------------------
@@ -334,6 +421,25 @@ def fresh_incremental(committed: dict) -> dict:
         rc = bench_incremental.main(["--smoke", "--out", str(out)])
         if rc != 0:
             raise RuntimeError(f"bench_incremental exited {rc}")
+        return json.loads(out.read_text())
+
+
+def fresh_interp(committed: dict) -> dict:
+    """Re-run ``bench_interp`` with few timing rounds.
+
+    The simulated-clock figures are independent of the round count, and
+    the overhead target is *not* asserted here (no ``--smoke``): this
+    gate only fails on figure drift, plus — under ``--strict`` — on the
+    fresh overhead ratio, so a loaded local box never flakes the gate
+    on wall time.
+    """
+    import bench_interp
+
+    with tempfile.TemporaryDirectory() as tmp:
+        out = pathlib.Path(tmp) / "BENCH_interp.json"
+        rc = bench_interp.main(["--rounds", "3", "--out", str(out)])
+        if rc != 0:
+            raise RuntimeError(f"bench_interp exited {rc}")
         return json.loads(out.read_text())
 
 
@@ -443,6 +549,11 @@ def main(argv=None) -> int:
         "--skip-serving", action="store_true", help="skip the serving gate"
     )
     parser.add_argument(
+        "--skip-interp",
+        action="store_true",
+        help="skip the interpreter event-recording gate",
+    )
+    parser.add_argument(
         "--strict",
         action="store_true",
         help="fail when a committed baseline is missing (CI mode)",
@@ -537,6 +648,39 @@ def main(argv=None) -> int:
                 f"server p50/p99 {agg.get('p50_ms', 0.0):.2f}/"
                 f"{agg.get('p99_ms', 0.0):.2f} ms"
             )
+
+    if not args.skip_interp:
+        committed = _load(args.results_dir / "BENCH_interp.json")
+        if committed is None:
+            _missing("BENCH_interp.json", "interp")
+        else:
+            fresh = fresh_interp(committed)
+            failures.extend(compare_interp(committed, fresh))
+            if args.strict:
+                # The tight target is asserted by the dedicated
+                # bench_interp --smoke CI step (full best-of budget);
+                # here 2× headroom catches gross recording slowdowns
+                # without double-flaking on a box still settling from
+                # the other gates' fresh runs.
+                overhead = fresh.get("overhead", {})
+                pct = overhead.get("overhead_pct", 0.0)
+                target = overhead.get("target_pct", 10.0)
+                if pct >= 2 * target:
+                    failures.append(
+                        f"interp (fresh): events-on overhead {pct:+.1f}% "
+                        f"is past twice the {target:g}% target"
+                    )
+            checked += 1
+            for row in committed.get("benchmarks", []):
+                figures = row.get("figures", {})
+                print(
+                    f"interp   {row.get('name', '?'):20s} "
+                    f"msgs {figures.get('messages', 0):4d} "
+                    f"steps {figures.get('steps', 0):7d} "
+                    f"makespan {figures.get('makespan', 0.0):10g} "
+                    f"critpath {figures.get('critical_path_ticks', 0.0):10g} "
+                    "[exact]"
+                )
 
     if failures:
         print()

@@ -1,0 +1,60 @@
+"""Deterministic JSON emission for benchmark artifacts.
+
+Every ``bench_*.py`` harness writes its report through
+:func:`write_report` so regenerating a committed baseline produces a
+reviewable diff:
+
+* keys are sorted at every nesting level;
+* floats are rounded to a fixed precision (:data:`FLOAT_PRECISION`),
+  so timing jitter doesn't churn 15 digits per line;
+* exactly one timestamp field — top-level ``generated_at`` (UTC,
+  second resolution), injected here so no harness invents its own.
+
+Everything else in a report must be a pure function of the
+measurement, making diffs show only figures that genuinely moved.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from typing import Any, Optional
+
+FLOAT_PRECISION = 6
+
+
+def canonicalize(value: Any, precision: int = FLOAT_PRECISION) -> Any:
+    """Recursively round floats; leave ints/bools/strings untouched."""
+    if isinstance(value, float):
+        return round(value, precision)
+    if isinstance(value, dict):
+        return {k: canonicalize(v, precision) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [canonicalize(v, precision) for v in value]
+    return value
+
+
+def render_report(
+    report: dict,
+    precision: int = FLOAT_PRECISION,
+    timestamp: Optional[str] = None,
+) -> str:
+    """The canonical JSON text for ``report`` (ends with a newline)."""
+    doc = dict(canonicalize(report, precision))
+    doc["generated_at"] = timestamp or time.strftime(
+        "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+    )
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def write_report(
+    path: pathlib.Path | str,
+    report: dict,
+    precision: int = FLOAT_PRECISION,
+    timestamp: Optional[str] = None,
+) -> pathlib.Path:
+    out = pathlib.Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(render_report(report, precision, timestamp))
+    return out

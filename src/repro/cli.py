@@ -50,7 +50,7 @@ from .cfg import build_icfg, to_dot
 from .cfg.node import AssignNode
 from .ir import parse_program, print_program, validate_program
 from .mpi import build_mpi_icfg
-from .runtime import RunConfig, run_spmd
+from .runtime import DeadlockError, LatencyModel, RunConfig, run_spmd
 from .transforms import eliminate_dead_stores, fold_constants
 
 __all__ = ["main", "build_parser"]
@@ -173,7 +173,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser("run", help="execute on simulated SPMD ranks")
-    p.add_argument("file")
+    p.add_argument(
+        "file",
+        metavar="BENCH|FILE",
+        help="registry benchmark name (e.g. Sw-3) or SPL source file",
+    )
     p.add_argument("--nprocs", type=int, default=2)
     p.add_argument("--entry", default="main")
     p.add_argument(
@@ -182,6 +186,36 @@ def build_parser() -> argparse.ArgumentParser:
         default=[],
         metavar="NAME=VALUE",
         help="seed an entry parameter or global (repeatable)",
+    )
+    p.add_argument(
+        "--size",
+        action="append",
+        default=[],
+        metavar="NAME=INT",
+        help="override a registry benchmark's array extent (repeatable)",
+    )
+    p.add_argument("--timeout", type=float, default=10.0, metavar="SECONDS")
+    p.add_argument(
+        "--latency",
+        default="zero",
+        metavar="MODEL",
+        help="simulated latency model: zero | constant:BASE | "
+        "linear:BASE:PER_BYTE (ticks)",
+    )
+    p.add_argument(
+        "--timeline",
+        metavar="FILE",
+        help="write a self-contained HTML timeline (enables event recording)",
+    )
+    p.add_argument(
+        "--chrome",
+        metavar="FILE",
+        help="write a Chrome trace_event JSON (enables event recording)",
+    )
+    p.add_argument(
+        "--events",
+        metavar="FILE",
+        help="write the raw event stream as JSONL (enables event recording)",
     )
 
     p = sub.add_parser("table1", help="reproduce the paper's Table 1 / Figure 4")
@@ -612,7 +646,30 @@ def _cmd_dce(args) -> int:
 
 
 def _cmd_run(args) -> int:
-    program, symtab = _load(args.file)
+    from .programs.registry import BENCHMARKS
+
+    sizes = {}
+    for item in args.size:
+        name, _, value = item.partition("=")
+        if not value or not value.lstrip("-").isdigit():
+            print(f"error: --size needs NAME=INT, got {item!r}", file=sys.stderr)
+            return 1
+        sizes[name] = int(value)
+    if args.file in BENCHMARKS:
+        spec = BENCHMARKS[args.file]
+        merged = dict(spec.sizes)
+        merged.update(sizes)
+        program = spec.builder(**merged)
+        label = spec.name
+    else:
+        if sizes:
+            print(
+                "error: --size only applies to registry benchmarks",
+                file=sys.stderr,
+            )
+            return 1
+        program, _ = _load(args.file)
+        label = pathlib.Path(args.file).stem
     inputs = {}
     for item in args.input:
         name, _, value = item.partition("=")
@@ -620,17 +677,50 @@ def _cmd_run(args) -> int:
             print(f"error: --input needs NAME=VALUE, got {item!r}", file=sys.stderr)
             return 1
         inputs[name] = float(value) if "." in value or "e" in value else int(value)
-    result = run_spmd(
-        program,
-        RunConfig(nprocs=args.nprocs, entry=args.entry),
-        inputs=inputs,
+    record = bool(args.timeline or args.chrome or args.events)
+    config = RunConfig(
+        nprocs=args.nprocs,
+        entry=args.entry,
+        timeout=args.timeout,
+        record_events=record,
+        latency=LatencyModel.parse(args.latency),
     )
+    try:
+        result = run_spmd(program, config, inputs=inputs)
+    except DeadlockError as exc:
+        # str(exc) already carries the wait-for graph rendering with
+        # its cyclic-wait vs lost-message verdict.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     for rank in result.ranks:
         scalars = {
             k: v for k, v in sorted(rank.values.items()) if not hasattr(v, "shape")
         }
         print(f"rank {rank.rank}: "
               + ", ".join(f"{k}={v}" for k, v in scalars.items()))
+    if record:
+        from .obs import (
+            write_events_jsonl,
+            write_timeline_chrome_trace,
+            write_timeline_html,
+        )
+
+        # Artifact paths go to stderr so stdout stays byte-identical
+        # to a recording-off run (same contract as --trace-out).
+        if args.timeline:
+            write_timeline_html(
+                args.timeline, result, title=f"SPMD timeline · {label}"
+            )
+            print(f"// wrote timeline to {args.timeline}", file=sys.stderr)
+        if args.chrome:
+            n = write_timeline_chrome_trace(args.chrome, result)
+            print(
+                f"// wrote Chrome trace ({n} events) to {args.chrome}",
+                file=sys.stderr,
+            )
+        if args.events:
+            n = write_events_jsonl(args.events, result)
+            print(f"// wrote {n} events to {args.events}", file=sys.stderr)
     return 0
 
 

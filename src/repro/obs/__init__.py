@@ -58,6 +58,17 @@ from .provenance import (
 )
 from .render import render_metrics, render_span_tree
 from .report import render_html_report, write_html_report
+from .timeline import (
+    Segment,
+    Timeline,
+    build_timeline,
+    critical_path,
+    render_timeline_html,
+    timeline_chrome_spans,
+    write_events_jsonl,
+    write_timeline_chrome_trace,
+    write_timeline_html,
+)
 from .telemetry import (
     AccessLogWriter,
     FlightRecorder,
@@ -130,11 +141,20 @@ __all__ = [
     "render_prometheus",
     "render_slow_records",
     "render_span_tree",
+    "render_timeline_html",
     "request_span_tree",
     "reset_metrics",
+    "Segment",
     "span",
+    "Timeline",
+    "build_timeline",
+    "critical_path",
+    "timeline_chrome_spans",
     "traced",
     "validate_prometheus",
     "write_chrome_trace",
+    "write_events_jsonl",
     "write_html_report",
+    "write_timeline_chrome_trace",
+    "write_timeline_html",
 ]

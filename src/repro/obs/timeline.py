@@ -1,0 +1,531 @@
+"""Rank timelines, wait-time attribution, and comm-matrix analytics.
+
+Consumes the typed event stream recorded by
+``run_spmd(..., RunConfig(record_events=True))`` (see
+:mod:`repro.runtime.events`) and derives:
+
+* per-rank **busy/blocked segment lanes** on the simulated clock;
+* **wait-time attribution**: blocked ticks aggregated per source site
+  (proc, line, op) — "where does this program wait?";
+* a **communication matrix**: messages × bytes per (sender, receiver)
+  rank pair;
+* the **critical path** through the happens-before graph (program
+  order ∪ send→recv matches ∪ collective limiter edges);
+* exports: Chrome ``trace_event`` JSON (via :mod:`repro.obs.chrome`;
+  one simulated tick renders as one microsecond), an events JSONL
+  stream, and a self-contained HTML timeline page (canvas rank lanes
+  + comm-matrix heatmap, same look as :mod:`repro.obs.report`).
+
+Everything here is pure post-processing: it never touches the
+interpreter and works on any object exposing ``.config`` and
+``.ranks[i].events``.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from .chrome import write_chrome_trace
+
+if TYPE_CHECKING:  # avoid an import cycle (runtime.network imports obs)
+    from ..runtime.events import ExecEvent
+    from ..runtime.interpreter import RunResult
+
+__all__ = [
+    "Segment",
+    "Timeline",
+    "build_timeline",
+    "critical_path",
+    "timeline_chrome_spans",
+    "write_timeline_chrome_trace",
+    "write_events_jsonl",
+    "render_timeline_html",
+    "write_timeline_html",
+]
+
+#: Decimal places for tick figures in JSON exports (deterministic).
+_ROUND = 6
+
+
+def _r(x: float) -> float:
+    return round(float(x), _ROUND)
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One contiguous busy/blocked interval in a rank's lane."""
+
+    rank: int
+    t0: float
+    t1: float
+    #: ``busy`` (local computation), ``blocked`` (recv wait), or
+    #: ``collective`` (rendezvous wait + sync latency).
+    kind: str
+    label: str
+    proc: str = ""
+    line: int = 0
+
+    @property
+    def dur(self) -> float:
+        return self.t1 - self.t0
+
+    def as_dict(self) -> dict:
+        return {
+            "rank": self.rank,
+            "t0": _r(self.t0),
+            "t1": _r(self.t1),
+            "kind": self.kind,
+            "label": self.label,
+            "proc": self.proc,
+            "line": self.line,
+        }
+
+
+@dataclass
+class Timeline:
+    """Everything derived from one run's event stream."""
+
+    nprocs: int
+    latency: str
+    makespan: float
+    lanes: list[list[Segment]]
+    #: (src rank, dst rank) → {"messages": n, "bytes": b}.
+    comm_matrix: dict[tuple[int, int], dict[str, int]]
+    #: (proc, line, op) → {"ticks": blocked ticks, "count": events}.
+    wait_by_site: dict[tuple[str, int, str], dict[str, float]]
+    busy_ticks: list[float]
+    blocked_ticks: list[float]
+    critical_path: list["ExecEvent"]
+    messages: int = 0
+    bytes_total: int = 0
+    collective_rounds: int = 0
+    steps_total: int = 0
+    events_total: int = 0
+
+    @property
+    def blocked_fraction(self) -> float:
+        """Blocked ticks over total rank-ticks (0 when nothing ran)."""
+        total = self.makespan * self.nprocs
+        if total <= 0:
+            return 0.0
+        return sum(self.blocked_ticks) / total
+
+    @property
+    def critical_path_ticks(self) -> float:
+        return self.critical_path[-1].t1 if self.critical_path else 0.0
+
+    def top_wait_sites(self, n: int = 10) -> list[tuple[tuple[str, int, str], dict]]:
+        return sorted(
+            self.wait_by_site.items(),
+            key=lambda kv: (-kv[1]["ticks"], kv[0]),
+        )[:n]
+
+    def as_dict(self) -> dict:
+        """JSON-friendly summary (deterministic key order & rounding)."""
+        return {
+            "nprocs": self.nprocs,
+            "latency": self.latency,
+            "makespan": _r(self.makespan),
+            "events": self.events_total,
+            "messages": self.messages,
+            "bytes": self.bytes_total,
+            "collective_rounds": self.collective_rounds,
+            "steps": self.steps_total,
+            "blocked_fraction": _r(self.blocked_fraction),
+            "busy_ticks": [_r(x) for x in self.busy_ticks],
+            "blocked_ticks": [_r(x) for x in self.blocked_ticks],
+            "critical_path_events": len(self.critical_path),
+            "critical_path_ticks": _r(self.critical_path_ticks),
+            "comm_matrix": {
+                f"{s}->{d}": dict(sorted(v.items()))
+                for (s, d), v in sorted(self.comm_matrix.items())
+            },
+            "wait_by_site": {
+                f"{proc}:{line}:{op}": {
+                    "count": int(v["count"]),
+                    "ticks": _r(v["ticks"]),
+                }
+                for (proc, line, op), v in sorted(self.wait_by_site.items())
+            },
+        }
+
+
+def critical_path(result: "RunResult") -> list["ExecEvent"]:
+    """The happens-before chain ending at the last event to finish.
+
+    Walks backwards from the globally latest event: a ``recv`` that
+    actually waited hops to its matched send; a ``collective`` hops to
+    the round's limiter rank; everything else steps to the previous
+    event on the same rank.  Ties break to the lowest rank, so the
+    path is deterministic.
+    """
+    per_rank = [r.events for r in result.ranks]
+    all_events = [e for evs in per_rank for e in evs]
+    if not all_events:
+        return []
+    # Collective rounds indexed by (op, comm, coll_seq) → rank → event.
+    rounds: dict[tuple, dict[int, "ExecEvent"]] = {}
+    for e in all_events:
+        if e.kind == "collective":
+            rounds.setdefault((e.op, e.comm, e.coll_seq), {})[e.rank] = e
+    cur = max(all_events, key=lambda e: (e.t1, -e.rank))
+    path = [cur]
+    for _ in range(len(all_events)):
+        pred: Optional["ExecEvent"] = None
+        if (
+            cur.kind == "collective"
+            and cur.limiter is not None
+            and cur.limiter != cur.rank
+        ):
+            pred = rounds[(cur.op, cur.comm, cur.coll_seq)].get(cur.limiter)
+        elif cur.kind == "recv" and cur.matched is not None and cur.t1 > cur.t0:
+            src_rank, src_seq = cur.matched
+            pred = per_rank[src_rank][src_seq]
+        if pred is None:
+            if cur.seq == 0:
+                break
+            pred = per_rank[cur.rank][cur.seq - 1]
+        path.append(pred)
+        cur = pred
+    path.reverse()
+    return path
+
+
+def build_timeline(result: "RunResult") -> Timeline:
+    """Derive the full :class:`Timeline` from a recorded run."""
+    nprocs = result.config.nprocs
+    latency = getattr(result.config, "latency", None)
+    lanes: list[list[Segment]] = []
+    comm: dict[tuple[int, int], dict[str, int]] = {}
+    waits: dict[tuple[str, int, str], dict[str, float]] = {}
+    busy: list[float] = []
+    blocked: list[float] = []
+    messages = bytes_total = steps_total = events_total = 0
+    coll_rounds: set[tuple] = set()
+    makespan = 0.0
+
+    for rank_res in result.ranks:
+        lane: list[Segment] = []
+        cursor = 0.0
+        b_busy = b_blocked = 0.0
+        for e in rank_res.events:
+            events_total += 1
+            makespan = max(makespan, e.t1)
+            if e.t0 > cursor:
+                lane.append(
+                    Segment(e.rank, cursor, e.t0, "busy", "compute")
+                )
+                b_busy += e.t0 - cursor
+                cursor = e.t0
+            if e.kind == "send":
+                comm_cell = comm.setdefault(
+                    (e.rank, e.peer), {"messages": 0, "bytes": 0}
+                )
+                comm_cell["messages"] += 1
+                comm_cell["bytes"] += e.nbytes
+                messages += 1
+                bytes_total += e.nbytes
+            elif e.kind == "collective":
+                coll_rounds.add((e.op, e.comm, e.coll_seq))
+            if e.t1 > e.t0:
+                seg_kind = "collective" if e.kind == "collective" else "blocked"
+                lane.append(
+                    Segment(e.rank, e.t0, e.t1, seg_kind, e.op, e.proc, e.line)
+                )
+                b_blocked += e.t1 - e.t0
+                site = waits.setdefault(
+                    (e.proc, e.line, e.op), {"ticks": 0.0, "count": 0}
+                )
+                site["ticks"] += e.t1 - e.t0
+                site["count"] += 1
+                cursor = e.t1
+        lanes.append(lane)
+        busy.append(b_busy)
+        blocked.append(b_blocked)
+        steps_total += sum(rank_res.step_counts.values())
+
+    return Timeline(
+        nprocs=nprocs,
+        latency=latency.spec() if latency is not None else "zero",
+        makespan=makespan,
+        lanes=lanes,
+        comm_matrix=comm,
+        wait_by_site=waits,
+        busy_ticks=busy,
+        blocked_ticks=blocked,
+        critical_path=critical_path(result),
+        messages=messages,
+        bytes_total=bytes_total,
+        collective_rounds=len(coll_rounds),
+        steps_total=steps_total,
+        events_total=events_total,
+    )
+
+
+# -- Chrome trace export ------------------------------------------------------
+
+def timeline_chrome_spans(result: "RunResult") -> list[dict]:
+    """Span dicts for :func:`repro.obs.chrome.chrome_trace`.
+
+    One simulated tick maps to one microsecond (`chrome_trace`
+    multiplies seconds by 1e6), so Perfetto's ruler reads in ticks.
+    """
+    tl = build_timeline(result)
+    on_path = {e.eid for e in tl.critical_path}
+    spans: list[dict] = []
+    n = 0
+    for lane in tl.lanes:
+        for seg in lane:
+            n += 1
+            spans.append(
+                {
+                    "start": seg.t0 * 1e-6,
+                    "dur": seg.dur * 1e-6,
+                    "pid": 0,
+                    "tid": seg.rank,
+                    "id": f"seg-{n}",
+                    "name": seg.label,
+                    "cat": seg.kind,
+                    "attrs": {
+                        "proc": seg.proc,
+                        "line": seg.line,
+                        "ticks": _r(seg.dur),
+                    },
+                }
+            )
+    for rank_res in result.ranks:
+        for e in rank_res.events:
+            if e.kind not in ("send", "recv", "collective"):
+                continue
+            attrs = {
+                k: v
+                for k, v in e.as_dict().items()
+                if k not in ("id", "kind", "op", "t0", "t1")
+            }
+            if e.eid in on_path:
+                attrs["critical_path"] = True
+            spans.append(
+                {
+                    "start": e.t0 * 1e-6,
+                    "dur": e.blocked * 1e-6,
+                    "pid": 0,
+                    "tid": e.rank,
+                    "id": e.eid,
+                    "name": f"{e.op}",
+                    "cat": e.kind,
+                    "attrs": attrs,
+                }
+            )
+    return spans
+
+
+def write_timeline_chrome_trace(path, result: "RunResult") -> int:
+    """Write the Chrome trace JSON; returns the X-event count."""
+    return write_chrome_trace(path, timeline_chrome_spans(result))
+
+
+# -- JSONL export -------------------------------------------------------------
+
+def write_events_jsonl(path, result: "RunResult") -> int:
+    """One meta line + one line per event (merged deterministic order).
+
+    Returns the event-record count.
+    """
+    tl = build_timeline(result)
+    events = result.events
+    with open(path, "w", encoding="utf-8") as fh:
+        meta = {"type": "meta", **tl.as_dict()}
+        fh.write(json.dumps(meta, sort_keys=True) + "\n")
+        for e in events:
+            rec = {"type": "event", **e.as_dict()}
+            rec["t0"] = _r(rec["t0"])
+            rec["t1"] = _r(rec["t1"])
+            fh.write(json.dumps(rec, sort_keys=True) + "\n")
+    return len(events)
+
+
+# -- HTML timeline page -------------------------------------------------------
+
+_TIMELINE_CSS = """
+.lanes { width: 100%; border: 1px solid #dde3ea; border-radius: 6px;
+         background: #fff; display: block; }
+.heat { border: 1px solid #dde3ea; border-radius: 6px; display: block; }
+.legend { font-size: 12px; color: #5d7289; margin-top: 8px; }
+.legend span.sw { display: inline-block; width: 12px; height: 12px;
+                  border-radius: 3px; margin: 0 4px 0 12px;
+                  vertical-align: -2px; }
+""".strip()
+
+_TIMELINE_JS = """
+const C = { busy: '#6aa84f', blocked: '#e69138', collective: '#3d85c6',
+            path: '#cc0000' };
+function drawLanes() {
+  const cv = document.getElementById('lanes');
+  const W = cv.clientWidth || 1000;
+  const laneH = 26, gap = 8, pad = 60;
+  cv.width = W; cv.height = DATA.nprocs * (laneH + gap) + 30;
+  const ctx = cv.getContext('2d');
+  const span = Math.max(DATA.makespan, 1e-9);
+  const x = t => pad + (t / span) * (W - pad - 10);
+  ctx.font = '11px sans-serif';
+  for (let r = 0; r < DATA.nprocs; r++) {
+    const y = 10 + r * (laneH + gap);
+    ctx.fillStyle = '#5d7289';
+    ctx.fillText('rank ' + r, 8, y + laneH / 2 + 4);
+    ctx.fillStyle = '#f0f3f7';
+    ctx.fillRect(pad, y, W - pad - 10, laneH);
+    for (const s of DATA.lanes[r]) {
+      ctx.fillStyle = C[s.kind] || '#999';
+      const x0 = x(s.t0);
+      ctx.fillRect(x0, y, Math.max(x(s.t1) - x0, 1), laneH);
+    }
+  }
+  ctx.strokeStyle = C.path; ctx.lineWidth = 2;
+  ctx.beginPath();
+  let first = true;
+  for (const p of DATA.critical) {
+    const y = 10 + p.rank * (laneH + gap) + laneH / 2;
+    if (first) { ctx.moveTo(x(p.t0), y); first = false; }
+    else ctx.lineTo(x(p.t0), y);
+    ctx.lineTo(x(p.t1), y);
+  }
+  ctx.stroke();
+  ctx.fillStyle = '#5d7289';
+  ctx.fillText('0', pad, cv.height - 6);
+  ctx.fillText(span.toFixed(1) + ' ticks', W - 90, cv.height - 6);
+}
+function drawHeat() {
+  const cv = document.getElementById('heat');
+  const n = DATA.nprocs, cell = Math.max(18, Math.min(42, 360 / n));
+  const pad = 40;
+  cv.width = pad + n * cell + 10; cv.height = pad + n * cell + 10;
+  const ctx = cv.getContext('2d');
+  let peak = 0;
+  for (const row of DATA.matrix) for (const v of row) peak = Math.max(peak, v.bytes);
+  ctx.font = '10px sans-serif'; ctx.fillStyle = '#5d7289';
+  for (let i = 0; i < n; i++) {
+    ctx.fillText(String(i), pad + i * cell + cell / 2 - 3, pad - 6);
+    ctx.fillText(String(i), pad - 16, pad + i * cell + cell / 2 + 3);
+  }
+  for (let s = 0; s < n; s++) {
+    for (let d = 0; d < n; d++) {
+      const v = DATA.matrix[s][d];
+      const f = peak > 0 ? v.bytes / peak : 0;
+      ctx.fillStyle = v.messages === 0 ? '#f8fafc'
+        : 'rgba(61,133,198,' + (0.15 + 0.85 * f).toFixed(3) + ')';
+      ctx.fillRect(pad + d * cell, pad + s * cell, cell - 2, cell - 2);
+      if (v.messages > 0 && cell >= 24) {
+        ctx.fillStyle = f > 0.55 ? '#fff' : '#1c2733';
+        ctx.fillText(String(v.messages),
+                     pad + d * cell + 4, pad + s * cell + cell / 2 + 3);
+      }
+    }
+  }
+  ctx.fillStyle = '#5d7289';
+  ctx.fillText('sender \\u2193 / receiver \\u2192', pad, cv.height - 4);
+}
+drawLanes();
+drawHeat();
+window.addEventListener('resize', drawLanes);
+""".strip()
+
+
+def _esc(value) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def render_timeline_html(result: "RunResult", title: str = "SPMD timeline") -> str:
+    """Self-contained HTML page: rank lanes, heatmap, wait table."""
+    from .report import _CSS  # shared stylesheet
+
+    tl = build_timeline(result)
+    summary = tl.as_dict()
+    matrix = [
+        [
+            dict(tl.comm_matrix.get((s, d), {"messages": 0, "bytes": 0}))
+            for d in range(tl.nprocs)
+        ]
+        for s in range(tl.nprocs)
+    ]
+    data = {
+        "nprocs": tl.nprocs,
+        "makespan": _r(tl.makespan),
+        "lanes": [[seg.as_dict() for seg in lane] for lane in tl.lanes],
+        "matrix": matrix,
+        "critical": [
+            {"rank": e.rank, "t0": _r(e.t0), "t1": _r(e.t1), "op": e.op}
+            for e in tl.critical_path
+        ],
+    }
+    cards = "".join(
+        f'<div class="card"><div class="v">{_esc(v)}</div>'
+        f'<div class="k">{_esc(k)}</div></div>'
+        for k, v in [
+            ("ranks", tl.nprocs),
+            ("makespan (ticks)", f"{tl.makespan:g}"),
+            ("messages", tl.messages),
+            ("bytes", tl.bytes_total),
+            ("collective rounds", tl.collective_rounds),
+            ("blocked", f"{tl.blocked_fraction:.1%}"),
+            ("critical path", f"{len(tl.critical_path)} events"),
+            ("latency model", tl.latency),
+        ]
+    )
+    wait_rows = "".join(
+        f"<tr><td>{_esc(proc)}:{line}</td><td>{_esc(op)}</td>"
+        f'<td class="num">{int(v["count"])}</td>'
+        f'<td class="num">{v["ticks"]:g}</td></tr>'
+        for (proc, line, op), v in tl.top_wait_sites(12)
+    ) or '<tr><td colspan="4">no blocking observed</td></tr>'
+    path_rows = "".join(
+        f"<tr><td>{i}</td><td>rank {e.rank}</td><td>{_esc(e.op)}</td>"
+        f"<td>{_esc(e.proc)}:{e.line}</td>"
+        f'<td class="num">{e.t0:g} → {e.t1:g}</td></tr>'
+        for i, e in enumerate(tl.critical_path)
+        if e.kind in ("send", "recv", "collective")
+    ) or '<tr><td colspan="5">purely local execution</td></tr>'
+    return f"""<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8">
+<title>{_esc(title)}</title>
+<style>{_CSS}
+{_TIMELINE_CSS}</style></head><body>
+<header><h1>{_esc(title)}</h1>
+<p>simulated clock · latency model {_esc(tl.latency)} ·
+{summary["events"]} events</p></header>
+<main>
+<section><h2>Summary</h2><div class="cards">{cards}</div></section>
+<section><h2>Rank lanes</h2>
+<canvas id="lanes" class="lanes" height="120"></canvas>
+<div class="legend">
+<span class="sw" style="background:#6aa84f"></span>busy
+<span class="sw" style="background:#e69138"></span>blocked (recv)
+<span class="sw" style="background:#3d85c6"></span>collective
+<span class="sw" style="background:#cc0000"></span>critical path
+</div></section>
+<section><h2>Communication matrix</h2>
+<canvas id="heat" class="heat"></canvas>
+<div class="legend">cell shade ∝ bytes; number = messages</div></section>
+<section><h2>Wait-time attribution</h2>
+<table><tr><th>site</th><th>op</th><th>waits</th><th>blocked ticks</th></tr>
+{wait_rows}</table></section>
+<section><h2>Critical path (communication hops)</h2>
+<table><tr><th>#</th><th>rank</th><th>op</th><th>site</th><th>interval</th></tr>
+{path_rows}</table></section>
+</main>
+<footer>repro timeline · deterministic simulated clock</footer>
+<script>
+const DATA = {json.dumps(data, sort_keys=True)};
+{_TIMELINE_JS}
+</script>
+</body></html>
+"""
+
+
+def write_timeline_html(path, result: "RunResult", title: str = "SPMD timeline") -> pathlib.Path:
+    out = pathlib.Path(path)
+    out.write_text(render_timeline_html(result, title=title), encoding="utf-8")
+    return out

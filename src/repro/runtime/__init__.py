@@ -1,5 +1,6 @@
 """SPMD runtime: interpreter, message transport, tainted values."""
 
+from .events import ExecEvent, ExecutionRecorder, LatencyModel
 from .interpreter import (
     DeadlockError,
     RankResult,
@@ -8,7 +9,7 @@ from .interpreter import (
     SpmdRuntimeError,
     run_spmd,
 )
-from .network import Message, Network
+from .network import Message, Network, PendingOp, WaitForGraph
 from .values import ArraySlot, ElemSlot, ScalarSlot, Slot, make_slot
 
 __all__ = [
@@ -20,6 +21,11 @@ __all__ = [
     "DeadlockError",
     "Network",
     "Message",
+    "PendingOp",
+    "WaitForGraph",
+    "LatencyModel",
+    "ExecEvent",
+    "ExecutionRecorder",
     "ScalarSlot",
     "ArraySlot",
     "ElemSlot",

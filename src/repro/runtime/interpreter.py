@@ -55,10 +55,19 @@ from ..ir.symtab import SymbolTable
 from ..ir.types import ArrayType, IntType, RealType
 from ..ir.validate import validate_program
 from ..obs import get_tracer
+from .events import ExecEvent, ExecutionRecorder, LatencyModel, RankRecorder
 from .network import DeadlockError, Network
 from .values import ArraySlot, ElemSlot, ScalarSlot, Slot, SpmdRuntimeError, make_slot
 
-__all__ = ["RunConfig", "RankResult", "RunResult", "run_spmd", "SpmdRuntimeError", "DeadlockError"]
+__all__ = [
+    "RunConfig",
+    "RankResult",
+    "RunResult",
+    "run_spmd",
+    "SpmdRuntimeError",
+    "DeadlockError",
+    "LatencyModel",
+]
 
 
 @dataclass(frozen=True)
@@ -75,6 +84,11 @@ class RunConfig:
     taint_seeds: tuple[str, ...] = ()
     #: Record (proc, line, var, value) for every executed assignment.
     record_assignments: bool = False
+    #: Record per-rank typed execution events on a simulated clock
+    #: (see :mod:`repro.runtime.events`).  Zero-cost when off.
+    record_events: bool = False
+    #: Simulated-latency model driving the logical clock.
+    latency: LatencyModel = LatencyModel.zero()
 
 
 @dataclass
@@ -85,6 +99,10 @@ class RankResult:
     #: (proc, var) pairs that ever held derivative-carrying data.
     tainted: set[tuple[str, str]] = field(default_factory=set)
     assign_log: list[tuple[str, int, str, object]] = field(default_factory=list)
+    #: Typed execution events (``record_events`` only).
+    events: list[ExecEvent] = field(default_factory=list)
+    #: (proc, line) → executed statement count (``record_events`` only).
+    step_counts: dict[tuple[str, int], int] = field(default_factory=dict)
 
 
 @dataclass
@@ -101,6 +119,18 @@ class RunResult:
 
     def value(self, rank: int, name: str):
         return self.ranks[rank].values[name]
+
+    @property
+    def events(self) -> list[ExecEvent]:
+        """All ranks' events merged in deterministic global order."""
+        out = [e for r in self.ranks for e in r.events]
+        out.sort(key=lambda e: (e.t0, e.rank, e.seq))
+        return out
+
+    @property
+    def makespan(self) -> float:
+        """Latest simulated finish time across ranks (0 without events)."""
+        return max((e.t1 for r in self.ranks for e in r.events), default=0.0)
 
 
 class _ReturnSignal(Exception):
@@ -179,6 +209,9 @@ class _Rank:
         self.config = config
         self.steps = 0
         self.result = RankResult(rank)
+        #: Event recorder + simulated clock; ``None`` unless
+        #: ``record_events`` — every hook below is guarded on it.
+        self.rec: Optional[RankRecorder] = None
         # Private globals: SPMD processes have disjoint memories.
         self.globals: dict[str, Slot] = {
             g.name: make_slot(g.type) for g in program.globals
@@ -334,6 +367,10 @@ class _Rank:
 
     def exec_stmt(self, s: Stmt, frame: dict[str, Slot], proc: str) -> None:
         self._tick()
+        rec = self.rec
+        if rec is not None:  # inlined RankRecorder.step (hot path)
+            rec.pending += 1
+            rec.step_counts[proc][s.loc.line] += 1
         if isinstance(s, Block):
             for inner in s.body:
                 self.exec_stmt(inner, frame, proc)
@@ -355,8 +392,13 @@ class _Rank:
                 self.exec_stmt(s.els, frame, proc)
             return
         if isinstance(s, While):
+            counts = rec.step_counts[proc] if rec is not None else None
+            line = s.loc.line
             while True:
                 self._tick()
+                if rec is not None:
+                    rec.pending += 1
+                    counts[line] += 1
                 cond, _ = self.eval(s.cond, frame, proc)
                 if not bool(cond):
                     break
@@ -385,9 +427,16 @@ class _Rank:
         if step == 0:
             raise SpmdRuntimeError("for-loop step is zero")
         slot = self._slot(frame, s.var)
+        rec = self.rec
+        if rec is not None:
+            counts = rec.step_counts[proc]
+            line = s.loc.line
         i = lo
         while (step > 0 and i <= hi) or (step < 0 and i >= hi):
             self._tick()
+            if rec is not None:  # inlined RankRecorder.step (hot path)
+                rec.pending += 1
+                counts[line] += 1
             slot.set(i, False)
             self.exec_stmt(s.body, frame, proc)
             i += step
@@ -521,10 +570,13 @@ class _Rank:
             return int(v)
 
         kind = op.kind
+        where = (proc, s.loc.line, s.name)
         if kind is MpiKind.SYNC:
             if s.name == "mpi_barrier":
                 comm = int_arg(ArgRole.COMM)
-                self.network.collective("barrier", self.rank, comm, None, lambda c: None)
+                self.network.collective(
+                    "barrier", self.rank, comm, None, lambda c: None, where=where
+                )
             return
         if kind is MpiKind.SEND:
             slot, _ = self._buffer_slot(s.args[op.position(ArgRole.DATA_IN)], frame, proc)
@@ -536,6 +588,7 @@ class _Rank:
                 int_arg(ArgRole.COMM),
                 value,
                 taint,
+                where=where,
             )
             return
         if kind is MpiKind.RECV:
@@ -547,6 +600,7 @@ class _Rank:
                 int_arg(ArgRole.SRC),
                 int_arg(ArgRole.TAG),
                 int_arg(ArgRole.COMM),
+                where=where,
             )
             self._deliver(slot, msg.payload, msg.taint, proc, name)
             return
@@ -562,7 +616,7 @@ class _Rank:
                 return contribs[root]
 
             value, taint = self.network.collective(
-                "bcast", self.rank, comm, mine, pick_root
+                "bcast", self.rank, comm, mine, pick_root, where=where
             )
             self._deliver(slot, value, taint, proc, name)
             return
@@ -591,7 +645,7 @@ class _Rank:
 
             collective_kind = "reduce" if kind is MpiKind.REDUCE else "allreduce"
             value, taint = self.network.collective(
-                collective_kind, self.rank, comm, mine, combine
+                collective_kind, self.rank, comm, mine, combine, where=where
             )
             if kind is MpiKind.ALLREDUCE or self.rank == root:
                 self._deliver(recv_slot, value, taint, proc, recv_name)
@@ -624,6 +678,7 @@ class _Rank:
         )
         mine = self._flatten(self._payload(send_slot))
         nprocs = self.network.nprocs
+        where = (proc, s.loc.line, s.name)
 
         if kind is MpiKind.GATHER:
             def combine(contribs):
@@ -634,7 +689,7 @@ class _Rank:
                 )
 
             values, taints = self.network.collective(
-                "gather", self.rank, comm, mine, combine
+                "gather", self.rank, comm, mine, combine, where=where
             )
             if self.rank != root:
                 return
@@ -644,7 +699,7 @@ class _Rank:
                 return contribs[root]
 
             values, taints = self.network.collective(
-                "scatter", self.rank, comm, mine, pick_root
+                "scatter", self.rank, comm, mine, pick_root, where=where
             )
             if values.size % nprocs != 0:
                 raise SpmdRuntimeError(
@@ -705,10 +760,17 @@ class _Rank:
                 slot.taints[...] = slot.type.is_real
             else:
                 slot.set(slot.get()[0], True)
+        rec = self.rec
+        if rec is not None:
+            t = rec.now()
+            rec.emit("start", "rank_start", t, t, (entry.name, 0, "start"))
         try:
             self.exec_stmt(entry.body, frame, entry.name)
         except _ReturnSignal:
             pass
+        if rec is not None:
+            t = rec.now()
+            rec.emit("finish", "rank_finish", t, t, (entry.name, 0, "finish"))
         self._snapshot_taint(frame, entry.name)
         self._snapshot_taint(self.globals, "")
         for name, slot in list(frame.items()) + list(self.globals.items()):
@@ -727,8 +789,10 @@ def run_spmd(
     """Execute ``program`` on ``config.nprocs`` simulated ranks.
 
     ``inputs`` seeds entry parameters and globals identically on every
-    rank; ``per_rank_inputs`` overrides per rank.  Raises the first
-    rank failure (:class:`SpmdRuntimeError` / :class:`DeadlockError`).
+    rank; ``per_rank_inputs`` overrides per rank.  On failure raises
+    the lowest-rank *primary* error (:class:`SpmdRuntimeError` /
+    :class:`DeadlockError`), annotated with its ``rank``; errors that
+    merely propagate a peer's abort never mask the original failure.
     """
     config = config or RunConfig()
     tracer = get_tracer()
@@ -736,11 +800,19 @@ def run_spmd(
         "runtime.run_spmd", nprocs=config.nprocs, entry=config.entry
     ):
         symtab = validate_program(program)
-        network = Network(config.nprocs, timeout=config.timeout)
+        recorder = (
+            ExecutionRecorder(config.nprocs, config.latency)
+            if config.record_events
+            else None
+        )
+        network = Network(config.nprocs, timeout=config.timeout, recorder=recorder)
         ranks = [
             _Rank(r, program, symtab, network, config) for r in range(config.nprocs)
         ]
-        errors: list[BaseException] = []
+        if recorder is not None:
+            for r, rk in zip(recorder.ranks, ranks):
+                rk.rec = r
+        errors: list[tuple[int, BaseException]] = []
         lock = threading.Lock()
 
         def worker(rank: _Rank, rank_inputs: Mapping[str, object]) -> None:
@@ -752,7 +824,7 @@ def run_spmd(
                     rank.run(rank_inputs)
             except BaseException as exc:  # noqa: BLE001 - propagated to caller
                 with lock:
-                    errors.append(exc)
+                    errors.append((rank.rank, exc))
                 network.abort(exc)
 
         threads = []
@@ -767,13 +839,41 @@ def run_spmd(
             t.start()
         for t in threads:
             t.join(timeout=config.timeout * 4)
-            if t.is_alive():
-                network.abort(DeadlockError("join timeout"))
+        stuck = [i for i, t in enumerate(threads) if t.is_alive()]
+        if stuck:
+            with network._lock:
+                graph = network.wait_for_snapshot()
+            names = ", ".join(str(r) for r in stuck)
+            timeout_err = DeadlockError(
+                f"join timeout: rank(s) {names} still running after "
+                f"{config.timeout * 4:g}s\n{graph.render()}",
+                rank=stuck[0],
+                wait_for=graph,
+            )
+            network.abort(timeout_err)
+            with lock:
+                errors.append((stuck[0], timeout_err))
         for t in threads:
             t.join(timeout=config.timeout)
         if errors:
-            raise errors[0]
-        return RunResult(config=config, ranks=[r.result for r in ranks])
+            # Deterministic pick: a primary failure beats abort
+            # propagation; ties break to the lowest rank.
+            for rank_no, exc in errors:
+                if getattr(exc, "rank", None) is None:
+                    try:
+                        exc.rank = rank_no
+                    except AttributeError:
+                        pass
+            errors.sort(
+                key=lambda it: (bool(getattr(it[1], "secondary", False)), it[0])
+            )
+            raise errors[0][1]
+        results = [r.result for r in ranks]
+        if recorder is not None:
+            for res, rr in zip(results, recorder.ranks):
+                res.events = rr.events
+                res.step_counts = rr.flat_step_counts()
+        return RunResult(config=config, ranks=results)
 
 
 _ = Union  # typing convenience

@@ -5,7 +5,15 @@ block until a message with matching (source, tag, communicator) is
 available.  Collectives rendezvous all ranks of a communicator: every
 rank deposits its contribution, one rank computes the result, all ranks
 pick it up.  A watchdog timeout converts lost messages or mismatched
-collectives into :class:`DeadlockError` instead of a hang.
+collectives into :class:`DeadlockError` instead of a hang — and the
+error carries a :class:`WaitForGraph` snapshot of every blocked rank's
+pending operation, distinguishing a genuine cyclic deadlock from a
+lost/mismatched message.
+
+When an :class:`~repro.runtime.events.ExecutionRecorder` is attached
+(``RunConfig.record_events``), every operation additionally advances
+the owning rank's simulated clock and appends a typed event — see
+:mod:`repro.runtime.events` for the clock semantics.
 """
 
 from __future__ import annotations
@@ -15,13 +23,33 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from ..obs import get_metrics, get_tracer, metric_name
+from .events import ExecutionRecorder, payload_nbytes
 
-__all__ = ["Message", "Network", "DeadlockError"]
+__all__ = ["Message", "Network", "DeadlockError", "PendingOp", "WaitForGraph"]
 
 
 class DeadlockError(RuntimeError):
     """A rank blocked past the watchdog timeout (lost message /
-    mismatched collective / genuine deadlock)."""
+    mismatched collective / genuine deadlock).
+
+    ``rank`` names the failing rank when known; ``wait_for`` carries
+    the :class:`WaitForGraph` snapshot taken when the watchdog fired;
+    ``secondary`` marks errors that merely propagate a peer's failure
+    (``run_spmd`` prefers primary errors when picking what to raise).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        rank: Optional[int] = None,
+        wait_for: Optional["WaitForGraph"] = None,
+        secondary: bool = False,
+    ):
+        super().__init__(message)
+        self.rank = rank
+        self.wait_for = wait_for
+        self.secondary = secondary
 
 
 @dataclass
@@ -32,6 +60,10 @@ class Message:
     #: (payload values, payload taints) — deep-copied by the sender.
     payload: Any
     taint: Any
+    #: Simulated-clock stamps (populated only while recording events).
+    nbytes: int = 0
+    avail: float = 0.0
+    send_event: Optional[tuple[int, int]] = None
 
 
 @dataclass
@@ -41,14 +73,136 @@ class _CollectiveRound:
     contributions: dict[int, Any] = field(default_factory=dict)
     result: Any = None
     done: bool = False
+    #: Simulated-clock bookkeeping (recording only).
+    enters: dict[int, float] = field(default_factory=dict)
+    nbytes: int = 0
+    exit_time: float = 0.0
+    limiter: int = 0
+
+
+@dataclass(frozen=True)
+class PendingOp:
+    """One blocked rank's pending operation, snapshotted by the watchdog."""
+
+    rank: int
+    kind: str  # "recv" or the collective kind ("barrier", "bcast", ...)
+    op: str  # source-level operation name (mpi_recv, mpi_bcast, ...)
+    proc: str
+    line: int
+    #: Ranks this operation cannot complete without hearing from.
+    waits_on: tuple[int, ...] = ()
+    peer: Optional[int] = None
+    tag: Optional[int] = None
+    comm: Optional[int] = None
+    #: Arrival tally for collectives: (arrived, expected).
+    arrived: Optional[tuple[int, int]] = None
+    #: Pending same-source messages with a different tag — the
+    #: signature of a tag mismatch rather than a lost message.
+    near_misses: tuple[str, ...] = ()
+    #: Internal: the collective round this op is parked in.
+    round_key: Optional[tuple[str, int, int]] = None
+
+    def describe(self) -> str:
+        if self.kind == "recv":
+            what = f"{self.op}(src={self.peer}, tag={self.tag}, comm={self.comm})"
+        else:
+            done, total = self.arrived or (0, 0)
+            what = f"{self.op} [{self.kind}] ({done}/{total} arrived)"
+        where = f"{self.proc}:{self.line}" if self.proc else "?"
+        waiting = ", ".join(f"rank {r}" for r in self.waits_on) or "nobody"
+        text = f"blocked in {what} at {where} — waiting on {waiting}"
+        for miss in self.near_misses:
+            text += f"\n      note: {miss}"
+        return text
+
+
+@dataclass
+class WaitForGraph:
+    """Who waits on whom, snapshotted when the watchdog fires.
+
+    An edge ``A → B`` means rank A cannot proceed until rank B acts
+    (sends the expected message / enters the collective).  A cycle
+    among *blocked* ranks is a genuine deadlock; an edge into a rank
+    that is not blocked means the awaited action simply never happened
+    — a lost or mismatched message.
+    """
+
+    nprocs: int
+    blocked: dict[int, PendingOp]
+
+    def edges(self) -> dict[int, tuple[int, ...]]:
+        return {r: op.waits_on for r, op in sorted(self.blocked.items())}
+
+    def cycle(self) -> Optional[list[int]]:
+        """A cyclic wait among blocked ranks, or ``None``.
+
+        Deterministic: ranks and edges are explored in ascending order.
+        """
+        colors: dict[int, int] = {}  # 0 visiting, 1 done
+        stack: list[int] = []
+
+        def visit(r: int) -> Optional[list[int]]:
+            colors[r] = 0
+            stack.append(r)
+            for nxt in sorted(self.blocked[r].waits_on):
+                if nxt not in self.blocked:
+                    continue
+                state = colors.get(nxt)
+                if state == 0:
+                    return stack[stack.index(nxt):] + [nxt]
+                if state is None:
+                    found = visit(nxt)
+                    if found:
+                        return found
+            colors[r] = 1
+            stack.pop()
+            return None
+
+        for r in sorted(self.blocked):
+            if r not in colors:
+                found = visit(r)
+                if found:
+                    return found
+        return None
+
+    @property
+    def is_deadlock(self) -> bool:
+        return self.cycle() is not None
+
+    def verdict(self) -> str:
+        cyc = self.cycle()
+        if cyc:
+            chain = " → ".join(f"rank {r}" for r in cyc)
+            return f"genuine deadlock — cyclic wait: {chain}"
+        return (
+            "lost or mismatched message — no cyclic wait: some blocked "
+            "rank waits on a rank that is not itself blocked, so the "
+            "awaited send/collective never happened (or used a "
+            "different src/tag/comm)"
+        )
+
+    def render(self) -> str:
+        lines = [f"wait-for graph ({self.nprocs} ranks, {len(self.blocked)} blocked):"]
+        for r, op in sorted(self.blocked.items()):
+            lines.append(f"  rank {r}: {op.describe()}")
+        if not self.blocked:
+            lines.append("  (no rank blocked in the network)")
+        lines.append(f"verdict: {self.verdict()}")
+        return "\n".join(lines)
 
 
 class Network:
     """Shared communication state across all rank threads."""
 
-    def __init__(self, nprocs: int, timeout: float = 10.0):
+    def __init__(
+        self,
+        nprocs: int,
+        timeout: float = 10.0,
+        recorder: Optional[ExecutionRecorder] = None,
+    ):
         self.nprocs = nprocs
         self.timeout = timeout
+        self.recorder = recorder
         self._lock = threading.Condition()
         #: (dest, comm) -> ordered mailbox.
         self._mailboxes: dict[tuple[int, int], list[Message]] = {}
@@ -56,6 +210,8 @@ class Network:
         self._rounds: dict[tuple[str, int, int], _CollectiveRound] = {}
         #: (kind, comm) -> per-rank sequence counters.
         self._seq: dict[tuple[str, int, int], int] = {}
+        #: rank -> currently blocked operation (for the watchdog).
+        self._blocked: dict[int, PendingOp] = {}
         #: Set when any rank fails so the others stop waiting.
         self.failed: Optional[BaseException] = None
 
@@ -67,40 +223,140 @@ class Network:
                 self.failed = exc
             self._lock.notify_all()
 
-    def _check_failed(self) -> None:
+    def _check_failed(self, me: Optional[int] = None) -> None:
         if self.failed is not None:
-            raise DeadlockError(f"aborted: peer rank failed ({self.failed})")
+            who = f"rank {me}: " if me is not None else ""
+            raise DeadlockError(
+                f"{who}aborted: peer rank failed ({self.failed})",
+                rank=me,
+                secondary=True,
+            )
+
+    # -- watchdog diagnostics ------------------------------------------------
+
+    def wait_for_snapshot(self) -> WaitForGraph:
+        """Snapshot every blocked rank's pending operation.
+
+        Must be called with ``self._lock`` held (or after all rank
+        threads have stopped, e.g. from the join-timeout path).
+        """
+        blocked: dict[int, PendingOp] = {}
+        for r, op in self._blocked.items():
+            if op.kind == "recv":
+                box = self._mailboxes.get((r, op.comm), [])
+                misses = tuple(
+                    f"pending message from rank {m.src} with tag {m.tag} "
+                    f"≠ expected tag {op.tag}"
+                    for m in box
+                    if m.src == op.peer and m.tag != op.tag
+                ) + tuple(
+                    f"pending message from rank {m.src} (expected rank "
+                    f"{op.peer}) with tag {m.tag}"
+                    for m in box
+                    if m.src != op.peer and m.tag == op.tag
+                )
+                blocked[r] = PendingOp(
+                    rank=r, kind=op.kind, op=op.op, proc=op.proc,
+                    line=op.line, waits_on=(op.peer,), peer=op.peer,
+                    tag=op.tag, comm=op.comm, near_misses=misses[:4],
+                )
+            else:
+                rnd = self._rounds.get(op.round_key) if op.round_key else None
+                arrived = set(rnd.contributions) if rnd else set()
+                missing = tuple(
+                    x for x in range(self.nprocs) if x not in arrived
+                )
+                blocked[r] = PendingOp(
+                    rank=r, kind=op.kind, op=op.op, proc=op.proc,
+                    line=op.line, waits_on=missing, comm=op.comm,
+                    arrived=(len(arrived), self.nprocs),
+                )
+        return WaitForGraph(self.nprocs, blocked)
 
     # -- point-to-point ------------------------------------------------------
 
-    def send(self, src: int, dest: int, tag: int, comm: int, payload, taint) -> None:
+    def send(
+        self,
+        src: int,
+        dest: int,
+        tag: int,
+        comm: int,
+        payload,
+        taint,
+        where: Optional[tuple[str, int, str]] = None,
+    ) -> None:
         if not (0 <= dest < self.nprocs):
-            raise DeadlockError(f"send to invalid rank {dest}")
+            raise DeadlockError(f"send to invalid rank {dest}", rank=src)
         if get_tracer().enabled:
             get_metrics().counter("repro.runtime.sends").inc()
+        msg = Message(src, tag, comm, payload, taint)
+        rec = self.recorder
+        if rec is not None:
+            rr = rec.ranks[src]
+            t = rr.now()
+            nbytes = payload_nbytes(payload)
+            seq = rr.emit(
+                "send", where[2] if where else "send", t, t,
+                where, peer=dest, tag=tag, comm=comm, nbytes=nbytes,
+            )
+            msg.nbytes = nbytes
+            msg.avail = t + rec.latency.p2p(nbytes)
+            msg.send_event = (src, seq)
         with self._lock:
-            self._check_failed()
+            self._check_failed(src)
             box = self._mailboxes.setdefault((dest, comm), [])
-            box.append(Message(src, tag, comm, payload, taint))
+            box.append(msg)
             self._lock.notify_all()
 
-    def recv(self, me: int, src: int, tag: int, comm: int) -> Message:
+    def recv(
+        self,
+        me: int,
+        src: int,
+        tag: int,
+        comm: int,
+        where: Optional[tuple[str, int, str]] = None,
+    ) -> Message:
         if get_tracer().enabled:
             get_metrics().counter("repro.runtime.recvs").inc()
-        deadline = threading.TIMEOUT_MAX
+        rec = self.recorder
+        t_block = rec.ranks[me].now() if rec is not None else 0.0
         with self._lock:
-            while True:
-                self._check_failed()
-                box = self._mailboxes.get((me, comm), [])
-                for i, msg in enumerate(box):
-                    if msg.src == src and msg.tag == tag:
-                        return box.pop(i)
-                if not self._lock.wait(timeout=self.timeout):
-                    raise DeadlockError(
-                        f"rank {me}: recv(src={src}, tag={tag}, comm={comm}) "
-                        f"timed out after {self.timeout}s"
-                    )
-        raise AssertionError(deadline)  # unreachable
+            try:
+                while True:
+                    self._check_failed(me)
+                    box = self._mailboxes.get((me, comm), [])
+                    for i, msg in enumerate(box):
+                        if msg.src == src and msg.tag == tag:
+                            box.pop(i)
+                            if rec is not None:
+                                rr = rec.ranks[me]
+                                rr.sync(max(t_block, msg.avail))
+                                rr.emit(
+                                    "recv", where[2] if where else "recv",
+                                    t_block, rr.clock, where, peer=src,
+                                    tag=tag, comm=comm, nbytes=msg.nbytes,
+                                    matched=msg.send_event,
+                                )
+                            return msg
+                    if me not in self._blocked:
+                        self._blocked[me] = PendingOp(
+                            rank=me, kind="recv",
+                            op=where[2] if where else "recv",
+                            proc=where[0] if where else "",
+                            line=where[1] if where else 0,
+                            waits_on=(src,), peer=src, tag=tag, comm=comm,
+                        )
+                    if not self._lock.wait(timeout=self.timeout):
+                        graph = self.wait_for_snapshot()
+                        raise DeadlockError(
+                            f"rank {me}: recv(src={src}, tag={tag}, "
+                            f"comm={comm}) timed out after {self.timeout}s\n"
+                            f"{graph.render()}",
+                            rank=me,
+                            wait_for=graph,
+                        )
+            finally:
+                self._blocked.pop(me, None)
 
     def pending_messages(self, me: int, comm: int) -> int:
         with self._lock:
@@ -115,6 +371,7 @@ class Network:
         comm: int,
         contribution,
         combine: Callable[[dict[int, Any]], Any],
+        where: Optional[tuple[str, int, str]] = None,
     ):
         """Rendezvous all ranks; returns ``combine(contributions)``.
 
@@ -126,8 +383,9 @@ class Network:
             get_metrics().counter(
                 metric_name("repro.runtime.collectives", kind=kind)
             ).inc()
+        rec = self.recorder
         with self._lock:
-            self._check_failed()
+            self._check_failed(me)
             seq_key = (kind, comm, me)
             seq = self._seq.get(seq_key, 0)
             self._seq[seq_key] = seq + 1
@@ -135,19 +393,55 @@ class Network:
             rnd = self._rounds.setdefault(round_key, _CollectiveRound())
             if me in rnd.contributions:
                 raise DeadlockError(
-                    f"rank {me}: duplicate contribution to {kind} #{seq}"
+                    f"rank {me}: duplicate contribution to {kind} #{seq}",
+                    rank=me,
                 )
             rnd.contributions[me] = contribution
+            if rec is not None:
+                rnd.enters[me] = rec.ranks[me].now()
+                rnd.nbytes = max(rnd.nbytes, payload_nbytes(contribution))
             if len(rnd.contributions) == self.nprocs:
                 rnd.result = combine(rnd.contributions)
+                if rec is not None:
+                    # Latest entry wins; ties resolve to the lowest rank
+                    # so the critical path is deterministic.
+                    latest = max(rnd.enters.values())
+                    rnd.limiter = min(
+                        r for r, t in rnd.enters.items() if t == latest
+                    )
+                    rnd.exit_time = latest + rec.latency.collective(
+                        kind, rnd.nbytes, self.nprocs
+                    )
                 rnd.done = True
                 self._lock.notify_all()
             else:
-                while not rnd.done:
-                    self._check_failed()
-                    if not self._lock.wait(timeout=self.timeout):
-                        raise DeadlockError(
-                            f"rank {me}: collective {kind} #{seq} timed out "
-                            f"({len(rnd.contributions)}/{self.nprocs} arrived)"
-                        )
+                self._blocked[me] = PendingOp(
+                    rank=me, kind=kind,
+                    op=where[2] if where else kind,
+                    proc=where[0] if where else "",
+                    line=where[1] if where else 0,
+                    comm=comm, round_key=round_key,
+                )
+                try:
+                    while not rnd.done:
+                        self._check_failed(me)
+                        if not self._lock.wait(timeout=self.timeout):
+                            graph = self.wait_for_snapshot()
+                            raise DeadlockError(
+                                f"rank {me}: collective {kind} #{seq} timed "
+                                f"out ({len(rnd.contributions)}/"
+                                f"{self.nprocs} arrived)\n{graph.render()}",
+                                rank=me,
+                                wait_for=graph,
+                            )
+                finally:
+                    self._blocked.pop(me, None)
+            if rec is not None:
+                rr = rec.ranks[me]
+                rr.sync(rnd.exit_time)
+                rr.emit(
+                    "collective", where[2] if where else kind,
+                    rnd.enters[me], rnd.exit_time, where, comm=comm,
+                    nbytes=rnd.nbytes, limiter=rnd.limiter, coll_seq=seq,
+                )
             return rnd.result

@@ -1,0 +1,339 @@
+"""Tests for execution-event recording: the simulated clock, latency
+models, wait-for-graph deadlock diagnostics, and the guarantee that
+recording never perturbs program semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.ir import parse_program
+from repro.programs import figure1
+from repro.runtime import (
+    DeadlockError,
+    ExecutionRecorder,
+    LatencyModel,
+    RunConfig,
+    SpmdRuntimeError,
+    run_spmd,
+)
+from repro.runtime.events import RankRecorder, payload_nbytes
+from repro.runtime.network import Network, PendingOp, WaitForGraph
+
+from .gen_programs import spmd_programs
+
+_fast = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def run(body, nprocs=2, timeout=1.5, **cfg):
+    src = f"program t;\nproc main() {{\n{body}\n}}\n"
+    return run_spmd(
+        parse_program(src), RunConfig(nprocs=nprocs, timeout=timeout, **cfg)
+    )
+
+
+class TestLatencyModel:
+    @pytest.mark.parametrize(
+        "spec", ["zero", "constant:5", "linear:10:0.01"]
+    )
+    def test_parse_spec_roundtrip(self, spec):
+        assert LatencyModel.parse(spec).spec() == spec
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown latency model"):
+            LatencyModel.parse("quadratic:1")
+
+    def test_p2p(self):
+        m = LatencyModel.linear(10.0, 0.5)
+        assert m.p2p(0) == 10.0
+        assert m.p2p(8) == 14.0
+        assert LatencyModel.zero().p2p(1000) == 0.0
+
+    def test_payload_nbytes(self):
+        assert payload_nbytes(None) == 0
+        assert payload_nbytes(1.25) == 8
+        assert payload_nbytes(np.zeros(4)) == 32
+        # (values, taints) message pairs count the values side only.
+        assert payload_nbytes((np.zeros(4), np.zeros(4, dtype=bool))) == 32
+
+
+class TestRankRecorder:
+    def test_lazy_clock_folding(self):
+        rr = RankRecorder(0, step_cost=2.0)
+        rr.step("main", 3)
+        rr.step("main", 3)
+        rr.step("main", 7)
+        assert rr.now() == 6.0
+        rr.sync(10.0)
+        assert rr.now() == 10.0 and rr.pending == 0
+        assert rr.flat_step_counts() == {("main", 3): 2, ("main", 7): 1}
+
+
+class TestNetworkClock:
+    def test_send_stamps_availability(self):
+        rec = ExecutionRecorder(2, LatencyModel.linear(10.0, 0.01))
+        net = Network(2, timeout=0.5, recorder=rec)
+        rec.ranks[0].sync(5.0)
+        net.send(0, 1, tag=7, comm=0, payload=1.25, taint=False,
+                 where=("main", 4, "mpi_send"))
+        msg = net.recv(1, src=0, tag=7, comm=0, where=("main", 9, "mpi_recv"))
+        # 8-byte scalar: available at 5 + 10 + 0.08.
+        assert msg.avail == pytest.approx(15.08)
+        send_ev = rec.ranks[0].events[0]
+        recv_ev = rec.ranks[1].events[0]
+        assert send_ev.kind == "send" and send_ev.t0 == send_ev.t1 == 5.0
+        assert recv_ev.kind == "recv"
+        assert recv_ev.t0 == 0.0 and recv_ev.t1 == pytest.approx(15.08)
+        assert recv_ev.matched == (0, 0)
+        assert rec.ranks[1].now() == pytest.approx(15.08)
+
+    def test_recv_after_availability_does_not_wait(self):
+        rec = ExecutionRecorder(2, LatencyModel.constant(3.0))
+        net = Network(2, timeout=0.5, recorder=rec)
+        net.send(0, 1, 7, 0, 1.0, False, where=("main", 1, "mpi_send"))
+        rec.ranks[1].sync(100.0)  # receiver is already past avail=3
+        net.recv(1, 0, 7, 0, where=("main", 2, "mpi_recv"))
+        ev = rec.ranks[1].events[0]
+        assert ev.t0 == ev.t1 == 100.0 and ev.blocked == 0.0
+
+
+class TestWaitForGraph:
+    def _op(self, rank, waits_on):
+        return PendingOp(rank=rank, kind="recv", op="mpi_recv",
+                         proc="main", line=1, waits_on=waits_on,
+                         peer=waits_on[0], tag=1, comm=0)
+
+    def test_cycle_detected(self):
+        g = WaitForGraph(2, {0: self._op(0, (1,)), 1: self._op(1, (0,))})
+        assert g.is_deadlock
+        assert g.cycle() == [0, 1, 0]
+        assert "genuine deadlock" in g.verdict()
+
+    def test_no_cycle_is_lost_message(self):
+        g = WaitForGraph(2, {1: self._op(1, (0,))})
+        assert not g.is_deadlock
+        assert "lost or mismatched message" in g.verdict()
+
+    def test_render_lists_every_blocked_rank(self):
+        g = WaitForGraph(2, {0: self._op(0, (1,)), 1: self._op(1, (0,))})
+        text = g.render()
+        assert "rank 0: blocked in mpi_recv" in text
+        assert "rank 1: blocked in mpi_recv" in text
+        assert "main:1" in text
+
+
+class TestDeadlockDiagnostics:
+    def test_cyclic_deadlock_names_ranks_ops_and_lines(self):
+        body = """
+        real x; real y;
+        if (mpi_comm_rank() == 0) {
+          call mpi_recv(x, 1, 1, comm_world);
+        } else {
+          call mpi_recv(y, 0, 2, comm_world);
+        }
+        """
+        with pytest.raises(DeadlockError) as info:
+            run(body, timeout=0.3)
+        exc = info.value
+        text = str(exc)
+        assert "genuine deadlock" in text and "cyclic wait" in text
+        assert "rank 0" in text and "rank 1" in text
+        assert "mpi_recv" in text and "main:" in text
+        assert not exc.secondary
+        assert exc.wait_for is not None and exc.wait_for.is_deadlock
+        assert set(exc.wait_for.blocked) == {0, 1}
+
+    def test_tag_mismatch_is_lost_message_with_near_miss(self):
+        body = """
+        real x; real y;
+        x = 1.0;
+        if (mpi_comm_rank() == 0) {
+          call mpi_send(x, 1, 7, comm_world);
+        } else {
+          call mpi_recv(y, 0, 8, comm_world);
+        }
+        """
+        with pytest.raises(DeadlockError) as info:
+            run(body, timeout=0.3)
+        text = str(info.value)
+        assert "lost or mismatched message" in text
+        assert "genuine deadlock" not in text
+        assert "tag 7" in text and "tag 8" in text  # the near-miss note
+
+    def test_collective_mismatch_reports_arrivals(self):
+        # Mismatched collective kinds park each rank in a round the
+        # other never joins: a cyclic wait, with both kinds and their
+        # arrival tallies visible in the rendering.
+        body = """
+        real x; real y;
+        if (mpi_comm_rank() == 0) {
+          call mpi_reduce(x, y, sum, 0, comm_world);
+        } else {
+          call mpi_bcast(x, 0, comm_world);
+        }
+        """
+        with pytest.raises(DeadlockError) as info:
+            run(body, timeout=0.3)
+        text = str(info.value)
+        assert "genuine deadlock" in text
+        assert "[reduce]" in text and "[bcast]" in text
+        assert "1/2 arrived" in text
+
+    def test_lowest_failing_rank_wins_error_selection(self):
+        # Both ranks fail locally (no network involvement), so both
+        # errors are primary; run_spmd must deterministically surface
+        # rank 0's even though thread finish order is arbitrary.
+        body = """
+        real a[3];
+        a[7 + mpi_comm_rank()] = 1.0;
+        """
+        for _ in range(5):
+            with pytest.raises(SpmdRuntimeError) as info:
+                run(body, timeout=5.0)
+            assert getattr(info.value, "rank", None) == 0
+
+    def test_secondary_abort_never_outranks_primary(self):
+        # Rank 0 crashes; rank 1's abort-release is secondary and must
+        # not be the raised error.
+        body = """
+        real x; real y;
+        if (mpi_comm_rank() == 0) {
+          x = 1.0 / 0.0;
+        } else {
+          call mpi_recv(y, 0, 1, comm_world);
+        }
+        """
+        with pytest.raises(SpmdRuntimeError) as info:
+            run(body, timeout=5.0)
+        assert "division by zero" in str(info.value)
+
+
+class TestFailurePropagationWithEvents:
+    """The failure paths must behave identically with recording on."""
+
+    def test_crash_releases_peer_blocked_on_recv(self):
+        body = """
+        real x; real y;
+        if (mpi_comm_rank() == 0) {
+          x = 1.0 / 0.0;
+          call mpi_send(x, 1, 1, comm_world);
+        } else {
+          call mpi_recv(y, 0, 1, comm_world);
+        }
+        """
+        with pytest.raises((SpmdRuntimeError, DeadlockError)):
+            run(body, timeout=5.0, record_events=True)
+
+    def test_crash_releases_peer_blocked_on_collective(self):
+        body = """
+        real x;
+        if (mpi_comm_rank() == 0) {
+          x = log(0.0 - 1.0);
+        }
+        call mpi_bcast(x, 0, comm_world);
+        """
+        with pytest.raises((SpmdRuntimeError, DeadlockError)):
+            run(body, timeout=5.0, record_events=True)
+
+    def test_deadlock_diagnosed_with_events_on(self):
+        body = """
+        real x; real y;
+        if (mpi_comm_rank() == 0) {
+          call mpi_recv(x, 1, 1, comm_world);
+        } else {
+          call mpi_recv(y, 0, 2, comm_world);
+        }
+        """
+        with pytest.raises(DeadlockError, match="genuine deadlock"):
+            run(body, timeout=0.3, record_events=True)
+
+
+def _recorded_config(nprocs=2):
+    return RunConfig(
+        nprocs=nprocs,
+        timeout=10.0,
+        record_events=True,
+        latency=LatencyModel.linear(10.0, 0.01),
+    )
+
+
+class TestRecordedRuns:
+    def test_events_present_and_ordered(self):
+        result = run_spmd(figure1.program(), _recorded_config(),
+                          inputs={"x": 2.0})
+        events = result.events
+        assert events, "recorded run produced no events"
+        kinds = {e.kind for e in events}
+        assert {"start", "finish", "send", "recv", "collective"} <= kinds
+        assert all(e.t0 <= e.t1 for e in events)
+        stamps = [(e.t0, e.rank, e.seq) for e in events]
+        assert stamps == sorted(stamps)
+        recv = next(e for e in events if e.kind == "recv")
+        assert recv.matched is not None and recv.nbytes == 8
+        assert result.makespan == max(e.t1 for e in events)
+
+    def test_off_by_default_and_zero_cost(self):
+        result = run_spmd(figure1.program(), RunConfig(nprocs=2),
+                          inputs={"x": 2.0})
+        assert result.events == []
+        assert all(not r.events and not r.step_counts for r in result.ranks)
+
+    def test_determinism_across_runs(self):
+        prog = figure1.program()
+        a = run_spmd(prog, _recorded_config(), inputs={"x": 2.0})
+        b = run_spmd(prog, _recorded_config(), inputs={"x": 2.0})
+        assert [e.as_dict() for e in a.events] == [
+            e.as_dict() for e in b.events
+        ]
+
+    def test_collective_limiter_is_late_rank(self):
+        # Rank 0 computes before the barrier, so it arrives last and
+        # must be recorded as the round's limiter on every rank.
+        body = """
+        int i; real x;
+        if (mpi_comm_rank() == 0) {
+          for i = 0 to 9 {
+            x = x + 1.0;
+          }
+        }
+        call mpi_barrier(comm_world);
+        """
+        src = f"program t;\nproc main() {{\n{body}\n}}\n"
+        result = run_spmd(parse_program(src), _recorded_config())
+        colls = [e for e in result.events if e.kind == "collective"]
+        assert len(colls) == 2
+        assert all(e.limiter == 0 for e in colls)
+        assert colls[0].t1 == colls[1].t1  # shared exit time
+
+
+def _rank_state(result):
+    out = []
+    for r in result.ranks:
+        values = {
+            k: (v.tolist() if isinstance(v, np.ndarray) else v)
+            for k, v in r.values.items()
+        }
+        out.append((values, set(r.tainted), r.assign_log))
+    return out
+
+
+@given(spmd_programs())
+@_fast
+def test_recording_never_perturbs_semantics(prog):
+    """Property: events-on leaves every rank value, taint set, and
+    assignment log identical to the events-off run, on random
+    deadlock-free SPMD programs."""
+    cfg_off = RunConfig(nprocs=2, timeout=10.0)
+    off = run_spmd(prog, cfg_off, inputs={"x": 0.37})
+    on = run_spmd(prog, _recorded_config(), inputs={"x": 0.37})
+    assert _rank_state(off) == _rank_state(on)
+    assert on.events and on.makespan > 0.0
+    # Per-site step counts cover exactly the statements that ran.
+    for r in on.ranks:
+        assert r.step_counts
+        assert all(c > 0 for c in r.step_counts.values())

@@ -1,0 +1,215 @@
+"""Tests for the timeline builder (lanes, wait attribution, comm
+matrix, critical path) and its exporters (Chrome trace, JSONL, HTML),
+plus the ``repro run`` artifact flags."""
+
+from __future__ import annotations
+
+import json
+import re
+
+import pytest
+
+from repro.cli import main
+from repro.obs import (
+    build_timeline,
+    critical_path,
+    render_timeline_html,
+    timeline_chrome_spans,
+    write_events_jsonl,
+    write_timeline_chrome_trace,
+    write_timeline_html,
+)
+from repro.programs import figure1
+from repro.runtime import LatencyModel, RunConfig, run_spmd
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    return run_spmd(
+        figure1.program(),
+        RunConfig(
+            nprocs=2,
+            timeout=10.0,
+            record_events=True,
+            latency=LatencyModel.linear(10.0, 0.01),
+        ),
+        inputs={"x": 2.0},
+    )
+
+
+@pytest.fixture(scope="module")
+def timeline(recorded):
+    return build_timeline(recorded)
+
+
+class TestTimeline:
+    def test_lanes_tile_each_rank(self, timeline):
+        assert len(timeline.lanes) == 2
+        for rank, segs in enumerate(timeline.lanes):
+            assert segs and segs[0].t0 == 0.0
+            for a, b in zip(segs, segs[1:]):
+                assert a.t1 <= b.t0, f"rank {rank}: overlapping segments"
+            assert all(s.rank == rank for s in segs)
+            assert all(s.kind in ("busy", "blocked", "collective")
+                       for s in segs)
+
+    def test_busy_blocked_split_covers_makespan(self, timeline):
+        # Figure 1's final reduce syncs both ranks to the same exit
+        # time, so each lane's busy + blocked ticks span the makespan.
+        for rank in range(timeline.nprocs):
+            covered = timeline.busy_ticks[rank] + timeline.blocked_ticks[rank]
+            assert covered == pytest.approx(timeline.makespan, abs=1e-6)
+        assert 0.0 < timeline.blocked_fraction < 1.0
+
+    def test_comm_matrix_totals(self, timeline):
+        msgs = sum(c["messages"] for c in timeline.comm_matrix.values())
+        nbytes = sum(c["bytes"] for c in timeline.comm_matrix.values())
+        assert msgs == timeline.messages == 1
+        assert nbytes == timeline.bytes_total == 8
+        assert (0, 1) in timeline.comm_matrix
+
+    def test_wait_attribution_names_source_sites(self, timeline):
+        sites = timeline.top_wait_sites()
+        assert sites
+        (proc, line, op), figures = sites[0]
+        assert proc == "main" and line > 0 and op.startswith("mpi_")
+        assert figures["ticks"] > 0 and figures["count"] > 0
+        total = sum(f["ticks"] for _, f in sites)
+        assert total == pytest.approx(
+            sum(timeline.blocked_ticks), abs=1e-6
+        )
+
+    def test_critical_path_ends_at_makespan(self, recorded, timeline):
+        path = critical_path(recorded)
+        assert path
+        assert path[-1].t1 == pytest.approx(recorded.makespan)
+        for a, b in zip(path, path[1:]):
+            assert a.t1 <= b.t1  # completion times are monotone
+        assert timeline.critical_path_ticks == pytest.approx(
+            timeline.makespan
+        )
+
+    def test_critical_path_crosses_the_message(self, recorded):
+        # Figure 1's makespan is dominated by rank 1 waiting for rank
+        # 0's send, so the path must hop ranks through the match.
+        kinds = [(e.rank, e.kind) for e in critical_path(recorded)]
+        assert (0, "send") in kinds
+        assert any(kind == "recv" for _, kind in kinds)
+
+    def test_as_dict_is_json_clean(self, timeline):
+        data = timeline.as_dict()
+        text = json.dumps(data, sort_keys=True)
+        assert json.loads(text) == data
+        assert data["comm_matrix"]["0->1"]["messages"] == 1
+        assert all(":" in key for key in data["wait_by_site"])
+
+
+class TestExporters:
+    def test_chrome_trace(self, tmp_path, recorded):
+        out = tmp_path / "trace.json"
+        n = write_timeline_chrome_trace(out, recorded)
+        trace = json.loads(out.read_text())
+        events = trace["traceEvents"]
+        assert n == len(timeline_chrome_spans(recorded)) and n > 0
+        complete = [e for e in events if e.get("ph") == "X"]
+        assert complete and all(
+            {"name", "ts", "dur", "pid", "tid"} <= set(e) for e in complete
+        )
+
+    def test_events_jsonl_roundtrip(self, tmp_path, recorded):
+        out = tmp_path / "events.jsonl"
+        n = write_events_jsonl(out, recorded)
+        lines = out.read_text().splitlines()
+        assert len(lines) == n + 1  # meta line + one line per event
+        meta = json.loads(lines[0])
+        assert meta["type"] == "meta"
+        assert meta["messages"] == 1 and meta["nprocs"] == 2
+        events = [json.loads(line) for line in lines[1:]]
+        assert len(events) == len(recorded.events)
+        assert events[0]["kind"] == "start"
+        recv = next(e for e in events if e["kind"] == "recv")
+        assert re.fullmatch(r"\d+:\d+", recv["matched"])
+
+    def test_html_is_self_contained(self, tmp_path, recorded):
+        html = render_timeline_html(recorded, title="t-title")
+        assert html.startswith("<!DOCTYPE html>")
+        assert "t-title" in html
+        for pattern in ("http://", "https://", "<script src", "@import"):
+            assert pattern not in html, f"external reference: {pattern}"
+        match = re.search(r"const DATA = (\{.*?\});?\n", html, re.DOTALL)
+        assert match, "embedded DATA payload missing"
+        data = json.loads(match.group(1))
+        assert data["makespan"] > 0
+        assert len(data["lanes"]) == 2
+        assert len(data["matrix"]) == 2
+        path = write_timeline_html(tmp_path / "tl.html", recorded)
+        assert path.read_text().startswith("<!DOCTYPE html>")
+
+
+@pytest.fixture()
+def fig1_file(tmp_path):
+    path = tmp_path / "figure1.spl"
+    path.write_text(figure1.SOURCE_LITERAL)
+    return str(path)
+
+
+class TestRunArtifacts:
+    def test_run_writes_all_artifacts(self, fig1_file, tmp_path, capsys):
+        html = tmp_path / "tl.html"
+        trace = tmp_path / "trace.json"
+        events = tmp_path / "events.jsonl"
+        rc = main([
+            "run", fig1_file, "--nprocs", "2",
+            "--latency", "linear:10:0.01",
+            "--timeline", str(html),
+            "--chrome", str(trace),
+            "--events", str(events),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "rank 0" in out and "rank 1" in out  # stdout unchanged
+        assert html.read_text().startswith("<!DOCTYPE html>")
+        assert json.loads(trace.read_text())["traceEvents"]
+        assert events.read_text().splitlines()
+
+    def test_run_registry_benchmark_with_sizes(self, tmp_path, capsys):
+        events = tmp_path / "events.jsonl"
+        rc = main([
+            "run", "Sw-3", "--nprocs", "3",
+            "--size", "flux=64", "--size", "prbuf=16",
+            "--size", "angles=4",
+            "--events", str(events),
+        ])
+        assert rc == 0
+        lines = events.read_text().splitlines()
+        meta = json.loads(lines[0])
+        assert meta["type"] == "meta" and meta["nprocs"] == 3
+        assert len(lines) > 1
+
+    def test_run_without_flags_does_not_record(self, fig1_file, capsys):
+        assert main(["run", fig1_file, "--nprocs", "2"]) == 0
+        assert "f=9.0" in capsys.readouterr().out
+
+    def test_run_deadlock_renders_wait_for_graph(self, tmp_path, capsys):
+        path = tmp_path / "deadlock.spl"
+        path.write_text(
+            "program d;\n"
+            "proc main() {\n"
+            "  real x; real y;\n"
+            "  if (mpi_comm_rank() == 0) {\n"
+            "    call mpi_recv(x, 1, 1, comm_world);\n"
+            "  } else {\n"
+            "    call mpi_recv(y, 0, 2, comm_world);\n"
+            "  }\n"
+            "}\n"
+        )
+        rc = main(["run", str(path), "--nprocs", "2", "--timeout", "0.3"])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "wait-for graph" in err
+        assert "genuine deadlock" in err
+
+    def test_run_size_rejected_for_files(self, fig1_file, capsys):
+        rc = main(["run", fig1_file, "--size", "n=4"])
+        assert rc == 1
+        assert "--size" in capsys.readouterr().err
