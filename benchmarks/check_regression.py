@@ -42,6 +42,16 @@ come from a different box than CI — so both comparisons run on
   re-gated only under ``--strict`` (CI boxes re-time it in the
   dedicated bench-interp smoke step too).
 
+* **overlap** (``BENCH_overlap.json``) gates the blocking→non-blocking
+  overlap transform *exactly*: statement-motion counts and the
+  original/transformed simulated makespans are deterministic, so any
+  drift between the committed report and a fresh ``bench_overlap`` run
+  is a semantic change.  Both reports must additionally record a
+  strictly positive makespan reduction on every ``must_improve`` row
+  (LU-1 and Sw-3) and byte-identical final rank state on every row —
+  a transform that stops hiding communication, or starts changing
+  results, fails the gate even if it still round-trips.
+
 * **serving** (``BENCH_serving.json``) gates the committed serving
   report on its machine-independent figures only: LRU hit rate and
   dedup ratio under the recorded repeat-heavy load mix, zero non-200
@@ -309,6 +319,81 @@ def compare_incremental(
     ) + incremental_failures(fresh, min_speedup, "fresh")
 
 
+#: Rows every BENCH_overlap.json must carry.
+OVERLAP_REQUIRED = ("figure1", "LU-1", "Sw-3")
+
+
+def overlap_failures(report: dict, label: str = "committed") -> list[str]:
+    """Failure messages for one overlap report's internal invariants.
+
+    Every required row must be present, semantics-preserving
+    (``values_identical``), and every ``must_improve`` row must record
+    a strictly positive simulated-makespan saving — all pure
+    simulated-clock facts, valid on any machine.
+    """
+    failures = []
+    where = f"overlap ({label})"
+    must = set(report.get("must_improve", []))
+    rows = {r.get("name"): r for r in report.get("benchmarks", [])}
+    for name in OVERLAP_REQUIRED:
+        row = rows.get(name)
+        if row is None:
+            failures.append(f"{where}: no {name} row recorded")
+            continue
+        if not row.get("values_identical"):
+            failures.append(
+                f"{where}: {name} final rank state was not identical — "
+                "the transform is not semantics-preserving"
+            )
+        makespan = row.get("makespan", {})
+        if name in must and makespan.get("saved_ticks", 0.0) <= 0.0:
+            failures.append(
+                f"{where}: {name} saved {makespan.get('saved_ticks', 0.0)!r} "
+                "ticks — the overlap transform must reduce its makespan"
+            )
+    return failures
+
+
+def compare_overlap(committed: dict, fresh: dict) -> list[str]:
+    """Exact-match the overlap figures, committed vs fresh.
+
+    Motion counts and both makespans live on the deterministic
+    simulated clock; equality is the only honest comparison.
+    """
+    failures = overlap_failures(committed, "committed")
+    failures.extend(overlap_failures(fresh, "fresh"))
+    if committed.get("latency") != fresh.get("latency"):
+        failures.append(
+            f"overlap: latency model changed — committed "
+            f"{committed.get('latency')!r} vs fresh {fresh.get('latency')!r}"
+        )
+    fresh_rows = {r.get("name"): r for r in fresh.get("benchmarks", [])}
+    for row in committed.get("benchmarks", []):
+        name = row.get("name")
+        other = fresh_rows.get(name)
+        if other is None:
+            failures.append(f"overlap: fresh run has no {name} row")
+            continue
+        for key in ("nprocs", "sizes"):
+            if row.get(key) != other.get(key):
+                failures.append(
+                    f"overlap {name}: configuration drift — {key} is "
+                    f"{row.get(key)!r} committed vs {other.get(key)!r} fresh"
+                )
+        for section in ("motion", "makespan"):
+            base, new = row.get(section, {}), other.get(section, {})
+            for key in sorted(set(base) | set(new)):
+                if base.get(key) != new.get(key):
+                    failures.append(
+                        f"overlap {name}: {section}.{key} drifted — "
+                        f"committed {base.get(key)!r} vs fresh "
+                        f"{new.get(key)!r} (simulated-clock figures are "
+                        "deterministic; this is a semantic change, not "
+                        "noise)"
+                    )
+    return failures
+
+
 #: Benchmarks whose simulated-clock figures must be present (and, for
 #: the latter two, carry a committed critical path) in BENCH_interp.json.
 INTERP_REQUIRED = ("figure1", "LU-1", "Sw-3")
@@ -421,6 +506,18 @@ def fresh_incremental(committed: dict) -> dict:
         rc = bench_incremental.main(["--smoke", "--out", str(out)])
         if rc != 0:
             raise RuntimeError(f"bench_incremental exited {rc}")
+        return json.loads(out.read_text())
+
+
+def fresh_overlap(committed: dict) -> dict:
+    """Re-run ``bench_overlap`` — fast and fully deterministic."""
+    import bench_overlap
+
+    with tempfile.TemporaryDirectory() as tmp:
+        out = pathlib.Path(tmp) / "BENCH_overlap.json"
+        rc = bench_overlap.main(["--out", str(out)])
+        if rc != 0:
+            raise RuntimeError(f"bench_overlap exited {rc}")
         return json.loads(out.read_text())
 
 
@@ -554,6 +651,11 @@ def main(argv=None) -> int:
         help="skip the interpreter event-recording gate",
     )
     parser.add_argument(
+        "--skip-overlap",
+        action="store_true",
+        help="skip the non-blocking overlap-transform gate",
+    )
+    parser.add_argument(
         "--strict",
         action="store_true",
         help="fail when a committed baseline is missing (CI mode)",
@@ -679,6 +781,24 @@ def main(argv=None) -> int:
                     f"steps {figures.get('steps', 0):7d} "
                     f"makespan {figures.get('makespan', 0.0):10g} "
                     f"critpath {figures.get('critical_path_ticks', 0.0):10g} "
+                    "[exact]"
+                )
+
+    if not args.skip_overlap:
+        committed = _load(args.results_dir / "BENCH_overlap.json")
+        if committed is None:
+            _missing("BENCH_overlap.json", "overlap")
+        else:
+            fresh = fresh_overlap(committed)
+            failures.extend(compare_overlap(committed, fresh))
+            checked += 1
+            for row in committed.get("benchmarks", []):
+                makespan = row.get("makespan", {})
+                print(
+                    f"overlap  {row.get('name', '?'):20s} "
+                    f"makespan {makespan.get('original', 0.0):10g} -> "
+                    f"{makespan.get('transformed', 0.0):10g} "
+                    f"saved {makespan.get('saved_ticks', 0.0):8g} ticks "
                     "[exact]"
                 )
 

@@ -44,7 +44,7 @@ from ..ir.ast_nodes import (
 )
 from ..ir.mpi_ops import ArgRole, MPI_OPS, MpiKind
 from ..ir.symtab import SymbolTable
-from ..ir.types import ArrayType, Type
+from ..ir.types import ArrayType, IntType, Type
 from ..ir.validate import validate_program
 
 __all__ = ["ADError", "DerivativeProgram", "differentiate", "shadow_name", "TAG_SHIFT"]
@@ -270,6 +270,7 @@ class _Transform:
         payload is inactive), or the tangent receive would deadlock.
         """
         from ..analyses.mpi_model import data_buffers
+        from ..mpi.requests import request_linkage
 
         def site_active(node) -> bool:
             bufs = data_buffers(node, icfg.symtab)
@@ -282,10 +283,24 @@ class _Transform:
             return False
 
         nodes = {n.id: n for n in icfg.mpi_nodes()}
+        linkage = request_linkage(icfg)
         activity = {nid: site_active(n) for nid, n in nodes.items()}
+        # A wait carries its completing posts' activity (its own node
+        # has no data buffers), since communication edges land on it.
+        for wid, posts in linkage.posts_of_wait.items():
+            if wid in activity:
+                activity[wid] = activity[wid] or any(
+                    activity.get(p, False) for p in posts
+                )
         mirrored: set[int] = set()
         for nid, node in nodes.items():
-            peers = icfg.graph.comm_succs(nid) + icfg.graph.comm_preds(nid)
+            peers = set(icfg.graph.comm_succs(nid)) | set(
+                icfg.graph.comm_preds(nid)
+            )
+            # A non-blocking post's matched peers sit on its waits.
+            for wid in linkage.waits_of_post.get(nid, ()):
+                peers |= set(icfg.graph.comm_succs(wid))
+                peers |= set(icfg.graph.comm_preds(wid))
             if activity[nid] or any(activity.get(p, False) for p in peers):
                 mirrored.add(id(node.stmt))
         return frozenset(mirrored)
@@ -308,6 +323,14 @@ class _Transform:
         if name not in per_proc:
             per_proc[name] = VarDecl(name, payload_type, None)
         return VarRef(name)
+
+    def _req_dummy(self, proc: str) -> Expr:
+        """The tangent request handle; one per procedure suffices
+        because every tangent post waits immediately."""
+        per_proc = self._dummies.setdefault(proc, {})
+        if "d_req" not in per_proc:
+            per_proc["d_req"] = VarDecl("d_req", IntType(), None)
+        return VarRef("d_req")
 
     # -- statements -------------------------------------------------------
 
@@ -436,6 +459,10 @@ class _Transform:
 
     def _transform_mpi(self, s: CallStmt, proc: str, differ: _Differ) -> list[Stmt]:
         op = MPI_OPS[s.name]
+        if op.kind is MpiKind.SYNC:
+            # mpi_wait/mpi_barrier are never mirrored: a mirrored
+            # non-blocking post completes its tangent inline (below).
+            return [s]
         locally_active = any(
             isinstance(s.args[pos], (VarRef, ArrayRef))
             and self.is_active(proc, s.args[pos].name)
@@ -484,12 +511,22 @@ class _Transform:
                 d_args.append(self._zero_dummy(proc, payload_type, role))
             elif spec.role is ArgRole.TAG:
                 d_args.append(BinOp("+", arg, IntLit(TAG_SHIFT)))
+            elif spec.role is ArgRole.REQ_OUT:
+                # The tangent operation owns its own request handle and
+                # completes inline right after posting, keeping the
+                # primal's request discipline untouched.
+                d_args.append(self._req_dummy(proc))
             else:
                 d_args.append(arg)
         d_call = CallStmt(s.name, tuple(d_args), loc=s.loc)
+        out: list[Stmt] = [d_call]
+        if op.nonblocking:
+            out.append(
+                CallStmt("mpi_wait", (self._req_dummy(proc),), loc=s.loc)
+            )
         # Tangent communication first (mirrors "derivative before
         # primal"); order is irrelevant for matching since tags differ.
-        return [d_call, s]
+        return out + [s]
 
 
 def differentiate(

@@ -311,6 +311,15 @@ class BitwidthProblem(EnvInterprocFacts, DataFlowProblem[WidthEnv, Optional[Inte
     def _transfer_mpi(
         self, node: MpiNode, fact: WidthEnv, comm: Optional[Optional[Interval]]
     ) -> WidthEnv:
+        # Non-blocking posts write a runtime request handle: unbounded.
+        for pos in node.op.positions(ArgRole.REQ_OUT):
+            arg = node.arg_at(pos)
+            if isinstance(arg, VarRef):
+                rsym = self.symtab.try_lookup(node.proc, arg.name)
+                if rsym is not None and isinstance(rsym.type, IntType):
+                    fact = self._set(node, fact, rsym.qname, FULL)
+        if node.mpi_kind is MpiKind.SYNC:
+            return self._transfer_wait(node, fact, comm)
         bufs = data_buffers(node, self.symtab)
         recv = bufs.received
         if recv is None or not recv.strong:
@@ -318,6 +327,9 @@ class BitwidthProblem(EnvInterprocFacts, DataFlowProblem[WidthEnv, Optional[Inte
         sym = self.symtab.symbol_of_qname(recv.qname)
         if not isinstance(sym.type, IntType):
             return fact
+        if node.op.nonblocking and node.mpi_kind is MpiKind.RECV:
+            # The buffer is undefined until the completing wait.
+            return self._set(node, fact, recv.qname, FULL)
         return dispatch_mpi_model(
             self.mpi_model,
             node,
@@ -327,6 +339,48 @@ class BitwidthProblem(EnvInterprocFacts, DataFlowProblem[WidthEnv, Optional[Inte
             ignore=self._mpi_opaque,
             global_buffer=self._mpi_global_buffer,
         )
+
+    def _transfer_wait(
+        self, node: MpiNode, fact: WidthEnv, comm: Optional[Interval]
+    ) -> WidthEnv:
+        """Wait completing irecv posts: the buffer's range lands here.
+
+        Under COMM_EDGES the matched senders' edges were rerouted to
+        this node; under GLOBAL_BUFFER the buffer is unbounded; under
+        IGNORE completion was already modelled at the post.
+        """
+        from ..mpi.requests import request_linkage  # lazy: import cycle
+
+        linkage = request_linkage(self.icfg)
+        posts = [
+            p
+            for p in map(
+                self.icfg.graph.node,
+                sorted(linkage.posts_of_wait.get(node.id, ())),
+            )
+            if p.mpi_kind is MpiKind.RECV
+        ]
+        if len(posts) != 1 or not self.mpi_model.uses_comm_edges:
+            if posts and self.mpi_model.uses_global_buffer:
+                out = fact
+                for post in posts:
+                    buf = data_buffers(post, self.symtab).received
+                    if buf is None or not buf.strong:
+                        continue
+                    sym = self.symtab.symbol_of_qname(buf.qname)
+                    if isinstance(sym.type, IntType):
+                        out = self._set(node, out, buf.qname, FULL)
+                return out
+            return fact
+        buf = data_buffers(posts[0], self.symtab).received
+        if buf is None or not buf.strong:
+            return fact
+        sym = self.symtab.symbol_of_qname(buf.qname)
+        if not isinstance(sym.type, IntType):
+            return fact
+        if comm is None:
+            return fact  # senders unreached (or none matched)
+        return self._set(node, fact, buf.qname, comm)
 
     def _mpi_comm_edges(
         self, node: MpiNode, fact: WidthEnv, comm: Optional[Interval]

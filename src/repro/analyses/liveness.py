@@ -47,18 +47,21 @@ def _branch(problem: KernelProblem, node: BranchNode, fact: SetFact) -> SetFact:
 def _mpi(problem: KernelProblem, node: MpiNode, fact: SetFact, comm) -> SetFact:
     op = node.op
     out = fact
-    # Kill whole-variable receive buffers (they are defined here).
-    for pos in op.positions(ArgRole.DATA_OUT):
-        arg = node.arg_at(pos)
-        if isinstance(arg, VarRef):
-            sym = problem.symtab.try_lookup(node.proc, arg.name)
-            if sym is not None:
-                out = out - {sym.qname}
+    # Kill whole-variable receive buffers and request handles (both are
+    # defined here).
+    for role in (ArgRole.DATA_OUT, ArgRole.REQ_OUT):
+        for pos in op.positions(role):
+            arg = node.arg_at(pos)
+            if isinstance(arg, VarRef):
+                sym = problem.symtab.try_lookup(node.proc, arg.name)
+                if sym is not None:
+                    out = out - {sym.qname}
     # Everything the operation reads becomes live: payloads, tags,
-    # ranks, roots, communicators (and inout buffers).
+    # ranks, roots, communicators (and inout buffers; ``mpi_wait``'s
+    # consumed request handle too).
     reads: set[str] = set()
     for spec, arg in zip(op.args, node.args):
-        if spec.role is ArgRole.DATA_OUT or spec.role is ArgRole.REDOP:
+        if spec.role in (ArgRole.DATA_OUT, ArgRole.REQ_OUT, ArgRole.REDOP):
             continue
         reads |= use_qnames(arg, problem.symtab, node.proc)
     return out | reads

@@ -126,6 +126,14 @@ class ReachingConstantsProblem(
     def _transfer_mpi(
         self, node: MpiNode, fact: ConstEnv, comm: Optional[ConstValue]
     ) -> ConstEnv:
+        # A non-blocking post writes a runtime request handle into its
+        # REQ_OUT variable — never a constant, under every model.
+        for pos in node.op.positions(ArgRole.REQ_OUT):
+            arg = node.arg_at(pos)
+            if isinstance(arg, VarRef):
+                sym = self.symtab.try_lookup(node.proc, arg.name)
+                if sym is not None and not isinstance(sym.type, ArrayType):
+                    fact = env_set(fact, sym.qname, BOTTOM)
         return dispatch_mpi_model(
             self.mpi_model,
             node,
@@ -135,6 +143,22 @@ class ReachingConstantsProblem(
             ignore=self._mpi_ignore,
             global_buffer=self._mpi_global_buffer,
         )
+
+    def _recv_posts(self, node: MpiNode) -> list[MpiNode]:
+        """The irecv posts completing at a wait node (empty otherwise)."""
+        if node.mpi_kind is not MpiKind.SYNC:
+            return []
+        from ..mpi.requests import request_linkage  # lazy: import cycle
+
+        linkage = request_linkage(self.icfg)
+        return [
+            post
+            for post in map(
+                self.icfg.graph.node,
+                sorted(linkage.posts_of_wait.get(node.id, ())),
+            )
+            if post.mpi_kind is MpiKind.RECV
+        ]
 
     def _sent_value(self, node: MpiNode, fact: ConstEnv) -> ConstValue:
         """Lattice value of the sent payload evaluated in ``fact``."""
@@ -159,13 +183,46 @@ class ReachingConstantsProblem(
             return fact
         return env_set(fact, buf.qname, value)
 
+    def _meet_scalar_buffer(
+        self, node: MpiNode, fact: ConstEnv, value: ConstValue
+    ) -> ConstEnv:
+        """Weak update: the buffer may or may not be written here."""
+        bufs = data_buffers(node, self.symtab)
+        buf = bufs.received
+        if buf is None:
+            return fact
+        sym = self.symtab.symbol_of_qname(buf.qname)
+        if isinstance(sym.type, ArrayType):
+            return fact
+        return env_set(
+            fact, buf.qname, const_meet(env_get(fact, buf.qname), value)
+        )
+
     def _mpi_comm_edges(
         self, node: MpiNode, fact: ConstEnv, comm: Optional[ConstValue]
     ) -> ConstEnv:
         kind = node.mpi_kind
-        if kind is MpiKind.SEND or kind is MpiKind.SYNC:
+        if kind is MpiKind.SEND:
             return fact
+        if kind is MpiKind.SYNC:
+            # Wait completing irecv posts: their buffers take the value
+            # arriving over this node's COMM edges.  Strong only when a
+            # single post can complete here.
+            posts = self._recv_posts(node)
+            if not posts:
+                return fact
+            value = comm if comm is not None else BOTTOM
+            out = fact
+            for post in posts:
+                if len(posts) == 1:
+                    out = self._set_scalar_buffer(post, out, True, value)
+                else:
+                    out = self._meet_scalar_buffer(post, out, value)
+            return out
         if kind is MpiKind.RECV:
+            if node.op.nonblocking:
+                # The buffer is undefined until the completing wait.
+                return self._set_scalar_buffer(node, fact, True, BOTTOM)
             value = comm if comm is not None else BOTTOM
             return self._set_scalar_buffer(node, fact, True, value)
         if kind is MpiKind.BCAST:
@@ -192,14 +249,25 @@ class ReachingConstantsProblem(
     def _mpi_global_buffer(self, node: MpiNode, fact: ConstEnv, weak: bool) -> ConstEnv:
         kind = node.mpi_kind
         if kind is MpiKind.SYNC:
-            return fact
+            posts = self._recv_posts(node)
+            out = fact
+            value = env_get(out, MPI_BUFFER_QNAME)
+            for post in posts:
+                if len(posts) == 1:
+                    out = self._set_scalar_buffer(post, out, True, value)
+                else:
+                    out = self._meet_scalar_buffer(post, out, value)
+            return out
         out = fact
         if kind is not MpiKind.RECV:  # everything else contributes data
             sent = self._sent_value(node, out)
             if weak:
                 sent = const_meet(env_get(out, MPI_BUFFER_QNAME), sent)
             out = env_set(out, MPI_BUFFER_QNAME, sent)
-        if kind in (MpiKind.RECV, MpiKind.BCAST):
+        if kind is MpiKind.RECV and node.op.nonblocking:
+            # Undefined until the completing wait reads the buffer.
+            out = self._set_scalar_buffer(node, out, True, BOTTOM)
+        elif kind in (MpiKind.RECV, MpiKind.BCAST):
             out = self._set_scalar_buffer(
                 node, out, True, env_get(out, MPI_BUFFER_QNAME)
             )

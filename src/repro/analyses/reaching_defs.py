@@ -60,6 +60,13 @@ def _mpi(problem: KernelProblem, node: MpiNode, fact: DefFact, comm) -> DefFact:
     written = list(node.op.positions(ArgRole.DATA_OUT)) + list(
         node.op.positions(ArgRole.DATA_INOUT)
     )
+    # A non-blocking receive defines its *request handle* here; the
+    # buffer is only defined at the completing mpi_wait (handled below).
+    if node.op.nonblocking:
+        written = [
+            p for p in written if p not in node.op.positions(ArgRole.DATA_OUT)
+        ]
+    written += list(node.op.positions(ArgRole.REQ_OUT))
     for pos in written:
         arg = node.arg_at(pos)
         if not isinstance(arg, VarRef):
@@ -72,6 +79,18 @@ def _mpi(problem: KernelProblem, node: MpiNode, fact: DefFact, comm) -> DefFact:
             continue
         q = sym.qname
         out = frozenset(p for p in out if p[0] != q) | {(q, node.id)}
+    # mpi_wait completing irecv posts defines their buffers (strong
+    # only when a single post can complete here).
+    posts = problem.recv_posts(node)
+    for post in posts:
+        buf = problem.bufs(post).received
+        if buf is None:
+            continue
+        q = buf.qname
+        if len(posts) == 1 and buf.strong:
+            out = frozenset(p for p in out if p[0] != q) | {(q, node.id)}
+        else:
+            out = out | {(q, node.id)}
     return out
 
 

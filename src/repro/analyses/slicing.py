@@ -72,6 +72,11 @@ def _node_reads_influenced(
         )
     if isinstance(node, MpiNode):
         if node.mpi_kind is MpiKind.SYNC:
+            # A wait completing irecv posts receives the data here.
+            if _wait_recv_posts(icfg, node):
+                return _receives_influenced(
+                    icfg, node, influence, problem_model
+                )
             return False
         # Reads its outgoing payload...
         pos = node.op.position(ArgRole.DATA_IN)
@@ -81,12 +86,30 @@ def _node_reads_influenced(
             arg = node.arg_at(pos)
             if use_qnames(arg, symtab, node.proc) & fact_in:
                 return True
-        # ...or receives influenced data over the communication model.
+        # ...or receives influenced data over the communication model
+        # (a non-blocking post does not: its wait receives instead).
         bufs = data_buffers(node, symtab)
-        if bufs.received is not None:
+        if bufs.received is not None and not node.op.nonblocking:
             return _receives_influenced(icfg, node, influence, problem_model)
         return False
     return False
+
+
+def _wait_recv_posts(icfg: ICFG, node: MpiNode) -> list[MpiNode]:
+    """The irecv posts completing at a wait node (empty otherwise)."""
+    if node.mpi_kind is not MpiKind.SYNC:
+        return []
+    # Lazy import: repro.mpi pulls repro.analyses in at package init.
+    from ..mpi.requests import request_linkage
+
+    linkage = request_linkage(icfg)
+    return [
+        post
+        for post in map(
+            icfg.graph.node, sorted(linkage.posts_of_wait.get(node.id, ()))
+        )
+        if post.mpi_kind is MpiKind.RECV
+    ]
 
 
 def _receives_influenced(
@@ -196,12 +219,20 @@ def _need_mpi(
 ) -> frozenset:
     kind = n.mpi_kind
     if kind is MpiKind.SYNC:
+        # Wait completing irecv posts: the buffer write happens here.
+        posts = problem.recv_posts(n)
+        if len(posts) == 1:
+            buf = problem.bufs(posts[0]).received
+            if buf is not None and buf.strong:
+                return fact - {buf.qname}
         return fact
     bufs = problem.bufs(n)
     recv, sent = bufs.received, bufs.sent
     needed = bool(comm)  # some matched receive needs our payload
     out = fact
     if kind is MpiKind.RECV:
+        if n.op.nonblocking:
+            return out  # no write at the post
         if recv is not None and recv.strong:
             out = out - {recv.qname}
         return out
@@ -309,7 +340,7 @@ def _node_uses(icfg: ICFG, node: Node) -> frozenset[str]:
     if isinstance(node, MpiNode):
         out = set()
         for spec, arg in zip(node.op.args, node.args):
-            if spec.role.value in ("data_out", "redop"):
+            if spec.role.value in ("data_out", "redop", "req_out"):
                 continue
             out |= use_qnames(arg, symtab, node.proc)
         return frozenset(out)
@@ -322,7 +353,22 @@ def _node_defs(icfg: ICFG, node: Node) -> frozenset[str]:
         sym = symtab.try_lookup(node.proc, node.target.name)
         return frozenset({sym.qname}) if sym else frozenset()
     if isinstance(node, MpiNode):
+        out: set[str] = set()
         bufs = data_buffers(node, symtab)
-        if bufs.received is not None:
-            return frozenset({bufs.received.qname})
+        # A blocking receive defines its buffer; a non-blocking post
+        # defines only its request handle — the buffer is defined at
+        # the completing wait, linked below.
+        if bufs.received is not None and not node.op.nonblocking:
+            out.add(bufs.received.qname)
+        for pos in node.op.positions(ArgRole.REQ_OUT):
+            arg = node.arg_at(pos)
+            if isinstance(arg, VarRef):
+                sym = symtab.try_lookup(node.proc, arg.name)
+                if sym is not None:
+                    out.add(sym.qname)
+        for post in _wait_recv_posts(icfg, node):
+            pbufs = data_buffers(post, symtab)
+            if pbufs.received is not None:
+                out.add(pbufs.received.qname)
+        return frozenset(out)
     return frozenset()

@@ -64,15 +64,33 @@ def _mpi_comm(
     problem: KernelProblem, node: MpiNode, fact: SetFact, comm: Optional[bool]
 ) -> SetFact:
     kind = node.mpi_kind
-    if kind is MpiKind.SYNC:
-        return fact
     incoming = bool(comm)
+    if kind is MpiKind.SYNC:
+        # Wait completing irecv posts: the matched senders' COMM edges
+        # land here, so taint arrives with the data.
+        posts = problem.recv_posts(node)
+        if not posts:
+            return fact
+        out = fact
+        if len(posts) == 1:
+            buf = problem.bufs(posts[0]).received
+            if buf is not None and buf.strong:
+                out = out - {buf.qname}
+        if incoming:
+            for post in posts:
+                buf = problem.bufs(post).received
+                if buf is not None:
+                    out = out | {buf.qname}
+        return out
     if kind is MpiKind.SEND:
         return fact
     bufs = problem.bufs(node)
     recv = bufs.received
     if recv is None:
         return fact
+    if node.op.nonblocking and kind is MpiKind.RECV:
+        # The post leaves the buffer undefined; taint lands at the wait.
+        return fact - {recv.qname} if recv.strong else fact
     own = bufs.sent is not None and bufs.sent.qname in fact
     tainted = incoming or (
         own

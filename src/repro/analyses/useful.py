@@ -61,6 +61,14 @@ def _mpi_comm(
     bufs = problem.bufs(node)
     needed = bool(comm)
     if kind is MpiKind.SYNC:
+        # A wait completing irecv posts is where their buffers are
+        # written; the backward kill runs here (the matched senders
+        # learn the need through this node's COMM edges).
+        posts = problem.recv_posts(node)
+        if len(posts) == 1:
+            buf = problem.bufs(posts[0]).received
+            if buf is not None and buf.strong:
+                return fact - {buf.qname}
         return fact
     if kind is MpiKind.SEND:
         buf = bufs.sent
@@ -68,6 +76,8 @@ def _mpi_comm(
             return fact
         return fact | {buf.qname} if (needed and buf.is_real) else fact
     if kind is MpiKind.RECV:
+        if node.op.nonblocking:
+            return fact  # the buffer's write happens at the wait
         buf = bufs.received
         if buf is None:
             return fact

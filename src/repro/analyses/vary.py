@@ -67,14 +67,35 @@ def _mpi_comm(
 ) -> SetFact:
     kind = node.mpi_kind
     bufs = problem.bufs(node)
-    if kind in (MpiKind.SEND, MpiKind.SYNC):
-        return fact
     incoming = bool(comm)
+    if kind is MpiKind.SYNC:
+        # A wait completing irecv posts writes their buffers here: the
+        # matched senders' COMM edges land on this node.  Strong kill
+        # only when exactly one post can complete (several posts mean
+        # only one buffer is actually written).
+        posts = problem.recv_posts(node)
+        if not posts:
+            return fact
+        out = fact
+        if len(posts) == 1:
+            buf = problem.bufs(posts[0]).received
+            if buf is not None and buf.strong:
+                out = out - {buf.qname}
+        if incoming:
+            for post in posts:
+                buf = problem.bufs(post).received
+                if buf is not None and buf.is_real:
+                    out = out | {buf.qname}
+        return out
+    if kind is MpiKind.SEND:
+        return fact
     if kind is MpiKind.RECV:
         buf = bufs.received
         if buf is None:
             return fact
         out = fact - {buf.qname} if buf.strong else fact
+        if node.op.nonblocking:
+            return out  # undefined until the completing wait
         return out | {buf.qname} if (incoming and buf.is_real) else out
     if kind is MpiKind.BCAST:
         buf = bufs.received

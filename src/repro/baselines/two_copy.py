@@ -33,6 +33,7 @@ from ..ir.ast_nodes import Program
 from ..ir.rewrite import rename_program
 from ..ir.validate import validate_program
 from ..mpi.matching import MatchOptions, match_communication
+from ..mpi.requests import is_nonblocking_post, request_linkage
 
 __all__ = ["TwoCopyGraph", "build_two_copy", "two_copy_activity", "strip_copy_suffix"]
 
@@ -102,14 +103,24 @@ def build_two_copy(
     # is one process with its own address space, and messages travel
     # between processes.
     result = match_communication(merged, options)
+    linkage = request_linkage(merged)
     copy0_procs = set(icfgs[0].procs)
     count = 0
     for pair in result.pairs:
         src_copy0 = graph.node(pair.src).proc in copy0_procs
         dst_copy0 = graph.node(pair.dst).proc in copy0_procs
         if src_copy0 != dst_copy0:
-            graph.add_edge(pair.src, pair.dst, EdgeKind.COMM, label=pair.reason)
-            count += 1
+            # A non-blocking receive only completes at its mpi_wait, so
+            # the value lands there (same routing as the single-copy
+            # MPI-ICFG in mpiicfg.add_communication_edges).
+            dsts: tuple[int, ...] = (pair.dst,)
+            if is_nonblocking_post(graph.node(pair.dst)):
+                waits = linkage.waits_of_post.get(pair.dst)
+                if waits:
+                    dsts = tuple(sorted(waits))
+            for dst in dsts:
+                graph.add_edge(pair.src, dst, EdgeKind.COMM, label=pair.reason)
+                count += 1
     return TwoCopyGraph(merged=merged, copies=icfgs, comm_edge_count=count)
 
 

@@ -254,6 +254,31 @@ class KernelProblem(BitsetFacts, DataFlowProblem[SetFact, object]):
         """Send/receive buffers of an MPI node (see ``data_buffers``)."""
         return _data_buffers(node, self.symtab)
 
+    def recv_posts(self, node: MpiNode) -> tuple[MpiNode, ...]:
+        """The ``mpi_irecv`` posts completing at a wait node.
+
+        Empty for anything that is not an ``mpi_wait``, and for waits
+        whose in-flight requests are all isends.  Rules use this to gen
+        received buffers at the completion point instead of the post
+        (the buffer is undefined in between).
+        """
+        if node.mpi_kind is not MpiKind.SYNC:
+            return ()
+        # Lazy import: repro.mpi pulls in repro.analyses at package
+        # init, which imports this module (same cycle as _bind_mpi_api).
+        from ..mpi.requests import request_linkage
+
+        linkage = request_linkage(self.icfg)
+        post_ids = linkage.posts_of_wait.get(node.id)
+        if not post_ids:
+            return ()
+        graph = self.icfg.graph
+        return tuple(
+            post
+            for post in map(graph.node, sorted(post_ids))
+            if post.mpi_kind is MpiKind.RECV
+        )
+
     # -- lattice -------------------------------------------------------------
 
     def top(self) -> SetFact:
@@ -408,6 +433,10 @@ def forward_global_buffer(
     received variable being real-typed (Vary).  ``weak`` (GLOBAL_BUFFER
     vs ODYSSEE) decides whether a non-flowing send strongly overwrites
     the global buffer.
+
+    Non-blocking receives split the treatment: the ``mpi_irecv`` post
+    only kills its buffer (the data has not arrived), and the buffer
+    reads the global buffer at the completing ``mpi_wait``.
     """
     kills = frozenset(recv_kill_kinds)
 
@@ -415,7 +444,20 @@ def forward_global_buffer(
         problem: KernelProblem, node: MpiNode, fact: SetFact, weak: bool
     ) -> SetFact:
         if node.mpi_kind is MpiKind.SYNC:
-            return fact
+            posts = problem.recv_posts(node)
+            if not posts:
+                return fact
+            out = fact
+            if len(posts) == 1 and MpiKind.RECV in kills:
+                buf = problem.bufs(posts[0]).received
+                if buf is not None and buf.strong:
+                    out = out - {buf.qname}
+            if MPI_BUFFER_QNAME in out:
+                for post in posts:
+                    buf = problem.bufs(post).received
+                    if buf is not None and (buf.is_real or not require_real):
+                        out = out | {buf.qname}
+            return out
         bufs = problem.bufs(node)
         out = fact
         if bufs.sent is not None:  # send / bcast / reduce / allreduce
@@ -427,6 +469,8 @@ def forward_global_buffer(
         if bufs.received is not None:
             buf = bufs.received
             flows = MPI_BUFFER_QNAME in out and (buf.is_real or not require_real)
+            if node.op.nonblocking:
+                flows = False  # defined only at the completing wait
             if buf.strong and node.mpi_kind in kills:
                 out = out - {buf.qname}
             if flows:
@@ -438,19 +482,39 @@ def forward_global_buffer(
 
 def backward_global_buffer():
     """Backward global-buffer rule (Useful): a needed receive makes the
-    buffer needed, a needed buffer makes the sent variable needed."""
+    buffer needed, a needed buffer makes the sent variable needed.
+
+    For non-blocking receives the buffer's write happens at the
+    completing ``mpi_wait``, so the receive-side treatment runs there
+    and the ``mpi_irecv`` post is an identity.
+    """
 
     def rule(
         problem: KernelProblem, node: MpiNode, fact: SetFact, weak: bool
     ) -> SetFact:
         kind = node.mpi_kind
         if kind is MpiKind.SYNC:
-            return fact
+            posts = problem.recv_posts(node)
+            if not posts:
+                return fact
+            out = fact
+            needed = False
+            for post in posts:
+                buf = problem.bufs(post).received
+                if buf is not None and buf.qname in out:
+                    needed = True
+            if len(posts) == 1:
+                buf = problem.bufs(posts[0]).received
+                if buf is not None and buf.strong:
+                    out = out - {buf.qname}
+            if needed:
+                out = out | {MPI_BUFFER_QNAME}
+            return out
         bufs = problem.bufs(node)
         out = fact
         # Receive side first (in backward order the receive's write is
         # the later event): buf = __mpi_buffer.
-        if bufs.received is not None:
+        if bufs.received is not None and not node.op.nonblocking:
             buf = bufs.received
             buffer_needed = buf.qname in out
             if buf.strong:
@@ -493,12 +557,24 @@ def sent_payload_in(uses: Callable[..., frozenset]) -> CommRule:
 
 def received_buffer_in() -> CommRule:
     """``f_comm`` for backward analyses: is the received buffer in the
-    receive node's ``before`` (program-order OUT) fact?"""
+    receive node's ``before`` (program-order OUT) fact?
+
+    Communication edges into a non-blocking receive land on the
+    completing ``mpi_wait`` (see
+    :func:`repro.mpi.mpiicfg.add_communication_edges`), so at a wait
+    node the rule checks the buffers of the linked ``mpi_irecv`` posts.
+    """
 
     def value(problem: KernelProblem, node: Node, before: SetFact) -> bool:
         assert isinstance(node, MpiNode)
         buf = problem.bufs(node).received
-        return buf is not None and buf.qname in before
+        if buf is not None:
+            return buf.qname in before
+        for post in problem.recv_posts(node):
+            pbuf = problem.bufs(post).received
+            if pbuf is not None and pbuf.qname in before:
+                return True
+        return False
 
     return CommRule(value=value)
 

@@ -10,7 +10,12 @@ The operation set mirrors what the paper's MPI-ICFG handles:
 point-to-point ``send``/``isend`` and ``recv``/``irecv``, and the
 collectives ``bcast``, ``reduce`` and ``allreduce`` ("communication
 edges ... among all calls to broadcast, and among all calls to
-reduce").  ``barrier`` and ``wait`` carry no data and get plain nodes.
+reduce").  ``barrier`` carries no data.  The non-blocking pair
+``isend``/``irecv`` *produces* a request handle (an int scalar, role
+:attr:`ArgRole.REQ_OUT`) that ``mpi_wait(req)`` later *consumes*
+(:attr:`ArgRole.REQ_IN`): the post starts the operation, and only the
+wait completes it — in particular an ``irecv``'s buffer holds no
+received data until the matching wait returns.
 """
 
 from __future__ import annotations
@@ -80,6 +85,8 @@ class ArgRole(Enum):
     ROOT = "root"
     COMM = "comm"
     REDOP = "redop"
+    REQ_OUT = "req_out"  # request handle written by a non-blocking post
+    REQ_IN = "req_in"  # request handle consumed (completed) by mpi_wait
 
 
 @dataclass(frozen=True)
@@ -93,9 +100,12 @@ class MpiOp:
     name: str
     kind: MpiKind
     args: tuple[ArgSpec, ...]
-    #: True for isend/irecv; the analyses treat them like their blocking
-    #: counterparts (the paper adds communication edges between
-    #: send/isend and receive/ireceive pairs alike).
+    #: True for isend/irecv.  A non-blocking post writes a request
+    #: handle (REQ_OUT) and returns immediately; the operation only
+    #: completes at the ``mpi_wait(req)`` that consumes the handle
+    #: (REQ_IN).  Matching still pairs the posts (the payload's tag and
+    #: communicator live there), but analyses transfer received data at
+    #: the wait — the buffer is undefined between post and completion.
     nonblocking: bool = False
 
     @property
@@ -138,6 +148,7 @@ _OPS = [
         (ArgRole.DEST, "dest"),
         (ArgRole.TAG, "tag"),
         (ArgRole.COMM, "comm"),
+        (ArgRole.REQ_OUT, "req"),
         nb=True,
     ),
     _op(
@@ -155,6 +166,7 @@ _OPS = [
         (ArgRole.SRC, "src"),
         (ArgRole.TAG, "tag"),
         (ArgRole.COMM, "comm"),
+        (ArgRole.REQ_OUT, "req"),
         nb=True,
     ),
     _op(
@@ -198,7 +210,7 @@ _OPS = [
         (ArgRole.COMM, "comm"),
     ),
     _op("mpi_barrier", MpiKind.SYNC, (ArgRole.COMM, "comm")),
-    _op("mpi_wait", MpiKind.SYNC),
+    _op("mpi_wait", MpiKind.SYNC, (ArgRole.REQ_IN, "req")),
 ]
 
 MPI_OPS: dict[str, MpiOp] = {o.name: o for o in _OPS}

@@ -8,7 +8,10 @@
 * intrinsic and MPI-operation arity and argument roles;
 * user-procedure call arity and by-reference argument compatibility;
 * structural rules (``for`` variable is an int scalar, conditions are
-  boolean, array reference rank matches declaration).
+  boolean, array reference rank matches declaration);
+* request discipline: every non-blocking post's request handle is
+  waited exactly once on every path (no double wait, no wait on a
+  request that was never posted, no leaked in-flight request).
 
 All problems are collected and reported together in a single
 :class:`ValidationError`.
@@ -383,6 +386,21 @@ class TypeChecker:
                         f"{spec.name!r} argument of {s.name} must be one of "
                         f"{sorted(REDUCE_OPS)}",
                     )
+            elif spec.role in (ArgRole.REQ_OUT, ArgRole.REQ_IN):
+                if not isinstance(actual, VarRef) or actual.name == COMM_WORLD_NAME:
+                    self.error(
+                        actual,
+                        f"{spec.name!r} argument of {s.name} must be an int "
+                        "scalar variable (the request handle)",
+                    )
+                    continue
+                ty = self.type_of(actual, proc)
+                if ty is not None and not isinstance(ty, IntType):
+                    self.error(
+                        actual,
+                        f"{spec.name!r} argument of {s.name} must be an int "
+                        f"scalar, got {ty}",
+                    )
             else:  # DEST / SRC / TAG / ROOT / COMM — integer expressions
                 ty = self.type_of(actual, proc)
                 if ty is not None and not isinstance(ty, IntType):
@@ -420,6 +438,147 @@ def _scalar_of(ty: Type) -> Type:
     return ty.base if isinstance(ty, ArrayType) else ty
 
 
+class _RequestLint:
+    """Every request is waited exactly once on every path.
+
+    A conservative path-sensitive walk over one procedure, tracking the
+    set of request variables with an un-waited post ("in flight").  The
+    discipline enforced:
+
+    * ``mpi_wait(r)`` requires ``r`` in flight (rejects double waits
+      and waits on never-posted requests);
+    * re-posting or assigning to an in-flight request loses the handle;
+    * both arms of an ``if`` must agree on what is in flight at the
+      join (unless an arm returns);
+    * loop bodies must be request-balanced;
+    * nothing may be in flight at a ``return`` or at the end of the
+      body (leaked request);
+    * requests are procedure-local — passing an in-flight one to a
+      callee is rejected.
+
+    ``walk`` returns ``(pending, live)``: the in-flight set after the
+    statement and whether the path falls through (``live=False`` after
+    a ``return``).
+    """
+
+    def __init__(self, checker: TypeChecker, proc: Procedure):
+        self.checker = checker
+        self.proc = proc
+
+    def run(self) -> None:
+        pending, live = self.walk(self.proc.body, frozenset())
+        if live:
+            for name in sorted(pending):
+                self.checker.error(
+                    self.proc.body,
+                    f"request {name!r} never waited on "
+                    f"(leaked at end of {self.proc.name!r})",
+                )
+
+    def error(self, node, message: str) -> None:
+        self.checker.error(node, f"in {self.proc.name!r}: {message}")
+
+    def walk(
+        self, s: Stmt, pending: frozenset[str]
+    ) -> tuple[frozenset[str], bool]:
+        if isinstance(s, Block):
+            for inner in s.body:
+                pending, live = self.walk(inner, pending)
+                if not live:
+                    return pending, False
+            return pending, True
+        if isinstance(s, CallStmt):
+            return self._call(s, pending), True
+        if isinstance(s, (VarDecl, Assign)):
+            target = s.name if isinstance(s, VarDecl) else s.target.name
+            if target in pending:
+                self.error(
+                    s,
+                    f"request {target!r} overwritten while in flight "
+                    "(missing mpi_wait)",
+                )
+                pending = pending - {target}
+            return pending, True
+        if isinstance(s, If):
+            then_p, then_live = self.walk(s.then, pending)
+            els_p, els_live = (
+                self.walk(s.els, pending) if s.els is not None else (pending, True)
+            )
+            if then_live and els_live:
+                for name in sorted(then_p ^ els_p):
+                    self.error(
+                        s,
+                        f"request {name!r} is in flight on only one branch "
+                        "of 'if' (every path must wait exactly once)",
+                    )
+                return then_p & els_p, True
+            if then_live:
+                return then_p, True
+            if els_live:
+                return els_p, True
+            return frozenset(), False
+        if isinstance(s, (While, For)):
+            body_p, body_live = self.walk(s.body, pending)
+            if body_live:
+                for name in sorted(body_p - pending):
+                    self.error(
+                        s,
+                        f"request {name!r} posted in loop body but not "
+                        "waited before the next iteration",
+                    )
+                for name in sorted(pending - body_p):
+                    self.error(
+                        s,
+                        f"request {name!r} waited in loop body but posted "
+                        "outside it (double wait when the loop repeats)",
+                    )
+            return pending, True
+        if isinstance(s, Return):
+            for name in sorted(pending):
+                self.error(
+                    s, f"request {name!r} still in flight at 'return'"
+                )
+            return frozenset(), False
+        return pending, True
+
+    def _call(self, s: CallStmt, pending: frozenset[str]) -> frozenset[str]:
+        op = MPI_OPS.get(s.name)
+        if op is None:
+            for a in s.args:
+                if isinstance(a, VarRef) and a.name in pending:
+                    self.error(
+                        a,
+                        f"request {a.name!r} passed to {s.name!r} while in "
+                        "flight (requests are procedure-local)",
+                    )
+            return pending
+        pos = op.position(ArgRole.REQ_OUT)
+        if pos is not None and pos < len(s.args):
+            a = s.args[pos]
+            if isinstance(a, VarRef) and a.name != COMM_WORLD_NAME:
+                if a.name in pending:
+                    self.error(
+                        a,
+                        f"request {a.name!r} re-posted while in flight "
+                        "(missing mpi_wait)",
+                    )
+                return pending | {a.name}
+            return pending
+        pos = op.position(ArgRole.REQ_IN)
+        if pos is not None and pos < len(s.args):
+            a = s.args[pos]
+            if isinstance(a, VarRef) and a.name != COMM_WORLD_NAME:
+                if a.name not in pending:
+                    self.error(
+                        a,
+                        f"mpi_wait on request {a.name!r} that is not in "
+                        "flight (double wait or never-posted request)",
+                    )
+                    return pending
+                return pending - {a.name}
+        return pending
+
+
 def validate_program(program: Program) -> SymbolTable:
     """Validate ``program``; returns its symbol table on success.
 
@@ -437,6 +596,7 @@ def validate_program(program: Program) -> SymbolTable:
     for proc in program.procedures:
         _check_param_shadowing(checker, proc, symtab)
         checker.check_stmt(proc.body, proc.name)
+        _RequestLint(checker, proc).run()
     if checker.errors:
         raise ValidationError(checker.errors)
     return symtab

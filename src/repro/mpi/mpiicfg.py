@@ -18,6 +18,7 @@ from ..cfg.node import EdgeKind
 from ..ir.ast_nodes import Program
 from ..ir.symtab import SymbolTable
 from .matching import MatchOptions, MatchResult, match_communication
+from .requests import is_nonblocking_post, request_linkage
 
 __all__ = ["add_communication_edges", "build_mpi_icfg", "build_mpi_cfg"]
 
@@ -32,11 +33,25 @@ def add_communication_edges(
     Pass ``result`` to apply a precomputed (e.g. cached)
     :class:`MatchResult` instead of re-matching; edge insertion is
     idempotent either way.
+
+    Matched pairs name the *posts* (that is where tag and communicator
+    live), but when the receive side is a non-blocking ``mpi_irecv``
+    its buffer only becomes defined at the completing ``mpi_wait`` — so
+    the graph edge is routed to the linked wait node(s) instead of the
+    post, and forward facts transfer at the post→completion boundary.
     """
     if result is None:
         result = match_communication(icfg, options)
+    linkage = request_linkage(icfg)
+    graph = icfg.graph
     for pair in result.pairs:
-        icfg.graph.add_edge(pair.src, pair.dst, EdgeKind.COMM, label=pair.reason)
+        dsts: tuple[int, ...] = (pair.dst,)
+        if is_nonblocking_post(graph.node(pair.dst)):
+            waits = linkage.waits_of_post.get(pair.dst)
+            if waits:
+                dsts = tuple(sorted(waits))
+        for dst in dsts:
+            graph.add_edge(pair.src, dst, EdgeKind.COMM, label=pair.reason)
     return result
 
 

@@ -1,0 +1,174 @@
+"""Request linkage: which non-blocking posts complete at which waits.
+
+A non-blocking ``mpi_isend``/``mpi_irecv`` writes a request handle
+(:attr:`~repro.ir.mpi_ops.ArgRole.REQ_OUT`) that a later
+``mpi_wait(req)`` consumes (:attr:`~repro.ir.mpi_ops.ArgRole.REQ_IN`).
+The analyses need that post→wait association: communication edges are
+matched between the *posts* (tag/communicator live there) but received
+data only becomes defined at the *wait*, so the MPI-ICFG routes COMM
+edges to the wait and the kernel treatments gen receive buffers there.
+
+:func:`request_linkage` computes the association with a small forward
+fixed point per procedure instance over FLOW (and call-to-return)
+edges: the abstract state maps each request variable to the set of post
+nodes that may be in flight under it.  Requests are procedure-local
+(the validator enforces this), so the propagation never crosses CALL or
+RETURN edges.  The result is memoised per graph and invalidated by the
+graph's mutation :attr:`~repro.cfg.graph.FlowGraph.version`.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from typing import Optional
+
+from ..cfg.graph import FlowGraph
+from ..cfg.icfg import ICFG
+from ..cfg.node import EdgeKind, MpiNode, Node
+from ..ir.ast_nodes import VarRef
+from ..ir.mpi_ops import ArgRole, MpiKind
+
+__all__ = [
+    "RequestLinkage",
+    "request_linkage",
+    "request_var",
+    "is_nonblocking_post",
+    "is_wait",
+]
+
+#: Edge kinds a request handle can flow along (intraprocedural paths;
+#: CALL_TO_RETURN is the local bypass of a user call).
+_INTRA_KINDS = (EdgeKind.FLOW, EdgeKind.CALL_TO_RETURN)
+
+
+def is_nonblocking_post(node: Node) -> bool:
+    """True for ``mpi_isend``/``mpi_irecv`` nodes (request producers)."""
+    return isinstance(node, MpiNode) and node.op.nonblocking
+
+
+def is_wait(node: Node) -> bool:
+    """True for ``mpi_wait`` nodes (request consumers)."""
+    return (
+        isinstance(node, MpiNode)
+        and node.op.position(ArgRole.REQ_IN) is not None
+    )
+
+
+def request_var(node: Node) -> Optional[str]:
+    """The request-handle variable named by ``node``, if any."""
+    if not isinstance(node, MpiNode):
+        return None
+    for role in (ArgRole.REQ_OUT, ArgRole.REQ_IN):
+        pos = node.op.position(role)
+        if pos is not None and pos < len(node.args):
+            arg = node.arg_at(pos)
+            if isinstance(arg, VarRef):
+                return arg.name
+    return None
+
+
+@dataclass(frozen=True)
+class RequestLinkage:
+    """Post↔wait association over one (MPI-)ICFG.
+
+    ``posts_of_wait[w]`` is the set of non-blocking post node ids that
+    may complete at wait node ``w``; ``waits_of_post[p]`` the inverse.
+    Node ids absent from a map have no association (e.g. a blocking
+    program has both maps empty).
+    """
+
+    posts_of_wait: dict[int, frozenset[int]]
+    waits_of_post: dict[int, frozenset[int]]
+
+    def recv_posts_of(self, graph: FlowGraph, wait_id: int) -> tuple[int, ...]:
+        """The irecv posts (RECV kind only) completing at ``wait_id``."""
+        return tuple(
+            sorted(
+                p
+                for p in self.posts_of_wait.get(wait_id, ())
+                if graph.node(p).mpi_kind is MpiKind.RECV
+            )
+        )
+
+
+#: graph -> (graph version, linkage) — one linkage per graph state.
+_LINKAGE_MEMO: "weakref.WeakKeyDictionary[FlowGraph, tuple[int, RequestLinkage]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def request_linkage(icfg: ICFG) -> RequestLinkage:
+    """Compute (or fetch the memoised) post↔wait linkage for ``icfg``."""
+    graph = icfg.graph
+    hit = _LINKAGE_MEMO.get(graph)
+    if hit is not None and hit[0] == graph.version:
+        return hit[1]
+    linkage = _compute_linkage(icfg)
+    _LINKAGE_MEMO[graph] = (graph.version, linkage)
+    return linkage
+
+
+def _transfer(node: Node, env: dict[str, frozenset[int]]) -> dict[str, frozenset[int]]:
+    if not isinstance(node, MpiNode):
+        return env
+    name = request_var(node)
+    if name is None:
+        return env
+    if node.op.position(ArgRole.REQ_OUT) is not None:
+        out = dict(env)
+        out[name] = frozenset({node.id})
+        return out
+    out = dict(env)
+    out.pop(name, None)
+    return out
+
+
+def _merged_in(graph: FlowGraph, nid: int, outs) -> dict[str, frozenset[int]]:
+    env: dict[str, frozenset[int]] = {}
+    for e in graph.in_edges(nid):
+        if e.kind not in _INTRA_KINDS:
+            continue
+        src_env = outs.get(e.src)
+        if not src_env:
+            continue
+        for name, posts in src_env.items():
+            env[name] = env.get(name, frozenset()) | posts
+    return env
+
+
+def _compute_linkage(icfg: ICFG) -> RequestLinkage:
+    graph = icfg.graph
+    if not any(is_nonblocking_post(n) for n in graph.nodes.values()):
+        return RequestLinkage({}, {})
+    roots = [icfg.entry_exit(inst)[0] for inst in icfg.procs]
+    order = graph.reverse_postorder(roots)
+    outs: dict[int, dict[str, frozenset[int]]] = {}
+    changed = True
+    while changed:
+        changed = False
+        for nid in order:
+            env = _merged_in(graph, nid, outs)
+            new = _transfer(graph.node(nid), env)
+            if new != outs.get(nid):
+                outs[nid] = new
+                changed = True
+    posts_of_wait: dict[int, frozenset[int]] = {}
+    waits_of_post: dict[int, set[int]] = {}
+    for nid in order:
+        node = graph.node(nid)
+        if not is_wait(node):
+            continue
+        name = request_var(node)
+        if name is None:
+            continue
+        posts = _merged_in(graph, nid, outs).get(name, frozenset())
+        if not posts:
+            continue
+        posts_of_wait[nid] = posts
+        for p in posts:
+            waits_of_post.setdefault(p, set()).add(nid)
+    return RequestLinkage(
+        posts_of_wait,
+        {p: frozenset(w) for p, w in waits_of_post.items()},
+    )

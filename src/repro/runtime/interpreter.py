@@ -13,9 +13,14 @@ the static analyses:
 * assignment logging records concrete values per source line, which
   must agree with any constant reaching-constants claims.
 
-Simplifications (documented): ``isend``/``irecv`` execute eagerly (the
-paper's analyses treat them identically to their blocking forms), and
-``mpi_wait`` is a no-op.
+Non-blocking operations carry real request-handle semantics:
+``mpi_isend`` ships its message immediately and ``mpi_irecv`` only
+*posts* the receive — both store a fresh rank-local handle into their
+request variable, and the data lands in an ``irecv`` buffer when the
+matching ``mpi_wait(req)`` completes the operation.  On the simulated
+clock this is what buys communication/computation overlap: the
+message's arrival stamp starts aging at the post, and the wait only
+stalls for whatever latency the intervening compute did not hide.
 """
 
 from __future__ import annotations
@@ -137,6 +142,20 @@ class _ReturnSignal(Exception):
     pass
 
 
+@dataclass
+class _PendingRequest:
+    """An in-flight non-blocking operation awaiting its ``mpi_wait``."""
+
+    kind: str  # "send" or "recv"
+    src: int = 0
+    tag: int = 0
+    comm: int = 0
+    #: Receive destination, captured at post time (MPI fixes the buffer
+    #: address when the receive is posted, not when it completes).
+    slot: Optional[Slot] = None
+    name: str = ""
+
+
 def _t_or(a, b):
     if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
         return np.logical_or(a, b)
@@ -209,6 +228,9 @@ class _Rank:
         self.config = config
         self.steps = 0
         self.result = RankResult(rank)
+        #: In-flight non-blocking operations: handle -> descriptor.
+        self._requests: dict[int, _PendingRequest] = {}
+        self._next_request = 1
         #: Event recorder + simulated clock; ``None`` unless
         #: ``record_events`` — every hook below is guarded on it.
         self.rec: Optional[RankRecorder] = None
@@ -577,6 +599,8 @@ class _Rank:
                 self.network.collective(
                     "barrier", self.rank, comm, None, lambda c: None, where=where
                 )
+            elif s.name == "mpi_wait":
+                self._exec_wait(s, op, frame, proc)
             return
         if kind is MpiKind.SEND:
             slot, _ = self._buffer_slot(s.args[op.position(ArgRole.DATA_IN)], frame, proc)
@@ -590,18 +614,26 @@ class _Rank:
                 taint,
                 where=where,
             )
+            if op.nonblocking:
+                # The message is already in flight; the wait is a no-op
+                # bookkeeping step that retires the handle.
+                self._post_request(s, op, frame, proc, _PendingRequest("send"))
             return
         if kind is MpiKind.RECV:
             slot, name = self._buffer_slot(
                 s.args[op.position(ArgRole.DATA_OUT)], frame, proc
             )
-            msg = self.network.recv(
-                self.rank,
-                int_arg(ArgRole.SRC),
-                int_arg(ArgRole.TAG),
-                int_arg(ArgRole.COMM),
-                where=where,
-            )
+            src = int_arg(ArgRole.SRC)
+            tag = int_arg(ArgRole.TAG)
+            comm = int_arg(ArgRole.COMM)
+            if op.nonblocking:
+                # Post only: no data moves until the matching mpi_wait.
+                self._post_request(
+                    s, op, frame, proc,
+                    _PendingRequest("recv", src, tag, comm, slot, name),
+                )
+                return
+            msg = self.network.recv(self.rank, src, tag, comm, where=where)
             self._deliver(slot, msg.payload, msg.taint, proc, name)
             return
         if kind is MpiKind.BCAST:
@@ -654,6 +686,38 @@ class _Rank:
             self._exec_gather_scatter(s, op, kind, frame, proc)
             return
         raise SpmdRuntimeError(f"unhandled MPI op {s.name}")
+
+    def _post_request(
+        self, s: CallStmt, op, frame, proc: str, req: _PendingRequest
+    ) -> None:
+        """Allocate a fresh handle, record ``req``, store the handle."""
+        handle = self._next_request
+        self._next_request += 1
+        self._requests[handle] = req
+        pos = op.position(ArgRole.REQ_OUT)
+        slot, _ = self._buffer_slot(s.args[pos], frame, proc)
+        slot.set(handle, False)
+
+    def _exec_wait(self, s: CallStmt, op, frame, proc: str) -> None:
+        pos = op.position(ArgRole.REQ_IN)
+        v, _ = self.eval(s.args[pos], frame, proc)
+        handle = int(v)
+        req = self._requests.pop(handle, None)
+        if req is None:
+            raise SpmdRuntimeError(
+                f"rank {self.rank}: mpi_wait on unknown or already-"
+                f"completed request handle {handle}"
+            )
+        if req.kind == "recv":
+            msg = self.network.recv(
+                self.rank,
+                req.src,
+                req.tag,
+                req.comm,
+                where=(proc, s.loc.line, "mpi_wait"),
+            )
+            self._deliver(req.slot, msg.payload, msg.taint, proc, req.name)
+        # Send requests finish instantly: the message left at the post.
 
     @staticmethod
     def _flatten(payload) -> tuple[np.ndarray, np.ndarray]:

@@ -2,5 +2,13 @@
 
 from .constfold import FoldResult, fold_constants
 from .dce import DceResult, eliminate_dead_stores
+from .nonblocking import OverlapResult, make_nonblocking
 
-__all__ = ["FoldResult", "fold_constants", "DceResult", "eliminate_dead_stores"]
+__all__ = [
+    "FoldResult",
+    "fold_constants",
+    "DceResult",
+    "eliminate_dead_stores",
+    "OverlapResult",
+    "make_nonblocking",
+]

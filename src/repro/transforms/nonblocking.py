@@ -1,0 +1,620 @@
+"""Automatic blocking→non-blocking overlap transform.
+
+Splits each blocking ``mpi_send``/``mpi_recv`` into its non-blocking
+post (``mpi_isend``/``mpi_irecv`` with a fresh request handle) plus an
+``mpi_wait``, then moves the two halves apart to expose communication/
+computation overlap:
+
+* the **post is hoisted** as early as its arguments allow — past any
+  statement that writes none of the operands the post reads (for a
+  send, that includes the payload, which is captured at the post);
+* the **wait is sunk** to just before the first data dependence on the
+  message buffer — past any statement that neither reads nor writes
+  the buffer.
+
+Neither half ever crosses another MPI operation, a user call, or a
+``return``: posts and completions keep their program order per channel,
+so the runtime's FIFO message matching is preserved.
+
+Rank-guarded exchanges (``if (rank == 0) { send } else { recv }``) are
+the common SPMD idiom, and a wait trapped at the end of a branch can
+hide nothing.  When *both* branches of an ``if`` end with a
+transform-created wait, the two requests are unified into one handle
+and the single wait is extracted below the ``if`` — the path-balance
+the request lint in :mod:`repro.ir.validate` demands — where it can
+keep sinking past the caller's independent work.
+
+Pre-existing request-form pairs (``mpi_isend``/``mpi_irecv`` already in
+the source) are scheduled with the same hoist/sink rules, so the
+transform is idempotent.
+
+The rewrite itself is syntactic; the dataflow registry then audits it:
+the transformed program is re-validated (request lint), reaching
+definitions must carry every transform-created request from its post to
+its wait, and liveness flags buffers that are dead at their completion
+point (a wait whose payload nobody reads — see ``dead_buffers``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..ir.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Block,
+    CallStmt,
+    Expr,
+    For,
+    If,
+    IntrinsicCall,
+    Procedure,
+    Program,
+    Return,
+    Stmt,
+    UnOp,
+    VarDecl,
+    VarRef,
+    While,
+    walk_exprs,
+    walk_stmts,
+)
+from ..ir.mpi_ops import ArgRole, MpiKind, is_mpi_op, mpi_op
+from ..ir.types import IntType
+from ..ir.validate import validate_program
+
+__all__ = ["OverlapResult", "make_nonblocking"]
+
+#: blocking op -> its non-blocking post.
+_POST_OF = {"mpi_send": "mpi_isend", "mpi_recv": "mpi_irecv"}
+
+
+@dataclass
+class OverlapResult:
+    """Outcome of :func:`make_nonblocking`."""
+
+    program: Program
+    split: int = 0  # blocking ops split into post + wait
+    merged: int = 0  # branch-trailing waits unified below their if
+    hoisted: int = 0  # statements crossed by posts, total
+    sunk: int = 0  # statements crossed by waits, total
+    #: (proc, buffer) pairs whose buffer is dead at the wait: the
+    #: message is completed but never read afterwards.
+    dead_buffers: tuple[tuple[str, str], ...] = ()
+
+    @property
+    def moved(self) -> int:
+        return self.hoisted + self.sunk
+
+
+# ---------------------------------------------------------------------------
+# Syntactic read/write sets
+# ---------------------------------------------------------------------------
+
+
+def _expr_names(e: Expr) -> set[str]:
+    out: set[str] = set()
+    for sub in walk_exprs(e):
+        if isinstance(sub, (VarRef, ArrayRef)):
+            out.add(sub.name)
+    return out
+
+
+def _reads_writes(s: Stmt) -> Optional[tuple[set[str], set[str]]]:
+    """(reads, writes) of a call-free statement, or ``None`` if the
+    statement is a barrier to motion (calls, MPI, return)."""
+    if isinstance(s, Assign):
+        reads = _expr_names(s.value)
+        if isinstance(s.target, ArrayRef):
+            for ix in s.target.indices:
+                reads |= _expr_names(ix)
+            # Element stores are weak updates: the rest of the array
+            # survives, so the statement both reads and writes it.
+            reads.add(s.target.name)
+        return reads, {s.target.name}
+    if isinstance(s, VarDecl):
+        reads = _expr_names(s.init) if s.init is not None else set()
+        return reads, {s.name}
+    if isinstance(s, (CallStmt, Return)):
+        return None
+    if isinstance(s, Block):
+        return _body_reads_writes(s.body)
+    if isinstance(s, If):
+        rw = _body_reads_writes(s.then.body + (s.els.body if s.els else ()))
+        if rw is None:
+            return None
+        reads, writes = rw
+        return reads | _expr_names(s.cond), writes
+    if isinstance(s, While):
+        rw = _body_reads_writes(s.body.body)
+        if rw is None:
+            return None
+        return rw[0] | _expr_names(s.cond), rw[1]
+    if isinstance(s, For):
+        rw = _body_reads_writes(s.body.body)
+        if rw is None:
+            return None
+        reads, writes = rw
+        reads |= _expr_names(s.lo) | _expr_names(s.hi)
+        if s.step is not None:
+            reads |= _expr_names(s.step)
+        return reads, writes | {s.var}
+    return None
+
+
+def _body_reads_writes(body) -> Optional[tuple[set[str], set[str]]]:
+    reads: set[str] = set()
+    writes: set[str] = set()
+    for s in body:
+        rw = _reads_writes(s)
+        if rw is None:
+            return None
+        reads |= rw[0]
+        writes |= rw[1]
+    return reads, writes
+
+
+# ---------------------------------------------------------------------------
+# Per-procedure rewriting
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _ReqInfo:
+    """What a request handle stands for, for dependence checks."""
+
+    buffers: set[str] = field(default_factory=set)
+    has_recv: bool = False
+    created: bool = False  # introduced by this transform (renamable)
+
+
+class _ProcRewriter:
+    def __init__(self, proc: Procedure, stats: OverlapResult):
+        self.proc = proc
+        self.stats = stats
+        self.used = {p.name for p in proc.params}
+        for s in walk_stmts(proc.body):
+            if isinstance(s, VarDecl):
+                self.used.add(s.name)
+            for e in _stmt_exprs(s):
+                self.used |= _expr_names(e)
+        self.fresh_decls: list[VarDecl] = []
+        self.info: dict[str, _ReqInfo] = {}
+        self._counter = 0
+
+    def rewrite(self) -> Procedure:
+        body = self._refuse_block(self._rewrite_block(self.proc.body))
+        if self.fresh_decls:
+            body = Block(tuple(self.fresh_decls) + body.body, loc=body.loc)
+        return Procedure(self.proc.name, self.proc.params, body, loc=self.proc.loc)
+
+    # -- request bookkeeping ------------------------------------------------
+
+    def _fresh_req(self) -> str:
+        while True:
+            name = f"req_ov{self._counter}"
+            self._counter += 1
+            if name not in self.used:
+                self.used.add(name)
+                self.fresh_decls.append(VarDecl(name, IntType(), None))
+                self.info[name] = _ReqInfo(created=True)
+                return name
+
+    def _note_post(self, call: CallStmt) -> None:
+        """Record buffer/kind facts for a pre-existing post."""
+        op = mpi_op(call.name)
+        pos = op.position(ArgRole.REQ_OUT)
+        req = call.args[pos]
+        if not isinstance(req, VarRef):
+            return
+        info = self.info.setdefault(req.name, _ReqInfo())
+        for p in op.data_positions:
+            arg = call.args[p]
+            if isinstance(arg, (VarRef, ArrayRef)):
+                info.buffers.add(arg.name)
+        if op.kind is MpiKind.RECV:
+            info.has_recv = True
+
+    # -- the passes ---------------------------------------------------------
+
+    def _rewrite_block(self, block: Block) -> Block:
+        body = [self._rewrite_stmt(s) for s in block.body]
+        body = self._split(body)
+        body = self._merge_branch_waits(body)
+        self._hoist_posts(body)
+        self._sink_waits(body)
+        return Block(tuple(body), loc=block.loc)
+
+    def _rewrite_stmt(self, s: Stmt) -> Stmt:
+        if isinstance(s, If):
+            return If(
+                s.cond,
+                self._rewrite_block(s.then),
+                self._rewrite_block(s.els) if s.els else None,
+                loc=s.loc,
+            )
+        if isinstance(s, While):
+            return While(s.cond, self._rewrite_block(s.body), loc=s.loc)
+        if isinstance(s, For):
+            return For(
+                s.var, s.lo, s.hi, s.step, self._rewrite_block(s.body), loc=s.loc
+            )
+        if isinstance(s, Block):
+            return self._rewrite_block(s)
+        return s
+
+    def _split(self, body: list[Stmt]) -> list[Stmt]:
+        out: list[Stmt] = []
+        for s in body:
+            if (
+                isinstance(s, CallStmt)
+                and s.name in _POST_OF
+                and not _in_flight_conflict(s)
+            ):
+                req = self._fresh_req()
+                post = CallStmt(
+                    _POST_OF[s.name], s.args + (VarRef(req),), loc=s.loc
+                )
+                self._note_post(post)
+                self.info[req].created = True
+                out.append(post)
+                out.append(CallStmt("mpi_wait", (VarRef(req),), loc=s.loc))
+                self.stats.split += 1
+            else:
+                if isinstance(s, CallStmt) and is_mpi_op(s.name):
+                    op = mpi_op(s.name)
+                    if op.nonblocking:
+                        self._note_post(s)
+                out.append(s)
+        return out
+
+    def _merge_branch_waits(self, body: list[Stmt]) -> list[Stmt]:
+        """``if (c) { ...; wait(a) } else { ...; wait(b) }`` becomes a
+        single shared handle waited below the ``if``."""
+        out: list[Stmt] = []
+        for idx, s in enumerate(body):
+            extracted: list[Stmt] = []
+            while (
+                isinstance(s, If)
+                and s.els is not None
+                and self._trailing_created_wait(s.then)
+                and self._trailing_created_wait(s.els)
+                and self._merge_profitable(s, body[idx + 1 :])
+            ):
+                keep = self._trailing_created_wait(s.then)
+                drop = self._trailing_created_wait(s.els)
+                els = s.els
+                if drop != keep:
+                    els = _rename_var(els, drop, keep)
+                    self.info[keep].buffers |= self.info[drop].buffers
+                    self.info[keep].has_recv |= self.info[drop].has_recv
+                    self.fresh_decls = [
+                        d for d in self.fresh_decls if d.name != drop
+                    ]
+                extracted.append(CallStmt("mpi_wait", (VarRef(keep),), loc=s.loc))
+                s = If(
+                    s.cond,
+                    Block(s.then.body[:-1], loc=s.then.loc),
+                    Block(els.body[:-1], loc=els.loc),
+                    loc=s.loc,
+                )
+                self.stats.merged += 1
+            out.append(s)
+            # Innermost pair first: it was posted last, waits in order.
+            out.extend(reversed(extracted))
+        return out
+
+    def _merge_profitable(self, s: If, rest: list[Stmt]) -> bool:
+        """Only extract branch waits when the statement after the
+        ``if`` is independent of the message buffers — otherwise the
+        extracted wait could not sink and the split is pure overhead
+        (the re-fuse pass then restores the blocking form)."""
+        if not rest:
+            return False
+        blocked: set[str] = set()
+        for block in (s.then, s.els):
+            req = self._trailing_created_wait(block)
+            info = self.info.get(req)
+            if info is None:
+                return False
+            blocked |= info.buffers | {req}
+        rw = _reads_writes(rest[0])
+        return rw is not None and not (rw[0] | rw[1]) & blocked
+
+    def _trailing_created_wait(self, block: Block) -> Optional[str]:
+        if not block.body:
+            return None
+        last = block.body[-1]
+        if (
+            isinstance(last, CallStmt)
+            and last.name == "mpi_wait"
+            and isinstance(last.args[0], VarRef)
+            and self.info.get(last.args[0].name, _ReqInfo()).created
+        ):
+            return last.args[0].name
+        return None
+
+    def _hoist_posts(self, body: list[Stmt]) -> None:
+        for i in range(len(body)):
+            s = body[i]
+            if not _is_post(s):
+                continue
+            op = mpi_op(s.name)
+            reads: set[str] = set()
+            for p, arg in enumerate(s.args):
+                if p == op.position(ArgRole.REQ_OUT):
+                    continue
+                if op.kind is MpiKind.RECV and p in op.data_positions:
+                    # The buffer is only written at the wait; the post
+                    # itself reads nothing from it.
+                    continue
+                reads |= _expr_names(arg)
+            req_names = _expr_names(s.args[op.position(ArgRole.REQ_OUT)])
+            j = i
+            while j > 0:
+                rw = _reads_writes(body[j - 1])
+                if rw is None:
+                    break
+                pr, pw = rw
+                if (pw & reads) or ((pr | pw) & req_names):
+                    break
+                body[j], body[j - 1] = body[j - 1], body[j]
+                j -= 1
+                self.stats.hoisted += 1
+
+    def _refuse_block(self, block: Block) -> Block:
+        """Fuse transform-created post/wait pairs that stayed adjacent
+        back into the blocking form: a split that exposed no overlap
+        must not cost an extra runtime step, and unprofitable sites
+        come out byte-identical to the input program."""
+        body: list[Stmt] = []
+        for s in block.body:
+            if isinstance(s, If):
+                s = If(
+                    s.cond,
+                    self._refuse_block(s.then),
+                    self._refuse_block(s.els) if s.els else None,
+                    loc=s.loc,
+                )
+            elif isinstance(s, While):
+                s = While(s.cond, self._refuse_block(s.body), loc=s.loc)
+            elif isinstance(s, For):
+                s = For(
+                    s.var, s.lo, s.hi, s.step, self._refuse_block(s.body), loc=s.loc
+                )
+            elif isinstance(s, Block):
+                s = self._refuse_block(s)
+            if (
+                body
+                and _is_post(body[-1])
+                and body[-1].name in ("mpi_isend", "mpi_irecv")
+                and isinstance(s, CallStmt)
+                and s.name == "mpi_wait"
+                and isinstance(s.args[0], VarRef)
+            ):
+                post = body[-1]
+                op = mpi_op(post.name)
+                pos = op.position(ArgRole.REQ_OUT)
+                req = post.args[pos]
+                if (
+                    isinstance(req, VarRef)
+                    and req.name == s.args[0].name
+                    and self.info.get(req.name, _ReqInfo()).created
+                ):
+                    blocking = "mpi_send" if post.name == "mpi_isend" else "mpi_recv"
+                    body[-1] = CallStmt(blocking, post.args[:pos], loc=post.loc)
+                    self.stats.split -= 1
+                    self.fresh_decls = [
+                        d for d in self.fresh_decls if d.name != req.name
+                    ]
+                    del self.info[req.name]
+                    continue
+            body.append(s)
+        return Block(tuple(body), loc=block.loc)
+
+    def _sink_waits(self, body: list[Stmt]) -> None:
+        i = len(body) - 1
+        while i >= 0:
+            s = body[i]
+            if not (
+                isinstance(s, CallStmt)
+                and s.name == "mpi_wait"
+                and isinstance(s.args[0], VarRef)
+            ):
+                i -= 1
+                continue
+            req = s.args[0].name
+            info = self.info.get(req)
+            if info is None:
+                i -= 1
+                continue
+            blocked = info.buffers | {req}
+            j = i
+            while j < len(body) - 1:
+                rw = _reads_writes(body[j + 1])
+                if rw is None or (rw[0] | rw[1]) & blocked:
+                    break
+                body[j], body[j + 1] = body[j + 1], body[j]
+                j += 1
+                self.stats.sunk += 1
+            i -= 1
+
+
+def _stmt_exprs(s: Stmt):
+    if isinstance(s, Assign):
+        yield s.target
+        yield s.value
+    elif isinstance(s, VarDecl) and s.init is not None:
+        yield s.init
+    elif isinstance(s, CallStmt):
+        yield from s.args
+    elif isinstance(s, If):
+        yield s.cond
+    elif isinstance(s, While):
+        yield s.cond
+    elif isinstance(s, For):
+        yield s.lo
+        yield s.hi
+        if s.step is not None:
+            yield s.step
+
+
+def _is_post(s: Stmt) -> bool:
+    return (
+        isinstance(s, CallStmt)
+        and is_mpi_op(s.name)
+        and mpi_op(s.name).nonblocking
+    )
+
+
+def _in_flight_conflict(s: CallStmt) -> bool:
+    """Splitting needs a whole-variable buffer to reason about; element
+    payloads (``mpi_send(a[i], ...)``) are left blocking."""
+    op = mpi_op(s.name)
+    for p in op.data_positions:
+        if not isinstance(s.args[p], VarRef):
+            return True
+    return False
+
+
+def _rename_var(block: Block, old: str, new: str) -> Block:
+    def ren_expr(e: Expr) -> Expr:
+        if isinstance(e, VarRef):
+            return VarRef(new, loc=e.loc) if e.name == old else e
+        if isinstance(e, ArrayRef):
+            name = new if e.name == old else e.name
+            return ArrayRef(name, tuple(ren_expr(ix) for ix in e.indices), loc=e.loc)
+        if isinstance(e, BinOp):
+            return BinOp(e.op, ren_expr(e.left), ren_expr(e.right), loc=e.loc)
+        if isinstance(e, UnOp):
+            return UnOp(e.op, ren_expr(e.operand), loc=e.loc)
+        if isinstance(e, IntrinsicCall):
+            return IntrinsicCall(
+                e.name, tuple(ren_expr(a) for a in e.args), loc=e.loc
+            )
+        return e
+
+    def ren_stmt(s: Stmt) -> Stmt:
+        if isinstance(s, Assign):
+            return Assign(ren_expr(s.target), ren_expr(s.value), loc=s.loc)
+        if isinstance(s, CallStmt):
+            return CallStmt(s.name, tuple(ren_expr(a) for a in s.args), loc=s.loc)
+        if isinstance(s, VarDecl):
+            init = ren_expr(s.init) if s.init is not None else None
+            return VarDecl(s.name, s.type, init, loc=s.loc)
+        if isinstance(s, If):
+            return If(
+                ren_expr(s.cond),
+                ren_block(s.then),
+                ren_block(s.els) if s.els else None,
+                loc=s.loc,
+            )
+        if isinstance(s, While):
+            return While(ren_expr(s.cond), ren_block(s.body), loc=s.loc)
+        if isinstance(s, For):
+            return For(
+                s.var,
+                ren_expr(s.lo),
+                ren_expr(s.hi),
+                ren_expr(s.step) if s.step is not None else None,
+                ren_block(s.body),
+                loc=s.loc,
+            )
+        if isinstance(s, Block):
+            return ren_block(s)
+        return s
+
+    def ren_block(b: Block) -> Block:
+        return Block(tuple(ren_stmt(s) for s in b.body), loc=b.loc)
+
+    return ren_block(block)
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def make_nonblocking(program: Program, root: Optional[str] = None) -> OverlapResult:
+    """Split blocking point-to-point MPI into overlapped post/wait pairs.
+
+    ``root`` restricts the rewrite to procedures reachable in the
+    program (by name) — ``None`` rewrites every procedure.  The result
+    program is re-validated (including the request-discipline lint) and
+    audited against the reaching-definitions and liveness facts of its
+    rebuilt ICFG.
+    """
+    stats = OverlapResult(program=program)
+    procs = []
+    rewriters: dict[str, _ProcRewriter] = {}
+    for proc in program.procedures:
+        rw = _ProcRewriter(proc, stats)
+        rewriters[proc.name] = rw
+        procs.append(rw.rewrite())
+    result = Program(program.name, program.globals, tuple(procs), loc=program.loc)
+    validate_program(result)
+    stats.program = result
+    stats.dead_buffers = _audit(result, root, rewriters)
+    return stats
+
+
+def _audit(
+    program: Program,
+    root: Optional[str],
+    rewriters: dict[str, _ProcRewriter],
+) -> tuple[tuple[str, str], ...]:
+    """Check the motion against registry dataflow facts.
+
+    Reaching definitions must carry every transform-created request
+    handle from its post to its wait (the motion never separated a pair
+    across a kill); liveness reports buffers dead at their completion.
+    """
+    from ..analyses.liveness import LivenessProblem
+    from ..analyses.reaching_defs import ReachingDefsProblem
+    from ..cfg.icfg import build_icfg
+    from ..cfg.node import MpiNode
+    from ..dataflow.solver import solve
+    from ..ir.mpi_ops import ArgRole as _AR
+
+    entry_root = root if root and program.has_proc(root) else None
+    if entry_root is None:
+        entry_root = (
+            "main" if program.has_proc("main") else program.procedures[-1].name
+        )
+    icfg = build_icfg(program, entry_root)
+    entry, exit_ = icfg.entry_exit(icfg.root)
+    reach = solve(icfg.graph, entry, exit_, ReachingDefsProblem(icfg))
+    live = solve(icfg.graph, entry, exit_, LivenessProblem(icfg))
+
+    dead: list[tuple[str, str]] = []
+    for nid, node in sorted(icfg.graph.nodes.items()):
+        if not isinstance(node, MpiNode) or node.op.name != "mpi_wait":
+            continue
+        arg = node.arg_at(node.op.position(_AR.REQ_IN))
+        if not isinstance(arg, VarRef):
+            continue
+        origin = (
+            icfg.procs[node.proc].origin if node.proc in icfg.procs else node.proc
+        )
+        rw = rewriters.get(origin)
+        info = rw.info.get(arg.name) if rw is not None else None
+        if info is None or not info.created:
+            continue
+        sym = icfg.symtab.try_lookup(node.proc, arg.name)
+        if sym is not None and not any(
+            q == sym.qname for q, _ in reach.in_fact(nid)
+        ):  # pragma: no cover - audit guard
+            raise AssertionError(
+                f"overlap transform lost request {arg.name!r} before its wait"
+            )
+        for buf in sorted(info.buffers):
+            bsym = icfg.symtab.try_lookup(node.proc, buf)
+            if (
+                info.has_recv
+                and bsym is not None
+                and bsym.qname not in live.out_fact(nid)
+            ):
+                dead.append((origin, buf))
+    return tuple(sorted(set(dead)))

@@ -126,6 +126,34 @@ class TestFoldAndRun:
         assert main(["run", fig1_param_file, "--input", "oops"]) == 1
 
 
+class TestTransform:
+    def test_prints_transformed_spl(self, fig1_file, capsys):
+        assert main(["transform", "nonblocking", fig1_file]) == 0
+        captured = capsys.readouterr()
+        assert "mpi_isend" in captured.out
+        assert "mpi_wait" in captured.out
+        assert "// nonblocking:" in captured.err
+
+    def test_run_compares_makespans(self, capsys):
+        rc = main(
+            [
+                "transform", "nonblocking", "LU-1",
+                "--size", "u=600", "--size", "rsd=640", "--size", "flux=400",
+                "--size", "jac=100", "--size", "hbuf3=40",
+                "--size", "hbuf1=40", "--size", "nfrct=40",
+                "--run", "--nprocs", "2",
+            ]
+        )
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "makespan original=" in err
+        assert "makespan improved" in err
+
+    def test_unknown_benchmark_is_a_file_error(self, capsys):
+        assert main(["transform", "nonblocking", "/nonexistent.spl"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
 class TestBitwidth:
     def test_widths_printed(self, tmp_path, capsys):
         path = tmp_path / "w.spl"

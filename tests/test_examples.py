@@ -60,6 +60,23 @@ def test_reproduce_paper_subset(capsys):
     assert "2/2 rows reproduce the published active-byte cells exactly" in out
 
 
+def test_overlap_spl(capsys):
+    """The overlap showcase: the transform hides the documented send."""
+    from repro.cli import main as cli_main
+
+    rc = cli_main(
+        [
+            "transform", "nonblocking", str(EXAMPLES / "overlap.spl"),
+            "--run", "--nprocs", "2", "--latency", "linear:10:0.01",
+        ]
+    )
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert "mpi_isend" in captured.out
+    assert "mpi_wait" in captured.out
+    assert "makespan improved" in captured.err
+
+
 @pytest.mark.parametrize(
     "name",
     [

@@ -169,15 +169,15 @@ class TestMpiOps:
         res = run1(
             """
             real x; real y;
-            int rank;
+            int rank; int req;
             rank = mpi_comm_rank();
             x = 1.5;
             if (rank == 0) {
-              call mpi_isend(x, 1, 7, comm_world);
-              call mpi_wait();
+              call mpi_isend(x, 1, 7, comm_world, req);
+              call mpi_wait(req);
             } else {
-              call mpi_irecv(y, 0, 7, comm_world);
-              call mpi_wait();
+              call mpi_irecv(y, 0, 7, comm_world, req);
+              call mpi_wait(req);
             }
             """,
             nprocs=2,

@@ -49,6 +49,12 @@ from .legacy import (
 )
 
 BENCH_NAMES = ("MG-1", "LU-1", "Sw-3")
+#: Benchmarks without non-blocking operations.  The frozen legacy
+#: problems predate request-handle semantics (they complete an irecv at
+#: the post, not the wait), so only blocking programs — where the port
+#: is a pure refactor — are compared byte-for-byte.  Sw-3's request
+#: forms are covered by tests/test_nonblocking_semantics.py instead.
+BLOCKING_BENCH_NAMES = ("MG-1", "LU-1", "CG")
 CONFIGS = [(s, b) for s in STRATEGIES for b in ("native", "bitset")]
 
 #: analysis -> (legacy factory, kernel factory); both take (icfg, spec).
@@ -120,7 +126,7 @@ def _assert_identical(old, new, ctx):
     assert _stats_tuple(new.stats) == _stats_tuple(old.stats), ctx
 
 
-@pytest.mark.parametrize("name", BENCH_NAMES)
+@pytest.mark.parametrize("name", BLOCKING_BENCH_NAMES)
 @pytest.mark.parametrize("analysis", sorted(SET_ANALYSES))
 def test_set_analyses_match_legacy(name, analysis):
     spec = BENCHMARKS[name]
@@ -137,9 +143,9 @@ def test_set_analyses_match_legacy(name, analysis):
 @pytest.mark.parametrize("model", list(MpiModel))
 @pytest.mark.parametrize("analysis", ("vary", "useful", "taint"))
 def test_mpi_models_match_legacy(model, analysis):
-    """Every MpiModel treatment survives the port (Sw-3, native)."""
-    spec = BENCHMARKS["Sw-3"]
-    icfg = _benchmark_icfg("Sw-3")
+    """Every MpiModel treatment survives the port (CG, native)."""
+    spec = BENCHMARKS["CG"]
+    icfg = _benchmark_icfg("CG")
     seeds = spec.independents if analysis != "useful" else spec.dependents
     legacy_cls = {
         "vary": LegacyVaryProblem,

@@ -46,6 +46,32 @@ class TestManualRoundTrip:
         prog = biostat.program()
         assert parse_program(print_program(prog)) == prog
 
+    def test_request_forms(self):
+        """Non-blocking request forms survive the printer/parser."""
+        src = """\
+program p;
+proc main() {
+  real a[4];
+  real b[4];
+  int q;
+  int r;
+  call mpi_isend(a, 1, 7, comm_world, q);
+  call mpi_irecv(b, 1, 8, comm_world, r);
+  call mpi_wait(q);
+  call mpi_wait(r);
+}
+"""
+        prog = parse_program(src)
+        printed = print_program(prog)
+        assert parse_program(printed) == prog
+        for op in ("mpi_isend", "mpi_irecv", "mpi_wait"):
+            assert op in printed
+
+    def test_sweep3d_request_stubs_roundtrip(self):
+        """The benchmark source that actually uses isend/irecv/wait."""
+        prog = sweep3d.program()
+        assert parse_program(print_program(prog)) == prog
+
     def test_expression_parenthesization(self):
         cases = [
             "(1 + 2) * 3",

@@ -243,7 +243,14 @@ class TestMpiCalls:
         check(wrap("real a[5];\ncall mpi_bcast(a, 0, comm_world);"))
 
     def test_barrier_and_wait(self):
-        check(wrap("call mpi_barrier(comm_world);\ncall mpi_wait();"))
+        check(wrap("call mpi_barrier(comm_world);"))
+        check(
+            wrap(
+                "real x;\nint req;\n"
+                "call mpi_irecv(x, 0, 9, comm_world, req);\n"
+                "call mpi_wait(req);"
+            )
+        )
 
     def test_array_element_buffer_ok(self):
         check(wrap("real a[5];\ncall mpi_send(a[2], 1, 9, comm_world);"))
